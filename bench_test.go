@@ -1,0 +1,556 @@
+// Package commintent's root benchmarks regenerate every figure of the
+// paper's evaluation section and the ablations DESIGN.md calls out. Each
+// benchmark runs the full simulated experiment per iteration and reports
+// the *virtual* time of the measured phase as the custom metric
+// "vtime-us/op" (wall time of a benchmark iteration measures the simulator,
+// not the modelled machine).
+package commintent
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"commintent/internal/bench"
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+	"commintent/internal/wllsms"
+)
+
+// benchParams is the standard small-sweep configuration: 1 WL master + 2
+// LSMS instances of 16 ranks (33 processes, the paper's smallest x value).
+func benchParams() wllsms.Params {
+	p := wllsms.DefaultParams()
+	p.Groups = 2
+	return p
+}
+
+// measureApp runs one fresh world on the calibrated profile and reports
+// f's measured virtual time.
+func measureApp(b *testing.B, p wllsms.Params, f func(*wllsms.App) (model.Time, error)) model.Time {
+	return measureAppProf(b, p, model.GeminiLike(), f)
+}
+
+// measureAppProf is measureApp on an explicit machine profile.
+func measureAppProf(b *testing.B, p wllsms.Params, prof *model.Profile, f func(*wllsms.App) (model.Time, error)) model.Time {
+	b.Helper()
+	var out model.Time
+	var mu sync.Mutex
+	err := spmd.Run(p.NProcs(), prof, func(rk *spmd.Rank) error {
+		app, err := wllsms.Setup(rk, p)
+		if err != nil {
+			return err
+		}
+		defer app.Close()
+		d, err := f(app)
+		if err != nil {
+			return err
+		}
+		if rk.ID == 0 {
+			mu.Lock()
+			out = d
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+func reportVirtual(b *testing.B, total model.Time) {
+	b.Helper()
+	b.ReportMetric(total.Micros()/float64(b.N), "vtime-us/op")
+}
+
+func stageZeroSpins(app *wllsms.App) error {
+	var spins [][]float64
+	if app.Role == wllsms.RoleWL {
+		spins = make([][]float64, app.P.Groups)
+		for g := range spins {
+			spins[g] = make([]float64, 3*app.P.NumAtoms)
+		}
+	}
+	return app.StageSpins(spins)
+}
+
+// BenchmarkFig3SingleAtomData regenerates Figure 3's rows: the initial
+// distribution of the system's potentials and electron densities.
+func BenchmarkFig3SingleAtomData(b *testing.B) {
+	cases := []struct {
+		name string
+		v    wllsms.Variant
+		tgt  core.Target
+	}{
+		{"original", wllsms.VariantOriginal, core.TargetDefault},
+		{"directive-mpi2side", wllsms.VariantDirective, core.TargetMPI2Side},
+		{"directive-shmem", wllsms.VariantDirective, core.TargetSHMEM},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var total model.Time
+			for i := 0; i < b.N; i++ {
+				total += measureApp(b, benchParams(), func(app *wllsms.App) (model.Time, error) {
+					return app.DistributeAtoms(tc.v, tc.tgt)
+				})
+			}
+			reportVirtual(b, total)
+		})
+	}
+}
+
+// BenchmarkFig4SetEvec regenerates Figure 4's rows: the within-LIZ random
+// spin configuration transfer in its four implementations.
+func BenchmarkFig4SetEvec(b *testing.B) {
+	cases := []struct {
+		name string
+		v    wllsms.Variant
+		tgt  core.Target
+	}{
+		{"original", wllsms.VariantOriginal, core.TargetDefault},
+		{"original-waitall", wllsms.VariantOriginalWaitall, core.TargetDefault},
+		{"directive-mpi2side", wllsms.VariantDirective, core.TargetMPI2Side},
+		{"directive-shmem", wllsms.VariantDirective, core.TargetSHMEM},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var total model.Time
+			for i := 0; i < b.N; i++ {
+				total += measureApp(b, benchParams(), func(app *wllsms.App) (model.Time, error) {
+					if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+						return 0, err
+					}
+					if err := stageZeroSpins(app); err != nil {
+						return 0, err
+					}
+					return app.SetEvec(tc.v, tc.tgt)
+				})
+			}
+			reportVirtual(b, total)
+		})
+	}
+}
+
+// BenchmarkFig5Overlap regenerates Figure 5's rows: spin communication plus
+// energy computation with the 10x GPU projection, sequential vs overlapped.
+func BenchmarkFig5Overlap(b *testing.B) {
+	run := func(b *testing.B, overlapped bool) {
+		var total model.Time
+		for i := 0; i < b.N; i++ {
+			total += measureApp(b, benchParams(), func(app *wllsms.App) (model.Time, error) {
+				if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+					return 0, err
+				}
+				if err := stageZeroSpins(app); err != nil {
+					return 0, err
+				}
+				if overlapped {
+					d, _, err := app.CoreStatesOverlapped(core.TargetMPI2Side, 10)
+					return d, err
+				}
+				d, _, err := app.CoreStatesSequential(wllsms.VariantOriginal, core.TargetDefault, 10)
+				return d, err
+			})
+		}
+		reportVirtual(b, total)
+	}
+	b.Run("sequential-optimized-compute", func(b *testing.B) { run(b, false) })
+	b.Run("directive-overlap", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkSmallMessageLatency reproduces the small-message latency gap the
+// paper cites (refs [13], [14]): 8-256 byte transfers on the two-sided MPI
+// path versus the one-sided SHMEM path.
+func BenchmarkSmallMessageLatency(b *testing.B) {
+	sizes := []int{8, 32, 128, 256, 4096}
+	for _, size := range sizes {
+		size := size
+		b.Run(fmt.Sprintf("mpi-%dB", size), func(b *testing.B) {
+			var total model.Time
+			for i := 0; i < b.N; i++ {
+				total += pingVirtual(b, false, size)
+			}
+			reportVirtual(b, total)
+		})
+		b.Run(fmt.Sprintf("shmem-%dB", size), func(b *testing.B) {
+			var total model.Time
+			for i := 0; i < b.N; i++ {
+				total += pingVirtual(b, true, size)
+			}
+			reportVirtual(b, total)
+		})
+	}
+}
+
+// pingVirtual measures one 0->1 transfer-plus-completion in virtual time.
+func pingVirtual(b *testing.B, oneSided bool, bytes int) model.Time {
+	b.Helper()
+	var out model.Time
+	var mu sync.Mutex
+	err := spmd.Run(2, model.GeminiLike(), func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		shm := shmem.New(rk)
+		n := bytes / 8
+		sym := shmem.MustAlloc[float64](shm, n)
+		flag := shmem.MustAlloc[int64](shm, 1)
+		buf := make([]float64, n)
+		comm.Barrier()
+		t0 := rk.Now()
+		if oneSided {
+			if rk.ID == 0 {
+				if err := sym.Put(shm, 1, buf, 0); err != nil {
+					return err
+				}
+				shm.Quiet()
+				if err := flag.P(shm, 1, 0, 1); err != nil {
+					return err
+				}
+			} else {
+				if err := flag.WaitUntil(shm, 0, shmem.CmpGE, 1); err != nil {
+					return err
+				}
+			}
+		} else {
+			if rk.ID == 0 {
+				req, err := comm.Isend(buf, n, mpi.Float64, 1, 0)
+				if err != nil {
+					return err
+				}
+				if _, err := comm.Wait(req); err != nil {
+					return err
+				}
+			} else {
+				req, err := comm.Irecv(buf, n, mpi.Float64, 0, 0)
+				if err != nil {
+					return err
+				}
+				if _, err := comm.Wait(req); err != nil {
+					return err
+				}
+			}
+		}
+		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.Now())
+		rk.Clock().AdvanceTo(maxV)
+		if rk.ID == 0 {
+			mu.Lock()
+			out = maxV - t0
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkAblationWaitLoop isolates the design choice behind Figure 4's
+// MPI gain: completing k requests with a per-request MPI_Wait loop versus a
+// single consolidated MPI_Waitall.
+func BenchmarkAblationWaitLoop(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		k := k
+		for _, consolidated := range []bool{false, true} {
+			consolidated := consolidated
+			name := fmt.Sprintf("wait-loop-%dreqs", k)
+			if consolidated {
+				name = fmt.Sprintf("waitall-%dreqs", k)
+			}
+			b.Run(name, func(b *testing.B) {
+				var total model.Time
+				for i := 0; i < b.N; i++ {
+					total += waitStrategyVirtual(b, k, consolidated)
+				}
+				reportVirtual(b, total)
+			})
+		}
+	}
+}
+
+func waitStrategyVirtual(b *testing.B, k int, consolidated bool) model.Time {
+	b.Helper()
+	var out model.Time
+	var mu sync.Mutex
+	err := spmd.Run(2, model.GeminiLike(), func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		buf := make([]float64, 3)
+		comm.Barrier()
+		t0 := rk.Now()
+		reqs := make([]*mpi.Request, 0, k)
+		for j := 0; j < k; j++ {
+			var req *mpi.Request
+			var err error
+			if rk.ID == 0 {
+				req, err = comm.Isend(buf, 3, mpi.Float64, 1, j%16)
+			} else {
+				req, err = comm.Irecv(make([]float64, 3), 3, mpi.Float64, 0, j%16)
+			}
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		if consolidated {
+			if _, err := comm.Waitall(reqs); err != nil {
+				return err
+			}
+		} else {
+			for _, r := range reqs {
+				if _, err := comm.Wait(r); err != nil {
+					return err
+				}
+			}
+		}
+		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.Now())
+		rk.Clock().AdvanceTo(maxV)
+		if rk.ID == 0 {
+			mu.Lock()
+			out = maxV - t0
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkAblationPackVsDatatype isolates Figure 3's design choice: moving
+// a composite plus matrices by explicit MPI_Pack versus the directive's
+// derived datatype + buffer lists.
+func BenchmarkAblationPackVsDatatype(b *testing.B) {
+	p := wllsms.DefaultParams()
+	p.Groups = 1
+	p.GroupSize = 4
+	p.NumAtoms = 4
+	b.Run("pack", func(b *testing.B) {
+		var total model.Time
+		for i := 0; i < b.N; i++ {
+			total += measureApp(b, p, func(app *wllsms.App) (model.Time, error) {
+				return app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault)
+			})
+		}
+		reportVirtual(b, total)
+	})
+	b.Run("derived-datatype", func(b *testing.B) {
+		var total model.Time
+		for i := 0; i < b.N; i++ {
+			total += measureApp(b, p, func(app *wllsms.App) (model.Time, error) {
+				return app.DistributeAtoms(wllsms.VariantDirective, core.TargetMPI2Side)
+			})
+		}
+		reportVirtual(b, total)
+	})
+}
+
+// BenchmarkAblationSyncPlacement compares place_sync(END_PARAM_REGION) in
+// every region against deferring with END_ADJ_PARAM_REGIONS across a series
+// of adjacent regions.
+func BenchmarkAblationSyncPlacement(b *testing.B) {
+	const regions = 8
+	run := func(b *testing.B, deferSync bool) {
+		var total model.Time
+		for i := 0; i < b.N; i++ {
+			total += syncPlacementVirtual(b, regions, deferSync)
+		}
+		reportVirtual(b, total)
+	}
+	b.Run("end-each-region", func(b *testing.B) { run(b, false) })
+	b.Run("end-adjacent-regions", func(b *testing.B) { run(b, true) })
+}
+
+func syncPlacementVirtual(b *testing.B, regions int, deferSync bool) model.Time {
+	b.Helper()
+	var out model.Time
+	var mu sync.Mutex
+	err := spmd.Run(2, model.GeminiLike(), func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		shm := shmem.New(rk)
+		env, err := core.NewEnv(comm, shm)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		bufs := make([][]float64, regions)
+		for i := range bufs {
+			bufs[i] = make([]float64, 8)
+		}
+		comm.Barrier()
+		t0 := rk.Now()
+		for i := 0; i < regions; i++ {
+			opts := []core.Option{
+				core.Sender(0), core.Receiver(1),
+				core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			}
+			if deferSync && i < regions-1 {
+				opts = append(opts, core.PlaceSync(core.EndAdjParamRegions))
+			}
+			buf := bufs[i]
+			if err := env.Parameters(func(r *core.Region) error {
+				return r.P2P(core.SBuf(buf), core.RBuf(buf))
+			}, opts...); err != nil {
+				return err
+			}
+		}
+		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.Now())
+		rk.Clock().AdvanceTo(maxV)
+		if rk.ID == 0 {
+			mu.Lock()
+			out = maxV - t0
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkAblationTargetSelection compares the auto size-based target
+// heuristic against forcing each backend, for a small and a large message.
+func BenchmarkAblationTargetSelection(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		elems int
+		tgt   core.Target
+	}{
+		{"small-forced-mpi", 3, core.TargetMPI2Side},
+		{"small-forced-shmem", 3, core.TargetSHMEM},
+		{"small-auto", 3, core.TargetAuto},
+		{"large-forced-mpi", 1 << 14, core.TargetMPI2Side},
+		{"large-forced-shmem", 1 << 14, core.TargetSHMEM},
+		{"large-auto", 1 << 14, core.TargetAuto},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var total model.Time
+			for i := 0; i < b.N; i++ {
+				total += directiveTransferVirtual(b, tc.elems, tc.tgt)
+			}
+			reportVirtual(b, total)
+		})
+	}
+}
+
+func directiveTransferVirtual(b *testing.B, elems int, tgt core.Target) model.Time {
+	b.Helper()
+	var out model.Time
+	var mu sync.Mutex
+	err := spmd.Run(2, model.GeminiLike(), func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		shm := shmem.New(rk)
+		env, err := core.NewEnv(comm, shm)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		buf1 := shmem.MustAlloc[float64](shm, elems)
+		buf2 := shmem.MustAlloc[float64](shm, elems)
+		comm.Barrier()
+		t0 := rk.Now()
+		if err := env.P2P(
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			core.SBuf(buf1), core.RBuf(buf2),
+			core.WithTarget(tgt),
+		); err != nil {
+			return err
+		}
+		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.Now())
+		rk.Clock().AdvanceTo(maxV)
+		if rk.ID == 0 {
+			mu.Lock()
+			out = maxV - t0
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkFigureSweeps runs the full cmd/figures pipelines over a short
+// sweep, exercising the same code the command uses.
+func BenchmarkFigureSweeps(b *testing.B) {
+	base := benchParams()
+	groups := []int{2, 4}
+	b.Run("fig3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.RunFig3(base, model.GeminiLike(), groups); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fig4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.RunFig4(base, model.GeminiLike(), groups); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fig5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.RunFig5(base, model.GeminiLike(), groups, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationTopology places the WL-LSMS run on the flat network vs
+// an XK7-like 3-D torus with 16 ranks per node (each LSMS instance lands
+// on one node, so within-LIZ traffic pays no hops while the master's
+// staging crosses the torus).
+func BenchmarkAblationTopology(b *testing.B) {
+	run := func(b *testing.B, prof *model.Profile) {
+		var total model.Time
+		for i := 0; i < b.N; i++ {
+			total += measureAppProf(b, benchParams(), prof, func(app *wllsms.App) (model.Time, error) {
+				return app.DistributeAtoms(wllsms.VariantDirective, core.TargetMPI2Side)
+			})
+		}
+		reportVirtual(b, total)
+	}
+	b.Run("flat", func(b *testing.B) { run(b, model.GeminiLike()) })
+	b.Run("torus-16ranks-per-node", func(b *testing.B) {
+		run(b, model.GeminiLike().WithTorus(4, 4, 4, 16, 300*model.Nanosecond, 200*model.Nanosecond))
+	})
+}
+
+// BenchmarkMixingPhase measures the self-consistency mixing phase (the
+// reverse-direction worker->privileged->worker exchange) per variant.
+func BenchmarkMixingPhase(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		v    wllsms.Variant
+		tgt  core.Target
+	}{
+		{"original", wllsms.VariantOriginal, core.TargetDefault},
+		{"directive-mpi2side", wllsms.VariantDirective, core.TargetMPI2Side},
+		{"directive-shmem", wllsms.VariantDirective, core.TargetSHMEM},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var total model.Time
+			for i := 0; i < b.N; i++ {
+				total += measureApp(b, benchParams(), func(app *wllsms.App) (model.Time, error) {
+					if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+						return 0, err
+					}
+					return app.MixDensities(tc.v, tc.tgt)
+				})
+			}
+			reportVirtual(b, total)
+		})
+	}
+}

@@ -1,0 +1,203 @@
+// Command commtrace runs a directive-expressed communication pattern on a
+// small simulated machine and dumps what the lowering generated: the
+// recorded lowering decisions (the runtime analogue of reading the
+// compiler's output), the event timeline, the communication matrix and the
+// detected pattern.
+//
+// Usage:
+//
+//	commtrace [-n 8] [-pattern ring|evenodd|halo] [-target mpi2side|mpi1side|shmem|auto] [-count 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/pragma"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+	"commintent/internal/trace"
+	"commintent/internal/verify"
+)
+
+func main() {
+	n := flag.Int("n", 8, "number of ranks")
+	pattern := flag.String("pattern", "ring", "pattern to run: ring, evenodd or halo")
+	target := flag.String("target", "mpi2side", "directive target")
+	count := flag.Int("count", 4, "elements per message")
+	pragmaText := flag.String("pragma", "", "run a literal directive line instead of a named pattern (buffers buf1/buf2 of <count> float64 are provided; variables rank, nprocs, prev, next are defined)")
+	flag.Parse()
+
+	var tgt core.Target
+	switch *target {
+	case "mpi2side":
+		tgt = core.TargetMPI2Side
+	case "mpi1side":
+		tgt = core.TargetMPI1Side
+	case "shmem":
+		tgt = core.TargetSHMEM
+	case "auto":
+		tgt = core.TargetAuto
+	default:
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+
+	w, err := spmd.NewWorld(*n, model.GeminiLike())
+	if err != nil {
+		fatal(err)
+	}
+	col := trace.Attach(w.Fabric())
+
+	var mu sync.Mutex
+	decisions := map[int][]core.Decision{}
+	err = w.Run(func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		shm := shmem.New(rk)
+		env, err := core.NewEnv(comm, shm)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		if *pragmaText != "" {
+			if err := runPragma(*pragmaText, rk, env, shm, *count); err != nil {
+				return err
+			}
+		} else if err := runPattern(*pattern, rk, env, shm, tgt, *count); err != nil {
+			return err
+		}
+		mu.Lock()
+		decisions[rk.ID] = env.Decisions()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("pattern=%s target=%s ranks=%d count=%d\n\n", *pattern, tgt, *n, *count)
+
+	fmt.Println("== lowering decisions ==")
+	ranks := make([]int, 0, len(decisions))
+	for r := range decisions {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		if len(decisions[r]) == 0 {
+			continue
+		}
+		fmt.Printf("rank %d:\n", r)
+		for _, d := range decisions[r] {
+			fmt.Printf("  %s\n", d)
+		}
+	}
+
+	fmt.Println("\n== event timeline (first 40 events) ==")
+	fmt.Print(col.Timeline(40))
+
+	m := col.CommMatrix()
+	fmt.Println("\n== communication matrix (bytes) ==")
+	fmt.Print(trace.FormatMatrix(m))
+	fmt.Printf("\ndetected pattern: %s\n", trace.DetectPattern(m))
+
+	st := col.Stats()
+	fmt.Printf("totals: %d messages, %d payload bytes, %d sync ops\n", st.Messages, st.DataBytes, st.Syncs)
+
+	fmt.Println("\n== invariants ==")
+	fmt.Println(verify.Check(col.Events(), *n, false))
+}
+
+// runPragma parses and executes a literal directive line with standard
+// ring-flavoured variables and two symmetric buffers.
+func runPragma(line string, rk *spmd.Rank, env *core.Env, shm *shmem.Ctx, count int) error {
+	buf1 := shmem.MustAlloc[float64](shm, count)
+	buf2 := shmem.MustAlloc[float64](shm, count)
+	local := buf1.Local(shm)
+	for i := range local {
+		local[i] = float64(rk.ID*100 + i)
+	}
+	n := rk.N
+	return pragma.ExecP2P(env, line, pragma.Env{
+		Vars: map[string]int{
+			"rank":   rk.ID,
+			"nprocs": n,
+			"prev":   (rk.ID - 1 + n) % n,
+			"next":   (rk.ID + 1) % n,
+		},
+		Bufs: map[string]any{"buf1": buf1, "buf2": buf2},
+	})
+}
+
+// runPattern expresses the chosen pattern with directives.
+func runPattern(pattern string, rk *spmd.Rank, env *core.Env, shm *shmem.Ctx, tgt core.Target, count int) error {
+	n := rk.N
+	me := rk.ID
+	switch pattern {
+	case "ring":
+		// Listing 1: prev sends to me, I send to next.
+		sbuf := shmem.MustAlloc[float64](shm, count)
+		rbuf := shmem.MustAlloc[float64](shm, count)
+		local := sbuf.Local(shm)
+		for i := range local {
+			local[i] = float64(me*100 + i)
+		}
+		prev := (me - 1 + n) % n
+		next := (me + 1) % n
+		return env.P2P(
+			core.Sender(prev), core.Receiver(next),
+			core.SBuf(sbuf), core.RBuf(rbuf),
+			core.WithTarget(tgt),
+		)
+	case "evenodd":
+		// Listing 2: even ranks send to the nearest odd rank.
+		sbuf := shmem.MustAlloc[float64](shm, count)
+		rbuf := shmem.MustAlloc[float64](shm, count)
+		return env.P2P(
+			core.Sender(me-1), core.Receiver(me+1),
+			core.SendWhen(me%2 == 0 && me+1 < n), core.ReceiveWhen(me%2 == 1),
+			core.SBuf(sbuf), core.RBuf(rbuf),
+			core.WithTarget(tgt),
+		)
+	case "halo":
+		// Bidirectional nearest-neighbour halo exchange in one region.
+		field := shmem.MustAlloc[float64](shm, count+2)
+		haloL := shmem.MustAlloc[float64](shm, 1)
+		haloR := shmem.MustAlloc[float64](shm, 1)
+		f := field.Local(shm)
+		for i := range f {
+			f[i] = float64(me)
+		}
+		return env.Parameters(func(r *core.Region) error {
+			// Send my left edge to the left neighbour's right halo.
+			if err := r.P2P(
+				core.Sender(me+1), core.Receiver(me-1),
+				core.SendWhen(me > 0), core.ReceiveWhen(me < n-1),
+				core.SBuf(core.At(field, 1)), core.RBuf(haloR), core.Count(1),
+			); err != nil {
+				return err
+			}
+			// Send my right edge to the right neighbour's left halo.
+			return r.P2P(
+				core.Sender(me-1), core.Receiver(me+1),
+				core.SendWhen(me < n-1), core.ReceiveWhen(me > 0),
+				core.SBuf(core.At(field, count)), core.RBuf(haloL), core.Count(1),
+			)
+		},
+			core.WithTarget(tgt),
+			core.PlaceSync(core.EndParamRegion),
+		)
+	default:
+		return fmt.Errorf("unknown pattern %q", pattern)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "commtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command figures regenerates the paper's evaluation figures on the
+// simulated machine: Figure 3 (single atom data distribution), Figure 4
+// (random spin configuration transfer) and Figure 5 (communication /
+// computation overlap with 10x-accelerated computation).
+//
+// Usage:
+//
+//	figures -fig 3|4|5|all [-min-groups 2] [-max-groups 21] [-step 2]
+//	        [-group-size 16] [-format table|csv] [-speedups]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commintent/internal/bench"
+	"commintent/internal/model"
+	"commintent/internal/wllsms"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, 5sweep or all")
+	minGroups := flag.Int("min-groups", 2, "smallest number of LSMS instances (M)")
+	maxGroups := flag.Int("max-groups", 21, "largest number of LSMS instances (M)")
+	step := flag.Int("step", 2, "step between instance counts")
+	groupSize := flag.Int("group-size", 16, "processes per LSMS instance (N)")
+	format := flag.String("format", "table", "output format: table or csv")
+	profile := flag.String("profile", "gemini", "machine profile: gemini, ethernet or torus (gemini + XK7-like 3-D torus)")
+	profileFile := flag.String("profile-file", "", "load a custom machine profile from a JSON file (overrides -profile)")
+	speedups := flag.Bool("speedups", true, "print mean speedups after each figure")
+	gpu := flag.Float64("gpu", 10, "projected compute speedup for figure 5")
+	flag.Parse()
+
+	base := wllsms.DefaultParams()
+	base.GroupSize = *groupSize
+	base.NumAtoms = *groupSize
+	var prof *model.Profile
+	if *profileFile != "" {
+		f, err := os.Open(*profileFile)
+		if err != nil {
+			fatal(err)
+		}
+		prof, err = model.ReadProfile(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		*profile = prof.Name
+	}
+	if prof == nil {
+		switch *profile {
+		case "gemini":
+			prof = model.GeminiLike()
+		case "ethernet":
+			prof = model.EthernetLike()
+		case "torus":
+			prof = model.GeminiLike().WithTorus(8, 8, 8, *groupSize, 300*model.Nanosecond, 200*model.Nanosecond)
+		default:
+			fatal(fmt.Errorf("unknown profile %q", *profile))
+		}
+	}
+
+	var groups []int
+	for m := *minGroups; m <= *maxGroups; m += *step {
+		groups = append(groups, m)
+	}
+	if len(groups) == 0 {
+		fatal(fmt.Errorf("empty group sweep"))
+	}
+
+	emit := func(f *bench.Figure) {
+		if *format == "csv" {
+			f.WriteCSV(os.Stdout)
+		} else {
+			f.WriteTable(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	if *fig == "3" || *fig == "all" {
+		f, err := bench.RunFig3(base, prof, groups)
+		if err != nil {
+			fatal(err)
+		}
+		emit(f)
+		if *speedups {
+			fmt.Printf("mean original/directive-mpi2side = %.2fx (paper: comparable)\n",
+				f.MeanSpeedup("original", "directive-mpi2side"))
+			fmt.Printf("mean original/directive-shmem    = %.2fx (paper: comparable)\n\n",
+				f.MeanSpeedup("original", "directive-shmem"))
+		}
+	}
+	if *fig == "4" || *fig == "all" {
+		f, err := bench.RunFig4(base, prof, groups)
+		if err != nil {
+			fatal(err)
+		}
+		emit(f)
+		if *speedups {
+			fmt.Printf("mean original/directive-mpi2side   = %.2fx (paper: ~4x)\n",
+				f.MeanSpeedup("original", "directive-mpi2side"))
+			fmt.Printf("mean original/directive-shmem      = %.2fx (paper: ~38x)\n",
+				f.MeanSpeedup("original", "directive-shmem"))
+			fmt.Printf("mean original/original+waitall     = %.2fx (paper: ~2.6x)\n",
+				f.MeanSpeedup("original", "original+waitall"))
+			fmt.Printf("mean waitall/directive-mpi2side    = %.2fx (paper: ~1.4x)\n",
+				f.MeanSpeedup("original+waitall", "directive-mpi2side"))
+			fmt.Printf("mean waitall/directive-shmem       = %.2fx (paper: ~14.5x)\n\n",
+				f.MeanSpeedup("original+waitall", "directive-shmem"))
+		}
+	}
+	if *fig == "5sweep" {
+		f, err := bench.RunFig5GPUSweep(base, prof, *minGroups, []float64{1, 2, 5, 10, 20})
+		if err != nil {
+			fatal(err)
+		}
+		emit(f)
+		if *speedups {
+			fmt.Printf("mean sequential/overlap across speedups = %.2fx\n", f.MeanSpeedup("original+optimized-compute", "directive-overlap"))
+		}
+	}
+	if *fig == "5" || *fig == "all" {
+		f, err := bench.RunFig5(base, prof, groups, *gpu)
+		if err != nil {
+			fatal(err)
+		}
+		emit(f)
+		if *speedups {
+			fmt.Printf("mean sequential/overlap = %.2fx (saving bounded by the communication time)\n",
+				f.MeanSpeedup("original+optimized-compute", "directive-overlap"))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command latency is an APEX-MAP-flavoured micro-benchmark (the paper's
+// ref [14]): it sweeps message sizes on both transports of a machine
+// profile and prints per-message virtual latency and effective bandwidth,
+// making the small-message regime — where the paper's SHMEM advantage
+// lives — directly visible.
+//
+// Usage:
+//
+//	latency [-profile gemini|ethernet] [-max-size 1048576]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+func main() {
+	profile := flag.String("profile", "gemini", "machine profile: gemini or ethernet")
+	maxSize := flag.Int("max-size", 1<<20, "largest message size in bytes")
+	flag.Parse()
+
+	var prof *model.Profile
+	switch *profile {
+	case "gemini":
+		prof = model.GeminiLike()
+	case "ethernet":
+		prof = model.EthernetLike()
+	default:
+		fmt.Fprintf(os.Stderr, "latency: unknown profile %q\n", *profile)
+		os.Exit(1)
+	}
+
+	fmt.Printf("profile %s (eager threshold %d bytes)\n\n", prof.Name, prof.MPIEagerThreshold)
+	fmt.Printf("%10s  %16s  %16s  %10s  %14s  %14s\n",
+		"bytes", "mpi-2sided", "shmem-1sided", "ratio", "mpi GB/s", "shmem GB/s")
+	for size := 8; size <= *maxSize; size *= 4 {
+		mpiT, err := ping(prof, false, size)
+		if err != nil {
+			fatal(err)
+		}
+		shmT, err := ping(prof, true, size)
+		if err != nil {
+			fatal(err)
+		}
+		bw := func(t model.Time) float64 {
+			if t == 0 {
+				return 0
+			}
+			return float64(size) / float64(t) // bytes per ns == GB/s
+		}
+		fmt.Printf("%10d  %16v  %16v  %9.1fx  %14.3f  %14.3f\n",
+			size, mpiT, shmT, float64(mpiT)/float64(shmT), bw(mpiT), bw(shmT))
+	}
+}
+
+// ping measures one 0->1 transfer, completion included, in virtual time.
+func ping(prof *model.Profile, oneSided bool, bytes int) (model.Time, error) {
+	var out model.Time
+	var mu sync.Mutex
+	err := spmd.Run(2, prof, func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		shm := shmem.New(rk)
+		n := bytes / 8
+		sym := shmem.MustAlloc[float64](shm, n)
+		flag := shmem.MustAlloc[int64](shm, 1)
+		buf := make([]float64, n)
+		comm.Barrier()
+		t0 := rk.Now()
+		if oneSided {
+			if rk.ID == 0 {
+				if err := sym.Put(shm, 1, buf, 0); err != nil {
+					return err
+				}
+				shm.Quiet()
+				if err := flag.P(shm, 1, 0, 1); err != nil {
+					return err
+				}
+			} else if err := flag.WaitUntil(shm, 0, shmem.CmpGE, 1); err != nil {
+				return err
+			}
+		} else {
+			if rk.ID == 0 {
+				req, err := comm.Isend(buf, n, mpi.Float64, 1, 0)
+				if err != nil {
+					return err
+				}
+				if _, err := comm.Wait(req); err != nil {
+					return err
+				}
+			} else {
+				req, err := comm.Irecv(buf, n, mpi.Float64, 0, 0)
+				if err != nil {
+					return err
+				}
+				if _, err := comm.Wait(req); err != nil {
+					return err
+				}
+			}
+		}
+		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.Now())
+		rk.Clock().AdvanceTo(maxV)
+		if rk.ID == 0 {
+			mu.Lock()
+			out = maxV - t0
+			mu.Unlock()
+		}
+		return nil
+	})
+	return out, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "latency:", err)
+	os.Exit(1)
+}

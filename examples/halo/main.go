@@ -1,0 +1,125 @@
+// Halo: a 1-D Jacobi-style stencil whose halo exchange is expressed as a
+// comm_parameters region in the shape of the paper's Listing 3 — region-
+// level clauses, max_comm_iter for the loop, place_sync placement — with
+// the interior update overlapped with the halo transfer (the comm_p2p body
+// of Listing 7).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+const (
+	nprocs = 8
+	local  = 64 // interior cells per rank
+	steps  = 50
+)
+
+func main() {
+	var mu sync.Mutex
+	var residual float64
+	var elapsed model.Time
+
+	err := spmd.Run(nprocs, model.GeminiLike(), func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		shm := shmem.New(rk)
+		env, err := core.NewEnv(comm, shm)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+
+		me := rk.ID
+		// field[0] and field[local+1] are the halo cells.
+		field := shmem.MustAlloc[float64](shm, local+2)
+		next := make([]float64, local+2)
+		f := field.Local(shm)
+		for i := range f {
+			f[i] = float64(me*local + i)
+		}
+		// Fixed boundary values at the global edges.
+		if me == 0 {
+			f[0] = 0
+		}
+		if me == nprocs-1 {
+			f[local+1] = float64(nprocs*local + 1)
+		}
+
+		comm.Barrier()
+		t0 := rk.Now()
+		for s := 0; s < steps; s++ {
+			err := env.Parameters(func(r *core.Region) error {
+				// Left edge -> left neighbour's right halo.
+				if err := r.P2P(
+					core.Sender(me+1), core.Receiver(me-1),
+					core.SendWhen(me > 0), core.ReceiveWhen(me < nprocs-1),
+					core.SBuf(core.At(field, 1)), core.RBuf(core.At(field, local+1)),
+					core.Count(1),
+				); err != nil {
+					return err
+				}
+				// Right edge -> right neighbour's left halo, with the
+				// interior update overlapped with both transfers.
+				return r.P2POverlap(func() error {
+					// Interior cells don't need the halos: compute them
+					// while the messages are in flight.
+					for i := 2; i <= local-1; i++ {
+						next[i] = 0.5 * (f[i-1] + f[i+1])
+					}
+					rk.Compute(model.Time(local) * 40) // synthetic stencil cost
+					return nil
+				},
+					core.Sender(me-1), core.Receiver(me+1),
+					core.SendWhen(me < nprocs-1), core.ReceiveWhen(me > 0),
+					core.SBuf(core.At(field, local)), core.RBuf(core.At(field, 0)),
+					core.Count(1),
+				)
+			},
+				core.MaxCommIter(2),
+				core.PlaceSync(core.EndParamRegion),
+				core.WithTarget(core.TargetSHMEM),
+			)
+			if err != nil {
+				return err
+			}
+			// Edge cells need the freshly received halos.
+			next[1] = 0.5 * (f[0] + f[2])
+			next[local] = 0.5 * (f[local-1] + f[local+1])
+			copy(f[1:local+1], next[1:local+1])
+		}
+		comm.Barrier()
+
+		// Global residual against the linear steady state.
+		var myRes float64
+		for i := 1; i <= local; i++ {
+			exact := float64(me*local + i)
+			myRes += math.Abs(f[i] - exact)
+		}
+		out := make([]float64, 1)
+		if err := comm.Reduce([]float64{myRes}, out, 1, mpi.Float64, mpi.OpSum, 0); err != nil {
+			return err
+		}
+		if me == 0 {
+			mu.Lock()
+			residual = out[0]
+			elapsed = rk.Now() - t0
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1-D halo stencil: %d ranks x %d cells, %d steps\n", nprocs, local, steps)
+	fmt.Printf("  virtual time: %v\n", elapsed)
+	fmt.Printf("  L1 residual vs linear steady state: %.6f (converged: %v)\n", residual, residual < 1e-6)
+}

@@ -1,0 +1,211 @@
+// Stencil2d: a 2-D Jacobi solver on a process grid, with the four-way halo
+// exchange expressed as one comm_parameters region of four comm_p2p
+// directives — the "nearest neighbour" pattern the paper's cited workload
+// studies identify as dominant in scientific codes. Column halos are
+// strided in memory; the directive path stages them through symmetric edge
+// buffers, which is exactly the data-layout consideration the paper's
+// intro raises ("improves the data layout of communication data
+// structures").
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+const (
+	px, py = 3, 3 // process grid
+	lx, ly = 16, 16
+	steps  = 200
+)
+
+func main() {
+	const n = px * py
+	var mu sync.Mutex
+	var residual float64
+	var elapsed model.Time
+
+	err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		shm := shmem.New(rk)
+		env, err := core.NewEnv(comm, shm)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+
+		cx, cy := rk.ID%px, rk.ID/px
+		west, east := rk.ID-1, rk.ID+1
+		north, south := rk.ID-px, rk.ID+px
+		hasW, hasE := cx > 0, cx < px-1
+		hasN, hasS := cy > 0, cy < py-1
+
+		// Field with a one-cell halo ring, row-major (ly+2) x (lx+2).
+		w := lx + 2
+		field := make([]float64, (ly+2)*w)
+		next := make([]float64, (ly+2)*w)
+		at := func(y, x int) int { return y*w + x }
+		// Boundary condition: global edges held at the bilinear function
+		// f(X, Y) = X + 2Y, whose discrete Laplace solution is itself.
+		exact := func(y, x int) float64 {
+			gx := float64(cx*lx + x)
+			gy := float64(cy*ly + y)
+			return gx + 2*gy
+		}
+		// The bilinear field is exactly harmonic under the 5-point stencil,
+		// so initialising the interior with it makes the solve a fixed
+		// point: any halo-exchange bug shows up as drift from the exact
+		// solution. Interior halo cells start at zero and must be filled by
+		// the first exchange.
+		for y := 0; y < ly+2; y++ {
+			for x := 0; x < lx+2; x++ {
+				interiorCell := y >= 1 && y <= ly && x >= 1 && x <= lx
+				globalEdge := (cy == 0 && y == 0) || (cy == py-1 && y == ly+1) ||
+					(cx == 0 && x == 0) || (cx == px-1 && x == lx+1)
+				if interiorCell || globalEdge {
+					field[at(y, x)] = exact(y, x)
+				}
+			}
+		}
+
+		// Symmetric staging for the four halos (columns are strided, so
+		// both directions stage through contiguous symmetric edges).
+		rowOutN := shmem.MustAlloc[float64](shm, lx)
+		rowOutS := shmem.MustAlloc[float64](shm, lx)
+		rowInN := shmem.MustAlloc[float64](shm, lx)
+		rowInS := shmem.MustAlloc[float64](shm, lx)
+		colOutW := shmem.MustAlloc[float64](shm, ly)
+		colOutE := shmem.MustAlloc[float64](shm, ly)
+		colInW := shmem.MustAlloc[float64](shm, ly)
+		colInE := shmem.MustAlloc[float64](shm, ly)
+
+		comm.Barrier()
+		t0 := rk.Now()
+		for s := 0; s < steps; s++ {
+			// Stage edges into the symmetric buffers.
+			copy(rowOutN.Local(shm), field[at(1, 1):at(1, lx+1)])
+			copy(rowOutS.Local(shm), field[at(ly, 1):at(ly, lx+1)])
+			for y := 0; y < ly; y++ {
+				colOutW.Local(shm)[y] = field[at(y+1, 1)]
+				colOutE.Local(shm)[y] = field[at(y+1, lx)]
+			}
+			rk.Compute(rk.Profile().MemcpyTime((2*lx + 2*ly) * 8))
+
+			// One region, four comm_p2p instances, one consolidated sync.
+			err := env.Parameters(func(r *core.Region) error {
+				// North edge -> northern neighbour's south halo.
+				if err := r.P2P(
+					core.Sender(south), core.Receiver(north),
+					core.SendWhen(hasN), core.ReceiveWhen(hasS),
+					core.SBuf(rowOutN), core.RBuf(rowInS),
+				); err != nil {
+					return err
+				}
+				// South edge -> southern neighbour's north halo.
+				if err := r.P2P(
+					core.Sender(north), core.Receiver(south),
+					core.SendWhen(hasS), core.ReceiveWhen(hasN),
+					core.SBuf(rowOutS), core.RBuf(rowInN),
+				); err != nil {
+					return err
+				}
+				// West edge -> western neighbour's east halo.
+				if err := r.P2P(
+					core.Sender(east), core.Receiver(west),
+					core.SendWhen(hasW), core.ReceiveWhen(hasE),
+					core.SBuf(colOutW), core.RBuf(colInE),
+				); err != nil {
+					return err
+				}
+				// East edge -> eastern neighbour's west halo, with the
+				// interior update overlapped with all four transfers.
+				return r.P2POverlap(func() error {
+					for y := 2; y <= ly-1; y++ {
+						for x := 2; x <= lx-1; x++ {
+							next[at(y, x)] = 0.25 * (field[at(y-1, x)] + field[at(y+1, x)] +
+								field[at(y, x-1)] + field[at(y, x+1)])
+						}
+					}
+					rk.Compute(model.Time(lx*ly) * 15)
+					return nil
+				},
+					core.Sender(west), core.Receiver(east),
+					core.SendWhen(hasE), core.ReceiveWhen(hasW),
+					core.SBuf(colOutE), core.RBuf(colInW),
+				)
+			},
+				core.MaxCommIter(4),
+				core.PlaceSync(core.EndParamRegion),
+				core.WithTarget(core.TargetAuto),
+			)
+			if err != nil {
+				return err
+			}
+
+			// Unstage received halos.
+			if hasN {
+				copy(field[at(0, 1):at(0, lx+1)], rowInN.Local(shm))
+			}
+			if hasS {
+				copy(field[at(ly+1, 1):at(ly+1, lx+1)], rowInS.Local(shm))
+			}
+			for y := 0; y < ly; y++ {
+				if hasW {
+					field[at(y+1, 0)] = colInW.Local(shm)[y]
+				}
+				if hasE {
+					field[at(y+1, lx+1)] = colInE.Local(shm)[y]
+				}
+			}
+
+			// Edge rows/columns of the interior need the fresh halos.
+			for x := 1; x <= lx; x++ {
+				next[at(1, x)] = 0.25 * (field[at(0, x)] + field[at(2, x)] + field[at(1, x-1)] + field[at(1, x+1)])
+				next[at(ly, x)] = 0.25 * (field[at(ly-1, x)] + field[at(ly+1, x)] + field[at(ly, x-1)] + field[at(ly, x+1)])
+			}
+			for y := 2; y <= ly-1; y++ {
+				next[at(y, 1)] = 0.25 * (field[at(y-1, 1)] + field[at(y+1, 1)] + field[at(y, 0)] + field[at(y, 2)])
+				next[at(y, lx)] = 0.25 * (field[at(y-1, lx)] + field[at(y+1, lx)] + field[at(y, lx-1)] + field[at(y, lx+1)])
+			}
+			for y := 1; y <= ly; y++ {
+				copy(field[at(y, 1):at(y, lx+1)], next[at(y, 1):at(y, lx+1)])
+			}
+			// The symmetric out-buffers are rewritten next step: ensure the
+			// consumers are done (SHMEM consumption discipline).
+			shm.BarrierAll()
+		}
+		comm.Barrier()
+
+		var myRes float64
+		for y := 1; y <= ly; y++ {
+			for x := 1; x <= lx; x++ {
+				myRes += math.Abs(field[at(y, x)] - exact(y, x))
+			}
+		}
+		out := make([]float64, 1)
+		if err := comm.Reduce([]float64{myRes}, out, 1, mpi.Float64, mpi.OpSum, 0); err != nil {
+			return err
+		}
+		if rk.ID == 0 {
+			mu.Lock()
+			residual = out[0] / float64(px*py*lx*ly)
+			elapsed = rk.Now() - t0
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-D Jacobi: %dx%d process grid, %dx%d cells each, %d steps\n", px, py, lx, ly, steps)
+	fmt.Printf("  virtual time: %v\n", elapsed)
+	fmt.Printf("  mean |error| vs harmonic solution: %.2e (fixed point preserved: %v)\n", residual, residual < 1e-9)
+}

@@ -1,0 +1,3 @@
+module commintent
+
+go 1.22

@@ -1,0 +1,150 @@
+// Package bench is the harness that regenerates the paper's tables and
+// figures: parameter sweeps over process counts, per-variant series, and
+// aligned-table / CSV rendering of the results.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"commintent/internal/model"
+)
+
+// Point is one measured sample: an x value (typically the process count)
+// and the measured virtual time.
+type Point struct {
+	X int
+	T model.Time
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// At returns the series value at x.
+func (s Series) At(x int) (model.Time, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.T, true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a set of series sharing an x axis.
+type Figure struct {
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// XValues returns the sorted union of x values across all series.
+func (f *Figure) XValues() []int {
+	set := map[int]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			set[p.X] = true
+		}
+	}
+	xs := make([]int, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	return xs
+}
+
+// WriteTable renders the figure as an aligned text table of seconds, the
+// same rows/series the paper's figures plot.
+func (f *Figure) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", f.Title)
+	fmt.Fprintf(w, "%-10s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "  %22s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for _, x := range f.XValues() {
+		fmt.Fprintf(w, "%-10d", x)
+		for _, s := range f.Series {
+			if t, ok := s.At(x); ok {
+				fmt.Fprintf(w, "  %22s", fmt.Sprintf("%.6fs", t.Seconds()))
+			} else {
+				fmt.Fprintf(w, "  %22s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV renders the figure as CSV (seconds).
+func (f *Figure) WriteCSV(w io.Writer) {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, x := range f.XValues() {
+		row := []string{fmt.Sprint(x)}
+		for _, s := range f.Series {
+			if t, ok := s.At(x); ok {
+				row = append(row, fmt.Sprintf("%.9f", t.Seconds()))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Speedups reports base/other per x for two series of the figure.
+func (f *Figure) Speedups(base, other string) map[int]float64 {
+	var b, o *Series
+	for i := range f.Series {
+		switch f.Series[i].Name {
+		case base:
+			b = &f.Series[i]
+		case other:
+			o = &f.Series[i]
+		}
+	}
+	out := map[int]float64{}
+	if b == nil || o == nil {
+		return out
+	}
+	for _, x := range f.XValues() {
+		bt, ok1 := b.At(x)
+		ot, ok2 := o.At(x)
+		if ok1 && ok2 && ot > 0 {
+			out[x] = float64(bt) / float64(ot)
+		}
+	}
+	return out
+}
+
+// MeanSpeedup averages Speedups over the x axis (the paper's "average
+// speedup of about 4x" style of statement).
+func (f *Figure) MeanSpeedup(base, other string) float64 {
+	sp := f.Speedups(base, other)
+	if len(sp) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range sp {
+		sum += v
+	}
+	return sum / float64(len(sp))
+}
+
+// ProcessCounts returns the paper's x axis: 1 WL master plus M instances of
+// groupSize ranks, for M in [minGroups, maxGroups] stepping by step.
+func ProcessCounts(groupSize, minGroups, maxGroups, step int) []int {
+	var out []int
+	for m := minGroups; m <= maxGroups; m += step {
+		out = append(out, 1+m*groupSize)
+	}
+	return out
+}

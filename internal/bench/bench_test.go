@@ -1,0 +1,156 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"commintent/internal/bench"
+	"commintent/internal/model"
+	"commintent/internal/wllsms"
+)
+
+func sampleFigure() *bench.Figure {
+	return &bench.Figure{
+		Title:  "sample",
+		XLabel: "nprocs",
+		Series: []bench.Series{
+			{Name: "a", Points: []bench.Point{{X: 33, T: 100 * model.Microsecond}, {X: 65, T: 200 * model.Microsecond}}},
+			{Name: "b", Points: []bench.Point{{X: 33, T: 50 * model.Microsecond}, {X: 65, T: 40 * model.Microsecond}}},
+		},
+	}
+}
+
+func TestXValuesSortedUnion(t *testing.T) {
+	f := sampleFigure()
+	f.Series[1].Points = append(f.Series[1].Points, bench.Point{X: 17, T: 1})
+	xs := f.XValues()
+	if len(xs) != 3 || xs[0] != 17 || xs[1] != 33 || xs[2] != 65 {
+		t.Errorf("xs = %v", xs)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	f := sampleFigure()
+	sp := f.Speedups("a", "b")
+	if sp[33] != 2.0 || sp[65] != 5.0 {
+		t.Errorf("speedups = %v", sp)
+	}
+	if m := f.MeanSpeedup("a", "b"); m != 3.5 {
+		t.Errorf("mean = %v", m)
+	}
+	if m := f.MeanSpeedup("a", "nope"); m != 0 {
+		t.Errorf("missing series mean = %v", m)
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	f := sampleFigure()
+	var tb strings.Builder
+	f.WriteTable(&tb)
+	out := tb.String()
+	for _, frag := range []string{"sample", "nprocs", "33", "65", "0.000100s", "0.000040s"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table missing %q:\n%s", frag, out)
+		}
+	}
+	var cb strings.Builder
+	f.WriteCSV(&cb)
+	csv := cb.String()
+	if !strings.HasPrefix(csv, "nprocs,a,b\n") {
+		t.Errorf("csv header: %q", csv)
+	}
+	if !strings.Contains(csv, "33,0.000100000,0.000050000") {
+		t.Errorf("csv rows:\n%s", csv)
+	}
+}
+
+func TestProcessCounts(t *testing.T) {
+	// The paper's x axis: 33, 49, ..., 337 (1 WL + M instances of 16).
+	got := bench.ProcessCounts(16, 2, 21, 1)
+	if got[0] != 33 || got[1] != 49 || got[len(got)-1] != 337 || len(got) != 20 {
+		t.Errorf("process counts = %v", got)
+	}
+}
+
+// TestRunFiguresSmall runs every figure pipeline on a tiny sweep and checks
+// the paper's orderings hold at each x.
+func TestRunFiguresSmall(t *testing.T) {
+	base := wllsms.DefaultParams()
+	base.GroupSize = 8
+	base.NumAtoms = 8
+	prof := model.GeminiLike()
+	groups := []int{2, 3}
+
+	f3, err := bench.RunFig3(base, prof, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Series) != 3 || len(f3.XValues()) != 2 {
+		t.Fatalf("fig3 shape: %d series, %v", len(f3.Series), f3.XValues())
+	}
+	// Comparability: directive MPI within 2x either way of the original.
+	if r := f3.MeanSpeedup("original", "directive-mpi2side"); r < 0.5 || r > 2 {
+		t.Errorf("fig3 original/directive-mpi = %.2f, want comparable", r)
+	}
+
+	f4, err := bench.RunFig4(base, prof, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range f4.XValues() {
+		orig, _ := seriesAt(f4, "original", x)
+		wa, _ := seriesAt(f4, "original+waitall", x)
+		dm, _ := seriesAt(f4, "directive-mpi2side", x)
+		ds, _ := seriesAt(f4, "directive-shmem", x)
+		if !(ds < dm && dm < wa && wa < orig) {
+			t.Errorf("fig4 ordering at %d: shmem=%v mpi=%v waitall=%v orig=%v", x, ds, dm, wa, orig)
+		}
+	}
+
+	f5, err := bench.RunFig5(base, prof, groups, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range f5.XValues() {
+		seq, _ := seriesAt(f5, "original+optimized-compute", x)
+		ovl, _ := seriesAt(f5, "directive-overlap", x)
+		if ovl >= seq {
+			t.Errorf("fig5 at %d: overlap %v >= sequential %v", x, ovl, seq)
+		}
+	}
+}
+
+func seriesAt(f *bench.Figure, name string, x int) (model.Time, bool) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s.At(x)
+		}
+	}
+	return 0, false
+}
+
+// TestFig5GPUSweep: the relative overlap benefit must grow as compute
+// shrinks (higher projected speedups), and the overlapped version must win
+// at every point.
+func TestFig5GPUSweep(t *testing.T) {
+	base := wllsms.DefaultParams()
+	base.GroupSize = 8
+	base.NumAtoms = 8
+	fig, err := bench.RunFig5GPUSweep(base, model.GeminiLike(), 2, []float64{1, 5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGain := 0.0
+	for _, x := range fig.XValues() {
+		seq, _ := seriesAt(fig, "original+optimized-compute", x)
+		ovl, _ := seriesAt(fig, "directive-overlap", x)
+		if ovl >= seq {
+			t.Errorf("gpu=%d: overlap %v >= sequential %v", x, ovl, seq)
+		}
+		gain := float64(seq-ovl) / float64(seq)
+		if gain < prevGain {
+			t.Errorf("gpu=%d: relative gain %.3f decreased from %.3f", x, gain, prevGain)
+		}
+		prevGain = gain
+	}
+}

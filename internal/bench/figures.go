@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/spmd"
+	"commintent/internal/wllsms"
+)
+
+// variantCase names one curve of a figure.
+type variantCase struct {
+	Name    string
+	Variant wllsms.Variant
+	Target  core.Target
+}
+
+func fig34Cases(withWaitall bool) []variantCase {
+	cases := []variantCase{
+		{"original", wllsms.VariantOriginal, core.TargetDefault},
+	}
+	if withWaitall {
+		cases = append(cases, variantCase{"original+waitall", wllsms.VariantOriginalWaitall, core.TargetDefault})
+	}
+	cases = append(cases,
+		variantCase{"directive-mpi2side", wllsms.VariantDirective, core.TargetMPI2Side},
+		variantCase{"directive-shmem", wllsms.VariantDirective, core.TargetSHMEM},
+	)
+	return cases
+}
+
+// measureOnce runs one fresh SPMD world and returns the measurement taken
+// by f (every rank returns the same measured value; rank 0's is reported).
+func measureOnce(p wllsms.Params, prof *model.Profile, f func(*wllsms.App) (model.Time, error)) (model.Time, error) {
+	var out model.Time
+	var mu sync.Mutex
+	err := spmd.Run(p.NProcs(), prof, func(rk *spmd.Rank) error {
+		app, err := wllsms.Setup(rk, p)
+		if err != nil {
+			return err
+		}
+		defer app.Close()
+		d, err := f(app)
+		if err != nil {
+			return err
+		}
+		if rk.ID == 0 {
+			mu.Lock()
+			out = d
+			mu.Unlock()
+		}
+		return nil
+	})
+	return out, err
+}
+
+// stageSpinsZero stages all-zero spin configurations (the measured
+// communication is independent of the spin values).
+func stageSpinsZero(app *wllsms.App) error {
+	var spins [][]float64
+	if app.Role == wllsms.RoleWL {
+		spins = make([][]float64, app.P.Groups)
+		for g := range spins {
+			spins[g] = make([]float64, 3*app.P.NumAtoms)
+		}
+	}
+	return app.StageSpins(spins)
+}
+
+// RunFig3 regenerates the paper's Figure 3 — the time to distribute the
+// system's potentials and electron densities (single atom data) — for each
+// instance count in groups, comparing the original MPI_Pack/MPI_Send code
+// with the directive implementation on the MPI and SHMEM targets.
+func RunFig3(base wllsms.Params, prof *model.Profile, groups []int) (*Figure, error) {
+	fig := &Figure{
+		Title:  "Figure 3: communication of single atom data (time vs total processes)",
+		XLabel: "nprocs",
+	}
+	for _, vc := range fig34Cases(false) {
+		s := Series{Name: vc.Name}
+		for _, m := range groups {
+			p := base
+			p.Groups = m
+			d, err := measureOnce(p, prof, func(app *wllsms.App) (model.Time, error) {
+				return app.DistributeAtoms(vc.Variant, vc.Target)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s M=%d: %w", vc.Name, m, err)
+			}
+			s.Points = append(s.Points, Point{X: p.NProcs(), T: d})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RunFig4 regenerates the paper's Figure 4 — the time to transfer random
+// spin configurations within each LIZ (the setEvec routine) — including the
+// waitall-modified original the paper uses to attribute the MPI speedup.
+func RunFig4(base wllsms.Params, prof *model.Profile, groups []int) (*Figure, error) {
+	fig := &Figure{
+		Title:  "Figure 4: communication of random spin configurations (time vs total processes)",
+		XLabel: "nprocs",
+	}
+	for _, vc := range fig34Cases(true) {
+		s := Series{Name: vc.Name}
+		for _, m := range groups {
+			p := base
+			p.Groups = m
+			d, err := measureOnce(p, prof, func(app *wllsms.App) (model.Time, error) {
+				if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+					return 0, err
+				}
+				if err := stageSpinsZero(app); err != nil {
+					return 0, err
+				}
+				return app.SetEvec(vc.Variant, vc.Target)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s M=%d: %w", vc.Name, m, err)
+			}
+			s.Points = append(s.Points, Point{X: p.NProcs(), T: d})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RunFig5 regenerates the paper's Figure 5 — the execution time of the spin
+// communication plus the initial energy computation, with the computation
+// accelerated by the projected 10x GPU port, comparing the original
+// sequential code against the directive's communication/computation
+// overlap.
+func RunFig5(base wllsms.Params, prof *model.Profile, groups []int, gpuSpeedup float64) (*Figure, error) {
+	fig := &Figure{
+		Title: fmt.Sprintf("Figure 5: communication/computation overlap with %gx-accelerated computation", gpuSpeedup),
+
+		XLabel: "nprocs",
+	}
+	seq := Series{Name: "original+optimized-compute"}
+	ovl := Series{Name: "directive-overlap"}
+	for _, m := range groups {
+		p := base
+		p.Groups = m
+		var sd, od model.Time
+		var mu sync.Mutex
+		_, err := measureOnce(p, prof, func(app *wllsms.App) (model.Time, error) {
+			if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+				return 0, err
+			}
+			if err := stageSpinsZero(app); err != nil {
+				return 0, err
+			}
+			d1, _, err := app.CoreStatesSequential(wllsms.VariantOriginal, core.TargetDefault, gpuSpeedup)
+			if err != nil {
+				return 0, err
+			}
+			if err := stageSpinsZero(app); err != nil {
+				return 0, err
+			}
+			d2, _, err := app.CoreStatesOverlapped(core.TargetMPI2Side, gpuSpeedup)
+			if err != nil {
+				return 0, err
+			}
+			if app.RK.ID == 0 {
+				mu.Lock()
+				sd, od = d1, d2
+				mu.Unlock()
+			}
+			return 0, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig5 M=%d: %w", m, err)
+		}
+		seq.Points = append(seq.Points, Point{X: p.NProcs(), T: sd})
+		ovl.Points = append(ovl.Points, Point{X: p.NProcs(), T: od})
+	}
+	fig.Series = []Series{seq, ovl}
+	return fig, nil
+}
+
+// RunFig5GPUSweep extends Figure 5 into an ablation: the overlap benefit as
+// a function of the projected compute speedup. As compute shrinks, the
+// communication the overlap can hide becomes a larger share of the total —
+// the trend the paper's GPU-port discussion anticipates.
+func RunFig5GPUSweep(base wllsms.Params, prof *model.Profile, groups int, speedups []float64) (*Figure, error) {
+	fig := &Figure{
+		Title:  "Figure 5 sweep: overlap benefit vs projected compute speedup",
+		XLabel: "speedup",
+	}
+	seq := Series{Name: "original+optimized-compute"}
+	ovl := Series{Name: "directive-overlap"}
+	for _, gpu := range speedups {
+		p := base
+		p.Groups = groups
+		var sd, od model.Time
+		var mu sync.Mutex
+		gpu := gpu
+		_, err := measureOnce(p, prof, func(app *wllsms.App) (model.Time, error) {
+			if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+				return 0, err
+			}
+			if err := stageSpinsZero(app); err != nil {
+				return 0, err
+			}
+			d1, _, err := app.CoreStatesSequential(wllsms.VariantOriginal, core.TargetDefault, gpu)
+			if err != nil {
+				return 0, err
+			}
+			if err := stageSpinsZero(app); err != nil {
+				return 0, err
+			}
+			d2, _, err := app.CoreStatesOverlapped(core.TargetMPI2Side, gpu)
+			if err != nil {
+				return 0, err
+			}
+			if app.RK.ID == 0 {
+				mu.Lock()
+				sd, od = d1, d2
+				mu.Unlock()
+			}
+			return 0, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig5 sweep gpu=%g: %w", gpu, err)
+		}
+		x := int(gpu)
+		seq.Points = append(seq.Points, Point{X: x, T: sd})
+		ovl.Points = append(ovl.Points, Point{X: x, T: od})
+	}
+	fig.Series = []Series{seq, ovl}
+	return fig, nil
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/typemap"
+)
+
+// symView is a view into a symmetric array at an element offset, produced
+// by At. It lets a directive address a sub-range of a symmetric buffer the
+// way the paper's examples address &buf[p].
+type symView struct {
+	s   shmem.AnySlice
+	off int
+}
+
+// At returns a view of the symmetric array s starting at element offset
+// off, usable in SBuf/RBuf clauses. It is the directive-level analogue of
+// passing &buf[off].
+func At(s shmem.AnySlice, off int) any {
+	return symView{s: s, off: off}
+}
+
+type bufClass int
+
+const (
+	bufPrimSlice bufClass = iota // []float64, []int32, ...
+	bufStruct                    // *T or []T with struct T
+	bufSym                       // shmem symmetric array (possibly offset)
+)
+
+// bufInfo is the lowering's view of one clause buffer.
+type bufInfo struct {
+	raw   any
+	class bufClass
+
+	sym    shmem.AnySlice
+	symOff int
+
+	layout *typemap.Layout // for bufStruct
+
+	elems     int // element capacity available (after any offset)
+	elemBytes int // wire bytes per element
+	goElem    int // in-memory bytes per element (for range trimming)
+	isArray   bool
+	rng       bufRange
+}
+
+// rangeFor returns the buffer's storage range trimmed to the directive's
+// resolved count, so independent sub-ranges of one array (e.g. &buf[p] per
+// iteration) are correctly seen as non-overlapping.
+func (b *bufInfo) rangeFor(count int) bufRange {
+	r := b.rng
+	if count >= b.elems {
+		return r
+	}
+	if r.sym {
+		r.symEnd = r.symStart + count
+		return r
+	}
+	if b.goElem > 0 {
+		r.end = r.start + uintptr(count*b.goElem)
+	}
+	return r
+}
+
+// bufRange identifies a buffer's storage for the adjacency / independence
+// analysis: two directives whose ranges overlap are dependent and force a
+// synchronisation between them.
+type bufRange struct {
+	sym              bool
+	symID            int
+	start, end       uintptr // [start,end) in local address space when !sym
+	symStart, symEnd int     // [start,end) element range when sym
+}
+
+func (r bufRange) overlaps(o bufRange) bool {
+	if r.sym != o.sym {
+		return false
+	}
+	if r.sym {
+		return r.symID == o.symID && r.symStart < o.symEnd && o.symStart < r.symEnd
+	}
+	return r.start < o.end && o.start < r.end
+}
+
+// classify analyses one clause buffer.
+func (e *Env) classify(v any) (*bufInfo, error) {
+	switch b := v.(type) {
+	case nil:
+		return nil, fmt.Errorf("core: nil buffer in clause")
+	case symView:
+		if b.off < 0 || b.off > b.s.Len() {
+			return nil, fmt.Errorf("core: At offset %d out of symmetric array of %d", b.off, b.s.Len())
+		}
+		return &bufInfo{
+			raw: v, class: bufSym, sym: b.s, symOff: b.off,
+			elems: b.s.Len() - b.off, elemBytes: b.s.ElemBytes(), goElem: b.s.ElemBytes(), isArray: true,
+			rng: bufRange{sym: true, symID: b.s.SymID(), symStart: b.off, symEnd: b.s.Len()},
+		}, nil
+	case shmem.AnySlice:
+		return &bufInfo{
+			raw: v, class: bufSym, sym: b,
+			elems: b.Len(), elemBytes: b.ElemBytes(), goElem: b.ElemBytes(), isArray: true,
+			rng: bufRange{sym: true, symID: b.SymID(), symStart: 0, symEnd: b.Len()},
+		}, nil
+	}
+	if k, ok := typemap.SliceKind(v); ok {
+		rv := reflect.ValueOf(v)
+		n := rv.Len()
+		esz := int(rv.Type().Elem().Size())
+		var start uintptr
+		if n > 0 {
+			start = rv.Pointer()
+		}
+		return &bufInfo{
+			raw: v, class: bufPrimSlice,
+			elems: n, elemBytes: k.Size(), goElem: esz, isArray: true,
+			rng: bufRange{start: start, end: start + uintptr(n*esz)},
+		}, nil
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Pointer:
+		if rv.IsNil() || rv.Elem().Kind() != reflect.Struct {
+			return nil, fmt.Errorf("core: unsupported buffer %T (want symmetric array, primitive slice, *struct or []struct)", v)
+		}
+		l, hit, err := e.layouts.Get(v)
+		if err != nil {
+			return nil, err
+		}
+		e.chargeLayout(hit)
+		return &bufInfo{
+			raw: v, class: bufStruct, layout: l,
+			elems: 1, elemBytes: l.WireSize, goElem: int(rv.Elem().Type().Size()), isArray: false,
+			rng: bufRange{start: rv.Pointer(), end: rv.Pointer() + rv.Elem().Type().Size()},
+		}, nil
+	case reflect.Slice:
+		if rv.Type().Elem().Kind() != reflect.Struct {
+			return nil, fmt.Errorf("core: unsupported buffer %T", v)
+		}
+		l, hit, err := e.layouts.Get(v)
+		if err != nil {
+			return nil, err
+		}
+		e.chargeLayout(hit)
+		var start uintptr
+		if rv.Len() > 0 {
+			start = rv.Pointer()
+		}
+		return &bufInfo{
+			raw: v, class: bufStruct, layout: l,
+			elems: rv.Len(), elemBytes: l.WireSize, goElem: int(rv.Type().Elem().Size()), isArray: true,
+			rng: bufRange{start: start, end: start + uintptr(rv.Len())*rv.Type().Elem().Size()},
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported buffer %T (want symmetric array, primitive slice, *struct or []struct)", v)
+	}
+}
+
+// datatype resolves the MPI datatype for a classified buffer.
+func (e *Env) datatype(b *bufInfo) (*mpi.Datatype, error) {
+	switch b.class {
+	case bufStruct:
+		return e.structType(b.layout.GoType, b.raw)
+	case bufPrimSlice:
+		k, _ := typemap.SliceKind(b.raw)
+		return basicDatatype(k)
+	case bufSym:
+		local := b.sym.LocalAny(e.shm)
+		k, ok := typemap.SliceKind(local)
+		if !ok {
+			return nil, fmt.Errorf("core: symmetric array %s has no basic datatype", b.sym.TypeName())
+		}
+		return basicDatatype(k)
+	}
+	return nil, fmt.Errorf("core: unclassified buffer")
+}
+
+func basicDatatype(k typemap.Kind) (*mpi.Datatype, error) {
+	switch k {
+	case typemap.KindInt8:
+		return mpi.Int8, nil
+	case typemap.KindInt16:
+		return mpi.Int16, nil
+	case typemap.KindInt32:
+		return mpi.Int32, nil
+	case typemap.KindInt64:
+		return mpi.Int64, nil
+	case typemap.KindUint8:
+		return mpi.Byte, nil
+	case typemap.KindUint32:
+		return mpi.Uint32, nil
+	case typemap.KindUint64:
+		return mpi.Uint64, nil
+	case typemap.KindFloat32:
+		return mpi.Float32, nil
+	case typemap.KindFloat64:
+		return mpi.Float64, nil
+	default:
+		return nil, fmt.Errorf("core: no MPI datatype for element kind %s", k)
+	}
+}
+
+// mpiView returns the value to hand to the MPI layer for this buffer (for
+// symmetric buffers, the local typed slice at the view offset).
+func (b *bufInfo) mpiView(e *Env) (any, error) {
+	if b.class != bufSym {
+		return b.raw, nil
+	}
+	local := b.sym.LocalAny(e.shm)
+	rv := reflect.ValueOf(local)
+	if b.symOff > rv.Len() {
+		return nil, fmt.Errorf("core: symmetric view offset %d out of %d", b.symOff, rv.Len())
+	}
+	return rv.Slice(b.symOff, rv.Len()).Interface(), nil
+}
+
+// inferCount implements the paper's count-inference rule: if count is
+// omitted and at least one buffer is an array, the message size is the size
+// of the smallest array; with only scalar (single-struct) buffers it is 1.
+func inferCount(sbufs, rbufs []*bufInfo) (int, error) {
+	best := -1
+	anyArray := false
+	for _, set := range [][]*bufInfo{sbufs, rbufs} {
+		for _, b := range set {
+			if b.isArray {
+				anyArray = true
+				if best == -1 || b.elems < best {
+					best = b.elems
+				}
+			}
+		}
+	}
+	if anyArray {
+		return best, nil
+	}
+	// All buffers are scalar composites: a single element.
+	for _, set := range [][]*bufInfo{sbufs, rbufs} {
+		for _, b := range set {
+			if b.class != bufStruct {
+				return 0, ErrCountInference
+			}
+		}
+	}
+	return 1, nil
+}

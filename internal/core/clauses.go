@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Clauses is the resolved clause set of one directive. Users construct it
+// through Options; the merge of a region's comm_parameters assertions with
+// a comm_p2p's own clauses follows the paper's rule that individual
+// comm_p2p instances "do not need to re-express these communication
+// clauses, but may provide additional assertions".
+type Clauses struct {
+	// sender: expression evaluating to the id (comm rank) of the process
+	// that sends to the current process.
+	sender    func() int
+	senderSet bool
+	// receiver: expression evaluating to the id of the process that
+	// receives the message sent by the current process.
+	receiver    func() int
+	receiverSet bool
+
+	sbuf []any
+	rbuf []any
+
+	sendWhen    func() bool
+	sendWhenSet bool
+	recvWhen    func() bool
+	recvWhenSet bool
+
+	target    Target
+	targetSet bool
+
+	count    func() int
+	countSet bool
+
+	// comm_parameters-only clauses.
+	placeSync      SyncPlacement
+	placeSyncSet   bool
+	maxCommIter    int
+	maxCommIterSet bool
+}
+
+// Option asserts one clause.
+type Option func(*Clauses)
+
+// Sender asserts the id of the process that sends to the current process.
+func Sender(id int) Option {
+	return func(c *Clauses) { c.sender = func() int { return id }; c.senderSet = true }
+}
+
+// SenderFn is Sender with an expression re-evaluated at each comm_p2p
+// execution (for clause expressions over loop variables).
+func SenderFn(f func() int) Option {
+	return func(c *Clauses) { c.sender = f; c.senderSet = true }
+}
+
+// Receiver asserts the id of the process that receives from the current
+// process.
+func Receiver(id int) Option {
+	return func(c *Clauses) { c.receiver = func() int { return id }; c.receiverSet = true }
+}
+
+// ReceiverFn is Receiver with a re-evaluated expression.
+func ReceiverFn(f func() int) Option {
+	return func(c *Clauses) { c.receiver = f; c.receiverSet = true }
+}
+
+// SBuf lists the origin buffer(s) of the message.
+func SBuf(bufs ...any) Option {
+	return func(c *Clauses) { c.sbuf = bufs }
+}
+
+// RBuf lists the destination buffer(s) of the message.
+func RBuf(bufs ...any) Option {
+	return func(c *Clauses) { c.rbuf = bufs }
+}
+
+// SendWhen asserts the Boolean expression selecting which processes send.
+func SendWhen(b bool) Option {
+	return func(c *Clauses) { c.sendWhen = func() bool { return b }; c.sendWhenSet = true }
+}
+
+// SendWhenFn is SendWhen with a re-evaluated expression.
+func SendWhenFn(f func() bool) Option {
+	return func(c *Clauses) { c.sendWhen = f; c.sendWhenSet = true }
+}
+
+// ReceiveWhen asserts the Boolean expression selecting which processes
+// receive.
+func ReceiveWhen(b bool) Option {
+	return func(c *Clauses) { c.recvWhen = func() bool { return b }; c.recvWhenSet = true }
+}
+
+// ReceiveWhenFn is ReceiveWhen with a re-evaluated expression.
+func ReceiveWhenFn(f func() bool) Option {
+	return func(c *Clauses) { c.recvWhen = f; c.recvWhenSet = true }
+}
+
+// WithTarget asserts which library calls to generate.
+func WithTarget(t Target) Option {
+	return func(c *Clauses) { c.target = t; c.targetSet = true }
+}
+
+// Count asserts the number of elements of the sender's buffer(s) passed to
+// the receiver's buffer(s).
+func Count(n int) Option {
+	return func(c *Clauses) { c.count = func() int { return n }; c.countSet = true }
+}
+
+// CountFn is Count with a re-evaluated expression.
+func CountFn(f func() int) Option {
+	return func(c *Clauses) { c.count = f; c.countSet = true }
+}
+
+// PlaceSync asserts where completion synchronisation is placed. Only valid
+// on comm_parameters.
+func PlaceSync(p SyncPlacement) Option {
+	return func(c *Clauses) { c.placeSync = p; c.placeSyncSet = true }
+}
+
+// MaxCommIter asserts the maximum number of times a comm_p2p instance may
+// execute inside the region, to facilitate synchronisation generation for
+// loops. Only valid on comm_parameters.
+func MaxCommIter(n int) Option {
+	return func(c *Clauses) { c.maxCommIter = n; c.maxCommIterSet = true }
+}
+
+func build(opts []Option) *Clauses {
+	c := &Clauses{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// merge overlays p2p-level clauses over region defaults.
+func merge(region, p2p *Clauses) *Clauses {
+	m := *region
+	if p2p.senderSet {
+		m.sender, m.senderSet = p2p.sender, true
+	}
+	if p2p.receiverSet {
+		m.receiver, m.receiverSet = p2p.receiver, true
+	}
+	if len(p2p.sbuf) > 0 {
+		m.sbuf = p2p.sbuf
+	}
+	if len(p2p.rbuf) > 0 {
+		m.rbuf = p2p.rbuf
+	}
+	if p2p.sendWhenSet {
+		m.sendWhen, m.sendWhenSet = p2p.sendWhen, true
+	}
+	if p2p.recvWhenSet {
+		m.recvWhen, m.recvWhenSet = p2p.recvWhen, true
+	}
+	if p2p.targetSet {
+		m.target, m.targetSet = p2p.target, true
+	}
+	if p2p.countSet {
+		m.count, m.countSet = p2p.count, true
+	}
+	return &m
+}
+
+// validateP2P checks a fully merged comm_p2p clause set.
+func validateP2P(c *Clauses) error {
+	if !c.senderSet {
+		return fmt.Errorf("%w: sender", ErrMissingClause)
+	}
+	if !c.receiverSet {
+		return fmt.Errorf("%w: receiver", ErrMissingClause)
+	}
+	if len(c.sbuf) == 0 {
+		return fmt.Errorf("%w: sbuf", ErrMissingClause)
+	}
+	if len(c.rbuf) == 0 {
+		return fmt.Errorf("%w: rbuf", ErrMissingClause)
+	}
+	if len(c.sbuf) != len(c.rbuf) {
+		return fmt.Errorf("%w: %d vs %d", ErrBufferMismatch, len(c.sbuf), len(c.rbuf))
+	}
+	if c.sendWhenSet != c.recvWhenSet {
+		return ErrWhenPairing
+	}
+	return nil
+}
+
+// validateP2POnly rejects comm_parameters-only clauses on a comm_p2p.
+func validateP2POnly(c *Clauses) error {
+	if c.placeSyncSet {
+		return fmt.Errorf("%w: place_sync", ErrParamsOnlyClause)
+	}
+	if c.maxCommIterSet {
+		return fmt.Errorf("%w: max_comm_iter", ErrParamsOnlyClause)
+	}
+	return nil
+}

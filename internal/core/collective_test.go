@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+func TestCollOneToMany(t *testing.T) {
+	const n = 5
+	for _, target := range []core.Target{core.TargetMPI2Side, core.TargetSHMEM} {
+		target := target
+		t.Run(target.String(), func(t *testing.T) {
+			run(t, n, func(rk *spmd.Rank, e *core.Env) error {
+				shm := e.Shmem()
+				src := shmem.MustAlloc[float64](shm, 4)
+				dst := shmem.MustAlloc[float64](shm, 4)
+				if rk.ID == 2 {
+					s := src.Local(shm)
+					for i := range s {
+						s[i] = float64(50 + i)
+					}
+				}
+				if err := e.Coll(
+					core.Pattern(core.OneToMany), core.Root(2),
+					core.With(core.SBuf(src), core.RBuf(dst), core.WithTarget(target)),
+				); err != nil {
+					return err
+				}
+				got := dst.Local(shm)
+				for i := range got {
+					if got[i] != float64(50+i) {
+						t.Errorf("rank %d: dst[%d] = %v", rk.ID, i, got[i])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestCollManyToOne(t *testing.T) {
+	const n = 4
+	for _, target := range []core.Target{core.TargetMPI2Side, core.TargetSHMEM} {
+		target := target
+		t.Run(target.String(), func(t *testing.T) {
+			run(t, n, func(rk *spmd.Rank, e *core.Env) error {
+				shm := e.Shmem()
+				src := shmem.MustAlloc[int64](shm, 2)
+				dst := shmem.MustAlloc[int64](shm, 2*n)
+				s := src.Local(shm)
+				s[0], s[1] = int64(rk.ID), int64(rk.ID*100)
+				if err := e.Coll(
+					core.Pattern(core.ManyToOne), core.Root(1),
+					core.With(core.SBuf(src), core.RBuf(dst), core.WithTarget(target)),
+				); err != nil {
+					return err
+				}
+				if rk.ID == 1 {
+					got := dst.Local(shm)
+					for r := 0; r < n; r++ {
+						if got[2*r] != int64(r) || got[2*r+1] != int64(r*100) {
+							t.Errorf("segment %d = %v", r, got[2*r:2*r+2])
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestCollAllToAll(t *testing.T) {
+	const n = 4
+	for _, target := range []core.Target{core.TargetMPI2Side, core.TargetSHMEM} {
+		target := target
+		t.Run(target.String(), func(t *testing.T) {
+			run(t, n, func(rk *spmd.Rank, e *core.Env) error {
+				shm := e.Shmem()
+				src := shmem.MustAlloc[int64](shm, n)
+				dst := shmem.MustAlloc[int64](shm, n)
+				s := src.Local(shm)
+				for j := range s {
+					s[j] = int64(rk.ID*10 + j) // segment j goes to rank j
+				}
+				if err := e.Coll(
+					core.Pattern(core.AllToAll),
+					core.With(core.SBuf(src), core.RBuf(dst), core.WithTarget(target)),
+				); err != nil {
+					return err
+				}
+				got := dst.Local(shm)
+				for i := range got {
+					want := int64(i*10 + rk.ID) // from rank i, its segment me
+					if got[i] != want {
+						t.Errorf("rank %d: dst[%d] = %d, want %d", rk.ID, i, got[i], want)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestCollValidation(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		buf := make([]float64, 2)
+		if err := e.Coll(core.With(core.SBuf(buf), core.RBuf(buf))); !errors.Is(err, core.ErrMissingClause) {
+			t.Errorf("missing pattern: %v", err)
+		}
+		if err := e.Coll(core.Pattern(core.OneToMany), core.With(core.SBuf(buf), core.RBuf(buf))); !errors.Is(err, core.ErrMissingClause) {
+			t.Errorf("missing root: %v", err)
+		}
+		if err := e.Coll(core.Pattern(core.OneToMany), core.Root(99), core.With(core.SBuf(buf), core.RBuf(buf))); err == nil {
+			t.Error("out-of-range root accepted")
+		}
+		return nil
+	})
+}
+
+func TestCollShmemRequiresSymmetric(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		plain := make([]float64, 2)
+		err := e.Coll(core.Pattern(core.OneToMany), core.Root(0),
+			core.With(core.SBuf(plain), core.RBuf(plain), core.WithTarget(core.TargetSHMEM)))
+		if !errors.Is(err, core.ErrNotSymmetric) {
+			t.Errorf("non-symmetric rbuf: %v", err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,392 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+// env builds a full directive environment (world comm + shmem) for a rank.
+func env(rk *spmd.Rank) (*core.Env, error) {
+	return core.NewEnv(mpi.World(rk), shmem.New(rk))
+}
+
+func run(t *testing.T, n int, body func(*spmd.Rank, *core.Env) error) {
+	t.Helper()
+	if err := spmd.Run(n, model.Uniform(100), func(rk *spmd.Rank) error {
+		e, err := env(rk)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		return body(rk, e)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestListing1Ring reproduces the paper's Listing 1: a ring pattern using
+// only the required clauses.
+func TestListing1Ring(t *testing.T) {
+	const n = 8
+	for _, target := range []core.Target{core.TargetDefault, core.TargetMPI2Side, core.TargetSHMEM, core.TargetMPI1Side} {
+		target := target
+		t.Run(target.String(), func(t *testing.T) {
+			run(t, n, func(rk *spmd.Rank, e *core.Env) error {
+				shm := e.Shmem()
+				buf1 := shmem.MustAlloc[float64](shm, 4)
+				buf2 := shmem.MustAlloc[float64](shm, 4)
+				local := buf1.Local(shm)
+				for i := range local {
+					local[i] = float64(rk.ID*10 + i)
+				}
+				prev := (rk.ID - 1 + n) % n
+				next := (rk.ID + 1) % n
+				if err := e.P2P(
+					core.Sender(prev), core.Receiver(next),
+					core.SBuf(buf1), core.RBuf(buf2),
+					core.WithTarget(target),
+				); err != nil {
+					return err
+				}
+				got := buf2.Local(shm)
+				for i := range got {
+					if got[i] != float64(prev*10+i) {
+						t.Errorf("rank %d (%v): buf2[%d] = %v", rk.ID, target, i, got[i])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestListing2EvenOdd reproduces Listing 2: even ranks send to the nearest
+// odd rank using sendwhen/receivewhen.
+func TestListing2EvenOdd(t *testing.T) {
+	const n = 6
+	run(t, n, func(rk *spmd.Rank, e *core.Env) error {
+		shm := e.Shmem()
+		buf1 := shmem.MustAlloc[int64](shm, 2)
+		buf2 := shmem.MustAlloc[int64](shm, 2)
+		src := buf1.Local(shm)
+		src[0], src[1] = int64(rk.ID), int64(rk.ID)*7
+		if err := e.P2P(
+			core.Sender(rk.ID-1), core.Receiver(rk.ID+1),
+			core.SendWhen(rk.ID%2 == 0), core.ReceiveWhen(rk.ID%2 == 1),
+			core.SBuf(buf1), core.RBuf(buf2),
+		); err != nil {
+			return err
+		}
+		if rk.ID%2 == 1 {
+			got := buf2.Local(shm)
+			if got[0] != int64(rk.ID-1) || got[1] != int64(rk.ID-1)*7 {
+				t.Errorf("rank %d: got %v", rk.ID, got)
+			}
+		}
+		return nil
+	})
+}
+
+// TestListing3LoopRegion reproduces Listing 3's shape: a comm_parameters
+// region asserting clauses for a loop of comm_p2p instances, with
+// max_comm_iter and place_sync(END_PARAM_REGION).
+func TestListing3LoopRegion(t *testing.T) {
+	const n = 4
+	const iters = 5
+	run(t, n, func(rk *spmd.Rank, e *core.Env) error {
+		shm := e.Shmem()
+		buf1 := shmem.MustAlloc[float64](shm, iters)
+		buf2 := shmem.MustAlloc[float64](shm, iters)
+		src := buf1.Local(shm)
+		for i := range src {
+			src[i] = float64(rk.ID*100 + i)
+		}
+		err := e.Parameters(func(r *core.Region) error {
+			for p := 0; p < iters; p++ {
+				if err := r.P2P(core.SBuf(core.At(buf1, p)), core.RBuf(core.At(buf2, p)), core.Count(1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+			core.Sender(rk.ID-1), core.Receiver(rk.ID+1),
+			core.SendWhen(rk.ID%2 == 0), core.ReceiveWhen(rk.ID%2 == 1),
+			core.MaxCommIter(iters),
+			core.PlaceSync(core.EndParamRegion),
+		)
+		if err != nil {
+			return err
+		}
+		if rk.ID%2 == 1 {
+			got := buf2.Local(shm)
+			for i := range got {
+				if got[i] != float64((rk.ID-1)*100+i) {
+					t.Errorf("rank %d: buf2[%d] = %v", rk.ID, i, got[i])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestMaxCommIterExceeded(t *testing.T) {
+	errCh := make(chan error, 2)
+	_ = spmd.Run(2, model.Uniform(1), func(rk *spmd.Rank) error {
+		e, err := env(rk)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		buf := shmem.MustAlloc[float64](e.Shmem(), 1)
+		err = e.Parameters(func(r *core.Region) error {
+			for i := 0; i < 3; i++ {
+				if err := r.P2P(core.SBuf(buf), core.RBuf(buf),
+					core.SendWhen(false), core.ReceiveWhen(false)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, core.Sender(0), core.Receiver(1), core.MaxCommIter(2))
+		errCh <- err
+		return nil
+	})
+	close(errCh)
+	for err := range errCh {
+		if !errors.Is(err, core.ErrMaxCommIter) {
+			t.Errorf("got %v, want ErrMaxCommIter", err)
+		}
+	}
+}
+
+func TestRequiredClauseValidation(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		buf := make([]float64, 1)
+		if err := e.P2P(core.Receiver(0), core.SBuf(buf), core.RBuf(buf)); !errors.Is(err, core.ErrMissingClause) {
+			t.Errorf("missing sender: %v", err)
+		}
+		if err := e.P2P(core.Sender(0), core.SBuf(buf), core.RBuf(buf)); !errors.Is(err, core.ErrMissingClause) {
+			t.Errorf("missing receiver: %v", err)
+		}
+		if err := e.P2P(core.Sender(0), core.Receiver(0), core.RBuf(buf)); !errors.Is(err, core.ErrMissingClause) {
+			t.Errorf("missing sbuf: %v", err)
+		}
+		if err := e.P2P(core.Sender(0), core.Receiver(0), core.SBuf(buf)); !errors.Is(err, core.ErrMissingClause) {
+			t.Errorf("missing rbuf: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestWhenPairingEnforced(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		buf := make([]float64, 1)
+		err := e.P2P(core.Sender(0), core.Receiver(1), core.SBuf(buf), core.RBuf(buf),
+			core.SendWhen(rk.ID == 0))
+		if !errors.Is(err, core.ErrWhenPairing) {
+			t.Errorf("lone sendwhen: %v", err)
+		}
+		err = e.P2P(core.Sender(0), core.Receiver(1), core.SBuf(buf), core.RBuf(buf),
+			core.ReceiveWhen(rk.ID == 1))
+		if !errors.Is(err, core.ErrWhenPairing) {
+			t.Errorf("lone receivewhen: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestParamsOnlyClausesRejectedOnP2P(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		buf := make([]float64, 1)
+		return e.Parameters(func(r *core.Region) error {
+			err := r.P2P(core.Sender(0), core.Receiver(1), core.SBuf(buf), core.RBuf(buf),
+				core.PlaceSync(core.EndParamRegion))
+			if !errors.Is(err, core.ErrParamsOnlyClause) {
+				t.Errorf("place_sync on comm_p2p: %v", err)
+			}
+			err = r.P2P(core.Sender(0), core.Receiver(1), core.SBuf(buf), core.RBuf(buf),
+				core.MaxCommIter(3))
+			if !errors.Is(err, core.ErrParamsOnlyClause) {
+				t.Errorf("max_comm_iter on comm_p2p: %v", err)
+			}
+			return nil
+		})
+	})
+}
+
+func TestBufferListMismatch(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		a := make([]float64, 1)
+		b := make([]float64, 1)
+		err := e.P2P(core.Sender(0), core.Receiver(1), core.SBuf(a, b), core.RBuf(a))
+		if !errors.Is(err, core.ErrBufferMismatch) {
+			t.Errorf("mismatched buffer lists: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestShmemTargetRequiresSymmetric(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		plain := make([]float64, 4)
+		err := e.P2P(core.Sender(0), core.Receiver(1), core.SBuf(plain), core.RBuf(plain),
+			core.WithTarget(core.TargetSHMEM),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1))
+		if rk.ID <= 1 && !errors.Is(err, core.ErrNotSymmetric) {
+			t.Errorf("non-symmetric rbuf on SHMEM target: %v", err)
+		}
+		return nil
+	})
+}
+
+// TestCountInferenceSmallestArray checks the paper's rule: with count
+// omitted, the message size is the size of the smallest array buffer.
+func TestCountInferenceSmallestArray(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		small := make([]float64, 3)
+		big := make([]float64, 10)
+		for i := range big {
+			big[i] = float64(100 + i)
+		}
+		err := e.P2P(
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			core.SBuf(big), core.RBuf(small),
+		)
+		if err != nil {
+			return err
+		}
+		if rk.ID == 1 {
+			for i := 0; i < 3; i++ {
+				if small[i] != float64(100+i) {
+					t.Errorf("small[%d] = %v", i, small[i])
+				}
+			}
+		}
+		found := false
+		for _, d := range e.Decisions() {
+			if d.Kind == "count-infer" && strings.Contains(d.Detail, "inferred 3") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no count-infer decision recorded: %v", e.Decisions())
+		}
+		return nil
+	})
+}
+
+// TestScalarStructTransfer mirrors Listing 5's first comm_p2p: a composite
+// scalar struct moved with an automatically created derived datatype.
+type scalarAtomData struct {
+	LocalID int32
+	Jmt     int32
+	Jws     int32
+	Xstart  float64
+	Rmt     float64
+	Header  [80]byte
+	Alat    float64
+	Efermi  float64
+	Vdif    float64
+	Ztotss  float64
+	Zcorss  float64
+	Evec    [3]float64
+	Nspin   int32
+	Numc    int32
+}
+
+func TestScalarStructTransfer(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		v := &scalarAtomData{}
+		if rk.ID == 0 {
+			v.LocalID = 42
+			v.Xstart = 1.5
+			copy(v.Header[:], "iron atom")
+			v.Evec = [3]float64{0.1, 0.2, 0.3}
+			v.Numc = -9
+		}
+		err := e.P2P(
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			core.SBuf(v), core.RBuf(v), core.Count(1),
+		)
+		if err != nil {
+			return err
+		}
+		if rk.ID == 1 {
+			if v.LocalID != 42 || v.Xstart != 1.5 || v.Evec[2] != 0.3 || v.Numc != -9 {
+				t.Errorf("struct payload corrupt: %+v", v)
+			}
+			if string(v.Header[:9]) != "iron atom" {
+				t.Errorf("header = %q", v.Header[:9])
+			}
+		}
+		// The derived-datatype decision must be recorded once (scope cache).
+		count := 0
+		for _, d := range e.Decisions() {
+			if d.Kind == "datatype" {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("datatype decisions = %d, want 1", count)
+		}
+		return nil
+	})
+}
+
+// TestDatatypeScopeCache sends the same struct type twice; the derived type
+// must be created once and reused, as the paper specifies.
+func TestDatatypeScopeCache(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		a, b := &scalarAtomData{}, &scalarAtomData{}
+		for _, v := range []*scalarAtomData{a, b} {
+			if err := e.P2P(
+				core.Sender(0), core.Receiver(1),
+				core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+				core.SBuf(v), core.RBuf(v), core.Count(1),
+			); err != nil {
+				return err
+			}
+		}
+		creates := 0
+		for _, d := range e.Decisions() {
+			if d.Kind == "datatype" {
+				creates++
+			}
+		}
+		if creates != 1 {
+			t.Errorf("derived type created %d times, want 1", creates)
+		}
+		return nil
+	})
+}
+
+// TestCompositeRestrictions verifies the paper's prohibitions: pointers
+// within a composite type and recursively nested composite types.
+func TestCompositeRestrictions(t *testing.T) {
+	type bad1 struct {
+		P *float64
+	}
+	type inner struct{ X float64 }
+	type bad2 struct {
+		I inner
+	}
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		if err := e.P2P(core.Sender(0), core.Receiver(1),
+			core.SBuf(&bad1{}), core.RBuf(&bad1{}), core.Count(1)); err == nil {
+			t.Error("pointer field in composite accepted")
+		}
+		if err := e.P2P(core.Sender(0), core.Receiver(1),
+			core.SBuf(&bad2{}), core.RBuf(&bad2{}), core.Count(1)); err == nil {
+			t.Error("nested composite accepted")
+		}
+		return nil
+	})
+}

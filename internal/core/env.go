@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/typemap"
+)
+
+// Env is the directive environment of one rank: the analogue of the
+// function scope in which the paper's compiler caches committed derived
+// datatypes and across which place_sync carries deferred synchronisation.
+//
+// Creating an Env is collective over the world when a SHMEM context is
+// supplied (the notification-flag array is allocated symmetrically).
+type Env struct {
+	comm *mpi.Comm
+	shm  *shmem.Ctx
+
+	layouts *typemap.Cache
+	dtypes  map[reflect.Type]*mpi.Datatype
+
+	// Deferred-synchronisation state (place_sync).
+	pending     *ledger
+	pendingMode SyncPlacement
+
+	// SHMEM notification flags: flags.Local()[src] counts completed sync
+	// epochs from PE src.
+	flags    *shmem.Slice[int64]
+	sentSync []int64 // per destination PE
+	expSync  []int64 // per source PE
+
+	// One-sided window cache, keyed by the registered slice's identity.
+	wins map[winKey]*mpi.Win
+
+	regionSeq int
+	decisions []Decision
+	closed    bool
+}
+
+type winKey struct {
+	ptr  uintptr
+	size int
+}
+
+// NewEnv creates a directive environment over comm, with shm providing the
+// SHMEM target (shm may be nil, in which case TargetSHMEM directives fail).
+// When shm is non-nil, every rank of the world must call NewEnv in the same
+// program order: the sync-flag array is a symmetric allocation.
+func NewEnv(comm *mpi.Comm, shm *shmem.Ctx) (*Env, error) {
+	if comm == nil {
+		return nil, fmt.Errorf("core: NewEnv: nil communicator")
+	}
+	e := &Env{
+		comm:    comm,
+		shm:     shm,
+		layouts: typemap.NewCache(),
+		dtypes:  make(map[reflect.Type]*mpi.Datatype),
+		wins:    make(map[winKey]*mpi.Win),
+	}
+	if shm != nil {
+		flags, err := shmem.Alloc[int64](shm, shm.NPEs())
+		if err != nil {
+			return nil, fmt.Errorf("core: NewEnv: %w", err)
+		}
+		e.flags = flags
+		e.sentSync = make([]int64, shm.NPEs())
+		e.expSync = make([]int64, shm.NPEs())
+	}
+	return e, nil
+}
+
+// Comm returns the communicator the environment lowers to.
+func (e *Env) Comm() *mpi.Comm { return e.comm }
+
+// Shmem returns the SHMEM context (nil if none).
+func (e *Env) Shmem() *shmem.Ctx { return e.shm }
+
+// Close flushes any synchronisation deferred by place_sync. Every Env must
+// be closed; the usual form is defer env.Close().
+func (e *Env) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.pending != nil {
+		p := e.pending
+		e.pending = nil
+		if err := e.flush(p, e.regionSeq); err != nil {
+			return err
+		}
+		e.note(e.regionSeq, "sync", "deferred synchronisation flushed at scope close")
+	}
+	return nil
+}
+
+// FlushDeferred forces any synchronisation deferred by place_sync to
+// complete now, outside a region.
+func (e *Env) FlushDeferred() error {
+	if e.pending == nil {
+		return nil
+	}
+	p := e.pending
+	e.pending = nil
+	return e.flush(p, e.regionSeq)
+}
+
+// HasDeferred reports whether synchronisation is currently deferred.
+func (e *Env) HasDeferred() bool { return e.pending != nil && !e.pending.empty() }
+
+// Decisions returns the lowering decisions recorded so far, the runtime
+// analogue of inspecting the compiler's generated communication code.
+func (e *Env) Decisions() []Decision {
+	out := make([]Decision, len(e.decisions))
+	copy(out, e.decisions)
+	return out
+}
+
+// note records a lowering decision. The log is capped so long-running
+// loops of directives cannot grow it without bound; the earliest decisions
+// (datatype commits, first syncs) are the informative ones.
+func (e *Env) note(region int, kind, detail string) {
+	if len(e.decisions) < maxRecordedDecisions {
+		e.decisions = append(e.decisions, Decision{Region: region, Kind: kind, Detail: detail})
+	}
+}
+
+// chargeLayout charges the cost of resolving a struct layout: a full
+// derived-type commit on a miss, a cache lookup on a hit.
+func (e *Env) chargeLayout(hit bool) {
+	p := e.comm.SPMD().Profile()
+	if hit {
+		e.comm.SPMD().Clock().Advance(p.MPITypeCacheHit)
+	}
+	// The commit cost itself is charged by structType on a datatype miss.
+}
+
+// structType resolves (and caches per scope) the committed MPI struct
+// datatype for t.
+func (e *Env) structType(t reflect.Type, example any) (*mpi.Datatype, error) {
+	if dt, ok := e.dtypes[t]; ok {
+		e.comm.SPMD().Clock().Advance(e.comm.SPMD().Profile().MPITypeCacheHit)
+		return dt, nil
+	}
+	dt, err := e.comm.TypeCreateStruct(example)
+	if err != nil {
+		return nil, err
+	}
+	e.dtypes[t] = dt
+	e.note(e.regionSeq, "datatype", fmt.Sprintf("created and committed %s (%d bytes), cached for scope", dt, dt.Size()))
+	return dt, nil
+}
+
+// winFor resolves (and caches) the one-sided window registering local as
+// this rank's exposed memory. First use is collective: all ranks must
+// execute the same directive.
+func (e *Env) winFor(local any) (*mpi.Win, error) {
+	rv := reflect.ValueOf(local)
+	if rv.Kind() != reflect.Slice {
+		return nil, fmt.Errorf("core: one-sided target requires a slice destination buffer, got %T", local)
+	}
+	var key winKey
+	if rv.Len() > 0 {
+		key = winKey{ptr: rv.Pointer(), size: rv.Len()}
+	}
+	if w, ok := e.wins[key]; ok {
+		return w, nil
+	}
+	w, err := e.comm.WinCreate(local)
+	if err != nil {
+		return nil, err
+	}
+	e.wins[key] = w
+	e.note(e.regionSeq, "window", fmt.Sprintf("collective MPI_Win_create over %T[%d]", local, rv.Len()))
+	return w, nil
+}

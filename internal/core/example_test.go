@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+// ExampleEnv_P2P expresses the paper's Listing 1 ring with the four
+// required clauses and runs it on four simulated ranks.
+func ExampleEnv_P2P() {
+	const nprocs = 4
+	var mu sync.Mutex
+	got := make([]float64, nprocs)
+	err := spmd.Run(nprocs, model.GeminiLike(), func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		shm := shmem.New(rk)
+		env, err := core.NewEnv(comm, shm)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		buf1 := shmem.MustAlloc[float64](shm, 1)
+		buf2 := shmem.MustAlloc[float64](shm, 1)
+		buf1.Local(shm)[0] = float64(rk.ID * 10)
+
+		prev := (rk.ID - 1 + nprocs) % nprocs
+		next := (rk.ID + 1) % nprocs
+		// #pragma comm_p2p sender(prev) receiver(next) sbuf(buf1) rbuf(buf2)
+		if err := env.P2P(
+			core.Sender(prev), core.Receiver(next),
+			core.SBuf(buf1), core.RBuf(buf2),
+		); err != nil {
+			return err
+		}
+		mu.Lock()
+		got[rk.ID] = buf2.Local(shm)[0]
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(got)
+	// Output: [30 0 10 20]
+}
+
+// ExampleEnv_Parameters shows a comm_parameters region whose clause
+// assertions apply to several comm_p2p instances, with the consolidated
+// synchronisation recorded as a lowering decision.
+func ExampleEnv_Parameters() {
+	var once sync.Once
+	err := spmd.Run(2, model.GeminiLike(), func(rk *spmd.Rank) error {
+		env, err := core.NewEnv(mpi.World(rk), shmem.New(rk))
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		a := make([]float64, 4)
+		b := make([]int32, 8)
+		err = env.Parameters(func(r *core.Region) error {
+			if err := r.P2P(core.SBuf(a), core.RBuf(a)); err != nil {
+				return err
+			}
+			return r.P2P(core.SBuf(b), core.RBuf(b))
+		},
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			core.PlaceSync(core.EndParamRegion),
+		)
+		if err != nil {
+			return err
+		}
+		if rk.ID == 0 {
+			once.Do(func() {
+				for _, d := range env.Decisions() {
+					if d.Kind == "sync" {
+						fmt.Println(d.Detail)
+					}
+				}
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: MPI_Waitall over 2 request(s)
+}
+
+// ExampleEnv_Coll broadcasts a parameter block with the future-work
+// collective directive.
+func ExampleEnv_Coll() {
+	const nprocs = 3
+	var mu sync.Mutex
+	var lines []string
+	err := spmd.Run(nprocs, model.GeminiLike(), func(rk *spmd.Rank) error {
+		shm := shmem.New(rk)
+		env, err := core.NewEnv(mpi.World(rk), shm)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		params := shmem.MustAlloc[float64](shm, 2)
+		if rk.ID == 0 {
+			copy(params.Local(shm), []float64{3.5, 7.0})
+		}
+		if err := env.Coll(
+			core.Pattern(core.OneToMany), core.Root(0),
+			core.With(core.SBuf(params), core.RBuf(params)),
+		); err != nil {
+			return err
+		}
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf("rank %d: %v", rk.ID, params.Local(shm)))
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// rank 0: [3.5 7]
+	// rank 1: [3.5 7]
+	// rank 2: [3.5 7]
+}

@@ -1,0 +1,222 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+// TestDynamicClauseExpressions uses the *Fn clause forms re-evaluated per
+// comm_p2p execution, as the paper's clause expressions over loop
+// variables are.
+func TestDynamicClauseExpressions(t *testing.T) {
+	const n = 4
+	run(t, n, func(rk *spmd.Rank, e *core.Env) error {
+		shm := e.Shmem()
+		src := shmem.MustAlloc[int64](shm, n)
+		dst := shmem.MustAlloc[int64](shm, n)
+		s := src.Local(shm)
+		for i := range s {
+			s[i] = int64(rk.ID*10 + i)
+		}
+		// Rank 0 sends slot p to rank p, for p = 1..n-1, with the receiver
+		// expression re-evaluated from the loop variable each iteration.
+		p := 0
+		err := e.Parameters(func(r *core.Region) error {
+			for p = 1; p < n; p++ {
+				if err := r.P2P(
+					core.SBuf(core.At(src, p)), core.RBuf(core.At(dst, 0)),
+					core.Count(1),
+					core.ReceiverFn(func() int { return p }),
+					core.SenderFn(func() int { return 0 }),
+					core.SendWhenFn(func() bool { return rk.ID == 0 }),
+					core.ReceiveWhenFn(func() bool { return rk.ID == p }),
+				); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, core.MaxCommIter(n))
+		if err != nil {
+			return err
+		}
+		if rk.ID != 0 {
+			if got := dst.Local(shm)[0]; got != int64(rk.ID) {
+				t.Errorf("rank %d got %d", rk.ID, got)
+			}
+		}
+		return nil
+	})
+}
+
+// TestCountFnEvaluatedPerInstance re-evaluates the count clause.
+func TestCountFnEvaluatedPerInstance(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		shm := e.Shmem()
+		src := shmem.MustAlloc[float64](shm, 8)
+		dst := shmem.MustAlloc[float64](shm, 8)
+		s := src.Local(shm)
+		for i := range s {
+			s[i] = float64(i + 1)
+		}
+		count := 0
+		err := e.Parameters(func(r *core.Region) error {
+			for count = 1; count <= 3; count++ {
+				off := count*2 - 2
+				if err := r.P2P(
+					core.SBuf(core.At(src, off)), core.RBuf(core.At(dst, off)),
+					core.CountFn(func() int { return count }),
+				); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			core.MaxCommIter(3),
+		)
+		if err != nil {
+			return err
+		}
+		if rk.ID == 1 {
+			want := []float64{1, 0, 3, 4, 5, 6, 7, 0}
+			got := dst.Local(shm)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("dst = %v, want %v", got, want)
+					break
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestClosedEnvRejected: directives after Close must fail.
+func TestClosedEnvRejected(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		if err := e.Close(); err != nil {
+			return err
+		}
+		buf := make([]float64, 1)
+		if err := e.P2P(core.Sender(0), core.Receiver(1), core.SBuf(buf), core.RBuf(buf),
+			core.SendWhen(false), core.ReceiveWhen(false)); !errors.Is(err, core.ErrClosed) {
+			t.Errorf("P2P after Close: %v", err)
+		}
+		if err := e.Parameters(func(r *core.Region) error { return nil }); !errors.Is(err, core.ErrClosed) {
+			t.Errorf("Parameters after Close: %v", err)
+		}
+		if err := e.Close(); err != nil {
+			t.Errorf("double Close: %v", err)
+		}
+		return nil
+	})
+}
+
+// TestBodyErrorPropagates: an error from the region body surfaces and the
+// posted requests are still drained.
+func TestBodyErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		buf := make([]float64, 1)
+		err := e.Parameters(func(r *core.Region) error {
+			if err := r.P2P(core.SBuf(buf), core.RBuf(buf)); err != nil {
+				return err
+			}
+			return boom
+		},
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+		)
+		if !errors.Is(err, boom) {
+			t.Errorf("body error lost: %v", err)
+		}
+		// The environment remains usable: the failed region flushed.
+		return e.P2P(
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			core.SBuf(buf), core.RBuf(buf),
+		)
+	})
+}
+
+// TestOverlapBodyErrorPropagates: an error from the overlap body surfaces.
+func TestOverlapBodyErrorPropagates(t *testing.T) {
+	boom := errors.New("body failed")
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		buf := make([]float64, 1)
+		err := e.P2POverlap(func() error { return boom },
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			core.SBuf(buf), core.RBuf(buf),
+		)
+		if !errors.Is(err, boom) {
+			t.Errorf("overlap body error lost: %v", err)
+		}
+		return nil
+	})
+}
+
+// TestDecisionRecordingBounded: decision recording must not grow without
+// bound in long-running loops.
+func TestDecisionRecordingBounded(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		buf := make([]float64, 4)
+		other := make([]float64, 4)
+		for i := 0; i < 6000; i++ {
+			if err := e.P2P(
+				core.Sender(0), core.Receiver(1),
+				core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+				core.SBuf(buf), core.RBuf(other),
+			); err != nil {
+				return err
+			}
+		}
+		if n := len(e.Decisions()); n > 5000 {
+			t.Errorf("decision log grew to %d entries", n)
+		}
+		return nil
+	})
+}
+
+// TestTargetStrings covers the keyword rendering used in dumps and errors.
+func TestTargetStrings(t *testing.T) {
+	for target, want := range map[core.Target]string{
+		core.TargetDefault:  "default(mpi-2side)",
+		core.TargetMPI2Side: "TARGET_COMM_MPI_2SIDE",
+		core.TargetMPI1Side: "TARGET_COMM_MPI_1SIDE",
+		core.TargetSHMEM:    "TARGET_COMM_SHMEM",
+		core.TargetAuto:     "auto",
+	} {
+		if target.String() != want {
+			t.Errorf("%d: %q want %q", int(target), target.String(), want)
+		}
+	}
+	for p, want := range map[core.SyncPlacement]string{
+		core.EndParamRegion:       "END_PARAM_REGION",
+		core.BeginNextParamRegion: "BEGIN_NEXT_PARAM_REGION",
+		core.EndAdjParamRegions:   "END_ADJ_PARAM_REGIONS",
+	} {
+		if p.String() != want {
+			t.Errorf("%q want %q", p.String(), want)
+		}
+	}
+	for k, want := range map[core.CollKind]string{
+		core.OneToMany: "one-to-many",
+		core.ManyToOne: "many-to-one",
+		core.AllToAll:  "all-to-all",
+	} {
+		if k.String() != want {
+			t.Errorf("%q want %q", k.String(), want)
+		}
+	}
+	d := core.Decision{Region: 2, Kind: "sync", Detail: "x"}
+	if got := fmt.Sprint(d); got == "" {
+		t.Error("empty decision string")
+	}
+}

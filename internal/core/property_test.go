@@ -1,0 +1,250 @@
+package core_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+// TestRingDeliveryProperty: for random payload sizes, counts and offsets,
+// a directive ring delivers exactly the addressed elements on every target.
+func TestRingDeliveryProperty(t *testing.T) {
+	prop := func(rawLen uint8, rawOff uint8, useShmem bool) bool {
+		n := 4
+		length := int(rawLen)%29 + 2      // 2..30 elements
+		off := int(rawOff) % (length - 1) // 0..length-2
+		count := (length - off) / 2
+		if count == 0 {
+			count = 1
+		}
+		target := core.TargetMPI2Side
+		if useShmem {
+			target = core.TargetSHMEM
+		}
+		ok := true
+		err := spmd.Run(n, model.Uniform(7), func(rk *spmd.Rank) error {
+			shm := shmem.New(rk)
+			env, err := core.NewEnv(mpi.World(rk), shm)
+			if err != nil {
+				return err
+			}
+			defer env.Close()
+			src := shmem.MustAlloc[int64](shm, length)
+			dst := shmem.MustAlloc[int64](shm, length)
+			s := src.Local(shm)
+			for i := range s {
+				s[i] = int64(rk.ID*1000 + i)
+			}
+			prev := (rk.ID - 1 + n) % n
+			next := (rk.ID + 1) % n
+			if err := env.P2P(
+				core.Sender(prev), core.Receiver(next),
+				core.SBuf(core.At(src, off)), core.RBuf(core.At(dst, off)),
+				core.Count(count),
+				core.WithTarget(target),
+			); err != nil {
+				return err
+			}
+			d := dst.Local(shm)
+			for i := 0; i < length; i++ {
+				want := int64(0)
+				if i >= off && i < off+count {
+					want = int64(prev*1000 + i)
+				}
+				if d[i] != want {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDirectiveDeterminism: identical directive programs produce identical
+// virtual end times on every rank, run after run.
+func TestDirectiveDeterminism(t *testing.T) {
+	const n = 6
+	exec := func() []model.Time {
+		times := make([]model.Time, n)
+		var mu sync.Mutex
+		if err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+			shm := shmem.New(rk)
+			env, err := core.NewEnv(mpi.World(rk), shm)
+			if err != nil {
+				return err
+			}
+			defer env.Close()
+			a := shmem.MustAlloc[float64](shm, 16)
+			b := shmem.MustAlloc[float64](shm, 16)
+			for iter := 0; iter < 5; iter++ {
+				target := core.TargetMPI2Side
+				if iter%2 == 1 {
+					target = core.TargetSHMEM
+				}
+				if err := env.P2P(
+					core.Sender((rk.ID-1+n)%n), core.Receiver((rk.ID+1)%n),
+					core.SBuf(a), core.RBuf(b),
+					core.WithTarget(target),
+				); err != nil {
+					return err
+				}
+				shm.BarrierAll()
+			}
+			mu.Lock()
+			times[rk.ID] = rk.Now()
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	t1 := exec()
+	t2 := exec()
+	for r := range t1 {
+		if t1[r] != t2[r] {
+			t.Errorf("rank %d end time differs: %v vs %v", r, t1[r], t2[r])
+		}
+		if t1[r] == 0 {
+			t.Errorf("rank %d did not advance", r)
+		}
+	}
+}
+
+// TestMPI1SideWindowCache: repeated one-sided directives over the same
+// buffer must create the window once and fence once per region.
+func TestMPI1SideWindowCache(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		buf := make([]float64, 8)
+		src := make([]float64, 8)
+		if rk.ID == 0 {
+			for i := range src {
+				src[i] = float64(i + 1)
+			}
+		}
+		for iter := 0; iter < 3; iter++ {
+			if err := e.P2P(
+				core.Sender(0), core.Receiver(1),
+				core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+				core.SBuf(src), core.RBuf(buf),
+				core.WithTarget(core.TargetMPI1Side),
+			); err != nil {
+				return err
+			}
+		}
+		if rk.ID == 1 {
+			for i := range buf {
+				if buf[i] != float64(i+1) {
+					t.Errorf("buf[%d] = %v", i, buf[i])
+					break
+				}
+			}
+		}
+		wins, fences := 0, 0
+		for _, d := range e.Decisions() {
+			if d.Kind == "window" {
+				wins++
+			}
+			if d.Kind == "sync" && strings.Contains(d.Detail, "Win_fence") {
+				fences++
+			}
+		}
+		if wins != 1 {
+			t.Errorf("window created %d times, want 1 (cached)", wins)
+		}
+		if fences != 3 {
+			t.Errorf("%d fences, want 3 (one per region)", fences)
+		}
+		return nil
+	})
+}
+
+// TestShmemFlagsAccumulateAcrossRegions: many successive SHMEM regions
+// between the same pair must all synchronise correctly (cumulative flag
+// counters never reset).
+func TestShmemFlagsAccumulateAcrossRegions(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		shm := e.Shmem()
+		buf := shmem.MustAlloc[int64](shm, 1)
+		src := shmem.MustAlloc[int64](shm, 1)
+		for iter := 0; iter < 20; iter++ {
+			if rk.ID == 0 {
+				src.Local(shm)[0] = int64(iter * 7)
+			}
+			if err := e.P2P(
+				core.Sender(0), core.Receiver(1),
+				core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+				core.SBuf(src), core.RBuf(buf),
+				core.WithTarget(core.TargetSHMEM),
+			); err != nil {
+				return err
+			}
+			if rk.ID == 1 {
+				if got := buf.Local(shm)[0]; got != int64(iter*7) {
+					t.Errorf("iter %d: got %d", iter, got)
+				}
+			}
+			// Consumption discipline before the next region overwrites.
+			shm.BarrierAll()
+		}
+		return nil
+	})
+}
+
+// TestStandaloneVsRegionEquivalence: a standalone comm_p2p behaves exactly
+// like a single-instance region with END_PARAM_REGION.
+func TestStandaloneVsRegionEquivalence(t *testing.T) {
+	const n = 2
+	exec := func(standalone bool) model.Time {
+		var out model.Time
+		var mu sync.Mutex
+		if err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+			shm := shmem.New(rk)
+			env, err := core.NewEnv(mpi.World(rk), shm)
+			if err != nil {
+				return err
+			}
+			defer env.Close()
+			buf := make([]float64, 32)
+			opts := []core.Option{
+				core.Sender(0), core.Receiver(1),
+				core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+				core.SBuf(buf), core.RBuf(buf),
+			}
+			if standalone {
+				if err := env.P2P(opts...); err != nil {
+					return err
+				}
+			} else {
+				if err := env.Parameters(func(r *core.Region) error {
+					return r.P2P(opts...)
+				}, core.PlaceSync(core.EndParamRegion)); err != nil {
+					return err
+				}
+			}
+			if rk.ID == 0 {
+				mu.Lock()
+				out = rk.Now()
+				mu.Unlock()
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if a, b := exec(true), exec(false); a != b {
+		t.Errorf("standalone %v != region %v", a, b)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+)
+
+// directiveTag is the tag all directive-generated two-sided traffic uses.
+// Correct pairing relies on per-pair FIFO delivery and FIFO matching, which
+// both the fabric and the MPI matching queues guarantee, plus the SPMD
+// discipline that all ranks execute directives in the same program order —
+// the same structured-communication assumption the paper's compiler makes.
+const directiveTag = 11
+
+// Region is an open comm_parameters region. Its clause assertions apply to
+// every comm_p2p executed within it, and its ledger consolidates their
+// completion synchronisation.
+type Region struct {
+	env      *Env
+	id       int
+	defaults *Clauses
+	led      *ledger
+}
+
+// ID reports the region's sequence number within its environment.
+func (r *Region) ID() int { return r.id }
+
+// Parameters opens a comm_parameters region: the clause assertions in opts
+// apply to every comm_p2p executed by body. At region exit the consolidated
+// completion synchronisation is placed according to the place_sync clause
+// (END_PARAM_REGION if absent).
+func (e *Env) Parameters(body func(*Region) error, opts ...Option) error {
+	if e.closed {
+		return ErrClosed
+	}
+	cl := build(opts)
+	e.regionSeq++
+	r := &Region{env: e, id: e.regionSeq, defaults: cl, led: newLedger()}
+
+	// Synchronisation carried in from a previous region.
+	if e.pending != nil {
+		p := e.pending
+		e.pending = nil
+		switch e.pendingMode {
+		case BeginNextParamRegion:
+			if err := e.flush(p, r.id); err != nil {
+				return err
+			}
+			e.note(r.id, "sync", "carried synchronisation completed at region begin (BEGIN_NEXT_PARAM_REGION)")
+		case EndAdjParamRegions:
+			r.led.absorb(p)
+			e.note(r.id, "sync", "pending synchronisation absorbed from adjacent region (END_ADJ_PARAM_REGIONS)")
+		default:
+			if err := e.flush(p, r.id); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := body(r); err != nil {
+		// Complete whatever was posted so the fabric is not left with
+		// dangling requests, then surface the body's error.
+		_ = e.flush(r.led, r.id)
+		return err
+	}
+
+	placement := EndParamRegion
+	if cl.placeSyncSet {
+		placement = cl.placeSync
+	}
+	switch placement {
+	case EndParamRegion:
+		if err := e.flush(r.led, r.id); err != nil {
+			return err
+		}
+	case BeginNextParamRegion, EndAdjParamRegions:
+		if !r.led.empty() {
+			e.pending = r.led
+			e.pendingMode = placement
+			e.note(r.id, "sync", fmt.Sprintf("synchronisation deferred (%s)", placement))
+		}
+	}
+	return nil
+}
+
+// P2P executes one comm_p2p directive inside the region.
+func (r *Region) P2P(opts ...Option) error {
+	return r.P2POverlap(nil, opts...)
+}
+
+// P2POverlap executes one comm_p2p directive whose body is the region of
+// computation overlapped with the communication: the body runs after the
+// transfers are posted and before any completion synchronisation.
+func (r *Region) P2POverlap(body func() error, opts ...Option) error {
+	if r.env.closed {
+		return ErrClosed
+	}
+	own := build(opts)
+	if err := validateP2POnly(own); err != nil {
+		return err
+	}
+	cl := merge(r.defaults, own)
+	if err := validateP2P(cl); err != nil {
+		return err
+	}
+	r.led.p2pCount++
+	if r.defaults.maxCommIterSet && r.led.p2pCount > r.defaults.maxCommIter {
+		return fmt.Errorf("%w: %d > %d", ErrMaxCommIter, r.led.p2pCount, r.defaults.maxCommIter)
+	}
+	if err := r.env.emit(r, cl); err != nil {
+		return err
+	}
+	if body != nil {
+		return body()
+	}
+	return nil
+}
+
+// P2P executes a standalone comm_p2p directive (no enclosing
+// comm_parameters): its completion synchronisation is placed immediately
+// after the optional overlap body.
+func (e *Env) P2P(opts ...Option) error {
+	return e.P2POverlap(nil, opts...)
+}
+
+// P2POverlap is the standalone form of Region.P2POverlap.
+func (e *Env) P2POverlap(body func() error, opts ...Option) error {
+	return e.Parameters(func(r *Region) error {
+		return r.P2POverlap(body, opts...)
+	})
+}

@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/spmd"
+)
+
+type cell struct {
+	ID  int32
+	Val float64
+	Vec [2]float64
+}
+
+// TestStructSliceBuffers moves a slice of composites through a directive:
+// the derived datatype applies per element and count selects how many move.
+func TestStructSliceBuffers(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		src := make([]cell, 5)
+		dst := make([]cell, 5)
+		if rk.ID == 0 {
+			for i := range src {
+				src[i] = cell{ID: int32(i), Val: float64(i) * 1.5, Vec: [2]float64{float64(i), -float64(i)}}
+			}
+		}
+		if err := e.P2P(
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			core.SBuf(src), core.RBuf(dst),
+			core.Count(3),
+		); err != nil {
+			return err
+		}
+		if rk.ID == 1 {
+			for i := 0; i < 3; i++ {
+				want := cell{ID: int32(i), Val: float64(i) * 1.5, Vec: [2]float64{float64(i), -float64(i)}}
+				if dst[i] != want {
+					t.Errorf("dst[%d] = %+v, want %+v", i, dst[i], want)
+				}
+			}
+			for i := 3; i < 5; i++ {
+				if dst[i] != (cell{}) {
+					t.Errorf("dst[%d] written beyond count: %+v", i, dst[i])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestStructSliceCountInference: with count omitted, the smallest array
+// buffer (the struct slice) sets the element count.
+func TestStructSliceCountInference(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		src := make([]cell, 4)
+		dst := make([]cell, 4)
+		if rk.ID == 0 {
+			for i := range src {
+				src[i].ID = int32(100 + i)
+			}
+		}
+		if err := e.P2P(
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			core.SBuf(src), core.RBuf(dst),
+		); err != nil {
+			return err
+		}
+		if rk.ID == 1 {
+			for i := range dst {
+				if dst[i].ID != int32(100+i) {
+					t.Errorf("dst[%d].ID = %d", i, dst[i].ID)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestMixedScalarAndSliceBuffers pairs a scalar composite with a composite
+// slice in one directive (distinct counts per pair shape: the scalar
+// moves 1 element regardless of the directive count).
+func TestMixedScalarAndSliceBuffers(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		hdr := &cell{}
+		body := make([]cell, 3)
+		hdrDst := &cell{}
+		bodyDst := make([]cell, 3)
+		if rk.ID == 0 {
+			hdr.ID = 99
+			for i := range body {
+				body[i].ID = int32(i + 1)
+			}
+		}
+		if err := e.P2P(
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			core.SBuf(hdr, body), core.RBuf(hdrDst, bodyDst),
+			core.Count(3),
+		); err != nil {
+			return err
+		}
+		if rk.ID == 1 {
+			if hdrDst.ID != 99 {
+				t.Errorf("header = %+v", hdrDst)
+			}
+			for i := range bodyDst {
+				if bodyDst[i].ID != int32(i+1) {
+					t.Errorf("body[%d] = %+v", i, bodyDst[i])
+				}
+			}
+		}
+		return nil
+	})
+}

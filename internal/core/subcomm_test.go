@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+// TestDirectivesOverSubCommunicator builds the environment over a split
+// communicator: clause ids are then group ranks, and the SHMEM lowering
+// must translate them to world PEs. Two groups run the same ring
+// concurrently without interference.
+func TestDirectivesOverSubCommunicator(t *testing.T) {
+	const n = 8 // two groups of 4
+	for _, target := range []core.Target{core.TargetMPI2Side, core.TargetSHMEM} {
+		target := target
+		t.Run(target.String(), func(t *testing.T) {
+			if err := spmd.Run(n, model.Uniform(10), func(rk *spmd.Rank) error {
+				world := mpi.World(rk)
+				shm := shmem.New(rk)
+				group, err := world.Split(rk.ID/4, rk.ID)
+				if err != nil {
+					return err
+				}
+				// Every rank participates in the (world-collective)
+				// symmetric allocations inside NewEnv and below.
+				env, err := core.NewEnv(group, shm)
+				if err != nil {
+					return err
+				}
+				defer env.Close()
+				src := shmem.MustAlloc[int64](shm, 2)
+				dst := shmem.MustAlloc[int64](shm, 2)
+				src.Local(shm)[0] = int64(rk.ID * 100)
+
+				gr := group.Rank()
+				gs := group.Size()
+				if err := env.P2P(
+					core.Sender((gr-1+gs)%gs), core.Receiver((gr+1)%gs),
+					core.SBuf(src), core.RBuf(dst),
+					core.WithTarget(target),
+				); err != nil {
+					return err
+				}
+				prevWorld := group.WorldRank((gr - 1 + gs) % gs)
+				if got := dst.Local(shm)[0]; got != int64(prevWorld*100) {
+					t.Errorf("world rank %d got %d, want %d (from world rank %d)",
+						rk.ID, got, prevWorld*100, prevWorld)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSubCommCollDirective runs the collective directive over a split
+// communicator.
+func TestSubCommCollDirective(t *testing.T) {
+	const n = 6 // two groups of 3
+	if err := spmd.Run(n, model.Uniform(10), func(rk *spmd.Rank) error {
+		world := mpi.World(rk)
+		shm := shmem.New(rk)
+		group, err := world.Split(rk.ID/3, rk.ID)
+		if err != nil {
+			return err
+		}
+		env, err := core.NewEnv(group, shm)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		buf := shmem.MustAlloc[float64](shm, 2)
+		if group.Rank() == 0 {
+			buf.Local(shm)[0] = float64(rk.ID + 1) // distinct per group root
+			buf.Local(shm)[1] = 42
+		}
+		if err := env.Coll(
+			core.Pattern(core.OneToMany), core.Root(0),
+			core.With(core.SBuf(buf), core.RBuf(buf)),
+		); err != nil {
+			return err
+		}
+		rootWorld := group.WorldRank(0)
+		if got := buf.Local(shm)[0]; got != float64(rootWorld+1) {
+			t.Errorf("world rank %d: bcast value %v, want %v", rk.ID, got, float64(rootWorld+1))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// profileJSON is the serialisable mirror of Profile: times in nanoseconds,
+// bandwidths in bytes/ns, and an optional torus topology block (function
+// values and interfaces do not serialise).
+type profileJSON struct {
+	Name string `json:"name"`
+
+	MPISendOverheadNS int64   `json:"mpi_send_overhead_ns"`
+	MPIRecvOverheadNS int64   `json:"mpi_recv_overhead_ns"`
+	MPIMatchCostNS    int64   `json:"mpi_match_cost_ns"`
+	MPIUnexpectedNS   int64   `json:"mpi_unexpected_ns"`
+	MPILatencyNS      int64   `json:"mpi_latency_ns"`
+	MPIBandwidth      float64 `json:"mpi_bandwidth_bytes_per_ns"`
+	MPIRecvPerByte    float64 `json:"mpi_recv_ns_per_byte"`
+	MPIEagerThreshold int     `json:"mpi_eager_threshold_bytes"`
+
+	MPIWaitEachNS       int64   `json:"mpi_wait_each_ns"`
+	MPIWaitallBaseNS    int64   `json:"mpi_waitall_base_ns"`
+	MPIWaitallPerReqNS  int64   `json:"mpi_waitall_per_req_ns"`
+	MPITestEachNS       int64   `json:"mpi_test_each_ns"`
+	MPIBarrierBaseNS    int64   `json:"mpi_barrier_base_ns"`
+	MPIBarrierPerHopNS  int64   `json:"mpi_barrier_per_hop_ns"`
+	MPIReduceComputeNS  int64   `json:"mpi_reduce_compute_ns"`
+	MPIPackPerByte      float64 `json:"mpi_pack_ns_per_byte"`
+	MPIPackPerCallNS    int64   `json:"mpi_pack_per_call_ns"`
+	MPITypeCommitNS     int64   `json:"mpi_type_commit_ns"`
+	MPITypeCacheHitNS   int64   `json:"mpi_type_cache_hit_ns"`
+	MPIPutOverheadNS    int64   `json:"mpi_put_overhead_ns"`
+	MPIWinFenceNS       int64   `json:"mpi_win_fence_ns"`
+	MPIRequestPerItemNS int64   `json:"mpi_request_per_item_ns"`
+
+	ShmemPutOverheadNS int64   `json:"shmem_put_overhead_ns"`
+	ShmemGetOverheadNS int64   `json:"shmem_get_overhead_ns"`
+	ShmemLatencyNS     int64   `json:"shmem_latency_ns"`
+	ShmemBandwidth     float64 `json:"shmem_bandwidth_bytes_per_ns"`
+	ShmemQuietNS       int64   `json:"shmem_quiet_ns"`
+	ShmemFenceNS       int64   `json:"shmem_fence_ns"`
+	ShmemBarrierBaseNS int64   `json:"shmem_barrier_base_ns"`
+	ShmemBarrierHopNS  int64   `json:"shmem_barrier_hop_ns"`
+	ShmemWaitPollNS    int64   `json:"shmem_wait_poll_ns"`
+
+	MemcpyPerByte float64 `json:"memcpy_ns_per_byte"`
+
+	Torus *torusJSON `json:"torus,omitempty"`
+}
+
+type torusJSON struct {
+	X                  int   `json:"x"`
+	Y                  int   `json:"y"`
+	Z                  int   `json:"z"`
+	RanksPerNode       int   `json:"ranks_per_node"`
+	MPIPerHopLatency   int64 `json:"mpi_per_hop_latency_ns"`
+	ShmemPerHopLatency int64 `json:"shmem_per_hop_latency_ns"`
+}
+
+// MarshalJSON serialises the profile.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	j := profileJSON{
+		Name:                p.Name,
+		MPISendOverheadNS:   int64(p.MPISendOverhead),
+		MPIRecvOverheadNS:   int64(p.MPIRecvOverhead),
+		MPIMatchCostNS:      int64(p.MPIMatchCost),
+		MPIUnexpectedNS:     int64(p.MPIUnexpected),
+		MPILatencyNS:        int64(p.MPILatency),
+		MPIBandwidth:        p.MPIBandwidth,
+		MPIRecvPerByte:      p.MPIRecvPerByte,
+		MPIEagerThreshold:   p.MPIEagerThreshold,
+		MPIWaitEachNS:       int64(p.MPIWaitEach),
+		MPIWaitallBaseNS:    int64(p.MPIWaitallBase),
+		MPIWaitallPerReqNS:  int64(p.MPIWaitallPerReq),
+		MPITestEachNS:       int64(p.MPITestEach),
+		MPIBarrierBaseNS:    int64(p.MPIBarrierBase),
+		MPIBarrierPerHopNS:  int64(p.MPIBarrierPerHop),
+		MPIReduceComputeNS:  int64(p.MPIReduceCompute),
+		MPIPackPerByte:      p.MPIPackPerByte,
+		MPIPackPerCallNS:    int64(p.MPIPackPerCall),
+		MPITypeCommitNS:     int64(p.MPITypeCommit),
+		MPITypeCacheHitNS:   int64(p.MPITypeCacheHit),
+		MPIPutOverheadNS:    int64(p.MPIPutOverhead),
+		MPIWinFenceNS:       int64(p.MPIWinFence),
+		MPIRequestPerItemNS: int64(p.MPIRequestPerItem),
+		ShmemPutOverheadNS:  int64(p.ShmemPutOverhead),
+		ShmemGetOverheadNS:  int64(p.ShmemGetOverhead),
+		ShmemLatencyNS:      int64(p.ShmemLatency),
+		ShmemBandwidth:      p.ShmemBandwidth,
+		ShmemQuietNS:        int64(p.ShmemQuiet),
+		ShmemFenceNS:        int64(p.ShmemFence),
+		ShmemBarrierBaseNS:  int64(p.ShmemBarrierBase),
+		ShmemBarrierHopNS:   int64(p.ShmemBarrierHop),
+		ShmemWaitPollNS:     int64(p.ShmemWaitPoll),
+		MemcpyPerByte:       p.MemcpyPerByte,
+	}
+	if t, ok := p.Topo.(Torus3D); ok {
+		j.Torus = &torusJSON{
+			X: t.X, Y: t.Y, Z: t.Z,
+			RanksPerNode:       t.RanksPerNode,
+			MPIPerHopLatency:   int64(p.MPIPerHopLatency),
+			ShmemPerHopLatency: int64(p.ShmemPerHopLatency),
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON deserialises and validates a profile.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var j profileJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*p = Profile{
+		Name:              j.Name,
+		MPISendOverhead:   Time(j.MPISendOverheadNS),
+		MPIRecvOverhead:   Time(j.MPIRecvOverheadNS),
+		MPIMatchCost:      Time(j.MPIMatchCostNS),
+		MPIUnexpected:     Time(j.MPIUnexpectedNS),
+		MPILatency:        Time(j.MPILatencyNS),
+		MPIBandwidth:      j.MPIBandwidth,
+		MPIRecvPerByte:    j.MPIRecvPerByte,
+		MPIEagerThreshold: j.MPIEagerThreshold,
+		MPIWaitEach:       Time(j.MPIWaitEachNS),
+		MPIWaitallBase:    Time(j.MPIWaitallBaseNS),
+		MPIWaitallPerReq:  Time(j.MPIWaitallPerReqNS),
+		MPITestEach:       Time(j.MPITestEachNS),
+		MPIBarrierBase:    Time(j.MPIBarrierBaseNS),
+		MPIBarrierPerHop:  Time(j.MPIBarrierPerHopNS),
+		MPIReduceCompute:  Time(j.MPIReduceComputeNS),
+		MPIPackPerByte:    j.MPIPackPerByte,
+		MPIPackPerCall:    Time(j.MPIPackPerCallNS),
+		MPITypeCommit:     Time(j.MPITypeCommitNS),
+		MPITypeCacheHit:   Time(j.MPITypeCacheHitNS),
+		MPIPutOverhead:    Time(j.MPIPutOverheadNS),
+		MPIWinFence:       Time(j.MPIWinFenceNS),
+		MPIRequestPerItem: Time(j.MPIRequestPerItemNS),
+		ShmemPutOverhead:  Time(j.ShmemPutOverheadNS),
+		ShmemGetOverhead:  Time(j.ShmemGetOverheadNS),
+		ShmemLatency:      Time(j.ShmemLatencyNS),
+		ShmemBandwidth:    j.ShmemBandwidth,
+		ShmemQuiet:        Time(j.ShmemQuietNS),
+		ShmemFence:        Time(j.ShmemFenceNS),
+		ShmemBarrierBase:  Time(j.ShmemBarrierBaseNS),
+		ShmemBarrierHop:   Time(j.ShmemBarrierHopNS),
+		ShmemWaitPoll:     Time(j.ShmemWaitPollNS),
+		MemcpyPerByte:     j.MemcpyPerByte,
+	}
+	if j.Torus != nil {
+		p.Topo = Torus3D{X: j.Torus.X, Y: j.Torus.Y, Z: j.Torus.Z, RanksPerNode: j.Torus.RanksPerNode}
+		p.MPIPerHopLatency = Time(j.Torus.MPIPerHopLatency)
+		p.ShmemPerHopLatency = Time(j.Torus.ShmemPerHopLatency)
+	}
+	return p.Validate()
+}
+
+// ReadProfile decodes and validates a profile from JSON.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("model: reading profile: %w", err)
+	}
+	return &p, nil
+}
+
+// WriteProfile encodes a profile as indented JSON.
+func WriteProfile(w io.Writer, p *Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

@@ -1,0 +1,70 @@
+package model
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	for _, p := range []*Profile{GeminiLike(), EthernetLike(),
+		GeminiLike().WithTorus(4, 4, 2, 16, 300*Nanosecond, 200*Nanosecond)} {
+		var buf bytes.Buffer
+		if err := WriteProfile(&buf, p); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		q, err := ReadProfile(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if q.Name != p.Name || q.MPIWaitEach != p.MPIWaitEach || q.ShmemPutOverhead != p.ShmemPutOverhead ||
+			q.MPIBandwidth != p.MPIBandwidth || q.MPIEagerThreshold != p.MPIEagerThreshold {
+			t.Errorf("%s: round trip mismatch: %+v vs %+v", p.Name, q, p)
+		}
+		if p.Topo != nil {
+			to, ok := q.Topo.(Torus3D)
+			if !ok || to != p.Topo.(Torus3D) || q.MPIPerHopLatency != p.MPIPerHopLatency {
+				t.Errorf("%s: topology lost: %+v", p.Name, q.Topo)
+			}
+		}
+	}
+}
+
+func TestReadProfileRejectsInvalid(t *testing.T) {
+	if _, err := ReadProfile(strings.NewReader(`{"name":"bad","mpi_bandwidth_bytes_per_ns":0,"shmem_bandwidth_bytes_per_ns":1}`)); err == nil {
+		t.Error("zero-bandwidth profile accepted")
+	}
+	if _, err := ReadProfile(strings.NewReader(`{"nonsense_field":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadProfile(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// TestCommittedProfileFiles loads the profile files shipped in profiles/.
+func TestCommittedProfileFiles(t *testing.T) {
+	for file, want := range map[string]string{
+		"../../profiles/gemini-like.json":   "gemini-like",
+		"../../profiles/ethernet-like.json": "ethernet-like",
+		"../../profiles/gemini-torus.json":  "gemini-like+torus-8x8x8",
+	} {
+		f, err := os.Open(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		p, err := ReadProfile(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", file, err)
+			continue
+		}
+		if p.Name != want {
+			t.Errorf("%s: name %q, want %q", file, p.Name, want)
+		}
+		if want == "gemini-like+torus-8x8x8" && p.Topo == nil {
+			t.Errorf("%s: topology lost", file)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v", c.Now())
+	}
+	c.Advance(5 * Microsecond)
+	if c.Now() != 5*Microsecond {
+		t.Fatalf("clock at %v", c.Now())
+	}
+	c.AdvanceTo(3 * Microsecond) // backward AdvanceTo is a no-op
+	if c.Now() != 5*Microsecond {
+		t.Fatalf("AdvanceTo moved the clock backward to %v", c.Now())
+	}
+	c.AdvanceTo(9 * Microsecond)
+	if c.Now() != 9*Microsecond {
+		t.Fatalf("clock at %v", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+// Property: AdvanceTo never decreases the clock and Advance is additive.
+func TestClockProperties(t *testing.T) {
+	f := func(steps []uint16) bool {
+		var c Clock
+		var sum Time
+		for _, s := range steps {
+			d := Time(s)
+			before := c.Now()
+			c.Advance(d)
+			sum += d
+			if c.Now() != before+d {
+				return false
+			}
+			c.AdvanceTo(c.Now() - 1) // never backward
+			if c.Now() != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 || Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Fatal("Max/Min broken")
+	}
+}
+
+func TestProfilesValidate(t *testing.T) {
+	if err := GeminiLike().Validate(); err != nil {
+		t.Errorf("GeminiLike invalid: %v", err)
+	}
+	if err := Uniform(10).Validate(); err != nil {
+		t.Errorf("Uniform invalid: %v", err)
+	}
+	var nilP *Profile
+	if err := nilP.Validate(); err == nil {
+		t.Error("nil profile validated")
+	}
+	bad := GeminiLike()
+	bad.MPIBandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero bandwidth validated")
+	}
+	bad2 := GeminiLike()
+	bad2.MPILatency = -1
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative latency validated")
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	p := GeminiLike()
+	if p.WireTime(0) != p.MPILatency {
+		t.Errorf("WireTime(0) = %v", p.WireTime(0))
+	}
+	if got := p.WireTime(5000) - p.MPILatency; got != Time(1000) {
+		t.Errorf("payload time for 5000B at 5B/ns = %v", got)
+	}
+	if p.InjectTime(5000) != Time(1000) {
+		t.Errorf("InjectTime = %v", p.InjectTime(5000))
+	}
+	if p.WaitallTime(10) != p.MPIWaitallBase+10*p.MPIWaitallPerReq {
+		t.Errorf("WaitallTime = %v", p.WaitallTime(10))
+	}
+	if p.PackTime(100) != p.MPIPackPerCall+Time(float64(100)*p.MPIPackPerByte) {
+		t.Errorf("PackTime = %v", p.PackTime(100))
+	}
+}
+
+func TestBarrierTimeGrowsLogarithmically(t *testing.T) {
+	p := GeminiLike()
+	b2 := p.BarrierTime(2)
+	b16 := p.BarrierTime(16)
+	b256 := p.BarrierTime(256)
+	if !(b2 < b16 && b16 < b256) {
+		t.Errorf("barrier times not increasing: %v %v %v", b2, b16, b256)
+	}
+	// log2(256)=8, log2(16)=4: increments should match hop cost exactly.
+	if b256-b16 != 4*p.MPIBarrierPerHop {
+		t.Errorf("barrier growth %v, want %v", b256-b16, 4*p.MPIBarrierPerHop)
+	}
+	if p.BarrierTime(1) != p.MPIBarrierBase {
+		t.Errorf("single-rank barrier = %v", p.BarrierTime(1))
+	}
+}
+
+func TestSmallMessageGapMatchesPaper(t *testing.T) {
+	// The calibrated profile must keep the one-sided path much cheaper than
+	// the two-sided path for 8-256 byte messages (the paper's refs [13],
+	// [14]) while large transfers converge to comparable bandwidth.
+	p := GeminiLike()
+	small := 64
+	mpiSmall := p.MPISendOverhead + p.InjectTime(small) + p.WireTime(small) + p.MPIMatchCost + p.MPIWaitEach
+	shmemSmall := p.ShmemPutOverhead + p.ShmemInjectTime(small) + p.ShmemWireTime(small) + p.ShmemQuiet
+	if ratio := float64(mpiSmall) / float64(shmemSmall); ratio < 3 {
+		t.Errorf("small-message two-sided/one-sided ratio %.1f, want >= 3", ratio)
+	}
+	big := 1 << 20
+	mpiBig := float64(p.InjectTime(big))
+	shmemBig := float64(p.ShmemInjectTime(big))
+	if r := mpiBig / shmemBig; r < 0.5 || r > 2 {
+		t.Errorf("large-transfer bandwidth ratio %.2f, want comparable", r)
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if (1500 * Nanosecond).String() != "1.5µs" {
+		t.Errorf("String = %q", (1500 * Nanosecond).String())
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Errorf("Seconds = %v", (2 * Second).Seconds())
+	}
+	if (3 * Microsecond).Micros() != 3.0 {
+		t.Errorf("Micros = %v", (3 * Microsecond).Micros())
+	}
+}

@@ -1,0 +1,307 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile is the cost model for one simulated machine. All message-passing
+// operations advance the virtual clock of the ranks involved according to
+// these parameters, in the spirit of the LogGP family of models:
+//
+//   - o* parameters are CPU overheads charged to the calling rank,
+//   - *Latency is the wire latency added to a message's arrival time,
+//   - *BandwidthBPNS are bandwidths in bytes per (virtual) nanosecond,
+//   - synchronisation costs model the library-call cost of the various
+//     completion operations; the gap between WaitEach and Waitall* is what
+//     produces the paper's Figure 4 effect, and the gap between the MPI
+//     two-sided send path and the SHMEM put path models the small-message
+//     latency difference the paper attributes to refs [13] and [14].
+//
+// Two transports exist: the two-sided (MPI-like) path and the one-sided
+// (SHMEM-like / MPI_Put) path. Both move real bytes; only the clock costs
+// differ.
+type Profile struct {
+	Name string
+
+	// Two-sided (MPI) path.
+	MPISendOverhead Time    // per MPI_Send/MPI_Isend call
+	MPIRecvOverhead Time    // per MPI_Recv/MPI_Irecv posting
+	MPIMatchCost    Time    // matching a message to a posted receive
+	MPIUnexpected   Time    // extra copy when the message beat the receive
+	MPILatency      Time    // wire latency
+	MPIBandwidth    float64 // bytes per nanosecond
+	MPIRecvPerByte  float64 // ns per byte copied out on the receive side
+
+	// MPIEagerThreshold is the message size (bytes) up to which the
+	// two-sided path uses the eager protocol (the send buffer is free on
+	// return); larger messages use rendezvous and complete only when the
+	// matching receive is posted, as in real MPI implementations.
+	MPIEagerThreshold int
+
+	// Completion operations (two-sided).
+	MPIWaitEach       Time // one MPI_Wait call (per-request loop style)
+	MPIWaitallBase    Time // one MPI_Waitall call
+	MPIWaitallPerReq  Time // added per request inside MPI_Waitall
+	MPITestEach       Time // one MPI_Test call
+	MPIBarrierBase    Time // MPI_Barrier base cost
+	MPIBarrierPerHop  Time // multiplied by ceil(log2(nranks))
+	MPIReduceCompute  Time // per-element reduction op cost
+	MPIPackPerByte    float64
+	MPIPackPerCall    Time // per MPI_Pack/MPI_Unpack invocation
+	MPITypeCommit     Time // building+committing a derived datatype
+	MPITypeCacheHit   Time // reusing a committed datatype from the scope cache
+	MPIPutOverhead    Time // MPI_Put (one-sided) injection overhead
+	MPIWinFence       Time // window fence / flush
+	MPIRequestPerItem Time // request-array bookkeeping per request (alloc/track)
+
+	// One-sided (SHMEM) path.
+	ShmemPutOverhead Time    // per shmem_put injection
+	ShmemGetOverhead Time    // per shmem_get
+	ShmemLatency     Time    // wire latency
+	ShmemBandwidth   float64 // bytes per nanosecond
+	ShmemQuiet       Time    // shmem_quiet
+	ShmemFence       Time    // shmem_fence
+	ShmemBarrierBase Time    // shmem_barrier_all base
+	ShmemBarrierHop  Time    // multiplied by ceil(log2(nranks))
+	ShmemWaitPoll    Time    // shmem_wait_until polling overhead
+
+	// Local memory. Used for pack/unpack-style staging copies performed by
+	// the application itself.
+	MemcpyPerByte float64
+
+	// Topology refines wire latency by network distance: latency between
+	// ranks a and b is *Latency + Hops(a,b) * *PerHopLatency. A nil Topo
+	// is the flat single-switch default.
+	Topo               Topology
+	MPIPerHopLatency   Time
+	ShmemPerHopLatency Time
+}
+
+// Validate reports an error if the profile has nonsensical parameters.
+func (p *Profile) Validate() error {
+	if p == nil {
+		return fmt.Errorf("model: nil profile")
+	}
+	if p.MPIBandwidth <= 0 || p.ShmemBandwidth <= 0 {
+		return fmt.Errorf("model: profile %q has non-positive bandwidth", p.Name)
+	}
+	for _, v := range []Time{
+		p.MPISendOverhead, p.MPIRecvOverhead, p.MPIMatchCost, p.MPIUnexpected,
+		p.MPILatency, p.MPIWaitEach, p.MPIWaitallBase, p.MPIWaitallPerReq,
+		p.MPIBarrierBase, p.MPIBarrierPerHop, p.MPIPutOverhead, p.MPIWinFence,
+		p.ShmemPutOverhead, p.ShmemGetOverhead, p.ShmemLatency, p.ShmemQuiet,
+		p.ShmemFence, p.ShmemBarrierBase, p.ShmemBarrierHop,
+	} {
+		if v < 0 {
+			return fmt.Errorf("model: profile %q has a negative cost parameter", p.Name)
+		}
+	}
+	return nil
+}
+
+// WireTime reports the on-the-wire transfer time for n bytes on the
+// two-sided path.
+func (p *Profile) WireTime(n int) Time {
+	return p.MPILatency + Time(float64(n)/p.MPIBandwidth)
+}
+
+// InjectTime reports the sender-side serialisation time for n bytes on the
+// two-sided path (the LogGP per-byte gap G): consecutive sends from one
+// rank cannot pipeline past the injection bandwidth.
+func (p *Profile) InjectTime(n int) Time {
+	return Time(float64(n) / p.MPIBandwidth)
+}
+
+// ShmemWireTime reports the on-the-wire transfer time for n bytes on the
+// one-sided path.
+func (p *Profile) ShmemWireTime(n int) Time {
+	return p.ShmemLatency + Time(float64(n)/p.ShmemBandwidth)
+}
+
+// ShmemInjectTime is the one-sided sender-side serialisation time.
+func (p *Profile) ShmemInjectTime(n int) Time {
+	return Time(float64(n) / p.ShmemBandwidth)
+}
+
+// RecvCopyTime reports the receive-side copy-out time for n bytes.
+func (p *Profile) RecvCopyTime(n int) Time {
+	return Time(float64(n) * p.MPIRecvPerByte)
+}
+
+// PackTime reports the cost of one MPI_Pack/MPI_Unpack call moving n bytes.
+func (p *Profile) PackTime(n int) Time {
+	return p.MPIPackPerCall + Time(float64(n)*p.MPIPackPerByte)
+}
+
+// MemcpyTime reports the cost of a plain n-byte local copy.
+func (p *Profile) MemcpyTime(n int) Time {
+	return Time(float64(n) * p.MemcpyPerByte)
+}
+
+// BarrierTime reports the cost of an MPI barrier across n ranks.
+func (p *Profile) BarrierTime(n int) Time {
+	return p.MPIBarrierBase + Time(hops(n))*p.MPIBarrierPerHop
+}
+
+// ShmemBarrierTime reports the cost of shmem_barrier_all across n ranks.
+func (p *Profile) ShmemBarrierTime(n int) Time {
+	return p.ShmemBarrierBase + Time(hops(n))*p.ShmemBarrierHop
+}
+
+// WaitallTime reports the cost of one MPI_Waitall over n requests.
+func (p *Profile) WaitallTime(n int) Time {
+	return p.MPIWaitallBase + Time(n)*p.MPIWaitallPerReq
+}
+
+func hops(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// GeminiLike is the default profile. Its parameters are calibrated so the
+// WL-LSMS experiments reproduce the *shape* of the paper's Cray XK7 /
+// Gemini results: a two-sided small-message path costing a few microseconds
+// per message, a one-sided path more than an order of magnitude cheaper for
+// 8-256 byte messages, an expensive per-request MPI_Wait loop relative to a
+// consolidated MPI_Waitall, and comparable large-message bandwidth on both
+// transports.
+func GeminiLike() *Profile {
+	return &Profile{
+		Name: "gemini-like",
+
+		MPISendOverhead: 1200 * Nanosecond,
+		MPIRecvOverhead: 400 * Nanosecond,
+		MPIMatchCost:    300 * Nanosecond,
+		MPIUnexpected:   900 * Nanosecond,
+		MPILatency:      1500 * Nanosecond,
+		MPIBandwidth:    5.0, // 5 GB/s
+		MPIRecvPerByte:  0.05,
+
+		MPIEagerThreshold: 4096,
+
+		MPIWaitEach:       4000 * Nanosecond,
+		MPIWaitallBase:    1800 * Nanosecond,
+		MPIWaitallPerReq:  120 * Nanosecond,
+		MPITestEach:       600 * Nanosecond,
+		MPIBarrierBase:    6000 * Nanosecond,
+		MPIBarrierPerHop:  1500 * Nanosecond,
+		MPIReduceCompute:  2 * Nanosecond,
+		MPIPackPerByte:    0.30,
+		MPIPackPerCall:    150 * Nanosecond,
+		MPITypeCommit:     2500 * Nanosecond,
+		MPITypeCacheHit:   60 * Nanosecond,
+		MPIPutOverhead:    900 * Nanosecond,
+		MPIWinFence:       2800 * Nanosecond,
+		MPIRequestPerItem: 100 * Nanosecond,
+
+		ShmemPutOverhead: 40 * Nanosecond,
+		ShmemGetOverhead: 400 * Nanosecond,
+		ShmemLatency:     600 * Nanosecond,
+		ShmemBandwidth:   5.5, // 5.5 GB/s
+		ShmemQuiet:       400 * Nanosecond,
+		ShmemFence:       250 * Nanosecond,
+		ShmemBarrierBase: 1600 * Nanosecond,
+		ShmemBarrierHop:  500 * Nanosecond,
+		ShmemWaitPoll:    200 * Nanosecond,
+
+		MemcpyPerByte: 0.25, // ~4 GB/s staging copies
+	}
+}
+
+// EthernetLike models a commodity cluster: an order of magnitude more
+// latency than the Gemini-like fabric, lower bandwidth, and a one-sided
+// path implemented in software (so its small-message advantage over
+// two-sided MPI largely disappears). Useful for studying how the paper's
+// target-selection trade-offs move with the machine.
+func EthernetLike() *Profile {
+	return &Profile{
+		Name: "ethernet-like",
+
+		MPISendOverhead: 3000 * Nanosecond,
+		MPIRecvOverhead: 1500 * Nanosecond,
+		MPIMatchCost:    800 * Nanosecond,
+		MPIUnexpected:   2500 * Nanosecond,
+		MPILatency:      30000 * Nanosecond, // 30us
+		MPIBandwidth:    1.2,                // ~1.2 GB/s
+		MPIRecvPerByte:  0.10,
+
+		MPIEagerThreshold: 16384,
+
+		MPIWaitEach:       6000 * Nanosecond,
+		MPIWaitallBase:    3500 * Nanosecond,
+		MPIWaitallPerReq:  250 * Nanosecond,
+		MPITestEach:       1200 * Nanosecond,
+		MPIBarrierBase:    25000 * Nanosecond,
+		MPIBarrierPerHop:  12000 * Nanosecond,
+		MPIReduceCompute:  2 * Nanosecond,
+		MPIPackPerByte:    0.30,
+		MPIPackPerCall:    150 * Nanosecond,
+		MPITypeCommit:     2500 * Nanosecond,
+		MPITypeCacheHit:   60 * Nanosecond,
+		MPIPutOverhead:    4000 * Nanosecond,
+		MPIWinFence:       30000 * Nanosecond,
+		MPIRequestPerItem: 150 * Nanosecond,
+
+		// Software-emulated one-sided path: nearly two-sided costs.
+		ShmemPutOverhead: 2500 * Nanosecond,
+		ShmemGetOverhead: 3500 * Nanosecond,
+		ShmemLatency:     30000 * Nanosecond,
+		ShmemBandwidth:   1.2,
+		ShmemQuiet:       4000 * Nanosecond,
+		ShmemFence:       1500 * Nanosecond,
+		ShmemBarrierBase: 22000 * Nanosecond,
+		ShmemBarrierHop:  11000 * Nanosecond,
+		ShmemWaitPoll:    2000 * Nanosecond,
+
+		MemcpyPerByte: 0.25,
+	}
+}
+
+// Uniform returns a profile in which every operation costs exactly unit and
+// every byte is free. It makes virtual-time arithmetic trivially
+// predictable for unit tests.
+func Uniform(unit Time) *Profile {
+	return &Profile{
+		Name: "uniform",
+
+		MPISendOverhead: unit,
+		MPIRecvOverhead: unit,
+		MPIMatchCost:    unit,
+		MPIUnexpected:   unit,
+		MPILatency:      unit,
+		MPIBandwidth:    math.Inf(1),
+		MPIRecvPerByte:  0,
+
+		MPIEagerThreshold: 1 << 30, // effectively always eager
+
+		MPIWaitEach:       unit,
+		MPIWaitallBase:    unit,
+		MPIWaitallPerReq:  0,
+		MPITestEach:       unit,
+		MPIBarrierBase:    unit,
+		MPIBarrierPerHop:  0,
+		MPIReduceCompute:  0,
+		MPIPackPerByte:    0,
+		MPIPackPerCall:    unit,
+		MPITypeCommit:     unit,
+		MPITypeCacheHit:   0,
+		MPIPutOverhead:    unit,
+		MPIWinFence:       unit,
+		MPIRequestPerItem: 0,
+
+		ShmemPutOverhead: unit,
+		ShmemGetOverhead: unit,
+		ShmemLatency:     unit,
+		ShmemBandwidth:   math.Inf(1),
+		ShmemQuiet:       unit,
+		ShmemFence:       unit,
+		ShmemBarrierBase: unit,
+		ShmemBarrierHop:  0,
+		ShmemWaitPoll:    unit,
+
+		MemcpyPerByte: 0,
+	}
+}

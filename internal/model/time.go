@@ -1,0 +1,82 @@
+// Package model defines the virtual-time cost model used by the simulated
+// interconnect. All performance results in this repository are expressed in
+// virtual nanoseconds derived from a configurable machine profile, so runs
+// are deterministic and machine-independent.
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point on (or a span of) the virtual clock, in nanoseconds.
+// Virtual time is completely decoupled from wall-clock time: the simulator
+// advances it according to the Profile's cost parameters.
+type Time int64
+
+// Common spans, mirroring time.Duration's constructors.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a virtual time span to a time.Duration for printing.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the span in seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports the span in microseconds as a float64.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the virtual time as a duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Clock is a monotonically advancing virtual clock owned by a single rank.
+// It is not safe for concurrent use; each rank goroutine owns exactly one.
+type Clock struct {
+	now Time
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative d is a programming error.
+func (c *Clock) Advance(d Time) Time {
+	if d < 0 {
+		panic(fmt.Sprintf("model: negative clock advance %d", d))
+	}
+	c.now += d
+	return c.now
+}
+
+// AdvanceTo moves the clock to at least t; the clock never moves backward.
+func (c *Clock) AdvanceTo(t Time) Time {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Set forces the clock to t, even backward. It is intended for the SPMD
+// runtime when (re)initialising ranks; library code should use Advance or
+// AdvanceTo.
+func (c *Clock) Set(t Time) { c.now = t }

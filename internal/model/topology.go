@@ -1,0 +1,107 @@
+package model
+
+import "fmt"
+
+// Topology maps rank pairs to network distance, refining the flat-crossbar
+// default. The paper's testbed interconnect (Cray Gemini) is a 3-D torus;
+// with a topology installed, wire latency becomes base + hops*perHop.
+type Topology interface {
+	Name() string
+	// Hops reports the network distance between two ranks (0 for self).
+	Hops(a, b int) int
+}
+
+// FlatTopology is the single-switch default: every pair is one hop apart.
+type FlatTopology struct{}
+
+// Name implements Topology.
+func (FlatTopology) Name() string { return "flat" }
+
+// Hops implements Topology.
+func (FlatTopology) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
+// Torus3D is a 3-D torus of X*Y*Z nodes with ranks placed in x-fastest
+// order and distance measured as the sum of per-dimension ring distances —
+// the Gemini-class network shape. Ranks beyond X*Y*Z wrap around (multiple
+// ranks per node have distance 0 to each other).
+type Torus3D struct {
+	X, Y, Z int
+	// RanksPerNode co-locates consecutive ranks on one node (the XK7 ran
+	// 16 ranks per node); 0 means 1.
+	RanksPerNode int
+}
+
+// Name implements Topology.
+func (t Torus3D) Name() string {
+	return fmt.Sprintf("torus-%dx%dx%d", t.X, t.Y, t.Z)
+}
+
+func (t Torus3D) node(rank int) int {
+	per := t.RanksPerNode
+	if per <= 0 {
+		per = 1
+	}
+	return (rank / per) % (t.X * t.Y * t.Z)
+}
+
+func (t Torus3D) coords(node int) (x, y, z int) {
+	x = node % t.X
+	y = (node / t.X) % t.Y
+	z = node / (t.X * t.Y)
+	return
+}
+
+func ringDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// Hops implements Topology.
+func (t Torus3D) Hops(a, b int) int {
+	na, nb := t.node(a), t.node(b)
+	if na == nb {
+		return 0
+	}
+	ax, ay, az := t.coords(na)
+	bx, by, bz := t.coords(nb)
+	return ringDist(ax, bx, t.X) + ringDist(ay, by, t.Y) + ringDist(az, bz, t.Z)
+}
+
+// MPILatencyBetween reports the two-sided wire latency from rank a to b,
+// honouring the installed topology (the flat default when Topo is nil).
+func (p *Profile) MPILatencyBetween(a, b int) Time {
+	if p.Topo == nil {
+		return p.MPILatency
+	}
+	return p.MPILatency + Time(p.Topo.Hops(a, b))*p.MPIPerHopLatency
+}
+
+// ShmemLatencyBetween reports the one-sided wire latency from rank a to b.
+func (p *Profile) ShmemLatencyBetween(a, b int) Time {
+	if p.Topo == nil {
+		return p.ShmemLatency
+	}
+	return p.ShmemLatency + Time(p.Topo.Hops(a, b))*p.ShmemPerHopLatency
+}
+
+// WithTorus returns a copy of the profile placed on an X*Y*Z torus with
+// ranksPerNode ranks per node and the given per-hop latencies.
+func (p *Profile) WithTorus(x, y, z, ranksPerNode int, mpiPerHop, shmemPerHop Time) *Profile {
+	q := *p
+	q.Name = fmt.Sprintf("%s+torus-%dx%dx%d", p.Name, x, y, z)
+	q.Topo = Torus3D{X: x, Y: y, Z: z, RanksPerNode: ranksPerNode}
+	q.MPIPerHopLatency = mpiPerHop
+	q.ShmemPerHopLatency = shmemPerHop
+	return &q
+}

@@ -1,0 +1,105 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlatTopology(t *testing.T) {
+	f := FlatTopology{}
+	if f.Hops(3, 3) != 0 || f.Hops(0, 5) != 1 {
+		t.Errorf("flat hops: self=%d other=%d", f.Hops(3, 3), f.Hops(0, 5))
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	torus := Torus3D{X: 4, Y: 4, Z: 4}
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},          // +x
+		{0, 3, 1},          // wraparound -x
+		{0, 2, 2},          // two x hops
+		{0, 4, 1},          // +y
+		{0, 16, 1},         // +z
+		{0, 1 + 4 + 16, 3}, // one hop in each dimension
+		{0, 2 + 8 + 32, 6}, // two in each dimension (max per dim on a 4-ring)
+	}
+	for _, tc := range cases {
+		if got := torus.Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestTorusSymmetryProperty(t *testing.T) {
+	torus := Torus3D{X: 3, Y: 4, Z: 5}
+	n := 3 * 4 * 5
+	prop := func(ra, rb uint8) bool {
+		a, b := int(ra)%n, int(rb)%n
+		h := torus.Hops(a, b)
+		if h != torus.Hops(b, a) {
+			return false // symmetry
+		}
+		if (a == b) != (h == 0) {
+			return false // identity of indiscernibles (1 rank per node)
+		}
+		maxD := 3/2 + 4/2 + 5/2
+		return h >= 0 && h <= maxD
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusTriangleInequalityProperty(t *testing.T) {
+	torus := Torus3D{X: 4, Y: 4, Z: 2}
+	n := 32
+	prop := func(ra, rb, rc uint8) bool {
+		a, b, c := int(ra)%n, int(rb)%n, int(rc)%n
+		return torus.Hops(a, c) <= torus.Hops(a, b)+torus.Hops(b, c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanksPerNodeColocation(t *testing.T) {
+	torus := Torus3D{X: 2, Y: 2, Z: 2, RanksPerNode: 16}
+	if torus.Hops(0, 15) != 0 {
+		t.Error("ranks on one node should be 0 hops apart")
+	}
+	if torus.Hops(0, 16) != 1 {
+		t.Errorf("adjacent nodes: %d hops", torus.Hops(0, 16))
+	}
+	if torus.Hops(3, 19) != torus.Hops(0, 16) {
+		t.Error("co-located ranks should see identical distances")
+	}
+}
+
+func TestLatencyBetween(t *testing.T) {
+	p := GeminiLike()
+	if p.MPILatencyBetween(0, 7) != p.MPILatency {
+		t.Error("nil topology should give flat latency")
+	}
+	q := p.WithTorus(4, 4, 4, 1, 200*Nanosecond, 100*Nanosecond)
+	if q.Topo == nil || q.MPIPerHopLatency != 200*Nanosecond {
+		t.Fatalf("WithTorus misconfigured: %+v", q.Topo)
+	}
+	near := q.MPILatencyBetween(0, 1) // 1 hop
+	far := q.MPILatencyBetween(0, 42) // 42 = 2+2x4+2x16 -> coords (2,2,2): 2+2+2 = 6 hops
+	if near != p.MPILatency+200*Nanosecond {
+		t.Errorf("near latency %v", near)
+	}
+	if far != p.MPILatency+6*200*Nanosecond {
+		t.Errorf("far latency %v", far)
+	}
+	if q.ShmemLatencyBetween(0, 1) != p.ShmemLatency+100*Nanosecond {
+		t.Errorf("shmem near latency %v", q.ShmemLatencyBetween(0, 1))
+	}
+	// The original profile is untouched (WithTorus copies).
+	if p.Topo != nil {
+		t.Error("WithTorus mutated the receiver")
+	}
+}

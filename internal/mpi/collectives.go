@@ -1,0 +1,244 @@
+package mpi
+
+import (
+	"fmt"
+
+	"commintent/internal/model"
+)
+
+// Internal tag codes for collective plumbing (offsets into the reserved tag
+// window, so they can never collide with user point-to-point traffic).
+const (
+	tagBcast = iota
+	tagReduce
+	tagGather
+	tagAllreduce
+)
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// sendInternal and recvInternal move raw bytes on a reserved tag, with the
+// same cost model as user traffic.
+func (c *Comm) sendInternal(data []byte, dest, op, round int) {
+	p := c.prof()
+	clk := c.clock()
+	clk.Advance(p.MPISendOverhead + p.InjectTime(len(data)))
+	arrive := clk.Now() + p.MPILatencyBetween(c.rk.ID, c.WorldRank(dest))
+	c.ep().Send(c.WorldRank(dest), c.innerTag(op+round*8), data, arrive)
+}
+
+func (c *Comm) recvInternal(buf []byte, source, op, round int) int {
+	p := c.prof()
+	clk := c.clock()
+	clk.Advance(p.MPIRecvOverhead)
+	rr := c.ep().PostRecv(c.WorldRank(source), c.innerTag(op+round*8), buf, clk.Now())
+	<-rr.Done()
+	m, n := rr.Result()
+	ready := model.Max(m.ArriveV, rr.PostV()) + p.MPIMatchCost + p.RecvCopyTime(n)
+	if rr.Unexpected() {
+		ready += p.MPIUnexpected
+	}
+	clk.AdvanceTo(ready)
+	return n
+}
+
+// relRank renumbers so root becomes rank 0; absRank undoes it.
+func relRank(rank, root, n int) int { return (rank - root + n) % n }
+func absRank(rel, root, n int) int  { return (rel + root) % n }
+
+// topBit returns the highest set bit of x (x > 0).
+func topBit(x int) int {
+	b := 1
+	for b<<1 <= x {
+		b <<= 1
+	}
+	return b
+}
+
+// fanStart returns the bit at which rank me starts fanning out in a
+// binomial broadcast: 1 for the root, else one above its highest set bit.
+func fanStart(me int) int {
+	if me == 0 {
+		return 1
+	}
+	return topBit(me) << 1
+}
+
+func bitLog(bit int) int {
+	k := 0
+	for bit > 1 {
+		bit >>= 1
+		k++
+	}
+	return k
+}
+
+// Bcast broadcasts count elements of buf (datatype d) from root to all
+// ranks of the communicator over a binomial tree. Every rank must call it
+// with an adequately sized buffer.
+func (c *Comm) Bcast(buf any, count int, d *Datatype, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("mpi: Bcast root %d of comm size %d", root, c.Size())
+	}
+	p := c.prof()
+	n := c.Size()
+	me := relRank(c.Rank(), root, n)
+	wire := make([]byte, count*d.Size())
+	if me == 0 {
+		w, encCost, err := d.encode(p, buf, count)
+		if err != nil {
+			return fmt.Errorf("mpi: Bcast: %w", err)
+		}
+		copy(wire, w)
+		c.clock().Advance(encCost)
+	} else {
+		parent := me - topBit(me)
+		got := c.recvInternal(wire, absRank(parent, root, n), tagBcast, 0)
+		if got < len(wire) {
+			return fmt.Errorf("mpi: Bcast: short payload %d < %d", got, len(wire))
+		}
+		cost, err := d.decode(p, wire, buf, count)
+		if err != nil {
+			return fmt.Errorf("mpi: Bcast: %w", err)
+		}
+		c.clock().Advance(cost)
+	}
+	for bit := fanStart(me); me+bit < n; bit <<= 1 {
+		c.sendInternal(wire, absRank(me+bit, root, n), tagBcast, 0)
+	}
+	return nil
+}
+
+// Reduce combines sendbuf across all ranks element-wise with op over a
+// binomial tree, leaving the result in recvbuf on root (recvbuf may be nil
+// elsewhere). Buffers must be []float64 or []int64 matching d.
+func (c *Comm) Reduce(sendbuf, recvbuf any, count int, d *Datatype, op Op, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("mpi: Reduce root %d of comm size %d", root, c.Size())
+	}
+	p := c.prof()
+	acc, err := cloneNumeric(sendbuf, count)
+	if err != nil {
+		return fmt.Errorf("mpi: Reduce: %w", err)
+	}
+	tmp, err := cloneNumeric(sendbuf, count)
+	if err != nil {
+		return err
+	}
+	n := c.Size()
+	me := relRank(c.Rank(), root, n)
+	wire := make([]byte, count*d.Size())
+	for bit := 1; bit < n; bit <<= 1 {
+		if me&bit != 0 {
+			w, encCost, err := d.encode(p, acc, count)
+			if err != nil {
+				return fmt.Errorf("mpi: Reduce: %w", err)
+			}
+			c.clock().Advance(encCost)
+			c.sendInternal(w, absRank(me-bit, root, n), tagReduce, bitLog(bit))
+			break // partial result handed upward; this rank is done
+		}
+		if me+bit < n {
+			got := c.recvInternal(wire, absRank(me+bit, root, n), tagReduce, bitLog(bit))
+			if got < len(wire) {
+				return fmt.Errorf("mpi: Reduce: short payload %d < %d", got, len(wire))
+			}
+			cost, err := d.decode(p, wire, tmp, count)
+			if err != nil {
+				return fmt.Errorf("mpi: Reduce: %w", err)
+			}
+			c.clock().Advance(cost)
+			if err := combine(acc, tmp, count, op); err != nil {
+				return err
+			}
+			c.clock().Advance(model.Time(count) * p.MPIReduceCompute)
+		}
+	}
+	if me == 0 {
+		if recvbuf == nil {
+			return fmt.Errorf("mpi: Reduce: nil recvbuf on root")
+		}
+		if err := copyNumeric(recvbuf, acc, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (c *Comm) Allreduce(sendbuf, recvbuf any, count int, d *Datatype, op Op) error {
+	if recvbuf == nil {
+		return fmt.Errorf("mpi: Allreduce: nil recvbuf")
+	}
+	if err := c.Reduce(sendbuf, recvbuf, count, d, op, 0); err != nil {
+		return err
+	}
+	return c.Bcast(recvbuf, count, d, 0)
+}
+
+// Gather collects count elements from every rank into recvbuf on root,
+// laid out in comm-rank order. recvbuf must hold Size()*count elements on
+// root and may be nil elsewhere. Linear algorithm (root receives from each
+// rank), as in many small-scale MPI implementations.
+func (c *Comm) Gather(sendbuf any, count int, d *Datatype, recvbuf any, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("mpi: Gather root %d of comm size %d", root, c.Size())
+	}
+	p := c.prof()
+	if c.Rank() != root {
+		w, encCost, err := d.encode(p, sendbuf, count)
+		if err != nil {
+			return fmt.Errorf("mpi: Gather: %w", err)
+		}
+		c.clock().Advance(encCost)
+		c.sendInternal(w, root, tagGather, 0)
+		return nil
+	}
+	if recvbuf == nil {
+		return fmt.Errorf("mpi: Gather: nil recvbuf on root")
+	}
+	total, err := ElemCount(recvbuf, d)
+	if err != nil {
+		return fmt.Errorf("mpi: Gather: %w", err)
+	}
+	if total < c.Size()*count {
+		return fmt.Errorf("mpi: Gather: recvbuf holds %d elements, need %d", total, c.Size()*count)
+	}
+	wire := make([]byte, count*d.Size())
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			if err := copySegmentLocal(recvbuf, sendbuf, r*count, count); err != nil {
+				return err
+			}
+			continue
+		}
+		got := c.recvInternal(wire, r, tagGather, 0)
+		if got < len(wire) {
+			return fmt.Errorf("mpi: Gather: short payload from rank %d", r)
+		}
+		if err := decodeSegment(p, c, d, wire, recvbuf, r*count, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

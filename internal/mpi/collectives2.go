@@ -1,0 +1,104 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// Additional collectives: Scatter and Allgather, completing the set the
+// application layer and examples draw on.
+
+// Scatter distributes consecutive count-element segments of sendbuf on root
+// to every rank's recvbuf, in comm-rank order (linear algorithm). sendbuf
+// may be nil on non-root ranks.
+func (c *Comm) Scatter(sendbuf any, count int, d *Datatype, recvbuf any, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("mpi: Scatter root %d of comm size %d", root, c.Size())
+	}
+	if recvbuf == nil {
+		return fmt.Errorf("mpi: Scatter: nil recvbuf")
+	}
+	if cap, err := ElemCount(recvbuf, d); err != nil {
+		return fmt.Errorf("mpi: Scatter: %w", err)
+	} else if cap < count {
+		return fmt.Errorf("mpi: Scatter: recvbuf holds %d elements, need %d", cap, count)
+	}
+	p := c.prof()
+	if c.Rank() != root {
+		wire := make([]byte, count*d.Size())
+		got := c.recvInternal(wire, root, tagGather, 1)
+		if got < len(wire) {
+			return fmt.Errorf("mpi: Scatter: short payload")
+		}
+		cost, err := d.decode(p, wire, recvbuf, count)
+		if err != nil {
+			return fmt.Errorf("mpi: Scatter: %w", err)
+		}
+		c.clock().Advance(cost)
+		return nil
+	}
+	if sendbuf == nil {
+		return fmt.Errorf("mpi: Scatter: nil sendbuf on root")
+	}
+	total, err := ElemCount(sendbuf, d)
+	if err != nil {
+		return fmt.Errorf("mpi: Scatter: %w", err)
+	}
+	if total < c.Size()*count {
+		return fmt.Errorf("mpi: Scatter: sendbuf holds %d elements, need %d", total, c.Size()*count)
+	}
+	for r := 0; r < c.Size(); r++ {
+		seg, err := numericSegment(sendbuf, r*count, count)
+		if err != nil {
+			return fmt.Errorf("mpi: Scatter: %w", err)
+		}
+		if r == root {
+			if err := copySegmentLocal(recvbuf, seg, 0, count); err != nil {
+				return err
+			}
+			continue
+		}
+		wire, encCost, err := d.encode(p, seg, count)
+		if err != nil {
+			return fmt.Errorf("mpi: Scatter: %w", err)
+		}
+		c.clock().Advance(encCost)
+		c.sendInternal(wire, r, tagGather, 1)
+	}
+	return nil
+}
+
+// Allgather concatenates every rank's count-element sendbuf into every
+// rank's recvbuf in comm-rank order, via Gather to rank 0 plus Bcast.
+func (c *Comm) Allgather(sendbuf any, count int, d *Datatype, recvbuf any) error {
+	if recvbuf == nil {
+		return fmt.Errorf("mpi: Allgather: nil recvbuf")
+	}
+	if err := c.Gather(sendbuf, count, d, recvbuf, 0); err != nil {
+		return err
+	}
+	return c.Bcast(recvbuf, c.Size()*count, d, 0)
+}
+
+// numericSegment returns buf[off:off+count] for the supported numeric
+// slices.
+func numericSegment(buf any, off, count int) (any, error) {
+	switch s := buf.(type) {
+	case []float64:
+		if off+count > len(s) {
+			return nil, fmt.Errorf("segment [%d,%d) out of %d", off, off+count, len(s))
+		}
+		return s[off : off+count], nil
+	case []int64:
+		if off+count > len(s) {
+			return nil, fmt.Errorf("segment [%d,%d) out of %d", off, off+count, len(s))
+		}
+		return s[off : off+count], nil
+	case []int32:
+		if off+count > len(s) {
+			return nil, fmt.Errorf("segment [%d,%d) out of %d", off, off+count, len(s))
+		}
+		return s[off : off+count], nil
+	default:
+		return nil, fmt.Errorf("unsupported buffer type %T", buf)
+	}
+}

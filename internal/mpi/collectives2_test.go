@@ -1,0 +1,268 @@
+package mpi_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+func TestScatter(t *testing.T) {
+	const n = 5
+	run(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		var send []int64
+		if rk.ID == 2 {
+			send = make([]int64, 2*n)
+			for i := range send {
+				send[i] = int64(i * 10)
+			}
+		}
+		recv := make([]int64, 2)
+		if err := c.Scatter(send, 2, mpi.Int64, recv, 2); err != nil {
+			return err
+		}
+		if recv[0] != int64(rk.ID*2*10) || recv[1] != int64((rk.ID*2+1)*10) {
+			t.Errorf("rank %d scattered %v", rk.ID, recv)
+		}
+		return nil
+	})
+}
+
+func TestScatterValidation(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID == 0 {
+			if err := c.Scatter(nil, 1, mpi.Int64, nil, 0); err == nil {
+				t.Error("nil recvbuf accepted")
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 6
+	run(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		send := []float64{float64(rk.ID), float64(rk.ID) + 0.5}
+		recv := make([]float64, 2*n)
+		if err := c.Allgather(send, 2, mpi.Float64, recv); err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			if recv[2*r] != float64(r) || recv[2*r+1] != float64(r)+0.5 {
+				t.Errorf("rank %d: segment %d = %v", rk.ID, r, recv[2*r:2*r+2])
+			}
+		}
+		return nil
+	})
+}
+
+// TestReduceSumMatchesLocalSumProperty: for random contributions, the
+// distributed sum must equal the serially computed sum.
+func TestReduceSumMatchesLocalSumProperty(t *testing.T) {
+	prop := func(vals [6]int32) bool {
+		const n = 6
+		ok := true
+		if err := spmd.Run(n, model.Uniform(1), func(rk *spmd.Rank) error {
+			c := mpi.World(rk)
+			in := []int64{int64(vals[rk.ID])}
+			out := make([]int64, 1)
+			if err := c.Allreduce(in, out, 1, mpi.Int64, mpi.OpSum); err != nil {
+				return err
+			}
+			var want int64
+			for _, v := range vals {
+				want += int64(v)
+			}
+			if out[0] != want {
+				ok = false
+			}
+			return nil
+		}); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBcastPayloadProperty: arbitrary payloads broadcast intact.
+func TestBcastPayloadProperty(t *testing.T) {
+	prop := func(payload [5]float64, rootPick uint8) bool {
+		const n = 4
+		root := int(rootPick) % n
+		ok := true
+		if err := spmd.Run(n, model.Uniform(1), func(rk *spmd.Rank) error {
+			c := mpi.World(rk)
+			buf := make([]float64, len(payload))
+			if rk.ID == root {
+				copy(buf, payload[:])
+			}
+			if err := c.Bcast(buf, len(buf), mpi.Float64, root); err != nil {
+				return err
+			}
+			for i := range buf {
+				if buf[i] != payload[i] && !(payload[i] != payload[i] && buf[i] != buf[i]) {
+					ok = false
+				}
+			}
+			return nil
+		}); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWaitanyReturnsEarliest completes requests in virtual-readiness order.
+func TestWaitany(t *testing.T) {
+	run(t, 3, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID != 0 {
+			// Rank 2 delays its send.
+			if rk.ID == 2 {
+				rk.Compute(10 * model.Millisecond)
+			}
+			if err := c.Send([]int64{int64(rk.ID)}, 1, mpi.Int64, 0, 0); err != nil {
+				return err
+			}
+			c.Barrier()
+			return nil
+		}
+		b1 := make([]int64, 1)
+		b2 := make([]int64, 1)
+		r1, err := c.Irecv(b1, 1, mpi.Int64, 1, 0)
+		if err != nil {
+			return err
+		}
+		r2, err := c.Irecv(b2, 1, mpi.Int64, 2, 0)
+		if err != nil {
+			return err
+		}
+		reqs := []*mpi.Request{r1, r2}
+		// Force both to be matched in real time before choosing, so the
+		// virtual-earliest (rank 1's) must win deterministically.
+		c.Barrier()
+		idx, st, err := c.Waitany(reqs)
+		if err != nil {
+			return err
+		}
+		if idx != 0 || st.Source != 1 {
+			t.Errorf("Waitany picked %d (source %d), want the earliest", idx, st.Source)
+		}
+		idx2, st2, err := c.Waitany(reqs)
+		if err != nil {
+			return err
+		}
+		if idx2 != 1 || st2.Source != 2 {
+			t.Errorf("second Waitany picked %d (source %d)", idx2, st2.Source)
+		}
+		if _, _, err := c.Waitany(reqs); err == nil {
+			t.Error("third Waitany on consumed requests succeeded")
+		}
+		return nil
+	})
+}
+
+// TestTestSemantics: Test must report completion only once virtual time has
+// caught up with the message.
+func TestTestSemantics(t *testing.T) {
+	if err := spmd.Run(2, model.GeminiLike(), func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID == 0 {
+			c.Barrier()
+			if err := c.Send([]int64{7}, 1, mpi.Int64, 1, 0); err != nil {
+				return err
+			}
+			c.Barrier() // message certainly delivered before rank 1 polls
+			return nil
+		}
+		buf := make([]int64, 1)
+		r, err := c.Irecv(buf, 1, mpi.Int64, 0, 0)
+		if err != nil {
+			return err
+		}
+		done, _, err := c.Test(r)
+		if err != nil {
+			return err
+		}
+		if done {
+			t.Error("Test reported completion before the send")
+		}
+		c.Barrier()
+		c.Barrier()
+		// Eventually the message arrives; poll (each Test advances the
+		// virtual clock, so virtual time catches up with the arrival).
+		for i := 0; i < 10000; i++ {
+			done, st, err := c.Test(r)
+			if err != nil {
+				return err
+			}
+			if done {
+				if st.Source != 0 || buf[0] != 7 {
+					t.Errorf("status %+v payload %d", st, buf[0])
+				}
+				return nil
+			}
+		}
+		t.Error("Test never completed")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitsome(t *testing.T) {
+	run(t, 4, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID != 0 {
+			if err := c.Send([]int64{int64(rk.ID)}, 1, mpi.Int64, 0, 0); err != nil {
+				return err
+			}
+			c.Barrier()
+			return nil
+		}
+		reqs := make([]*mpi.Request, 3)
+		bufs := make([][]int64, 3)
+		for i := range reqs {
+			bufs[i] = make([]int64, 1)
+			r, err := c.Irecv(bufs[i], 1, mpi.Int64, i+1, 0)
+			if err != nil {
+				return err
+			}
+			reqs[i] = r
+		}
+		c.Barrier() // all three messages are in flight and arrived
+		drained := 0
+		for drained < 3 {
+			idxs, stats, err := c.Waitsome(reqs)
+			if err != nil {
+				return err
+			}
+			if len(idxs) == 0 {
+				t.Fatal("Waitsome returned nothing")
+			}
+			for k, idx := range idxs {
+				if stats[k].Source != idx+1 {
+					t.Errorf("request %d completed with source %d", idx, stats[k].Source)
+				}
+			}
+			drained += len(idxs)
+		}
+		// With all messages long arrived, one Waitsome should have drained
+		// everything in a single call.
+		if drained != 3 {
+			t.Errorf("drained %d", drained)
+		}
+		return nil
+	})
+}

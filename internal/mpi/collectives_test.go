@@ -1,0 +1,279 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+func TestBcastSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16, 33} {
+		n := n
+		t.Run(sizeName(n), func(t *testing.T) {
+			run(t, n, func(rk *spmd.Rank) error {
+				c := mpi.World(rk)
+				buf := make([]float64, 4)
+				if rk.ID == 2%n {
+					for i := range buf {
+						buf[i] = float64(10 + i)
+					}
+				}
+				if err := c.Bcast(buf, 4, mpi.Float64, 2%n); err != nil {
+					return err
+				}
+				for i := range buf {
+					if buf[i] != float64(10+i) {
+						t.Errorf("rank %d: buf[%d] = %v", rk.ID, i, buf[i])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func sizeName(n int) string {
+	return "n" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+func TestReduceSumFloat64(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 13} {
+		n := n
+		t.Run(sizeName(n), func(t *testing.T) {
+			run(t, n, func(rk *spmd.Rank) error {
+				c := mpi.World(rk)
+				in := []float64{float64(rk.ID), 1}
+				out := make([]float64, 2)
+				if err := c.Reduce(in, out, 2, mpi.Float64, mpi.OpSum, 0); err != nil {
+					return err
+				}
+				if rk.ID == 0 {
+					wantSum := float64(n*(n-1)) / 2
+					if out[0] != wantSum || out[1] != float64(n) {
+						t.Errorf("reduce sum = %v, want [%v %v]", out, wantSum, n)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestReduceMaxMinInt64(t *testing.T) {
+	run(t, 6, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		in := []int64{int64(rk.ID * 10)}
+		outMax := make([]int64, 1)
+		if err := c.Reduce(in, outMax, 1, mpi.Int64, mpi.OpMax, 3); err != nil {
+			return err
+		}
+		if rk.ID == 3 && outMax[0] != 50 {
+			t.Errorf("max = %d", outMax[0])
+		}
+		outMin := make([]int64, 1)
+		if err := c.Reduce(in, outMin, 1, mpi.Int64, mpi.OpMin, 3); err != nil {
+			return err
+		}
+		if rk.ID == 3 && outMin[0] != 0 {
+			t.Errorf("min = %d", outMin[0])
+		}
+		return nil
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	run(t, 7, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		in := []float64{1}
+		out := make([]float64, 1)
+		if err := c.Allreduce(in, out, 1, mpi.Float64, mpi.OpSum); err != nil {
+			return err
+		}
+		if out[0] != 7 {
+			t.Errorf("rank %d: allreduce = %v", rk.ID, out[0])
+		}
+		return nil
+	})
+}
+
+func TestGather(t *testing.T) {
+	const n = 5
+	run(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		in := []int64{int64(rk.ID), int64(rk.ID * 100)}
+		var out []int64
+		if rk.ID == 1 {
+			out = make([]int64, 2*n)
+		}
+		if err := c.Gather(in, 2, mpi.Int64, out, 1); err != nil {
+			return err
+		}
+		if rk.ID == 1 {
+			for r := 0; r < n; r++ {
+				if out[2*r] != int64(r) || out[2*r+1] != int64(r*100) {
+					t.Errorf("gather segment %d = %v", r, out[2*r:2*r+2])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestBarrierSynchronisesClocks(t *testing.T) {
+	if err := spmd.Run(4, model.GeminiLike(), func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		// Skew the clocks wildly.
+		rk.Compute(model.Time(rk.ID) * model.Millisecond)
+		c.Barrier()
+		if rk.Now() < 3*model.Millisecond {
+			t.Errorf("rank %d clock %v below slowest participant", rk.ID, rk.Now())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitGroups(t *testing.T) {
+	const n = 9
+	run(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		color := rk.ID / 3
+		sub, err := c.Split(color, rk.ID)
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			t.Errorf("rank %d: subcomm size %d", rk.ID, sub.Size())
+		}
+		if sub.Rank() != rk.ID%3 {
+			t.Errorf("rank %d: subcomm rank %d", rk.ID, sub.Rank())
+		}
+		// Communicate within the group: ring of size 3.
+		next := (sub.Rank() + 1) % 3
+		prev := (sub.Rank() + 2) % 3
+		in := make([]int64, 1)
+		st, err := sub.Sendrecv([]int64{int64(rk.ID)}, 1, mpi.Int64, next, 0, in, 1, mpi.Int64, prev, 0)
+		if err != nil {
+			return err
+		}
+		wantFrom := color*3 + (rk.ID+2)%3
+		if int(in[0]) != wantFrom {
+			t.Errorf("rank %d got %d want %d (status %+v)", rk.ID, in[0], wantFrom, st)
+		}
+		return nil
+	})
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	const n = 4
+	run(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		// Reverse ordering by key.
+		sub, err := c.Split(0, n-rk.ID)
+		if err != nil {
+			return err
+		}
+		if sub.Rank() != n-1-rk.ID {
+			t.Errorf("world rank %d got comm rank %d", rk.ID, sub.Rank())
+		}
+		return nil
+	})
+}
+
+func TestSplitExcludedColor(t *testing.T) {
+	run(t, 4, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		color := 0
+		if rk.ID == 3 {
+			color = -1
+		}
+		sub, err := c.Split(color, rk.ID)
+		if err != nil {
+			return err
+		}
+		if rk.ID == 3 {
+			if sub != nil {
+				t.Error("excluded rank got a communicator")
+			}
+			return nil
+		}
+		if sub == nil || sub.Size() != 3 {
+			t.Errorf("rank %d: bad subcomm", rk.ID)
+		}
+		return nil
+	})
+}
+
+func TestSubCommTagIsolation(t *testing.T) {
+	// Same user tag on world and subcomm must not cross-match.
+	run(t, 4, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		sub, err := c.Split(rk.ID%2, rk.ID)
+		if err != nil {
+			return err
+		}
+		// World traffic 0->1, sub traffic 2->0 within color 0 (world ranks 0,2).
+		switch rk.ID {
+		case 0:
+			if err := c.Send([]int64{111}, 1, mpi.Int64, 1, 9); err != nil {
+				return err
+			}
+			buf := make([]int64, 1)
+			if _, err := sub.Recv(buf, 1, mpi.Int64, 1, 9); err != nil {
+				return err
+			}
+			if buf[0] != 222 {
+				t.Errorf("subcomm recv got %d", buf[0])
+			}
+		case 1:
+			buf := make([]int64, 1)
+			if _, err := c.Recv(buf, 1, mpi.Int64, 0, 9); err != nil {
+				return err
+			}
+			if buf[0] != 111 {
+				t.Errorf("world recv got %d", buf[0])
+			}
+		case 2:
+			if err := sub.Send([]int64{222}, 1, mpi.Int64, 0, 9); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestNestedSplit(t *testing.T) {
+	const n = 8
+	run(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		half, err := c.Split(rk.ID/4, rk.ID)
+		if err != nil {
+			return err
+		}
+		quarter, err := half.Split(half.Rank()/2, half.Rank())
+		if err != nil {
+			return err
+		}
+		if quarter.Size() != 2 {
+			t.Errorf("rank %d: quarter size %d", rk.ID, quarter.Size())
+		}
+		// Exchange within the pair and translate back to world ranks.
+		other := 1 - quarter.Rank()
+		in := make([]int64, 1)
+		if _, err := quarter.Sendrecv([]int64{int64(rk.ID)}, 1, mpi.Int64, other, 0,
+			in, 1, mpi.Int64, other, 0); err != nil {
+			return err
+		}
+		wantPartner := rk.ID ^ 1 // pairs are (0,1),(2,3),...
+		if int(in[0]) != wantPartner {
+			t.Errorf("rank %d paired with %d, want %d", rk.ID, in[0], wantPartner)
+		}
+		if quarter.WorldRank(other) != wantPartner {
+			t.Errorf("rank %d: WorldRank(%d) = %d", rk.ID, other, quarter.WorldRank(other))
+		}
+		return nil
+	})
+}

@@ -1,0 +1,88 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sync"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+// Example demonstrates the two-sided substrate directly: the explicit
+// library-level style whose intent the directive layer abstracts.
+func Example() {
+	var once sync.Once
+	err := spmd.Run(2, model.GeminiLike(), func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		if rk.ID == 0 {
+			return comm.Send([]float64{3.14, 2.71}, 2, mpi.Float64, 1, 0)
+		}
+		buf := make([]float64, 2)
+		st, err := comm.Recv(buf, 2, mpi.Float64, 0, 0)
+		if err != nil {
+			return err
+		}
+		once.Do(func() {
+			fmt.Printf("received %v from rank %d (%d bytes)\n", buf, st.Source, st.Bytes)
+		})
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: received [3.14 2.71] from rank 0 (16 bytes)
+}
+
+// ExampleComm_TypeCreateStruct moves a composite with a derived datatype,
+// the feature the directive layer automates (paper Section III).
+func ExampleComm_TypeCreateStruct() {
+	type particle struct {
+		ID       int32
+		Position [3]float64
+	}
+	var once sync.Once
+	err := spmd.Run(2, model.GeminiLike(), func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		dt, err := comm.TypeCreateStruct(particle{})
+		if err != nil {
+			return err
+		}
+		if rk.ID == 0 {
+			p := particle{ID: 7, Position: [3]float64{1, 2, 3}}
+			return comm.Send(&p, 1, dt, 1, 0)
+		}
+		var p particle
+		if _, err := comm.Recv(&p, 1, dt, 0, 0); err != nil {
+			return err
+		}
+		once.Do(func() {
+			fmt.Printf("particle %d at %v (wire size %d)\n", p.ID, p.Position, dt.Size())
+		})
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: particle 7 at [1 2 3] (wire size 28)
+}
+
+// ExampleComm_Allreduce sums a value across all ranks.
+func ExampleComm_Allreduce() {
+	var once sync.Once
+	err := spmd.Run(4, model.GeminiLike(), func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		out := make([]float64, 1)
+		if err := comm.Allreduce([]float64{float64(rk.ID)}, out, 1, mpi.Float64, mpi.OpSum); err != nil {
+			return err
+		}
+		if rk.ID == 0 {
+			once.Do(func() { fmt.Println("sum =", out[0]) })
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: sum = 6
+}

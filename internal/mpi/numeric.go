@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"fmt"
+
+	"commintent/internal/model"
+)
+
+// Numeric buffer helpers used by the collectives. They support []float64,
+// []int64 and []int32, the element types the application layer reduces and
+// gathers.
+
+func cloneNumeric(buf any, count int) (any, error) {
+	switch s := buf.(type) {
+	case []float64:
+		if count > len(s) {
+			return nil, fmt.Errorf("mpi: count %d exceeds buffer length %d", count, len(s))
+		}
+		out := make([]float64, count)
+		copy(out, s[:count])
+		return out, nil
+	case []int64:
+		if count > len(s) {
+			return nil, fmt.Errorf("mpi: count %d exceeds buffer length %d", count, len(s))
+		}
+		out := make([]int64, count)
+		copy(out, s[:count])
+		return out, nil
+	case []int32:
+		if count > len(s) {
+			return nil, fmt.Errorf("mpi: count %d exceeds buffer length %d", count, len(s))
+		}
+		out := make([]int32, count)
+		copy(out, s[:count])
+		return out, nil
+	default:
+		return nil, fmt.Errorf("mpi: unsupported reduction buffer type %T", buf)
+	}
+}
+
+func combine(acc, in any, count int, op Op) error {
+	switch a := acc.(type) {
+	case []float64:
+		b, ok := in.([]float64)
+		if !ok {
+			return fmt.Errorf("mpi: reduction type mismatch %T vs %T", acc, in)
+		}
+		combineSlice(a[:count], b[:count], op)
+	case []int64:
+		b, ok := in.([]int64)
+		if !ok {
+			return fmt.Errorf("mpi: reduction type mismatch %T vs %T", acc, in)
+		}
+		combineSlice(a[:count], b[:count], op)
+	case []int32:
+		b, ok := in.([]int32)
+		if !ok {
+			return fmt.Errorf("mpi: reduction type mismatch %T vs %T", acc, in)
+		}
+		combineSlice(a[:count], b[:count], op)
+	default:
+		return fmt.Errorf("mpi: unsupported reduction buffer type %T", acc)
+	}
+	return nil
+}
+
+func combineSlice[T int32 | int64 | float64](a, b []T, op Op) {
+	switch op {
+	case OpSum:
+		for i := range a {
+			a[i] += b[i]
+		}
+	case OpMax:
+		for i := range a {
+			if b[i] > a[i] {
+				a[i] = b[i]
+			}
+		}
+	case OpMin:
+		for i := range a {
+			if b[i] < a[i] {
+				a[i] = b[i]
+			}
+		}
+	}
+}
+
+func copyNumeric(dst, src any, count int) error {
+	switch d := dst.(type) {
+	case []float64:
+		s, ok := src.([]float64)
+		if !ok || count > len(d) || count > len(s) {
+			return fmt.Errorf("mpi: copyNumeric mismatch %T <- %T (count %d)", dst, src, count)
+		}
+		copy(d[:count], s[:count])
+	case []int64:
+		s, ok := src.([]int64)
+		if !ok || count > len(d) || count > len(s) {
+			return fmt.Errorf("mpi: copyNumeric mismatch %T <- %T (count %d)", dst, src, count)
+		}
+		copy(d[:count], s[:count])
+	case []int32:
+		s, ok := src.([]int32)
+		if !ok || count > len(d) || count > len(s) {
+			return fmt.Errorf("mpi: copyNumeric mismatch %T <- %T (count %d)", dst, src, count)
+		}
+		copy(d[:count], s[:count])
+	default:
+		return fmt.Errorf("mpi: unsupported buffer type %T", dst)
+	}
+	return nil
+}
+
+// copySegmentLocal copies count elements of src into dst starting at
+// element offset off (root's own contribution in Gather).
+func copySegmentLocal(dst, src any, off, count int) error {
+	switch d := dst.(type) {
+	case []float64:
+		s, ok := src.([]float64)
+		if !ok || off+count > len(d) || count > len(s) {
+			return fmt.Errorf("mpi: gather segment mismatch %T <- %T", dst, src)
+		}
+		copy(d[off:off+count], s[:count])
+	case []int64:
+		s, ok := src.([]int64)
+		if !ok || off+count > len(d) || count > len(s) {
+			return fmt.Errorf("mpi: gather segment mismatch %T <- %T", dst, src)
+		}
+		copy(d[off:off+count], s[:count])
+	case []int32:
+		s, ok := src.([]int32)
+		if !ok || off+count > len(d) || count > len(s) {
+			return fmt.Errorf("mpi: gather segment mismatch %T <- %T", dst, src)
+		}
+		copy(d[off:off+count], s[:count])
+	default:
+		return fmt.Errorf("mpi: unsupported gather buffer type %T", dst)
+	}
+	return nil
+}
+
+// decodeSegment decodes count wire elements into dst at element offset off.
+func decodeSegment(p *model.Profile, c *Comm, d *Datatype, wire []byte, dst any, off, count int) error {
+	var seg any
+	switch s := dst.(type) {
+	case []float64:
+		seg = s[off : off+count]
+	case []int64:
+		seg = s[off : off+count]
+	case []int32:
+		seg = s[off : off+count]
+	default:
+		return fmt.Errorf("mpi: unsupported gather buffer type %T", dst)
+	}
+	cost, err := d.decode(p, wire, seg, count)
+	if err != nil {
+		return err
+	}
+	c.clock().Advance(cost)
+	return nil
+}

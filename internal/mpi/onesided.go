@@ -1,0 +1,202 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"commintent/internal/model"
+	"commintent/internal/simnet"
+)
+
+// Win is an MPI-2 style one-sided communication window: every rank of the
+// communicator exposes a local buffer; Put and Get move data directly
+// between origin buffers and exposed remote memory; Fence separates access
+// epochs. This is the backend the directive layer's TARGET_COMM_MPI_1SIDE
+// translates to.
+type Win struct {
+	comm *Comm
+	slot *winSlot
+	idx  int // this rank's comm rank, cached
+	seq  int // creation sequence within the communicator
+
+	outstanding model.Time // max arrival of my unfenced puts
+}
+
+// Seq reports the window's creation sequence number within its
+// communicator; since window creation is collective, all ranks agree on it.
+func (w *Win) Seq() int { return w.seq }
+
+type winSlot struct {
+	mu   sync.Mutex
+	bufs []any // per comm rank: the exposed slice
+	elem int   // element wire size (uniformity check)
+}
+
+type winRegistry struct {
+	mu    sync.Mutex
+	slots map[string]*winSlot
+}
+
+func winReg(c *Comm) *winRegistry {
+	return c.rk.World().Shared("mpi/winRegistry", func() any {
+		return &winRegistry{slots: make(map[string]*winSlot)}
+	}).(*winRegistry)
+}
+
+// WinCreate collectively creates a window exposing local (a primitive
+// slice: []float64, []int64, []int32 or []byte) on every rank. All ranks
+// of the communicator must call it in the same order.
+func (c *Comm) WinCreate(local any) (*Win, error) {
+	switch local.(type) {
+	case []float64, []int64, []int32, []byte:
+	default:
+		return nil, fmt.Errorf("mpi: WinCreate: unsupported window buffer type %T", local)
+	}
+	c.winSeq++
+	key := fmt.Sprintf("win/%s/%d", c.id, c.winSeq)
+	reg := winReg(c)
+	reg.mu.Lock()
+	slot, ok := reg.slots[key]
+	if !ok {
+		slot = &winSlot{bufs: make([]any, c.Size())}
+		reg.slots[key] = slot
+	}
+	reg.mu.Unlock()
+	slot.mu.Lock()
+	slot.bufs[c.Rank()] = local
+	slot.mu.Unlock()
+	// Window creation is collective and synchronising.
+	c.Barrier()
+	return &Win{comm: c, slot: slot, idx: c.Rank(), seq: c.winSeq}, nil
+}
+
+// Put copies count elements of origin into target's window at element
+// offset targetOff. Completion (remote visibility) is only guaranteed after
+// the next Fence.
+func (w *Win) Put(origin any, count int, d *Datatype, target, targetOff int) error {
+	c := w.comm
+	if target < 0 || target >= c.Size() {
+		return fmt.Errorf("mpi: Put target %d of comm size %d", target, c.Size())
+	}
+	p := c.prof()
+	clk := c.clock()
+	bytes := count * d.Size()
+	clk.Advance(p.MPIPutOverhead + p.InjectTime(bytes))
+	arrive := clk.Now() + p.MPILatencyBetween(c.rk.ID, c.WorldRank(target))
+	w.slot.mu.Lock()
+	dst := w.slot.bufs[target]
+	err := rmaCopy(dst, origin, targetOff, count)
+	w.slot.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("mpi: Put: %w", err)
+	}
+	if arrive > w.outstanding {
+		w.outstanding = arrive
+	}
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvPut, Peer: c.WorldRank(target), Bytes: bytes, V: clk.Now()})
+	return nil
+}
+
+// Get copies count elements from target's window at element offset
+// targetOff into origin. It completes locally (blocking round trip).
+func (w *Win) Get(origin any, count int, d *Datatype, target, targetOff int) error {
+	c := w.comm
+	if target < 0 || target >= c.Size() {
+		return fmt.Errorf("mpi: Get target %d of comm size %d", target, c.Size())
+	}
+	p := c.prof()
+	clk := c.clock()
+	bytes := count * d.Size()
+	clk.Advance(p.MPIPutOverhead)
+	w.slot.mu.Lock()
+	src := w.slot.bufs[target]
+	err := rmaCopyOut(origin, src, targetOff, count)
+	w.slot.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("mpi: Get: %w", err)
+	}
+	// Round trip: request latency + payload back.
+	clk.Advance(p.WireTime(0) + p.WireTime(bytes))
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvGet, Peer: c.WorldRank(target), Bytes: bytes, V: clk.Now()})
+	return nil
+}
+
+// Fence closes the current access epoch: it synchronises all ranks of the
+// window and guarantees every Put issued before the fence is visible
+// everywhere after it.
+func (w *Win) Fence() {
+	c := w.comm
+	clk := c.clock()
+	enter := model.Max(clk.Now(), w.outstanding)
+	maxV := c.barrier.Wait(enter)
+	clk.AdvanceTo(maxV)
+	clk.Advance(c.prof().MPIWinFence)
+	w.outstanding = 0
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, V: clk.Now()})
+}
+
+// rmaCopy copies count elements of src into dst at element offset off.
+func rmaCopy(dst, src any, off, count int) error {
+	switch d := dst.(type) {
+	case []float64:
+		s, ok := src.([]float64)
+		if !ok || off+count > len(d) || count > len(s) {
+			return fmt.Errorf("rma copy mismatch %T <- %T (off %d count %d)", dst, src, off, count)
+		}
+		copy(d[off:off+count], s[:count])
+	case []int64:
+		s, ok := src.([]int64)
+		if !ok || off+count > len(d) || count > len(s) {
+			return fmt.Errorf("rma copy mismatch %T <- %T (off %d count %d)", dst, src, off, count)
+		}
+		copy(d[off:off+count], s[:count])
+	case []int32:
+		s, ok := src.([]int32)
+		if !ok || off+count > len(d) || count > len(s) {
+			return fmt.Errorf("rma copy mismatch %T <- %T (off %d count %d)", dst, src, off, count)
+		}
+		copy(d[off:off+count], s[:count])
+	case []byte:
+		s, ok := src.([]byte)
+		if !ok || off+count > len(d) || count > len(s) {
+			return fmt.Errorf("rma copy mismatch %T <- %T (off %d count %d)", dst, src, off, count)
+		}
+		copy(d[off:off+count], s[:count])
+	default:
+		return fmt.Errorf("unsupported window buffer type %T", dst)
+	}
+	return nil
+}
+
+// rmaCopyOut copies count elements from src at element offset off into dst.
+func rmaCopyOut(dst, src any, off, count int) error {
+	switch s := src.(type) {
+	case []float64:
+		d, ok := dst.([]float64)
+		if !ok || off+count > len(s) || count > len(d) {
+			return fmt.Errorf("rma copy mismatch %T <- %T (off %d count %d)", dst, src, off, count)
+		}
+		copy(d[:count], s[off:off+count])
+	case []int64:
+		d, ok := dst.([]int64)
+		if !ok || off+count > len(s) || count > len(d) {
+			return fmt.Errorf("rma copy mismatch %T <- %T (off %d count %d)", dst, src, off, count)
+		}
+		copy(d[:count], s[off:off+count])
+	case []int32:
+		d, ok := dst.([]int32)
+		if !ok || off+count > len(s) || count > len(d) {
+			return fmt.Errorf("rma copy mismatch %T <- %T (off %d count %d)", dst, src, off, count)
+		}
+		copy(d[:count], s[off:off+count])
+	case []byte:
+		d, ok := dst.([]byte)
+		if !ok || off+count > len(s) || count > len(d) {
+			return fmt.Errorf("rma copy mismatch %T <- %T (off %d count %d)", dst, src, off, count)
+		}
+		copy(d[:count], s[off:off+count])
+	default:
+		return fmt.Errorf("unsupported window buffer type %T", src)
+	}
+	return nil
+}

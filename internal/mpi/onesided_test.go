@@ -1,0 +1,214 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+func TestWinPutFence(t *testing.T) {
+	const n = 4
+	run(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		local := make([]float64, n)
+		win, err := c.WinCreate(local)
+		if err != nil {
+			return err
+		}
+		// Everyone puts its rank into slot [myrank] of every other rank.
+		for dst := 0; dst < n; dst++ {
+			if dst == rk.ID {
+				local[rk.ID] = float64(rk.ID)
+				continue
+			}
+			if err := win.Put([]float64{float64(rk.ID)}, 1, mpi.Float64, dst, rk.ID); err != nil {
+				return err
+			}
+		}
+		win.Fence()
+		for i := 0; i < n; i++ {
+			if local[i] != float64(i) {
+				t.Errorf("rank %d: window[%d] = %v", rk.ID, i, local[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestWinGet(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		local := []int64{int64(100 + rk.ID), int64(200 + rk.ID)}
+		win, err := c.WinCreate(local)
+		if err != nil {
+			return err
+		}
+		win.Fence() // expose initialised values
+		got := make([]int64, 2)
+		other := 1 - rk.ID
+		if err := win.Get(got, 2, mpi.Int64, other, 0); err != nil {
+			return err
+		}
+		if got[0] != int64(100+other) || got[1] != int64(200+other) {
+			t.Errorf("rank %d got %v", rk.ID, got)
+		}
+		win.Fence()
+		return nil
+	})
+}
+
+func TestWinPutOutOfRange(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		local := make([]float64, 2)
+		win, err := c.WinCreate(local)
+		if err != nil {
+			return err
+		}
+		if rk.ID == 0 {
+			err := win.Put([]float64{1, 2, 3}, 3, mpi.Float64, 1, 0)
+			if err == nil {
+				t.Error("oversized put not rejected")
+			}
+		}
+		win.Fence()
+		return nil
+	})
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		size := mpi.PackSize(2, mpi.Int32) + mpi.PackSize(3, mpi.Float64)
+		if rk.ID == 0 {
+			buf := make([]byte, size)
+			pos := 0
+			if err := c.Pack([]int32{7, 8}, 2, mpi.Int32, buf, &pos); err != nil {
+				return err
+			}
+			if err := c.Pack([]float64{1.25, 2.5, 3.75}, 3, mpi.Float64, buf, &pos); err != nil {
+				return err
+			}
+			if pos != size {
+				t.Errorf("pack position %d != %d", pos, size)
+			}
+			return c.Send(buf, size, mpi.Packed, 1, 0)
+		}
+		buf := make([]byte, size)
+		if _, err := c.Recv(buf, size, mpi.Packed, 0, 0); err != nil {
+			return err
+		}
+		pos := 0
+		ints := make([]int32, 2)
+		floats := make([]float64, 3)
+		if err := c.Unpack(buf, &pos, ints, 2, mpi.Int32); err != nil {
+			return err
+		}
+		if err := c.Unpack(buf, &pos, floats, 3, mpi.Float64); err != nil {
+			return err
+		}
+		if ints[0] != 7 || ints[1] != 8 {
+			t.Errorf("ints = %v", ints)
+		}
+		if floats[0] != 1.25 || floats[1] != 2.5 || floats[2] != 3.75 {
+			t.Errorf("floats = %v", floats)
+		}
+		return nil
+	})
+}
+
+func TestPackOverflow(t *testing.T) {
+	run(t, 1, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		buf := make([]byte, 4)
+		pos := 0
+		if err := c.Pack([]float64{1}, 1, mpi.Float64, buf, &pos); err == nil {
+			t.Error("pack overflow not rejected")
+		}
+		return nil
+	})
+}
+
+type atomScalars struct {
+	ID    int32
+	X     float64
+	Evec  [3]float64
+	Count int32
+}
+
+func TestDerivedStructSendRecv(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		dt, err := c.TypeCreateStruct(atomScalars{})
+		if err != nil {
+			return err
+		}
+		if dt.Size() != 4+8+24+4 {
+			t.Errorf("derived size = %d", dt.Size())
+		}
+		if rk.ID == 0 {
+			v := atomScalars{ID: 9, X: 3.5, Evec: [3]float64{1, 2, 3}, Count: -2}
+			return c.Send(&v, 1, dt, 1, 0)
+		}
+		var v atomScalars
+		if _, err := c.Recv(&v, 1, dt, 0, 0); err != nil {
+			return err
+		}
+		want := atomScalars{ID: 9, X: 3.5, Evec: [3]float64{1, 2, 3}, Count: -2}
+		if v != want {
+			t.Errorf("got %+v want %+v", v, want)
+		}
+		return nil
+	})
+}
+
+func TestDerivedStructSlice(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		dt, err := c.TypeCreateStruct([]atomScalars{})
+		if err != nil {
+			return err
+		}
+		if rk.ID == 0 {
+			vs := []atomScalars{{ID: 1}, {ID: 2}, {ID: 3}}
+			return c.Send(vs, 3, dt, 1, 0)
+		}
+		vs := make([]atomScalars, 3)
+		if _, err := c.Recv(vs, 3, dt, 0, 0); err != nil {
+			return err
+		}
+		for i, v := range vs {
+			if v.ID != int32(i+1) {
+				t.Errorf("vs[%d].ID = %d", i, v.ID)
+			}
+		}
+		return nil
+	})
+}
+
+func TestDatatypeMismatchRejected(t *testing.T) {
+	run(t, 1, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if _, err := c.Isend([]float64{1}, 1, mpi.Int32, 0, 0); err == nil {
+			t.Error("float64 buffer with MPI_INT32 accepted")
+		}
+		if _, err := c.Irecv(make([]int32, 1), 1, mpi.Float64, 0, 0); err == nil {
+			t.Error("int32 buffer with MPI_DOUBLE accepted")
+		}
+		return nil
+	})
+}
+
+func TestTagOutOfRangeRejected(t *testing.T) {
+	run(t, 1, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if _, err := c.Isend([]int32{1}, 1, mpi.Int32, 0, mpi.MaxUserTag); err == nil {
+			t.Error("oversized tag accepted")
+		}
+		if _, err := c.Isend([]int32{1}, 1, mpi.Int32, 0, -2); err == nil {
+			t.Error("negative tag accepted")
+		}
+		return nil
+	})
+}

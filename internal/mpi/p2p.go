@@ -1,0 +1,137 @@
+package mpi
+
+import (
+	"fmt"
+
+	"commintent/internal/simnet"
+)
+
+// AnySource and AnyTag are the receive wildcards.
+const (
+	AnySource = simnet.AnySource
+	AnyTag    = simnet.AnyTag
+)
+
+// Isend starts a non-blocking send of count elements of buf (datatype d) to
+// comm rank dest with the given tag. Messages up to the profile's eager
+// threshold use the eager protocol (buffer reusable on return); larger
+// messages use rendezvous and their request completes only when the
+// matching receive is posted. Either way the returned request must be
+// completed with Wait/Waitall/Test.
+func (c *Comm) Isend(buf any, count int, d *Datatype, dest, tag int) (*Request, error) {
+	if err := c.checkTag(tag); err != nil {
+		return nil, err
+	}
+	if dest < 0 || dest >= c.Size() {
+		return nil, fmt.Errorf("mpi: Isend to rank %d of comm size %d", dest, c.Size())
+	}
+	p := c.prof()
+	wire, encCost, err := d.encode(p, buf, count)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: Isend: %w", err)
+	}
+	clk := c.clock()
+	clk.Advance(p.MPISendOverhead + p.MPIRequestPerItem + encCost + p.InjectTime(len(wire)))
+	arrive := clk.Now() + p.MPILatencyBetween(c.rk.ID, c.WorldRank(dest))
+	sr := c.ep().Send(c.WorldRank(dest), c.wireTag(tag), wire, arrive)
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSend, Peer: c.WorldRank(dest), Tag: tag, Bytes: len(wire), V: clk.Now()})
+	return &Request{comm: c, send: sr, rendezvous: len(wire) > p.MPIEagerThreshold}, nil
+}
+
+// Send is the blocking send. Under the eager protocol it completes locally
+// as soon as the message is injected; a rendezvous-sized message blocks
+// until the matching receive is posted, as in real MPI.
+func (c *Comm) Send(buf any, count int, d *Datatype, dest, tag int) error {
+	r, err := c.Isend(buf, count, d, dest, tag)
+	if err != nil {
+		return err
+	}
+	if err := r.finish(); err != nil {
+		return err
+	}
+	c.clock().AdvanceTo(r.readyV)
+	return nil
+}
+
+// Irecv starts a non-blocking receive of up to count elements of datatype d
+// into buf from comm rank source (or AnySource) with the given tag (or
+// AnyTag).
+func (c *Comm) Irecv(buf any, count int, d *Datatype, source, tag int) (*Request, error) {
+	if err := c.checkTag(tag); err != nil {
+		return nil, err
+	}
+	if source != AnySource && (source < 0 || source >= c.Size()) {
+		return nil, fmt.Errorf("mpi: Irecv from rank %d of comm size %d", source, c.Size())
+	}
+	if cap, err := ElemCount(buf, d); err != nil {
+		return nil, fmt.Errorf("mpi: Irecv: %w", err)
+	} else if count > cap {
+		return nil, fmt.Errorf("mpi: Irecv: count %d exceeds buffer capacity %d", count, cap)
+	}
+	p := c.prof()
+	clk := c.clock()
+	clk.Advance(p.MPIRecvOverhead + p.MPIRequestPerItem)
+	wire := make([]byte, count*d.Size())
+	wtag := simnet.AnyTag
+	if tag != AnyTag {
+		wtag = c.wireTag(tag)
+	}
+	rr := c.ep().PostRecv(c.WorldRank(source), wtag, wire, clk.Now())
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvRecvPost, Peer: c.WorldRank(source), Tag: tag, Bytes: len(wire), V: clk.Now()})
+	return &Request{comm: c, recv: rr, wire: wire, recvBuf: buf, recvCount: count, dt: d}, nil
+}
+
+// Recv is the blocking receive.
+func (c *Comm) Recv(buf any, count int, d *Datatype, source, tag int) (Status, error) {
+	r, err := c.Irecv(buf, count, d, source, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	if err := r.finish(); err != nil {
+		return Status{}, err
+	}
+	c.clock().AdvanceTo(r.readyV)
+	return r.status, nil
+}
+
+// Sendrecv performs a combined send and receive, safe against the pairwise
+// deadlocks a naive blocking Send+Recv sequence can produce.
+func (c *Comm) Sendrecv(
+	sbuf any, scount int, sdt *Datatype, dest, stag int,
+	rbuf any, rcount int, rdt *Datatype, source, rtag int,
+) (Status, error) {
+	rr, err := c.Irecv(rbuf, rcount, rdt, source, rtag)
+	if err != nil {
+		return Status{}, err
+	}
+	if err := c.Send(sbuf, scount, sdt, dest, stag); err != nil {
+		return Status{}, err
+	}
+	if err := rr.finish(); err != nil {
+		return Status{}, err
+	}
+	c.clock().AdvanceTo(rr.readyV)
+	return rr.status, nil
+}
+
+// Iprobe reports whether a matching message is queued, with its envelope.
+func (c *Comm) Iprobe(source, tag int) (Status, bool, error) {
+	if err := c.checkTag(tag); err != nil {
+		return Status{}, false, err
+	}
+	c.clock().Advance(c.prof().MPITestEach)
+	wsrc := AnySource
+	if source != AnySource {
+		wsrc = c.WorldRank(source)
+	}
+	wtag := simnet.AnyTag
+	if tag != AnyTag {
+		wtag = c.wireTag(tag)
+	}
+	m, ok := c.ep().Probe(wsrc, wtag)
+	if !ok || m.ArriveV > c.clock().Now() {
+		// Not observable yet in virtual time.
+		return Status{}, false, nil
+	}
+	return Status{Source: c.commRankOf(m.Src), Tag: m.Tag - c.tagBase, Bytes: len(m.Data)}, true, nil
+}

@@ -1,0 +1,123 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+// TestRendezvousWaitsForReceiver: a send above the eager threshold must not
+// complete (in virtual time) before the receiver posts.
+func TestRendezvousWaitsForReceiver(t *testing.T) {
+	prof := model.GeminiLike()
+	big := make([]float64, prof.MPIEagerThreshold) // 8x the threshold in bytes
+	if err := spmd.Run(2, prof, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID == 0 {
+			req, err := c.Isend(big, len(big), mpi.Float64, 1, 0)
+			if err != nil {
+				return err
+			}
+			if _, err := c.Wait(req); err != nil {
+				return err
+			}
+			// The receiver posts at >= 5ms; the sender cannot have
+			// completed before then.
+			if rk.Now() < 5*model.Millisecond {
+				t.Errorf("rendezvous send completed at %v, before the receive was posted", rk.Now())
+			}
+			return nil
+		}
+		rk.Compute(5 * model.Millisecond) // receiver is late
+		buf := make([]float64, len(big))
+		_, err := c.Recv(buf, len(big), mpi.Float64, 0, 0)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEagerCompletesImmediately: a small send completes locally regardless
+// of when the receiver posts.
+func TestEagerCompletesImmediately(t *testing.T) {
+	prof := model.GeminiLike()
+	if err := spmd.Run(2, prof, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID == 0 {
+			before := rk.Now()
+			req, err := c.Isend([]float64{1, 2}, 2, mpi.Float64, 1, 0)
+			if err != nil {
+				return err
+			}
+			if _, err := c.Wait(req); err != nil {
+				return err
+			}
+			if rk.Now()-before > 100*model.Microsecond {
+				t.Errorf("eager send took %v", rk.Now()-before)
+			}
+			return nil
+		}
+		rk.Compute(5 * model.Millisecond)
+		buf := make([]float64, 2)
+		_, err := c.Recv(buf, 2, mpi.Float64, 0, 0)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRendezvousPayloadIntact: protocol choice must not affect the data.
+func TestRendezvousPayloadIntact(t *testing.T) {
+	prof := model.GeminiLike()
+	n := prof.MPIEagerThreshold // floats: 8x threshold bytes
+	if err := spmd.Run(2, prof, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID == 0 {
+			buf := make([]float64, n)
+			for i := range buf {
+				buf[i] = float64(i) * 0.5
+			}
+			return c.Send(buf, n, mpi.Float64, 1, 0)
+		}
+		buf := make([]float64, n)
+		if _, err := c.Recv(buf, n, mpi.Float64, 0, 0); err != nil {
+			return err
+		}
+		for i := range buf {
+			if buf[i] != float64(i)*0.5 {
+				t.Errorf("buf[%d] = %v", i, buf[i])
+				break
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendrecvRendezvousNoDeadlock: the combined call must survive pairwise
+// large-message exchanges that would deadlock two blocking Sends.
+func TestSendrecvRendezvousNoDeadlock(t *testing.T) {
+	prof := model.GeminiLike()
+	n := prof.MPIEagerThreshold
+	const ranks = 4
+	if err := spmd.Run(ranks, prof, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		next := (rk.ID + 1) % ranks
+		prev := (rk.ID - 1 + ranks) % ranks
+		out := make([]float64, n)
+		out[0] = float64(rk.ID)
+		in := make([]float64, n)
+		if _, err := c.Sendrecv(out, n, mpi.Float64, next, 0, in, n, mpi.Float64, prev, 0); err != nil {
+			return err
+		}
+		if in[0] != float64(prev) {
+			t.Errorf("rank %d got %v", rk.ID, in[0])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package mpi
+
+import (
+	"fmt"
+
+	"commintent/internal/model"
+	"commintent/internal/simnet"
+)
+
+// Status describes a completed receive, like MPI_Status.
+type Status struct {
+	Source int // comm rank of the sender
+	Tag    int // user tag
+	Bytes  int // payload bytes delivered
+}
+
+// Count reports the number of elements of datatype d delivered.
+func (s Status) Count(d *Datatype) int {
+	if d.Size() == 0 {
+		return 0
+	}
+	return s.Bytes / d.Size()
+}
+
+// Request tracks a non-blocking operation until completion.
+type Request struct {
+	comm *Comm
+
+	send       *simnet.SendReq
+	recv       *simnet.RecvReq
+	rendezvous bool // send larger than the eager threshold
+
+	// Receive-side decode state.
+	wire      []byte
+	recvBuf   any
+	recvCount int
+	dt        *Datatype
+
+	done    bool
+	claimed bool // consumed by Waitany
+	status  Status
+	readyV  model.Time // virtual completion time, set when finished
+}
+
+// IsSend reports whether this tracks a send.
+func (r *Request) IsSend() bool { return r.send != nil }
+
+// Status returns the completed operation's status. Only valid after a
+// successful Wait/Test/Waitall.
+func (r *Request) Status() Status { return r.status }
+
+// CompletionV reports the virtual time at which the operation's data was
+// complete (not including the waiting call's own overhead). Only valid
+// after completion.
+func (r *Request) CompletionV() model.Time { return r.readyV }
+
+// Unexpected reports whether a completed receive found its message already
+// queued (it arrived, in virtual time, before the receive was posted).
+// Always false for sends; only valid after completion.
+func (r *Request) Unexpected() bool {
+	return r.recv != nil && r.done && r.recv.Unexpected()
+}
+
+// finish blocks (real time) until the request's data movement is done, then
+// computes its virtual completion time and decodes the payload. It charges
+// no call overhead itself; Wait/Waitall/Test add their own.
+func (r *Request) finish() error {
+	if r.done {
+		return nil
+	}
+	p := r.comm.prof()
+	if r.send != nil {
+		if r.rendezvous {
+			// Rendezvous: the send completes only once the matching
+			// receive is posted; the clearing ack costs one more latency.
+			<-r.send.Msg.Matched()
+			r.readyV = model.Max(r.send.LocalV, r.send.Msg.MatchV()+p.MPILatency)
+		} else {
+			// Eager: the send buffer was reusable at call time.
+			r.readyV = r.send.LocalV
+		}
+		r.done = true
+		return nil
+	}
+	<-r.recv.Done()
+	msg, n := r.recv.Result()
+	ready := model.Max(msg.ArriveV, r.recv.PostV()) + p.MPIMatchCost + p.RecvCopyTime(n)
+	if r.recv.Unexpected() {
+		ready += p.MPIUnexpected
+	}
+	count := r.recvCount
+	if max := n / r.dt.Size(); max < count {
+		count = max
+	}
+	cost, err := r.dt.decode(p, r.wire[:n], r.recvBuf, count)
+	if err != nil {
+		return fmt.Errorf("mpi: recv decode: %w", err)
+	}
+	ready += cost
+	srcComm := r.comm.commRankOf(msg.Src)
+	r.status = Status{Source: srcComm, Tag: msg.Tag - r.comm.tagBase, Bytes: n}
+	r.readyV = ready
+	r.done = true
+	r.comm.emit(simnet.Event{
+		Rank: r.comm.rk.ID, Kind: simnet.EvRecvComplete,
+		Peer: msg.Src, Tag: r.status.Tag, Bytes: n, V: ready,
+	})
+	return nil
+}
+
+// Wait blocks until the request completes, charging one MPI_Wait call.
+// This is the per-request completion style whose cost the paper's Figure 4
+// highlights.
+func (c *Comm) Wait(r *Request) (Status, error) {
+	if err := r.finish(); err != nil {
+		return Status{}, err
+	}
+	clk := c.clock()
+	clk.Advance(c.prof().MPIWaitEach)
+	clk.AdvanceTo(r.readyV)
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvWait, Peer: -1, V: clk.Now()})
+	return r.status, nil
+}
+
+// Waitall blocks until all requests complete, charging a single
+// MPI_Waitall call (base + per-request increment). This is the consolidated
+// completion the directive layer generates.
+func (c *Comm) Waitall(reqs []*Request) ([]Status, error) {
+	stats := make([]Status, len(reqs))
+	var maxReady model.Time
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if err := r.finish(); err != nil {
+			return nil, err
+		}
+		stats[i] = r.status
+		if r.readyV > maxReady {
+			maxReady = r.readyV
+		}
+	}
+	clk := c.clock()
+	clk.Advance(c.prof().WaitallTime(len(reqs)))
+	clk.AdvanceTo(maxReady)
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, Bytes: len(reqs), V: clk.Now()})
+	return stats, nil
+}
+
+// Waitany blocks until at least one request completes and returns its
+// index. Completed requests are chosen by earliest virtual readiness to
+// keep runs deterministic.
+func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
+	if len(reqs) == 0 {
+		return -1, Status{}, fmt.Errorf("mpi: Waitany on empty request list")
+	}
+	// Deterministic choice: among requests that are already matched, pick
+	// the one with the earliest virtual completion; otherwise block on the
+	// first live receive in list order and retry.
+	for {
+		best := -1
+		anyLive := false
+		for i, r := range reqs {
+			if r == nil || r.claimed {
+				continue
+			}
+			anyLive = true
+			if r.send != nil || r.done || r.recv.Matched() {
+				if err := r.finish(); err != nil {
+					return -1, Status{}, err
+				}
+				if best == -1 || r.readyV < reqs[best].readyV {
+					best = i
+				}
+			}
+		}
+		if !anyLive {
+			return -1, Status{}, fmt.Errorf("mpi: Waitany: all requests already consumed")
+		}
+		if best >= 0 {
+			r := reqs[best]
+			r.claimed = true
+			clk := c.clock()
+			clk.Advance(c.prof().MPIWaitEach)
+			clk.AdvanceTo(r.readyV)
+			return best, r.status, nil
+		}
+		for _, r := range reqs {
+			if r != nil && !r.claimed && r.recv != nil {
+				<-r.recv.Done()
+				break
+			}
+		}
+	}
+}
+
+// Test reports, without blocking, whether the request has completed; if it
+// has, the request is finished and its status returned. One MPI_Test call
+// is charged either way.
+func (c *Comm) Test(r *Request) (bool, Status, error) {
+	c.clock().Advance(c.prof().MPITestEach)
+	if r.send == nil && !r.recv.Matched() && !r.done {
+		return false, Status{}, nil
+	}
+	if err := r.finish(); err != nil {
+		return false, Status{}, err
+	}
+	// An operation is only observable as complete once virtual time has
+	// caught up with it.
+	if r.readyV > c.clock().Now() {
+		return false, Status{}, nil
+	}
+	return true, r.status, nil
+}
+
+// Waitsome blocks until at least one request completes, then returns the
+// indices and statuses of every request whose completion is observable at
+// the resulting virtual time — the batch-draining middle ground between
+// Waitany and Waitall. Completed requests are consumed.
+func (c *Comm) Waitsome(reqs []*Request) ([]int, []Status, error) {
+	first, st, err := c.Waitany(reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	idxs := []int{first}
+	stats := []Status{st}
+	now := c.clock().Now()
+	for i, r := range reqs {
+		if r == nil || r.claimed {
+			continue
+		}
+		if r.send != nil || r.done || r.recv.Matched() {
+			if err := r.finish(); err != nil {
+				return nil, nil, err
+			}
+			if r.readyV <= now {
+				r.claimed = true
+				idxs = append(idxs, i)
+				stats = append(stats, r.status)
+			}
+		}
+	}
+	return idxs, stats, nil
+}

@@ -1,0 +1,100 @@
+package plan
+
+import "commintent/internal/core"
+
+// Prebuilt patterns for the recurring point-to-point structures of
+// scientific applications the paper cites (Vetter & Mueller; Kim & Lilja;
+// Riesen). Each is a reusable compiled plan; bind buffers and execute.
+
+// Ring is the paper's Listing 1 as a reusable pattern: every rank sends
+// slot "out" to (rank+1) mod size and receives into slot "in" from
+// (rank-1+size) mod size.
+func Ring(target core.Target) *Plan {
+	return MustCompile(Pattern{
+		Name:   "ring",
+		Target: target,
+		Sender: func(rank, size int) int {
+			return (rank - 1 + size) % size
+		},
+		Receiver: func(rank, size int) int {
+			return (rank + 1) % size
+		},
+		Steps: []Step{{Name: "shift", SBuf: []Slot{"out"}, RBuf: []Slot{"in"}}},
+	})
+}
+
+// EvenOdd is the paper's Listing 2 as a reusable pattern: even ranks send
+// slot "out" to the nearest odd rank's slot "in".
+func EvenOdd(target core.Target) *Plan {
+	return MustCompile(Pattern{
+		Name:     "even-odd",
+		Target:   target,
+		Sender:   func(rank, size int) int { return rank - 1 },
+		Receiver: func(rank, size int) int { return rank + 1 },
+		SendWhen: func(rank, size int) bool { return rank%2 == 0 && rank+1 < size },
+		RecvWhen: func(rank, size int) bool { return rank%2 == 1 },
+		Steps:    []Step{{Name: "pair", SBuf: []Slot{"out"}, RBuf: []Slot{"in"}}},
+	})
+}
+
+// Shift sends slot "out" k ranks to the right (cyclically) into slot "in".
+func Shift(target core.Target, k int) *Plan {
+	return MustCompile(Pattern{
+		Name:   "shift",
+		Target: target,
+		Sender: func(rank, size int) int {
+			return ((rank-k)%size + size) % size
+		},
+		Receiver: func(rank, size int) int {
+			return (rank + k) % size
+		},
+		Steps: []Step{{Name: "shift", SBuf: []Slot{"out"}, RBuf: []Slot{"in"}}},
+	})
+}
+
+// HaloExchange is a bidirectional nearest-neighbour exchange on an open
+// chain: slot "left-edge" goes to the left neighbour's "right-halo" and
+// slot "right-edge" to the right neighbour's "left-halo", consolidated in
+// one region.
+func HaloExchange(target core.Target) *Plan {
+	return MustCompile(Pattern{
+		Name:   "halo-exchange",
+		Target: target,
+		Steps: []Step{
+			{
+				Name:     "to-left",
+				SBuf:     []Slot{"left-edge"},
+				RBuf:     []Slot{"right-halo"},
+				Sender:   func(rank, size int) int { return rank + 1 },
+				Receiver: func(rank, size int) int { return rank - 1 },
+				SendWhen: func(rank, size int) bool { return rank > 0 },
+				RecvWhen: func(rank, size int) bool { return rank < size-1 },
+			},
+			{
+				Name:     "to-right",
+				SBuf:     []Slot{"right-edge"},
+				RBuf:     []Slot{"left-halo"},
+				Sender:   func(rank, size int) int { return rank - 1 },
+				Receiver: func(rank, size int) int { return rank + 1 },
+				SendWhen: func(rank, size int) bool { return rank < size-1 },
+				RecvWhen: func(rank, size int) bool { return rank > 0 },
+			},
+		},
+	})
+}
+
+// MasterScatter sends distinct slices from a master's slot "all" to every
+// other rank's slot "mine" — the WL-LSMS privileged-to-workers shape. The
+// caller binds "all" to a per-destination view before each Execute, or uses
+// one Execute per destination; the simplest reusable form is per-pair.
+func MasterScatter(target core.Target, master, worker int) *Plan {
+	return MustCompile(Pattern{
+		Name:     "master-scatter-pair",
+		Target:   target,
+		Sender:   func(rank, size int) int { return master },
+		Receiver: func(rank, size int) int { return worker },
+		SendWhen: func(rank, size int) bool { return rank == master },
+		RecvWhen: func(rank, size int) bool { return rank == worker },
+		Steps:    []Step{{Name: "chunk", SBuf: []Slot{"all"}, RBuf: []Slot{"mine"}}},
+	})
+}

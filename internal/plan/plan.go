@@ -1,0 +1,276 @@
+// Package plan provides the static, declarative side of the directive
+// layer: a communication pattern is described once as data (symbolic buffer
+// slots instead of concrete buffers), compiled with the same analyses the
+// compiler in the paper performs — clause validation, count inference
+// shape, buffer-independence between adjacent comm_p2p instances, sync
+// consolidation points — and then executed any number of times against
+// different buffer bindings.
+//
+// This realises the paper's observation that directives "enable
+// opportunities for reusing structured communication patterns on different
+// code regions": the Plan is the reusable artefact, and Plan.String is the
+// analogue of inspecting the compiler's lowering.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"commintent/internal/core"
+)
+
+// Slot names a buffer symbolically within a pattern.
+type Slot string
+
+// Expr computes a clause value from the executing rank's (rank, size).
+type Expr func(rank, size int) int
+
+// Cond computes a Boolean clause from (rank, size).
+type Cond func(rank, size int) bool
+
+// Step describes one comm_p2p instance of a pattern. Zero values inherit
+// the pattern-level clauses, mirroring the comm_parameters inheritance
+// rule.
+type Step struct {
+	Name string
+
+	SBuf []Slot
+	RBuf []Slot
+
+	Sender   Expr
+	Receiver Expr
+	SendWhen Cond
+	RecvWhen Cond
+
+	Count int // 0 = infer from the bound buffers
+}
+
+// Pattern is a comm_parameters region described as data.
+type Pattern struct {
+	Name string
+
+	Steps []Step
+
+	// Region-level clauses.
+	Sender    Expr
+	Receiver  Expr
+	SendWhen  Cond
+	RecvWhen  Cond
+	Target    core.Target
+	PlaceSync core.SyncPlacement
+	// MaxCommIter caps comm_p2p executions per region instance; 0 derives
+	// it from the step count.
+	MaxCommIter int
+}
+
+// Plan is a compiled pattern.
+type Plan struct {
+	pattern   Pattern
+	slots     []Slot       // every slot referenced, in first-use order
+	syncAfter map[int]bool // steps after which a dependence forces a sync
+	notes     []string
+}
+
+// Compile validates the pattern and performs the static analyses.
+func Compile(p Pattern) (*Plan, error) {
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("plan: pattern %q has no steps", p.Name)
+	}
+	pl := &Plan{pattern: p, syncAfter: make(map[int]bool)}
+	seen := map[Slot]bool{}
+	addSlot := func(s Slot) {
+		if !seen[s] {
+			seen[s] = true
+			pl.slots = append(pl.slots, s)
+		}
+	}
+
+	// Clause validation, mirroring the runtime rules statically.
+	for i, st := range p.Steps {
+		if len(st.SBuf) == 0 {
+			return nil, fmt.Errorf("plan: %s step %d: %w", p.Name, i, errMissing("sbuf"))
+		}
+		if len(st.RBuf) == 0 {
+			return nil, fmt.Errorf("plan: %s step %d: %w", p.Name, i, errMissing("rbuf"))
+		}
+		if len(st.SBuf) != len(st.RBuf) {
+			return nil, fmt.Errorf("plan: %s step %d: sbuf/rbuf arity %d vs %d", p.Name, i, len(st.SBuf), len(st.RBuf))
+		}
+		if st.Sender == nil && p.Sender == nil {
+			return nil, fmt.Errorf("plan: %s step %d: %w", p.Name, i, errMissing("sender"))
+		}
+		if st.Receiver == nil && p.Receiver == nil {
+			return nil, fmt.Errorf("plan: %s step %d: %w", p.Name, i, errMissing("receiver"))
+		}
+		sw := st.SendWhen != nil || p.SendWhen != nil
+		rw := st.RecvWhen != nil || p.RecvWhen != nil
+		if sw != rw {
+			return nil, fmt.Errorf("plan: %s step %d: sendwhen and receivewhen must be used together", p.Name, i)
+		}
+		for _, s := range st.SBuf {
+			addSlot(s)
+		}
+		for _, s := range st.RBuf {
+			addSlot(s)
+		}
+	}
+
+	// Static buffer-independence analysis at slot granularity: a step that
+	// reuses a slot still pending from an earlier step in the region marks
+	// a forced synchronisation point before it.
+	pending := map[Slot]int{}
+	for i, st := range p.Steps {
+		dependent := false
+		for _, s := range append(append([]Slot{}, st.SBuf...), st.RBuf...) {
+			if j, ok := pending[s]; ok {
+				dependent = true
+				pl.notes = append(pl.notes,
+					fmt.Sprintf("step %d depends on slot %q pending since step %d: sync forced", i, s, j))
+			}
+		}
+		if dependent {
+			pl.syncAfter[i-1] = true
+			pending = map[Slot]int{}
+		}
+		for _, s := range append(append([]Slot{}, st.SBuf...), st.RBuf...) {
+			pending[s] = i
+		}
+	}
+	return pl, nil
+}
+
+func errMissing(clause string) error {
+	return fmt.Errorf("%w: %s", core.ErrMissingClause, clause)
+}
+
+// MustCompile is Compile that panics on error, for package-level pattern
+// variables.
+func MustCompile(p Pattern) *Plan {
+	pl, err := Compile(p)
+	if err != nil {
+		panic(err)
+	}
+	return pl
+}
+
+// Slots lists every slot the pattern references, in first-use order; a
+// binding must provide each of them.
+func (pl *Plan) Slots() []Slot {
+	out := make([]Slot, len(pl.slots))
+	copy(out, pl.slots)
+	return out
+}
+
+// SyncPoints reports the step indices after which the compiled analysis
+// inserts a forced synchronisation (dependent buffers).
+func (pl *Plan) SyncPoints() []int {
+	var out []int
+	for i := range pl.pattern.Steps {
+		if pl.syncAfter[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the compiled plan: the lowering a compiler would emit.
+func (pl *Plan) String() string {
+	var b strings.Builder
+	p := pl.pattern
+	fmt.Fprintf(&b, "plan %q: %d comm_p2p step(s), target=%v, place_sync=%v\n",
+		p.Name, len(p.Steps), p.Target, p.PlaceSync)
+	for i, st := range p.Steps {
+		name := st.Name
+		if name == "" {
+			name = fmt.Sprintf("step-%d", i)
+		}
+		fmt.Fprintf(&b, "  p2p %-12s sbuf=%v rbuf=%v", name, st.SBuf, st.RBuf)
+		if st.Count > 0 {
+			fmt.Fprintf(&b, " count=%d", st.Count)
+		} else {
+			fmt.Fprintf(&b, " count=<inferred>")
+		}
+		b.WriteByte('\n')
+		if pl.syncAfter[i] {
+			fmt.Fprintf(&b, "  -- consolidated sync (dependent buffers follow)\n")
+		}
+	}
+	fmt.Fprintf(&b, "  -- region-end consolidated sync\n")
+	for _, n := range pl.notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Binding maps slots to concrete buffers for one execution.
+type Binding map[Slot]any
+
+// Execute runs the compiled pattern once against env with the given
+// binding. The dynamic layer re-checks everything the static pass proved,
+// so Execute is exactly as safe as hand-written directives — just reusable.
+func (pl *Plan) Execute(env *core.Env, binding Binding) error {
+	for _, s := range pl.slots {
+		if _, ok := binding[s]; !ok {
+			return fmt.Errorf("plan: %s: binding missing slot %q", pl.pattern.Name, s)
+		}
+	}
+	p := pl.pattern
+	rank := env.Comm().Rank()
+	size := env.Comm().Size()
+
+	regionOpts := []core.Option{core.PlaceSync(p.PlaceSync)}
+	if p.Target != core.TargetDefault {
+		regionOpts = append(regionOpts, core.WithTarget(p.Target))
+	}
+	maxIter := p.MaxCommIter
+	if maxIter == 0 {
+		maxIter = len(p.Steps)
+	}
+	regionOpts = append(regionOpts, core.MaxCommIter(maxIter))
+	if p.Sender != nil {
+		regionOpts = append(regionOpts, core.Sender(p.Sender(rank, size)))
+	}
+	if p.Receiver != nil {
+		regionOpts = append(regionOpts, core.Receiver(p.Receiver(rank, size)))
+	}
+	if p.SendWhen != nil {
+		regionOpts = append(regionOpts, core.SendWhen(p.SendWhen(rank, size)))
+	}
+	if p.RecvWhen != nil {
+		regionOpts = append(regionOpts, core.ReceiveWhen(p.RecvWhen(rank, size)))
+	}
+
+	return env.Parameters(func(r *core.Region) error {
+		for _, st := range p.Steps {
+			var opts []core.Option
+			sb := make([]any, len(st.SBuf))
+			for i, s := range st.SBuf {
+				sb[i] = binding[s]
+			}
+			rb := make([]any, len(st.RBuf))
+			for i, s := range st.RBuf {
+				rb[i] = binding[s]
+			}
+			opts = append(opts, core.SBuf(sb...), core.RBuf(rb...))
+			if st.Sender != nil {
+				opts = append(opts, core.Sender(st.Sender(rank, size)))
+			}
+			if st.Receiver != nil {
+				opts = append(opts, core.Receiver(st.Receiver(rank, size)))
+			}
+			if st.SendWhen != nil {
+				opts = append(opts, core.SendWhen(st.SendWhen(rank, size)))
+			}
+			if st.RecvWhen != nil {
+				opts = append(opts, core.ReceiveWhen(st.RecvWhen(rank, size)))
+			}
+			if st.Count > 0 {
+				opts = append(opts, core.Count(st.Count))
+			}
+			if err := r.P2P(opts...); err != nil {
+				return fmt.Errorf("plan: %s step %q: %w", p.Name, st.Name, err)
+			}
+		}
+		return nil
+	}, regionOpts...)
+}

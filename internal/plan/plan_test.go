@@ -1,0 +1,232 @@
+package plan_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/plan"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+func run(t *testing.T, n int, body func(*spmd.Rank, *core.Env, *shmem.Ctx) error) {
+	t.Helper()
+	if err := spmd.Run(n, model.Uniform(100), func(rk *spmd.Rank) error {
+		shm := shmem.New(rk)
+		env, err := core.NewEnv(mpi.World(rk), shm)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		return body(rk, env, shm)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	_, err := plan.Compile(plan.Pattern{Name: "empty"})
+	if err == nil {
+		t.Error("empty pattern compiled")
+	}
+	_, err = plan.Compile(plan.Pattern{
+		Name:  "no-bufs",
+		Steps: []plan.Step{{}},
+	})
+	if err == nil {
+		t.Error("step without buffers compiled")
+	}
+	_, err = plan.Compile(plan.Pattern{
+		Name:  "no-sender",
+		Steps: []plan.Step{{SBuf: []plan.Slot{"a"}, RBuf: []plan.Slot{"b"}}},
+	})
+	if !errors.Is(err, core.ErrMissingClause) {
+		t.Errorf("missing sender: %v", err)
+	}
+	_, err = plan.Compile(plan.Pattern{
+		Name:     "lone-sendwhen",
+		Sender:   func(r, s int) int { return 0 },
+		Receiver: func(r, s int) int { return 1 },
+		SendWhen: func(r, s int) bool { return true },
+		Steps:    []plan.Step{{SBuf: []plan.Slot{"a"}, RBuf: []plan.Slot{"b"}}},
+	})
+	if err == nil {
+		t.Error("lone sendwhen compiled")
+	}
+}
+
+func TestStaticDependenceAnalysis(t *testing.T) {
+	pl, err := plan.Compile(plan.Pattern{
+		Name:     "dep",
+		Sender:   func(r, s int) int { return 0 },
+		Receiver: func(r, s int) int { return 1 },
+		Steps: []plan.Step{
+			{Name: "a", SBuf: []plan.Slot{"x"}, RBuf: []plan.Slot{"y"}},
+			{Name: "b", SBuf: []plan.Slot{"u"}, RBuf: []plan.Slot{"v"}},
+			{Name: "c", SBuf: []plan.Slot{"y"}, RBuf: []plan.Slot{"z"}}, // reuses y
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := pl.SyncPoints()
+	if len(sp) != 1 || sp[0] != 1 {
+		t.Errorf("sync points = %v, want [1]", sp)
+	}
+	dump := pl.String()
+	if !strings.Contains(dump, "consolidated sync (dependent buffers follow)") {
+		t.Errorf("dump missing forced sync:\n%s", dump)
+	}
+	if !strings.Contains(dump, `slot "y"`) {
+		t.Errorf("dump missing dependence note:\n%s", dump)
+	}
+	slots := pl.Slots()
+	if len(slots) != 5 { // x y u v z — y is reused, not duplicated
+		t.Errorf("slots = %v", slots)
+	}
+}
+
+func TestRingPlanExecutesOnAllTargets(t *testing.T) {
+	const n = 6
+	for _, target := range []core.Target{core.TargetMPI2Side, core.TargetSHMEM} {
+		target := target
+		t.Run(target.String(), func(t *testing.T) {
+			pl := plan.Ring(target)
+			run(t, n, func(rk *spmd.Rank, env *core.Env, shm *shmem.Ctx) error {
+				out := shmem.MustAlloc[int64](shm, 2)
+				in := shmem.MustAlloc[int64](shm, 2)
+				// Execute the same compiled plan three times (pattern
+				// reuse), rotating the token around the ring.
+				out.Local(shm)[0] = int64(rk.ID)
+				for iter := 0; iter < 3; iter++ {
+					if err := pl.Execute(env, plan.Binding{"out": out, "in": in}); err != nil {
+						return err
+					}
+					copy(out.Local(shm), in.Local(shm))
+					// SHMEM consumption discipline: the destination buffer
+					// may be overwritten by the next region's puts as soon
+					// as the senders proceed, so consumers must
+					// resynchronise before buffer reuse across regions.
+					shm.BarrierAll()
+				}
+				want := int64((rk.ID - 3 + n) % n)
+				if got := in.Local(shm)[0]; got != want {
+					t.Errorf("rank %d: token %d, want %d", rk.ID, got, want)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestEvenOddPlan(t *testing.T) {
+	pl := plan.EvenOdd(core.TargetDefault)
+	run(t, 6, func(rk *spmd.Rank, env *core.Env, shm *shmem.Ctx) error {
+		out := shmem.MustAlloc[float64](shm, 1)
+		in := shmem.MustAlloc[float64](shm, 1)
+		out.Local(shm)[0] = float64(100 + rk.ID)
+		if err := pl.Execute(env, plan.Binding{"out": out, "in": in}); err != nil {
+			return err
+		}
+		if rk.ID%2 == 1 {
+			if got := in.Local(shm)[0]; got != float64(100+rk.ID-1) {
+				t.Errorf("rank %d got %v", rk.ID, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestShiftPlan(t *testing.T) {
+	const n = 5
+	pl := plan.Shift(core.TargetDefault, 2)
+	run(t, n, func(rk *spmd.Rank, env *core.Env, shm *shmem.Ctx) error {
+		out := shmem.MustAlloc[int64](shm, 1)
+		in := shmem.MustAlloc[int64](shm, 1)
+		out.Local(shm)[0] = int64(rk.ID)
+		if err := pl.Execute(env, plan.Binding{"out": out, "in": in}); err != nil {
+			return err
+		}
+		want := int64((rk.ID - 2 + n) % n)
+		if got := in.Local(shm)[0]; got != want {
+			t.Errorf("rank %d got %d want %d", rk.ID, got, want)
+		}
+		return nil
+	})
+}
+
+func TestHaloExchangePlan(t *testing.T) {
+	const n = 4
+	pl := plan.HaloExchange(core.TargetSHMEM)
+	run(t, n, func(rk *spmd.Rank, env *core.Env, shm *shmem.Ctx) error {
+		le := shmem.MustAlloc[float64](shm, 1)
+		re := shmem.MustAlloc[float64](shm, 1)
+		lh := shmem.MustAlloc[float64](shm, 1)
+		rh := shmem.MustAlloc[float64](shm, 1)
+		le.Local(shm)[0] = float64(rk.ID*10 + 1)
+		re.Local(shm)[0] = float64(rk.ID*10 + 9)
+		err := pl.Execute(env, plan.Binding{
+			"left-edge": le, "right-edge": re,
+			"left-halo": lh, "right-halo": rh,
+		})
+		if err != nil {
+			return err
+		}
+		if rk.ID > 0 {
+			if got := lh.Local(shm)[0]; got != float64((rk.ID-1)*10+9) {
+				t.Errorf("rank %d left halo %v", rk.ID, got)
+			}
+		}
+		if rk.ID < n-1 {
+			if got := rh.Local(shm)[0]; got != float64((rk.ID+1)*10+1) {
+				t.Errorf("rank %d right halo %v", rk.ID, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestExecuteMissingBinding(t *testing.T) {
+	pl := plan.Ring(core.TargetDefault)
+	run(t, 2, func(rk *spmd.Rank, env *core.Env, shm *shmem.Ctx) error {
+		out := shmem.MustAlloc[int64](shm, 1)
+		err := pl.Execute(env, plan.Binding{"out": out})
+		if err == nil || !strings.Contains(err.Error(), `missing slot "in"`) {
+			t.Errorf("missing binding: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestMasterScatterPlan(t *testing.T) {
+	const n = 4
+	run(t, n, func(rk *spmd.Rank, env *core.Env, shm *shmem.Ctx) error {
+		all := shmem.MustAlloc[float64](shm, n)
+		mine := shmem.MustAlloc[float64](shm, 1)
+		if rk.ID == 0 {
+			a := all.Local(shm)
+			for i := range a {
+				a[i] = float64(1000 + i)
+			}
+		}
+		for w := 1; w < n; w++ {
+			pl := plan.MasterScatter(core.TargetDefault, 0, w)
+			if err := pl.Execute(env, plan.Binding{
+				"all":  core.At(all, w),
+				"mine": mine,
+			}); err != nil {
+				return err
+			}
+		}
+		if rk.ID > 0 {
+			if got := mine.Local(shm)[0]; got != float64(1000+rk.ID) {
+				t.Errorf("rank %d got %v", rk.ID, got)
+			}
+		}
+		return nil
+	})
+}

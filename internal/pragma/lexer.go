@@ -1,0 +1,89 @@
+// Package pragma is the textual front-end: it parses the paper's literal
+// directive syntax —
+//
+//	#pragma comm_p2p sender(prev) receiver(next) sbuf(buf1) rbuf(buf2)
+//	#pragma comm_parameters sendwhen(rank%2==0) receivewhen(rank%2==1)
+//	        count(size) max_comm_iter(n) place_sync(END_PARAM_REGION)
+//
+// — into directive specifications whose clause expressions are evaluated
+// against a per-rank variable environment (rank, nprocs, and any
+// application variables), and lowers them onto a core.Env. It is the
+// compiler-front-end half of the paper's system: the listings in the paper
+// parse verbatim (see the tests).
+package pragma
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokSym // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenises a clause argument or a whole pragma line.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// twoCharOps are the multi-character operators, longest first.
+var twoCharOps = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokInt, l.src[start:l.pos], start})
+		default:
+			matched := false
+			for _, op := range twoCharOps {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					l.toks = append(l.toks, token{tokSym, op, l.pos})
+					l.pos += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '+', '-', '*', '/', '%', '<', '>', '!', '&', '[', ']':
+				l.toks = append(l.toks, token{tokSym, string(c), l.pos})
+				l.pos++
+			default:
+				return nil, fmt.Errorf("pragma: unexpected character %q at %d in %q", c, l.pos, src)
+			}
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(src)})
+	return l.toks, nil
+}

@@ -1,0 +1,325 @@
+package pragma_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/pragma"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+func TestExprEvaluation(t *testing.T) {
+	vars := map[string]int{"rank": 5, "nprocs": 8, "n": 3}
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"rank-1", 4},
+		{"(rank-1+nprocs)%nprocs", 4},
+		{"(rank+1)%nprocs", 6},
+		{"rank%2==0", 0},
+		{"rank%2==1", 1},
+		{"-n", -3},
+		{"!0", 1},
+		{"!7", 0},
+		{"rank==5 && nprocs==8", 1},
+		{"rank==4 || nprocs==8", 1},
+		{"rank==4 && nprocs==8", 0},
+		{"10/n", 3},
+		{"rank<=5", 1},
+		{"rank<5", 0},
+		{"rank>=6", 0},
+		{"rank!=5", 0},
+		{"2*(rank-n)", 4},
+	}
+	for _, tc := range cases {
+		e, err := pragma.ParseExpr(tc.src)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		got, err := e.Eval(vars)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%q = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	for _, src := range []string{"", "1+", "(1", "1 2", "foo(", "a @ b"} {
+		if _, err := pragma.ParseExpr(src); err == nil {
+			t.Errorf("%q parsed", src)
+		}
+	}
+	e, err := pragma.ParseExpr("undefined_var+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval(map[string]int{}); err == nil {
+		t.Error("undefined variable evaluated")
+	}
+	for _, src := range []string{"1/0", "1%0"} {
+		e, err := pragma.ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Eval(nil); err == nil {
+			t.Errorf("%q evaluated", src)
+		}
+	}
+}
+
+// TestExprArithmeticProperty cross-checks the evaluator against Go.
+func TestExprArithmeticProperty(t *testing.T) {
+	e, err := pragma.ParseExpr("(a+b)*c - a%d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b, c int16, dRaw uint8) bool {
+		d := int(dRaw)%7 + 1
+		vars := map[string]int{"a": int(a), "b": int(b), "c": int(c), "d": d}
+		got, err := e.Eval(vars)
+		if err != nil {
+			return false
+		}
+		want := (int(a)+int(b))*int(c) - int(a)%d
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseListing1 parses the paper's Listing 1 verbatim.
+func TestParseListing1(t *testing.T) {
+	s, err := pragma.Parse("#pragma comm_p2p sender(prev) receiver(next) sbuf(buf1) rbuf(buf2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Params || s.Sender == nil || s.Receiver == nil || len(s.SBuf) != 1 || len(s.RBuf) != 1 {
+		t.Errorf("spec = %+v", s)
+	}
+	if s.SBuf[0].Name != "buf1" || s.RBuf[0].Name != "buf2" {
+		t.Errorf("buffers: %v %v", s.SBuf, s.RBuf)
+	}
+}
+
+// TestParseListing2 parses Listing 2 verbatim.
+func TestParseListing2(t *testing.T) {
+	s, err := pragma.Parse(`#pragma comm_p2p sbuf(buf1) rbuf(buf2)
+		sender(rank-1) receiver(rank+1)
+		sendwhen(rank%2==0) receivewhen(rank%2==1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SendWhen == nil || s.RecvWhen == nil {
+		t.Fatalf("when clauses missing: %+v", s)
+	}
+	even, _ := pragma.EvalBool(s.SendWhen, map[string]int{"rank": 4})
+	odd, _ := pragma.EvalBool(s.RecvWhen, map[string]int{"rank": 5})
+	if !even || !odd {
+		t.Error("when clause evaluation wrong")
+	}
+}
+
+// TestParseListing3 parses Listing 3 verbatim, including the
+// comm_parameters-only clauses and the &buf1[p] buffer references.
+func TestParseListing3(t *testing.T) {
+	params, err := pragma.Parse(`#pragma comm_parameters sender(rank-1)
+		receiver(rank+1) sendwhen(rank%2==0)
+		receivewhen(rank%2==1) count(size)
+		max_comm_iter(n) place_sync(END_PARAM_REGION)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !params.Params || params.MaxCommIter == nil || params.PlaceSync != "END_PARAM_REGION" {
+		t.Errorf("params spec: %+v", params)
+	}
+	p2p, err := pragma.Parse("#pragma comm_p2p sbuf(&buf1[p]) rbuf(&buf2[p])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2p.SBuf[0].Offset == nil || p2p.RBuf[0].Offset == nil {
+		t.Errorf("offsets not parsed: %+v", p2p)
+	}
+}
+
+// TestParseListing5 parses Listing 5's three directives, including the
+// paper's literal "vsbuf" spelling.
+func TestParseListing5(t *testing.T) {
+	lines := []string{
+		"#pragma comm_parameters sendwhen(rank==from_rank) receivewhen(rank==to_rank) sender(from_rank) receiver(to_rank)",
+		"#pragma comm_p2p sbuf(scalaratomdata) rbuf(scalaratomdata) count(1)",
+		"#pragma comm_p2p vsbuf(vr,rhotot) rbuf(vr,rhotot) count(size1)",
+		"#pragma comm_p2p sbuf(ec,nc,lc,kc) rbuf(ec,nc,lc,kc) count(size2)",
+	}
+	for i, l := range lines {
+		s, err := pragma.Parse(l)
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if (i == 0) != s.Params {
+			t.Errorf("line %d Params=%v", i, s.Params)
+		}
+	}
+	s, _ := pragma.Parse(lines[3])
+	if len(s.SBuf) != 4 || s.SBuf[2].Name != "lc" {
+		t.Errorf("buffer list: %v", s.SBuf)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"#pragma comm_nope sbuf(a) rbuf(a)",
+		"#pragma comm_p2p bogus(a)",
+		"#pragma comm_p2p sbuf(a",
+		"#pragma comm_p2p sbuf(a) sbuf(b) rbuf(c)",
+		"#pragma comm_p2p place_sync(END_PARAM_REGION) sbuf(a) rbuf(a)",
+		"#pragma comm_p2p max_comm_iter(3) sbuf(a) rbuf(a)",
+		"#pragma comm_p2p target(1SIDE) sbuf(a) rbuf(a)",
+	}
+	for _, l := range bad {
+		if s, err := pragma.Parse(l); err == nil {
+			// target keyword errors surface at lowering, not parse.
+			if strings.Contains(l, "target(") {
+				if _, oerr := s.Options(pragma.Env{}); oerr == nil {
+					t.Errorf("%q lowered", l)
+				}
+				continue
+			}
+			t.Errorf("%q parsed", l)
+		}
+	}
+}
+
+func TestSpecRoundTripString(t *testing.T) {
+	src := "#pragma comm_parameters sender(rank-1) receiver(rank+1) sendwhen(rank%2==0) receivewhen(rank%2==1) count(size) max_comm_iter(n) place_sync(END_PARAM_REGION)"
+	s, err := pragma.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rendered form must re-parse to an equivalent spec.
+	s2, err := pragma.Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s.String(), err)
+	}
+	if s2.String() != s.String() {
+		t.Errorf("round trip: %q vs %q", s.String(), s2.String())
+	}
+}
+
+// TestListing1RunsFromText executes the paper's Listing 1 parsed from its
+// literal source text, on both targets.
+func TestListing1RunsFromText(t *testing.T) {
+	const n = 6
+	ring := pragma.MustParse("#pragma comm_p2p sender(prev) receiver(next) sbuf(buf1) rbuf(buf2)")
+	for _, target := range []core.Target{core.TargetMPI2Side, core.TargetSHMEM} {
+		target := target
+		t.Run(target.String(), func(t *testing.T) {
+			spec := *ring
+			switch target {
+			case core.TargetSHMEM:
+				spec.Target = "TARGET_COMM_SHMEM"
+			default:
+				spec.Target = "TARGET_COMM_MPI_2SIDE"
+			}
+			if err := spmd.Run(n, model.Uniform(10), func(rk *spmd.Rank) error {
+				shm := shmem.New(rk)
+				cenv, err := core.NewEnv(mpi.World(rk), shm)
+				if err != nil {
+					return err
+				}
+				defer cenv.Close()
+				buf1 := shmem.MustAlloc[int64](shm, 2)
+				buf2 := shmem.MustAlloc[int64](shm, 2)
+				buf1.Local(shm)[0] = int64(rk.ID * 3)
+
+				// prev = (rank-1+nprocs)%nprocs; next = (rank+1)%nprocs;
+				env := pragma.Env{
+					Vars: map[string]int{
+						"rank":   rk.ID,
+						"nprocs": n,
+						"prev":   (rk.ID - 1 + n) % n,
+						"next":   (rk.ID + 1) % n,
+					},
+					Bufs: map[string]any{"buf1": buf1, "buf2": buf2},
+				}
+				if err := spec.Exec(cenv, env); err != nil {
+					return err
+				}
+				want := int64(((rk.ID - 1 + n) % n) * 3)
+				if got := buf2.Local(shm)[0]; got != want {
+					t.Errorf("rank %d got %d want %d", rk.ID, got, want)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestListing3RunsFromText executes the paper's Listing 3 shape from text:
+// a comm_parameters region containing a loop of comm_p2p with &buf[p]
+// offsets.
+func TestListing3RunsFromText(t *testing.T) {
+	const n = 4
+	const iters = 5
+	params := pragma.MustParse(`#pragma comm_parameters sender(rank-1)
+		receiver(rank+1) sendwhen(rank%2==0)
+		receivewhen(rank%2==1) count(1)
+		max_comm_iter(n) place_sync(END_PARAM_REGION)`)
+	step := pragma.MustParse("#pragma comm_p2p sbuf(&buf1[p]) rbuf(&buf2[p])")
+	if err := spmd.Run(n, model.Uniform(10), func(rk *spmd.Rank) error {
+		shm := shmem.New(rk)
+		cenv, err := core.NewEnv(mpi.World(rk), shm)
+		if err != nil {
+			return err
+		}
+		defer cenv.Close()
+		buf1 := shmem.MustAlloc[float64](shm, iters)
+		buf2 := shmem.MustAlloc[float64](shm, iters)
+		src := buf1.Local(shm)
+		for i := range src {
+			src[i] = float64(rk.ID*100 + i)
+		}
+		env := pragma.Env{
+			Vars: map[string]int{"rank": rk.ID, "nprocs": n, "n": iters},
+			Bufs: map[string]any{"buf1": buf1, "buf2": buf2},
+		}
+		err = params.Region(cenv, env, func(r *core.Region) error {
+			for p := 0; p < iters; p++ {
+				env.Vars["p"] = p
+				if err := step.ExecIn(r, env, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if rk.ID%2 == 1 {
+			got := buf2.Local(shm)
+			for i := range got {
+				if got[i] != float64((rk.ID-1)*100+i) {
+					t.Errorf("rank %d buf2[%d] = %v", rk.ID, i, got[i])
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

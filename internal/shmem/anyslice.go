@@ -1,0 +1,67 @@
+package shmem
+
+import (
+	"fmt"
+)
+
+// AnySlice is the type-erased view of a symmetric array, used by the
+// directive layer, which must handle buffers of any element type. The
+// paper's rule that SHMEM-targeted directive buffers "must also be
+// symmetric data objects" is enforced by requiring this interface.
+type AnySlice interface {
+	// SymID identifies the symmetric allocation.
+	SymID() int
+	// Len reports the element count.
+	Len() int
+	// ElemBytes reports the element wire size, which selects the typed
+	// put variant.
+	ElemBytes() int
+	// TypeName names the element type, for diagnostics.
+	TypeName() string
+	// LocalAny returns the calling PE's copy as a typed slice (e.g.
+	// []float64).
+	LocalAny(c *Ctx) any
+	// PutAny copies count elements of src (a matching typed slice) into
+	// PE pe's copy at dstOff.
+	PutAny(c *Ctx, pe int, src any, srcOff, dstOff, count int) error
+	// GetAny copies count elements from PE pe's copy at srcOff into dst.
+	GetAny(c *Ctx, pe int, dst any, dstOff, srcOff, count int) error
+}
+
+// ElemBytes reports the element wire size.
+func (s *Slice[T]) ElemBytes() int { return s.esz }
+
+// TypeName names the element type.
+func (s *Slice[T]) TypeName() string {
+	var z T
+	return fmt.Sprintf("%T", z)
+}
+
+// LocalAny implements AnySlice.
+func (s *Slice[T]) LocalAny(c *Ctx) any { return s.Local(c) }
+
+// PutAny implements AnySlice.
+func (s *Slice[T]) PutAny(c *Ctx, pe int, src any, srcOff, dstOff, count int) error {
+	ts, ok := src.([]T)
+	if !ok {
+		return fmt.Errorf("shmem: PutAny: source %T does not match symmetric %s array", src, s.TypeName())
+	}
+	if srcOff < 0 || srcOff+count > len(ts) {
+		return fmt.Errorf("shmem: PutAny: source range [%d,%d) out of %d", srcOff, srcOff+count, len(ts))
+	}
+	return s.Put(c, pe, ts[srcOff:srcOff+count], dstOff)
+}
+
+// GetAny implements AnySlice.
+func (s *Slice[T]) GetAny(c *Ctx, pe int, dst any, dstOff, srcOff, count int) error {
+	td, ok := dst.([]T)
+	if !ok {
+		return fmt.Errorf("shmem: GetAny: destination %T does not match symmetric %s array", dst, s.TypeName())
+	}
+	if dstOff < 0 || dstOff+count > len(td) {
+		return fmt.Errorf("shmem: GetAny: destination range [%d,%d) out of %d", dstOff, dstOff+count, len(td))
+	}
+	return s.Get(c, pe, td[dstOff:dstOff+count], srcOff)
+}
+
+var _ AnySlice = (*Slice[float64])(nil)

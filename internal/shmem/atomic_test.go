@@ -1,0 +1,183 @@
+package shmem_test
+
+import (
+	"testing"
+
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+// TestFetchAddConcurrentSum: every PE atomically adds to a counter on PE 0;
+// the total must be exact regardless of interleaving.
+func TestFetchAddConcurrentSum(t *testing.T) {
+	const n = 8
+	const addsPerPE = 50
+	run(t, n, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		counter := shmem.MustAlloc[int64](ctx, 1)
+		for i := 0; i < addsPerPE; i++ {
+			if _, err := counter.FetchAdd(ctx, 0, 0, 1); err != nil {
+				return err
+			}
+		}
+		ctx.BarrierAll()
+		if rk.ID == 0 {
+			if got := counter.Local(ctx)[0]; got != n*addsPerPE {
+				t.Errorf("counter = %d, want %d", got, n*addsPerPE)
+			}
+		}
+		return nil
+	})
+}
+
+// TestFetchAddReturnsOldValues: the set of returned old values must be a
+// permutation of 0..k-1 for a lone adder.
+func TestFetchAddReturnsOldValues(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		counter := shmem.MustAlloc[int64](ctx, 1)
+		if rk.ID == 1 {
+			for i := int64(0); i < 10; i++ {
+				old, err := counter.FetchAdd(ctx, 0, 0, 3)
+				if err != nil {
+					return err
+				}
+				if old != 3*i {
+					t.Errorf("FetchAdd old = %d, want %d", old, 3*i)
+				}
+			}
+		}
+		ctx.BarrierAll()
+		return nil
+	})
+}
+
+// TestSwap exchanges a value and observes the previous content.
+func TestSwap(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		cell := shmem.MustAlloc[float64](ctx, 1)
+		cell.Local(ctx)[0] = float64(10 * (rk.ID + 1))
+		ctx.BarrierAll()
+		if rk.ID == 0 {
+			old, err := cell.Swap(ctx, 1, 0, 99)
+			if err != nil {
+				return err
+			}
+			if old != 20 {
+				t.Errorf("swap old = %v", old)
+			}
+		}
+		ctx.BarrierAll()
+		if rk.ID == 1 && cell.Local(ctx)[0] != 99 {
+			t.Errorf("cell = %v after swap", cell.Local(ctx)[0])
+		}
+		return nil
+	})
+}
+
+// TestCompareSwapLock implements the classic SHMEM spin lock with cswap and
+// checks mutual exclusion via a protected non-atomic counter.
+func TestCompareSwapLock(t *testing.T) {
+	const n = 6
+	const incs = 25
+	run(t, n, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		lock := shmem.MustAlloc[int64](ctx, 1)
+		shared := shmem.MustAlloc[int64](ctx, 1)
+		for i := 0; i < incs; i++ {
+			// Acquire: spin on cswap(0 -> myPE+1) at PE 0.
+			for {
+				old, err := lock.CompareSwap(ctx, 0, 0, 0, int64(rk.ID+1))
+				if err != nil {
+					return err
+				}
+				if old == 0 {
+					break
+				}
+			}
+			// Critical section: non-atomic read-modify-write on PE 0.
+			tmp := make([]int64, 1)
+			if err := shared.Get(ctx, 0, tmp, 0); err != nil {
+				return err
+			}
+			tmp[0]++
+			if err := shared.Put(ctx, 0, tmp, 0); err != nil {
+				return err
+			}
+			ctx.Quiet()
+			// Release.
+			if _, err := lock.Swap(ctx, 0, 0, 0); err != nil {
+				return err
+			}
+		}
+		ctx.BarrierAll()
+		if rk.ID == 0 {
+			if got := shared.Local(ctx)[0]; got != n*incs {
+				t.Errorf("protected counter = %d, want %d", got, n*incs)
+			}
+		}
+		return nil
+	})
+}
+
+// TestFetchAddWakesWaitUntil: an AMO on a waited-on flag must wake the
+// waiter.
+func TestFetchAddWakesWaitUntil(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		flag := shmem.MustAlloc[int64](ctx, 1)
+		if rk.ID == 0 {
+			_, err := flag.FetchAdd(ctx, 1, 0, 5)
+			return err
+		}
+		return flag.WaitUntil(ctx, 0, shmem.CmpGE, 5)
+	})
+}
+
+// TestAMOBoundsChecked rejects bad PEs and offsets.
+func TestAMOBoundsChecked(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		cell := shmem.MustAlloc[int64](ctx, 2)
+		if rk.ID == 0 {
+			if _, err := cell.FetchAdd(ctx, 9, 0, 1); err == nil {
+				t.Error("bad PE accepted by FetchAdd")
+			}
+			if _, err := cell.Swap(ctx, 1, 7, 1); err == nil {
+				t.Error("bad offset accepted by Swap")
+			}
+			if _, err := cell.CompareSwap(ctx, -1, 0, 0, 1); err == nil {
+				t.Error("bad PE accepted by CompareSwap")
+			}
+		}
+		ctx.BarrierAll()
+		return nil
+	})
+}
+
+// TestGetRace is a plain Get while other PEs put elsewhere — exercising the
+// board lock paths together.
+func TestMixedTraffic(t *testing.T) {
+	const n = 4
+	run(t, n, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		arr := shmem.MustAlloc[int64](ctx, n)
+		cnt := shmem.MustAlloc[int64](ctx, 1)
+		if err := arr.P(ctx, (rk.ID+1)%n, rk.ID, int64(rk.ID)); err != nil {
+			return err
+		}
+		if _, err := cnt.FetchAdd(ctx, 0, 0, 1); err != nil {
+			return err
+		}
+		ctx.BarrierAll()
+		if rk.ID == 0 && cnt.Local(ctx)[0] != n {
+			t.Errorf("count = %d", cnt.Local(ctx)[0])
+		}
+		prev := (rk.ID - 1 + n) % n
+		if arr.Local(ctx)[prev] != int64(prev) {
+			t.Errorf("PE %d slot %d = %d", rk.ID, prev, arr.Local(ctx)[prev])
+		}
+		return nil
+	})
+}

@@ -1,0 +1,130 @@
+package shmem_test
+
+import (
+	"testing"
+
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+func TestBroadcastTeam(t *testing.T) {
+	const n = 6
+	team := []int{1, 3, 5}
+	run(t, n, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		src := shmem.MustAlloc[float64](ctx, 4)
+		dst := shmem.MustAlloc[float64](ctx, 4)
+		if rk.ID == 3 {
+			copy(src.Local(ctx), []float64{9, 8, 7, 6})
+		}
+		if shmemContains(team, rk.ID) {
+			if err := shmem.Broadcast(ctx, team, 3, src, dst, 4); err != nil {
+				return err
+			}
+			got := dst.Local(ctx)
+			for i, want := range []float64{9, 8, 7, 6} {
+				if got[i] != want {
+					t.Errorf("PE %d dst[%d] = %v", rk.ID, i, got[i])
+				}
+			}
+		}
+		ctx.BarrierAll()
+		// PEs outside the team must be untouched.
+		if !shmemContains(team, rk.ID) {
+			if dst.Local(ctx)[0] != 0 {
+				t.Errorf("non-team PE %d touched: %v", rk.ID, dst.Local(ctx))
+			}
+		}
+		return nil
+	})
+}
+
+func TestBroadcastRootAlias(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		buf := shmem.MustAlloc[int64](ctx, 2)
+		if rk.ID == 0 {
+			buf.Local(ctx)[0] = 77
+		}
+		if err := shmem.Broadcast(ctx, []int{0, 1}, 0, buf, buf, 2); err != nil {
+			return err
+		}
+		if buf.Local(ctx)[0] != 77 {
+			t.Errorf("PE %d: %v", rk.ID, buf.Local(ctx))
+		}
+		return nil
+	})
+}
+
+func TestCollectTeam(t *testing.T) {
+	const n = 4
+	team := []int{0, 1, 2, 3}
+	run(t, n, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		src := shmem.MustAlloc[int64](ctx, 2)
+		dst := shmem.MustAlloc[int64](ctx, 2*n)
+		s := src.Local(ctx)
+		s[0], s[1] = int64(rk.ID), int64(rk.ID*10)
+		if err := shmem.Collect(ctx, team, src, dst, 2); err != nil {
+			return err
+		}
+		got := dst.Local(ctx)
+		for r := 0; r < n; r++ {
+			if got[2*r] != int64(r) || got[2*r+1] != int64(r*10) {
+				t.Errorf("PE %d segment %d = %v", rk.ID, r, got[2*r:2*r+2])
+			}
+		}
+		return nil
+	})
+}
+
+func TestReduceSumTeam(t *testing.T) {
+	const n = 5
+	team := []int{0, 1, 2, 3, 4}
+	run(t, n, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		src := shmem.MustAlloc[int64](ctx, 2)
+		dst := shmem.MustAlloc[int64](ctx, 2)
+		scratch := shmem.MustAlloc[int64](ctx, 2*n)
+		s := src.Local(ctx)
+		s[0], s[1] = int64(rk.ID), 1
+		if err := shmem.ReduceSum(ctx, team, src, dst, scratch, 2); err != nil {
+			return err
+		}
+		got := dst.Local(ctx)
+		if got[0] != 10 || got[1] != n {
+			t.Errorf("PE %d reduce = %v", rk.ID, got)
+		}
+		return nil
+	})
+}
+
+func TestCollectValidation(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		src := shmem.MustAlloc[int64](ctx, 2)
+		dst := shmem.MustAlloc[int64](ctx, 2)
+		if rk.ID == 0 {
+			if err := shmem.Collect(ctx, []int{0, 1}, src, dst, 2); err == nil {
+				t.Error("undersized collect destination accepted")
+			}
+			if err := shmem.Broadcast(ctx, []int{1}, 1, src, dst, 1); err == nil {
+				t.Error("broadcast without caller in team accepted")
+			}
+			if err := shmem.Broadcast(ctx, []int{0}, 1, src, dst, 1); err == nil {
+				t.Error("broadcast with root outside team accepted")
+			}
+		}
+		ctx.BarrierAll()
+		return nil
+	})
+}
+
+func shmemContains(team []int, pe int) bool {
+	for _, p := range team {
+		if p == pe {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package shmem_test
+
+import (
+	"fmt"
+	"sync"
+
+	"commintent/internal/model"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+// Example demonstrates the one-sided substrate: a put into a symmetric
+// array followed by the flag handshake the directive layer generates for
+// its SHMEM target.
+func Example() {
+	var once sync.Once
+	err := spmd.Run(2, model.GeminiLike(), func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		data := shmem.MustAlloc[float64](ctx, 3)
+		flag := shmem.MustAlloc[int64](ctx, 1)
+		if ctx.MyPE() == 0 {
+			if err := data.Put(ctx, 1, []float64{1.5, 2.5, 3.5}, 0); err != nil {
+				return err
+			}
+			ctx.Quiet() // remote completion of the data put
+			return flag.P(ctx, 1, 0, 1)
+		}
+		if err := flag.WaitUntil(ctx, 0, shmem.CmpGE, 1); err != nil {
+			return err
+		}
+		once.Do(func() { fmt.Println("PE 1 sees", data.Local(ctx)) })
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: PE 1 sees [1.5 2.5 3.5]
+}
+
+// ExampleSlice_FetchAdd builds a global counter with the atomic
+// fetch-and-add.
+func ExampleSlice_FetchAdd() {
+	var once sync.Once
+	err := spmd.Run(4, model.GeminiLike(), func(rk *spmd.Rank) error {
+		ctx := shmem.New(rk)
+		counter := shmem.MustAlloc[int64](ctx, 1)
+		if _, err := counter.FetchAdd(ctx, 0, 0, int64(rk.ID+1)); err != nil {
+			return err
+		}
+		ctx.BarrierAll()
+		if ctx.MyPE() == 0 {
+			once.Do(func() { fmt.Println("counter =", counter.Local(ctx)[0]) })
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: counter = 10
+}

@@ -1,0 +1,217 @@
+// Package shmem is a from-scratch, OpenSHMEM-flavoured one-sided library
+// over the simulated machine: a symmetric heap, typed put/get, memory
+// ordering (fence/quiet), barriers and point-to-point wait_until. It is the
+// backend the directive layer's TARGET_COMM_SHMEM translates to.
+//
+// Symmetry is enforced the way real SHMEM enforces it: allocation is
+// collective, every PE must allocate in the same order with the same size
+// and element type, and violations are reported as errors. Data movement is
+// real (bytes land in the target PE's slice); performance is charged to the
+// virtual clock with the one-sided cost parameters of the machine profile,
+// which are substantially cheaper per small message than the two-sided MPI
+// path — the property the paper's Figure 4 exploits.
+package shmem
+
+import (
+	"fmt"
+	"sync"
+
+	"commintent/internal/model"
+	"commintent/internal/simnet"
+	"commintent/internal/spmd"
+)
+
+// Elem constrains the element types the symmetric heap supports.
+type Elem interface {
+	~int32 | ~int64 | ~float32 | ~float64 | ~uint8 | ~uint64
+}
+
+// Cmp is a wait_until comparison operator.
+type Cmp int
+
+const (
+	CmpEQ Cmp = iota
+	CmpNE
+	CmpGT
+	CmpGE
+	CmpLT
+	CmpLE
+)
+
+func (c Cmp) String() string {
+	switch c {
+	case CmpEQ:
+		return "=="
+	case CmpNE:
+		return "!="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	default:
+		return fmt.Sprintf("cmp(%d)", int(c))
+	}
+}
+
+func satisfies[T Elem](v T, c Cmp, w T) bool {
+	switch c {
+	case CmpEQ:
+		return v == w
+	case CmpNE:
+		return v != w
+	case CmpGT:
+		return v > w
+	case CmpGE:
+		return v >= w
+	case CmpLT:
+		return v < w
+	case CmpLE:
+		return v <= w
+	default:
+		return false
+	}
+}
+
+// worldState is the per-world shared symmetric table plus per-PE RMA
+// signal boards.
+type worldState struct {
+	mu      sync.Mutex
+	entries []*entry
+	rma     []*rmaBoard
+}
+
+type entry struct {
+	mu        sync.Mutex
+	per       []any // per PE: []T
+	elemBytes int
+	n         int
+	typeName  string
+}
+
+// rmaBoard tracks one-sided traffic arriving at a PE, for wait_until.
+type rmaBoard struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	lastArrival model.Time
+	version     uint64
+}
+
+func state(w *spmd.World) *worldState {
+	ws := w.Shared("shmem/worldState", func() any {
+		s := &worldState{rma: make([]*rmaBoard, w.Size())}
+		for i := range s.rma {
+			b := &rmaBoard{}
+			b.cond = sync.NewCond(&b.mu)
+			s.rma[i] = b
+		}
+		return s
+	}).(*worldState)
+	return ws
+}
+
+// Ctx is one PE's handle on the SHMEM world.
+type Ctx struct {
+	rk     *spmd.Rank
+	ws     *worldState
+	nextID int
+
+	outstanding model.Time // max arrival time of this PE's unquieted puts
+}
+
+// New initialises SHMEM for this rank (the analogue of shmem_init).
+func New(rk *spmd.Rank) *Ctx {
+	return &Ctx{rk: rk, ws: state(rk.World())}
+}
+
+// MyPE reports this PE's id.
+func (c *Ctx) MyPE() int { return c.rk.ID }
+
+// NPEs reports the number of PEs.
+func (c *Ctx) NPEs() int { return c.rk.N }
+
+// SPMD returns the underlying rank context.
+func (c *Ctx) SPMD() *spmd.Rank { return c.rk }
+
+func (c *Ctx) prof() *model.Profile { return c.rk.Profile() }
+func (c *Ctx) clock() *model.Clock  { return c.rk.Clock() }
+
+// notePut records an outbound put for Quiet accounting.
+func (c *Ctx) notePut(arrive model.Time) {
+	if arrive > c.outstanding {
+		c.outstanding = arrive
+	}
+}
+
+// Quiet blocks (in virtual time) until all of this PE's outstanding puts
+// are remotely complete.
+func (c *Ctx) Quiet() {
+	clk := c.clock()
+	clk.Advance(c.prof().ShmemQuiet)
+	clk.AdvanceTo(c.outstanding)
+	c.outstanding = 0
+	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, V: clk.Now()})
+}
+
+// Fence orders this PE's puts per destination without waiting for remote
+// completion. With this simulator's in-order delivery it is purely a cost.
+func (c *Ctx) Fence() {
+	c.clock().Advance(c.prof().ShmemFence)
+}
+
+// BarrierAll synchronises all PEs and implies a Quiet.
+func (c *Ctx) BarrierAll() {
+	clk := c.clock()
+	enter := model.Max(clk.Now(), c.outstanding)
+	maxV := c.rk.World().Fabric().WorldBarrier().Wait(enter)
+	clk.AdvanceTo(maxV)
+	clk.Advance(c.prof().ShmemBarrierTime(c.NPEs()))
+	c.outstanding = 0
+	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvBarrier, Peer: -1, V: clk.Now()})
+}
+
+// teamBarriers caches simnet barriers for PE subsets.
+type teamBarriers struct {
+	mu sync.Mutex
+	m  map[string]*simnet.Barrier
+}
+
+// TeamBarrier synchronises the listed PEs (which must include the caller)
+// and implies a Quiet for the caller. It is the analogue of the strided
+// shmem_barrier, generalised to an explicit PE list; all listed PEs must
+// call it with the same list.
+func (c *Ctx) TeamBarrier(pes []int) error {
+	found := false
+	for _, p := range pes {
+		if p == c.MyPE() {
+			found = true
+		}
+		if p < 0 || p >= c.NPEs() {
+			return fmt.Errorf("shmem: TeamBarrier: PE %d out of range", p)
+		}
+	}
+	if !found {
+		return fmt.Errorf("shmem: TeamBarrier: caller PE %d not in team", c.MyPE())
+	}
+	tb := c.rk.World().Shared("shmem/teamBarriers", func() any {
+		return &teamBarriers{m: make(map[string]*simnet.Barrier)}
+	}).(*teamBarriers)
+	key := fmt.Sprint(pes)
+	tb.mu.Lock()
+	b, ok := tb.m[key]
+	if !ok {
+		b = simnet.NewBarrier(len(pes))
+		tb.m[key] = b
+	}
+	tb.mu.Unlock()
+	clk := c.clock()
+	enter := model.Max(clk.Now(), c.outstanding)
+	maxV := b.Wait(enter)
+	clk.AdvanceTo(maxV)
+	clk.Advance(c.prof().ShmemBarrierTime(len(pes)))
+	c.outstanding = 0
+	return nil
+}

@@ -1,0 +1,186 @@
+package shmem
+
+import (
+	"fmt"
+	"reflect"
+
+	"commintent/internal/simnet"
+)
+
+// Slice is a symmetric array: the same allocation exists on every PE, and
+// remote PEs' copies are addressable by (PE, element offset). It is the
+// analogue of memory returned by shmalloc.
+type Slice[T Elem] struct {
+	id  int
+	ws  *worldState
+	n   int
+	esz int
+}
+
+func elemBytes[T Elem]() int {
+	var z T
+	return int(reflect.TypeOf(z).Size())
+}
+
+// Alloc symmetrically allocates an n-element array of T. It is collective:
+// every PE must call Alloc in the same order with the same n and T, and the
+// call synchronises all PEs (as shmalloc does). Asymmetric allocation is
+// reported as an error.
+func Alloc[T Elem](c *Ctx, n int) (*Slice[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shmem: Alloc size %d", n)
+	}
+	id := c.nextID
+	c.nextID++
+	esz := elemBytes[T]()
+	var z T
+	tn := reflect.TypeOf(z).String()
+
+	c.ws.mu.Lock()
+	for len(c.ws.entries) <= id {
+		c.ws.entries = append(c.ws.entries, &entry{per: make([]any, c.NPEs())})
+	}
+	e := c.ws.entries[id]
+	c.ws.mu.Unlock()
+
+	var mismatch error
+	e.mu.Lock()
+	if e.typeName == "" {
+		e.typeName, e.n, e.elemBytes = tn, n, esz
+	} else if e.typeName != tn || e.n != n {
+		mismatch = fmt.Errorf("shmem: asymmetric allocation %d on PE %d: %s[%d] vs %s[%d]",
+			id, c.MyPE(), tn, n, e.typeName, e.n)
+	}
+	if mismatch == nil {
+		e.per[c.MyPE()] = make([]T, n)
+	}
+	e.mu.Unlock()
+
+	// shmalloc is synchronising: all PEs leave together — even on error,
+	// so a detected asymmetry cannot deadlock the symmetric PEs.
+	c.BarrierAll()
+	if mismatch != nil {
+		return nil, mismatch
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for pe, buf := range e.per {
+		if buf == nil {
+			return nil, fmt.Errorf("shmem: allocation %d missing on PE %d after barrier (asymmetric allocation)", id, pe)
+		}
+	}
+	return &Slice[T]{id: id, ws: c.ws, n: n, esz: esz}, nil
+}
+
+// MustAlloc is Alloc that panics on error; convenient in SPMD bodies where
+// symmetry is structurally guaranteed.
+func MustAlloc[T Elem](c *Ctx, n int) *Slice[T] {
+	s, err := Alloc[T](c, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len reports the symmetric array's element count.
+func (s *Slice[T]) Len() int { return s.n }
+
+// SymID reports the symmetric allocation id (used by the directive layer
+// to recognise symmetric buffers).
+func (s *Slice[T]) SymID() int { return s.id }
+
+// local returns PE pe's copy.
+func (s *Slice[T]) on(pe int) []T {
+	e := s.ws.entries[s.id]
+	e.mu.Lock()
+	buf := e.per[pe].([]T)
+	e.mu.Unlock()
+	return buf
+}
+
+// Local returns the calling PE's copy of the array. Reads of remotely
+// written elements are only well-defined after a synchronisation
+// (WaitUntil, TeamBarrier, BarrierAll).
+func (s *Slice[T]) Local(c *Ctx) []T { return s.on(c.MyPE()) }
+
+// Put copies src into PE pe's copy of the array starting at element dstOff
+// (the analogue of the typed shmem_put routines; the element size selects
+// the variant, which the cost model treats uniformly). Remote completion
+// requires Quiet or a barrier; remote visibility to a waiting PE is
+// signalled for WaitUntil.
+func (s *Slice[T]) Put(c *Ctx, pe int, src []T, dstOff int) error {
+	if pe < 0 || pe >= c.NPEs() {
+		return fmt.Errorf("shmem: Put to PE %d of %d", pe, c.NPEs())
+	}
+	if dstOff < 0 || dstOff+len(src) > s.n {
+		return fmt.Errorf("shmem: Put of %d elements at offset %d overflows symmetric array of %d", len(src), dstOff, s.n)
+	}
+	p := c.prof()
+	clk := c.clock()
+	bytes := len(src) * s.esz
+	clk.Advance(p.ShmemPutOverhead + p.ShmemInjectTime(bytes))
+	arrive := clk.Now() + p.ShmemLatencyBetween(c.MyPE(), pe)
+
+	board := s.ws.rma[pe]
+	board.mu.Lock()
+	copy(s.on(pe)[dstOff:dstOff+len(src)], src)
+	if arrive > board.lastArrival {
+		board.lastArrival = arrive
+	}
+	board.version++
+	board.cond.Broadcast()
+	board.mu.Unlock()
+
+	c.notePut(arrive)
+	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvPut, Peer: pe, Bytes: bytes, V: clk.Now()})
+	return nil
+}
+
+// P writes a single element to PE pe at offset off (shmem_p).
+func (s *Slice[T]) P(c *Ctx, pe int, off int, v T) error {
+	return s.Put(c, pe, []T{v}, off)
+}
+
+// Get copies count elements from PE pe's copy starting at srcOff into dst.
+// It blocks for the round trip.
+func (s *Slice[T]) Get(c *Ctx, pe int, dst []T, srcOff int) error {
+	if pe < 0 || pe >= c.NPEs() {
+		return fmt.Errorf("shmem: Get from PE %d of %d", pe, c.NPEs())
+	}
+	if srcOff < 0 || srcOff+len(dst) > s.n {
+		return fmt.Errorf("shmem: Get of %d elements at offset %d overflows symmetric array of %d", len(dst), srcOff, s.n)
+	}
+	p := c.prof()
+	clk := c.clock()
+	bytes := len(dst) * s.esz
+	clk.Advance(p.ShmemGetOverhead)
+	board := s.ws.rma[pe]
+	board.mu.Lock()
+	copy(dst, s.on(pe)[srcOff:srcOff+len(dst)])
+	board.mu.Unlock()
+	clk.Advance(p.ShmemWireTime(0) + p.ShmemWireTime(bytes))
+	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvGet, Peer: pe, Bytes: bytes, V: clk.Now()})
+	return nil
+}
+
+// WaitUntil blocks until the local element at off satisfies (cmp, v); the
+// element is expected to be written by a remote Put (shmem_wait_until). The
+// caller's clock advances to the arrival time of the satisfying traffic.
+func (s *Slice[T]) WaitUntil(c *Ctx, off int, cmp Cmp, v T) error {
+	if off < 0 || off >= s.n {
+		return fmt.Errorf("shmem: WaitUntil offset %d of %d", off, s.n)
+	}
+	local := s.Local(c)
+	board := s.ws.rma[c.MyPE()]
+	board.mu.Lock()
+	for !satisfies(local[off], cmp, v) {
+		board.cond.Wait()
+	}
+	arrival := board.lastArrival
+	board.mu.Unlock()
+	clk := c.clock()
+	clk.Advance(c.prof().ShmemWaitPoll)
+	clk.AdvanceTo(arrival)
+	return nil
+}

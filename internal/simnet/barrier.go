@@ -1,0 +1,57 @@
+package simnet
+
+import (
+	"sync"
+
+	"commintent/internal/model"
+)
+
+// Barrier is a reusable rendezvous that also max-reduces the participants'
+// virtual clocks: every rank enters with its current virtual time and leaves
+// with the maximum over all participants. The caller then adds whatever the
+// cost model charges for the barrier itself.
+//
+// A Barrier is safe for repeated use by the same fixed set of n goroutines.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	maxV    model.Time
+	result  model.Time
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Size reports the number of participants.
+func (b *Barrier) Size() int { return b.n }
+
+// Wait blocks until all n participants have called Wait with this
+// generation, then returns the maximum virtual time over all of them.
+func (b *Barrier) Wait(myV model.Time) model.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if myV > b.maxV {
+		b.maxV = myV
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.result = b.maxV
+		b.maxV = 0
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.result
+	}
+	for b.gen == gen {
+		b.cond.Wait()
+	}
+	return b.result
+}

@@ -1,0 +1,238 @@
+package simnet
+
+import (
+	"fmt"
+
+	"commintent/internal/model"
+)
+
+// Msg is one in-flight or delivered two-sided message.
+type Msg struct {
+	Src, Dst int
+	Tag      int
+	Data     []byte     // payload; owned by the fabric after Send
+	SentV    model.Time // sender's virtual time when the send was issued
+	ArriveV  model.Time // virtual time at which the payload is on the target
+	seq      uint64     // fabric-wide FIFO tiebreak per (src,dst) pair
+
+	matched chan struct{} // closed when a receive matches this message
+	matchV  model.Time    // virtual time of the match (set before close)
+}
+
+// Matched returns a channel closed when a receive has matched this message
+// — the rendezvous protocol's handshake signal.
+func (m *Msg) Matched() <-chan struct{} { return m.matched }
+
+// MatchV reports the virtual time at which the match occurred: the later of
+// the message's arrival and the receive posting. Only valid after Matched
+// is closed.
+func (m *Msg) MatchV() model.Time { return m.matchV }
+
+// SendReq tracks a non-blocking send. With eager-protocol semantics the
+// send buffer is reusable as soon as the call returns; LocalV is the virtual
+// time at which the sender's CPU was released.
+type SendReq struct {
+	Msg    *Msg
+	LocalV model.Time
+}
+
+// RecvReq tracks a posted receive until it is matched.
+type RecvReq struct {
+	src, tag int
+	buf      []byte
+	postV    model.Time
+
+	done chan struct{}
+	msg  *Msg // set exactly once, before done is closed
+	n    int  // bytes copied into buf
+}
+
+// Done returns a channel closed when the receive has been matched and the
+// payload copied into the posted buffer.
+func (r *RecvReq) Done() <-chan struct{} { return r.done }
+
+// Matched reports whether the receive has completed, without blocking.
+func (r *RecvReq) Matched() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// PostV reports the virtual time at which the receive was posted.
+func (r *RecvReq) PostV() model.Time { return r.postV }
+
+// Result returns the matched message and the number of payload bytes copied
+// into the posted buffer. It must only be called after Done is closed.
+func (r *RecvReq) Result() (*Msg, int) {
+	select {
+	case <-r.done:
+	default:
+		panic("simnet: RecvReq.Result before completion")
+	}
+	return r.msg, r.n
+}
+
+// Unexpected reports, in virtual time, whether the message arrived before
+// the receive was posted (and therefore landed in the unexpected queue,
+// costing an extra staging copy in real MPI implementations). It must only
+// be called after Done is closed.
+func (r *RecvReq) Unexpected() bool {
+	m, _ := r.Result()
+	return m.ArriveV < r.postV
+}
+
+// Endpoint is one rank's attachment to the fabric. All methods that mutate
+// the endpoint's own state must be called from that rank's goroutine; the
+// matching structures are internally locked because remote senders deliver
+// into them.
+type Endpoint struct {
+	f    *Fabric
+	rank int
+
+	clock model.Clock
+
+	mu         chan struct{} // binary semaphore protecting the two queues
+	unexpected []*Msg
+	posted     []*RecvReq
+	sendSeq    uint64
+}
+
+func newEndpoint(f *Fabric, rank int) *Endpoint {
+	ep := &Endpoint{f: f, rank: rank, mu: make(chan struct{}, 1)}
+	ep.mu <- struct{}{}
+	return ep
+}
+
+func (ep *Endpoint) lock()   { <-ep.mu }
+func (ep *Endpoint) unlock() { ep.mu <- struct{}{} }
+
+// Rank reports this endpoint's rank.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Fabric returns the owning fabric.
+func (ep *Endpoint) Fabric() *Fabric { return ep.f }
+
+// Clock returns the rank's virtual clock. Only the owning rank goroutine
+// may use it.
+func (ep *Endpoint) Clock() *model.Clock { return &ep.clock }
+
+// Send injects a message destined for rank dst. data is copied, so the
+// caller's buffer is immediately reusable. arriveV is the virtual time at
+// which the payload is available at the destination, computed by the caller
+// from its cost model. Delivery — matching against dst's posted receives —
+// happens immediately in real time.
+func (ep *Endpoint) Send(dst, tag int, data []byte, arriveV model.Time) *SendReq {
+	if dst < 0 || dst >= ep.f.n {
+		panic(fmt.Sprintf("simnet: send to rank %d of %d", dst, ep.f.n))
+	}
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	m := &Msg{
+		Src:     ep.rank,
+		Dst:     dst,
+		Tag:     tag,
+		Data:    payload,
+		SentV:   ep.clock.Now(),
+		ArriveV: arriveV,
+		matched: make(chan struct{}),
+	}
+	ep.f.eps[dst].deliver(m)
+	return &SendReq{Msg: m, LocalV: ep.clock.Now()}
+}
+
+// deliver matches m against the destination's posted receives or queues it
+// as unexpected. Runs on the sender's goroutine.
+func (ep *Endpoint) deliver(m *Msg) {
+	ep.lock()
+	m.seq = ep.sendSeq
+	ep.sendSeq++
+	for i, r := range ep.posted {
+		if matches(r.src, r.tag, m.Src, m.Tag) {
+			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			ep.unlock()
+			complete(r, m)
+			return
+		}
+	}
+	ep.unexpected = append(ep.unexpected, m)
+	ep.unlock()
+}
+
+// PostRecv posts a receive for a message from src (or AnySource) with tag
+// (or AnyTag). The payload will be copied into buf (truncated to len(buf)
+// if larger, mirroring MPI's contract that the receive count is an upper
+// bound). postV is the receiver's virtual time of the posting.
+func (ep *Endpoint) PostRecv(src, tag int, buf []byte, postV model.Time) *RecvReq {
+	if src != AnySource && (src < 0 || src >= ep.f.n) {
+		panic(fmt.Sprintf("simnet: recv from rank %d of %d", src, ep.f.n))
+	}
+	r := &RecvReq{src: src, tag: tag, buf: buf, postV: postV, done: make(chan struct{})}
+	ep.lock()
+	best := -1
+	for i, m := range ep.unexpected {
+		if matches(src, tag, m.Src, m.Tag) {
+			best = i
+			break // unexpected queue is FIFO per fabric delivery order
+		}
+	}
+	if best >= 0 {
+		m := ep.unexpected[best]
+		ep.unexpected = append(ep.unexpected[:best], ep.unexpected[best+1:]...)
+		ep.unlock()
+		complete(r, m)
+		return r
+	}
+	ep.posted = append(ep.posted, r)
+	ep.unlock()
+	return r
+}
+
+// Probe reports whether a matching message is queued (without receiving it)
+// and, if so, returns its envelope.
+func (ep *Endpoint) Probe(src, tag int) (m *Msg, ok bool) {
+	ep.lock()
+	defer ep.unlock()
+	for _, q := range ep.unexpected {
+		if matches(src, tag, q.Src, q.Tag) {
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+// PendingUnexpected reports the number of queued unexpected messages.
+// Useful for leak checks in tests.
+func (ep *Endpoint) PendingUnexpected() int {
+	ep.lock()
+	defer ep.unlock()
+	return len(ep.unexpected)
+}
+
+// PendingPosted reports the number of posted-but-unmatched receives.
+func (ep *Endpoint) PendingPosted() int {
+	ep.lock()
+	defer ep.unlock()
+	return len(ep.posted)
+}
+
+func complete(r *RecvReq, m *Msg) {
+	n := copy(r.buf, m.Data)
+	r.msg = m
+	r.n = n
+	m.matchV = model.Max(m.ArriveV, r.postV)
+	close(m.matched)
+	close(r.done)
+}
+
+func matches(wantSrc, wantTag, src, tag int) bool {
+	if wantSrc != AnySource && wantSrc != src {
+		return false
+	}
+	if wantTag != AnyTag && wantTag != tag {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+// Package simnet provides the simulated interconnect fabric that the MPI-like
+// and SHMEM-like substrates are built on.
+//
+// The fabric moves real bytes between ranks (goroutines) and attaches virtual
+// timestamps to every message. It is deliberately cost-model-agnostic: the
+// caller (the mpi and shmem packages) computes arrival and completion times
+// from a model.Profile and hands them to the fabric. simnet's job is the
+// mechanics — source/tag matching with wildcard support, unexpected-message
+// queues, a virtual-time max-reducing barrier, and an event stream for the
+// trace package.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"commintent/internal/model"
+)
+
+// Wildcards for two-sided matching, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// EventKind labels an entry in the fabric's observer stream.
+type EventKind int
+
+const (
+	EvSend EventKind = iota
+	EvRecvPost
+	EvRecvComplete
+	EvPut
+	EvGet
+	EvBarrier
+	EvWait
+	EvSync
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvRecvPost:
+		return "recv-post"
+	case EvRecvComplete:
+		return "recv-complete"
+	case EvPut:
+		return "put"
+	case EvGet:
+		return "get"
+	case EvBarrier:
+		return "barrier"
+	case EvWait:
+		return "wait"
+	case EvSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one observable fabric operation, reported to observers.
+type Event struct {
+	Rank  int
+	Kind  EventKind
+	Peer  int
+	Tag   int
+	Bytes int
+	V     model.Time // virtual time at which the op completed locally
+}
+
+// Observer receives fabric events. Observers must be fast and must not call
+// back into the fabric.
+type Observer func(Event)
+
+// Fabric is one simulated machine: N endpoints plus a world barrier.
+type Fabric struct {
+	n       int
+	eps     []*Endpoint
+	barrier *Barrier
+
+	obsMu     sync.RWMutex
+	observers []Observer
+}
+
+// NewFabric creates a fabric with n ranks.
+func NewFabric(n int) *Fabric {
+	if n <= 0 {
+		panic(fmt.Sprintf("simnet: fabric size %d", n))
+	}
+	f := &Fabric{n: n, barrier: NewBarrier(n)}
+	f.eps = make([]*Endpoint, n)
+	for i := range f.eps {
+		f.eps[i] = newEndpoint(f, i)
+	}
+	return f
+}
+
+// Size reports the number of ranks.
+func (f *Fabric) Size() int { return f.n }
+
+// Endpoint returns rank r's endpoint.
+func (f *Fabric) Endpoint(r int) *Endpoint {
+	return f.eps[r]
+}
+
+// WorldBarrier returns the fabric-wide barrier.
+func (f *Fabric) WorldBarrier() *Barrier { return f.barrier }
+
+// Observe registers an observer for all fabric events. Safe to call before
+// ranks start; registering mid-run is allowed but events may be missed.
+func (f *Fabric) Observe(o Observer) {
+	f.obsMu.Lock()
+	defer f.obsMu.Unlock()
+	f.observers = append(f.observers, o)
+}
+
+// Emit publishes an event to all observers. The substrates call this; user
+// code normally does not.
+func (f *Fabric) Emit(e Event) {
+	f.obsMu.RLock()
+	obs := f.observers
+	f.obsMu.RUnlock()
+	for _, o := range obs {
+		o(e)
+	}
+}

@@ -1,0 +1,169 @@
+// Package spmd is the SPMD execution harness: it launches N ranks as
+// goroutines over one simulated fabric, gives each a virtual clock and a
+// deterministic per-rank PRNG, captures panics, and aggregates errors.
+//
+// It mirrors the role of the job launcher plus the parts of an MPI runtime
+// that exist before MPI_Init returns.
+package spmd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+
+	"commintent/internal/model"
+	"commintent/internal/simnet"
+)
+
+// World is one simulated machine shared by all ranks of a run: the fabric,
+// the cost profile, and a registry for cross-rank shared structures (the
+// SHMEM symmetric table, communicator split scratchpads, RMA windows).
+type World struct {
+	fabric *simnet.Fabric
+	prof   *model.Profile
+
+	sharedMu sync.Mutex
+	shared   map[string]any
+}
+
+// NewWorld creates a world of n ranks governed by prof.
+func NewWorld(n int, prof *model.Profile) (*World, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("spmd: world size %d", n)
+	}
+	return &World{
+		fabric: simnet.NewFabric(n),
+		prof:   prof,
+		shared: make(map[string]any),
+	}, nil
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.fabric.Size() }
+
+// Fabric returns the underlying simulated fabric.
+func (w *World) Fabric() *simnet.Fabric { return w.fabric }
+
+// Profile returns the cost model in force.
+func (w *World) Profile() *model.Profile { return w.prof }
+
+// Shared returns the world-shared value stored under key, creating it with
+// mk on first use. All ranks asking for the same key observe the same value.
+func (w *World) Shared(key string, mk func() any) any {
+	w.sharedMu.Lock()
+	defer w.sharedMu.Unlock()
+	v, ok := w.shared[key]
+	if !ok {
+		v = mk()
+		w.shared[key] = v
+	}
+	return v
+}
+
+// MaxVirtualTime reports the maximum virtual clock over all ranks. Only
+// meaningful while no rank goroutine is running (e.g. after Run returns).
+func (w *World) MaxVirtualTime() model.Time {
+	var mx model.Time
+	for i := 0; i < w.Size(); i++ {
+		if v := w.fabric.Endpoint(i).Clock().Now(); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Rank is the per-rank execution context handed to the SPMD body.
+type Rank struct {
+	ID int
+	N  int
+
+	world *World
+	ep    *simnet.Endpoint
+	rng   *rand.Rand
+}
+
+// World returns the world this rank belongs to.
+func (r *Rank) World() *World { return r.world }
+
+// Endpoint returns the rank's fabric endpoint.
+func (r *Rank) Endpoint() *simnet.Endpoint { return r.ep }
+
+// Profile returns the cost model in force.
+func (r *Rank) Profile() *model.Profile { return r.world.prof }
+
+// Clock returns the rank's virtual clock.
+func (r *Rank) Clock() *model.Clock { return r.ep.Clock() }
+
+// Now reports the rank's current virtual time.
+func (r *Rank) Now() model.Time { return r.ep.Clock().Now() }
+
+// Rand returns the rank's deterministic PRNG (seeded from the rank id).
+func (r *Rank) Rand() *rand.Rand { return r.rng }
+
+// Compute charges d of local computation to the rank's virtual clock. It is
+// how application kernels account for their (synthetic) work.
+func (r *Rank) Compute(d model.Time) {
+	r.ep.Clock().Advance(d)
+}
+
+// PanicError wraps a panic that escaped a rank body.
+type PanicError struct {
+	Rank  int
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("spmd: rank %d panicked: %v\n%s", e.Rank, e.Value, e.Stack)
+}
+
+// Run executes body once per rank, concurrently, over a fresh world of n
+// ranks, and returns the joined errors of all ranks (nil if all succeeded).
+func Run(n int, prof *model.Profile, body func(*Rank) error) error {
+	w, err := NewWorld(n, prof)
+	if err != nil {
+		return err
+	}
+	return w.Run(body)
+}
+
+// Run executes body once per rank over this world. Virtual clocks continue
+// from their previous values, so a world can host several phases and
+// measure each.
+func (w *World) Run(body func(*Rank) error) error {
+	n := w.Size()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		rk := &Rank{
+			ID:    i,
+			N:     n,
+			world: w,
+			ep:    w.fabric.Endpoint(i),
+			rng:   rand.New(rand.NewSource(int64(i)*2654435761 + 12345)),
+		}
+		go func(rk *Rank) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					errs[rk.ID] = &PanicError{Rank: rk.ID, Value: v, Stack: string(debug.Stack())}
+				}
+			}()
+			errs[rk.ID] = body(rk)
+		}(rk)
+	}
+	wg.Wait()
+	var joined []error
+	for i, e := range errs {
+		if e != nil {
+			joined = append(joined, fmt.Errorf("rank %d: %w", i, e))
+		}
+	}
+	return errors.Join(joined...)
+}

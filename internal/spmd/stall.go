@@ -1,0 +1,70 @@
+package spmd
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"commintent/internal/simnet"
+)
+
+// RunWithStallDetection executes body like Run, additionally watching the
+// fabric's event stream: if the run is still in flight and no event has
+// been observed for idle (wall-clock time), onStall is invoked once with a
+// diagnostic describing each rank's virtual clock and pending message
+// state. A communication deadlock — every rank blocked in a receive, wait
+// or barrier — goes quiet on the event stream, so this catches the class
+// of bug that otherwise presents as a silent hang.
+//
+// RunWithStallDetection still blocks until body returns on every rank; a
+// true deadlock therefore never returns, but onStall will have reported it.
+func (w *World) RunWithStallDetection(body func(*Rank) error, idle time.Duration, onStall func(diag string)) error {
+	var activity atomic.Uint64
+	w.fabric.Observe(func(simnet.Event) { activity.Add(1) })
+
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		var last uint64
+		fired := false
+		ticker := time.NewTicker(idle)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				cur := activity.Load()
+				if cur == last && !fired {
+					fired = true
+					onStall(w.stallDiagnostic())
+				}
+				if cur != last {
+					fired = false
+				}
+				last = cur
+			}
+		}
+	}()
+	err := w.Run(body)
+	close(done)
+	<-stop
+	return err
+}
+
+// stallDiagnostic summarises each rank's observable state.
+func (w *World) stallDiagnostic() string {
+	var b strings.Builder
+	b.WriteString("spmd: no fabric activity; possible communication deadlock\n")
+	for r := 0; r < w.Size(); r++ {
+		ep := w.fabric.Endpoint(r)
+		// The rank goroutines own their clocks, so only the (locked)
+		// matching queues are inspected here.
+		fmt.Fprintf(&b, "  rank %3d: posted-receives=%d unexpected-messages=%d\n",
+			r, ep.PendingPosted(), ep.PendingUnexpected())
+	}
+	b.WriteString("  hint: a posted receive with no matching send, or mismatched collective participation\n")
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package spmd_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+// TestStallDetectorFiresOnDeadlock posts a receive that can never match and
+// checks the detector reports it. The deadlocked rank goroutines are
+// intentionally leaked (the world can never finish).
+func TestStallDetectorFiresOnDeadlock(t *testing.T) {
+	w, err := spmd.NewWorld(2, model.Uniform(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled := make(chan string, 1)
+	go func() {
+		_ = w.RunWithStallDetection(func(rk *spmd.Rank) error {
+			c := mpi.World(rk)
+			if rk.ID == 0 {
+				buf := make([]float64, 1)
+				_, err := c.Recv(buf, 1, mpi.Float64, 1, 0) // never sent
+				return err
+			}
+			// Rank 1 exits without sending.
+			return nil
+		}, 50*time.Millisecond, func(diag string) {
+			select {
+			case stalled <- diag:
+			default:
+			}
+		})
+	}()
+	select {
+	case diag := <-stalled:
+		if !strings.Contains(diag, "posted-receives=1") {
+			t.Errorf("diagnostic missing pending receive:\n%s", diag)
+		}
+		if !strings.Contains(diag, "deadlock") {
+			t.Errorf("diagnostic missing headline:\n%s", diag)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stall detector never fired")
+	}
+}
+
+// TestStallDetectorQuietOnHealthyRun: a normal run must not trigger it.
+func TestStallDetectorQuietOnHealthyRun(t *testing.T) {
+	w, err := spmd.NewWorld(4, model.Uniform(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	err = w.RunWithStallDetection(func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		for i := 0; i < 5; i++ {
+			c.Barrier()
+		}
+		return nil
+	}, time.Second, func(string) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("stall detector fired on a healthy run")
+	}
+}

@@ -1,0 +1,227 @@
+// Package trace collects and analyses fabric events: per-rank operation
+// logs, aggregate statistics, communication matrices and simple pattern
+// detection. It is the observability layer behind cmd/commtrace and the
+// analysis assertions in tests — the kind of static/dynamic communication
+// analysis the paper argues directives enable.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"commintent/internal/simnet"
+)
+
+// Collector accumulates fabric events.
+type Collector struct {
+	mu     sync.Mutex
+	events []simnet.Event
+	n      int
+}
+
+// Attach subscribes a new collector to all events of the fabric.
+func Attach(f *simnet.Fabric) *Collector {
+	c := &Collector{n: f.Size()}
+	f.Observe(func(e simnet.Event) {
+		c.mu.Lock()
+		c.events = append(c.events, e)
+		c.mu.Unlock()
+	})
+	return c
+}
+
+// Events returns a copy of everything collected so far.
+func (c *Collector) Events() []simnet.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]simnet.Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Reset discards collected events.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = c.events[:0]
+}
+
+// Len reports the number of collected events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Stats summarises collected events.
+type Stats struct {
+	Ranks     int
+	PerKind   map[simnet.EventKind]int
+	DataBytes int64 // payload bytes of sends, puts and gets
+	Messages  int   // sends + puts
+	Syncs     int   // waits, waitalls, fences, quiets, barriers
+}
+
+// Stats computes aggregate statistics.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{Ranks: c.n, PerKind: make(map[simnet.EventKind]int)}
+	for _, e := range c.events {
+		s.PerKind[e.Kind]++
+		switch e.Kind {
+		case simnet.EvSend, simnet.EvPut:
+			s.DataBytes += int64(e.Bytes)
+			s.Messages++
+		case simnet.EvGet:
+			s.DataBytes += int64(e.Bytes)
+		case simnet.EvWait, simnet.EvSync, simnet.EvBarrier:
+			s.Syncs++
+		}
+	}
+	return s
+}
+
+// CommMatrix returns bytes moved from each source rank to each destination
+// rank by sends and puts.
+func (c *Collector) CommMatrix() [][]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := make([][]int64, c.n)
+	for i := range m {
+		m[i] = make([]int64, c.n)
+	}
+	for _, e := range c.events {
+		if (e.Kind == simnet.EvSend || e.Kind == simnet.EvPut) && e.Peer >= 0 && e.Peer < c.n && e.Rank >= 0 && e.Rank < c.n {
+			m[e.Rank][e.Peer] += int64(e.Bytes)
+		}
+	}
+	return m
+}
+
+// Pattern is a detected point-to-point communication structure.
+type Pattern string
+
+const (
+	PatternNone     Pattern = "none"
+	PatternRing     Pattern = "ring"
+	PatternStar     Pattern = "star"     // one hub exchanging with everyone
+	PatternNeighbor Pattern = "neighbor" // bidirectional nearest-neighbour
+	PatternEvenOdd  Pattern = "even-odd" // even ranks to the next odd rank
+	PatternOther    Pattern = "irregular"
+)
+
+// DetectPattern classifies a communication matrix against the recurring
+// point-to-point patterns of scientific applications the paper cites
+// (Vetter & Mueller; Kim & Lilja; Riesen).
+func DetectPattern(m [][]int64) Pattern {
+	n := len(m)
+	if n == 0 {
+		return PatternNone
+	}
+	type edge struct{ s, d int }
+	var edges []edge
+	for s := range m {
+		for d := range m[s] {
+			if m[s][d] > 0 {
+				edges = append(edges, edge{s, d})
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return PatternNone
+	}
+	has := func(s, d int) bool { return s >= 0 && d >= 0 && s < n && d < n && m[s][d] > 0 }
+	all := func(pred func(e edge) bool) bool {
+		for _, e := range edges {
+			if !pred(e) {
+				return false
+			}
+		}
+		return true
+	}
+	// Ring: every rank sends exactly to (rank+1) mod n, and all ranks do.
+	if len(edges) == n && all(func(e edge) bool { return e.d == (e.s+1)%n }) {
+		return PatternRing
+	}
+	// Even-odd: even ranks send to rank+1 only.
+	if all(func(e edge) bool { return e.s%2 == 0 && e.d == e.s+1 }) {
+		return PatternEvenOdd
+	}
+	// Star: some hub h participates in every edge.
+	for h := 0; h < n; h++ {
+		if all(func(e edge) bool { return e.s == h || e.d == h }) {
+			return PatternStar
+		}
+	}
+	// Neighbour: all edges connect adjacent ranks in both directions.
+	if all(func(e edge) bool { return e.d == e.s+1 || e.d == e.s-1 }) {
+		// Require symmetry for the bidirectional variant.
+		sym := true
+		for _, e := range edges {
+			if !has(e.d, e.s) {
+				sym = false
+				break
+			}
+		}
+		if sym {
+			return PatternNeighbor
+		}
+	}
+	return PatternOther
+}
+
+// FormatMatrix renders a communication matrix for terminal output.
+func FormatMatrix(m [][]int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s", "")
+	for d := range m {
+		fmt.Fprintf(&b, "%8s", fmt.Sprintf("->%d", d))
+	}
+	b.WriteByte('\n')
+	for s := range m {
+		fmt.Fprintf(&b, "%6s", fmt.Sprintf("%d:", s))
+		for d := range m[s] {
+			fmt.Fprintf(&b, "%8d", m[s][d])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Timeline renders the first limit events of selected ranks, ordered by
+// virtual time (then rank), as a readable trace.
+func (c *Collector) Timeline(limit int, ranks ...int) string {
+	evs := c.Events()
+	want := map[int]bool{}
+	for _, r := range ranks {
+		want[r] = true
+	}
+	var sel []simnet.Event
+	for _, e := range evs {
+		if len(want) == 0 || want[e.Rank] {
+			sel = append(sel, e)
+		}
+	}
+	sort.SliceStable(sel, func(i, j int) bool {
+		if sel[i].V != sel[j].V {
+			return sel[i].V < sel[j].V
+		}
+		return sel[i].Rank < sel[j].Rank
+	})
+	if limit > 0 && len(sel) > limit {
+		sel = sel[:limit]
+	}
+	var b strings.Builder
+	for _, e := range sel {
+		peer := "-"
+		if e.Peer >= 0 {
+			peer = fmt.Sprint(e.Peer)
+		}
+		fmt.Fprintf(&b, "%12v  rank %3d  %-14s peer=%-4s tag=%-4d bytes=%d\n",
+			e.V, e.Rank, e.Kind, peer, e.Tag, e.Bytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/simnet"
+	"commintent/internal/spmd"
+	"commintent/internal/trace"
+)
+
+// runTraced executes an SPMD body over a fresh world with a collector
+// attached.
+func runTraced(t *testing.T, n int, body func(*spmd.Rank) error) *trace.Collector {
+	t.Helper()
+	w, err := spmd.NewWorld(n, model.Uniform(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.Attach(w.Fabric())
+	if err := w.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func TestStatsAndMatrix(t *testing.T) {
+	const n = 4
+	col := runTraced(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		next := (rk.ID + 1) % n
+		prev := (rk.ID - 1 + n) % n
+		in := make([]float64, 2)
+		_, err := c.Sendrecv([]float64{1, 2}, 2, mpi.Float64, next, 0, in, 2, mpi.Float64, prev, 0)
+		return err
+	})
+	st := col.Stats()
+	if st.Messages != n {
+		t.Errorf("messages = %d, want %d", st.Messages, n)
+	}
+	if st.DataBytes != int64(n*16) {
+		t.Errorf("bytes = %d, want %d", st.DataBytes, n*16)
+	}
+	m := col.CommMatrix()
+	for s := 0; s < n; s++ {
+		if m[s][(s+1)%n] != 16 {
+			t.Errorf("matrix[%d][%d] = %d", s, (s+1)%n, m[s][(s+1)%n])
+		}
+	}
+	if got := trace.DetectPattern(m); got != trace.PatternRing {
+		t.Errorf("pattern = %v, want ring", got)
+	}
+}
+
+func TestDetectPatterns(t *testing.T) {
+	mk := func(n int, edges [][2]int) [][]int64 {
+		m := make([][]int64, n)
+		for i := range m {
+			m[i] = make([]int64, n)
+		}
+		for _, e := range edges {
+			m[e[0]][e[1]] = 8
+		}
+		return m
+	}
+	cases := []struct {
+		name string
+		m    [][]int64
+		want trace.Pattern
+	}{
+		{"empty", mk(4, nil), trace.PatternNone},
+		{"ring", mk(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}), trace.PatternRing},
+		{"even-odd", mk(6, [][2]int{{0, 1}, {2, 3}, {4, 5}}), trace.PatternEvenOdd},
+		{"star", mk(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {3, 0}}), trace.PatternStar},
+		{"neighbor", mk(4, [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}}), trace.PatternNeighbor},
+		{"irregular", mk(5, [][2]int{{0, 2}, {2, 4}, {1, 3}}), trace.PatternOther},
+	}
+	for _, tc := range cases {
+		if got := trace.DetectPattern(tc.m); got != tc.want {
+			t.Errorf("%s: %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestWLLSMSSetEvecIsStarPattern(t *testing.T) {
+	// Within one LSMS group, the spin transfer is privileged->workers: a
+	// star centred on the privileged rank.
+	const n = 5
+	col := runTraced(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID == 0 {
+			reqs := make([]*mpi.Request, 0, n-1)
+			for w := 1; w < n; w++ {
+				r, err := c.Isend([]float64{1, 2, 3}, 3, mpi.Float64, w, 0)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, r)
+			}
+			_, err := c.Waitall(reqs)
+			return err
+		}
+		buf := make([]float64, 3)
+		_, err := c.Recv(buf, 3, mpi.Float64, 0, 0)
+		return err
+	})
+	if got := trace.DetectPattern(col.CommMatrix()); got != trace.PatternStar {
+		t.Errorf("pattern = %v, want star", got)
+	}
+}
+
+func TestTimelineAndFormat(t *testing.T) {
+	col := runTraced(t, 2, func(rk *spmd.Rank) error {
+		shm := shmem.New(rk)
+		env, err := core.NewEnv(mpi.World(rk), shm)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		buf := shmem.MustAlloc[float64](shm, 2)
+		return env.P2P(
+			core.Sender(0), core.Receiver(1),
+			core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+			core.SBuf(buf), core.RBuf(buf),
+		)
+	})
+	tl := col.Timeline(0)
+	if !strings.Contains(tl, "send") || !strings.Contains(tl, "recv-post") {
+		t.Errorf("timeline missing ops:\n%s", tl)
+	}
+	// Rank filter.
+	tl0 := col.Timeline(0, 0)
+	if strings.Contains(tl0, "rank   1") {
+		t.Errorf("rank filter leaked rank 1 events:\n%s", tl0)
+	}
+	fm := trace.FormatMatrix(col.CommMatrix())
+	if !strings.Contains(fm, "->1") {
+		t.Errorf("matrix format:\n%s", fm)
+	}
+	// Limit.
+	if lines := strings.Count(col.Timeline(2), "\n"); lines > 2 {
+		t.Errorf("limit ignored: %d lines", lines)
+	}
+}
+
+func TestResetAndLen(t *testing.T) {
+	col := runTraced(t, 2, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		c.Barrier()
+		return nil
+	})
+	if col.Len() == 0 {
+		t.Fatal("no events collected")
+	}
+	col.Reset()
+	if col.Len() != 0 {
+		t.Errorf("reset left %d events", col.Len())
+	}
+}
+
+func TestSyncCounting(t *testing.T) {
+	col := runTraced(t, 2, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID == 0 {
+			r, err := c.Isend([]int32{1}, 1, mpi.Int32, 1, 0)
+			if err != nil {
+				return err
+			}
+			_, err = c.Wait(r)
+			return err
+		}
+		buf := make([]int32, 1)
+		r, err := c.Irecv(buf, 1, mpi.Int32, 0, 0)
+		if err != nil {
+			return err
+		}
+		_, err = c.Waitall([]*mpi.Request{r})
+		return err
+	})
+	st := col.Stats()
+	if st.PerKind[simnet.EvWait] != 1 {
+		t.Errorf("wait events = %d", st.PerKind[simnet.EvWait])
+	}
+	if st.PerKind[simnet.EvSync] != 1 {
+		t.Errorf("sync events = %d", st.PerKind[simnet.EvSync])
+	}
+	if st.Syncs != 2 {
+		t.Errorf("syncs = %d", st.Syncs)
+	}
+}

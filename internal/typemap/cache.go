@@ -1,0 +1,51 @@
+package typemap
+
+import (
+	"reflect"
+	"sync"
+)
+
+// Cache memoises struct layouts per scope, mirroring the paper's rule that a
+// committed MPI struct type "is reused within the function scope for any
+// communication directive with buffers of the same type". The directive
+// environment holds one Cache per scope; the cost model charges the commit
+// cost on a miss and a (much smaller) lookup cost on a hit.
+type Cache struct {
+	mu sync.Mutex
+	m  map[reflect.Type]*Layout
+}
+
+// NewCache creates an empty layout cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[reflect.Type]*Layout)}
+}
+
+// Get returns the layout for v's struct type, computing and caching it on
+// first use. hit reports whether the layout was already cached.
+func (c *Cache) Get(v any) (l *Layout, hit bool, err error) {
+	t := reflect.TypeOf(v)
+	for t != nil && t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t != nil && t.Kind() == reflect.Slice && t.Elem().Kind() == reflect.Struct {
+		t = t.Elem()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l, ok := c.m[t]; ok {
+		return l, true, nil
+	}
+	l, err = LayoutOf(v)
+	if err != nil {
+		return nil, false, err
+	}
+	c.m[t] = l
+	return l, false, nil
+}
+
+// Len reports the number of cached layouts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,29 @@
+package typemap
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// StructCount reports the element capacity of a struct buffer: 1 for *T,
+// len for []T, where T matches the layout.
+func StructCount(buf any, l *Layout) (int, error) {
+	rv := reflect.ValueOf(buf)
+	switch rv.Kind() {
+	case reflect.Pointer:
+		if rv.IsNil() {
+			return 0, fmt.Errorf("typemap: nil pointer buffer")
+		}
+		if rv.Type().Elem() != l.GoType {
+			return 0, fmt.Errorf("typemap: buffer %T does not match layout %s", buf, l.GoType)
+		}
+		return 1, nil
+	case reflect.Slice:
+		if rv.Type().Elem() != l.GoType {
+			return 0, fmt.Errorf("typemap: buffer %T does not match layout %s", buf, l.GoType)
+		}
+		return rv.Len(), nil
+	default:
+		return 0, fmt.Errorf("typemap: struct buffer must be *T or []T, got %T", buf)
+	}
+}

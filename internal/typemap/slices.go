@@ -1,0 +1,157 @@
+package typemap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// SliceKind reports the basic element kind of a primitive slice buffer
+// ([]int32, []float64, ...). ok is false for anything else.
+func SliceKind(v any) (Kind, bool) {
+	t := reflect.TypeOf(v)
+	if t == nil || t.Kind() != reflect.Slice {
+		return KindInvalid, false
+	}
+	return kindOf(t.Elem())
+}
+
+// SliceLen reports the length of a primitive slice buffer.
+func SliceLen(v any) (int, bool) {
+	if _, ok := SliceKind(v); !ok {
+		return 0, false
+	}
+	return reflect.ValueOf(v).Len(), true
+}
+
+// EncodeSlice serialises the first count elements of the primitive slice v
+// into dst, returning bytes written.
+func EncodeSlice(dst []byte, v any, count int) (int, error) {
+	switch s := v.(type) {
+	case []byte:
+		return encBytes(dst, s, count)
+	case []float64:
+		return encFixed(dst, len(s), count, 8, func(d []byte, i int) {
+			binary.LittleEndian.PutUint64(d, math.Float64bits(s[i]))
+		})
+	case []float32:
+		return encFixed(dst, len(s), count, 4, func(d []byte, i int) {
+			binary.LittleEndian.PutUint32(d, math.Float32bits(s[i]))
+		})
+	case []int32:
+		return encFixed(dst, len(s), count, 4, func(d []byte, i int) {
+			binary.LittleEndian.PutUint32(d, uint32(s[i]))
+		})
+	case []int64:
+		return encFixed(dst, len(s), count, 8, func(d []byte, i int) {
+			binary.LittleEndian.PutUint64(d, uint64(s[i]))
+		})
+	case []uint32:
+		return encFixed(dst, len(s), count, 4, func(d []byte, i int) {
+			binary.LittleEndian.PutUint32(d, s[i])
+		})
+	case []uint64:
+		return encFixed(dst, len(s), count, 8, func(d []byte, i int) {
+			binary.LittleEndian.PutUint64(d, s[i])
+		})
+	case []int16:
+		return encFixed(dst, len(s), count, 2, func(d []byte, i int) {
+			binary.LittleEndian.PutUint16(d, uint16(s[i]))
+		})
+	case []int8:
+		return encFixed(dst, len(s), count, 1, func(d []byte, i int) { d[0] = byte(s[i]) })
+	default:
+		return 0, fmt.Errorf("typemap: unsupported slice buffer type %T", v)
+	}
+}
+
+// DecodeSlice deserialises count elements from src into the primitive slice v.
+func DecodeSlice(src []byte, v any, count int) (int, error) {
+	switch s := v.(type) {
+	case []byte:
+		return decBytes(src, s, count)
+	case []float64:
+		return decFixed(src, len(s), count, 8, func(d []byte, i int) {
+			s[i] = math.Float64frombits(binary.LittleEndian.Uint64(d))
+		})
+	case []float32:
+		return decFixed(src, len(s), count, 4, func(d []byte, i int) {
+			s[i] = math.Float32frombits(binary.LittleEndian.Uint32(d))
+		})
+	case []int32:
+		return decFixed(src, len(s), count, 4, func(d []byte, i int) {
+			s[i] = int32(binary.LittleEndian.Uint32(d))
+		})
+	case []int64:
+		return decFixed(src, len(s), count, 8, func(d []byte, i int) {
+			s[i] = int64(binary.LittleEndian.Uint64(d))
+		})
+	case []uint32:
+		return decFixed(src, len(s), count, 4, func(d []byte, i int) {
+			s[i] = binary.LittleEndian.Uint32(d)
+		})
+	case []uint64:
+		return decFixed(src, len(s), count, 8, func(d []byte, i int) {
+			s[i] = binary.LittleEndian.Uint64(d)
+		})
+	case []int16:
+		return decFixed(src, len(s), count, 2, func(d []byte, i int) {
+			s[i] = int16(binary.LittleEndian.Uint16(d))
+		})
+	case []int8:
+		return decFixed(src, len(s), count, 1, func(d []byte, i int) { s[i] = int8(d[0]) })
+	default:
+		return 0, fmt.Errorf("typemap: unsupported slice buffer type %T", v)
+	}
+}
+
+func encBytes(dst, s []byte, count int) (int, error) {
+	if count > len(s) {
+		return 0, fmt.Errorf("typemap: count %d exceeds buffer length %d", count, len(s))
+	}
+	if len(dst) < count {
+		return 0, fmt.Errorf("typemap: encode needs %d bytes, have %d", count, len(dst))
+	}
+	copy(dst, s[:count])
+	return count, nil
+}
+
+func decBytes(src, s []byte, count int) (int, error) {
+	if count > len(s) {
+		return 0, fmt.Errorf("typemap: count %d exceeds buffer length %d", count, len(s))
+	}
+	if len(src) < count {
+		return 0, fmt.Errorf("typemap: decode needs %d bytes, have %d", count, len(src))
+	}
+	copy(s[:count], src[:count])
+	return count, nil
+}
+
+func encFixed(dst []byte, slen, count, esize int, put func([]byte, int)) (int, error) {
+	if count > slen {
+		return 0, fmt.Errorf("typemap: count %d exceeds buffer length %d", count, slen)
+	}
+	need := count * esize
+	if len(dst) < need {
+		return 0, fmt.Errorf("typemap: encode needs %d bytes, have %d", need, len(dst))
+	}
+	for i := 0; i < count; i++ {
+		put(dst[i*esize:], i)
+	}
+	return need, nil
+}
+
+func decFixed(src []byte, slen, count, esize int, get func([]byte, int)) (int, error) {
+	if count > slen {
+		return 0, fmt.Errorf("typemap: count %d exceeds buffer length %d", count, slen)
+	}
+	need := count * esize
+	if len(src) < need {
+		return 0, fmt.Errorf("typemap: decode needs %d bytes, have %d", need, len(src))
+	}
+	for i := 0; i < count; i++ {
+		get(src[i*esize:], i)
+	}
+	return need, nil
+}

@@ -1,0 +1,341 @@
+// Package typemap extracts wire layouts from Go types, mirroring the
+// derived-datatype handling the paper's compiler performs: for a composite
+// (struct) buffer it computes, per field, the displacement, block length and
+// basic element kind; pointers inside composites and recursively nested
+// composites are rejected, exactly as the paper prescribes. For primitive
+// buffers it selects the element size that the SHMEM backend uses to pick
+// the typed put variant.
+//
+// Encoding is little-endian and densely packed (no padding), so wire size
+// is platform-independent.
+package typemap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// Kind is a basic wire element kind (the analogue of an MPI basic type).
+type Kind int
+
+const (
+	KindInvalid Kind = iota
+	KindInt8
+	KindInt16
+	KindInt32
+	KindInt64
+	KindUint8
+	KindUint16
+	KindUint32
+	KindUint64
+	KindFloat32
+	KindFloat64
+)
+
+var kindNames = map[Kind]string{
+	KindInt8: "int8", KindInt16: "int16", KindInt32: "int32", KindInt64: "int64",
+	KindUint8: "uint8", KindUint16: "uint16", KindUint32: "uint32", KindUint64: "uint64",
+	KindFloat32: "float32", KindFloat64: "float64",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Size reports the wire size of one element of this kind, in bytes.
+func (k Kind) Size() int {
+	switch k {
+	case KindInt8, KindUint8:
+		return 1
+	case KindInt16, KindUint16:
+		return 2
+	case KindInt32, KindUint32, KindFloat32:
+		return 4
+	case KindInt64, KindUint64, KindFloat64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+func kindOf(t reflect.Type) (Kind, bool) {
+	switch t.Kind() {
+	case reflect.Int8:
+		return KindInt8, true
+	case reflect.Int16:
+		return KindInt16, true
+	case reflect.Int32:
+		return KindInt32, true
+	case reflect.Int64:
+		return KindInt64, true
+	case reflect.Uint8:
+		return KindUint8, true
+	case reflect.Uint16:
+		return KindUint16, true
+	case reflect.Uint32:
+		return KindUint32, true
+	case reflect.Uint64:
+		return KindUint64, true
+	case reflect.Float32:
+		return KindFloat32, true
+	case reflect.Float64:
+		return KindFloat64, true
+	default:
+		return KindInvalid, false
+	}
+}
+
+// Field is one member of a composite layout: the analogue of one
+// (displacement, blocklength, basic type) triple of an MPI struct type.
+type Field struct {
+	Name     string
+	Index    int  // struct field index
+	Offset   int  // wire displacement in bytes
+	BlockLen int  // number of basic elements (>1 for fixed arrays)
+	Kind     Kind // basic element kind
+}
+
+// Layout is the wire layout of a composite Go struct type.
+type Layout struct {
+	GoType   reflect.Type
+	Fields   []Field
+	WireSize int // bytes per struct value
+}
+
+// String renders the layout like a derived-datatype dump.
+func (l *Layout) String() string {
+	s := fmt.Sprintf("struct %s (%d bytes):", l.GoType.Name(), l.WireSize)
+	for _, f := range l.Fields {
+		s += fmt.Sprintf("\n  %-12s disp=%-4d blocklen=%-4d type=%s", f.Name, f.Offset, f.BlockLen, f.Kind)
+	}
+	return s
+}
+
+// LayoutOf computes the wire layout of v, which must be a struct value, a
+// pointer to struct, or a reflect.Type of a struct. It returns an error for
+// the constructs the paper prohibits: pointer (or pointer-like) fields and
+// nested composite types. Fixed-size arrays of basic elements are allowed
+// and become fields with BlockLen > 1.
+func LayoutOf(v any) (*Layout, error) {
+	var t reflect.Type
+	switch x := v.(type) {
+	case reflect.Type:
+		t = x
+	default:
+		t = reflect.TypeOf(v)
+	}
+	for t != nil && (t.Kind() == reflect.Pointer || t.Kind() == reflect.Slice) {
+		t = t.Elem()
+	}
+	if t == nil || t.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("typemap: %v is not a struct type", v)
+	}
+	l := &Layout{GoType: t}
+	off := 0
+	for i := 0; i < t.NumField(); i++ {
+		sf := t.Field(i)
+		if !sf.IsExported() {
+			return nil, fmt.Errorf("typemap: %s.%s is unexported and cannot be communicated", t.Name(), sf.Name)
+		}
+		ft := sf.Type
+		blockLen := 1
+		if ft.Kind() == reflect.Array {
+			blockLen = ft.Len()
+			ft = ft.Elem()
+			if ft.Kind() == reflect.Array || ft.Kind() == reflect.Struct {
+				return nil, fmt.Errorf("typemap: %s.%s: multidimensional or composite array elements are not supported", t.Name(), sf.Name)
+			}
+		}
+		switch ft.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Map, reflect.Chan, reflect.Func, reflect.Interface, reflect.UnsafePointer, reflect.String:
+			return nil, fmt.Errorf("typemap: %s.%s: pointer-like field type %s is prohibited in a communicated composite", t.Name(), sf.Name, sf.Type)
+		case reflect.Struct:
+			return nil, fmt.Errorf("typemap: %s.%s: nested composite types are prohibited", t.Name(), sf.Name)
+		}
+		k, ok := kindOf(ft)
+		if !ok {
+			return nil, fmt.Errorf("typemap: %s.%s: unsupported field type %s (use fixed-width numeric types)", t.Name(), sf.Name, sf.Type)
+		}
+		l.Fields = append(l.Fields, Field{
+			Name:     sf.Name,
+			Index:    i,
+			Offset:   off,
+			BlockLen: blockLen,
+			Kind:     k,
+		})
+		off += blockLen * k.Size()
+	}
+	if len(l.Fields) == 0 {
+		return nil, fmt.Errorf("typemap: struct %s has no fields", t.Name())
+	}
+	l.WireSize = off
+	return l, nil
+}
+
+func putScalar(dst []byte, k Kind, v reflect.Value) int {
+	switch k {
+	case KindInt8:
+		dst[0] = byte(v.Int())
+		return 1
+	case KindUint8:
+		dst[0] = byte(v.Uint())
+		return 1
+	case KindInt16:
+		binary.LittleEndian.PutUint16(dst, uint16(v.Int()))
+		return 2
+	case KindUint16:
+		binary.LittleEndian.PutUint16(dst, uint16(v.Uint()))
+		return 2
+	case KindInt32:
+		binary.LittleEndian.PutUint32(dst, uint32(v.Int()))
+		return 4
+	case KindUint32:
+		binary.LittleEndian.PutUint32(dst, uint32(v.Uint()))
+		return 4
+	case KindInt64:
+		binary.LittleEndian.PutUint64(dst, uint64(v.Int()))
+		return 8
+	case KindUint64:
+		binary.LittleEndian.PutUint64(dst, v.Uint())
+		return 8
+	case KindFloat32:
+		binary.LittleEndian.PutUint32(dst, math.Float32bits(float32(v.Float())))
+		return 4
+	case KindFloat64:
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(v.Float()))
+		return 8
+	}
+	panic("typemap: bad kind in putScalar")
+}
+
+func getScalar(src []byte, k Kind, v reflect.Value) int {
+	switch k {
+	case KindInt8:
+		v.SetInt(int64(int8(src[0])))
+		return 1
+	case KindUint8:
+		v.SetUint(uint64(src[0]))
+		return 1
+	case KindInt16:
+		v.SetInt(int64(int16(binary.LittleEndian.Uint16(src))))
+		return 2
+	case KindUint16:
+		v.SetUint(uint64(binary.LittleEndian.Uint16(src)))
+		return 2
+	case KindInt32:
+		v.SetInt(int64(int32(binary.LittleEndian.Uint32(src))))
+		return 4
+	case KindUint32:
+		v.SetUint(uint64(binary.LittleEndian.Uint32(src)))
+		return 4
+	case KindInt64:
+		v.SetInt(int64(binary.LittleEndian.Uint64(src)))
+		return 8
+	case KindUint64:
+		v.SetUint(binary.LittleEndian.Uint64(src))
+		return 8
+	case KindFloat32:
+		v.SetFloat(float64(math.Float32frombits(binary.LittleEndian.Uint32(src))))
+		return 4
+	case KindFloat64:
+		v.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(src)))
+		return 8
+	}
+	panic("typemap: bad kind in getScalar")
+}
+
+// Encode serialises count consecutive struct values from v (a *T or []T,
+// with T matching the layout) into dst, returning the bytes written.
+func (l *Layout) Encode(dst []byte, v any, count int) (int, error) {
+	vals, err := l.structValues(v, count, false)
+	if err != nil {
+		return 0, err
+	}
+	need := count * l.WireSize
+	if len(dst) < need {
+		return 0, fmt.Errorf("typemap: encode needs %d bytes, have %d", need, len(dst))
+	}
+	pos := 0
+	for _, sv := range vals {
+		for _, f := range l.Fields {
+			fv := sv.Field(f.Index)
+			if f.BlockLen > 1 || fv.Kind() == reflect.Array {
+				for j := 0; j < f.BlockLen; j++ {
+					pos += putScalar(dst[pos:], f.Kind, fv.Index(j))
+				}
+			} else {
+				pos += putScalar(dst[pos:], f.Kind, fv)
+			}
+		}
+	}
+	return pos, nil
+}
+
+// Decode deserialises count struct values from src into v (a *T or []T).
+func (l *Layout) Decode(src []byte, v any, count int) (int, error) {
+	vals, err := l.structValues(v, count, true)
+	if err != nil {
+		return 0, err
+	}
+	need := count * l.WireSize
+	if len(src) < need {
+		return 0, fmt.Errorf("typemap: decode needs %d bytes, have %d", need, len(src))
+	}
+	pos := 0
+	for _, sv := range vals {
+		for _, f := range l.Fields {
+			fv := sv.Field(f.Index)
+			if f.BlockLen > 1 || fv.Kind() == reflect.Array {
+				for j := 0; j < f.BlockLen; j++ {
+					pos += getScalar(src[pos:], f.Kind, fv.Index(j))
+				}
+			} else {
+				pos += getScalar(src[pos:], f.Kind, fv)
+			}
+		}
+	}
+	return pos, nil
+}
+
+func (l *Layout) structValues(v any, count int, settable bool) ([]reflect.Value, error) {
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Pointer:
+		if rv.IsNil() {
+			return nil, fmt.Errorf("typemap: nil pointer buffer")
+		}
+		ev := rv.Elem()
+		if ev.Type() != l.GoType {
+			return nil, fmt.Errorf("typemap: buffer type %s does not match layout %s", ev.Type(), l.GoType)
+		}
+		if count != 1 {
+			return nil, fmt.Errorf("typemap: count %d on a single-struct pointer buffer", count)
+		}
+		return []reflect.Value{ev}, nil
+	case reflect.Slice:
+		if rv.Type().Elem() != l.GoType {
+			return nil, fmt.Errorf("typemap: buffer element type %s does not match layout %s", rv.Type().Elem(), l.GoType)
+		}
+		if count > rv.Len() {
+			return nil, fmt.Errorf("typemap: count %d exceeds buffer length %d", count, rv.Len())
+		}
+		out := make([]reflect.Value, count)
+		for i := 0; i < count; i++ {
+			out[i] = rv.Index(i)
+		}
+		return out, nil
+	default:
+		if settable {
+			return nil, fmt.Errorf("typemap: destination buffer must be *T or []T, got %T", v)
+		}
+		if rv.Type() != l.GoType || count != 1 {
+			return nil, fmt.Errorf("typemap: buffer %T does not match layout %s", v, l.GoType)
+		}
+		return []reflect.Value{rv}, nil
+	}
+}

@@ -1,0 +1,322 @@
+package typemap
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+type allKinds struct {
+	A int8
+	B int16
+	C int32
+	D int64
+	E uint8
+	F uint16
+	G uint32
+	H uint64
+	I float32
+	J float64
+	K [4]int32
+	L [3]float64
+}
+
+func TestLayoutOfAllKinds(t *testing.T) {
+	l, err := LayoutOf(allKinds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSize := 1 + 2 + 4 + 8 + 1 + 2 + 4 + 8 + 4 + 8 + 16 + 24
+	if l.WireSize != wantSize {
+		t.Errorf("wire size %d, want %d", l.WireSize, wantSize)
+	}
+	if len(l.Fields) != 12 {
+		t.Errorf("%d fields", len(l.Fields))
+	}
+	// Displacements must be dense and increasing.
+	off := 0
+	for _, f := range l.Fields {
+		if f.Offset != off {
+			t.Errorf("field %s at %d, want %d", f.Name, f.Offset, off)
+		}
+		off += f.BlockLen * f.Kind.Size()
+	}
+	if l.Fields[10].BlockLen != 4 || l.Fields[11].BlockLen != 3 {
+		t.Errorf("array block lengths wrong: %+v", l.Fields[10:])
+	}
+}
+
+func TestLayoutAcceptsVariousInputs(t *testing.T) {
+	forms := []any{
+		allKinds{},
+		&allKinds{},
+		[]allKinds{},
+		reflect.TypeOf(allKinds{}),
+	}
+	for _, f := range forms {
+		if _, err := LayoutOf(f); err != nil {
+			t.Errorf("LayoutOf(%T): %v", f, err)
+		}
+	}
+}
+
+func TestLayoutRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		v    any
+		frag string
+	}{
+		{"pointer field", struct{ P *int32 }{}, "pointer-like"},
+		{"slice field", struct{ S []float64 }{}, "pointer-like"},
+		{"map field", struct{ M map[int32]int32 }{}, "pointer-like"},
+		{"string field", struct{ S string }{}, "pointer-like"},
+		{"nested struct", struct{ N struct{ X int32 } }{}, "nested composite"},
+		{"array of struct", struct{ A [2]struct{ X int32 } }{}, "composite array"},
+		{"plain int", struct{ N int }{}, "fixed-width"},
+		{"bool", struct{ B bool }{}, "unsupported"},
+		{"not a struct", 42, "not a struct"},
+		{"empty struct", struct{}{}, "no fields"},
+	}
+	for _, tc := range cases {
+		_, err := LayoutOf(tc.v)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestUnexportedFieldRejected(t *testing.T) {
+	type hidden struct {
+		X int32
+		y int32 //nolint:unused
+	}
+	_ = hidden{y: 1}.y
+	if _, err := LayoutOf(hidden{}); err == nil {
+		t.Error("unexported field accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	l, err := LayoutOf(allKinds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(v allKinds) bool {
+		// NaN breaks equality; normalise.
+		if math.IsNaN(float64(v.I)) {
+			v.I = 0
+		}
+		if math.IsNaN(v.J) {
+			v.J = 0
+		}
+		for i := range v.L {
+			if math.IsNaN(v.L[i]) {
+				v.L[i] = 0
+			}
+		}
+		wire := make([]byte, l.WireSize)
+		if _, err := l.Encode(wire, &v, 1); err != nil {
+			return false
+		}
+		var out allKinds
+		if _, err := l.Decode(wire, &out, 1); err != nil {
+			return false
+		}
+		return v == out
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeStructSlices(t *testing.T) {
+	type pt struct {
+		X, Y float64
+		ID   int32
+	}
+	l, err := LayoutOf(pt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []pt{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	wire := make([]byte, 3*l.WireSize)
+	if _, err := l.Encode(wire, in, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]pt, 3)
+	if _, err := l.Decode(wire, out, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("element %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestEncodeBufferChecks(t *testing.T) {
+	type pt struct{ X float64 }
+	l, _ := LayoutOf(pt{})
+	if _, err := l.Encode(make([]byte, 4), &pt{}, 1); err == nil {
+		t.Error("short destination accepted")
+	}
+	if _, err := l.Encode(make([]byte, 8), &pt{}, 2); err == nil {
+		t.Error("count 2 on single pointer accepted")
+	}
+	if _, err := l.Decode(make([]byte, 8), pt{}, 1); err == nil {
+		t.Error("non-pointer decode destination accepted")
+	}
+	var nilp *pt
+	if _, err := l.Encode(make([]byte, 8), nilp, 1); err == nil {
+		t.Error("nil pointer accepted")
+	}
+	type other struct{ Y int32 }
+	if _, err := l.Encode(make([]byte, 8), &other{}, 1); err == nil {
+		t.Error("wrong struct type accepted")
+	}
+}
+
+func TestSliceCodecsRoundTripProperty(t *testing.T) {
+	propF64 := func(in []float64) bool {
+		wire := make([]byte, len(in)*8)
+		if _, err := EncodeSlice(wire, in, len(in)); err != nil {
+			return false
+		}
+		out := make([]float64, len(in))
+		if _, err := DecodeSlice(wire, out, len(in)); err != nil {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] && !(math.IsNaN(in[i]) && math.IsNaN(out[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(propF64, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	propI32 := func(in []int32) bool {
+		wire := make([]byte, len(in)*4)
+		if _, err := EncodeSlice(wire, in, len(in)); err != nil {
+			return false
+		}
+		out := make([]int32, len(in))
+		if _, err := DecodeSlice(wire, out, len(in)); err != nil {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(propI32, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceKindAndLen(t *testing.T) {
+	if k, ok := SliceKind([]float64{}); !ok || k != KindFloat64 {
+		t.Errorf("float64 slice: %v %v", k, ok)
+	}
+	if k, ok := SliceKind([]byte{}); !ok || k != KindUint8 {
+		t.Errorf("byte slice: %v %v", k, ok)
+	}
+	if _, ok := SliceKind("hello"); ok {
+		t.Error("string classified as slice")
+	}
+	if _, ok := SliceKind([]string{}); ok {
+		t.Error("string slice accepted")
+	}
+	if n, ok := SliceLen([]int32{1, 2, 3}); !ok || n != 3 {
+		t.Errorf("SliceLen = %d %v", n, ok)
+	}
+}
+
+func TestSliceCodecBounds(t *testing.T) {
+	if _, err := EncodeSlice(make([]byte, 8), []float64{1, 2}, 2); err == nil {
+		t.Error("short destination accepted")
+	}
+	if _, err := EncodeSlice(make([]byte, 64), []float64{1}, 2); err == nil {
+		t.Error("count beyond source accepted")
+	}
+	if _, err := DecodeSlice(make([]byte, 4), []float64{0}, 1); err == nil {
+		t.Error("short source accepted")
+	}
+	if _, err := DecodeSlice(make([]byte, 64), []string{"x"}, 1); err == nil {
+		t.Error("unsupported type accepted")
+	}
+}
+
+func TestCacheHitSemantics(t *testing.T) {
+	c := NewCache()
+	type pt struct{ X float64 }
+	l1, hit1, err := c.Get(&pt{})
+	if err != nil || hit1 {
+		t.Fatalf("first Get: hit=%v err=%v", hit1, err)
+	}
+	l2, hit2, err := c.Get([]pt{})
+	if err != nil || !hit2 || l1 != l2 {
+		t.Fatalf("second Get: hit=%v same=%v err=%v", hit2, l1 == l2, err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache size %d", c.Len())
+	}
+	type other struct{ Y int32 }
+	if _, hit, _ := c.Get(other{}); hit {
+		t.Error("different type hit the cache")
+	}
+}
+
+func TestStructCount(t *testing.T) {
+	type pt struct{ X float64 }
+	l, _ := LayoutOf(pt{})
+	if n, err := StructCount(&pt{}, l); err != nil || n != 1 {
+		t.Errorf("pointer count = %d %v", n, err)
+	}
+	if n, err := StructCount(make([]pt, 7), l); err != nil || n != 7 {
+		t.Errorf("slice count = %d %v", n, err)
+	}
+	if _, err := StructCount(pt{}, l); err == nil {
+		t.Error("value buffer accepted")
+	}
+	type other struct{ Y int32 }
+	if _, err := StructCount(&other{}, l); err == nil {
+		t.Error("mismatched type accepted")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	type pt struct {
+		X  float64
+		ID [2]int32
+	}
+	l, _ := LayoutOf(pt{})
+	s := l.String()
+	for _, frag := range []string{"struct pt", "disp=0", "disp=8", "blocklen=2", "float64", "int32"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("layout dump missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestKindSizeTotals(t *testing.T) {
+	for k, want := range map[Kind]int{
+		KindInt8: 1, KindUint8: 1, KindInt16: 2, KindUint16: 2,
+		KindInt32: 4, KindUint32: 4, KindFloat32: 4,
+		KindInt64: 8, KindUint64: 8, KindFloat64: 8,
+		KindInvalid: 0,
+	} {
+		if k.Size() != want {
+			t.Errorf("%v.Size() = %d, want %d", k, k.Size(), want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package verify checks global invariants over a run's event trace — the
+// automated-analysis counterpart of the paper's claim that intent-level
+// communication enables whole-program reasoning. It validates causality
+// (nothing is received before it was sent), completeness (every send is
+// eventually received), conservation (bytes out equal bytes in) and
+// per-rank virtual-clock monotonicity.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"commintent/internal/simnet"
+)
+
+// Violation is one failed invariant.
+type Violation struct {
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s", v.Invariant, v.Detail)
+}
+
+// Report is the outcome of a verification pass.
+type Report struct {
+	Events     int
+	Sends      int
+	Receives   int
+	Puts       int
+	Violations []Violation
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verify: %d events (%d sends, %d receives, %d puts): ", r.Events, r.Sends, r.Receives, r.Puts)
+	if r.OK() {
+		b.WriteString("all invariants hold")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d violation(s)", len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return b.String()
+}
+
+// Check runs every invariant over the events. n is the world size; pending
+// reports whether in-flight traffic is allowed (true when verifying
+// mid-run; false after a clean shutdown, making unmatched sends an error).
+func Check(events []simnet.Event, n int, pending bool) *Report {
+	r := &Report{Events: len(events)}
+	add := func(inv, format string, args ...any) {
+		r.Violations = append(r.Violations, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Per-rank virtual-clock monotonicity over emitted events.
+	// EvRecvComplete is excluded: its timestamp is the data-ready virtual
+	// time of the transfer, which can legitimately precede operations the
+	// rank issued between posting the receive and completing it (e.g. the
+	// consolidated waitall finishing an early-arrived message last).
+	lastV := map[int]int64{}
+	for _, e := range events {
+		if e.Kind == simnet.EvRecvComplete {
+			continue
+		}
+		if v, ok := lastV[e.Rank]; ok && int64(e.V) < v {
+			add("clock-monotonicity", "rank %d emitted %v at vtime %v after an event at %v", e.Rank, e.Kind, e.V, v)
+		}
+		lastV[e.Rank] = int64(e.V)
+	}
+
+	// Two-sided matching: per (src,dst) pair, receives complete in send
+	// order with identical byte counts, never exceeding the sends, and
+	// never before them in virtual time.
+	type pair struct{ s, d int }
+	sends := map[pair][]simnet.Event{}
+	recvs := map[pair][]simnet.Event{}
+	for _, e := range events {
+		switch e.Kind {
+		case simnet.EvSend:
+			r.Sends++
+			sends[pair{e.Rank, e.Peer}] = append(sends[pair{e.Rank, e.Peer}], e)
+		case simnet.EvRecvComplete:
+			r.Receives++
+			recvs[pair{e.Peer, e.Rank}] = append(recvs[pair{e.Peer, e.Rank}], e)
+		case simnet.EvPut:
+			r.Puts++
+		}
+	}
+	pairs := make([]pair, 0, len(sends))
+	for p := range sends {
+		pairs = append(pairs, p)
+	}
+	for p := range recvs {
+		if _, ok := sends[p]; !ok {
+			pairs = append(pairs, p)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].s != pairs[j].s {
+			return pairs[i].s < pairs[j].s
+		}
+		return pairs[i].d < pairs[j].d
+	})
+	for _, p := range pairs {
+		ss, rs := sends[p], recvs[p]
+		if len(rs) > len(ss) {
+			add("completeness", "pair %d->%d completed %d receives for %d sends", p.s, p.d, len(rs), len(ss))
+			continue
+		}
+		if !pending && len(rs) < len(ss) {
+			add("completeness", "pair %d->%d left %d send(s) unreceived after shutdown", p.s, p.d, len(ss)-len(rs))
+		}
+		// Receives must be truncations of sends, matched in FIFO order,
+		// and causally after them. (A receive may be shorter than its
+		// send: posted buffers bound the delivered count.)
+		for i := range rs {
+			if rs[i].Bytes > ss[i].Bytes {
+				add("conservation", "pair %d->%d message %d: received %dB of a %dB send", p.s, p.d, i, rs[i].Bytes, ss[i].Bytes)
+			}
+			if rs[i].V < ss[i].V {
+				add("causality", "pair %d->%d message %d: receive completed at %v before the send at %v", p.s, p.d, i, rs[i].V, ss[i].V)
+			}
+		}
+	}
+
+	// Rank sanity.
+	for _, e := range events {
+		if e.Rank < 0 || e.Rank >= n {
+			add("rank-range", "event %v from rank %d of world %d", e.Kind, e.Rank, n)
+		}
+		if e.Kind == simnet.EvSend && (e.Peer < 0 || e.Peer >= n) {
+			add("rank-range", "send from %d to peer %d of world %d", e.Rank, e.Peer, n)
+		}
+	}
+	return r
+}

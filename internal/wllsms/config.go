@@ -1,0 +1,196 @@
+package wllsms
+
+import (
+	"fmt"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+)
+
+// Params configures one WL-LSMS run.
+type Params struct {
+	Groups    int // M: number of LSMS instances
+	GroupSize int // N: processes per LSMS (16 on the paper's XK7 nodes)
+	NumAtoms  int // atoms per LSMS instance (16 iron atoms in the paper)
+	TRows     int // t: potential matrix rows (vr/rhotot carry 2*t doubles)
+	CoreRows  int // tc: core-state matrix rows
+	Steps     int // Wang-Landau steps to run
+	Seed      int64
+
+	// ComputePerRow is the synthetic calculateCoreStates cost per potential
+	// row per atom; the default is calibrated to give the paper's 19:1
+	// compute-to-communication ratio for a full WL step.
+	ComputePerRow model.Time
+	// OverlapFraction is the share of calculateCoreStates that does not
+	// depend on the incoming spin configuration and can therefore overlap
+	// the communication (Listing 7).
+	OverlapFraction float64
+	// GPUSpeedup divides the compute cost, projecting the paper's 10x GPU
+	// port (Figure 5). 1 means no projection.
+	GPUSpeedup float64
+}
+
+// DefaultParams mirrors the paper's experiment: 16 processes per LSMS,
+// 16 iron atoms, and a compute cost calibrated for the 19:1 ratio.
+func DefaultParams() Params {
+	return Params{
+		Groups:          2,
+		GroupSize:       16,
+		NumAtoms:        16,
+		TRows:           500,
+		CoreRows:        20,
+		Steps:           4,
+		Seed:            20130520,
+		ComputePerRow:   4100 * model.Nanosecond,
+		OverlapFraction: 0.5,
+		GPUSpeedup:      1,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.Groups < 1 || p.GroupSize < 2 {
+		return fmt.Errorf("wllsms: need >=1 group of >=2 processes, got %dx%d", p.Groups, p.GroupSize)
+	}
+	if p.NumAtoms < 1 || p.TRows < 1 || p.CoreRows < 1 {
+		return fmt.Errorf("wllsms: bad sizes atoms=%d t=%d tc=%d", p.NumAtoms, p.TRows, p.CoreRows)
+	}
+	if p.OverlapFraction < 0 || p.OverlapFraction > 1 {
+		return fmt.Errorf("wllsms: overlap fraction %v out of [0,1]", p.OverlapFraction)
+	}
+	if p.GPUSpeedup <= 0 {
+		return fmt.Errorf("wllsms: GPU speedup %v", p.GPUSpeedup)
+	}
+	return nil
+}
+
+// NProcs reports the total process count: 1 WL master + M*N LSMS ranks
+// (the paper's x-axes: 33, 49, ..., 337 for N=16).
+func (p Params) NProcs() int { return 1 + p.Groups*p.GroupSize }
+
+// Variant selects which implementation of the communication runs.
+type Variant int
+
+const (
+	// VariantOriginal is the paper's original code: MPI_Pack/MPI_Send for
+	// atom data, per-request MPI_Wait loops for spin configurations
+	// (Listings 4 and 6).
+	VariantOriginal Variant = iota
+	// VariantOriginalWaitall is the paper's modified original: the
+	// MPI_Wait loops replaced by one MPI_Waitall per loop.
+	VariantOriginalWaitall
+	// VariantDirective is the comm_parameters/comm_p2p rewrite
+	// (Listings 5 and 7), lowered to the Target of choice.
+	VariantDirective
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantOriginal:
+		return "original"
+	case VariantOriginalWaitall:
+		return "original+waitall"
+	case VariantDirective:
+		return "directive"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Role describes a rank's function in the modular WL-LSMS layout (Fig. 1).
+type Role int
+
+const (
+	RoleWL         Role = iota // the Wang-Landau master (world rank 0)
+	RolePrivileged             // first rank of an LSMS instance
+	RoleWorker                 // non-privileged LSMS rank
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleWL:
+		return "wang-landau"
+	case RolePrivileged:
+		return "privileged"
+	case RoleWorker:
+		return "worker"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Layout maps world ranks onto the WL/LSMS structure.
+type Layout struct {
+	P Params
+}
+
+// RoleOf reports the role of a world rank.
+func (l Layout) RoleOf(worldRank int) Role {
+	if worldRank == 0 {
+		return RoleWL
+	}
+	if (worldRank-1)%l.P.GroupSize == 0 {
+		return RolePrivileged
+	}
+	return RoleWorker
+}
+
+// GroupOf reports the LSMS instance index of a world rank (-1 for the WL
+// master).
+func (l Layout) GroupOf(worldRank int) int {
+	if worldRank == 0 {
+		return -1
+	}
+	return (worldRank - 1) / l.P.GroupSize
+}
+
+// PrivilegedWorldRank reports the world rank of group g's privileged
+// process.
+func (l Layout) PrivilegedWorldRank(g int) int { return 1 + g*l.P.GroupSize }
+
+// AtomOwner reports the group rank that owns atom a within an LSMS
+// instance. With NumAtoms == GroupSize each rank owns exactly one atom, as
+// in the paper's 16-atom / 16-process configuration.
+func (l Layout) AtomOwner(a int) int { return a % l.P.GroupSize }
+
+// LocalAtoms lists the atom indices owned by a group rank.
+func (l Layout) LocalAtoms(groupRank int) []int {
+	var out []int
+	for a := 0; a < l.P.NumAtoms; a++ {
+		if l.AtomOwner(a) == groupRank {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// LocalIndexOf reports the position of atom a within its owner's LocalAtoms
+// list (-1 if not owned by that rank).
+func (l Layout) LocalIndexOf(groupRank, a int) int {
+	idx := 0
+	for x := 0; x < l.P.NumAtoms; x++ {
+		if l.AtomOwner(x) != groupRank {
+			continue
+		}
+		if x == a {
+			return idx
+		}
+		idx++
+	}
+	return -1
+}
+
+// MaxLocalAtoms reports the largest per-rank atom count, sizing the
+// symmetric buffers (which must be identical on every PE).
+func (l Layout) MaxLocalAtoms() int {
+	max := 0
+	for r := 0; r < l.P.GroupSize; r++ {
+		if n := len(l.LocalAtoms(r)); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// DirectiveTarget pairs a Variant with the directive target it lowers to.
+type DirectiveTarget = core.Target

@@ -1,0 +1,329 @@
+package wllsms_test
+
+import (
+	"sync"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/wllsms"
+)
+
+func TestLayoutRoles(t *testing.T) {
+	p := wllsms.DefaultParams()
+	p.Groups = 3
+	p.GroupSize = 4
+	l := wllsms.Layout{P: p}
+	if l.RoleOf(0) != wllsms.RoleWL {
+		t.Error("rank 0 is not the WL master")
+	}
+	privs := map[int]bool{1: true, 5: true, 9: true}
+	for r := 1; r < p.NProcs(); r++ {
+		want := wllsms.RoleWorker
+		if privs[r] {
+			want = wllsms.RolePrivileged
+		}
+		if got := l.RoleOf(r); got != want {
+			t.Errorf("rank %d role %v, want %v", r, got, want)
+		}
+	}
+	for g := 0; g < p.Groups; g++ {
+		if l.RoleOf(l.PrivilegedWorldRank(g)) != wllsms.RolePrivileged {
+			t.Errorf("PrivilegedWorldRank(%d) = %d is not privileged", g, l.PrivilegedWorldRank(g))
+		}
+		if l.GroupOf(l.PrivilegedWorldRank(g)) != g {
+			t.Errorf("group of privileged %d wrong", g)
+		}
+	}
+	if l.GroupOf(0) != -1 {
+		t.Error("WL master assigned to a group")
+	}
+}
+
+func TestLayoutAtomOwnership(t *testing.T) {
+	p := wllsms.DefaultParams()
+	p.GroupSize = 4
+	p.NumAtoms = 10 // uneven: ranks 0,1 own 3 atoms; ranks 2,3 own 2
+	l := wllsms.Layout{P: p}
+
+	counts := map[int]int{}
+	seen := map[int]bool{}
+	for r := 0; r < p.GroupSize; r++ {
+		atoms := l.LocalAtoms(r)
+		counts[r] = len(atoms)
+		for li, a := range atoms {
+			if l.AtomOwner(a) != r {
+				t.Errorf("atom %d listed for rank %d but owned by %d", a, r, l.AtomOwner(a))
+			}
+			if l.LocalIndexOf(r, a) != li {
+				t.Errorf("LocalIndexOf(%d,%d) = %d, want %d", r, a, l.LocalIndexOf(r, a), li)
+			}
+			if seen[a] {
+				t.Errorf("atom %d owned twice", a)
+			}
+			seen[a] = true
+		}
+	}
+	if len(seen) != p.NumAtoms {
+		t.Errorf("%d atoms assigned, want %d", len(seen), p.NumAtoms)
+	}
+	if counts[0] != 3 || counts[2] != 2 {
+		t.Errorf("uneven distribution wrong: %v", counts)
+	}
+	if l.MaxLocalAtoms() != 3 {
+		t.Errorf("MaxLocalAtoms = %d", l.MaxLocalAtoms())
+	}
+	if l.LocalIndexOf(0, 1) != -1 {
+		t.Error("LocalIndexOf for foreign atom should be -1")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []func(*wllsms.Params){
+		func(p *wllsms.Params) { p.Groups = 0 },
+		func(p *wllsms.Params) { p.GroupSize = 1 },
+		func(p *wllsms.Params) { p.NumAtoms = 0 },
+		func(p *wllsms.Params) { p.TRows = 0 },
+		func(p *wllsms.Params) { p.OverlapFraction = 1.5 },
+		func(p *wllsms.Params) { p.GPUSpeedup = 0 },
+	}
+	for i, mutate := range bad {
+		p := wllsms.DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+	if err := wllsms.DefaultParams().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+}
+
+// TestUnevenAtomsDistribution runs the full distribution with more atoms
+// than ranks per group (multiple atoms per rank).
+func TestUnevenAtomsDistribution(t *testing.T) {
+	p := wllsms.DefaultParams()
+	p.Groups = 2
+	p.GroupSize = 3
+	p.NumAtoms = 7 // ranks own 3/2/2 atoms
+	p.TRows = 30
+	p.CoreRows = 5
+	ref := referenceAtoms(p)
+	for _, tc := range []struct {
+		name string
+		v    wllsms.Variant
+		tgt  core.Target
+	}{
+		{"original", wllsms.VariantOriginal, core.TargetDefault},
+		{"directive-mpi", wllsms.VariantDirective, core.TargetMPI2Side},
+		{"directive-shmem", wllsms.VariantDirective, core.TargetSHMEM},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runApp(t, p, model.Uniform(25), func(app *wllsms.App) error {
+				if _, err := app.DistributeAtoms(tc.v, tc.tgt); err != nil {
+					return err
+				}
+				verifyDistribution(t, app, ref, tc.name)
+				return nil
+			})
+		})
+	}
+}
+
+// TestUnevenAtomsSetEvec covers workers receiving several spin vectors.
+func TestUnevenAtomsSetEvec(t *testing.T) {
+	p := wllsms.DefaultParams()
+	p.Groups = 1
+	p.GroupSize = 3
+	p.NumAtoms = 8
+	p.TRows = 20
+	p.CoreRows = 4
+	for _, tc := range []struct {
+		name string
+		v    wllsms.Variant
+		tgt  core.Target
+	}{
+		{"original", wllsms.VariantOriginal, core.TargetDefault},
+		{"directive-mpi", wllsms.VariantDirective, core.TargetMPI2Side},
+		{"directive-shmem", wllsms.VariantDirective, core.TargetSHMEM},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runApp(t, p, model.Uniform(25), func(app *wllsms.App) error {
+				if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+					return err
+				}
+				var spins [][]float64
+				if app.Role == wllsms.RoleWL {
+					spins = make([][]float64, 1)
+					spins[0] = make([]float64, 3*p.NumAtoms)
+					for k := range spins[0] {
+						spins[0][k] = float64(k) + 0.25
+					}
+				}
+				if err := app.StageSpins(spins); err != nil {
+					return err
+				}
+				if _, err := app.SetEvec(tc.v, tc.tgt); err != nil {
+					return err
+				}
+				if app.Role != wllsms.RoleWL {
+					for li, atomIdx := range app.LocalAtoms {
+						ev := app.Local[li].Scalars.Evec
+						for k := 0; k < 3; k++ {
+							want := float64(3*atomIdx+k) + 0.25
+							if ev[k] != want {
+								t.Errorf("%s: rank %d atom %d evec[%d]=%v want %v",
+									tc.name, app.RK.ID, atomIdx, k, ev[k], want)
+							}
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestDeterministicMeasurements: the same configuration measured twice must
+// produce bit-identical virtual times — the property that makes the
+// simulated results reproducible.
+func TestDeterministicMeasurements(t *testing.T) {
+	p := smallParams()
+	measure := func() (model.Time, model.Time) {
+		var mu sync.Mutex
+		var d1, d2 model.Time
+		runApp(t, p, model.GeminiLike(), func(app *wllsms.App) error {
+			a, err := app.DistributeAtoms(wllsms.VariantDirective, core.TargetMPI2Side)
+			if err != nil {
+				return err
+			}
+			var spins [][]float64
+			if app.Role == wllsms.RoleWL {
+				spins = make([][]float64, p.Groups)
+				for g := range spins {
+					spins[g] = make([]float64, 3*p.NumAtoms)
+				}
+			}
+			if err := app.StageSpins(spins); err != nil {
+				return err
+			}
+			b, err := app.SetEvec(wllsms.VariantDirective, core.TargetSHMEM)
+			if err != nil {
+				return err
+			}
+			if app.RK.ID == 0 {
+				mu.Lock()
+				d1, d2 = a, b
+				mu.Unlock()
+			}
+			return nil
+		})
+		return d1, d2
+	}
+	a1, b1 := measure()
+	a2, b2 := measure()
+	if a1 != a2 || b1 != b2 {
+		t.Errorf("measurements differ across identical runs: %v/%v vs %v/%v", a1, b1, a2, b2)
+	}
+	if a1 == 0 || b1 == 0 {
+		t.Errorf("degenerate measurements %v %v", a1, b1)
+	}
+}
+
+func TestAtomResize(t *testing.T) {
+	a := wllsms.NewAtomData(10, 4)
+	a.VR[19] = 7
+	a.ResizePotential(20)
+	if a.PotentialRows() != 20 || a.VR[19] != 7 {
+		t.Errorf("resize lost data: rows=%d vr[19]=%v", a.PotentialRows(), a.VR[19])
+	}
+	a.ResizePotential(5) // shrink request is a no-op
+	if a.PotentialRows() != 20 {
+		t.Error("shrink was not a no-op")
+	}
+	a.EC[7] = -3
+	a.NC[7] = 9
+	a.ResizeCore(12)
+	if a.CoreRows() != 12 || a.EC[7] != -3 || a.NC[7] != 9 {
+		t.Errorf("core resize lost data")
+	}
+}
+
+func TestAtomChecksumSensitivity(t *testing.T) {
+	rng := wllsms.NewSeededRNG(1)
+	a := wllsms.GenerateAtom(0, 20, 4, rng)
+	rng2 := wllsms.NewSeededRNG(1)
+	b := wllsms.GenerateAtom(0, 20, 4, rng2)
+	if !a.Equal(b) || a.Checksum() != b.Checksum() {
+		t.Fatal("deterministic generation broken")
+	}
+	b.VR[3] += 1e-9
+	if a.Equal(b) {
+		t.Error("Equal missed a perturbation")
+	}
+	if a.Checksum() == b.Checksum() {
+		t.Error("Checksum missed a perturbation")
+	}
+	c := wllsms.GenerateAtom(1, 20, 4, rng)
+	if a.Equal(c) {
+		t.Error("different atoms compare equal")
+	}
+}
+
+// TestGeneratedAtomFieldsLookPhysical sanity-checks the synthetic input.
+func TestGeneratedAtomFieldsLookPhysical(t *testing.T) {
+	a := wllsms.GenerateAtom(3, 50, 6, wllsms.NewSeededRNG(9))
+	s := a.Scalars
+	if s.Ztotss != 26 || s.Zcorss != 18 {
+		t.Errorf("not iron-like: Z=%v Zcore=%v", s.Ztotss, s.Zcorss)
+	}
+	if s.Nspin != 2 || s.Jws != 50 || int(s.Numc) != 6 {
+		t.Errorf("scalars: %+v", s)
+	}
+	if len(a.VR) != 100 || len(a.EC) != 12 || len(a.KC) != 12 {
+		t.Errorf("matrix sizes: vr=%d ec=%d kc=%d", len(a.VR), len(a.EC), len(a.KC))
+	}
+	if a.VR[0] >= 0 {
+		t.Errorf("potential should start negative, got %v", a.VR[0])
+	}
+}
+
+// TestAutoTargetEndToEnd runs the full application with the TargetAuto
+// extension: the lowering should pick SHMEM for the 24-byte spin vectors
+// and MPI for the multi-kilobyte matrices, and the results must match the
+// fixed-target runs exactly.
+func TestAutoTargetEndToEnd(t *testing.T) {
+	p := smallParams()
+	p.Steps = 3
+	type outcome struct {
+		acc, rej int64
+		energy   float64
+	}
+	runOnce := func(tgt core.Target) outcome {
+		var mu sync.Mutex
+		var out outcome
+		runApp(t, p, model.Uniform(20), func(app *wllsms.App) error {
+			if _, err := app.DistributeAtoms(wllsms.VariantDirective, tgt); err != nil {
+				return err
+			}
+			rs, err := app.Run(wllsms.VariantDirective, tgt)
+			if err != nil {
+				return err
+			}
+			if app.Role == wllsms.RoleWL {
+				mu.Lock()
+				out = outcome{rs.Accepted, rs.Rejected, rs.LastEnergy}
+				mu.Unlock()
+			}
+			return nil
+		})
+		return out
+	}
+	auto := runOnce(core.TargetAuto)
+	fixed := runOnce(core.TargetMPI2Side)
+	if auto != fixed {
+		t.Errorf("auto target outcome %+v differs from fixed %+v", auto, fixed)
+	}
+}

@@ -1,0 +1,225 @@
+package wllsms
+
+import (
+	"fmt"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+)
+
+// The self-consistency mixing phase: after the energy computation, each
+// worker returns its updated electron densities to the privileged rank,
+// which mixes them with the previous iteration (simple linear mixing) and
+// redistributes the updated potentials. This is the reverse-direction
+// counterpart of the initial distribution — worker-to-privileged gathers
+// followed by privileged-to-worker scatters — and exercises the directive
+// layer with the communication flowing against Figure 2's arrows.
+
+// MixingFraction is the linear-mixing weight for the new density.
+const MixingFraction = 0.3
+
+// mixDensityOriginal is the explicit library-call implementation: blocking
+// sends worker->privileged, mixing, blocking sends privileged->worker.
+func (a *App) mixDensityOriginal() error {
+	c := a.Group
+	p := a.P
+	t := p.TRows
+	for atomIdx := 0; atomIdx < p.NumAtoms; atomIdx++ {
+		owner := a.L.AtomOwner(atomIdx)
+		li := a.L.LocalIndexOf(owner, atomIdx)
+		if owner != privGroupRank {
+			if c.Rank() == owner {
+				if err := c.Send(a.Local[li].RhoTot, 2*t, mpi.Float64, privGroupRank, distTag); err != nil {
+					return err
+				}
+			}
+			if c.Rank() == privGroupRank {
+				if _, err := c.Recv(a.AllAtoms[atomIdx].RhoTot, 2*t, mpi.Float64, owner, distTag); err != nil {
+					return err
+				}
+			}
+		} else if c.Rank() == privGroupRank {
+			copy(a.AllAtoms[atomIdx].RhoTot, a.Local[li].RhoTot)
+		}
+	}
+	a.mixOnPrivileged()
+	// Redistribute the updated potentials.
+	for atomIdx := 0; atomIdx < p.NumAtoms; atomIdx++ {
+		owner := a.L.AtomOwner(atomIdx)
+		li := a.L.LocalIndexOf(owner, atomIdx)
+		if owner == privGroupRank {
+			if c.Rank() == privGroupRank {
+				copy(a.Local[li].VR, a.AllAtoms[atomIdx].VR)
+			}
+			continue
+		}
+		if c.Rank() == privGroupRank {
+			if err := c.Send(a.AllAtoms[atomIdx].VR, 2*t, mpi.Float64, owner, distTag); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == owner {
+			if _, err := c.Recv(a.Local[li].VR, 2*t, mpi.Float64, privGroupRank, distTag); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mixDensityDirective expresses the same phase with two comm_parameters
+// regions: a worker->privileged return of densities, then (after the
+// privileged mixing) a privileged->worker redistribution of potentials.
+// The second region depends on data computed from the first, so the
+// regions synchronise at their boundaries by construction.
+func (a *App) mixDensityDirective(target core.Target) error {
+	c := a.Group
+	p := a.P
+	t := p.TRows
+	me := c.Rank()
+	w2 := a.groupRankToWorld
+
+	// Region 1: densities flow worker -> privileged. On the SHMEM target
+	// the privileged rank's AllAtoms matrices are not symmetric, so
+	// workers put into the shared symRho staging (indexed by atom), which
+	// the privileged rank unstages after the region.
+	err := a.Env.Parameters(func(r *core.Region) error {
+		for atomIdx := 0; atomIdx < p.NumAtoms; atomIdx++ {
+			owner := a.L.AtomOwner(atomIdx)
+			if owner == privGroupRank {
+				if me == privGroupRank {
+					li := a.L.LocalIndexOf(owner, atomIdx)
+					copy(a.AllAtoms[atomIdx].RhoTot, a.Local[li].RhoTot)
+				}
+				continue
+			}
+			li := a.L.LocalIndexOf(owner, atomIdx)
+			var sb, rb any
+			if target == core.TargetSHMEM {
+				// Symmetric staging on the privileged PE, one slot per
+				// atom (the workers' own storage aliases other slots, so
+				// a dedicated staging array keeps them disjoint).
+				sb = any(a.scratch.RhoTot)
+				rb = core.At(a.symMix, atomIdx*2*t)
+				if me == owner {
+					sb = a.Local[li].RhoTot
+				}
+			} else {
+				sb, rb = a.scratch.RhoTot, a.scratch.RhoTot
+				if me == owner {
+					sb = a.Local[li].RhoTot
+				}
+				if me == privGroupRank {
+					rb = a.AllAtoms[atomIdx].RhoTot
+				}
+			}
+			if err := r.P2P(
+				core.SBuf(sb), core.RBuf(rb), core.Count(2*t),
+				core.SenderFn(func() int { return w2(owner) }),
+				core.Receiver(w2(privGroupRank)),
+				core.SendWhen(me == owner), core.ReceiveWhen(me == privGroupRank),
+			); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+		core.MaxCommIter(p.NumAtoms),
+		core.PlaceSync(core.EndParamRegion),
+		core.WithTarget(target),
+	)
+	if err != nil {
+		return fmt.Errorf("wllsms: density return: %w", err)
+	}
+	if target == core.TargetSHMEM && me == privGroupRank {
+		// Unstage worker densities from the per-atom symmetric staging.
+		rho := a.symMix.Local(a.Shm)
+		for atomIdx := 0; atomIdx < p.NumAtoms; atomIdx++ {
+			owner := a.L.AtomOwner(atomIdx)
+			if owner == privGroupRank {
+				continue
+			}
+			copy(a.AllAtoms[atomIdx].RhoTot, rho[atomIdx*2*t:(atomIdx+1)*2*t])
+		}
+		a.RK.Compute(a.RK.Profile().MemcpyTime((p.NumAtoms - len(a.L.LocalAtoms(privGroupRank))) * 2 * t * 8))
+	}
+
+	a.mixOnPrivileged()
+
+	// Region 2: updated potentials flow privileged -> worker, landing
+	// directly in the workers' symmetric-backed VR storage.
+	err = a.Env.Parameters(func(r *core.Region) error {
+		for atomIdx := 0; atomIdx < p.NumAtoms; atomIdx++ {
+			owner := a.L.AtomOwner(atomIdx)
+			li := a.L.LocalIndexOf(owner, atomIdx)
+			if owner == privGroupRank {
+				if me == privGroupRank {
+					copy(a.Local[li].VR, a.AllAtoms[atomIdx].VR)
+				}
+				continue
+			}
+			sb := any(a.scratch.VR)
+			if me == privGroupRank {
+				sb = a.AllAtoms[atomIdx].VR
+			}
+			var rb any = core.At(a.symVR, li*2*t)
+			if target != core.TargetSHMEM {
+				rb = a.scratch.VR
+				if me == owner {
+					rb = a.Local[li].VR
+				}
+			}
+			if err := r.P2P(
+				core.SBuf(sb), core.RBuf(rb), core.Count(2*t),
+				core.Sender(w2(privGroupRank)),
+				core.ReceiverFn(func() int { return w2(owner) }),
+				core.SendWhen(me == privGroupRank), core.ReceiveWhen(me == owner),
+			); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+		core.MaxCommIter(p.NumAtoms),
+		core.PlaceSync(core.EndParamRegion),
+		core.WithTarget(target),
+	)
+	if err != nil {
+		return fmt.Errorf("wllsms: potential redistribution: %w", err)
+	}
+	return nil
+}
+
+// mixOnPrivileged applies linear mixing rho_new into the potentials on the
+// privileged rank: vr' = vr + MixingFraction * scale(rho). Deterministic
+// and cheap; the cost of the mixing arithmetic is charged to the clock.
+func (a *App) mixOnPrivileged() {
+	if a.Role != RolePrivileged {
+		return
+	}
+	for _, atom := range a.AllAtoms {
+		for i := range atom.VR {
+			atom.VR[i] = (1-MixingFraction)*atom.VR[i] - MixingFraction*0.01*atom.RhoTot[i]
+		}
+	}
+	a.RK.Compute(model.Time(len(a.AllAtoms)*2*a.P.TRows) * 4)
+}
+
+// MixDensities runs the self-consistency mixing phase with the selected
+// implementation and returns the measured virtual-time span.
+func (a *App) MixDensities(v Variant, target core.Target) (model.Time, error) {
+	return a.Measure(func() error {
+		if a.Role == RoleWL {
+			return nil
+		}
+		switch v {
+		case VariantOriginal, VariantOriginalWaitall:
+			return a.mixDensityOriginal()
+		case VariantDirective:
+			return a.mixDensityDirective(target)
+		default:
+			return fmt.Errorf("wllsms: unknown variant %v", v)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package wllsms_test
+
+import (
+	"sync"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/wllsms"
+)
+
+// TestMixDensitiesVariantsAgree: the self-consistency mixing phase must
+// produce identical potentials on every rank under every implementation.
+func TestMixDensitiesVariantsAgree(t *testing.T) {
+	p := smallParams()
+	type key struct{ rank, li int }
+	results := map[string]map[key]float64{}
+	var mu sync.Mutex
+
+	for _, tc := range []struct {
+		name string
+		v    wllsms.Variant
+		tgt  core.Target
+	}{
+		{"original", wllsms.VariantOriginal, core.TargetDefault},
+		{"directive-mpi", wllsms.VariantDirective, core.TargetMPI2Side},
+		{"directive-shmem", wllsms.VariantDirective, core.TargetSHMEM},
+	} {
+		tc := tc
+		snap := map[key]float64{}
+		runApp(t, p, model.Uniform(30), func(app *wllsms.App) error {
+			if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+				return err
+			}
+			// Perturb densities deterministically so the mix has effect.
+			for li := range app.Local {
+				for i := range app.Local[li].RhoTot {
+					app.Local[li].RhoTot[i] += float64(app.LocalAtoms[li]*1000 + i)
+				}
+			}
+			if _, err := app.MixDensities(tc.v, tc.tgt); err != nil {
+				return err
+			}
+			if app.Role != wllsms.RoleWL {
+				mu.Lock()
+				for li := range app.Local {
+					var sum float64
+					for i, v := range app.Local[li].VR {
+						sum += v * float64(i%7+1)
+					}
+					snap[key{app.RK.ID, li}] = sum
+				}
+				mu.Unlock()
+			}
+			return nil
+		})
+		results[tc.name] = snap
+	}
+
+	base := results["original"]
+	if len(base) == 0 {
+		t.Fatal("no results collected")
+	}
+	changed := false
+	for _, v := range base {
+		if v != 0 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("mixing left all potentials zero?")
+	}
+	for name, snap := range results {
+		if name == "original" {
+			continue
+		}
+		for k, v := range base {
+			if snap[k] != v {
+				t.Errorf("%s: rank %d atom %d potential checksum %v != original %v", name, k.rank, k.li, snap[k], v)
+			}
+		}
+	}
+}
+
+// TestMixDensitiesTimingOrdering: the directive implementations must not be
+// slower than the original (they replace blocking ping-pong with
+// consolidated non-blocking regions).
+func TestMixDensitiesTimingOrdering(t *testing.T) {
+	p := wllsms.DefaultParams()
+	p.Groups = 2
+	times := map[string]model.Time{}
+	var mu sync.Mutex
+	for _, tc := range []struct {
+		name string
+		v    wllsms.Variant
+		tgt  core.Target
+	}{
+		{"original", wllsms.VariantOriginal, core.TargetDefault},
+		{"directive-mpi", wllsms.VariantDirective, core.TargetMPI2Side},
+	} {
+		tc := tc
+		runApp(t, p, model.GeminiLike(), func(app *wllsms.App) error {
+			if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+				return err
+			}
+			d, err := app.MixDensities(tc.v, tc.tgt)
+			if err != nil {
+				return err
+			}
+			if app.RK.ID == 0 {
+				mu.Lock()
+				times[tc.name] = d
+				mu.Unlock()
+			}
+			return nil
+		})
+	}
+	t.Logf("mixing: original=%v directive-mpi=%v", times["original"], times["directive-mpi"])
+	if times["directive-mpi"] > times["original"] {
+		t.Errorf("directive mixing slower than the original: %v > %v", times["directive-mpi"], times["original"])
+	}
+}

@@ -1,0 +1,84 @@
+package wllsms_test
+
+import (
+	"sync"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/wllsms"
+)
+
+// TestProfileSensitivity: the paper's SHMEM advantage is a property of the
+// machine (small-message latency gap), not of the directive layer. On an
+// Ethernet-like profile with a software one-sided path, the directive's
+// SHMEM advantage over its MPI target must shrink dramatically — while the
+// waitall-vs-wait-loop gain (a library-semantics effect) must survive on
+// both machines.
+func TestProfileSensitivity(t *testing.T) {
+	p := wllsms.DefaultParams()
+	p.Groups = 2
+
+	type ratios struct{ shmemOverMPI, origOverWaitall float64 }
+	measure := func(prof *model.Profile) ratios {
+		times := map[string]model.Time{}
+		var mu sync.Mutex
+		cases := []struct {
+			name string
+			v    wllsms.Variant
+			tgt  core.Target
+		}{
+			{"original", wllsms.VariantOriginal, core.TargetDefault},
+			{"waitall", wllsms.VariantOriginalWaitall, core.TargetDefault},
+			{"directive-mpi", wllsms.VariantDirective, core.TargetMPI2Side},
+			{"directive-shmem", wllsms.VariantDirective, core.TargetSHMEM},
+		}
+		for _, tc := range cases {
+			tc := tc
+			runApp(t, p, prof, func(app *wllsms.App) error {
+				if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+					return err
+				}
+				var spins [][]float64
+				if app.Role == wllsms.RoleWL {
+					spins = make([][]float64, p.Groups)
+					for g := range spins {
+						spins[g] = make([]float64, 3*p.NumAtoms)
+					}
+				}
+				if err := app.StageSpins(spins); err != nil {
+					return err
+				}
+				d, err := app.SetEvec(tc.v, tc.tgt)
+				if err != nil {
+					return err
+				}
+				if app.RK.ID == 0 {
+					mu.Lock()
+					times[tc.name] = d
+					mu.Unlock()
+				}
+				return nil
+			})
+		}
+		return ratios{
+			shmemOverMPI:    float64(times["directive-mpi"]) / float64(times["directive-shmem"]),
+			origOverWaitall: float64(times["original"]) / float64(times["waitall"]),
+		}
+	}
+
+	gemini := measure(model.GeminiLike())
+	ether := measure(model.EthernetLike())
+	t.Logf("gemini-like:   shmem advantage %.1fx, wait-loop penalty %.2fx", gemini.shmemOverMPI, gemini.origOverWaitall)
+	t.Logf("ethernet-like: shmem advantage %.1fx, wait-loop penalty %.2fx", ether.shmemOverMPI, ether.origOverWaitall)
+
+	if gemini.shmemOverMPI < 5 {
+		t.Errorf("gemini-like SHMEM advantage %.1fx, want large", gemini.shmemOverMPI)
+	}
+	if ether.shmemOverMPI > gemini.shmemOverMPI/2 {
+		t.Errorf("ethernet-like SHMEM advantage %.1fx did not shrink vs %.1fx", ether.shmemOverMPI, gemini.shmemOverMPI)
+	}
+	if gemini.origOverWaitall < 1.5 || ether.origOverWaitall < 1.2 {
+		t.Errorf("wait-loop penalty missing: gemini %.2fx ethernet %.2fx", gemini.origOverWaitall, ether.origOverWaitall)
+	}
+}

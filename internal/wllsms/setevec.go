@@ -1,0 +1,217 @@
+package wllsms
+
+import (
+	"fmt"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+)
+
+// StageSpins moves each instance's spin configuration from the WL master to
+// the privileged ranks (the step that precedes Listing 6's within-LIZ
+// transfer). spins[g] holds 3 doubles per atom for group g; only the WL
+// master passes it. Identical in every variant.
+func (a *App) StageSpins(spins [][]float64) error {
+	p := a.P
+	switch a.Role {
+	case RoleWL:
+		if len(spins) != p.Groups {
+			return fmt.Errorf("wllsms: StageSpins wants %d spin sets, got %d", p.Groups, len(spins))
+		}
+		reqs := make([]*mpi.Request, 0, p.Groups)
+		for g := 0; g < p.Groups; g++ {
+			if len(spins[g]) != 3*p.NumAtoms {
+				return fmt.Errorf("wllsms: spin set %d has %d values, want %d", g, len(spins[g]), 3*p.NumAtoms)
+			}
+			r, err := a.World.Isend(spins[g], 3*p.NumAtoms, mpi.Float64, a.L.PrivilegedWorldRank(g), spinTag)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, r)
+		}
+		_, err := a.World.Waitall(reqs)
+		return err
+	case RolePrivileged:
+		ev := a.symEv.Local(a.Shm)
+		_, err := a.World.Recv(ev, 3*p.NumAtoms, mpi.Float64, 0, spinTag)
+		return err
+	default:
+		return nil
+	}
+}
+
+// setEvecWaitLoop is the paper's original setEvec (Listing 6): the
+// privileged rank Isends each atom's 3-double spin vector to its owner,
+// then waits with a per-request MPI_Wait loop; workers Irecv and likewise
+// wait request-by-request; a conservative trailing group barrier closes the
+// phase.
+func (a *App) setEvecWaitLoop() error {
+	if err := a.setEvecNonblocking(func(c *mpi.Comm, reqs []*mpi.Request) error {
+		for _, r := range reqs {
+			if _, err := c.Wait(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	a.Group.Barrier()
+	return nil
+}
+
+// setEvecWaitall is the paper's modified original: the wait loops replaced
+// by a single MPI_Waitall per loop (the ~2.6x improvement the paper
+// reports); the conservative trailing barrier remains.
+func (a *App) setEvecWaitall() error {
+	if err := a.setEvecNonblocking(func(c *mpi.Comm, reqs []*mpi.Request) error {
+		_, err := c.Waitall(reqs)
+		return err
+	}); err != nil {
+		return err
+	}
+	a.Group.Barrier()
+	return nil
+}
+
+// setEvecNonblocking posts the original code's sends/receives and completes
+// them with the supplied strategy.
+func (a *App) setEvecNonblocking(complete func(*mpi.Comm, []*mpi.Request) error) error {
+	c := a.Group
+	p := a.P
+	ev := a.symEv.Local(a.Shm)
+	var reqs []*mpi.Request
+	if c.Rank() == privGroupRank {
+		for atom := 0; atom < p.NumAtoms; atom++ {
+			w := a.L.AtomOwner(atom)
+			li := a.L.LocalIndexOf(w, atom)
+			if w == privGroupRank {
+				copy(a.Local[li].Scalars.Evec[:], ev[3*atom:3*atom+3])
+				continue
+			}
+			r, err := c.Isend(ev[3*atom:3*atom+3], 3, mpi.Float64, w, li)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, r)
+		}
+	} else {
+		for li := range a.LocalAtoms {
+			r, err := c.Irecv(a.Local[li].Scalars.Evec[:], 3, mpi.Float64, privGroupRank, li)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, r)
+		}
+	}
+	return complete(c, reqs)
+}
+
+// setEvecDirective is the paper's Listing 7: one comm_parameters region
+// with sendwhen/receivewhen role selection, max_comm_iter and
+// place_sync(END_PARAM_REGION); each comm_p2p may carry an overlapped
+// computation body (overlap(li) for the owner's local atom index; nil for
+// the communication-only measurement of Figure 4). The region's
+// consolidated synchronisation replaces both the wait loops and the
+// original's trailing barrier.
+func (a *App) setEvecDirective(target core.Target, overlap func(li int) error) error {
+	c := a.Group
+	p := a.P
+	me := c.Rank()
+	w2 := a.groupRankToWorld
+	err := a.Env.Parameters(func(r *core.Region) error {
+		if me == privGroupRank {
+			ev := a.symEv.Local(a.Shm)
+			for atom := 0; atom < p.NumAtoms; atom++ {
+				w := a.L.AtomOwner(atom)
+				li := a.L.LocalIndexOf(w, atom)
+				if w == privGroupRank {
+					copy(a.Local[li].Scalars.Evec[:], ev[3*atom:3*atom+3])
+					continue
+				}
+				if err := r.P2P(
+					core.SBuf(core.At(a.symEv, 3*atom)),
+					core.RBuf(core.At(a.symEvec, 3*li)),
+					core.Count(3),
+					core.Receiver(w2(w)),
+				); err != nil {
+					return err
+				}
+			}
+			if overlap != nil {
+				for li := range a.LocalAtoms {
+					if err := overlap(li); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		for li := range a.LocalAtoms {
+			li := li
+			var body func() error
+			if overlap != nil {
+				body = func() error { return overlap(li) }
+			}
+			if err := r.P2POverlap(body,
+				core.SBuf(core.At(a.symEv, 0)),
+				core.RBuf(core.At(a.symEvec, 3*li)),
+				core.Count(3),
+			); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+		core.SendWhen(me == privGroupRank),
+		core.ReceiveWhen(me != privGroupRank),
+		core.Sender(w2(privGroupRank)),
+		core.ReceiverFn(func() int { return w2(privGroupRank) }), // overridden per comm_p2p on the sender
+		core.MaxCommIter(p.NumAtoms),
+		core.PlaceSync(core.EndParamRegion),
+		core.WithTarget(target),
+	)
+	if err != nil {
+		return err
+	}
+	if me != privGroupRank {
+		evec := a.symEvec.Local(a.Shm)
+		for li := range a.LocalAtoms {
+			copy(a.Local[li].Scalars.Evec[:], evec[3*li:3*li+3])
+		}
+	}
+	return nil
+}
+
+// SetEvec runs the within-LIZ random-spin-configuration transfer (the
+// paper's second experiment, Figure 4) with the selected implementation and
+// returns the measured virtual-time span. Spins must already be staged on
+// the privileged ranks (StageSpins).
+func (a *App) SetEvec(v Variant, target core.Target) (model.Time, error) {
+	return a.Measure(func() error {
+		if a.Role == RoleWL {
+			return nil
+		}
+		return a.setEvecInner(v, target, nil)
+	})
+}
+
+func (a *App) setEvecInner(v Variant, target core.Target, overlap func(li int) error) error {
+	switch v {
+	case VariantOriginal:
+		return a.setEvecWaitLoop()
+	case VariantOriginalWaitall:
+		return a.setEvecWaitall()
+	case VariantDirective:
+		return a.setEvecDirective(target, overlap)
+	default:
+		return fmt.Errorf("wllsms: unknown variant %v", v)
+	}
+}
+
+// SetEvecInnerForDebug exposes the unmeasured inner transfer for
+// calibration tooling.
+func (a *App) SetEvecInnerForDebug(v Variant, target core.Target) error {
+	return a.setEvecInner(v, target, nil)
+}

@@ -1,0 +1,150 @@
+package wllsms
+
+import (
+	"math"
+	"math/rand"
+)
+
+// WangLandau is the master's Monte Carlo state: each LSMS instance is an
+// independent random walker whose energies feed a shared density-of-states
+// estimate (the Wang-Landau method the application is named for).
+type WangLandau struct {
+	Bins       int
+	Emin, Emax float64
+
+	LnG  []float64 // log density-of-states estimate
+	Hist []int64   // visit histogram for the current modification stage
+	LnF  float64   // current modification factor (halved when flat)
+
+	Accepted, Rejected int64
+	Stages             int // flatness resets performed
+
+	numAtoms int
+	rng      *rand.Rand
+
+	cur     [][]float64 // accepted spin configuration per walker
+	curE    []float64   // accepted energy per walker
+	started []bool
+}
+
+// NewWangLandau builds the master state for the configured system.
+func NewWangLandau(p Params) *WangLandau {
+	w := &WangLandau{
+		Bins:     64,
+		Emin:     -6000,
+		Emax:     6000,
+		LnF:      1.0,
+		numAtoms: p.NumAtoms,
+		rng:      rand.New(rand.NewSource(p.Seed + 7)),
+	}
+	w.LnG = make([]float64, w.Bins)
+	w.Hist = make([]int64, w.Bins)
+	w.cur = make([][]float64, p.Groups)
+	w.curE = make([]float64, p.Groups)
+	w.started = make([]bool, p.Groups)
+	for g := range w.cur {
+		w.cur[g] = w.randomSpins()
+	}
+	return w
+}
+
+// randomSpins draws one uniformly distributed unit vector per atom.
+func (w *WangLandau) randomSpins() []float64 {
+	out := make([]float64, 3*w.numAtoms)
+	for i := 0; i < w.numAtoms; i++ {
+		// Marsaglia's method for a uniform point on the sphere.
+		var x, y, s float64
+		for {
+			x = 2*w.rng.Float64() - 1
+			y = 2*w.rng.Float64() - 1
+			s = x*x + y*y
+			if s < 1 && s > 0 {
+				break
+			}
+		}
+		f := 2 * math.Sqrt(1-s)
+		out[3*i] = x * f
+		out[3*i+1] = y * f
+		out[3*i+2] = 1 - 2*s
+	}
+	return out
+}
+
+// Propose returns the next spin configuration to evaluate for walker g: the
+// accepted configuration with one randomly reoriented spin.
+func (w *WangLandau) Propose(g int) []float64 {
+	next := make([]float64, len(w.cur[g]))
+	copy(next, w.cur[g])
+	fresh := w.randomSpins()
+	a := w.rng.Intn(w.numAtoms)
+	copy(next[3*a:3*a+3], fresh[3*a:3*a+3])
+	return next
+}
+
+// bin maps an energy to a histogram bin, clamped to range.
+func (w *WangLandau) bin(e float64) int {
+	if e <= w.Emin {
+		return 0
+	}
+	if e >= w.Emax {
+		return w.Bins - 1
+	}
+	return int((e - w.Emin) / (w.Emax - w.Emin) * float64(w.Bins))
+}
+
+// Update applies the Wang-Landau acceptance rule to walker g's proposed
+// configuration and its computed energy, returns whether it was accepted,
+// and advances the density-of-states estimate.
+func (w *WangLandau) Update(g int, proposal []float64, energy float64) bool {
+	nb := w.bin(energy)
+	accept := true
+	if w.started[g] {
+		ob := w.bin(w.curE[g])
+		// Accept with probability min(1, g(old)/g(new)).
+		if w.LnG[nb] > w.LnG[ob] {
+			accept = w.rng.Float64() < math.Exp(w.LnG[ob]-w.LnG[nb])
+		}
+	}
+	if accept {
+		copy(w.cur[g], proposal)
+		w.curE[g] = energy
+		w.started[g] = true
+		w.Accepted++
+	} else {
+		w.Rejected++
+	}
+	// The visited bin (new if accepted, old otherwise) is reinforced.
+	vb := w.bin(w.curE[g])
+	w.LnG[vb] += w.LnF
+	w.Hist[vb]++
+	w.maybeFlatten()
+	return accept
+}
+
+// maybeFlatten halves the modification factor when the visit histogram is
+// sufficiently flat (the standard 80% criterion over visited bins).
+func (w *WangLandau) maybeFlatten() {
+	var sum, n, min int64
+	min = math.MaxInt64
+	for _, h := range w.Hist {
+		if h == 0 {
+			continue
+		}
+		sum += h
+		n++
+		if h < min {
+			min = h
+		}
+	}
+	if n < 2 || sum < int64(4*w.Bins) {
+		return
+	}
+	mean := float64(sum) / float64(n)
+	if float64(min) >= 0.8*mean {
+		w.LnF /= 2
+		w.Stages++
+		for i := range w.Hist {
+			w.Hist[i] = 0
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package wllsms_test
+
+import (
+	"math"
+	"testing"
+
+	"commintent/internal/wllsms"
+)
+
+func wlParams() wllsms.Params {
+	p := wllsms.DefaultParams()
+	p.Groups = 2
+	p.NumAtoms = 4
+	return p
+}
+
+func TestProposalSpinsAreUnitVectors(t *testing.T) {
+	w := wllsms.NewWangLandau(wlParams())
+	for g := 0; g < 2; g++ {
+		sp := w.Propose(g)
+		if len(sp) != 12 {
+			t.Fatalf("proposal length %d", len(sp))
+		}
+		for i := 0; i < len(sp); i += 3 {
+			n := math.Sqrt(sp[i]*sp[i] + sp[i+1]*sp[i+1] + sp[i+2]*sp[i+2])
+			if math.Abs(n-1) > 1e-9 {
+				t.Errorf("spin %d has norm %v", i/3, n)
+			}
+		}
+	}
+}
+
+func TestProposalChangesOneSpin(t *testing.T) {
+	p := wlParams()
+	w := wllsms.NewWangLandau(p)
+	// First update establishes the current configuration.
+	first := w.Propose(0)
+	w.Update(0, first, -10)
+	next := w.Propose(0)
+	changed := 0
+	for a := 0; a < p.NumAtoms; a++ {
+		same := true
+		for k := 0; k < 3; k++ {
+			if first[3*a+k] != next[3*a+k] {
+				same = false
+			}
+		}
+		if !same {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Errorf("proposal changed %d spins, want 1", changed)
+	}
+}
+
+func TestUpdateBookkeeping(t *testing.T) {
+	w := wllsms.NewWangLandau(wlParams())
+	for i := 0; i < 10; i++ {
+		pr := w.Propose(0)
+		w.Update(0, pr, float64(i*100))
+	}
+	if w.Accepted+w.Rejected != 10 {
+		t.Errorf("decisions = %d", w.Accepted+w.Rejected)
+	}
+	var hist int64
+	var lng float64
+	for i := range w.Hist {
+		hist += w.Hist[i]
+		lng += w.LnG[i]
+	}
+	if hist != 10 {
+		t.Errorf("histogram total %d, want 10", hist)
+	}
+	if math.Abs(lng-10*w.LnF) > 1e-9 {
+		t.Errorf("sum lnG = %v, want %v", lng, 10*w.LnF)
+	}
+}
+
+func TestFirstUpdateAlwaysAccepts(t *testing.T) {
+	w := wllsms.NewWangLandau(wlParams())
+	if !w.Update(0, w.Propose(0), 123) {
+		t.Error("first configuration rejected")
+	}
+	if !w.Update(1, w.Propose(1), -456) {
+		t.Error("first configuration of second walker rejected")
+	}
+}
+
+func TestFlatteningHalvesLnF(t *testing.T) {
+	w := wllsms.NewWangLandau(wlParams())
+	start := w.LnF
+	// Feed a uniform sweep over the energy range many times: the histogram
+	// becomes flat and ln f must halve at least once.
+	for sweep := 0; sweep < 40; sweep++ {
+		for b := 0; b < w.Bins; b++ {
+			e := w.Emin + (float64(b)+0.5)*(w.Emax-w.Emin)/float64(w.Bins)
+			w.Update(0, w.Propose(0), e)
+		}
+	}
+	if w.LnF >= start {
+		t.Errorf("ln f never decreased: %v", w.LnF)
+	}
+	if w.Stages == 0 {
+		t.Error("no flattening stages recorded")
+	}
+}
+
+func TestDeterministicWalk(t *testing.T) {
+	p := wlParams()
+	run := func() (int64, float64) {
+		w := wllsms.NewWangLandau(p)
+		for i := 0; i < 50; i++ {
+			pr := w.Propose(i % p.Groups)
+			w.Update(i%p.Groups, pr, float64((i*37)%1000)-500)
+		}
+		var lng float64
+		for _, v := range w.LnG {
+			lng += v
+		}
+		return w.Accepted, lng
+	}
+	a1, l1 := run()
+	a2, l2 := run()
+	if a1 != a2 || l1 != l2 {
+		t.Errorf("walk not deterministic: %d/%v vs %d/%v", a1, l1, a2, l2)
+	}
+}

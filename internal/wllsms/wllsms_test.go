@@ -1,0 +1,373 @@
+package wllsms_test
+
+import (
+	"sync"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/spmd"
+	"commintent/internal/wllsms"
+)
+
+func smallParams() wllsms.Params {
+	p := wllsms.DefaultParams()
+	p.Groups = 2
+	p.GroupSize = 4
+	p.NumAtoms = 4
+	p.TRows = 40
+	p.CoreRows = 6
+	p.Steps = 2
+	return p
+}
+
+// runApp executes body on every rank of a fresh world sized for p.
+func runApp(t *testing.T, p wllsms.Params, prof *model.Profile, body func(*wllsms.App) error) {
+	t.Helper()
+	if err := spmd.Run(p.NProcs(), prof, func(rk *spmd.Rank) error {
+		app, err := wllsms.Setup(rk, p)
+		if err != nil {
+			return err
+		}
+		defer app.Close()
+		return body(app)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// referenceAtoms recomputes the expected atom set.
+func referenceAtoms(p wllsms.Params) []*wllsms.AtomData {
+	out := make([]*wllsms.AtomData, p.NumAtoms)
+	rng := wllsms.NewSeededRNG(p.Seed)
+	for i := range out {
+		out[i] = wllsms.GenerateAtom(i, p.TRows, p.CoreRows, rng)
+	}
+	return out
+}
+
+// verifyDistribution checks that every rank's owned atoms exactly match the
+// reference set after a distribution.
+func verifyDistribution(t *testing.T, app *wllsms.App, ref []*wllsms.AtomData, tag string) {
+	if app.Role == wllsms.RoleWL {
+		return
+	}
+	for li, atomIdx := range app.LocalAtoms {
+		got := app.Local[li]
+		want := ref[atomIdx]
+		if got.Scalars.LocalID != int32(atomIdx) {
+			t.Errorf("%s: rank %d atom %d: LocalID = %d", tag, app.RK.ID, atomIdx, got.Scalars.LocalID)
+		}
+		// Compare everything except LocalID (stamped by transfer).
+		w := *want
+		w.Scalars.LocalID = got.Scalars.LocalID
+		cmp := &wllsms.AtomData{Scalars: w.Scalars, VR: want.VR, RhoTot: want.RhoTot,
+			EC: want.EC, NC: want.NC, LC: want.LC, KC: want.KC}
+		if !got.Equal(cmp) {
+			t.Errorf("%s: rank %d atom %d: payload mismatch (checksums %v vs %v)",
+				tag, app.RK.ID, atomIdx, got.Checksum(), cmp.Checksum())
+		}
+	}
+}
+
+func TestDistributeOriginalCorrect(t *testing.T) {
+	p := smallParams()
+	ref := referenceAtoms(p)
+	runApp(t, p, model.Uniform(50), func(app *wllsms.App) error {
+		if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+			return err
+		}
+		verifyDistribution(t, app, ref, "original")
+		return nil
+	})
+}
+
+func TestDistributeDirectiveMPICorrect(t *testing.T) {
+	p := smallParams()
+	ref := referenceAtoms(p)
+	runApp(t, p, model.Uniform(50), func(app *wllsms.App) error {
+		if _, err := app.DistributeAtoms(wllsms.VariantDirective, core.TargetMPI2Side); err != nil {
+			return err
+		}
+		verifyDistribution(t, app, ref, "directive-mpi")
+		return nil
+	})
+}
+
+func TestDistributeDirectiveShmemCorrect(t *testing.T) {
+	p := smallParams()
+	ref := referenceAtoms(p)
+	runApp(t, p, model.Uniform(50), func(app *wllsms.App) error {
+		if _, err := app.DistributeAtoms(wllsms.VariantDirective, core.TargetSHMEM); err != nil {
+			return err
+		}
+		verifyDistribution(t, app, ref, "directive-shmem")
+		return nil
+	})
+}
+
+// TestSetEvecAllVariantsDeliver verifies every implementation delivers the
+// same spin vectors to the same atoms.
+func TestSetEvecAllVariantsDeliver(t *testing.T) {
+	p := smallParams()
+	cases := []struct {
+		name string
+		v    wllsms.Variant
+		tgt  core.Target
+	}{
+		{"original", wllsms.VariantOriginal, core.TargetDefault},
+		{"waitall", wllsms.VariantOriginalWaitall, core.TargetDefault},
+		{"directive-mpi", wllsms.VariantDirective, core.TargetMPI2Side},
+		{"directive-shmem", wllsms.VariantDirective, core.TargetSHMEM},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runApp(t, p, model.Uniform(50), func(app *wllsms.App) error {
+				if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+					return err
+				}
+				// Deterministic spin staging: group g gets value base(g)+k.
+				var spins [][]float64
+				if app.Role == wllsms.RoleWL {
+					spins = make([][]float64, p.Groups)
+					for g := range spins {
+						spins[g] = make([]float64, 3*p.NumAtoms)
+						for k := range spins[g] {
+							spins[g][k] = float64(g*1000 + k)
+						}
+					}
+				}
+				if err := app.StageSpins(spins); err != nil {
+					return err
+				}
+				if _, err := app.SetEvec(tc.v, tc.tgt); err != nil {
+					return err
+				}
+				if app.Role != wllsms.RoleWL {
+					g := app.GroupIdx
+					for li, atomIdx := range app.LocalAtoms {
+						ev := app.Local[li].Scalars.Evec
+						for k := 0; k < 3; k++ {
+							want := float64(g*1000 + 3*atomIdx + k)
+							if ev[k] != want {
+								t.Errorf("%s: rank %d atom %d evec[%d] = %v, want %v",
+									tc.name, app.RK.ID, atomIdx, k, ev[k], want)
+							}
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestFig4SpeedupShape checks the paper's Figure 4 orderings on the
+// calibrated profile: directive-SHMEM < directive-MPI < original+waitall <
+// original, with factors in the paper's ballpark.
+func TestFig4SpeedupShape(t *testing.T) {
+	p := wllsms.DefaultParams()
+	p.Groups = 3 // 49 processes
+	times := map[string]model.Time{}
+	var mu sync.Mutex
+	cases := []struct {
+		name string
+		v    wllsms.Variant
+		tgt  core.Target
+	}{
+		{"original", wllsms.VariantOriginal, core.TargetDefault},
+		{"waitall", wllsms.VariantOriginalWaitall, core.TargetDefault},
+		{"directive-mpi", wllsms.VariantDirective, core.TargetMPI2Side},
+		{"directive-shmem", wllsms.VariantDirective, core.TargetSHMEM},
+	}
+	for _, tc := range cases {
+		tc := tc
+		runApp(t, p, model.GeminiLike(), func(app *wllsms.App) error {
+			if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+				return err
+			}
+			var spins [][]float64
+			if app.Role == wllsms.RoleWL {
+				spins = make([][]float64, p.Groups)
+				for g := range spins {
+					spins[g] = make([]float64, 3*p.NumAtoms)
+				}
+			}
+			if err := app.StageSpins(spins); err != nil {
+				return err
+			}
+			d, err := app.SetEvec(tc.v, tc.tgt)
+			if err != nil {
+				return err
+			}
+			if app.RK.ID == 0 {
+				mu.Lock()
+				times[tc.name] = d
+				mu.Unlock()
+			}
+			return nil
+		})
+	}
+	orig := float64(times["original"])
+	waitall := float64(times["waitall"])
+	dmpi := float64(times["directive-mpi"])
+	dshmem := float64(times["directive-shmem"])
+	t.Logf("setEvec times: original=%v waitall=%v directive-mpi=%v directive-shmem=%v",
+		times["original"], times["waitall"], times["directive-mpi"], times["directive-shmem"])
+	t.Logf("ratios: orig/dmpi=%.2f orig/dshmem=%.2f orig/waitall=%.2f waitall/dmpi=%.2f waitall/dshmem=%.2f",
+		orig/dmpi, orig/dshmem, orig/waitall, waitall/dmpi, waitall/dshmem)
+	if !(dshmem < dmpi && dmpi < waitall && waitall < orig) {
+		t.Fatalf("ordering violated: shmem=%v mpi=%v waitall=%v orig=%v", dshmem, dmpi, waitall, orig)
+	}
+	// The paper's factors: ~4x (MPI), ~38x (SHMEM), ~2.6x (waitall),
+	// ~1.4x and ~14.5x over the waitall-modified original. We accept the
+	// right order of magnitude.
+	if r := orig / dmpi; r < 2.5 || r > 7 {
+		t.Errorf("original/directive-MPI = %.2f, want ~4x", r)
+	}
+	if r := orig / dshmem; r < 15 || r > 80 {
+		t.Errorf("original/directive-SHMEM = %.2f, want ~38x", r)
+	}
+	if r := orig / waitall; r < 1.8 || r > 4 {
+		t.Errorf("original/waitall = %.2f, want ~2.6x", r)
+	}
+	if r := waitall / dmpi; r < 1.1 || r > 2.5 {
+		t.Errorf("waitall/directive-MPI = %.2f, want ~1.4x", r)
+	}
+}
+
+// TestFig5OverlapImproves checks that the overlapped directive version beats
+// the sequential original under the 10x GPU projection, and that the gain
+// is bounded by the communication time (the paper's observation).
+func TestFig5OverlapImproves(t *testing.T) {
+	p := wllsms.DefaultParams()
+	p.Groups = 2
+	var mu sync.Mutex
+	var seq, ovl, comm model.Time
+	runApp(t, p, model.GeminiLike(), func(app *wllsms.App) error {
+		if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+			return err
+		}
+		var spins [][]float64
+		if app.Role == wllsms.RoleWL {
+			spins = make([][]float64, p.Groups)
+			for g := range spins {
+				spins[g] = make([]float64, 3*p.NumAtoms)
+			}
+		}
+		if err := app.StageSpins(spins); err != nil {
+			return err
+		}
+		cd, err := app.SetEvec(wllsms.VariantOriginal, core.TargetDefault)
+		if err != nil {
+			return err
+		}
+		sd, _, err := app.CoreStatesSequential(wllsms.VariantOriginal, core.TargetDefault, 10)
+		if err != nil {
+			return err
+		}
+		od, _, err := app.CoreStatesOverlapped(core.TargetMPI2Side, 10)
+		if err != nil {
+			return err
+		}
+		if app.RK.ID == 0 {
+			mu.Lock()
+			seq, ovl, comm = sd, od, cd
+			mu.Unlock()
+		}
+		return nil
+	})
+	t.Logf("sequential=%v overlapped=%v comm-only=%v saving=%v", seq, ovl, comm, seq-ovl)
+	if ovl >= seq {
+		t.Fatalf("overlap did not improve: %v >= %v", ovl, seq)
+	}
+	if seq-ovl > comm+comm/2 {
+		t.Errorf("saving %v exceeds communication time %v: overlap cannot save more than the comm", seq-ovl, comm)
+	}
+}
+
+// TestStepRatio19to1 checks the application-level compute:communication
+// ratio the paper reports (19:1) on the default configuration.
+func TestStepRatio19to1(t *testing.T) {
+	p := wllsms.DefaultParams()
+	p.Groups = 2
+	p.Steps = 3
+	var mu sync.Mutex
+	var ratios []float64
+	runApp(t, p, model.GeminiLike(), func(app *wllsms.App) error {
+		if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+			return err
+		}
+		rs, err := app.Run(wllsms.VariantOriginal, core.TargetDefault)
+		if err != nil {
+			return err
+		}
+		if app.Role == wllsms.RoleWorker {
+			mu.Lock()
+			ratios = append(ratios, rs.Ratio())
+			mu.Unlock()
+		}
+		return nil
+	})
+	var sum float64
+	for _, r := range ratios {
+		sum += r
+	}
+	avg := sum / float64(len(ratios))
+	t.Logf("average worker compute:comm ratio = %.1f (want ~19)", avg)
+	if avg < 10 || avg > 35 {
+		t.Errorf("ratio %.1f out of the paper's ballpark (19:1)", avg)
+	}
+}
+
+// TestWangLandauRunConverges runs full steps with every variant and checks
+// the master's bookkeeping advances identically (same seeds => same
+// accept/reject totals regardless of implementation).
+func TestWangLandauRunVariantsAgree(t *testing.T) {
+	p := smallParams()
+	p.Steps = 6
+	type tally struct {
+		acc, rej int64
+		energy   float64
+	}
+	results := map[string]tally{}
+	var mu sync.Mutex
+	cases := []struct {
+		name string
+		v    wllsms.Variant
+		tgt  core.Target
+	}{
+		{"original", wllsms.VariantOriginal, core.TargetDefault},
+		{"waitall", wllsms.VariantOriginalWaitall, core.TargetDefault},
+		{"directive-mpi", wllsms.VariantDirective, core.TargetMPI2Side},
+		{"directive-shmem", wllsms.VariantDirective, core.TargetSHMEM},
+	}
+	for _, tc := range cases {
+		tc := tc
+		runApp(t, p, model.Uniform(20), func(app *wllsms.App) error {
+			if _, err := app.DistributeAtoms(tc.v, tc.tgt); err != nil {
+				return err
+			}
+			rs, err := app.Run(tc.v, tc.tgt)
+			if err != nil {
+				return err
+			}
+			if app.Role == wllsms.RoleWL {
+				mu.Lock()
+				results[tc.name] = tally{rs.Accepted, rs.Rejected, rs.LastEnergy}
+				mu.Unlock()
+			}
+			return nil
+		})
+	}
+	base := results["original"]
+	if base.acc+base.rej != int64(p.Steps*p.Groups) {
+		t.Errorf("original: %d decisions, want %d", base.acc+base.rej, p.Steps*p.Groups)
+	}
+	for name, r := range results {
+		if r != base {
+			t.Errorf("%s result %+v differs from original %+v: implementations are not equivalent", name, r, base)
+		}
+	}
+}
