@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build test verify bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the repo's standing quality gate: static analysis plus the
+# internal test suite under the race detector.
+verify:
+	$(GO) vet ./... && $(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench . -benchtime=1x -run XXX ./internal/...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,121 @@
+// Command commstat runs a directive-expressed communication pattern with
+// full telemetry enabled and prints the performance picture: the metrics
+// registry in Prometheus text exposition format (directive counts,
+// datatype-cache hit rate, rendezvous stalls, per-rank idle time) and the
+// virtual-time critical path through the run — the longest chain of
+// message dependencies across ranks, with per-rank idle time and the load
+// imbalance ratio.
+//
+// Usage:
+//
+//	commstat [-n 8] [-pattern ring|evenodd|halo] [-target mpi2side|mpi1side|shmem|auto] [-count 4] [-iters 4] [-json] [-emit-trace out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/patterns"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+	"commintent/internal/telemetry"
+	"commintent/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 8, "number of ranks")
+	pattern := flag.String("pattern", "ring", "pattern to run: ring, evenodd or halo")
+	target := flag.String("target", "mpi2side", "directive target")
+	count := flag.Int("count", 4, "elements per message")
+	iters := flag.Int("iters", 4, "pattern iterations (steady-state metrics)")
+	asJSON := flag.Bool("json", false, "print the metrics snapshot as JSON instead of text exposition")
+	emitTrace := flag.String("emit-trace", "", "also write the span trace in Chrome trace_event JSON")
+	flag.Parse()
+
+	tgt, err := patterns.ParseTarget(*target)
+	if err != nil {
+		fatal(err)
+	}
+
+	w, err := spmd.NewWorld(*n, model.GeminiLike())
+	if err != nil {
+		fatal(err)
+	}
+	tele := telemetry.New(*n, telemetry.DefaultSpanCap)
+	w.SetTelemetry(tele)
+	col := trace.Attach(w.Fabric())
+
+	err = w.Run(func(rk *spmd.Rank) error {
+		comm := mpi.World(rk)
+		shm := shmem.New(rk)
+		env, err := core.NewEnv(comm, shm)
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		return patterns.Run(*pattern, rk, env, shm, tgt, *count, *iters)
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("pattern=%s target=%s ranks=%d count=%d iters=%d\n\n", *pattern, tgt, *n, *count, *iters)
+
+	reg := tele.Registry()
+	fmt.Println("== metrics ==")
+	if *asJSON {
+		b, err := reg.SnapshotJSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(b)
+		fmt.Println()
+	} else if err := reg.WriteProm(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	hits := sumCounter(reg, "core_datatype_cache_hits_total", *n)
+	misses := sumCounter(reg, "core_datatype_cache_misses_total", *n)
+	if hits+misses > 0 {
+		fmt.Printf("\ndatatype cache: %d hits / %d misses (hit rate %.1f%%)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	} else {
+		fmt.Printf("\ndatatype cache: no lookups\n")
+	}
+
+	fmt.Println("\n== critical path ==")
+	fmt.Print(telemetry.CriticalPath(col.Events(), *n).String())
+
+	if *emitTrace != "" {
+		f, err := os.Create(*emitTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tele.Tracer().WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *emitTrace)
+	}
+}
+
+// sumCounter totals a per-rank counter series across all ranks.
+func sumCounter(reg *telemetry.Registry, name string, n int) int64 {
+	var total int64
+	for r := 0; r < n; r++ {
+		total += reg.CounterValue(name, telemetry.Rank(r))
+	}
+	return total
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "commstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runMain invokes main() in-process with a fresh flag set and stdout
+// redirected to a scratch file, returning the captured stdout.
+func runMain(t *testing.T, args ...string) string {
+	t.Helper()
+	oldArgs, oldFlags, oldStdout := os.Args, flag.CommandLine, os.Stdout
+	defer func() {
+		os.Args, flag.CommandLine, os.Stdout = oldArgs, oldFlags, oldStdout
+	}()
+	flag.CommandLine = flag.NewFlagSet("commstat", flag.ExitOnError)
+	os.Args = append([]string{"commstat"}, args...)
+	outPath := filepath.Join(t.TempDir(), "stdout")
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	main()
+	f.Close()
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestCommstatReport(t *testing.T) {
+	out := runMain(t, "-n", "4", "-pattern", "halo", "-iters", "2")
+	for _, want := range []string{
+		// Metrics exposition.
+		"# TYPE core_directives_total counter",
+		`core_directives_total{rank="0"} 4`,
+		"core_datatype_cache_hits_total",
+		"mpi_idle_virtual_ns_total",
+		"simnet_unexpected_queue_hwm",
+		// Derived summaries.
+		"datatype cache:",
+		// Critical-path report with per-rank idle and chain length.
+		"critical path:",
+		"message edge(s)",
+		"per-rank idle (wait) time:",
+		"rank   0: idle",
+		"load imbalance (max/mean finish):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCommstatJSONSnapshot(t *testing.T) {
+	out := runMain(t, "-n", "2", "-pattern", "ring", "-json")
+	if !strings.Contains(out, `"core_directives_total{rank=\"0\"}"`) &&
+		!strings.Contains(out, `core_directives_total{rank="0"}`) {
+		t.Errorf("JSON snapshot missing directive counter:\n%s", out)
+	}
+	if !strings.Contains(out, "critical path:") {
+		t.Error("JSON mode dropped the critical-path report")
+	}
+}

@@ -2,11 +2,14 @@
 // small simulated machine and dumps what the lowering generated: the
 // recorded lowering decisions (the runtime analogue of reading the
 // compiler's output), the event timeline, the communication matrix and the
-// detected pattern.
+// detected pattern. With -emit-trace it also writes the span trace in
+// Chrome trace_event format (loadable in Perfetto / chrome://tracing), and
+// with -metrics it prints the telemetry registry in Prometheus text
+// exposition format.
 //
 // Usage:
 //
-//	commtrace [-n 8] [-pattern ring|evenodd|halo] [-target mpi2side|mpi1side|shmem|auto] [-count 4]
+//	commtrace [-n 8] [-pattern ring|evenodd|halo] [-target mpi2side|mpi1side|shmem|auto] [-count 4] [-emit-trace out.json] [-metrics]
 package main
 
 import (
@@ -19,9 +22,11 @@ import (
 	"commintent/internal/core"
 	"commintent/internal/model"
 	"commintent/internal/mpi"
+	"commintent/internal/patterns"
 	"commintent/internal/pragma"
 	"commintent/internal/shmem"
 	"commintent/internal/spmd"
+	"commintent/internal/telemetry"
 	"commintent/internal/trace"
 	"commintent/internal/verify"
 )
@@ -32,25 +37,23 @@ func main() {
 	target := flag.String("target", "mpi2side", "directive target")
 	count := flag.Int("count", 4, "elements per message")
 	pragmaText := flag.String("pragma", "", "run a literal directive line instead of a named pattern (buffers buf1/buf2 of <count> float64 are provided; variables rank, nprocs, prev, next are defined)")
+	emitTrace := flag.String("emit-trace", "", "write the span trace to this file in Chrome trace_event JSON")
+	metrics := flag.Bool("metrics", false, "print telemetry metrics in Prometheus text exposition format")
 	flag.Parse()
 
-	var tgt core.Target
-	switch *target {
-	case "mpi2side":
-		tgt = core.TargetMPI2Side
-	case "mpi1side":
-		tgt = core.TargetMPI1Side
-	case "shmem":
-		tgt = core.TargetSHMEM
-	case "auto":
-		tgt = core.TargetAuto
-	default:
-		fatal(fmt.Errorf("unknown target %q", *target))
+	tgt, err := patterns.ParseTarget(*target)
+	if err != nil {
+		fatal(err)
 	}
 
 	w, err := spmd.NewWorld(*n, model.GeminiLike())
 	if err != nil {
 		fatal(err)
+	}
+	var tele *telemetry.Telemetry
+	if *emitTrace != "" || *metrics {
+		tele = telemetry.New(*n, telemetry.DefaultSpanCap)
+		w.SetTelemetry(tele)
 	}
 	col := trace.Attach(w.Fabric())
 
@@ -68,7 +71,7 @@ func main() {
 			if err := runPragma(*pragmaText, rk, env, shm, *count); err != nil {
 				return err
 			}
-		} else if err := runPattern(*pattern, rk, env, shm, tgt, *count); err != nil {
+		} else if err := patterns.Run(*pattern, rk, env, shm, tgt, *count, 1); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -111,6 +114,27 @@ func main() {
 
 	fmt.Println("\n== invariants ==")
 	fmt.Println(verify.Check(col.Events(), *n, false))
+
+	if *metrics {
+		fmt.Println("\n== metrics ==")
+		if err := tele.Registry().WriteProm(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *emitTrace != "" {
+		f, err := os.Create(*emitTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tele.Tracer().WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *emitTrace)
+	}
 }
 
 // runPragma parses and executes a literal directive line with standard
@@ -132,69 +156,6 @@ func runPragma(line string, rk *spmd.Rank, env *core.Env, shm *shmem.Ctx, count 
 		},
 		Bufs: map[string]any{"buf1": buf1, "buf2": buf2},
 	})
-}
-
-// runPattern expresses the chosen pattern with directives.
-func runPattern(pattern string, rk *spmd.Rank, env *core.Env, shm *shmem.Ctx, tgt core.Target, count int) error {
-	n := rk.N
-	me := rk.ID
-	switch pattern {
-	case "ring":
-		// Listing 1: prev sends to me, I send to next.
-		sbuf := shmem.MustAlloc[float64](shm, count)
-		rbuf := shmem.MustAlloc[float64](shm, count)
-		local := sbuf.Local(shm)
-		for i := range local {
-			local[i] = float64(me*100 + i)
-		}
-		prev := (me - 1 + n) % n
-		next := (me + 1) % n
-		return env.P2P(
-			core.Sender(prev), core.Receiver(next),
-			core.SBuf(sbuf), core.RBuf(rbuf),
-			core.WithTarget(tgt),
-		)
-	case "evenodd":
-		// Listing 2: even ranks send to the nearest odd rank.
-		sbuf := shmem.MustAlloc[float64](shm, count)
-		rbuf := shmem.MustAlloc[float64](shm, count)
-		return env.P2P(
-			core.Sender(me-1), core.Receiver(me+1),
-			core.SendWhen(me%2 == 0 && me+1 < n), core.ReceiveWhen(me%2 == 1),
-			core.SBuf(sbuf), core.RBuf(rbuf),
-			core.WithTarget(tgt),
-		)
-	case "halo":
-		// Bidirectional nearest-neighbour halo exchange in one region.
-		field := shmem.MustAlloc[float64](shm, count+2)
-		haloL := shmem.MustAlloc[float64](shm, 1)
-		haloR := shmem.MustAlloc[float64](shm, 1)
-		f := field.Local(shm)
-		for i := range f {
-			f[i] = float64(me)
-		}
-		return env.Parameters(func(r *core.Region) error {
-			// Send my left edge to the left neighbour's right halo.
-			if err := r.P2P(
-				core.Sender(me+1), core.Receiver(me-1),
-				core.SendWhen(me > 0), core.ReceiveWhen(me < n-1),
-				core.SBuf(core.At(field, 1)), core.RBuf(haloR), core.Count(1),
-			); err != nil {
-				return err
-			}
-			// Send my right edge to the right neighbour's left halo.
-			return r.P2P(
-				core.Sender(me-1), core.Receiver(me+1),
-				core.SendWhen(me < n-1), core.ReceiveWhen(me > 0),
-				core.SBuf(core.At(field, count)), core.RBuf(haloL), core.Count(1),
-			)
-		},
-			core.WithTarget(tgt),
-			core.PlaceSync(core.EndParamRegion),
-		)
-	default:
-		return fmt.Errorf("unknown pattern %q", pattern)
-	}
 }
 
 func fatal(err error) {

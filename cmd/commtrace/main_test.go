@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runMain invokes main() in-process with a fresh flag set and stdout
+// redirected to a scratch file, returning the captured stdout.
+func runMain(t *testing.T, args ...string) string {
+	t.Helper()
+	oldArgs, oldFlags, oldStdout := os.Args, flag.CommandLine, os.Stdout
+	defer func() {
+		os.Args, flag.CommandLine, os.Stdout = oldArgs, oldFlags, oldStdout
+	}()
+	flag.CommandLine = flag.NewFlagSet("commtrace", flag.ExitOnError)
+	os.Args = append([]string{"commtrace"}, args...)
+	outPath := filepath.Join(t.TempDir(), "stdout")
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	main()
+	f.Close()
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestEmitTraceWritesValidChromeTrace(t *testing.T) {
+	const n = 4
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	runMain(t, "-n", "4", "-pattern", "halo", "-emit-trace", tracePath)
+
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	ranksSeen := map[int]bool{}
+	lastTS := make(map[int]float64)
+	spans := 0
+	names := map[string]bool{}
+	for _, e := range out.TraceEvents {
+		if e.TID < 0 || e.TID >= n {
+			t.Fatalf("event on tid %d outside rank range", e.TID)
+		}
+		switch e.Ph {
+		case "M":
+			// thread metadata; no timing.
+		case "X":
+			spans++
+			ranksSeen[e.TID] = true
+			names[e.Name] = true
+			if e.Dur < 0 {
+				t.Fatalf("span %s has negative duration", e.Name)
+			}
+			// Spans are emitted per rank in start order: monotone ts.
+			if e.TS < lastTS[e.TID] {
+				t.Fatalf("rank %d spans out of order: ts %v after %v", e.TID, e.TS, lastTS[e.TID])
+			}
+			lastTS[e.TID] = e.TS
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no spans in trace")
+	}
+	for r := 0; r < n; r++ {
+		if !ranksSeen[r] {
+			t.Errorf("rank %d has no spans", r)
+		}
+	}
+	for _, want := range []string{"comm_parameters", "comm_p2p", "MPI_Isend"} {
+		if !names[want] {
+			t.Errorf("trace missing %q spans (have %v)", want, names)
+		}
+	}
+}
+
+func TestMetricsFlagPrintsExposition(t *testing.T) {
+	out := runMain(t, "-n", "4", "-pattern", "ring", "-metrics")
+	for _, want := range []string{
+		"# TYPE core_directives_total counter",
+		`core_directives_total{rank="0"} 1`,
+		"simnet_events_total",
+		"detected pattern: ring",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

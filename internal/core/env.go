@@ -6,6 +6,7 @@ import (
 
 	"commintent/internal/mpi"
 	"commintent/internal/shmem"
+	"commintent/internal/telemetry"
 	"commintent/internal/typemap"
 )
 
@@ -38,6 +39,28 @@ type Env struct {
 	regionSeq int
 	decisions []Decision
 	closed    bool
+
+	tele envTele // metric handles; all nil (no-op) when telemetry is off
+}
+
+// envTele caches the directive layer's telemetry handles for one rank.
+type envTele struct {
+	tr           *telemetry.Tracer
+	directives   *telemetry.Counter // comm_p2p instances executed
+	regions      *telemetry.Counter // comm_parameters regions opened
+	inferred     *telemetry.Counter // counts inferred from array buffers
+	consolidated *telemetry.Counter // per-request waits avoided by consolidation
+	autoTarget   map[Target]*telemetry.Counter
+	dtypeHits    *telemetry.Counter // datatype/layout cache hits
+	dtypeMisses  *telemetry.Counter // datatype/layout cache misses (commits)
+}
+
+// span opens a directive-layer span at the rank's current virtual time.
+func (e *Env) span(name, cat string) telemetry.SpanHandle {
+	if e.tele.tr == nil {
+		return telemetry.SpanHandle{}
+	}
+	return e.tele.tr.Begin(e.comm.SPMD().ID, name, cat, e.comm.SPMD().Now())
 }
 
 type winKey struct {
@@ -68,6 +91,23 @@ func NewEnv(comm *mpi.Comm, shm *shmem.Ctx) (*Env, error) {
 		e.flags = flags
 		e.sentSync = make([]int64, shm.NPEs())
 		e.expSync = make([]int64, shm.NPEs())
+	}
+	if t := comm.SPMD().World().Telemetry(); t != nil {
+		reg := t.Registry()
+		r := telemetry.Rank(comm.SPMD().ID)
+		e.tele = envTele{
+			tr:           t.Tracer(),
+			directives:   reg.Counter("core_directives_total", r),
+			regions:      reg.Counter("core_regions_total", r),
+			inferred:     reg.Counter("core_counts_inferred_total", r),
+			consolidated: reg.Counter("core_syncs_consolidated_total", r),
+			dtypeHits:    reg.Counter("core_datatype_cache_hits_total", r),
+			dtypeMisses:  reg.Counter("core_datatype_cache_misses_total", r),
+			autoTarget: map[Target]*telemetry.Counter{
+				TargetSHMEM:    reg.Counter("core_auto_target_total", telemetry.L("choice", "shmem"), r),
+				TargetMPI2Side: reg.Counter("core_auto_target_total", telemetry.L("choice", "mpi-2side"), r),
+			},
+		}
 	}
 	return e, nil
 }
@@ -133,6 +173,9 @@ func (e *Env) chargeLayout(hit bool) {
 	p := e.comm.SPMD().Profile()
 	if hit {
 		e.comm.SPMD().Clock().Advance(p.MPITypeCacheHit)
+		e.tele.dtypeHits.Inc()
+	} else {
+		e.tele.dtypeMisses.Inc()
 	}
 	// The commit cost itself is charged by structType on a datatype miss.
 }
@@ -142,8 +185,10 @@ func (e *Env) chargeLayout(hit bool) {
 func (e *Env) structType(t reflect.Type, example any) (*mpi.Datatype, error) {
 	if dt, ok := e.dtypes[t]; ok {
 		e.comm.SPMD().Clock().Advance(e.comm.SPMD().Profile().MPITypeCacheHit)
+		e.tele.dtypeHits.Inc()
 		return dt, nil
 	}
+	e.tele.dtypeMisses.Inc()
 	dt, err := e.comm.TypeCreateStruct(example)
 	if err != nil {
 		return nil, err

@@ -78,7 +78,14 @@ func (e *Env) flush(l *ledger, region int) error {
 	if l == nil || l.empty() {
 		return nil
 	}
+	fsp := e.span("flush", "sync")
+	defer func() { fsp.End(e.comm.SPMD().Now()) }()
 	if len(l.reqs) > 0 {
+		if len(l.reqs) > 1 {
+			// Each consolidated request beyond the first is one per-request
+			// wait the directive layer avoided emitting.
+			e.tele.consolidated.Add(int64(len(l.reqs) - 1))
+		}
 		if _, err := e.comm.Waitall(l.reqs); err != nil {
 			return err
 		}

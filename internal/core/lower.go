@@ -11,6 +11,11 @@ const maxRecordedDecisions = 4096
 // resolution, buffer-independence analysis against the region's pending
 // operations, and code generation for the chosen backend.
 func (e *Env) emit(r *Region, cl *Clauses) error {
+	e.tele.directives.Inc()
+	dsp := e.span("comm_p2p", "directive")
+	defer func() { dsp.End(e.comm.SPMD().Now()) }()
+	lsp := e.span("lower", "directive")
+
 	doSend := !cl.sendWhenSet || cl.sendWhen()
 	doRecv := !cl.recvWhenSet || cl.recvWhen()
 
@@ -48,6 +53,7 @@ func (e *Env) emit(r *Region, cl *Clauses) error {
 		if err != nil {
 			return err
 		}
+		e.tele.inferred.Inc()
 		e.noteLimited(r.id, "count-infer", fmt.Sprintf("count omitted; inferred %d from smallest array buffer", count))
 	}
 	// Scalar composite buffers always move exactly one element (their
@@ -65,6 +71,7 @@ func (e *Env) emit(r *Region, cl *Clauses) error {
 	}
 
 	target := e.resolveTarget(r, cl, sinfos, rinfos, count)
+	lsp.End(e.comm.SPMD().Now())
 
 	if !doSend && !doRecv && target != TargetMPI1Side {
 		// No role on this rank and no collective obligations: the
@@ -108,6 +115,7 @@ func (e *Env) emit(r *Region, cl *Clauses) error {
 		e.noteLimited(r.id, "sync", "synchronisation inserted before dependent comm_p2p (overlapping buffers)")
 	}
 
+	esp := e.span("emit:"+target.String(), "directive")
 	var err error
 	switch target {
 	case TargetMPI2Side:
@@ -119,6 +127,7 @@ func (e *Env) emit(r *Region, cl *Clauses) error {
 	default:
 		err = fmt.Errorf("core: unresolved target %v", target)
 	}
+	esp.End(e.comm.SPMD().Now())
 	if err != nil {
 		return err
 	}
@@ -152,9 +161,11 @@ func (e *Env) resolveTarget(r *Region, cl *Clauses, sinfos, rinfos []*bufInfo, c
 		}
 		if allSym && e.shm != nil && bytes <= AutoSmallMessageBytes {
 			e.noteLimited(r.id, "target", fmt.Sprintf("auto: %d bytes <= %d and symmetric buffers -> SHMEM", bytes, AutoSmallMessageBytes))
+			e.tele.autoTarget[TargetSHMEM].Inc()
 			return TargetSHMEM
 		}
 		e.noteLimited(r.id, "target", fmt.Sprintf("auto: %d bytes -> MPI 2-sided", bytes))
+		e.tele.autoTarget[TargetMPI2Side].Inc()
 		return TargetMPI2Side
 	default:
 		return t

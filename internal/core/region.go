@@ -34,6 +34,9 @@ func (e *Env) Parameters(body func(*Region) error, opts ...Option) error {
 	}
 	cl := build(opts)
 	e.regionSeq++
+	e.tele.regions.Inc()
+	rsp := e.span("comm_parameters", "directive")
+	defer func() { rsp.End(e.comm.SPMD().Now()) }()
 	r := &Region{env: e, id: e.regionSeq, defaults: cl, led: newLedger()}
 
 	// Synchronisation carried in from a previous region.

@@ -20,6 +20,7 @@ import (
 	"commintent/internal/model"
 	"commintent/internal/simnet"
 	"commintent/internal/spmd"
+	"commintent/internal/telemetry"
 )
 
 // MaxUserTag bounds user-supplied tags so communicators can partition the
@@ -45,6 +46,36 @@ type Comm struct {
 
 	splitSeq int // per-rank count of Split calls, for scratch key derivation
 	winSeq   int // per-rank count of WinCreate calls
+
+	tele commTele // metric handles; all nil (no-op) when telemetry is off
+}
+
+// commTele caches this rank's telemetry handles so the per-operation cost
+// is an atomic add (or a nil check when telemetry is disabled).
+type commTele struct {
+	tr      *telemetry.Tracer
+	idle    *telemetry.Counter   // blocked virtual ns in waits/barriers
+	waitNS  *telemetry.Histogram // per-wait blocked time distribution
+	stalls  *telemetry.Counter   // rendezvous sends that blocked on the match
+	stallNS *telemetry.Counter   // total rendezvous stall virtual ns
+}
+
+// initTele resolves the communicator's metric handles from the world's
+// telemetry. Handles are shared across communicators of the same rank.
+func (c *Comm) initTele() {
+	t := c.rk.World().Telemetry()
+	if t == nil {
+		return
+	}
+	reg := t.Registry()
+	r := telemetry.Rank(c.rk.ID)
+	c.tele = commTele{
+		tr:      t.Tracer(),
+		idle:    reg.Counter("mpi_idle_virtual_ns_total", r),
+		waitNS:  reg.Histogram("mpi_wait_virtual_ns", r),
+		stalls:  reg.Counter("mpi_rendezvous_stalls_total", r),
+		stallNS: reg.Counter("mpi_rendezvous_stall_virtual_ns_total", r),
+	}
 }
 
 // World returns the world communicator for this rank. All ranks of the run
@@ -59,6 +90,7 @@ func World(rk *spmd.Rank) *Comm {
 		barrier: rk.World().Fabric().WorldBarrier(),
 	}
 	c.tagBase = tagBaseFor(rk.World(), c.id)
+	c.initTele()
 	return c
 }
 
@@ -166,10 +198,18 @@ func (c *Comm) checkTag(tag int) error {
 // Barrier blocks until every rank of the communicator has entered it, and
 // charges the modelled barrier cost.
 func (c *Comm) Barrier() {
-	maxV := c.barrier.Wait(c.clock().Now())
+	enter := c.clock().Now()
+	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Barrier", "mpi", enter)
+	maxV := c.barrier.Wait(enter)
+	idle := maxV - enter
+	if idle < 0 {
+		idle = 0
+	}
 	c.clock().AdvanceTo(maxV)
 	c.clock().Advance(c.prof().BarrierTime(c.Size()))
-	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvBarrier, Peer: -1, V: c.clock().Now()})
+	c.tele.idle.AddTime(idle)
+	sp.End(c.clock().Now())
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvBarrier, Peer: -1, V: c.clock().Now(), Idle: idle})
 }
 
 // Split partitions the communicator by color, ordering each new group by
@@ -232,6 +272,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	}
 	nc.tagBase = tagBaseFor(c.rk.World(), nc.id)
 	nc.barrier = barrierFor(c.rk.World(), nc.id, len(nc.ranks))
+	nc.initTele()
 	// The trailing barrier keeps the parent's ranks in lockstep, matching
 	// MPI_Comm_split's synchronising behaviour.
 	c.Barrier()

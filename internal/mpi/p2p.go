@@ -26,12 +26,14 @@ func (c *Comm) Isend(buf any, count int, d *Datatype, dest, tag int) (*Request, 
 		return nil, fmt.Errorf("mpi: Isend to rank %d of comm size %d", dest, c.Size())
 	}
 	p := c.prof()
+	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Isend", "mpi", c.clock().Now())
 	wire, encCost, err := d.encode(p, buf, count)
 	if err != nil {
 		return nil, fmt.Errorf("mpi: Isend: %w", err)
 	}
 	clk := c.clock()
 	clk.Advance(p.MPISendOverhead + p.MPIRequestPerItem + encCost + p.InjectTime(len(wire)))
+	defer sp.End(clk.Now())
 	arrive := clk.Now() + p.MPILatencyBetween(c.rk.ID, c.WorldRank(dest))
 	sr := c.ep().Send(c.WorldRank(dest), c.wireTag(tag), wire, arrive)
 	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSend, Peer: c.WorldRank(dest), Tag: tag, Bytes: len(wire), V: clk.Now()})
@@ -69,8 +71,10 @@ func (c *Comm) Irecv(buf any, count int, d *Datatype, source, tag int) (*Request
 		return nil, fmt.Errorf("mpi: Irecv: count %d exceeds buffer capacity %d", count, cap)
 	}
 	p := c.prof()
+	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Irecv", "mpi", c.clock().Now())
 	clk := c.clock()
 	clk.Advance(p.MPIRecvOverhead + p.MPIRequestPerItem)
+	defer sp.End(clk.Now())
 	wire := make([]byte, count*d.Size())
 	wtag := simnet.AnyTag
 	if tag != AnyTag {

@@ -75,6 +75,10 @@ func (r *Request) finish() error {
 			// receive is posted; the clearing ack costs one more latency.
 			<-r.send.Msg.Matched()
 			r.readyV = model.Max(r.send.LocalV, r.send.Msg.MatchV()+p.MPILatency)
+			if stall := r.readyV - r.send.LocalV; stall > 0 {
+				r.comm.tele.stalls.Inc()
+				r.comm.tele.stallNS.AddTime(stall)
+			}
 		} else {
 			// Eager: the send buffer was reusable at call time.
 			r.readyV = r.send.LocalV
@@ -112,13 +116,21 @@ func (r *Request) finish() error {
 // This is the per-request completion style whose cost the paper's Figure 4
 // highlights.
 func (c *Comm) Wait(r *Request) (Status, error) {
+	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Wait", "mpi", c.clock().Now())
 	if err := r.finish(); err != nil {
 		return Status{}, err
 	}
 	clk := c.clock()
 	clk.Advance(c.prof().MPIWaitEach)
+	idle := r.readyV - clk.Now()
+	if idle < 0 {
+		idle = 0
+	}
 	clk.AdvanceTo(r.readyV)
-	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvWait, Peer: -1, V: clk.Now()})
+	c.tele.idle.AddTime(idle)
+	c.tele.waitNS.Observe(idle)
+	sp.End(clk.Now())
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvWait, Peer: -1, V: clk.Now(), Idle: idle})
 	return r.status, nil
 }
 
@@ -126,6 +138,7 @@ func (c *Comm) Wait(r *Request) (Status, error) {
 // MPI_Waitall call (base + per-request increment). This is the consolidated
 // completion the directive layer generates.
 func (c *Comm) Waitall(reqs []*Request) ([]Status, error) {
+	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Waitall", "mpi", c.clock().Now())
 	stats := make([]Status, len(reqs))
 	var maxReady model.Time
 	for i, r := range reqs {
@@ -142,8 +155,15 @@ func (c *Comm) Waitall(reqs []*Request) ([]Status, error) {
 	}
 	clk := c.clock()
 	clk.Advance(c.prof().WaitallTime(len(reqs)))
+	idle := maxReady - clk.Now()
+	if idle < 0 {
+		idle = 0
+	}
 	clk.AdvanceTo(maxReady)
-	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, Bytes: len(reqs), V: clk.Now()})
+	c.tele.idle.AddTime(idle)
+	c.tele.waitNS.Observe(idle)
+	sp.End(clk.Now())
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, Bytes: len(reqs), V: clk.Now(), Idle: idle})
 	return stats, nil
 }
 
@@ -182,6 +202,10 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
 			r.claimed = true
 			clk := c.clock()
 			clk.Advance(c.prof().MPIWaitEach)
+			if idle := r.readyV - clk.Now(); idle > 0 {
+				c.tele.idle.AddTime(idle)
+				c.tele.waitNS.Observe(idle)
+			}
 			clk.AdvanceTo(r.readyV)
 			return best, r.status, nil
 		}

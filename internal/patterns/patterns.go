@@ -1,0 +1,117 @@
+// Package patterns holds the named directive-expressed communication
+// patterns shared by the demo commands (commtrace, commstat): the paper's
+// ring and even-odd listings plus a bidirectional halo exchange. Each
+// pattern is one rank's SPMD body expressed purely with comm_parameters /
+// comm_p2p directives.
+package patterns
+
+import (
+	"fmt"
+
+	"commintent/internal/core"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+// Names lists the patterns Run accepts.
+func Names() []string { return []string{"ring", "evenodd", "halo"} }
+
+// Run expresses the chosen pattern with directives on one rank. iters
+// repeats the pattern body (each iteration is its own region), so metrics
+// and traces can exercise steady-state behaviour; iters < 1 runs once.
+func Run(pattern string, rk *spmd.Rank, env *core.Env, shm *shmem.Ctx, tgt core.Target, count, iters int) error {
+	if iters < 1 {
+		iters = 1
+	}
+	n := rk.N
+	me := rk.ID
+	switch pattern {
+	case "ring":
+		// Listing 1: prev sends to me, I send to next.
+		sbuf := shmem.MustAlloc[float64](shm, count)
+		rbuf := shmem.MustAlloc[float64](shm, count)
+		local := sbuf.Local(shm)
+		for i := range local {
+			local[i] = float64(me*100 + i)
+		}
+		prev := (me - 1 + n) % n
+		next := (me + 1) % n
+		for it := 0; it < iters; it++ {
+			if err := env.P2P(
+				core.Sender(prev), core.Receiver(next),
+				core.SBuf(sbuf), core.RBuf(rbuf),
+				core.WithTarget(tgt),
+			); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "evenodd":
+		// Listing 2: even ranks send to the nearest odd rank.
+		sbuf := shmem.MustAlloc[float64](shm, count)
+		rbuf := shmem.MustAlloc[float64](shm, count)
+		for it := 0; it < iters; it++ {
+			if err := env.P2P(
+				core.Sender(me-1), core.Receiver(me+1),
+				core.SendWhen(me%2 == 0 && me+1 < n), core.ReceiveWhen(me%2 == 1),
+				core.SBuf(sbuf), core.RBuf(rbuf),
+				core.WithTarget(tgt),
+			); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "halo":
+		// Bidirectional nearest-neighbour halo exchange in one region.
+		field := shmem.MustAlloc[float64](shm, count+2)
+		haloL := shmem.MustAlloc[float64](shm, 1)
+		haloR := shmem.MustAlloc[float64](shm, 1)
+		f := field.Local(shm)
+		for i := range f {
+			f[i] = float64(me)
+		}
+		for it := 0; it < iters; it++ {
+			err := env.Parameters(func(r *core.Region) error {
+				// Send my left edge to the left neighbour's right halo.
+				if err := r.P2P(
+					core.Sender(me+1), core.Receiver(me-1),
+					core.SendWhen(me > 0), core.ReceiveWhen(me < n-1),
+					core.SBuf(core.At(field, 1)), core.RBuf(haloR), core.Count(1),
+				); err != nil {
+					return err
+				}
+				// Send my right edge to the right neighbour's left halo.
+				return r.P2P(
+					core.Sender(me-1), core.Receiver(me+1),
+					core.SendWhen(me < n-1), core.ReceiveWhen(me > 0),
+					core.SBuf(core.At(field, count)), core.RBuf(haloL), core.Count(1),
+				)
+			},
+				core.WithTarget(tgt),
+				core.PlaceSync(core.EndParamRegion),
+			)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown pattern %q (have %v)", pattern, Names())
+	}
+}
+
+// ParseTarget maps the command-line target names to core targets.
+func ParseTarget(s string) (core.Target, error) {
+	switch s {
+	case "mpi2side":
+		return core.TargetMPI2Side, nil
+	case "mpi1side":
+		return core.TargetMPI1Side, nil
+	case "shmem":
+		return core.TargetSHMEM, nil
+	case "auto":
+		return core.TargetAuto, nil
+	default:
+		return 0, fmt.Errorf("unknown target %q", s)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"commintent/internal/model"
 	"commintent/internal/simnet"
 	"commintent/internal/spmd"
+	"commintent/internal/telemetry"
 )
 
 // Elem constrains the element types the symmetric heap supports.
@@ -120,11 +121,34 @@ type Ctx struct {
 	nextID int
 
 	outstanding model.Time // max arrival time of this PE's unquieted puts
+
+	tele ctxTele // metric handles; all nil (no-op) when telemetry is off
+}
+
+// ctxTele caches this PE's telemetry handles.
+type ctxTele struct {
+	tr       *telemetry.Tracer
+	fences   *telemetry.Counter
+	quiets   *telemetry.Counter
+	barriers *telemetry.Counter
+	idle     *telemetry.Counter // blocked virtual ns in quiet/barrier/wait_until
 }
 
 // New initialises SHMEM for this rank (the analogue of shmem_init).
 func New(rk *spmd.Rank) *Ctx {
-	return &Ctx{rk: rk, ws: state(rk.World())}
+	c := &Ctx{rk: rk, ws: state(rk.World())}
+	if t := rk.World().Telemetry(); t != nil {
+		reg := t.Registry()
+		r := telemetry.Rank(rk.ID)
+		c.tele = ctxTele{
+			tr:       t.Tracer(),
+			fences:   reg.Counter("shmem_fence_total", r),
+			quiets:   reg.Counter("shmem_quiet_total", r),
+			barriers: reg.Counter("shmem_barrier_total", r),
+			idle:     reg.Counter("shmem_idle_virtual_ns_total", r),
+		}
+	}
+	return c
 }
 
 // MyPE reports this PE's id.
@@ -150,27 +174,44 @@ func (c *Ctx) notePut(arrive model.Time) {
 // are remotely complete.
 func (c *Ctx) Quiet() {
 	clk := c.clock()
+	sp := c.tele.tr.Begin(c.rk.ID, "shmem_quiet", "shmem", clk.Now())
 	clk.Advance(c.prof().ShmemQuiet)
+	idle := c.outstanding - clk.Now()
+	if idle < 0 {
+		idle = 0
+	}
 	clk.AdvanceTo(c.outstanding)
 	c.outstanding = 0
-	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, V: clk.Now()})
+	c.tele.quiets.Inc()
+	c.tele.idle.AddTime(idle)
+	sp.End(clk.Now())
+	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, V: clk.Now(), Idle: idle})
 }
 
 // Fence orders this PE's puts per destination without waiting for remote
 // completion. With this simulator's in-order delivery it is purely a cost.
 func (c *Ctx) Fence() {
 	c.clock().Advance(c.prof().ShmemFence)
+	c.tele.fences.Inc()
 }
 
 // BarrierAll synchronises all PEs and implies a Quiet.
 func (c *Ctx) BarrierAll() {
 	clk := c.clock()
+	sp := c.tele.tr.Begin(c.rk.ID, "shmem_barrier_all", "shmem", clk.Now())
 	enter := model.Max(clk.Now(), c.outstanding)
 	maxV := c.rk.World().Fabric().WorldBarrier().Wait(enter)
+	idle := maxV - clk.Now()
+	if idle < 0 {
+		idle = 0
+	}
 	clk.AdvanceTo(maxV)
 	clk.Advance(c.prof().ShmemBarrierTime(c.NPEs()))
 	c.outstanding = 0
-	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvBarrier, Peer: -1, V: clk.Now()})
+	c.tele.barriers.Inc()
+	c.tele.idle.AddTime(idle)
+	sp.End(clk.Now())
+	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvBarrier, Peer: -1, V: clk.Now(), Idle: idle})
 }
 
 // teamBarriers caches simnet barriers for PE subsets.
@@ -210,8 +251,12 @@ func (c *Ctx) TeamBarrier(pes []int) error {
 	clk := c.clock()
 	enter := model.Max(clk.Now(), c.outstanding)
 	maxV := b.Wait(enter)
+	if idle := maxV - clk.Now(); idle > 0 {
+		c.tele.idle.AddTime(idle)
+	}
 	clk.AdvanceTo(maxV)
 	clk.Advance(c.prof().ShmemBarrierTime(len(pes)))
 	c.outstanding = 0
+	c.tele.barriers.Inc()
 	return nil
 }

@@ -119,7 +119,9 @@ func (s *Slice[T]) Put(c *Ctx, pe int, src []T, dstOff int) error {
 	p := c.prof()
 	clk := c.clock()
 	bytes := len(src) * s.esz
+	sp := c.tele.tr.Begin(c.MyPE(), "shmem_put", "shmem", clk.Now())
 	clk.Advance(p.ShmemPutOverhead + p.ShmemInjectTime(bytes))
+	defer sp.End(clk.Now())
 	arrive := clk.Now() + p.ShmemLatencyBetween(c.MyPE(), pe)
 
 	board := s.ws.rma[pe]
@@ -154,12 +156,14 @@ func (s *Slice[T]) Get(c *Ctx, pe int, dst []T, srcOff int) error {
 	p := c.prof()
 	clk := c.clock()
 	bytes := len(dst) * s.esz
+	sp := c.tele.tr.Begin(c.MyPE(), "shmem_get", "shmem", clk.Now())
 	clk.Advance(p.ShmemGetOverhead)
 	board := s.ws.rma[pe]
 	board.mu.Lock()
 	copy(dst, s.on(pe)[srcOff:srcOff+len(dst)])
 	board.mu.Unlock()
 	clk.Advance(p.ShmemWireTime(0) + p.ShmemWireTime(bytes))
+	sp.End(clk.Now())
 	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvGet, Peer: pe, Bytes: bytes, V: clk.Now()})
 	return nil
 }
@@ -172,6 +176,8 @@ func (s *Slice[T]) WaitUntil(c *Ctx, off int, cmp Cmp, v T) error {
 		return fmt.Errorf("shmem: WaitUntil offset %d of %d", off, s.n)
 	}
 	local := s.Local(c)
+	clk := c.clock()
+	sp := c.tele.tr.Begin(c.MyPE(), "shmem_wait_until", "shmem", clk.Now())
 	board := s.ws.rma[c.MyPE()]
 	board.mu.Lock()
 	for !satisfies(local[off], cmp, v) {
@@ -179,8 +185,11 @@ func (s *Slice[T]) WaitUntil(c *Ctx, off int, cmp Cmp, v T) error {
 	}
 	arrival := board.lastArrival
 	board.mu.Unlock()
-	clk := c.clock()
 	clk.Advance(c.prof().ShmemWaitPoll)
+	if idle := arrival - clk.Now(); idle > 0 {
+		c.tele.idle.AddTime(idle)
+	}
 	clk.AdvanceTo(arrival)
+	sp.End(clk.Now())
 	return nil
 }

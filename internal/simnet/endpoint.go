@@ -98,6 +98,7 @@ type Endpoint struct {
 	unexpected []*Msg
 	posted     []*RecvReq
 	sendSeq    uint64
+	unexpHW    int // high-watermark of the unexpected queue depth
 }
 
 func newEndpoint(f *Fabric, rank int) *Endpoint {
@@ -158,6 +159,9 @@ func (ep *Endpoint) deliver(m *Msg) {
 		}
 	}
 	ep.unexpected = append(ep.unexpected, m)
+	if len(ep.unexpected) > ep.unexpHW {
+		ep.unexpHW = len(ep.unexpected)
+	}
 	ep.unlock()
 }
 
@@ -209,6 +213,15 @@ func (ep *Endpoint) PendingUnexpected() int {
 	ep.lock()
 	defer ep.unlock()
 	return len(ep.unexpected)
+}
+
+// UnexpectedHighWatermark reports the deepest the unexpected-message queue
+// has ever been — a direct measure of sender-ahead-of-receiver pressure
+// (each queued message costs an extra staging copy in real MPI).
+func (ep *Endpoint) UnexpectedHighWatermark() int {
+	ep.lock()
+	defer ep.unlock()
+	return ep.unexpHW
 }
 
 // PendingPosted reports the number of posted-but-unmatched receives.

@@ -68,6 +68,12 @@ type Event struct {
 	Tag   int
 	Bytes int
 	V     model.Time // virtual time at which the op completed locally
+
+	// Idle is the virtual time the operation spent blocked waiting for
+	// remote progress (the AdvanceTo jump of waits, syncs and barriers).
+	// Zero for non-blocking operations. The critical-path analyser sums
+	// it into per-rank wait time.
+	Idle model.Time
 }
 
 // Observer receives fabric events. Observers must be fast and must not call

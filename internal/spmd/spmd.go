@@ -15,6 +15,7 @@ import (
 
 	"commintent/internal/model"
 	"commintent/internal/simnet"
+	"commintent/internal/telemetry"
 )
 
 // World is one simulated machine shared by all ranks of a run: the fabric,
@@ -23,6 +24,7 @@ import (
 type World struct {
 	fabric *simnet.Fabric
 	prof   *model.Profile
+	tele   *telemetry.Telemetry
 
 	sharedMu sync.Mutex
 	shared   map[string]any
@@ -51,6 +53,18 @@ func (w *World) Fabric() *simnet.Fabric { return w.fabric }
 
 // Profile returns the cost model in force.
 func (w *World) Profile() *model.Profile { return w.prof }
+
+// SetTelemetry attaches a telemetry instance to the world and binds it to
+// the fabric's event stream. Call before Run so no events are missed; the
+// substrates pick their metric handles up from here. A world without
+// telemetry (the default) runs every instrumented path as a near-no-op.
+func (w *World) SetTelemetry(t *telemetry.Telemetry) {
+	w.tele = t
+	t.BindFabric(w.fabric)
+}
+
+// Telemetry returns the world's telemetry (nil when disabled).
+func (w *World) Telemetry() *telemetry.Telemetry { return w.tele }
 
 // Shared returns the world-shared value stored under key, creating it with
 // mk on first use. All ranks asking for the same key observe the same value.

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format ("X" complete
+// events plus "M" metadata), loadable by Perfetto and chrome://tracing.
+// Timestamps are microseconds; virtual nanoseconds divide by 1e3.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object trace viewers accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports every retained span as Chrome trace_event JSON.
+// Each rank becomes one thread (tid = rank) of process 0, named so the
+// timeline reads "rank N". Spans are emitted per rank in start order, so a
+// halo exchange is visible as interlocking bars across the rank rows.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: WriteChromeTrace on nil tracer")
+	}
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	for r := 0; r < t.Ranks(); r++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+		spans := t.RankSpans(r)
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for _, s := range spans {
+			dur := float64(s.Dur()) / 1e3
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: s.Name, Cat: s.Cat, Ph: "X",
+				TS: float64(s.Start) / 1e3, Dur: &dur,
+				PID: 0, TID: s.Rank,
+				Args: map[string]any{"id": s.ID, "parent": s.Parent},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"commintent/internal/simnet"
+)
+
+func TestCriticalPathEmpty(t *testing.T) {
+	rep := CriticalPath(nil, 4)
+	if rep.ChainEdges != 0 || rep.ChainEvents != 0 || rep.Makespan != 0 {
+		t.Fatalf("empty trace produced a chain: %+v", rep)
+	}
+	if rep.Imbalance != 1 {
+		t.Fatalf("empty imbalance = %v", rep.Imbalance)
+	}
+	if s := rep.String(); !strings.Contains(s, "critical path: 0 message edge(s)") {
+		t.Errorf("report: %s", s)
+	}
+}
+
+func TestCriticalPathCrossRankEdge(t *testing.T) {
+	// Rank 0 sends at V=10; rank 1 posted early (V=5) and completes the
+	// receive at V=20 after idling 15. The chain must cross the message
+	// edge back to rank 0.
+	events := []simnet.Event{
+		{Rank: 1, Kind: simnet.EvRecvPost, Peer: 0, Tag: 7, V: 5},
+		{Rank: 0, Kind: simnet.EvSend, Peer: 1, Tag: 7, Bytes: 64, V: 10},
+		{Rank: 1, Kind: simnet.EvRecvComplete, Peer: 0, Tag: 7, Bytes: 64, V: 20, Idle: 15},
+	}
+	rep := CriticalPath(events, 2)
+	if rep.Makespan != 20 {
+		t.Fatalf("makespan = %v", rep.Makespan)
+	}
+	if rep.ChainEdges != 1 {
+		t.Fatalf("chain edges = %d, want 1\n%s", rep.ChainEdges, rep)
+	}
+	if len(rep.Chain) != 2 {
+		t.Fatalf("chain segments = %d", len(rep.Chain))
+	}
+	if rep.Chain[0].Rank != 0 || rep.Chain[1].Rank != 1 {
+		t.Fatalf("segment ranks: %+v", rep.Chain)
+	}
+	if rep.Chain[1].FromRank != 0 || rep.Chain[1].FromV != 10 {
+		t.Fatalf("edge provenance: %+v", rep.Chain[1])
+	}
+	if rep.PerRankIdle[1] != 15 || rep.PerRankIdle[0] != 0 {
+		t.Fatalf("idle: %v", rep.PerRankIdle)
+	}
+	if rep.PerRankFinish[0] != 10 || rep.PerRankFinish[1] != 20 {
+		t.Fatalf("finish: %v", rep.PerRankFinish)
+	}
+	// max(20) / mean(15) = 4/3.
+	if rep.Imbalance < 1.33 || rep.Imbalance > 1.34 {
+		t.Fatalf("imbalance = %v", rep.Imbalance)
+	}
+	s := rep.String()
+	for _, want := range []string{"1 message edge(s)", "per-rank idle", "load imbalance"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCriticalPathPrefersLaterPredecessor(t *testing.T) {
+	// The receiver's own previous operation (V=30) finishes after the
+	// matched send (V=10): the chain must stay on rank 1 instead of
+	// crossing.
+	events := []simnet.Event{
+		{Rank: 0, Kind: simnet.EvSend, Peer: 1, Tag: 0, V: 10},
+		{Rank: 1, Kind: simnet.EvBarrier, Peer: -1, V: 30},
+		{Rank: 1, Kind: simnet.EvRecvComplete, Peer: 0, Tag: 0, V: 35},
+	}
+	rep := CriticalPath(events, 2)
+	if rep.ChainEdges != 0 {
+		t.Fatalf("chain crossed: %+v", rep.Chain)
+	}
+	if len(rep.Chain) != 1 || rep.Chain[0].Rank != 1 || rep.Chain[0].Events != 2 {
+		t.Fatalf("chain: %+v", rep.Chain)
+	}
+}
+
+func TestCriticalPathFIFOMatching(t *testing.T) {
+	// Two sends on the same (src,dst,tag) stream: the second recv-complete
+	// must match the second send, not the first.
+	events := []simnet.Event{
+		{Rank: 0, Kind: simnet.EvSend, Peer: 1, Tag: 3, V: 10},
+		{Rank: 0, Kind: simnet.EvSend, Peer: 1, Tag: 3, V: 40},
+		{Rank: 1, Kind: simnet.EvRecvComplete, Peer: 0, Tag: 3, V: 15},
+		{Rank: 1, Kind: simnet.EvRecvComplete, Peer: 0, Tag: 3, V: 45},
+	}
+	rep := CriticalPath(events, 2)
+	if rep.ChainEdges != 1 {
+		t.Fatalf("chain edges = %d\n%s", rep.ChainEdges, rep)
+	}
+	// The final segment's inbound edge carries the second send's time.
+	last := rep.Chain[len(rep.Chain)-1]
+	if last.FromV != 40 {
+		t.Fatalf("matched send V = %v, want 40 (FIFO)", last.FromV)
+	}
+}
+
+func TestCriticalPathIgnoresOutOfRangeRanks(t *testing.T) {
+	events := []simnet.Event{
+		{Rank: 0, Kind: simnet.EvSend, Peer: 1, V: 10},
+		{Rank: 9, Kind: simnet.EvSend, Peer: 0, V: 99}, // out of range, dropped
+	}
+	rep := CriticalPath(events, 2)
+	if rep.Makespan != 10 {
+		t.Fatalf("makespan = %v (out-of-range rank leaked in)", rep.Makespan)
+	}
+}

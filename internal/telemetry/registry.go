@@ -1,0 +1,437 @@
+// Package telemetry is the zero-dependency observability layer of the
+// simulated machine: a thread-safe metrics registry (counters, gauges and
+// virtual-time histograms with fixed log2 buckets) with Prometheus-style
+// text exposition and a JSON snapshot, a span tracer over virtual time
+// with per-rank ring buffers and Chrome trace_event export, and a
+// critical-path analyser over the fabric's event stream.
+//
+// Instrumentation is designed to be free when disabled: every handle type
+// (*Counter, *Gauge, *Histogram, Tracer spans) is safe to use with a nil
+// receiver, so a substrate holding nil handles pays only a nil check per
+// instrumented operation. The directive layer, the MPI-like and SHMEM-like
+// substrates and the fabric all carry such handles; a world without an
+// attached Telemetry runs with all of them nil.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"commintent/internal/model"
+)
+
+// Label is one metric dimension, e.g. {Key: "rank", Value: "3"}.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Rank builds the conventional per-rank label.
+func Rank(r int) Label { return Label{Key: "rank", Value: fmt.Sprint(r)} }
+
+// Counter is a monotonically increasing metric. All methods are safe on a
+// nil receiver (they no-op), which is the disabled-telemetry fast path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increases the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// AddTime increases the counter by a virtual-time span in nanoseconds.
+func (c *Counter) AddTime(d model.Time) { c.Add(int64(d)) }
+
+// Value reports the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down, with a max-tracking helper
+// for high-watermarks. Nil receivers no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d (negative d decreases it).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// SetMax raises the gauge to v if v is larger — a high-watermark update.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reports the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of log2 buckets a Histogram carries: bucket i
+// counts observations v with 2^(i-1) <= v < 2^i virtual nanoseconds
+// (bucket 0 counts v <= 0 and v < 1). 2^42 ns is ~73 virtual minutes,
+// far beyond any simulated operation.
+const histBuckets = 43
+
+// Histogram accumulates virtual-time observations into fixed log2 buckets.
+// Nil receivers no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one virtual-time span.
+func (h *Histogram) Observe(v model.Time) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(v))
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+		if i >= histBuckets {
+			i = histBuckets - 1
+		}
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count reports the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of observations in virtual nanoseconds (0 on nil).
+func (h *Histogram) Sum() model.Time {
+	if h == nil {
+		return 0
+	}
+	return model.Time(h.sum.Load())
+}
+
+// Registry is a thread-safe collection of named metrics. The zero source
+// of truth for metric identity is the full series key: name plus sorted
+// labels. Get-or-create accessors return shared handles, so two call
+// sites asking for the same series update the same value. A nil *Registry
+// hands out nil handles, which no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	gaugeFuncs map[string]func() int64
+	types      map[string]string // base metric name -> prom type
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		gaugeFuncs: make(map[string]func() int64),
+		types:      make(map[string]string),
+	}
+}
+
+// seriesKey renders name{k="v",...} with labels sorted by key.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// baseName extracts the metric name from a series key.
+func baseName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// Counter returns (creating on first use) the counter for name+labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+		r.types[name] = "counter"
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+		r.types[name] = "gauge"
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram for name+labels.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[key]
+	if !ok {
+		h = &Histogram{}
+		r.hists[key] = h
+		r.types[name] = "histogram"
+	}
+	return h
+}
+
+// GaugeFunc registers a gauge whose value is pulled from f at exposition
+// time — the scrape-time collection style for values that live elsewhere
+// (e.g. the fabric's unexpected-queue high-watermark).
+func (r *Registry) GaugeFunc(name string, f func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[key] = f
+	r.types[name] = "gauge"
+}
+
+// CounterValue reports the value of the named counter series (0 if the
+// series does not exist). Handy in tests and report builders.
+func (r *Registry) CounterValue(name string, labels ...Label) int64 {
+	if r == nil {
+		return 0
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	c := r.counters[key]
+	r.mu.Unlock()
+	return c.Value()
+}
+
+// snapshotRow is one exported series.
+type snapshotRow struct {
+	key  string
+	kind string
+	v    int64
+	h    *Histogram
+}
+
+// rows collects every series, sorted by key, with gauge funcs evaluated.
+func (r *Registry) rows() []snapshotRow {
+	r.mu.Lock()
+	out := make([]snapshotRow, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.gaugeFuncs))
+	for k, c := range r.counters {
+		out = append(out, snapshotRow{key: k, kind: "counter", v: c.Value()})
+	}
+	for k, g := range r.gauges {
+		out = append(out, snapshotRow{key: k, kind: "gauge", v: g.Value()})
+	}
+	for k, h := range r.hists {
+		out = append(out, snapshotRow{key: k, kind: "histogram", h: h})
+	}
+	funcs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for k, f := range r.gaugeFuncs {
+		funcs[k] = f
+	}
+	r.mu.Unlock()
+	// Evaluate pull gauges outside the registry lock: they may read other
+	// locked structures (fabric endpoints).
+	for k, f := range funcs {
+		out = append(out, snapshotRow{key: k, kind: "gauge", v: f()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format.
+// Series are sorted, so output is deterministic for a quiesced world.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	rows := r.rows()
+	r.mu.Lock()
+	types := make(map[string]string, len(r.types))
+	for k, v := range r.types {
+		types[k] = v
+	}
+	r.mu.Unlock()
+	seenType := make(map[string]bool)
+	for _, row := range rows {
+		base := baseName(row.key)
+		if !seenType[base] {
+			seenType[base] = true
+			if t := types[base]; t != "" {
+				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, t); err != nil {
+					return err
+				}
+			}
+		}
+		if row.h != nil {
+			if err := writePromHistogram(w, row.key, row.h); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", row.key, row.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits cumulative le buckets plus _sum and _count for
+// one histogram series.
+func writePromHistogram(w io.Writer, key string, h *Histogram) error {
+	name := baseName(key)
+	var inner string
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		inner = key[i+1 : len(key)-1]
+	}
+	series := func(suffix, extra string) string {
+		labels := inner
+		if extra != "" {
+			if labels != "" {
+				labels += ","
+			}
+			labels += extra
+		}
+		if labels == "" {
+			return name + suffix
+		}
+		return name + suffix + "{" + labels + "}"
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		// Bucket i holds values < 2^i ns; the final bucket is +Inf.
+		le := fmt.Sprintf(`le="%d"`, int64(1)<<uint(i))
+		if i == histBuckets-1 {
+			le = `le="+Inf"`
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", series("_sum", ""), int64(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", series("_count", ""), h.Count())
+	return err
+}
+
+// histSnapshot is a histogram's JSON form.
+type histSnapshot struct {
+	Count   int64   `json:"count"`
+	SumNS   int64   `json:"sum_ns"`
+	Buckets []int64 `json:"log2_buckets,omitempty"` // non-cumulative, trailing zeros trimmed
+}
+
+// SnapshotJSON renders every series as a JSON object keyed by series name.
+// Scalars (counters, gauges, gauge funcs) map to numbers; histograms map
+// to {count, sum_ns, log2_buckets}.
+func (r *Registry) SnapshotJSON() ([]byte, error) {
+	if r == nil {
+		return []byte("{}"), nil
+	}
+	out := make(map[string]any)
+	for _, row := range r.rows() {
+		if row.h != nil {
+			hs := histSnapshot{Count: row.h.Count(), SumNS: int64(row.h.Sum())}
+			last := -1
+			raw := make([]int64, histBuckets)
+			for i := 0; i < histBuckets; i++ {
+				raw[i] = row.h.buckets[i].Load()
+				if raw[i] != 0 {
+					last = i
+				}
+			}
+			if last >= 0 {
+				hs.Buckets = raw[:last+1]
+			}
+			out[row.key] = hs
+			continue
+		}
+		out[row.key] = row.v
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

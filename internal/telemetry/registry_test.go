@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndHandlesNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry handed out non-nil handles: %v %v %v", c, g, h)
+	}
+	// All of these must be safe no-ops.
+	c.Inc()
+	c.Add(5)
+	c.AddTime(7)
+	g.Set(3)
+	g.Add(-1)
+	g.SetMax(9)
+	h.Observe(100)
+	r.GaugeFunc("f", func() int64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles accumulated values")
+	}
+	if v := r.CounterValue("x"); v != 0 {
+		t.Fatalf("nil registry CounterValue = %d", v)
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil WriteProm: %q, %v", sb.String(), err)
+	}
+	b, err := r.SnapshotJSON()
+	if err != nil || string(b) != "{}" {
+		t.Fatalf("nil SnapshotJSON: %q, %v", b, err)
+	}
+}
+
+func TestSeriesIdentityIgnoresLabelOrder(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", L("b", "2"), L("a", "1"))
+	b := r.Counter("m", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order created distinct series")
+	}
+	a.Add(3)
+	if got := r.CounterValue("m", L("b", "2"), L("a", "1")); got != 3 {
+		t.Fatalf("CounterValue = %d, want 3", got)
+	}
+	if c := r.Counter("m", L("a", "1")); c == a {
+		t.Fatal("different label set shared a handle")
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("hwm")
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("SetMax regressed: %d", g.Value())
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Fatalf("SetMax did not raise: %d", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(0) // bucket 0
+	h.Observe(1) // bits.Len(1)=1 -> bucket 1
+	h.Observe(3) // bits.Len(3)=2 -> bucket 2
+	h.Observe(1 << 41)
+	h.Observe(1 << 55) // beyond range, clamped to last bucket
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantSum := int64(0 + 1 + 3 + 1<<41 + 1<<55)
+	if int64(h.Sum()) != wantSum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), wantSum)
+	}
+	if got := h.buckets[0].Load(); got != 1 {
+		t.Errorf("bucket 0 = %d", got)
+	}
+	if got := h.buckets[1].Load(); got != 1 {
+		t.Errorf("bucket 1 = %d", got)
+	}
+	if got := h.buckets[2].Load(); got != 1 {
+		t.Errorf("bucket 2 = %d", got)
+	}
+	if got := h.buckets[42].Load(); got != 2 {
+		t.Errorf("overflow bucket = %d", got)
+	}
+}
+
+func TestWritePromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total", Rank(0)).Add(4)
+	r.Counter("ops_total", Rank(1)).Add(6)
+	r.Gauge("depth").Set(2)
+	r.GaugeFunc("pulled", func() int64 { return 42 })
+	h := r.Histogram("wait_ns", Rank(0))
+	h.Observe(3)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE ops_total counter",
+		`ops_total{rank="0"} 4`,
+		`ops_total{rank="1"} 6`,
+		"# TYPE depth gauge",
+		"depth 2",
+		"pulled 42",
+		"# TYPE wait_ns histogram",
+		`wait_ns_bucket{rank="0",le="1"} 0`,
+		`wait_ns_bucket{rank="0",le="4"} 1`,
+		`wait_ns_bucket{rank="0",le="+Inf"} 1`,
+		`wait_ns_sum{rank="0"} 3`,
+		`wait_ns_count{rank="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The histogram buckets must be cumulative: every bucket line's value
+	// is non-decreasing down the series.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "wait_ns_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmtSscanLast(line, &v); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("buckets not cumulative at %q", line)
+		}
+		last = v
+	}
+	// Determinism: a second write is byte-identical.
+	var sb2 strings.Builder
+	if err := r.WriteProm(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("exposition not deterministic")
+	}
+}
+
+// fmtSscanLast parses the trailing integer of a "series value" line.
+func fmtSscanLast(line string, v *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	return 1, json.Unmarshal([]byte(line[i+1:]), v)
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", Rank(2)).Add(7)
+	r.Histogram("h").Observe(5)
+	b, err := r.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v\n%s", err, b)
+	}
+	var cv int64
+	if err := json.Unmarshal(m[`c{rank="2"}`], &cv); err != nil || cv != 7 {
+		t.Errorf("counter series: %v %d", err, cv)
+	}
+	var hv struct {
+		Count   int64   `json:"count"`
+		SumNS   int64   `json:"sum_ns"`
+		Buckets []int64 `json:"log2_buckets"`
+	}
+	if err := json.Unmarshal(m["h"], &hv); err != nil {
+		t.Fatalf("histogram series: %v", err)
+	}
+	if hv.Count != 1 || hv.SumNS != 5 || len(hv.Buckets) != 4 {
+		t.Errorf("histogram snapshot = %+v", hv)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram("hist").Observe(1)
+				r.Gauge("g").SetMax(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.CounterValue("shared"); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if got := r.Histogram("hist").Count(); got != workers*each {
+		t.Fatalf("histogram count = %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != each-1 {
+		t.Fatalf("gauge max = %d", got)
+	}
+}

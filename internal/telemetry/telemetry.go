@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"commintent/internal/simnet"
+)
+
+// Telemetry bundles the metrics registry and the span tracer for one
+// simulated world. A nil *Telemetry is the disabled state: every accessor
+// returns nil handles and every handle no-ops, so instrumented code paths
+// cost a nil check when telemetry is off.
+type Telemetry struct {
+	reg *Registry
+	tr  *Tracer
+}
+
+// New creates a Telemetry for n ranks with the given per-rank span
+// capacity (DefaultSpanCap if perRankSpanCap <= 0).
+func New(n, perRankSpanCap int) *Telemetry {
+	return &Telemetry{reg: NewRegistry(), tr: NewTracer(n, perRankSpanCap)}
+}
+
+// Registry returns the metrics registry (nil when disabled).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Tracer returns the span tracer (nil when disabled).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tr
+}
+
+// fabricMeters holds the pre-resolved per-rank, per-kind counter handles
+// the fabric observer updates, so the hot path does no map lookups.
+type fabricMeters struct {
+	events [][]*Counter // [rank][kind]
+	bytes  []*Counter   // [kind], payload bytes for data-moving kinds
+}
+
+// eventKinds is the number of simnet event kinds metered. Kinds are dense
+// small ints starting at EvSend.
+const eventKinds = int(simnet.EvSync) + 1
+
+// BindFabric subscribes the telemetry to all events of the fabric,
+// populating the per-rank operation counters and byte totals, and
+// registers pull gauges for each endpoint's unexpected-queue
+// high-watermark. Call before ranks start (spmd.World.SetTelemetry does).
+func (t *Telemetry) BindFabric(f *simnet.Fabric) {
+	if t == nil || f == nil {
+		return
+	}
+	n := f.Size()
+	m := &fabricMeters{
+		events: make([][]*Counter, n),
+		bytes:  make([]*Counter, eventKinds),
+	}
+	for k := 0; k < eventKinds; k++ {
+		kind := simnet.EventKind(k)
+		switch kind {
+		case simnet.EvSend, simnet.EvPut, simnet.EvGet, simnet.EvRecvComplete:
+			m.bytes[k] = t.reg.Counter("simnet_bytes_total", L("kind", kind.String()))
+		}
+	}
+	for r := 0; r < n; r++ {
+		m.events[r] = make([]*Counter, eventKinds)
+		for k := 0; k < eventKinds; k++ {
+			m.events[r][k] = t.reg.Counter("simnet_events_total",
+				L("kind", simnet.EventKind(k).String()), Rank(r))
+		}
+		ep := f.Endpoint(r)
+		t.reg.GaugeFunc("simnet_unexpected_queue_hwm",
+			func() int64 { return int64(ep.UnexpectedHighWatermark()) }, Rank(r))
+	}
+	f.Observe(func(e simnet.Event) {
+		k := int(e.Kind)
+		if e.Rank < 0 || e.Rank >= n || k < 0 || k >= eventKinds {
+			return
+		}
+		m.events[e.Rank][k].Inc()
+		if c := m.bytes[k]; c != nil {
+			c.Add(int64(e.Bytes))
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package trace_test
+
+import (
+	"sync"
+	"testing"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/simnet"
+	"commintent/internal/spmd"
+	"commintent/internal/trace"
+)
+
+func TestCollectorShardsPreserveArrivalOrder(t *testing.T) {
+	const n = 4
+	c := trace.NewCollector(n)
+	// Interleave ranks; the sequence stamp must reconstruct exactly this
+	// order on read, even though events land in different shards.
+	var want []simnet.Event
+	for i := 0; i < 100; i++ {
+		e := simnet.Event{Rank: i % n, Kind: simnet.EvSend, Peer: (i + 1) % n, Bytes: i, V: model.Time(i)}
+		c.Add(e)
+		want = append(want, e)
+	}
+	got := c.Events()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCollectorConcurrentAdd(t *testing.T) {
+	const n, each = 8, 500
+	c := trace.NewCollector(n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Add(simnet.Event{Rank: r, Kind: simnet.EvSend, Peer: 0, Bytes: 8})
+			}
+		}(r)
+	}
+	wg.Wait()
+	if c.Len() != n*each {
+		t.Fatalf("len = %d, want %d", c.Len(), n*each)
+	}
+	// Per-rank sub-order must survive the merge, and the sequence stamps
+	// must be strictly increasing overall.
+	if got := len(c.Events()); got != n*each {
+		t.Fatalf("events = %d", got)
+	}
+	st := c.Stats()
+	if st.Messages != n*each {
+		t.Fatalf("messages = %d", st.Messages)
+	}
+}
+
+func TestCollectorOutOfRangeRankDoesNotPanic(t *testing.T) {
+	c := trace.NewCollector(2)
+	c.Add(simnet.Event{Rank: -1, Kind: simnet.EvSend, Peer: 0})
+	c.Add(simnet.Event{Rank: 99, Kind: simnet.EvSend, Peer: 0})
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestStatsCountsGetsAndRecvBytes(t *testing.T) {
+	c := trace.NewCollector(2)
+	c.Add(simnet.Event{Rank: 0, Kind: simnet.EvSend, Peer: 1, Bytes: 100})
+	c.Add(simnet.Event{Rank: 1, Kind: simnet.EvRecvComplete, Peer: 0, Bytes: 100})
+	c.Add(simnet.Event{Rank: 0, Kind: simnet.EvPut, Peer: 1, Bytes: 30})
+	c.Add(simnet.Event{Rank: 1, Kind: simnet.EvGet, Peer: 0, Bytes: 25})
+	st := c.Stats()
+	if st.Messages != 3 {
+		t.Errorf("messages = %d, want 3 (send+put+get)", st.Messages)
+	}
+	if st.DataBytes != 155 {
+		t.Errorf("data bytes = %d, want 155", st.DataBytes)
+	}
+	if st.RecvBytes != 100 {
+		t.Errorf("recv bytes = %d, want 100", st.RecvBytes)
+	}
+}
+
+func TestStatsGetsFromLiveRun(t *testing.T) {
+	// An MPI one-sided Get in a real run lands in Messages and DataBytes,
+	// and the delivered two-sided payload shows up in RecvBytes.
+	const n = 2
+	col := runTraced(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID == 0 {
+			r, err := c.Isend([]float64{1, 2}, 2, mpi.Float64, 1, 0)
+			if err != nil {
+				return err
+			}
+			_, err = c.Wait(r)
+			return err
+		}
+		buf := make([]float64, 2)
+		_, err := c.Recv(buf, 2, mpi.Float64, 0, 0)
+		return err
+	})
+	st := col.Stats()
+	if st.RecvBytes != 16 {
+		t.Errorf("recv bytes = %d, want 16", st.RecvBytes)
+	}
+}
+
+func TestDetectPatternEdgeCases(t *testing.T) {
+	mk := func(n int, edges [][2]int) [][]int64 {
+		m := make([][]int64, n)
+		for i := range m {
+			m[i] = make([]int64, n)
+		}
+		for _, e := range edges {
+			m[e[0]][e[1]] = 8
+		}
+		return m
+	}
+	cases := []struct {
+		name string
+		m    [][]int64
+		want trace.Pattern
+	}{
+		// A single rank talking to itself is the degenerate ring.
+		{"n1-self", mk(1, [][2]int{{0, 0}}), trace.PatternRing},
+		{"n1-empty", mk(1, nil), trace.PatternNone},
+		// n=2 bidirectional satisfies both ring and star; ring wins by
+		// check order (documented tie-break).
+		{"n2-bidirectional", mk(2, [][2]int{{0, 1}, {1, 0}}), trace.PatternRing},
+		{"n2-oneway", mk(2, [][2]int{{0, 1}}), trace.PatternEvenOdd},
+		// Non-zero n with an all-zero matrix is no pattern at all.
+		{"empty-4", mk(4, nil), trace.PatternNone},
+		{"empty-0", mk(0, nil), trace.PatternNone},
+		// Asymmetric neighbour exchange: adjacent edges but 3->2 missing,
+		// so the bidirectional-neighbour rule must NOT fire.
+		{"asymmetric-neighbor", mk(4, [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}}), trace.PatternOther},
+	}
+	for _, tc := range cases {
+		if got := trace.DetectPattern(tc.m); got != tc.want {
+			t.Errorf("%s: %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// singleMutexCollector is the pre-sharding reference implementation, kept
+// for the benchmark comparison.
+type singleMutexCollector struct {
+	mu     sync.Mutex
+	events []simnet.Event
+}
+
+func (c *singleMutexCollector) Add(e simnet.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// benchEmit drives add from one goroutine per rank — the shape of a real
+// SPMD run, where each rank goroutine emits its own events.
+func benchEmit(b *testing.B, ranks int, add func(simnet.Event)) {
+	b.Helper()
+	var wg sync.WaitGroup
+	per := b.N/ranks + 1
+	b.ResetTimer()
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			e := simnet.Event{Rank: r, Kind: simnet.EvSend, Peer: (r + 1) % ranks, Bytes: 8}
+			for i := 0; i < per; i++ {
+				add(e)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// BenchmarkCollectorAdd compares contended event recording through the
+// sharded collector against the single-mutex reference implementation.
+func BenchmarkCollectorAdd(b *testing.B) {
+	const ranks = 8
+	b.Run("sharded", func(b *testing.B) {
+		c := trace.NewCollector(ranks)
+		benchEmit(b, ranks, c.Add)
+	})
+	b.Run("single-mutex", func(b *testing.B) {
+		c := &singleMutexCollector{}
+		benchEmit(b, ranks, c.Add)
+	})
+}

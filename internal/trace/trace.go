@@ -10,49 +10,107 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"commintent/internal/simnet"
 )
 
-// Collector accumulates fabric events.
+// Collector accumulates fabric events. The buffer is sharded per rank so
+// concurrently emitting rank goroutines do not contend on one mutex; a
+// global atomic sequence number stamped at emission lets Events reconstruct
+// the exact arrival order on read.
 type Collector struct {
-	mu     sync.Mutex
-	events []simnet.Event
 	n      int
+	seq    atomic.Uint64
+	shards []collectorShard
+}
+
+type collectorShard struct {
+	mu     sync.Mutex
+	events []seqEvent
+	// Pad each shard past a cache line: adjacent shards are written by
+	// different rank goroutines, and false sharing would hand back the
+	// contention the sharding removes.
+	_ [96]byte
+}
+
+type seqEvent struct {
+	seq uint64
+	e   simnet.Event
+}
+
+// NewCollector creates an unattached collector over n ranks (events arrive
+// via Add); most callers use Attach instead.
+func NewCollector(n int) *Collector {
+	if n < 1 {
+		n = 1
+	}
+	return &Collector{n: n, shards: make([]collectorShard, n)}
 }
 
 // Attach subscribes a new collector to all events of the fabric.
 func Attach(f *simnet.Fabric) *Collector {
-	c := &Collector{n: f.Size()}
-	f.Observe(func(e simnet.Event) {
-		c.mu.Lock()
-		c.events = append(c.events, e)
-		c.mu.Unlock()
-	})
+	c := NewCollector(f.Size())
+	f.Observe(c.Add)
 	return c
 }
 
-// Events returns a copy of everything collected so far.
+// Add records one event in the emitting rank's shard.
+func (c *Collector) Add(e simnet.Event) {
+	idx := e.Rank
+	if idx < 0 || idx >= len(c.shards) {
+		idx = 0
+	}
+	seq := c.seq.Add(1)
+	sh := &c.shards[idx]
+	sh.mu.Lock()
+	sh.events = append(sh.events, seqEvent{seq: seq, e: e})
+	sh.mu.Unlock()
+}
+
+// snapshot copies all shards and merges them back into arrival order.
+func (c *Collector) snapshot() []seqEvent {
+	var all []seqEvent
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.events...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	return all
+}
+
+// Events returns a copy of everything collected so far, in arrival order.
 func (c *Collector) Events() []simnet.Event {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]simnet.Event, len(c.events))
-	copy(out, c.events)
+	all := c.snapshot()
+	out := make([]simnet.Event, len(all))
+	for i, se := range all {
+		out[i] = se.e
+	}
 	return out
 }
 
 // Reset discards collected events.
 func (c *Collector) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.events = c.events[:0]
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.events = sh.events[:0]
+		sh.mu.Unlock()
+	}
 }
 
 // Len reports the number of collected events.
 func (c *Collector) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.events)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.events)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats summarises collected events.
@@ -60,26 +118,32 @@ type Stats struct {
 	Ranks     int
 	PerKind   map[simnet.EventKind]int
 	DataBytes int64 // payload bytes of sends, puts and gets
-	Messages  int   // sends + puts
+	RecvBytes int64 // payload bytes delivered into receive buffers
+	Messages  int   // sends, puts and gets
 	Syncs     int   // waits, waitalls, fences, quiets, barriers
 }
 
-// Stats computes aggregate statistics.
+// Stats computes aggregate statistics. Stats needs no ordering, so it
+// iterates the shards directly without the merge Events performs.
 func (c *Collector) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := Stats{Ranks: c.n, PerKind: make(map[simnet.EventKind]int)}
-	for _, e := range c.events {
-		s.PerKind[e.Kind]++
-		switch e.Kind {
-		case simnet.EvSend, simnet.EvPut:
-			s.DataBytes += int64(e.Bytes)
-			s.Messages++
-		case simnet.EvGet:
-			s.DataBytes += int64(e.Bytes)
-		case simnet.EvWait, simnet.EvSync, simnet.EvBarrier:
-			s.Syncs++
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, se := range sh.events {
+			e := se.e
+			s.PerKind[e.Kind]++
+			switch e.Kind {
+			case simnet.EvSend, simnet.EvPut, simnet.EvGet:
+				s.DataBytes += int64(e.Bytes)
+				s.Messages++
+			case simnet.EvRecvComplete:
+				s.RecvBytes += int64(e.Bytes)
+			case simnet.EvWait, simnet.EvSync, simnet.EvBarrier:
+				s.Syncs++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return s
 }
@@ -87,16 +151,20 @@ func (c *Collector) Stats() Stats {
 // CommMatrix returns bytes moved from each source rank to each destination
 // rank by sends and puts.
 func (c *Collector) CommMatrix() [][]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	m := make([][]int64, c.n)
 	for i := range m {
 		m[i] = make([]int64, c.n)
 	}
-	for _, e := range c.events {
-		if (e.Kind == simnet.EvSend || e.Kind == simnet.EvPut) && e.Peer >= 0 && e.Peer < c.n && e.Rank >= 0 && e.Rank < c.n {
-			m[e.Rank][e.Peer] += int64(e.Bytes)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, se := range sh.events {
+			e := se.e
+			if (e.Kind == simnet.EvSend || e.Kind == simnet.EvPut) && e.Peer >= 0 && e.Peer < c.n && e.Rank >= 0 && e.Rank < c.n {
+				m[e.Rank][e.Peer] += int64(e.Bytes)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return m
 }

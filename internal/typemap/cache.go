@@ -3,6 +3,7 @@ package typemap
 import (
 	"reflect"
 	"sync"
+	"sync/atomic"
 )
 
 // Cache memoises struct layouts per scope, mirroring the paper's rule that a
@@ -13,6 +14,8 @@ import (
 type Cache struct {
 	mu sync.Mutex
 	m  map[reflect.Type]*Layout
+
+	hits, misses atomic.Int64
 }
 
 // NewCache creates an empty layout cache.
@@ -33,14 +36,22 @@ func (c *Cache) Get(v any) (l *Layout, hit bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if l, ok := c.m[t]; ok {
+		c.hits.Add(1)
 		return l, true, nil
 	}
 	l, err = LayoutOf(v)
 	if err != nil {
 		return nil, false, err
 	}
+	c.misses.Add(1)
 	c.m[t] = l
 	return l, false, nil
+}
+
+// Stats reports the cache's lifetime hit and miss counts (failed lookups
+// are counted in neither).
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Len reports the number of cached layouts.

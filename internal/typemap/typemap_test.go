@@ -274,6 +274,18 @@ func TestCacheHitSemantics(t *testing.T) {
 	if _, hit, _ := c.Get(other{}); hit {
 		t.Error("different type hit the cache")
 	}
+	// The lifetime stat counters mirror the Get outcomes above: one hit
+	// (the []pt lookup), two misses (pt and other).
+	if hits, misses := c.Stats(); hits != 1 || misses != 2 {
+		t.Errorf("stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+	// A failed lookup counts in neither.
+	if _, _, err := c.Get(struct{ s string }{}); err == nil {
+		t.Fatal("unexported field accepted")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 2 {
+		t.Errorf("stats after error = %d/%d, want unchanged 1/2", hits, misses)
+	}
 }
 
 func TestStructCount(t *testing.T) {
