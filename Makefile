@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify bench clean
+.PHONY: all build test verify bench bench-all clean
 
 all: build
 
@@ -10,13 +10,35 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the repo's standing quality gate: static analysis plus the
-# internal test suite under the race detector.
+# verify is the repo's standing quality gate: static analysis, the internal
+# test suite under the race detector (including the 8-sender endpoint stress
+# test), and the typemap suite again under the `purego` tag so the
+# reflection pack/unpack path — the fast path's correctness oracle — stays
+# exercised even though normal builds take the zero-copy path.
+#
+# internal/typemap is vetted with -unsafeptr=false: its noescape laundering
+# (see fastpath.go) is exactly the pattern that heuristic flags, and is
+# quarantined to that one file.
 verify:
-	$(GO) vet ./... && $(GO) test -race ./internal/...
+	$(GO) vet -unsafeptr=false ./internal/typemap/
+	$(GO) vet $$($(GO) list ./... | grep -v internal/typemap)
+	$(GO) test -race ./internal/...
+	$(GO) test -tags purego ./internal/typemap/
 
+# bench runs the data-plane benchmarks (simulator wall-clock cost: pack and
+# unpack, payload pooling, message matching) and snapshots them, diffed
+# against the committed pre-zero-copy baseline, into BENCH_dataplane.json.
 bench:
+	$(GO) test -run XXX -bench BenchmarkDataPlane -benchmem -count=5 . | tee bench_dataplane.out
+	$(GO) run ./cmd/benchjson -baseline testdata/bench_baseline_dataplane.txt < bench_dataplane.out > BENCH_dataplane.json
+	@rm -f bench_dataplane.out
+	@echo wrote BENCH_dataplane.json
+
+# bench-all additionally runs every other benchmark once (the virtual-time
+# figure benchmarks live in internal packages).
+bench-all: bench
 	$(GO) test -bench . -benchtime=1x -run XXX ./internal/...
 
 clean:
 	$(GO) clean ./...
+	rm -f bench_dataplane.out

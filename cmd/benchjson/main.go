@@ -1,0 +1,166 @@
+// Command benchjson converts `go test -bench` text output into a compact
+// JSON summary, so `make bench` can snapshot the data-plane benchmarks into
+// BENCH_dataplane.json and diff them against the committed pre-zero-copy
+// baseline. For each benchmark the ns/op samples are reduced to min and
+// median (min is the least-noise wall-clock figure; B/op and allocs/op are
+// deterministic and taken from the last sample). With -baseline the same
+// parse runs over a second file and the output gains a "baseline" section
+// plus per-benchmark speedup and allocation-reduction ratios.
+//
+// Usage:
+//
+//	go test -run XXX -bench DataPlane -benchmem -count=5 . | benchjson -baseline testdata/bench_baseline_dataplane.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one `go test -bench -benchmem` result row, e.g.
+// BenchmarkFoo-8   12345   987 ns/op   415.2 MB/s   24 B/op   1 allocs/op
+// (the MB/s column appears only for benchmarks that call SetBytes).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// summary is the reduced form of one benchmark's samples.
+type summary struct {
+	Samples     int     `json:"samples"`
+	NsPerOpMin  float64 `json:"ns_per_op_min"`
+	NsPerOpMed  float64 `json:"ns_per_op_median"`
+	MBPerSMax   float64 `json:"mb_per_s_max,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// delta compares a benchmark against its baseline. AllocsFactor is omitted
+// when the current figure is zero allocations — the reduction is then not a
+// finite ratio (the allocations were eliminated outright).
+type delta struct {
+	Speedup      float64 `json:"speedup_ns_per_op"`          // baseline median / current median
+	AllocsFactor float64 `json:"allocs_reduction,omitempty"` // baseline allocs / current allocs
+}
+
+type report struct {
+	Context  map[string]string   `json:"context,omitempty"`  // goos/goarch/pkg/cpu lines
+	Results  map[string]*summary `json:"results"`            // by benchmark name
+	Baseline map[string]*summary `json:"baseline,omitempty"` // from -baseline
+	VsBase   map[string]*delta   `json:"vs_baseline,omitempty"`
+}
+
+func parse(r io.Reader) (map[string]*summary, map[string]string, error) {
+	type acc struct {
+		ns     []float64
+		mbs    float64
+		bytes  int64
+		allocs int64
+	}
+	accs := map[string]*acc{}
+	ctx := map[string]string{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+": "); ok {
+				ctx[k] = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		a := accs[m[1]]
+		if a == nil {
+			a = &acc{}
+			accs[m[1]] = a
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		a.ns = append(a.ns, ns)
+		if m[3] != "" {
+			if v, _ := strconv.ParseFloat(m[3], 64); v > a.mbs {
+				a.mbs = v
+			}
+		}
+		if m[4] != "" {
+			a.bytes, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			a.allocs, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	out := map[string]*summary{}
+	for name, a := range accs {
+		sort.Float64s(a.ns)
+		out[name] = &summary{
+			Samples:     len(a.ns),
+			NsPerOpMin:  a.ns[0],
+			NsPerOpMed:  a.ns[len(a.ns)/2],
+			MBPerSMax:   a.mbs,
+			BytesPerOp:  a.bytes,
+			AllocsPerOp: a.allocs,
+		}
+	}
+	return out, ctx, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "optional baseline `file` of go test -bench output to diff against")
+	flag.Parse()
+
+	rep := report{}
+	var err error
+	rep.Results, rep.Context, err = parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Baseline, _, err = parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		rep.VsBase = map[string]*delta{}
+		for name, cur := range rep.Results {
+			base := rep.Baseline[name]
+			if base == nil || cur.NsPerOpMed == 0 {
+				continue
+			}
+			d := &delta{Speedup: base.NsPerOpMed / cur.NsPerOpMed}
+			if cur.AllocsPerOp > 0 {
+				d.AllocsFactor = float64(base.AllocsPerOp) / float64(cur.AllocsPerOp)
+			}
+			rep.VsBase[name] = d
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

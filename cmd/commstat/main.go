@@ -21,9 +21,11 @@ import (
 	"commintent/internal/mpi"
 	"commintent/internal/patterns"
 	"commintent/internal/shmem"
+	"commintent/internal/simnet"
 	"commintent/internal/spmd"
 	"commintent/internal/telemetry"
 	"commintent/internal/trace"
+	"commintent/internal/typemap"
 )
 
 func main() {
@@ -85,6 +87,16 @@ func main() {
 			hits, misses, 100*float64(hits)/float64(hits+misses))
 	} else {
 		fmt.Printf("\ndatatype cache: no lookups\n")
+	}
+
+	if ph, pm := simnet.PoolStats(); ph+pm > 0 {
+		fmt.Printf("payload pool: %d hits / %d misses (hit rate %.1f%%)\n",
+			ph, pm, 100*float64(ph)/float64(ph+pm))
+	}
+	if fe, fd, re, rd := typemap.PathStats(); fe+fd+re+rd > 0 {
+		fast, slow := fe+fd, re+rd
+		fmt.Printf("pack/unpack: %d zero-copy / %d reflection (fast-path share %.1f%%)\n",
+			fast, slow, 100*float64(fast)/float64(fast+slow))
 	}
 
 	fmt.Println("\n== critical path ==")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"commintent/internal/model"
+	"commintent/internal/simnet"
 )
 
 // Internal tag codes for collective plumbing (offsets into the reserved tag
@@ -38,13 +39,17 @@ func (o Op) String() string {
 }
 
 // sendInternal and recvInternal move raw bytes on a reserved tag, with the
-// same cost model as user traffic.
+// same cost model as user traffic. The payload is staged through a pooled
+// buffer (the caller keeps ownership of data, which collectives reuse
+// across tree rounds) and handed to the fabric eagerly.
 func (c *Comm) sendInternal(data []byte, dest, op, round int) {
 	p := c.prof()
 	clk := c.clock()
 	clk.Advance(p.MPISendOverhead + p.InjectTime(len(data)))
 	arrive := clk.Now() + p.MPILatencyBetween(c.rk.ID, c.WorldRank(dest))
-	c.ep().Send(c.WorldRank(dest), c.innerTag(op+round*8), data, arrive)
+	wire := simnet.GetBuf(len(data))
+	copy(wire, data)
+	c.ep().SendOwned(c.WorldRank(dest), c.innerTag(op+round*8), wire, arrive, false)
 }
 
 func (c *Comm) recvInternal(buf []byte, source, op, round int) int {
@@ -53,8 +58,8 @@ func (c *Comm) recvInternal(buf []byte, source, op, round int) int {
 	clk.Advance(p.MPIRecvOverhead)
 	rr := c.ep().PostRecv(c.WorldRank(source), c.innerTag(op+round*8), buf, clk.Now())
 	<-rr.Done()
-	m, n := rr.Result()
-	ready := model.Max(m.ArriveV, rr.PostV()) + p.MPIMatchCost + p.RecvCopyTime(n)
+	n := rr.Len()
+	ready := model.Max(rr.ArriveV(), rr.PostV()) + p.MPIMatchCost + p.RecvCopyTime(n)
 	if rr.Unexpected() {
 		ready += p.MPIUnexpected
 	}
@@ -103,13 +108,13 @@ func (c *Comm) Bcast(buf any, count int, d *Datatype, root int) error {
 	p := c.prof()
 	n := c.Size()
 	me := relRank(c.Rank(), root, n)
-	wire := make([]byte, count*d.Size())
+	wire := simnet.GetBuf(count * d.Size())
+	defer simnet.PutBuf(wire)
 	if me == 0 {
-		w, encCost, err := d.encode(p, buf, count)
+		encCost, err := d.encodeInto(p, wire, buf, count)
 		if err != nil {
 			return fmt.Errorf("mpi: Bcast: %w", err)
 		}
-		copy(wire, w)
 		c.clock().Advance(encCost)
 	} else {
 		parent := me - topBit(me)
@@ -147,15 +152,16 @@ func (c *Comm) Reduce(sendbuf, recvbuf any, count int, d *Datatype, op Op, root 
 	}
 	n := c.Size()
 	me := relRank(c.Rank(), root, n)
-	wire := make([]byte, count*d.Size())
+	wire := simnet.GetBuf(count * d.Size())
+	defer simnet.PutBuf(wire)
 	for bit := 1; bit < n; bit <<= 1 {
 		if me&bit != 0 {
-			w, encCost, err := d.encode(p, acc, count)
+			encCost, err := d.encodeInto(p, wire, acc, count)
 			if err != nil {
 				return fmt.Errorf("mpi: Reduce: %w", err)
 			}
 			c.clock().Advance(encCost)
-			c.sendInternal(w, absRank(me-bit, root, n), tagReduce, bitLog(bit))
+			c.sendInternal(wire, absRank(me-bit, root, n), tagReduce, bitLog(bit))
 			break // partial result handed upward; this rank is done
 		}
 		if me+bit < n {
@@ -206,7 +212,9 @@ func (c *Comm) Gather(sendbuf any, count int, d *Datatype, recvbuf any, root int
 	}
 	p := c.prof()
 	if c.Rank() != root {
-		w, encCost, err := d.encode(p, sendbuf, count)
+		w := simnet.GetBuf(count * d.Size())
+		defer simnet.PutBuf(w)
+		encCost, err := d.encodeInto(p, w, sendbuf, count)
 		if err != nil {
 			return fmt.Errorf("mpi: Gather: %w", err)
 		}
@@ -224,7 +232,8 @@ func (c *Comm) Gather(sendbuf any, count int, d *Datatype, recvbuf any, root int
 	if total < c.Size()*count {
 		return fmt.Errorf("mpi: Gather: recvbuf holds %d elements, need %d", total, c.Size()*count)
 	}
-	wire := make([]byte, count*d.Size())
+	wire := simnet.GetBuf(count * d.Size())
+	defer simnet.PutBuf(wire)
 	for r := 0; r < c.Size(); r++ {
 		if r == root {
 			if err := copySegmentLocal(recvbuf, sendbuf, r*count, count); err != nil {

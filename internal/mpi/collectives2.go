@@ -2,6 +2,8 @@ package mpi
 
 import (
 	"fmt"
+
+	"commintent/internal/simnet"
 )
 
 // Additional collectives: Scatter and Allgather, completing the set the
@@ -24,7 +26,8 @@ func (c *Comm) Scatter(sendbuf any, count int, d *Datatype, recvbuf any, root in
 	}
 	p := c.prof()
 	if c.Rank() != root {
-		wire := make([]byte, count*d.Size())
+		wire := simnet.GetBuf(count * d.Size())
+		defer simnet.PutBuf(wire)
 		got := c.recvInternal(wire, root, tagGather, 1)
 		if got < len(wire) {
 			return fmt.Errorf("mpi: Scatter: short payload")
@@ -46,6 +49,8 @@ func (c *Comm) Scatter(sendbuf any, count int, d *Datatype, recvbuf any, root in
 	if total < c.Size()*count {
 		return fmt.Errorf("mpi: Scatter: sendbuf holds %d elements, need %d", total, c.Size()*count)
 	}
+	wire := simnet.GetBuf(count * d.Size())
+	defer simnet.PutBuf(wire)
 	for r := 0; r < c.Size(); r++ {
 		seg, err := numericSegment(sendbuf, r*count, count)
 		if err != nil {
@@ -57,7 +62,7 @@ func (c *Comm) Scatter(sendbuf any, count int, d *Datatype, recvbuf any, root in
 			}
 			continue
 		}
-		wire, encCost, err := d.encode(p, seg, count)
+		encCost, err := d.encodeInto(p, wire, seg, count)
 		if err != nil {
 			return fmt.Errorf("mpi: Scatter: %w", err)
 		}

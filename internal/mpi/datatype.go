@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"reflect"
 
 	"commintent/internal/model"
 	"commintent/internal/typemap"
@@ -59,30 +60,34 @@ func (c *Comm) TypeCreateStruct(example any) (*Datatype, error) {
 	return &Datatype{name: "MPI_STRUCT(" + l.GoType.Name() + ")", layout: l}, nil
 }
 
-// encode serialises count elements of buf according to d, returning the
-// wire bytes and the extra local cost (derived types pay a gather copy).
-func (d *Datatype) encode(p *model.Profile, buf any, count int) ([]byte, model.Time, error) {
-	n := count * d.Size()
-	out := make([]byte, n)
+// encodeInto serialises count elements of buf according to d into dst
+// (which must hold count*Size() bytes), returning the extra local cost
+// (derived types pay a gather copy). Writing into a caller-supplied — and
+// typically pooled — buffer keeps the hot send path allocation-free.
+func (d *Datatype) encodeInto(p *model.Profile, dst []byte, buf any, count int) (model.Time, error) {
 	if d.layout != nil {
-		if _, err := d.layout.Encode(out, buf, count); err != nil {
-			return nil, 0, err
+		// NoEscape: the reflection walk would otherwise mark buf as leaking
+		// and heap-box every caller's argument, including pure slice
+		// traffic that never reaches this branch. Encode does not retain
+		// the buffer past the call.
+		if _, err := d.layout.Encode(dst, typemap.NoEscape(buf), count); err != nil {
+			return 0, err
 		}
-		return out, p.MemcpyTime(n), nil
+		return p.MemcpyTime(count * d.Size()), nil
 	}
 	if err := checkSliceKind(buf, d); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	if _, err := typemap.EncodeSlice(out, buf, count); err != nil {
-		return nil, 0, err
+	if _, err := typemap.EncodeSlice(dst, buf, count); err != nil {
+		return 0, err
 	}
-	return out, 0, nil
+	return 0, nil
 }
 
 // decode deserialises wire bytes into buf, returning the extra local cost.
 func (d *Datatype) decode(p *model.Profile, wire []byte, buf any, count int) (model.Time, error) {
 	if d.layout != nil {
-		if _, err := d.layout.Decode(wire, buf, count); err != nil {
+		if _, err := d.layout.Decode(wire, typemap.NoEscape(buf), count); err != nil {
 			return 0, err
 		}
 		return p.MemcpyTime(count * d.Size()), nil
@@ -99,14 +104,16 @@ func (d *Datatype) decode(p *model.Profile, wire []byte, buf any, count int) (mo
 func checkSliceKind(buf any, d *Datatype) error {
 	k, ok := typemap.SliceKind(buf)
 	if !ok {
-		return fmt.Errorf("mpi: buffer %T is not a primitive slice (datatype %s)", buf, d)
+		// reflect.TypeOf instead of %T: the fmt verb would leak buf and
+		// force an interface box on every (hot, non-erroring) call.
+		return fmt.Errorf("mpi: buffer %s is not a primitive slice (datatype %s)", reflect.TypeOf(buf), d)
 	}
 	if k != d.kind {
 		// MPI_PACKED and MPI_BYTE accept any byte buffer.
 		if (d == Packed || d == Byte) && k == typemap.KindUint8 {
 			return nil
 		}
-		return fmt.Errorf("mpi: buffer %T does not match datatype %s", buf, d)
+		return fmt.Errorf("mpi: buffer %s does not match datatype %s", reflect.TypeOf(buf), d)
 	}
 	return nil
 }
@@ -116,7 +123,7 @@ func checkSliceKind(buf any, d *Datatype) error {
 // validates that the buffer's element type matches the datatype.
 func ElemCount(buf any, d *Datatype) (int, error) {
 	if d.layout != nil {
-		return typemap.StructCount(buf, d.layout)
+		return typemap.StructCount(typemap.NoEscape(buf), d.layout)
 	}
 	if err := checkSliceKind(buf, d); err != nil {
 		return 0, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"commintent/internal/simnet"
+	"commintent/internal/typemap"
 )
 
 // AnySource and AnyTag are the receive wildcards.
@@ -19,32 +20,51 @@ const (
 // matching receive is posted. Either way the returned request must be
 // completed with Wait/Waitall/Test.
 func (c *Comm) Isend(buf any, count int, d *Datatype, dest, tag int) (*Request, error) {
-	if err := c.checkTag(tag); err != nil {
+	r, err := c.makeSendReq(buf, count, d, dest, tag)
+	if err != nil {
 		return nil, err
 	}
+	rp := new(Request)
+	*rp = r
+	return rp, nil
+}
+
+// makeSendReq starts the send and returns the tracking request by value, so
+// blocking Send can keep its request on the stack (returning rather than
+// writing through a *Request keeps escape analysis from heap-boxing buf).
+// The wire buffer comes from the payload pool and its ownership passes to
+// the fabric with the message.
+func (c *Comm) makeSendReq(buf any, count int, d *Datatype, dest, tag int) (Request, error) {
+	if err := c.checkTag(tag); err != nil {
+		return Request{}, err
+	}
 	if dest < 0 || dest >= c.Size() {
-		return nil, fmt.Errorf("mpi: Isend to rank %d of comm size %d", dest, c.Size())
+		return Request{}, fmt.Errorf("mpi: Isend to rank %d of comm size %d", dest, c.Size())
 	}
 	p := c.prof()
 	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Isend", "mpi", c.clock().Now())
-	wire, encCost, err := d.encode(p, buf, count)
+	n := count * d.Size()
+	wire := simnet.GetBuf(n)
+	encCost, err := d.encodeInto(p, wire, buf, count)
 	if err != nil {
-		return nil, fmt.Errorf("mpi: Isend: %w", err)
+		simnet.PutBuf(wire)
+		return Request{}, fmt.Errorf("mpi: Isend: %w", err)
 	}
 	clk := c.clock()
-	clk.Advance(p.MPISendOverhead + p.MPIRequestPerItem + encCost + p.InjectTime(len(wire)))
+	clk.Advance(p.MPISendOverhead + p.MPIRequestPerItem + encCost + p.InjectTime(n))
 	defer sp.End(clk.Now())
 	arrive := clk.Now() + p.MPILatencyBetween(c.rk.ID, c.WorldRank(dest))
-	sr := c.ep().Send(c.WorldRank(dest), c.wireTag(tag), wire, arrive)
-	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSend, Peer: c.WorldRank(dest), Tag: tag, Bytes: len(wire), V: clk.Now()})
-	return &Request{comm: c, send: sr, rendezvous: len(wire) > p.MPIEagerThreshold}, nil
+	rendezvous := n > p.MPIEagerThreshold
+	sr := c.ep().SendOwned(c.WorldRank(dest), c.wireTag(tag), wire, arrive, rendezvous)
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSend, Peer: c.WorldRank(dest), Tag: tag, Bytes: n, V: clk.Now()})
+	return Request{comm: c, send: sr, isSend: true, rendezvous: rendezvous}, nil
 }
 
 // Send is the blocking send. Under the eager protocol it completes locally
 // as soon as the message is injected; a rendezvous-sized message blocks
 // until the matching receive is posted, as in real MPI.
 func (c *Comm) Send(buf any, count int, d *Datatype, dest, tag int) error {
-	r, err := c.Isend(buf, count, d, dest, tag)
+	r, err := c.makeSendReq(buf, count, d, dest, tag)
 	if err != nil {
 		return err
 	}
@@ -59,35 +79,53 @@ func (c *Comm) Send(buf any, count int, d *Datatype, dest, tag int) error {
 // into buf from comm rank source (or AnySource) with the given tag (or
 // AnyTag).
 func (c *Comm) Irecv(buf any, count int, d *Datatype, source, tag int) (*Request, error) {
-	if err := c.checkTag(tag); err != nil {
+	r, err := c.makeRecvReq(buf, count, d, source, tag)
+	if err != nil {
 		return nil, err
 	}
+	rp := new(Request)
+	*rp = r
+	return rp, nil
+}
+
+// makeRecvReq posts the receive and returns the tracking request by value
+// (see makeSendReq for why); the staging wire buffer comes from the payload
+// pool and goes back in finish().
+func (c *Comm) makeRecvReq(buf any, count int, d *Datatype, source, tag int) (Request, error) {
+	if err := c.checkTag(tag); err != nil {
+		return Request{}, err
+	}
 	if source != AnySource && (source < 0 || source >= c.Size()) {
-		return nil, fmt.Errorf("mpi: Irecv from rank %d of comm size %d", source, c.Size())
+		return Request{}, fmt.Errorf("mpi: Irecv from rank %d of comm size %d", source, c.Size())
 	}
 	if cap, err := ElemCount(buf, d); err != nil {
-		return nil, fmt.Errorf("mpi: Irecv: %w", err)
+		return Request{}, fmt.Errorf("mpi: Irecv: %w", err)
 	} else if count > cap {
-		return nil, fmt.Errorf("mpi: Irecv: count %d exceeds buffer capacity %d", count, cap)
+		return Request{}, fmt.Errorf("mpi: Irecv: count %d exceeds buffer capacity %d", count, cap)
 	}
 	p := c.prof()
 	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Irecv", "mpi", c.clock().Now())
 	clk := c.clock()
 	clk.Advance(p.MPIRecvOverhead + p.MPIRequestPerItem)
 	defer sp.End(clk.Now())
-	wire := make([]byte, count*d.Size())
+	wire := simnet.GetBuf(count * d.Size())
 	wtag := simnet.AnyTag
 	if tag != AnyTag {
 		wtag = c.wireTag(tag)
 	}
 	rr := c.ep().PostRecv(c.WorldRank(source), wtag, wire, clk.Now())
 	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvRecvPost, Peer: c.WorldRank(source), Tag: tag, Bytes: len(wire), V: clk.Now()})
-	return &Request{comm: c, recv: rr, wire: wire, recvBuf: buf, recvCount: count, dt: d}, nil
+	return Request{comm: c, recv: rr, wire: wire, recvBuf: buf, recvCount: count, dt: d}, nil
 }
 
 // Recv is the blocking receive.
+//
+// The NoEscape below is sound only because Recv is blocking: the request —
+// and with it the reference to buf — lives entirely within this frame, so
+// the caller's interface box may stay on its stack. Irecv must NOT launder
+// its buffer: its heap request can outlive the caller's frame.
 func (c *Comm) Recv(buf any, count int, d *Datatype, source, tag int) (Status, error) {
-	r, err := c.Irecv(buf, count, d, source, tag)
+	r, err := c.makeRecvReq(typemap.NoEscape(buf), count, d, source, tag)
 	if err != nil {
 		return Status{}, err
 	}
@@ -104,7 +142,9 @@ func (c *Comm) Sendrecv(
 	sbuf any, scount int, sdt *Datatype, dest, stag int,
 	rbuf any, rcount int, rdt *Datatype, source, rtag int,
 ) (Status, error) {
-	rr, err := c.Irecv(rbuf, rcount, rdt, source, rtag)
+	// Like Recv, the receive request is finished before returning, so
+	// laundering rbuf is safe here even though Irecv itself must not.
+	rr, err := c.Irecv(typemap.NoEscape(rbuf), rcount, rdt, source, rtag)
 	if err != nil {
 		return Status{}, err
 	}
@@ -132,10 +172,10 @@ func (c *Comm) Iprobe(source, tag int) (Status, bool, error) {
 	if tag != AnyTag {
 		wtag = c.wireTag(tag)
 	}
-	m, ok := c.ep().Probe(wsrc, wtag)
-	if !ok || m.ArriveV > c.clock().Now() {
+	env, ok := c.ep().Probe(wsrc, wtag)
+	if !ok || env.ArriveV > c.clock().Now() {
 		// Not observable yet in virtual time.
 		return Status{}, false, nil
 	}
-	return Status{Source: c.commRankOf(m.Src), Tag: m.Tag - c.tagBase, Bytes: len(m.Data)}, true, nil
+	return Status{Source: c.commRankOf(env.Src), Tag: env.Tag - c.tagBase, Bytes: env.Bytes}, true, nil
 }

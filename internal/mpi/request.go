@@ -26,8 +26,9 @@ func (s Status) Count(d *Datatype) int {
 type Request struct {
 	comm *Comm
 
-	send       *simnet.SendReq
+	send       simnet.SendReq // valid when isSend; held by value to keep Request flat
 	recv       *simnet.RecvReq
+	isSend     bool
 	rendezvous bool // send larger than the eager threshold
 
 	// Receive-side decode state.
@@ -43,7 +44,7 @@ type Request struct {
 }
 
 // IsSend reports whether this tracks a send.
-func (r *Request) IsSend() bool { return r.send != nil }
+func (r *Request) IsSend() bool { return r.isSend }
 
 // Status returns the completed operation's status. Only valid after a
 // successful Wait/Test/Waitall.
@@ -69,7 +70,7 @@ func (r *Request) finish() error {
 		return nil
 	}
 	p := r.comm.prof()
-	if r.send != nil {
+	if r.isSend {
 		if r.rendezvous {
 			// Rendezvous: the send completes only once the matching
 			// receive is posted; the clearing ack costs one more latency.
@@ -87,8 +88,9 @@ func (r *Request) finish() error {
 		return nil
 	}
 	<-r.recv.Done()
-	msg, n := r.recv.Result()
-	ready := model.Max(msg.ArriveV, r.recv.PostV()) + p.MPIMatchCost + p.RecvCopyTime(n)
+	n := r.recv.Len()
+	src := r.recv.Src()
+	ready := model.Max(r.recv.ArriveV(), r.recv.PostV()) + p.MPIMatchCost + p.RecvCopyTime(n)
 	if r.recv.Unexpected() {
 		ready += p.MPIUnexpected
 	}
@@ -100,14 +102,16 @@ func (r *Request) finish() error {
 	if err != nil {
 		return fmt.Errorf("mpi: recv decode: %w", err)
 	}
+	simnet.PutBuf(r.wire)
+	r.wire = nil
 	ready += cost
-	srcComm := r.comm.commRankOf(msg.Src)
-	r.status = Status{Source: srcComm, Tag: msg.Tag - r.comm.tagBase, Bytes: n}
+	srcComm := r.comm.commRankOf(src)
+	r.status = Status{Source: srcComm, Tag: r.recv.Tag() - r.comm.tagBase, Bytes: n}
 	r.readyV = ready
 	r.done = true
 	r.comm.emit(simnet.Event{
 		Rank: r.comm.rk.ID, Kind: simnet.EvRecvComplete,
-		Peer: msg.Src, Tag: r.status.Tag, Bytes: n, V: ready,
+		Peer: src, Tag: r.status.Tag, Bytes: n, V: ready,
 	})
 	return nil
 }
@@ -185,7 +189,7 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
 				continue
 			}
 			anyLive = true
-			if r.send != nil || r.done || r.recv.Matched() {
+			if r.isSend || r.done || r.recv.Matched() {
 				if err := r.finish(); err != nil {
 					return -1, Status{}, err
 				}
@@ -223,7 +227,7 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
 // is charged either way.
 func (c *Comm) Test(r *Request) (bool, Status, error) {
 	c.clock().Advance(c.prof().MPITestEach)
-	if r.send == nil && !r.recv.Matched() && !r.done {
+	if !r.isSend && !r.recv.Matched() && !r.done {
 		return false, Status{}, nil
 	}
 	if err := r.finish(); err != nil {
@@ -253,7 +257,7 @@ func (c *Comm) Waitsome(reqs []*Request) ([]int, []Status, error) {
 		if r == nil || r.claimed {
 			continue
 		}
-		if r.send != nil || r.done || r.recv.Matched() {
+		if r.isSend || r.done || r.recv.Matched() {
 			if err := r.finish(); err != nil {
 				return nil, nil, err
 			}

@@ -17,10 +17,24 @@ type Msg struct {
 
 	matched chan struct{} // closed when a receive matches this message
 	matchV  model.Time    // virtual time of the match (set before close)
+
+	// Pooling controls for the ownership-transfer send path. poolPayload
+	// returns Data to the payload pool at completion; poolMsg additionally
+	// recycles the Msg header itself, which is only safe when no sender
+	// holds a reference (eager sends, where matched is nil).
+	poolPayload bool
+	poolMsg     bool
+
+	// Absolute positions in the destination's unexpected FIFO and
+	// per-(src,tag) bucket, so the matcher can remove this message from
+	// both queues in O(1) when it is plucked out of the middle.
+	fifoPos   int
+	bucketPos int
 }
 
-// Matched returns a channel closed when a receive has matched this message
-// — the rendezvous protocol's handshake signal.
+// Matched returns a channel closed when a receive matches this message —
+// the rendezvous protocol's handshake signal. It is nil for eager
+// ownership-transfer sends, which have no handshake.
 func (m *Msg) Matched() <-chan struct{} { return m.matched }
 
 // MatchV reports the virtual time at which the match occurred: the later of
@@ -28,9 +42,20 @@ func (m *Msg) Matched() <-chan struct{} { return m.matched }
 // is closed.
 func (m *Msg) MatchV() model.Time { return m.matchV }
 
+// Envelope is the value-copied metadata of a queued message, as reported by
+// Probe. Copying out (rather than exposing the *Msg) keeps probing safe
+// against payload pooling: by the time the caller looks, the message may
+// have been matched and its buffer recycled.
+type Envelope struct {
+	Src, Tag int
+	Bytes    int
+	ArriveV  model.Time
+}
+
 // SendReq tracks a non-blocking send. With eager-protocol semantics the
 // send buffer is reusable as soon as the call returns; LocalV is the virtual
-// time at which the sender's CPU was released.
+// time at which the sender's CPU was released. Msg is nil for eager
+// ownership-transfer sends: the fabric owns (and may recycle) the message.
 type SendReq struct {
 	Msg    *Msg
 	LocalV model.Time
@@ -41,10 +66,17 @@ type RecvReq struct {
 	src, tag int
 	buf      []byte
 	postV    model.Time
+	postSeq  uint64 // endpoint-wide posting order, for wildcard-bucket ties
 
 	done chan struct{}
-	msg  *Msg // set exactly once, before done is closed
-	n    int  // bytes copied into buf
+	msg  *Msg // retained only for non-pooled messages; may be nil
+
+	// Completion metadata, cached by complete() so it survives the matched
+	// message's return to the pools. Valid once done is closed.
+	n       int
+	srcRank int
+	tagVal  int
+	arriveV model.Time
 }
 
 // Done returns a channel closed when the receive has been matched and the
@@ -64,45 +96,164 @@ func (r *RecvReq) Matched() bool {
 // PostV reports the virtual time at which the receive was posted.
 func (r *RecvReq) PostV() model.Time { return r.postV }
 
-// Result returns the matched message and the number of payload bytes copied
-// into the posted buffer. It must only be called after Done is closed.
-func (r *RecvReq) Result() (*Msg, int) {
+func (r *RecvReq) mustBeDone() {
 	select {
 	case <-r.done:
 	default:
-		panic("simnet: RecvReq.Result before completion")
+		panic("simnet: RecvReq accessor before completion")
 	}
+}
+
+// Result returns the matched message and the number of payload bytes copied
+// into the posted buffer. It must only be called after Done is closed. The
+// message is nil when the sender used the ownership-transfer path (its
+// header and payload went back to the pools); use the Src/Tag/Len/ArriveV
+// accessors, which are always valid.
+func (r *RecvReq) Result() (*Msg, int) {
+	r.mustBeDone()
 	return r.msg, r.n
 }
+
+// Src reports the sender's rank. Only valid after Done is closed.
+func (r *RecvReq) Src() int { r.mustBeDone(); return r.srcRank }
+
+// Tag reports the matched message's tag. Only valid after Done is closed.
+func (r *RecvReq) Tag() int { r.mustBeDone(); return r.tagVal }
+
+// Len reports the payload bytes copied into the posted buffer. Only valid
+// after Done is closed.
+func (r *RecvReq) Len() int { r.mustBeDone(); return r.n }
+
+// ArriveV reports the matched message's virtual arrival time. Only valid
+// after Done is closed.
+func (r *RecvReq) ArriveV() model.Time { r.mustBeDone(); return r.arriveV }
 
 // Unexpected reports, in virtual time, whether the message arrived before
 // the receive was posted (and therefore landed in the unexpected queue,
 // costing an extra staging copy in real MPI implementations). It must only
 // be called after Done is closed.
 func (r *RecvReq) Unexpected() bool {
-	m, _ := r.Result()
-	return m.ArriveV < r.postV
+	r.mustBeDone()
+	return r.arriveV < r.postV
+}
+
+// pairKey indexes the matching structures by (source, tag); posted-receive
+// keys may hold the AnySource/AnyTag wildcards, unexpected-message keys are
+// always concrete.
+type pairKey struct{ src, tag int }
+
+// msgQueue is an arrival-ordered queue of unexpected messages supporting
+// O(1) removal from the middle: entries are nilled out in place (positions
+// are absolute, base-relative indices), and a head index lazily advances
+// past the holes. The head is an index rather than a reslice so that a
+// drained queue resets to the *start* of its backing array — reslicing
+// forward would bleed capacity and force a reallocation per refill in
+// steady-state traffic.
+type msgQueue struct {
+	q    []*Msg
+	head int // index into q of the first live entry
+	base int // absolute position of q[0]
+}
+
+func (mq *msgQueue) push(m *Msg) int {
+	mq.q = append(mq.q, m)
+	return mq.base + len(mq.q) - 1
+}
+
+func (mq *msgQueue) remove(pos int) {
+	mq.q[pos-mq.base] = nil
+	mq.skip()
+}
+
+// skip advances head past leading holes, so first() is O(1) amortised, and
+// rewinds an emptied queue to reuse its backing array from the front.
+func (mq *msgQueue) skip() {
+	for mq.head < len(mq.q) && mq.q[mq.head] == nil {
+		mq.head++
+	}
+	if mq.head == len(mq.q) {
+		mq.base += len(mq.q)
+		mq.q = mq.q[:0]
+		mq.head = 0
+	}
+}
+
+func (mq *msgQueue) first() *Msg {
+	mq.skip()
+	if mq.head == len(mq.q) {
+		return nil
+	}
+	return mq.q[mq.head]
+}
+
+// recvQueue is a FIFO of posted receives for one (src,tag) pattern. Matches
+// always consume the queue head, so no hole management is needed.
+type recvQueue struct {
+	q    []*RecvReq
+	head int
+}
+
+func (rq *recvQueue) push(r *RecvReq) { rq.q = append(rq.q, r) }
+
+func (rq *recvQueue) first() *RecvReq {
+	if rq.head == len(rq.q) {
+		return nil
+	}
+	return rq.q[rq.head]
+}
+
+func (rq *recvQueue) pop() *RecvReq {
+	r := rq.q[rq.head]
+	rq.q[rq.head] = nil
+	rq.head++
+	if rq.head == len(rq.q) {
+		rq.q = rq.q[:0]
+		rq.head = 0
+	}
+	return r
 }
 
 // Endpoint is one rank's attachment to the fabric. All methods that mutate
 // the endpoint's own state must be called from that rank's goroutine; the
 // matching structures are internally locked because remote senders deliver
 // into them.
+//
+// Matching is indexed: both queues are bucketed by (src,tag), so the common
+// concrete-pattern case is O(1) per message regardless of queue depth. A
+// linear scan survives only for wildcard receives and probes, which must
+// honour arrival order across buckets.
 type Endpoint struct {
 	f    *Fabric
 	rank int
 
 	clock model.Clock
 
-	mu         chan struct{} // binary semaphore protecting the two queues
-	unexpected []*Msg
-	posted     []*RecvReq
-	sendSeq    uint64
-	unexpHW    int // high-watermark of the unexpected queue depth
+	mu chan struct{} // binary semaphore protecting the matching structures
+
+	// Unexpected messages: arrival-order FIFO plus per-(src,tag) buckets
+	// over the same Msg set. Buckets persist once created (bounded by the
+	// number of distinct pairs) so steady-state traffic never reallocates.
+	unexFifo    msgQueue
+	unexBuckets map[pairKey]*msgQueue
+	unexCount   int
+	unexpHW     int // high-watermark of the unexpected queue depth
+
+	// Posted receives, bucketed by their (possibly wildcard) pattern.
+	posted      map[pairKey]*recvQueue
+	postedCount int
+	postSeq     uint64
+
+	sendSeq uint64
 }
 
 func newEndpoint(f *Fabric, rank int) *Endpoint {
-	ep := &Endpoint{f: f, rank: rank, mu: make(chan struct{}, 1)}
+	ep := &Endpoint{
+		f:           f,
+		rank:        rank,
+		mu:          make(chan struct{}, 1),
+		unexBuckets: make(map[pairKey]*msgQueue),
+		posted:      make(map[pairKey]*recvQueue),
+	}
 	ep.mu <- struct{}{}
 	return ep
 }
@@ -144,25 +295,121 @@ func (ep *Endpoint) Send(dst, tag int, data []byte, arriveV model.Time) *SendReq
 	return &SendReq{Msg: m, LocalV: ep.clock.Now()}
 }
 
+// SendOwned injects a message whose payload buffer's ownership transfers to
+// the fabric: data must not be touched by the caller afterwards, and is
+// returned to the payload pool (see GetBuf) once the matching receive has
+// copied it out. With rendezvous the returned SendReq carries the Msg so
+// the sender can await the match handshake; eager sends also recycle the
+// Msg header, so SendReq.Msg is nil.
+func (ep *Endpoint) SendOwned(dst, tag int, data []byte, arriveV model.Time, rendezvous bool) SendReq {
+	if dst < 0 || dst >= ep.f.n {
+		panic(fmt.Sprintf("simnet: send to rank %d of %d", dst, ep.f.n))
+	}
+	var m *Msg
+	if rendezvous {
+		m = &Msg{matched: make(chan struct{})}
+	} else {
+		m = getMsg()
+		m.poolMsg = true
+	}
+	m.Src = ep.rank
+	m.Dst = dst
+	m.Tag = tag
+	m.Data = data
+	m.SentV = ep.clock.Now()
+	m.ArriveV = arriveV
+	m.poolPayload = true
+	sr := SendReq{LocalV: ep.clock.Now()}
+	if rendezvous {
+		sr.Msg = m
+	}
+	ep.f.eps[dst].deliver(m)
+	return sr
+}
+
 // deliver matches m against the destination's posted receives or queues it
-// as unexpected. Runs on the sender's goroutine.
+// as unexpected. Runs on the sender's goroutine. Eager pooled messages may
+// be recycled before this returns, so callers must not touch m afterwards.
 func (ep *Endpoint) deliver(m *Msg) {
 	ep.lock()
 	m.seq = ep.sendSeq
 	ep.sendSeq++
-	for i, r := range ep.posted {
-		if matches(r.src, r.tag, m.Src, m.Tag) {
-			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
-			ep.unlock()
-			complete(r, m)
-			return
-		}
+	if r := ep.takePosted(m.Src, m.Tag); r != nil {
+		ep.unlock()
+		complete(r, m)
+		return
 	}
-	ep.unexpected = append(ep.unexpected, m)
-	if len(ep.unexpected) > ep.unexpHW {
-		ep.unexpHW = len(ep.unexpected)
+	m.fifoPos = ep.unexFifo.push(m)
+	key := pairKey{m.Src, m.Tag}
+	b := ep.unexBuckets[key]
+	if b == nil {
+		b = &msgQueue{}
+		ep.unexBuckets[key] = b
+	}
+	m.bucketPos = b.push(m)
+	ep.unexCount++
+	if ep.unexCount > ep.unexpHW {
+		ep.unexpHW = ep.unexCount
 	}
 	ep.unlock()
+}
+
+// takePosted pops and returns the earliest-posted receive matching
+// (src,tag), or nil. A message can match a receive through exactly four
+// patterns — concrete, source-wildcard, tag-wildcard, both — so only those
+// bucket heads are consulted; earliest posting wins, as with the linear
+// scan this replaces. Caller holds the lock.
+func (ep *Endpoint) takePosted(src, tag int) *RecvReq {
+	var best *recvQueue
+	var bestSeq uint64
+	for _, key := range [4]pairKey{
+		{src, tag}, {src, AnyTag}, {AnySource, tag}, {AnySource, AnyTag},
+	} {
+		rq := ep.posted[key]
+		if rq == nil {
+			continue
+		}
+		if r := rq.first(); r != nil && (best == nil || r.postSeq < bestSeq) {
+			best = rq
+			bestSeq = r.postSeq
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	ep.postedCount--
+	return best.pop()
+}
+
+// takeUnexpected finds and dequeues the earliest-arrived unexpected message
+// matching the (possibly wildcard) pattern, or returns nil. Concrete
+// patterns hit their bucket directly; wildcards scan the arrival FIFO.
+// Caller holds the lock.
+func (ep *Endpoint) takeUnexpected(src, tag int) *Msg {
+	m := ep.findUnexpected(src, tag)
+	if m == nil {
+		return nil
+	}
+	ep.unexFifo.remove(m.fifoPos)
+	ep.unexBuckets[pairKey{m.Src, m.Tag}].remove(m.bucketPos)
+	ep.unexCount--
+	return m
+}
+
+func (ep *Endpoint) findUnexpected(src, tag int) *Msg {
+	if src != AnySource && tag != AnyTag {
+		if b := ep.unexBuckets[pairKey{src, tag}]; b != nil {
+			return b.first()
+		}
+		return nil
+	}
+	ep.unexFifo.skip()
+	for _, m := range ep.unexFifo.q[ep.unexFifo.head:] {
+		if m != nil && matches(src, tag, m.Src, m.Tag) {
+			return m
+		}
+	}
+	return nil
 }
 
 // PostRecv posts a receive for a message from src (or AnySource) with tag
@@ -175,44 +422,48 @@ func (ep *Endpoint) PostRecv(src, tag int, buf []byte, postV model.Time) *RecvRe
 	}
 	r := &RecvReq{src: src, tag: tag, buf: buf, postV: postV, done: make(chan struct{})}
 	ep.lock()
-	best := -1
-	for i, m := range ep.unexpected {
-		if matches(src, tag, m.Src, m.Tag) {
-			best = i
-			break // unexpected queue is FIFO per fabric delivery order
-		}
-	}
-	if best >= 0 {
-		m := ep.unexpected[best]
-		ep.unexpected = append(ep.unexpected[:best], ep.unexpected[best+1:]...)
+	if m := ep.takeUnexpected(src, tag); m != nil {
 		ep.unlock()
 		complete(r, m)
 		return r
 	}
-	ep.posted = append(ep.posted, r)
+	r.postSeq = ep.postSeq
+	ep.postSeq++
+	key := pairKey{src, tag}
+	rq := ep.posted[key]
+	if rq == nil {
+		rq = &recvQueue{}
+		ep.posted[key] = rq
+	}
+	rq.push(r)
+	ep.postedCount++
 	ep.unlock()
 	return r
 }
 
 // Probe reports whether a matching message is queued (without receiving it)
-// and, if so, returns its envelope.
-func (ep *Endpoint) Probe(src, tag int) (m *Msg, ok bool) {
+// and, if so, its envelope. The envelope is copied out under the lock: with
+// pooled payloads a *Msg must not escape the matcher, since the message can
+// complete and be recycled the moment the lock is released.
+func (ep *Endpoint) Probe(src, tag int) (Envelope, bool) {
 	ep.lock()
-	defer ep.unlock()
-	for _, q := range ep.unexpected {
-		if matches(src, tag, q.Src, q.Tag) {
-			return q, true
-		}
+	m := ep.findUnexpected(src, tag)
+	if m == nil {
+		ep.unlock()
+		return Envelope{}, false
 	}
-	return nil, false
+	env := Envelope{Src: m.Src, Tag: m.Tag, Bytes: len(m.Data), ArriveV: m.ArriveV}
+	ep.unlock()
+	return env, true
 }
 
 // PendingUnexpected reports the number of queued unexpected messages.
 // Useful for leak checks in tests.
 func (ep *Endpoint) PendingUnexpected() int {
 	ep.lock()
-	defer ep.unlock()
-	return len(ep.unexpected)
+	n := ep.unexCount
+	ep.unlock()
+	return n
 }
 
 // UnexpectedHighWatermark reports the deepest the unexpected-message queue
@@ -220,23 +471,41 @@ func (ep *Endpoint) PendingUnexpected() int {
 // (each queued message costs an extra staging copy in real MPI).
 func (ep *Endpoint) UnexpectedHighWatermark() int {
 	ep.lock()
-	defer ep.unlock()
-	return ep.unexpHW
+	n := ep.unexpHW
+	ep.unlock()
+	return n
 }
 
 // PendingPosted reports the number of posted-but-unmatched receives.
 func (ep *Endpoint) PendingPosted() int {
 	ep.lock()
-	defer ep.unlock()
-	return len(ep.posted)
+	n := ep.postedCount
+	ep.unlock()
+	return n
 }
 
+// complete finishes a matched (receive, message) pair: it copies the
+// payload into the posted buffer, caches the completion metadata on the
+// request, signals any rendezvous waiter, and returns pooled resources.
 func complete(r *RecvReq, m *Msg) {
 	n := copy(r.buf, m.Data)
-	r.msg = m
 	r.n = n
+	r.srcRank = m.Src
+	r.tagVal = m.Tag
+	r.arriveV = m.ArriveV
 	m.matchV = model.Max(m.ArriveV, r.postV)
-	close(m.matched)
+	if m.matched != nil {
+		close(m.matched)
+	}
+	if m.poolPayload {
+		PutBuf(m.Data)
+		m.Data = nil
+	}
+	if m.poolMsg {
+		putMsg(m)
+	} else {
+		r.msg = m
+	}
 	close(r.done)
 }
 

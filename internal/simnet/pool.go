@@ -1,0 +1,98 @@
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Payload buffer pooling. Steady-state message traffic recycles its wire
+// buffers through size-classed freelists instead of allocating per message:
+// a sender takes a buffer with GetBuf, hands ownership to the fabric via
+// SendOwned, and the fabric returns it to the pool once complete() has
+// copied the payload into the posted receive.
+//
+// The freelists are buffered channels rather than sync.Pool: a chan []byte
+// stores slice headers inline, so Get and Put are allocation-free, whereas
+// sync.Pool would box every []byte header into an interface on Put. The
+// trade-off — buffers surviving GC — is bounded by the per-class capacity.
+
+const (
+	minClassBits = 6  // 64 B
+	maxClassBits = 20 // 1 MiB
+	numClasses   = maxClassBits - minClassBits + 1
+	classDepth   = 128 // buffers retained per class
+)
+
+var bufClasses [numClasses]chan []byte
+
+func init() {
+	for i := range bufClasses {
+		bufClasses[i] = make(chan []byte, classDepth)
+	}
+}
+
+// Pool traffic counters, surfaced through PoolStats for telemetry.
+var (
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
+)
+
+// classFor returns the index of the smallest size class holding n bytes,
+// or -1 when n is outside the pooled range.
+func classFor(n int) int {
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	c := 0
+	for n > 1<<(minClassBits+c) {
+		c++
+	}
+	return c
+}
+
+// GetBuf returns a length-n byte buffer, reusing a pooled one when
+// available. The buffer's capacity is the size class, so PutBuf can route
+// it home. Oversized requests fall back to plain allocation.
+func GetBuf(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		poolMisses.Add(1)
+		return make([]byte, n)
+	}
+	select {
+	case b := <-bufClasses[c]:
+		poolHits.Add(1)
+		return b[:n]
+	default:
+		poolMisses.Add(1)
+		return make([]byte, n, 1<<(minClassBits+c))
+	}
+}
+
+// PutBuf returns a buffer obtained from GetBuf to its freelist. Buffers
+// whose capacity is not an exact class size (or whose class is full) are
+// dropped for the GC; passing a buffer not from GetBuf is harmless.
+func PutBuf(b []byte) {
+	c := classFor(cap(b))
+	if c < 0 || cap(b) != 1<<(minClassBits+c) {
+		return
+	}
+	select {
+	case bufClasses[c] <- b[:cap(b)]:
+	default:
+	}
+}
+
+// PoolStats reports the process-lifetime payload-pool hit and miss counts.
+func PoolStats() (hits, misses int64) {
+	return poolHits.Load(), poolMisses.Load()
+}
+
+// msgPool recycles Msg headers for the ownership-transfer send path.
+// Only eager SendOwned messages are pooled: a rendezvous sender keeps a
+// reference to its Msg to read MatchV after the handshake, so those must
+// stay heap-owned until the sender drops them.
+var msgPool = sync.Pool{New: func() any { return new(Msg) }}
+
+func getMsg() *Msg  { return msgPool.Get().(*Msg) }
+func putMsg(m *Msg) { *m = Msg{}; msgPool.Put(m) }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"commintent/internal/simnet"
+	"commintent/internal/typemap"
 )
 
 // Telemetry bundles the metrics registry and the span tracer for one
@@ -86,4 +87,25 @@ func (t *Telemetry) BindFabric(f *simnet.Fabric) {
 			c.Add(int64(e.Bytes))
 		}
 	})
+	t.bindDataPlane()
+}
+
+// bindDataPlane registers pull gauges over the data plane's process-global
+// counters: the payload pool's hit/miss totals and the pack/unpack path
+// split (zero-copy fast path vs reflection walk). They are process-wide —
+// the pool and the typemap dispatch are shared across worlds — so the
+// series carry no rank label.
+func (t *Telemetry) bindDataPlane() {
+	t.reg.GaugeFunc("simnet_payload_pool_ops_total",
+		func() int64 { h, _ := simnet.PoolStats(); return h }, L("result", "hit"))
+	t.reg.GaugeFunc("simnet_payload_pool_ops_total",
+		func() int64 { _, m := simnet.PoolStats(); return m }, L("result", "miss"))
+	t.reg.GaugeFunc("typemap_pack_ops_total",
+		func() int64 { fe, _, _, _ := typemap.PathStats(); return fe }, L("op", "encode"), L("path", "fast"))
+	t.reg.GaugeFunc("typemap_pack_ops_total",
+		func() int64 { _, fd, _, _ := typemap.PathStats(); return fd }, L("op", "decode"), L("path", "fast"))
+	t.reg.GaugeFunc("typemap_pack_ops_total",
+		func() int64 { _, _, re, _ := typemap.PathStats(); return re }, L("op", "encode"), L("path", "reflect"))
+	t.reg.GaugeFunc("typemap_pack_ops_total",
+		func() int64 { _, _, _, rd := typemap.PathStats(); return rd }, L("op", "decode"), L("path", "reflect"))
 }

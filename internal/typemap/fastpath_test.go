@@ -1,0 +1,333 @@
+package typemap
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// These tests pin the zero-copy fast path to the reflection path: for every
+// buffer the two must produce byte-identical wire data and value-identical
+// decodes. Under `-tags purego` the fast path compiles out and the same
+// tests exercise the reflection path alone, keeping it covered in CI.
+
+func TestSliceFastReflectEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 97 // odd length to catch stride mistakes
+	bufs := []any{
+		randFloat64s(rng, n), randFloat32s(rng, n),
+		randInts[int64](rng, n), randInts[int32](rng, n),
+		randInts[int16](rng, n), randInts[int8](rng, n),
+		randInts[uint64](rng, n), randInts[uint32](rng, n),
+		randInts[uint16](rng, n), randInts[uint8](rng, n),
+	}
+	for _, src := range bufs {
+		name := fmt.Sprintf("%T", src)
+		k, ok := SliceKind(src)
+		if !ok {
+			t.Fatalf("%s: SliceKind not supported", name)
+		}
+		esize := k.Size()
+		fast := make([]byte, n*esize)
+		slow := make([]byte, n*esize)
+		if _, err := EncodeSlice(fast, src, n); err != nil {
+			t.Fatalf("%s: EncodeSlice: %v", name, err)
+		}
+		if _, err := encodeSliceReflect(slow, src, n); err != nil {
+			t.Fatalf("%s: encodeSliceReflect: %v", name, err)
+		}
+		if !bytes.Equal(fast, slow) {
+			t.Fatalf("%s: fast and reflection encodes differ", name)
+		}
+		dstFast := newSliceLike(src, n)
+		dstSlow := newSliceLike(src, n)
+		if _, err := DecodeSlice(fast, dstFast, n); err != nil {
+			t.Fatalf("%s: DecodeSlice: %v", name, err)
+		}
+		if _, err := decodeSliceReflect(fast, dstSlow, n); err != nil {
+			t.Fatalf("%s: decodeSliceReflect: %v", name, err)
+		}
+		if !reflect.DeepEqual(dstFast, src) || !reflect.DeepEqual(dstSlow, src) {
+			t.Fatalf("%s: decode did not round-trip", name)
+		}
+	}
+}
+
+func TestSliceFastPathBounds(t *testing.T) {
+	s := []uint16{1, 2, 3}
+	if _, err := EncodeSlice(make([]byte, 6), s, 4); err == nil {
+		t.Fatal("count beyond buffer length must fail")
+	}
+	if _, err := EncodeSlice(make([]byte, 5), s, 3); err == nil {
+		t.Fatal("short destination must fail")
+	}
+	if _, err := DecodeSlice(make([]byte, 5), s, 3); err == nil {
+		t.Fatal("short source must fail")
+	}
+	// Partial counts write/read only the prefix.
+	wire := make([]byte, 4)
+	if n, err := EncodeSlice(wire, s, 2); err != nil || n != 4 {
+		t.Fatalf("partial encode: n=%d err=%v", n, err)
+	}
+	got := []uint16{9, 9, 9}
+	if n, err := DecodeSlice(wire, got, 2); err != nil || n != 4 {
+		t.Fatalf("partial decode: n=%d err=%v", n, err)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 9 {
+		t.Fatalf("partial decode wrote wrong elements: %v", got)
+	}
+}
+
+// paddedPair has interior padding (7 bytes after A), so its native layout
+// can never match the densely packed wire layout.
+type paddedPair struct {
+	A int8
+	B int64
+}
+
+func TestStructMemmoveEligibility(t *testing.T) {
+	dense, err := LayoutOf(benchVec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := FastPathAvailable(); dense.MemmoveSafe() != want {
+		t.Fatalf("padding-free struct: MemmoveSafe=%v, want %v", dense.MemmoveSafe(), want)
+	}
+	padded, err := LayoutOf(paddedPair{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.MemmoveSafe() {
+		t.Fatal("padded struct must not be memmove-safe")
+	}
+	if padded.WireSize != 9 {
+		t.Fatalf("padded wire size = %d, want 9", padded.WireSize)
+	}
+}
+
+type benchVec struct {
+	X, Y, Z float64
+	ID      uint64
+}
+
+func TestStructFastReflectEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, proto := range []any{benchVec{}, paddedPair{}} {
+		name := fmt.Sprintf("%T", proto)
+		l, err := LayoutOf(proto)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		const n = 33
+		src := reflect.MakeSlice(reflect.SliceOf(l.GoType), n, n)
+		for i := 0; i < n; i++ {
+			fillRandom(rng, src.Index(i))
+		}
+		fast := make([]byte, n*l.WireSize)
+		slow := make([]byte, n*l.WireSize)
+		if _, err := l.Encode(fast, src.Interface(), n); err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		if _, err := l.encodeReflect(slow, src.Interface(), n); err != nil {
+			t.Fatalf("%s: encodeReflect: %v", name, err)
+		}
+		if !bytes.Equal(fast, slow) {
+			t.Fatalf("%s: fast and reflection encodes differ", name)
+		}
+		dstFast := reflect.MakeSlice(reflect.SliceOf(l.GoType), n, n)
+		dstSlow := reflect.MakeSlice(reflect.SliceOf(l.GoType), n, n)
+		if _, err := l.Decode(fast, dstFast.Interface(), n); err != nil {
+			t.Fatalf("%s: Decode: %v", name, err)
+		}
+		if _, err := l.decodeReflect(fast, dstSlow.Interface(), n); err != nil {
+			t.Fatalf("%s: decodeReflect: %v", name, err)
+		}
+		if !reflect.DeepEqual(dstFast.Interface(), src.Interface()) ||
+			!reflect.DeepEqual(dstSlow.Interface(), src.Interface()) {
+			t.Fatalf("%s: decode did not round-trip", name)
+		}
+	}
+}
+
+// TestRandomLayoutEquivalence is the property test from the issue: build
+// random struct layouts with reflect.StructOf, fill them with random
+// values, and assert the fast and reflection paths agree byte-for-byte on
+// encode and value-for-value on decode — whether or not the layout happens
+// to be memmove-safe.
+func TestRandomLayoutEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	scalars := []reflect.Type{
+		reflect.TypeOf(int8(0)), reflect.TypeOf(int16(0)),
+		reflect.TypeOf(int32(0)), reflect.TypeOf(int64(0)),
+		reflect.TypeOf(uint8(0)), reflect.TypeOf(uint16(0)),
+		reflect.TypeOf(uint32(0)), reflect.TypeOf(uint64(0)),
+		reflect.TypeOf(float32(0)), reflect.TypeOf(float64(0)),
+	}
+	sawMemmove, sawPadded := false, false
+	for trial := 0; trial < 200; trial++ {
+		nf := 1 + rng.Intn(6)
+		fields := make([]reflect.StructField, nf)
+		for i := range fields {
+			ft := scalars[rng.Intn(len(scalars))]
+			if rng.Intn(4) == 0 {
+				ft = reflect.ArrayOf(1+rng.Intn(4), ft)
+			}
+			fields[i] = reflect.StructField{
+				Name: fmt.Sprintf("F%d", i),
+				Type: ft,
+			}
+		}
+		st := reflect.StructOf(fields)
+		l, err := LayoutOf(st)
+		if err != nil {
+			t.Fatalf("trial %d (%s): LayoutOf: %v", trial, st, err)
+		}
+		if l.MemmoveSafe() {
+			sawMemmove = true
+		} else {
+			sawPadded = true
+		}
+		n := 1 + rng.Intn(8)
+		src := reflect.MakeSlice(reflect.SliceOf(st), n, n)
+		for i := 0; i < n; i++ {
+			fillRandom(rng, src.Index(i))
+		}
+		fast := make([]byte, n*l.WireSize)
+		slow := make([]byte, n*l.WireSize)
+		if _, err := l.Encode(fast, src.Interface(), n); err != nil {
+			t.Fatalf("trial %d (%s): Encode: %v", trial, st, err)
+		}
+		if _, err := l.encodeReflect(slow, src.Interface(), n); err != nil {
+			t.Fatalf("trial %d (%s): encodeReflect: %v", trial, st, err)
+		}
+		if !bytes.Equal(fast, slow) {
+			t.Fatalf("trial %d (%s): fast and reflection encodes differ", trial, st)
+		}
+		dst := reflect.MakeSlice(reflect.SliceOf(st), n, n)
+		if _, err := l.Decode(fast, dst.Interface(), n); err != nil {
+			t.Fatalf("trial %d (%s): Decode: %v", trial, st, err)
+		}
+		if !reflect.DeepEqual(dst.Interface(), src.Interface()) {
+			t.Fatalf("trial %d (%s): decode did not round-trip", trial, st)
+		}
+	}
+	if FastPathAvailable() && !sawMemmove {
+		t.Error("no random layout was memmove-safe; generator too narrow")
+	}
+	if !sawPadded {
+		t.Error("no random layout was padded; generator too narrow")
+	}
+}
+
+// FuzzSliceRoundTrip feeds arbitrary wire bytes through decode → encode on
+// both paths and requires fixed-point behaviour and path agreement.
+func FuzzSliceRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		count := len(data) / 8
+		wire := data[:count*8]
+		a := make([]uint64, count)
+		b := make([]uint64, count)
+		if _, err := DecodeSlice(wire, a, count); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := decodeSliceReflect(wire, b, count); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("fast and reflection decodes differ")
+		}
+		out := make([]byte, count*8)
+		if _, err := EncodeSlice(out, a, count); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, wire) {
+			t.Fatal("decode/encode is not a fixed point")
+		}
+	})
+}
+
+// FuzzStructRoundTrip does the same through a padding-free composite layout.
+func FuzzStructRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xab}, 96))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := LayoutOf(benchVec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := len(data) / l.WireSize
+		wire := data[:count*l.WireSize]
+		a := make([]benchVec, count)
+		b := make([]benchVec, count)
+		if _, err := l.Decode(wire, a, count); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.decodeReflect(wire, b, count); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("fast and reflection decodes differ")
+		}
+		out := make([]byte, count*l.WireSize)
+		if _, err := l.Encode(out, a, count); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, wire) {
+			t.Fatal("decode/encode is not a fixed point")
+		}
+	})
+}
+
+func randFloat64s(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func randFloat32s(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func randInts[T int8 | int16 | int32 | int64 | uint8 | uint16 | uint32 | uint64](rng *rand.Rand, n int) []T {
+	s := make([]T, n)
+	for i := range s {
+		s[i] = T(rng.Uint64())
+	}
+	return s
+}
+
+func newSliceLike(v any, n int) any {
+	return reflect.MakeSlice(reflect.TypeOf(v), n, n).Interface()
+}
+
+func fillRandom(rng *rand.Rand, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillRandom(rng, v.Field(i))
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillRandom(rng, v.Index(i))
+		}
+	case reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(rng.Uint64()))
+	case reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(rng.Uint64())
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(rng.NormFloat64())
+	default:
+		panic("fillRandom: unsupported kind " + v.Kind().String())
+	}
+}

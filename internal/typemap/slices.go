@@ -26,8 +26,36 @@ func SliceLen(v any) (int, bool) {
 }
 
 // EncodeSlice serialises the first count elements of the primitive slice v
-// into dst, returning bytes written.
+// into dst, returning bytes written. []byte moves with a plain copy; other
+// fixed-width primitive slices take the zero-copy bulk path when the host
+// representation matches the wire format, and the per-element reflection
+// walk otherwise (always, under `purego`).
 func EncodeSlice(dst []byte, v any, count int) (int, error) {
+	if s, ok := v.([]byte); ok {
+		fastEncodes.Add(1)
+		return encBytes(dst, s, count)
+	}
+	if raw, esize, ok := sliceRaw(v); ok {
+		slen := 0
+		if esize > 0 {
+			slen = len(raw) / esize
+		}
+		if count > slen {
+			return 0, fmt.Errorf("typemap: count %d exceeds buffer length %d", count, slen)
+		}
+		need := count * esize
+		if len(dst) < need {
+			return 0, fmt.Errorf("typemap: encode needs %d bytes, have %d", need, len(dst))
+		}
+		copy(dst[:need], raw[:need])
+		fastEncodes.Add(1)
+		return need, nil
+	}
+	reflectEncodes.Add(1)
+	return encodeSliceReflect(dst, v, count)
+}
+
+func encodeSliceReflect(dst []byte, v any, count int) (int, error) {
 	switch s := v.(type) {
 	case []byte:
 		return encBytes(dst, s, count)
@@ -55,6 +83,10 @@ func EncodeSlice(dst []byte, v any, count int) (int, error) {
 		return encFixed(dst, len(s), count, 8, func(d []byte, i int) {
 			binary.LittleEndian.PutUint64(d, s[i])
 		})
+	case []uint16:
+		return encFixed(dst, len(s), count, 2, func(d []byte, i int) {
+			binary.LittleEndian.PutUint16(d, s[i])
+		})
 	case []int16:
 		return encFixed(dst, len(s), count, 2, func(d []byte, i int) {
 			binary.LittleEndian.PutUint16(d, uint16(s[i]))
@@ -62,12 +94,40 @@ func EncodeSlice(dst []byte, v any, count int) (int, error) {
 	case []int8:
 		return encFixed(dst, len(s), count, 1, func(d []byte, i int) { d[0] = byte(s[i]) })
 	default:
-		return 0, fmt.Errorf("typemap: unsupported slice buffer type %T", v)
+		// reflect.TypeOf instead of %T: the fmt verb would leak v and force
+		// an interface box on every (hot, non-erroring) call.
+		return 0, fmt.Errorf("typemap: unsupported slice buffer type %s", reflect.TypeOf(v))
 	}
 }
 
-// DecodeSlice deserialises count elements from src into the primitive slice v.
+// DecodeSlice deserialises count elements from src into the primitive slice
+// v, using the same bulk/reflection dispatch as EncodeSlice.
 func DecodeSlice(src []byte, v any, count int) (int, error) {
+	if s, ok := v.([]byte); ok {
+		fastDecodes.Add(1)
+		return decBytes(src, s, count)
+	}
+	if raw, esize, ok := sliceRaw(v); ok {
+		slen := 0
+		if esize > 0 {
+			slen = len(raw) / esize
+		}
+		if count > slen {
+			return 0, fmt.Errorf("typemap: count %d exceeds buffer length %d", count, slen)
+		}
+		need := count * esize
+		if len(src) < need {
+			return 0, fmt.Errorf("typemap: decode needs %d bytes, have %d", need, len(src))
+		}
+		copy(raw[:need], src[:need])
+		fastDecodes.Add(1)
+		return need, nil
+	}
+	reflectDecodes.Add(1)
+	return decodeSliceReflect(src, v, count)
+}
+
+func decodeSliceReflect(src []byte, v any, count int) (int, error) {
 	switch s := v.(type) {
 	case []byte:
 		return decBytes(src, s, count)
@@ -95,6 +155,10 @@ func DecodeSlice(src []byte, v any, count int) (int, error) {
 		return decFixed(src, len(s), count, 8, func(d []byte, i int) {
 			s[i] = binary.LittleEndian.Uint64(d)
 		})
+	case []uint16:
+		return decFixed(src, len(s), count, 2, func(d []byte, i int) {
+			s[i] = binary.LittleEndian.Uint16(d)
+		})
 	case []int16:
 		return decFixed(src, len(s), count, 2, func(d []byte, i int) {
 			s[i] = int16(binary.LittleEndian.Uint16(d))
@@ -102,7 +166,7 @@ func DecodeSlice(src []byte, v any, count int) (int, error) {
 	case []int8:
 		return decFixed(src, len(s), count, 1, func(d []byte, i int) { s[i] = int8(d[0]) })
 	default:
-		return 0, fmt.Errorf("typemap: unsupported slice buffer type %T", v)
+		return 0, fmt.Errorf("typemap: unsupported slice buffer type %s", reflect.TypeOf(v))
 	}
 }
 

@@ -1,0 +1,19 @@
+package typemap
+
+import "sync/atomic"
+
+// Process-wide pack/unpack path counters. The telemetry layer exposes them
+// as pull gauges so commstat can report what share of traffic took the
+// zero-copy fast path versus the reflection fallback.
+var (
+	fastEncodes    atomic.Int64
+	fastDecodes    atomic.Int64
+	reflectEncodes atomic.Int64
+	reflectDecodes atomic.Int64
+)
+
+// PathStats reports the process-lifetime number of encode and decode calls
+// served by the memmove fast path and by the reflection fallback.
+func PathStats() (fastEnc, fastDec, reflectEnc, reflectDec int64) {
+	return fastEncodes.Load(), fastDecodes.Load(), reflectEncodes.Load(), reflectDecodes.Load()
+}

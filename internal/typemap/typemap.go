@@ -105,7 +105,17 @@ type Layout struct {
 	GoType   reflect.Type
 	Fields   []Field
 	WireSize int // bytes per struct value
+
+	// memmove records, once at layout-compile time, that the native Go
+	// representation of GoType is byte-identical to the wire encoding
+	// (padding-free struct on a little-endian host), so Encode/Decode can
+	// bulk-copy instead of walking fields. Always false under `purego`.
+	memmove bool
 }
+
+// MemmoveSafe reports whether buffers of this layout take the zero-copy
+// bulk path in this build on this platform.
+func (l *Layout) MemmoveSafe() bool { return l.memmove }
 
 // String renders the layout like a derived-datatype dump.
 func (l *Layout) String() string {
@@ -174,6 +184,7 @@ func LayoutOf(v any) (*Layout, error) {
 		return nil, fmt.Errorf("typemap: struct %s has no fields", t.Name())
 	}
 	l.WireSize = off
+	l.memmove = nativeLayoutMatches(t, l.Fields, off)
 	return l, nil
 }
 
@@ -250,9 +261,29 @@ func getScalar(src []byte, k Kind, v reflect.Value) int {
 }
 
 // Encode serialises count consecutive struct values from v (a *T or []T,
-// with T matching the layout) into dst, returning the bytes written.
+// with T matching the layout) into dst, returning the bytes written. When
+// the layout is memmove-safe the whole buffer moves with one bulk copy;
+// otherwise the compiled field table drives a reflection walk.
 func (l *Layout) Encode(dst []byte, v any, count int) (int, error) {
-	vals, err := l.structValues(v, count, false)
+	need := count * l.WireSize
+	if l.memmove {
+		if raw, ok := structRaw(l, v, count); ok {
+			if len(dst) < need {
+				return 0, fmt.Errorf("typemap: encode needs %d bytes, have %d", need, len(dst))
+			}
+			copy(dst[:need], raw)
+			fastEncodes.Add(1)
+			return need, nil
+		}
+	}
+	reflectEncodes.Add(1)
+	return l.encodeReflect(dst, v, count)
+}
+
+// encodeReflect is the per-scalar reflection encoder — the semantic
+// reference the fast path is property-tested against.
+func (l *Layout) encodeReflect(dst []byte, v any, count int) (int, error) {
+	at, err := l.structAt(v, count, false)
 	if err != nil {
 		return 0, err
 	}
@@ -261,7 +292,8 @@ func (l *Layout) Encode(dst []byte, v any, count int) (int, error) {
 		return 0, fmt.Errorf("typemap: encode needs %d bytes, have %d", need, len(dst))
 	}
 	pos := 0
-	for _, sv := range vals {
+	for i := 0; i < count; i++ {
+		sv := at(i)
 		for _, f := range l.Fields {
 			fv := sv.Field(f.Index)
 			if f.BlockLen > 1 || fv.Kind() == reflect.Array {
@@ -278,7 +310,24 @@ func (l *Layout) Encode(dst []byte, v any, count int) (int, error) {
 
 // Decode deserialises count struct values from src into v (a *T or []T).
 func (l *Layout) Decode(src []byte, v any, count int) (int, error) {
-	vals, err := l.structValues(v, count, true)
+	need := count * l.WireSize
+	if l.memmove {
+		if raw, ok := structRaw(l, v, count); ok {
+			if len(src) < need {
+				return 0, fmt.Errorf("typemap: decode needs %d bytes, have %d", need, len(src))
+			}
+			copy(raw, src[:need])
+			fastDecodes.Add(1)
+			return need, nil
+		}
+	}
+	reflectDecodes.Add(1)
+	return l.decodeReflect(src, v, count)
+}
+
+// decodeReflect is the per-scalar reflection decoder.
+func (l *Layout) decodeReflect(src []byte, v any, count int) (int, error) {
+	at, err := l.structAt(v, count, true)
 	if err != nil {
 		return 0, err
 	}
@@ -287,7 +336,8 @@ func (l *Layout) Decode(src []byte, v any, count int) (int, error) {
 		return 0, fmt.Errorf("typemap: decode needs %d bytes, have %d", need, len(src))
 	}
 	pos := 0
-	for _, sv := range vals {
+	for i := 0; i < count; i++ {
+		sv := at(i)
 		for _, f := range l.Fields {
 			fv := sv.Field(f.Index)
 			if f.BlockLen > 1 || fv.Kind() == reflect.Array {
@@ -302,7 +352,10 @@ func (l *Layout) Decode(src []byte, v any, count int) (int, error) {
 	return pos, nil
 }
 
-func (l *Layout) structValues(v any, count int, settable bool) ([]reflect.Value, error) {
+// structAt validates the buffer against the layout and returns an indexer
+// over its struct values. It replaces a per-call []reflect.Value
+// materialisation: the only allocation is the closure itself.
+func (l *Layout) structAt(v any, count int, settable bool) (func(int) reflect.Value, error) {
 	rv := reflect.ValueOf(v)
 	switch rv.Kind() {
 	case reflect.Pointer:
@@ -316,7 +369,7 @@ func (l *Layout) structValues(v any, count int, settable bool) ([]reflect.Value,
 		if count != 1 {
 			return nil, fmt.Errorf("typemap: count %d on a single-struct pointer buffer", count)
 		}
-		return []reflect.Value{ev}, nil
+		return func(int) reflect.Value { return ev }, nil
 	case reflect.Slice:
 		if rv.Type().Elem() != l.GoType {
 			return nil, fmt.Errorf("typemap: buffer element type %s does not match layout %s", rv.Type().Elem(), l.GoType)
@@ -324,11 +377,7 @@ func (l *Layout) structValues(v any, count int, settable bool) ([]reflect.Value,
 		if count > rv.Len() {
 			return nil, fmt.Errorf("typemap: count %d exceeds buffer length %d", count, rv.Len())
 		}
-		out := make([]reflect.Value, count)
-		for i := 0; i < count; i++ {
-			out[i] = rv.Index(i)
-		}
-		return out, nil
+		return rv.Index, nil
 	default:
 		if settable {
 			return nil, fmt.Errorf("typemap: destination buffer must be *T or []T, got %T", v)
@@ -336,6 +385,6 @@ func (l *Layout) structValues(v any, count int, settable bool) ([]reflect.Value,
 		if rv.Type() != l.GoType || count != 1 {
 			return nil, fmt.Errorf("typemap: buffer %T does not match layout %s", v, l.GoType)
 		}
-		return []reflect.Value{rv}, nil
+		return func(int) reflect.Value { return rv }, nil
 	}
 }
