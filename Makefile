@@ -17,8 +17,9 @@ test:
 # exercised even though normal builds take the zero-copy path.
 #
 # internal/typemap is vetted with -unsafeptr=false: its noescape laundering
-# (see fastpath.go) is exactly the pattern that heuristic flags, and is
-# quarantined to that one file.
+# (quarantined in noescape.go) is exactly the pattern that heuristic flags.
+# Plain `go vet ./...` will report that package — documented in README
+# "Install & test"; this target is the canonical vet invocation.
 verify:
 	$(GO) vet -unsafeptr=false ./internal/typemap/
 	$(GO) vet $$($(GO) list ./... | grep -v internal/typemap)

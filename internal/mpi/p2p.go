@@ -142,9 +142,13 @@ func (c *Comm) Sendrecv(
 	sbuf any, scount int, sdt *Datatype, dest, stag int,
 	rbuf any, rcount int, rdt *Datatype, source, rtag int,
 ) (Status, error) {
-	// Like Recv, the receive request is finished before returning, so
-	// laundering rbuf is safe here even though Irecv itself must not.
-	rr, err := c.Irecv(typemap.NoEscape(rbuf), rcount, rdt, source, rtag)
+	// Like Recv, the request is kept on this frame's stack by value and is
+	// finished before returning, so laundering rbuf is safe here. Going
+	// through Irecv instead would be unsound: it copies the request into a
+	// heap allocation, and a heap object must not hold a stack-pinned
+	// (laundered) buffer reference — the GC would not fix it up if the
+	// caller's stack moved while the receive was pending.
+	rr, err := c.makeRecvReq(typemap.NoEscape(rbuf), rcount, rdt, source, rtag)
 	if err != nil {
 		return Status{}, err
 	}

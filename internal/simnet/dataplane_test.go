@@ -200,7 +200,9 @@ func TestSendOwnedRendezvousHandshake(t *testing.T) {
 
 // TestBufPoolClasses checks GetBuf/PutBuf size-class routing: in-class
 // buffers are recycled with class-sized capacity, oversized requests fall
-// through to the allocator, and foreign buffers are rejected harmlessly.
+// through to the allocator, and non-class-sized buffers are dropped (the
+// only foreign buffers PutBuf can detect; class-sized foreign buffers are
+// excluded by the ownership contract, see PutBuf's doc comment).
 func TestBufPoolClasses(t *testing.T) {
 	b := GetBuf(100)
 	if len(b) != 100 || cap(b) != 128 {

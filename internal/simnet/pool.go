@@ -14,20 +14,42 @@ import (
 // The freelists are buffered channels rather than sync.Pool: a chan []byte
 // stores slice headers inline, so Get and Put are allocation-free, whereas
 // sync.Pool would box every []byte header into an interface on Put. The
-// trade-off — buffers surviving GC — is bounded by the per-class capacity.
+// trade-off — buffers surviving GC — is bounded per class both by buffer
+// count and by retained bytes (see classDepth).
 
 const (
 	minClassBits = 6  // 64 B
 	maxClassBits = 20 // 1 MiB
 	numClasses   = maxClassBits - minClassBits + 1
-	classDepth   = 128 // buffers retained per class
+
+	// Retention is capped two ways so the process-global pool cannot pin
+	// unbounded memory across simulations: at most maxClassDepth buffers
+	// per class, and at most maxClassRetain bytes per class. Small classes
+	// hit the depth cap (64 B × 128 = 8 KiB); large classes hit the byte
+	// cap (the 1 MiB class retains 4 buffers). Worst-case total retention
+	// is ~28 MiB, versus the ~250 MiB a uniform depth of 128 would allow.
+	maxClassDepth  = 128
+	maxClassRetain = 4 << 20
 )
 
 var bufClasses [numClasses]chan []byte
 
+// classDepth returns the freelist capacity for class c: the depth cap or
+// the byte cap, whichever binds first.
+func classDepth(c int) int {
+	depth := maxClassRetain >> (minClassBits + c)
+	if depth > maxClassDepth {
+		depth = maxClassDepth
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return depth
+}
+
 func init() {
 	for i := range bufClasses {
-		bufClasses[i] = make(chan []byte, classDepth)
+		bufClasses[i] = make(chan []byte, classDepth(i))
 	}
 }
 
@@ -69,9 +91,15 @@ func GetBuf(n int) []byte {
 	}
 }
 
-// PutBuf returns a buffer obtained from GetBuf to its freelist. Buffers
-// whose capacity is not an exact class size (or whose class is full) are
-// dropped for the GC; passing a buffer not from GetBuf is harmless.
+// PutBuf returns a buffer to its freelist. b must have come from GetBuf —
+// directly, or via SendOwned's ownership transfer — and the caller must
+// not retain a reference afterwards. PutBuf routes by capacity alone, so a
+// foreign buffer whose capacity happens to be an exact class size would be
+// adopted into the pool while its original owner still holds it, and a
+// later GetBuf would hand out an aliased buffer: silent cross-message
+// corruption. Buffers whose capacity is not an exact class size (oversized
+// GetBuf allocations fall out here) or whose class freelist is full are
+// dropped for the GC.
 func PutBuf(b []byte) {
 	c := classFor(cap(b))
 	if c < 0 || cap(b) != 1<<(minClassBits+c) {

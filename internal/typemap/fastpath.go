@@ -17,30 +17,6 @@ import (
 // back to the reflection path, which stays the source of truth for
 // correctness (the round-trip property tests assert byte equality).
 
-// NoEscape hides v from escape analysis. The reflection walk captures its
-// buffer argument in closures and reflect.Values, which marks every caller's
-// `any` parameter as leaking and forces a heap-allocated interface box per
-// call — even on the zero-copy path. Encode/Decode/StructCount never retain
-// their buffer beyond the call, so the hint is sound; callers must uphold
-// the same contract. The purego build replaces this with the identity
-// function and accepts the per-call box.
-func NoEscape(v any) any {
-	return *(*any)(noescape(unsafe.Pointer(&v)))
-}
-
-// noescape is the standard identity-through-uintptr laundering trick (as in
-// the runtime): the result is the same pointer, but because the round-trip
-// spans two statements the compiler cannot trace it back to p. This is
-// exactly what vet's unsafeptr heuristic exists to flag, so `make verify`
-// runs this package with -unsafeptr=false; keep all such laundering in this
-// file.
-//
-//go:nosplit
-func noescape(p unsafe.Pointer) unsafe.Pointer {
-	x := uintptr(p)
-	return unsafe.Pointer(x ^ 0)
-}
-
 // hostLittleEndian reports whether this platform stores integers
 // little-endian, i.e. whether native scalar bytes equal wire bytes.
 var hostLittleEndian = func() bool {
