@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify bench bench-all clean
+.PHONY: all build test verify bench bench-scale bench-scale-check bench-all clean
 
 all: build
 
@@ -35,6 +35,25 @@ bench:
 	@rm -f bench_dataplane.out
 	@echo wrote BENCH_dataplane.json
 
+# bench-scale runs the scale suite (whole-world barrier / allreduce / halo
+# cost at 64/256/1024 ranks) and snapshots it, diffed against the committed
+# pre-redesign baseline, into BENCH_scale.json. -timeout 0 matters: the test
+# binary's watchdog timer otherwise adds measurable scheduler overhead to
+# every goroutine switch on a single-P box.
+bench-scale:
+	$(GO) test -run XXX -bench BenchmarkScale -benchmem -count=5 -timeout 0 . | tee bench_scale.out
+	$(GO) run ./cmd/benchjson -baseline testdata/bench_baseline_scale.txt < bench_scale.out > BENCH_scale.json
+	@rm -f bench_scale.out
+	@echo wrote BENCH_scale.json
+
+# bench-scale-check is the wall-clock regression gate: re-run the scale
+# suite and fail if any benchmark's best sample sits >25% above the
+# committed BENCH_scale.json median (min-vs-median rides out scheduler
+# noise; a real regression shifts even the cleanest sample).
+bench-scale-check:
+	$(GO) test -run XXX -bench BenchmarkScale -benchmem -count=5 -timeout 0 . | $(GO) run ./cmd/benchjson -compare BENCH_scale.json > /dev/null
+	@echo scale benchmarks within budget
+
 # bench-all additionally runs every other benchmark once (the virtual-time
 # figure benchmarks live in internal packages).
 bench-all: bench
@@ -42,4 +61,4 @@ bench-all: bench
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_dataplane.out
+	rm -f bench_dataplane.out bench_scale.out

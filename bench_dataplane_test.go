@@ -70,7 +70,7 @@ func BenchmarkDataPlaneSimnetStream4KiB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := dst.PostRecv(0, 0, buf, 0)
 		src.Send(1, 0, payload, 0)
-		<-r.Done()
+		r.Wait()
 	}
 }
 
@@ -179,7 +179,7 @@ func BenchmarkDataPlaneMatchDeepQueue(b *testing.B) {
 		}
 		for t := depth - 1; t >= 0; t-- {
 			r := dst.PostRecv(0, t, buf, 0)
-			<-r.Done()
+			r.Wait()
 		}
 	}
 }
@@ -204,7 +204,7 @@ func BenchmarkDataPlanePostedDeepQueue(b *testing.B) {
 		}
 		for t := depth - 1; t >= 0; t-- {
 			src.Send(1, t, payload, 0)
-			<-reqs[t].Done()
+			reqs[t].Wait()
 		}
 	}
 }

@@ -235,7 +235,7 @@ func pingVirtual(b *testing.B, oneSided bool, bytes int) model.Time {
 				}
 			}
 		}
-		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.Now())
+		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.ID, rk.Now())
 		rk.Clock().AdvanceTo(maxV)
 		if rk.ID == 0 {
 			mu.Lock()
@@ -307,7 +307,7 @@ func waitStrategyVirtual(b *testing.B, k int, consolidated bool) model.Time {
 				}
 			}
 		}
-		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.Now())
+		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.ID, rk.Now())
 		rk.Clock().AdvanceTo(maxV)
 		if rk.ID == 0 {
 			mu.Lock()
@@ -399,7 +399,7 @@ func syncPlacementVirtual(b *testing.B, regions int, deferSync bool) model.Time 
 				return err
 			}
 		}
-		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.Now())
+		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.ID, rk.Now())
 		rk.Clock().AdvanceTo(maxV)
 		if rk.ID == 0 {
 			mu.Lock()
@@ -464,7 +464,7 @@ func directiveTransferVirtual(b *testing.B, elems int, tgt core.Target) model.Ti
 		); err != nil {
 			return err
 		}
-		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.Now())
+		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.ID, rk.Now())
 		rk.Clock().AdvanceTo(maxV)
 		if rk.ID == 0 {
 			mu.Lock()

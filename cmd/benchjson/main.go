@@ -7,9 +7,19 @@
 // parse runs over a second file and the output gains a "baseline" section
 // plus per-benchmark speedup and allocation-reduction ratios.
 //
+// With -compare the freshly parsed results are checked against a
+// previously committed benchjson report: any benchmark whose *best* (min)
+// ns/op sample sits more than -max-regress percent above the committed
+// median fails the run with exit status 1, which makes `benchjson
+// -compare BENCH_scale.json` a wall-clock regression gate. Min-vs-median
+// is deliberate: on a busy box individual samples swing ±15%, but a
+// single clean sample within budget proves the code did not regress,
+// while a real slowdown shifts even the best sample past the margin.
+//
 // Usage:
 //
 //	go test -run XXX -bench DataPlane -benchmem -count=5 . | benchjson -baseline testdata/bench_baseline_dataplane.txt
+//	go test -run XXX -bench Scale -benchmem -count=5 . | benchjson -compare BENCH_scale.json
 package main
 
 import (
@@ -119,6 +129,8 @@ func parse(r io.Reader) (map[string]*summary, map[string]string, error) {
 
 func main() {
 	baseline := flag.String("baseline", "", "optional baseline `file` of go test -bench output to diff against")
+	compare := flag.String("compare", "", "optional committed benchjson report `file`; exit 1 when any benchmark's best ns/op sample regresses more than -max-regress percent against the committed median")
+	maxRegress := flag.Float64("max-regress", 25, "allowed ns/op regression percent for -compare")
 	flag.Parse()
 
 	rep := report{}
@@ -158,6 +170,47 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
 	}
+	if *compare != "" {
+		if err := checkRegressions(*compare, rep.Results, *maxRegress); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// checkRegressions diffs the current best (min) sample per benchmark
+// against the committed median and fails when any benchmark slowed past
+// the allowed margin even in its cleanest sample.
+func checkRegressions(path string, cur map[string]*summary, maxRegress float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed report
+	if err := json.Unmarshal(blob, &committed); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	limit := 1 + maxRegress/100
+	var bad []string
+	names := make([]string, 0, len(committed.Results))
+	for name := range committed.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		old := committed.Results[name]
+		now := cur[name]
+		if now == nil || old.NsPerOpMed == 0 {
+			continue
+		}
+		if ratio := now.NsPerOpMin / old.NsPerOpMed; ratio > limit {
+			bad = append(bad, fmt.Sprintf("%s: best sample %.0f ns/op vs committed median %.0f (%.0f%% slower, limit %.0f%%)",
+				name, now.NsPerOpMin, old.NsPerOpMed, (ratio-1)*100, maxRegress))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("wall-clock regression vs %s:\n  %s", path, strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"commintent/internal/coll"
 	"commintent/internal/core"
 	"commintent/internal/model"
 	"commintent/internal/mpi"
@@ -98,6 +100,32 @@ func main() {
 		fmt.Printf("pack/unpack: %d zero-copy / %d reflection (fast-path share %.1f%%)\n",
 			fast, slow, 100*float64(fast)/float64(fast+slow))
 	}
+
+	if calls := sumCounter(reg, "mpi_coll_calls_total", *n); calls > 0 {
+		line := fmt.Sprintf("collectives: %d calls; algorithms:", calls)
+		for a := coll.Algo(0); a < coll.NAlgos; a++ {
+			var tot int64
+			for r := 0; r < *n; r++ {
+				tot += reg.CounterValue("mpi_coll_algo_total",
+					telemetry.Rank(r), telemetry.Label{Key: "algo", Value: a.String()})
+			}
+			if tot > 0 {
+				line += fmt.Sprintf(" %s=%d", a, tot)
+			}
+		}
+		fmt.Println(line)
+	}
+	if bc := sumCounter(reg, "mpi_barrier_calls_total", *n); bc > 0 {
+		fmt.Printf("barriers: %d calls, %v total blocked virtual time\n",
+			bc, time.Duration(sumCounter(reg, "mpi_barrier_idle_virtual_ns_total", *n)))
+	}
+	hw := 0
+	for r := 0; r < *n; r++ {
+		if h := w.Fabric().Endpoint(r).UnexpectedHighWatermark(); h > hw {
+			hw = h
+		}
+	}
+	fmt.Printf("unexpected-message queue high watermark: %d\n", hw)
 
 	fmt.Println("\n== critical path ==")
 	fmt.Print(telemetry.CriticalPath(col.Events(), *n).String())

@@ -104,7 +104,7 @@ func ping(prof *model.Profile, oneSided bool, bytes int) (model.Time, error) {
 				}
 			}
 		}
-		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.Now())
+		maxV := rk.World().Fabric().WorldBarrier().Wait(rk.ID, rk.Now())
 		rk.Clock().AdvanceTo(maxV)
 		if rk.ID == 0 {
 			mu.Lock()

@@ -1,0 +1,89 @@
+package bench_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"commintent/internal/bench"
+	"commintent/internal/model"
+	"commintent/internal/wllsms"
+)
+
+// Figure pinning: the Fig 3/4/5 virtual-time numbers (tiny sweep) must be
+// bit-identical across simulator rewrites — the cost model owns them, not
+// the fabric implementation. Golden captured from the pre scale-out
+// redesign implementation; regenerate only on deliberate model changes:
+//
+//	go test ./internal/bench -run TestFiguresPinned -update-figpin
+var updateFigPin = flag.Bool("update-figpin", false, "rewrite testdata/figpin_golden.json from the current implementation")
+
+const figPinGoldenPath = "testdata/figpin_golden.json"
+
+func figPinResults(t *testing.T) map[string]int64 {
+	t.Helper()
+	base := wllsms.DefaultParams()
+	base.GroupSize = 8
+	base.NumAtoms = 8
+	prof := model.GeminiLike()
+	groups := []int{2, 3}
+
+	got := map[string]int64{}
+	record := func(fig string, f *bench.Figure, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				got[fmt.Sprintf("%s/%s/x%d", fig, s.Name, p.X)] = int64(p.T)
+			}
+		}
+	}
+
+	f3, err := bench.RunFig3(base, prof, groups)
+	record("fig3", f3, err)
+	f4, err := bench.RunFig4(base, prof, groups)
+	record("fig4", f4, err)
+	f5, err := bench.RunFig5(base, prof, groups, 10)
+	record("fig5", f5, err)
+	return got
+}
+
+func TestFiguresPinned(t *testing.T) {
+	got := figPinResults(t)
+
+	if *updateFigPin {
+		blob, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(figPinGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(figPinGoldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d points)", figPinGoldenPath, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(figPinGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-figpin on the reference implementation): %v", err)
+	}
+	var want map[string]int64
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("point count %d, golden has %d", len(got), len(want))
+	}
+	for key, w := range want {
+		if g, ok := got[key]; !ok || g != w {
+			t.Errorf("%s: virtual time %d, golden %d", key, g, w)
+		}
+	}
+}

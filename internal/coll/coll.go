@@ -1,0 +1,196 @@
+// Package coll is the collective algorithm-selection layer: one decision
+// function that maps (collective kind, communicator size, payload bytes) to
+// the data-movement algorithm the runtime should execute.
+//
+// The selection governs *wall-clock* data movement only. Virtual time is
+// owned by the cost model's canonical schedule (see internal/mpi's replay),
+// so switching algorithms — by size, by rank count, or by the Force test
+// hook — never changes a simulation's virtual-time results. This is the
+// pMR/MDMP division of labour: the runtime, not the calling code, picks the
+// transport per message, and the abstraction boundary guarantees the choice
+// is observationally pure.
+package coll
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Kind identifies a collective operation family.
+type Kind uint8
+
+const (
+	Bcast Kind = iota
+	Reduce
+	Allreduce
+	Gather
+	Scatter
+	Allgather
+	Alltoall
+	nKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Bcast:
+		return "bcast"
+	case Reduce:
+		return "reduce"
+	case Allreduce:
+		return "allreduce"
+	case Gather:
+		return "gather"
+	case Scatter:
+		return "scatter"
+	case Allgather:
+		return "allgather"
+	case Alltoall:
+		return "alltoall"
+	default:
+		return "kind?"
+	}
+}
+
+// Algo identifies a data-movement strategy.
+type Algo uint8
+
+const (
+	// Direct: the schedule owner moves bytes between rank buffers through
+	// the shared address space — no messages at all. Optimal whenever the
+	// scheduler has no real parallelism (every message round trip is a
+	// scheduler dispatch that moves no extra data).
+	Direct Algo = iota
+	// Linear: root exchanges with every rank in rank order.
+	Linear
+	// Binomial: classic binomial tree, log2(n) rounds.
+	Binomial
+	// Ring: n-1 neighbour rounds moving 1/n of the payload each; the
+	// bandwidth-optimal shape for large allreduce/allgather.
+	Ring
+	// RecDouble: recursive doubling, log2(n) pairwise exchange rounds.
+	RecDouble
+	// Pairwise: XOR-schedule pairwise exchange (alltoall).
+	Pairwise
+	NAlgos
+)
+
+func (a Algo) String() string {
+	switch a {
+	case Direct:
+		return "direct"
+	case Linear:
+		return "linear"
+	case Binomial:
+		return "binomial"
+	case Ring:
+		return "ring"
+	case RecDouble:
+		return "recdouble"
+	case Pairwise:
+		return "pairwise"
+	default:
+		return "algo?"
+	}
+}
+
+// Size thresholds for the message-passing regime (GOMAXPROCS > 2). Below
+// smallMsg a collective is latency-bound and trees win; above largeMsg it
+// is bandwidth-bound and ring/segmented schedules win.
+const (
+	smallMsg = 1 << 10 // 1 KiB
+	largeMsg = 32 << 10
+)
+
+// forced holds Algo+1 when a test has pinned the selection (0 = unforced).
+var forced atomic.Uint32
+
+// Force pins every subsequent Choose to a, returning a restore func.
+// Test-only: selections are validated per kind, so forcing an algorithm a
+// kind cannot execute falls back to that kind's default.
+func Force(a Algo) (restore func()) {
+	forced.Store(uint32(a) + 1)
+	return func() { forced.Store(0) }
+}
+
+// Forced reports the currently forced algorithm, if any.
+func Forced() (Algo, bool) {
+	f := forced.Load()
+	if f == 0 {
+		return 0, false
+	}
+	return Algo(f - 1), true
+}
+
+// Choose picks the data-movement algorithm for a collective of kind k over
+// n ranks with bytes of payload per rank. The choice only affects how real
+// bytes move; the virtual-time schedule is canonical regardless.
+func Choose(k Kind, n, bytes int) Algo {
+	if f := forced.Load(); f != 0 {
+		if a := Algo(f - 1); supports(k, a, n) {
+			return a
+		}
+	}
+	// Without real hardware parallelism every message is a scheduler
+	// round trip that moves no more data than a memcpy would, so the
+	// owner-driven direct move wins at every size.
+	if runtime.GOMAXPROCS(0) <= 2 || n < 4 {
+		return Direct
+	}
+	switch k {
+	case Bcast:
+		if n < 8 {
+			return Linear
+		}
+		return Binomial
+	case Reduce:
+		if n < 8 {
+			return Linear
+		}
+		return Binomial
+	case Allreduce:
+		if bytes >= largeMsg {
+			return Ring
+		}
+		if isPow2(n) {
+			return RecDouble
+		}
+		return Binomial // reduce+bcast composition
+	case Gather, Scatter:
+		if n < 8 || bytes > largeMsg {
+			return Linear
+		}
+		return Binomial
+	case Allgather:
+		if bytes*n >= largeMsg {
+			return Ring
+		}
+		return Binomial // gather+bcast composition
+	case Alltoall:
+		if isPow2(n) {
+			return Pairwise
+		}
+		return Ring
+	}
+	return Direct
+}
+
+// supports reports whether kind k has an executable mover for algorithm a
+// at communicator size n.
+func supports(k Kind, a Algo, n int) bool {
+	if a == Direct || a == Linear {
+		return true
+	}
+	switch k {
+	case Bcast, Reduce, Gather, Scatter:
+		return a == Binomial
+	case Allreduce:
+		return a == Binomial || a == Ring || (a == RecDouble && isPow2(n))
+	case Allgather:
+		return a == Binomial || a == Ring
+	case Alltoall:
+		return a == Ring || (a == Pairwise && isPow2(n))
+	}
+	return false
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

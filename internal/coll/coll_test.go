@@ -1,0 +1,75 @@
+package coll
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestChooseDirectWithoutParallelism(t *testing.T) {
+	if runtime.GOMAXPROCS(0) > 2 {
+		t.Skip("requires GOMAXPROCS <= 2")
+	}
+	for k := Kind(0); k < nKinds; k++ {
+		for _, bytes := range []int{8, 4 << 10, 1 << 20} {
+			if got := Choose(k, 256, bytes); got != Direct {
+				t.Errorf("Choose(%s, 256, %d) = %s on a serial runtime, want direct", k, bytes, got)
+			}
+		}
+	}
+}
+
+func TestChooseMessagePassingRegime(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	cases := []struct {
+		k     Kind
+		n, b  int
+		want  Algo
+		label string
+	}{
+		{Bcast, 256, 512, Binomial, "small bcast -> tree"},
+		{Bcast, 4, 512, Linear, "tiny comm bcast -> linear"},
+		{Allreduce, 256, 64 << 10, Ring, "large allreduce -> ring"},
+		{Allreduce, 256, 512, RecDouble, "small pow2 allreduce -> recursive doubling"},
+		{Allreduce, 100, 512, Binomial, "small non-pow2 allreduce -> reduce+bcast"},
+		{Gather, 256, 512, Binomial, "small gather -> tree"},
+		{Gather, 256, 64 << 10, Linear, "large gather -> linear"},
+		{Allgather, 256, 8 << 10, Ring, "large allgather -> ring"},
+		{Alltoall, 256, 512, Pairwise, "pow2 alltoall -> pairwise"},
+		{Alltoall, 100, 512, Ring, "non-pow2 alltoall -> ring"},
+	}
+	for _, tc := range cases {
+		if got := Choose(tc.k, tc.n, tc.b); got != tc.want {
+			t.Errorf("%s: Choose(%s, %d, %d) = %s, want %s", tc.label, tc.k, tc.n, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestForceRespectsSupport(t *testing.T) {
+	restore := Force(Ring)
+	defer restore()
+	if got := Choose(Allreduce, 8, 64); got != Ring {
+		t.Errorf("forced ring allreduce: got %s", got)
+	}
+	// Bcast has no ring mover; the force must fall back to the default.
+	if got := Choose(Bcast, 8, 64); got == Ring {
+		t.Error("forced ring leaked into a kind without a ring mover")
+	}
+	if a, ok := Forced(); !ok || a != Ring {
+		t.Errorf("Forced() = %v,%v", a, ok)
+	}
+	restore()
+	if _, ok := Forced(); ok {
+		t.Error("restore did not clear the force")
+	}
+}
+
+func TestForceRecDoubleNeedsPow2(t *testing.T) {
+	restore := Force(RecDouble)
+	defer restore()
+	if got := Choose(Allreduce, 8, 64); got != RecDouble {
+		t.Errorf("forced recdouble on pow2: got %s", got)
+	}
+	if got := Choose(Allreduce, 6, 64); got == RecDouble {
+		t.Error("recdouble selected for non-power-of-two communicator")
+	}
+}

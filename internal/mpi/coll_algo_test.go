@@ -1,0 +1,248 @@
+package mpi_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"commintent/internal/coll"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+// collAlgos is every algorithm the selector can hand out. Forcing one that
+// a kind cannot execute falls back to that kind's default, so sweeping the
+// whole list exercises every mover that exists for each collective.
+var collAlgos = []coll.Algo{
+	coll.Direct, coll.Linear, coll.Binomial, coll.Ring, coll.RecDouble, coll.Pairwise,
+}
+
+// collRun captures everything observable from one execution of the
+// collective script: the data every collective produced and the virtual
+// clock after every operation, rank-major.
+type collRun struct {
+	clocks [][]int64
+	bcast  [][]float64
+	reduce []float64   // root only
+	allred [][]float64 // max op
+	gather []int64     // root only
+	scat   [][]float64
+	allg   [][]int32
+	a2a    [][]float64
+	large  [][]float64 // 10k-element allreduce (exercises segmentation/chunking)
+}
+
+// runCollScript runs every collective once over an n-rank world and
+// returns the captured outputs. Values are integer-valued floats where it
+// matters, so any reduction order produces identical bits.
+func runCollScript(t *testing.T, n int) *collRun {
+	t.Helper()
+	const largeN = 10000
+	out := &collRun{
+		clocks: make([][]int64, n),
+		bcast:  make([][]float64, n),
+		allred: make([][]float64, n),
+		scat:   make([][]float64, n),
+		allg:   make([][]int32, n),
+		a2a:    make([][]float64, n),
+		large:  make([][]float64, n),
+	}
+	err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		me := c.Rank()
+		var clocks []int64
+		tick := func() { clocks = append(clocks, int64(rk.Clock().Now())) }
+
+		b := make([]float64, 5)
+		if me == 2%n {
+			for i := range b {
+				b[i] = float64(10*i + 1)
+			}
+		}
+		if err := c.Bcast(b, 5, mpi.Float64, 2%n); err != nil {
+			return err
+		}
+		tick()
+
+		rs := []float64{float64(me), float64(2 * me), 7}
+		rr := make([]float64, 3)
+		if err := c.Reduce(rs, rr, 3, mpi.Float64, mpi.OpSum, 1%n); err != nil {
+			return err
+		}
+		tick()
+
+		as := []float64{float64(me), float64(-me), 3.5, float64(me % 3)}
+		ar := make([]float64, 4)
+		if err := c.Allreduce(as, ar, 4, mpi.Float64, mpi.OpMax); err != nil {
+			return err
+		}
+		tick()
+
+		gs := []int64{int64(me), int64(100 + me)}
+		var gr []int64
+		if me == 0 {
+			gr = make([]int64, 2*n)
+		}
+		if err := c.Gather(gs, 2, mpi.Int64, gr, 0); err != nil {
+			return err
+		}
+		tick()
+
+		var ss []float64
+		if me == n-1 {
+			ss = make([]float64, 2*n)
+			for i := range ss {
+				ss[i] = float64(3 * i)
+			}
+		}
+		sr := make([]float64, 2)
+		if err := c.Scatter(ss, 2, mpi.Float64, sr, n-1); err != nil {
+			return err
+		}
+		tick()
+
+		ags := []int32{int32(me), int32(me * me), int32(5 - me)}
+		agr := make([]int32, 3*n)
+		if err := c.Allgather(ags, 3, mpi.Int32, agr); err != nil {
+			return err
+		}
+		tick()
+
+		ats := make([]float64, 2*n)
+		for i := range ats {
+			ats[i] = float64(1000*me + i)
+		}
+		atr := make([]float64, 2*n)
+		if err := c.Alltoall(ats, 2, mpi.Float64, atr); err != nil {
+			return err
+		}
+		tick()
+
+		ls := make([]float64, largeN)
+		for i := range ls {
+			ls[i] = float64((me + i) % 17)
+		}
+		lr := make([]float64, largeN)
+		if err := c.Allreduce(ls, lr, largeN, mpi.Float64, mpi.OpSum); err != nil {
+			return err
+		}
+		tick()
+
+		out.clocks[me] = clocks
+		out.bcast[me] = b
+		if me == 1%n {
+			out.reduce = rr
+		}
+		out.allred[me] = ar
+		if me == 0 {
+			out.gather = gr
+		}
+		out.scat[me] = sr
+		out.allg[me] = agr
+		out.a2a[me] = atr
+		out.large[me] = lr
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// checkCollReference verifies a run against independently computed results.
+func checkCollReference(t *testing.T, n int, got *collRun) {
+	t.Helper()
+	wantB := []float64{1, 11, 21, 31, 41}
+	wantR := make([]float64, 3)
+	for r := 0; r < n; r++ {
+		wantR[0] += float64(r)
+		wantR[1] += float64(2 * r)
+		wantR[2] += 7
+	}
+	wantAR := []float64{float64(n - 1), 0, 3.5, float64(min(n-1, 2))}
+	wantG := make([]int64, 2*n)
+	wantAG := make([]int32, 3*n)
+	for r := 0; r < n; r++ {
+		wantG[2*r], wantG[2*r+1] = int64(r), int64(100+r)
+		wantAG[3*r], wantAG[3*r+1], wantAG[3*r+2] = int32(r), int32(r*r), int32(5-r)
+	}
+	for me := 0; me < n; me++ {
+		if !reflect.DeepEqual(got.bcast[me], wantB) {
+			t.Errorf("rank %d bcast = %v, want %v", me, got.bcast[me], wantB)
+		}
+		if !reflect.DeepEqual(got.allred[me], wantAR) {
+			t.Errorf("rank %d allreduce = %v, want %v", me, got.allred[me], wantAR)
+		}
+		wantS := []float64{float64(3 * 2 * me), float64(3 * (2*me + 1))}
+		if !reflect.DeepEqual(got.scat[me], wantS) {
+			t.Errorf("rank %d scatter = %v, want %v", me, got.scat[me], wantS)
+		}
+		if !reflect.DeepEqual(got.allg[me], wantAG) {
+			t.Errorf("rank %d allgather = %v, want %v", me, got.allg[me], wantAG)
+		}
+		wantA2A := make([]float64, 2*n)
+		for src := 0; src < n; src++ {
+			wantA2A[2*src] = float64(1000*src + 2*me)
+			wantA2A[2*src+1] = float64(1000*src + 2*me + 1)
+		}
+		if !reflect.DeepEqual(got.a2a[me], wantA2A) {
+			t.Errorf("rank %d alltoall = %v, want %v", me, got.a2a[me], wantA2A)
+		}
+		for i, v := range got.large[me] {
+			var want float64
+			for r := 0; r < n; r++ {
+				want += float64((r + i) % 17)
+			}
+			if v != want {
+				t.Fatalf("rank %d large allreduce[%d] = %v, want %v", me, i, v, want)
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.reduce, wantR) {
+		t.Errorf("reduce = %v, want %v", got.reduce, wantR)
+	}
+}
+
+// TestCollectiveAlgorithms runs the collective script under every forced
+// algorithm and checks (a) the data matches independently computed
+// references, and (b) every rank's virtual clock after every operation is
+// bit-identical to the unforced baseline: the cost model, not the selected
+// algorithm, owns virtual time.
+func TestCollectiveAlgorithms(t *testing.T) {
+	for _, n := range []int{5, 8} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			base := runCollScript(t, n)
+			checkCollReference(t, n, base)
+			for _, a := range collAlgos {
+				t.Run(a.String(), func(t *testing.T) {
+					restore := coll.Force(a)
+					defer restore()
+					got := runCollScript(t, n)
+					checkCollReference(t, n, got)
+					if !reflect.DeepEqual(got.clocks, base.clocks) {
+						t.Errorf("virtual clocks differ from unforced baseline under forced %s", a)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestVTPinAlgoInvariant replays the whole golden-pinned scenario matrix
+// under every forced algorithm: the committed virtual-time figures must be
+// reproduced bit-for-bit no matter which data-movement algorithm executes.
+func TestVTPinAlgoInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario matrix per algorithm")
+	}
+	base := runVTPinScenarios(t)
+	for _, a := range collAlgos {
+		restore := coll.Force(a)
+		got := runVTPinScenarios(t)
+		restore()
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("vtpin scenarios diverge under forced %s", a)
+		}
+	}
+}

@@ -3,17 +3,37 @@ package mpi
 import (
 	"fmt"
 
+	"commintent/internal/coll"
 	"commintent/internal/model"
 	"commintent/internal/simnet"
 )
 
-// Internal tag codes for collective plumbing (offsets into the reserved tag
-// window, so they can never collide with user point-to-point traffic).
+// Collectives: rendezvous, canonical-schedule replay, and data movement.
+//
+// Every collective is two generations of the communicator's collective
+// barrier. Ranks publish their entry clock and buffers, rendezvous, and the
+// schedule owner (comm rank 0) replays the canonical cost model over the
+// entry clocks (internal/mpi/replay.go) to produce every rank's exit clock —
+// the exact arithmetic the original per-message implementation performed.
+// The second generation publishes the exits; each rank then sets its clock
+// and, when the selected algorithm is not the owner-driven direct move,
+// runs its part of the clockless data movement. Virtual time is therefore a
+// pure function of the cost model and entry state: the data-movement
+// algorithm (internal/coll) can change per size, per rank count, or per
+// test force without moving a single virtual nanosecond.
+
+// Internal tag codes for collective data-plane plumbing (offsets into the
+// reserved tag window, so they can never collide with user point-to-point
+// traffic). The legacy codes keep their values; scatter historically rode
+// on tagGather round 1.
 const (
 	tagBcast = iota
 	tagReduce
 	tagGather
 	tagAllreduce
+	tagAllgather
+	tagAlltoall
+	tagScatter
 )
 
 // Op is a reduction operator.
@@ -38,33 +58,376 @@ func (o Op) String() string {
 	}
 }
 
-// sendInternal and recvInternal move raw bytes on a reserved tag, with the
-// same cost model as user traffic. The payload is staged through a pooled
-// buffer (the caller keeps ownership of data, which collectives reuse
-// across tree rounds) and handed to the fabric eagerly.
-func (c *Comm) sendInternal(data []byte, dest, op, round int) {
-	p := c.prof()
-	clk := c.clock()
-	clk.Advance(p.MPISendOverhead + p.InjectTime(len(data)))
-	arrive := clk.Now() + p.MPILatencyBetween(c.rk.ID, c.WorldRank(dest))
-	wire := simnet.GetBuf(len(data))
-	copy(wire, data)
-	c.ep().SendOwned(c.WorldRank(dest), c.innerTag(op+round*8), wire, arrive, false)
+// collEntry is one rank's contribution to a collective rendezvous.
+type collEntry struct {
+	v    model.Time // entry virtual clock
+	send any        // source buffer (nil when the op has none on this rank)
+	recv any        // destination buffer (nil when none)
+	err  error      // local argument-validation failure, if any
+	pad  [3]uint64  // keep neighbouring ranks' entries off one cache line
 }
 
-func (c *Comm) recvInternal(buf []byte, source, op, round int) int {
-	p := c.prof()
-	clk := c.clock()
-	clk.Advance(p.MPIRecvOverhead)
-	rr := c.ep().PostRecv(c.WorldRank(source), c.innerTag(op+round*8), buf, clk.Now())
-	<-rr.Done()
-	n := rr.Len()
-	ready := model.Max(rr.ArriveV(), rr.PostV()) + p.MPIMatchCost + p.RecvCopyTime(n)
-	if rr.Unexpected() {
-		ready += p.MPIUnexpected
+// collShared is the per-communicator collective-sync area, shared by all
+// member ranks through the world registry.
+type collShared struct {
+	bar     *simnet.Barrier
+	entries []collEntry
+	exits   []model.Time
+	arr     []model.Time // replay arrival-time scratch
+	entryV  []model.Time // replay entry-clock scratch (alltoall)
+	algo    coll.Algo
+	err     error // owner-detected failure, read by every rank
+
+	// Owner scratch for direct reductions, grown on demand so steady-state
+	// collectives allocate nothing.
+	accF []float64
+	accI []int64
+	acc3 []int32
+}
+
+// collFor returns the communicator's shared collective-sync area, creating
+// it on first use.
+func collFor(c *Comm) *collShared {
+	reg := registry(c.rk.World())
+	key := "coll/" + c.id
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if sh, ok := reg.coll[key]; ok {
+		return sh
 	}
-	clk.AdvanceTo(ready)
-	return n
+	n := c.Size()
+	sh := &collShared{
+		bar:     simnet.NewBarrier(n),
+		entries: make([]collEntry, n),
+		exits:   make([]model.Time, n),
+		arr:     make([]model.Time, n),
+		entryV:  make([]model.Time, n),
+	}
+	reg.coll[key] = sh
+	return sh
+}
+
+// collOp describes one collective invocation for the owner.
+type collOp struct {
+	kind  coll.Kind
+	root  int
+	count int
+	d     *Datatype
+	op    Op
+}
+
+// runCollective is the common rendezvous/replay/data skeleton. send/recv
+// are this rank's buffers (either may be nil depending on the op and role);
+// localErr carries this rank's argument-validation failure into the
+// rendezvous so the whole communicator fails together instead of
+// deadlocking. It returns the error this rank should report.
+func (c *Comm) runCollective(op collOp, send, recv any, localErr error) error {
+	sh := c.csh
+	me := c.myIdx
+	e := &sh.entries[me]
+	e.v = c.clk.Now()
+	e.send = send
+	e.recv = recv
+	e.err = localErr
+
+	sh.bar.Wait(me, 0)
+	if me == 0 {
+		c.collOwner(sh, op)
+	}
+	sh.bar.Wait(me, 0)
+
+	if localErr != nil {
+		return localErr
+	}
+	if sh.err != nil {
+		return sh.err
+	}
+	c.clk.Set(sh.exits[me])
+	algo := sh.algo
+	if algo != coll.Direct {
+		if err := c.runMover(op, send, recv, algo); err != nil {
+			return err
+		}
+	}
+	if c.tele.collCalls != nil {
+		c.tele.collCalls.Inc()
+		c.tele.collAlgo[algo].Inc()
+	}
+	return nil
+}
+
+// collOwner replays the canonical schedule over the published entry clocks
+// and, for the direct algorithm, performs the data movement in place.
+// Runs on comm rank 0 between the two rendezvous generations.
+func (c *Comm) collOwner(sh *collShared, op collOp) {
+	sh.err = nil
+	for i := range sh.entries {
+		if err := sh.entries[i].err; err != nil {
+			sh.err = fmt.Errorf("mpi: collective failed on rank %d: %w", i, err)
+			return
+		}
+		sh.exits[i] = sh.entries[i].v
+	}
+	r := &replayer{p: c.prof(), c: c, v: sh.exits}
+	switch op.kind {
+	case coll.Bcast:
+		r.bcast(op.root, op.count, op.d, sh.arr)
+	case coll.Reduce:
+		r.reduce(op.root, op.count, op.d, sh.arr)
+	case coll.Allreduce:
+		r.reduce(0, op.count, op.d, sh.arr)
+		r.bcast(0, op.count, op.d, sh.arr)
+	case coll.Gather:
+		r.gather(op.root, op.count, op.d, sh.arr)
+	case coll.Scatter:
+		r.scatter(op.root, op.count, op.d, sh.arr)
+	case coll.Allgather:
+		r.gather(0, op.count, op.d, sh.arr)
+		r.bcast(0, c.Size()*op.count, op.d, sh.arr)
+	case coll.Alltoall:
+		r.alltoall(op.count, op.d, sh.entryV)
+	}
+	sh.algo = coll.Choose(op.kind, c.Size(), op.count*op.d.Size())
+	if sh.algo == coll.Direct {
+		sh.err = c.moveDirect(sh, op)
+	}
+}
+
+// checkCollBuf validates a collective buffer against the datatype and
+// element count, mirroring the errors the legacy encode/decode path raised.
+func checkCollBuf(buf any, d *Datatype, count int) error {
+	n, err := ElemCount(buf, d)
+	if err != nil {
+		return err
+	}
+	if n < count {
+		return fmt.Errorf("buffer holds %d elements, need %d", n, count)
+	}
+	return nil
+}
+
+// Bcast broadcasts count elements of buf (datatype d) from root to all
+// ranks of the communicator. Every rank must call it with an adequately
+// sized buffer. The canonical cost model is the binomial tree.
+func (c *Comm) Bcast(buf any, count int, d *Datatype, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("mpi: Bcast root %d of comm size %d", root, c.Size())
+	}
+	var localErr error
+	if err := checkCollBuf(buf, d, count); err != nil {
+		localErr = fmt.Errorf("mpi: Bcast: %w", err)
+	}
+	return c.runCollective(collOp{kind: coll.Bcast, root: root, count: count, d: d},
+		buf, buf, localErr)
+}
+
+// Reduce combines sendbuf across all ranks element-wise with op, leaving
+// the result in recvbuf on root (recvbuf may be nil elsewhere). Buffers
+// must be numeric slices matching d. The canonical cost model is the
+// ascending-bit binomial tree.
+func (c *Comm) Reduce(sendbuf, recvbuf any, count int, d *Datatype, op Op, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("mpi: Reduce root %d of comm size %d", root, c.Size())
+	}
+	var localErr error
+	if err := checkNumericBuf(sendbuf, count); err != nil {
+		localErr = fmt.Errorf("mpi: Reduce: %w", err)
+	} else if c.Rank() == root {
+		if recvbuf == nil {
+			localErr = fmt.Errorf("mpi: Reduce: nil recvbuf on root")
+		} else if err := checkNumericBuf(recvbuf, count); err != nil {
+			localErr = fmt.Errorf("mpi: Reduce: %w", err)
+		}
+	}
+	return c.runCollective(collOp{kind: coll.Reduce, root: root, count: count, d: d, op: op},
+		sendbuf, recvbuf, localErr)
+}
+
+// Allreduce combines sendbuf across all ranks element-wise with op, leaving
+// the result in every rank's recvbuf. The canonical cost model is Reduce to
+// rank 0 followed by Bcast.
+func (c *Comm) Allreduce(sendbuf, recvbuf any, count int, d *Datatype, op Op) error {
+	if recvbuf == nil {
+		return fmt.Errorf("mpi: Allreduce: nil recvbuf")
+	}
+	var localErr error
+	if err := checkNumericBuf(sendbuf, count); err != nil {
+		localErr = fmt.Errorf("mpi: Allreduce: %w", err)
+	} else if err := checkNumericBuf(recvbuf, count); err != nil {
+		localErr = fmt.Errorf("mpi: Allreduce: %w", err)
+	}
+	return c.runCollective(collOp{kind: coll.Allreduce, count: count, d: d, op: op},
+		sendbuf, recvbuf, localErr)
+}
+
+// Gather collects count elements from every rank into recvbuf on root, laid
+// out in comm-rank order. recvbuf must hold Size()*count elements on root
+// and may be nil elsewhere. The canonical cost model is the linear
+// algorithm (root receives from each rank in comm-rank order).
+func (c *Comm) Gather(sendbuf any, count int, d *Datatype, recvbuf any, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("mpi: Gather root %d of comm size %d", root, c.Size())
+	}
+	var localErr error
+	if err := checkNumericBuf(sendbuf, count); err != nil {
+		localErr = fmt.Errorf("mpi: Gather: %w", err)
+	} else if c.Rank() == root {
+		if recvbuf == nil {
+			localErr = fmt.Errorf("mpi: Gather: nil recvbuf on root")
+		} else if err := checkNumericBuf(recvbuf, c.Size()*count); err != nil {
+			localErr = fmt.Errorf("mpi: Gather: %w", err)
+		}
+	}
+	return c.runCollective(collOp{kind: coll.Gather, root: root, count: count, d: d},
+		sendbuf, recvbuf, localErr)
+}
+
+// checkNumericBuf validates that buf is a supported numeric slice holding
+// at least count elements.
+func checkNumericBuf(buf any, count int) error {
+	switch s := buf.(type) {
+	case []float64:
+		if count > len(s) {
+			return fmt.Errorf("buffer holds %d elements, need %d", len(s), count)
+		}
+	case []int64:
+		if count > len(s) {
+			return fmt.Errorf("buffer holds %d elements, need %d", len(s), count)
+		}
+	case []int32:
+		if count > len(s) {
+			return fmt.Errorf("buffer holds %d elements, need %d", len(s), count)
+		}
+	default:
+		return fmt.Errorf("unsupported buffer type %T", buf)
+	}
+	return nil
+}
+
+// moveDirect performs the collective's data movement through the shared
+// address space: the owner walks the published buffers and copies or
+// reduces in place, with no wire staging at all. This supersedes the old
+// per-round pooled-buffer staging — for a reduction tree there is now no
+// wire buffer to reuse, because there is no wire.
+func (c *Comm) moveDirect(sh *collShared, op collOp) error {
+	n := c.Size()
+	ent := sh.entries
+	switch op.kind {
+	case coll.Bcast:
+		src := ent[op.root].send
+		if op.d.IsDerived() {
+			// Stage through one pooled wire buffer so derived types take
+			// the same encode/decode semantics as the wire path.
+			nb := op.count * op.d.Size()
+			wire := simnet.GetBuf(nb)
+			defer simnet.PutBuf(wire)
+			if _, err := op.d.encodeInto(c.prof(), wire, src, op.count); err != nil {
+				return fmt.Errorf("mpi: Bcast: %w", err)
+			}
+			for i := 0; i < n; i++ {
+				if i == op.root {
+					continue
+				}
+				if _, err := op.d.decode(c.prof(), wire, ent[i].recv, op.count); err != nil {
+					return fmt.Errorf("mpi: Bcast: %w", err)
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if i == op.root {
+				continue
+			}
+			if err := copyNumeric(ent[i].recv, src, op.count); err != nil {
+				return fmt.Errorf("mpi: Bcast: %w", err)
+			}
+		}
+	case coll.Reduce, coll.Allreduce:
+		acc, err := sh.accFor(ent[0].send, op.count)
+		if err != nil {
+			return fmt.Errorf("mpi: %s: %w", op.kind, err)
+		}
+		if err := copyNumeric(acc, ent[0].send, op.count); err != nil {
+			return fmt.Errorf("mpi: %s: %w", op.kind, err)
+		}
+		for i := 1; i < n; i++ {
+			if err := combine(acc, ent[i].send, op.count, op.op); err != nil {
+				return fmt.Errorf("mpi: %s: %w", op.kind, err)
+			}
+		}
+		if op.kind == coll.Reduce {
+			return copyNumeric(ent[op.root].recv, acc, op.count)
+		}
+		for i := 0; i < n; i++ {
+			if err := copyNumeric(ent[i].recv, acc, op.count); err != nil {
+				return fmt.Errorf("mpi: Allreduce: %w", err)
+			}
+		}
+	case coll.Gather:
+		dst := ent[op.root].recv
+		for i := 0; i < n; i++ {
+			if err := copySegmentLocal(dst, ent[i].send, i*op.count, op.count); err != nil {
+				return fmt.Errorf("mpi: Gather: %w", err)
+			}
+		}
+	case coll.Scatter:
+		src := ent[op.root].send
+		for i := 0; i < n; i++ {
+			seg, err := numericSegment(src, i*op.count, op.count)
+			if err != nil {
+				return fmt.Errorf("mpi: Scatter: %w", err)
+			}
+			if err := copyNumeric(ent[i].recv, seg, op.count); err != nil {
+				return fmt.Errorf("mpi: Scatter: %w", err)
+			}
+		}
+	case coll.Allgather:
+		for i := 0; i < n; i++ {
+			seg := ent[i].send
+			for j := 0; j < n; j++ {
+				if err := copySegmentLocal(ent[j].recv, seg, i*op.count, op.count); err != nil {
+					return fmt.Errorf("mpi: Allgather: %w", err)
+				}
+			}
+		}
+	case coll.Alltoall:
+		for s := 0; s < n; s++ {
+			for r := 0; r < n; r++ {
+				seg, err := numericSegment(ent[s].send, r*op.count, op.count)
+				if err != nil {
+					return fmt.Errorf("mpi: Alltoall: %w", err)
+				}
+				if err := copySegmentLocal(ent[r].recv, seg, s*op.count, op.count); err != nil {
+					return fmt.Errorf("mpi: Alltoall: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// accFor returns the owner's reduction accumulator matching buf's element
+// type, growing the per-communicator scratch on demand.
+func (sh *collShared) accFor(buf any, count int) (any, error) {
+	switch buf.(type) {
+	case []float64:
+		if cap(sh.accF) < count {
+			sh.accF = make([]float64, count)
+		}
+		return sh.accF[:count], nil
+	case []int64:
+		if cap(sh.accI) < count {
+			sh.accI = make([]int64, count)
+		}
+		return sh.accI[:count], nil
+	case []int32:
+		if cap(sh.acc3) < count {
+			sh.acc3 = make([]int32, count)
+		}
+		return sh.acc3[:count], nil
+	default:
+		return nil, fmt.Errorf("unsupported reduction buffer type %T", buf)
+	}
 }
 
 // relRank renumbers so root becomes rank 0; absRank undoes it.
@@ -96,158 +459,4 @@ func bitLog(bit int) int {
 		k++
 	}
 	return k
-}
-
-// Bcast broadcasts count elements of buf (datatype d) from root to all
-// ranks of the communicator over a binomial tree. Every rank must call it
-// with an adequately sized buffer.
-func (c *Comm) Bcast(buf any, count int, d *Datatype, root int) error {
-	if root < 0 || root >= c.Size() {
-		return fmt.Errorf("mpi: Bcast root %d of comm size %d", root, c.Size())
-	}
-	p := c.prof()
-	n := c.Size()
-	me := relRank(c.Rank(), root, n)
-	wire := simnet.GetBuf(count * d.Size())
-	defer simnet.PutBuf(wire)
-	if me == 0 {
-		encCost, err := d.encodeInto(p, wire, buf, count)
-		if err != nil {
-			return fmt.Errorf("mpi: Bcast: %w", err)
-		}
-		c.clock().Advance(encCost)
-	} else {
-		parent := me - topBit(me)
-		got := c.recvInternal(wire, absRank(parent, root, n), tagBcast, 0)
-		if got < len(wire) {
-			return fmt.Errorf("mpi: Bcast: short payload %d < %d", got, len(wire))
-		}
-		cost, err := d.decode(p, wire, buf, count)
-		if err != nil {
-			return fmt.Errorf("mpi: Bcast: %w", err)
-		}
-		c.clock().Advance(cost)
-	}
-	for bit := fanStart(me); me+bit < n; bit <<= 1 {
-		c.sendInternal(wire, absRank(me+bit, root, n), tagBcast, 0)
-	}
-	return nil
-}
-
-// Reduce combines sendbuf across all ranks element-wise with op over a
-// binomial tree, leaving the result in recvbuf on root (recvbuf may be nil
-// elsewhere). Buffers must be []float64 or []int64 matching d.
-func (c *Comm) Reduce(sendbuf, recvbuf any, count int, d *Datatype, op Op, root int) error {
-	if root < 0 || root >= c.Size() {
-		return fmt.Errorf("mpi: Reduce root %d of comm size %d", root, c.Size())
-	}
-	p := c.prof()
-	acc, err := cloneNumeric(sendbuf, count)
-	if err != nil {
-		return fmt.Errorf("mpi: Reduce: %w", err)
-	}
-	tmp, err := cloneNumeric(sendbuf, count)
-	if err != nil {
-		return err
-	}
-	n := c.Size()
-	me := relRank(c.Rank(), root, n)
-	wire := simnet.GetBuf(count * d.Size())
-	defer simnet.PutBuf(wire)
-	for bit := 1; bit < n; bit <<= 1 {
-		if me&bit != 0 {
-			encCost, err := d.encodeInto(p, wire, acc, count)
-			if err != nil {
-				return fmt.Errorf("mpi: Reduce: %w", err)
-			}
-			c.clock().Advance(encCost)
-			c.sendInternal(wire, absRank(me-bit, root, n), tagReduce, bitLog(bit))
-			break // partial result handed upward; this rank is done
-		}
-		if me+bit < n {
-			got := c.recvInternal(wire, absRank(me+bit, root, n), tagReduce, bitLog(bit))
-			if got < len(wire) {
-				return fmt.Errorf("mpi: Reduce: short payload %d < %d", got, len(wire))
-			}
-			cost, err := d.decode(p, wire, tmp, count)
-			if err != nil {
-				return fmt.Errorf("mpi: Reduce: %w", err)
-			}
-			c.clock().Advance(cost)
-			if err := combine(acc, tmp, count, op); err != nil {
-				return err
-			}
-			c.clock().Advance(model.Time(count) * p.MPIReduceCompute)
-		}
-	}
-	if me == 0 {
-		if recvbuf == nil {
-			return fmt.Errorf("mpi: Reduce: nil recvbuf on root")
-		}
-		if err := copyNumeric(recvbuf, acc, count); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Allreduce is Reduce to rank 0 followed by Bcast.
-func (c *Comm) Allreduce(sendbuf, recvbuf any, count int, d *Datatype, op Op) error {
-	if recvbuf == nil {
-		return fmt.Errorf("mpi: Allreduce: nil recvbuf")
-	}
-	if err := c.Reduce(sendbuf, recvbuf, count, d, op, 0); err != nil {
-		return err
-	}
-	return c.Bcast(recvbuf, count, d, 0)
-}
-
-// Gather collects count elements from every rank into recvbuf on root,
-// laid out in comm-rank order. recvbuf must hold Size()*count elements on
-// root and may be nil elsewhere. Linear algorithm (root receives from each
-// rank), as in many small-scale MPI implementations.
-func (c *Comm) Gather(sendbuf any, count int, d *Datatype, recvbuf any, root int) error {
-	if root < 0 || root >= c.Size() {
-		return fmt.Errorf("mpi: Gather root %d of comm size %d", root, c.Size())
-	}
-	p := c.prof()
-	if c.Rank() != root {
-		w := simnet.GetBuf(count * d.Size())
-		defer simnet.PutBuf(w)
-		encCost, err := d.encodeInto(p, w, sendbuf, count)
-		if err != nil {
-			return fmt.Errorf("mpi: Gather: %w", err)
-		}
-		c.clock().Advance(encCost)
-		c.sendInternal(w, root, tagGather, 0)
-		return nil
-	}
-	if recvbuf == nil {
-		return fmt.Errorf("mpi: Gather: nil recvbuf on root")
-	}
-	total, err := ElemCount(recvbuf, d)
-	if err != nil {
-		return fmt.Errorf("mpi: Gather: %w", err)
-	}
-	if total < c.Size()*count {
-		return fmt.Errorf("mpi: Gather: recvbuf holds %d elements, need %d", total, c.Size()*count)
-	}
-	wire := simnet.GetBuf(count * d.Size())
-	defer simnet.PutBuf(wire)
-	for r := 0; r < c.Size(); r++ {
-		if r == root {
-			if err := copySegmentLocal(recvbuf, sendbuf, r*count, count); err != nil {
-				return err
-			}
-			continue
-		}
-		got := c.recvInternal(wire, r, tagGather, 0)
-		if got < len(wire) {
-			return fmt.Errorf("mpi: Gather: short payload from rank %d", r)
-		}
-		if err := decodeSegment(p, c, d, wire, recvbuf, r*count, count); err != nil {
-			return err
-		}
-	}
-	return nil
 }

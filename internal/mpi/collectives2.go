@@ -3,15 +3,17 @@ package mpi
 import (
 	"fmt"
 
-	"commintent/internal/simnet"
+	"commintent/internal/coll"
 )
 
-// Additional collectives: Scatter and Allgather, completing the set the
-// application layer and examples draw on.
+// Additional collectives: Scatter, Allgather and Alltoall, completing the
+// set the application layer and examples draw on. Like the core set they
+// ride the rendezvous/replay skeleton in collectives.go.
 
 // Scatter distributes consecutive count-element segments of sendbuf on root
-// to every rank's recvbuf, in comm-rank order (linear algorithm). sendbuf
-// may be nil on non-root ranks.
+// to every rank's recvbuf, in comm-rank order. sendbuf may be nil on
+// non-root ranks. The canonical cost model is the linear algorithm (root
+// sends to each rank in comm-rank order).
 func (c *Comm) Scatter(sendbuf any, count int, d *Datatype, recvbuf any, root int) error {
 	if root < 0 || root >= c.Size() {
 		return fmt.Errorf("mpi: Scatter root %d of comm size %d", root, c.Size())
@@ -19,69 +21,54 @@ func (c *Comm) Scatter(sendbuf any, count int, d *Datatype, recvbuf any, root in
 	if recvbuf == nil {
 		return fmt.Errorf("mpi: Scatter: nil recvbuf")
 	}
-	if cap, err := ElemCount(recvbuf, d); err != nil {
-		return fmt.Errorf("mpi: Scatter: %w", err)
-	} else if cap < count {
-		return fmt.Errorf("mpi: Scatter: recvbuf holds %d elements, need %d", cap, count)
-	}
-	p := c.prof()
-	if c.Rank() != root {
-		wire := simnet.GetBuf(count * d.Size())
-		defer simnet.PutBuf(wire)
-		got := c.recvInternal(wire, root, tagGather, 1)
-		if got < len(wire) {
-			return fmt.Errorf("mpi: Scatter: short payload")
+	var localErr error
+	if err := checkNumericBuf(recvbuf, count); err != nil {
+		localErr = fmt.Errorf("mpi: Scatter: %w", err)
+	} else if c.Rank() == root {
+		if sendbuf == nil {
+			localErr = fmt.Errorf("mpi: Scatter: nil sendbuf on root")
+		} else if err := checkNumericBuf(sendbuf, c.Size()*count); err != nil {
+			localErr = fmt.Errorf("mpi: Scatter: %w", err)
 		}
-		cost, err := d.decode(p, wire, recvbuf, count)
-		if err != nil {
-			return fmt.Errorf("mpi: Scatter: %w", err)
-		}
-		c.clock().Advance(cost)
-		return nil
 	}
-	if sendbuf == nil {
-		return fmt.Errorf("mpi: Scatter: nil sendbuf on root")
-	}
-	total, err := ElemCount(sendbuf, d)
-	if err != nil {
-		return fmt.Errorf("mpi: Scatter: %w", err)
-	}
-	if total < c.Size()*count {
-		return fmt.Errorf("mpi: Scatter: sendbuf holds %d elements, need %d", total, c.Size()*count)
-	}
-	wire := simnet.GetBuf(count * d.Size())
-	defer simnet.PutBuf(wire)
-	for r := 0; r < c.Size(); r++ {
-		seg, err := numericSegment(sendbuf, r*count, count)
-		if err != nil {
-			return fmt.Errorf("mpi: Scatter: %w", err)
-		}
-		if r == root {
-			if err := copySegmentLocal(recvbuf, seg, 0, count); err != nil {
-				return err
-			}
-			continue
-		}
-		encCost, err := d.encodeInto(p, wire, seg, count)
-		if err != nil {
-			return fmt.Errorf("mpi: Scatter: %w", err)
-		}
-		c.clock().Advance(encCost)
-		c.sendInternal(wire, r, tagGather, 1)
-	}
-	return nil
+	return c.runCollective(collOp{kind: coll.Scatter, root: root, count: count, d: d},
+		sendbuf, recvbuf, localErr)
 }
 
 // Allgather concatenates every rank's count-element sendbuf into every
-// rank's recvbuf in comm-rank order, via Gather to rank 0 plus Bcast.
+// rank's recvbuf in comm-rank order. The canonical cost model is Gather to
+// rank 0 followed by Bcast of the concatenation.
 func (c *Comm) Allgather(sendbuf any, count int, d *Datatype, recvbuf any) error {
 	if recvbuf == nil {
 		return fmt.Errorf("mpi: Allgather: nil recvbuf")
 	}
-	if err := c.Gather(sendbuf, count, d, recvbuf, 0); err != nil {
-		return err
+	var localErr error
+	if err := checkNumericBuf(sendbuf, count); err != nil {
+		localErr = fmt.Errorf("mpi: Allgather: %w", err)
+	} else if err := checkNumericBuf(recvbuf, c.Size()*count); err != nil {
+		localErr = fmt.Errorf("mpi: Allgather: %w", err)
 	}
-	return c.Bcast(recvbuf, c.Size()*count, d, 0)
+	return c.runCollective(collOp{kind: coll.Allgather, count: count, d: d},
+		sendbuf, recvbuf, localErr)
+}
+
+// Alltoall performs a complete exchange: rank i's sendbuf segment j (count
+// elements at offset j*count) lands in rank j's recvbuf at offset i*count.
+// The canonical cost model is the rank-ordered pairwise exchange: each rank
+// injects its n-1 segments in ascending-step order (dst = (me+step) mod n),
+// then drains them in the same order (src = (me-step+n) mod n).
+func (c *Comm) Alltoall(sendbuf any, count int, d *Datatype, recvbuf any) error {
+	if recvbuf == nil {
+		return fmt.Errorf("mpi: Alltoall: nil recvbuf")
+	}
+	var localErr error
+	if err := checkNumericBuf(sendbuf, c.Size()*count); err != nil {
+		localErr = fmt.Errorf("mpi: Alltoall: %w", err)
+	} else if err := checkNumericBuf(recvbuf, c.Size()*count); err != nil {
+		localErr = fmt.Errorf("mpi: Alltoall: %w", err)
+	}
+	return c.runCollective(collOp{kind: coll.Alltoall, count: count, d: d},
+		sendbuf, recvbuf, localErr)
 }
 
 // numericSegment returns buf[off:off+count] for the supported numeric

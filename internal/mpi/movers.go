@@ -1,0 +1,649 @@
+package mpi
+
+import (
+	"fmt"
+
+	"commintent/internal/coll"
+	"commintent/internal/model"
+	"commintent/internal/simnet"
+)
+
+// Data movers: the message-passing algorithms that move real bytes when the
+// selector picks anything other than the owner-driven direct move. Movers
+// run strictly *after* the second rendezvous of a collective, when every
+// rank's virtual clock is already set to its canonical exit time — so they
+// are clockless: every send is injected with zero virtual arrival, every
+// receive posted with zero virtual post time, and neither side reads or
+// advances the rank clock. The wire traffic they generate is pure transport.
+//
+// All sends are eager (rendezvous=false), so no schedule below can deadlock:
+// a send enqueues and returns, and FIFO matching per (source, tag) pairs
+// same-tag messages with posted receives in order, which keeps segmented
+// pipelines and repeated collectives on one communicator well-ordered.
+//
+// Receive staging and reduction scratch follow one discipline: a single
+// pooled wire buffer per mover invocation, reused across every tree or ring
+// round (send-side buffers are pooled per message because the endpoint takes
+// ownership and recycles them on delivery).
+
+// collSegBytes is the segment size for pipelined large-message trees.
+const collSegBytes = 64 << 10
+
+// runMover executes this rank's part of the selected data-movement
+// algorithm for the collective described by op.
+func (c *Comm) runMover(op collOp, send, recv any, algo coll.Algo) error {
+	switch op.kind {
+	case coll.Bcast:
+		switch algo {
+		case coll.Linear:
+			return c.bcastLinear(send, op)
+		case coll.Binomial:
+			return c.bcastBinomial(send, op)
+		}
+	case coll.Reduce:
+		switch algo {
+		case coll.Linear:
+			return c.reduceLinear(send, recv, op)
+		case coll.Binomial:
+			return c.reduceBinomial(send, recv, op)
+		}
+	case coll.Allreduce:
+		switch algo {
+		case coll.Linear, coll.Binomial:
+			rop := op
+			rop.kind, rop.root = coll.Reduce, 0
+			var err error
+			if algo == coll.Linear {
+				err = c.reduceLinear(send, recv, rop)
+			} else {
+				err = c.reduceBinomial(send, recv, rop)
+			}
+			if err != nil {
+				return err
+			}
+			bop := op
+			bop.kind, bop.root = coll.Bcast, 0
+			if algo == coll.Linear {
+				return c.bcastLinear(recv, bop)
+			}
+			return c.bcastBinomial(recv, bop)
+		case coll.RecDouble:
+			return c.allreduceRecDouble(send, recv, op)
+		case coll.Ring:
+			return c.allreduceRing(send, recv, op)
+		}
+	case coll.Gather:
+		switch algo {
+		case coll.Linear:
+			return c.gatherLinear(send, recv, op)
+		case coll.Binomial:
+			return c.gatherBinomial(send, recv, op)
+		}
+	case coll.Scatter:
+		switch algo {
+		case coll.Linear:
+			return c.scatterLinear(send, recv, op)
+		case coll.Binomial:
+			return c.scatterBinomial(send, recv, op)
+		}
+	case coll.Allgather:
+		switch algo {
+		case coll.Linear, coll.Binomial:
+			gop := op
+			gop.kind, gop.root = coll.Gather, 0
+			var err error
+			if algo == coll.Linear {
+				err = c.gatherLinear(send, recv, gop)
+			} else {
+				err = c.gatherBinomial(send, recv, gop)
+			}
+			if err != nil {
+				return err
+			}
+			bop := op
+			bop.kind, bop.root = coll.Bcast, 0
+			bop.count = c.Size() * op.count
+			return c.bcastBinomial(recv, bop)
+		case coll.Ring:
+			return c.allgatherRing(send, recv, op)
+		}
+	case coll.Alltoall:
+		switch algo {
+		case coll.Pairwise:
+			return c.alltoallPairwise(send, recv, op)
+		case coll.Linear, coll.Ring:
+			return c.alltoallRing(send, recv, op)
+		}
+	}
+	return fmt.Errorf("mpi: no %s mover for %s", op.kind, algo)
+}
+
+// sendRaw injects data to comm rank dst with zero virtual arrival time.
+// The payload is copied into a pooled buffer the endpoint owns.
+func (c *Comm) sendRaw(data []byte, dst, opTag, round int) {
+	wire := simnet.GetBuf(len(data))
+	copy(wire, data)
+	c.ep().SendOwned(c.WorldRank(dst), c.innerTag(opTag+round*8), wire, 0, false)
+}
+
+// recvRaw blocks until a message from comm rank src with the given tag
+// lands in buf, with zero virtual post time.
+func (c *Comm) recvRaw(buf []byte, src, opTag, round int) int {
+	rr := c.ep().PostRecv(c.WorldRank(src), c.innerTag(opTag+round*8), buf, 0)
+	rr.Wait()
+	n := rr.Len()
+	rr.Release()
+	return n
+}
+
+// encodeSeg encodes count elements of buf starting at element off into wire.
+func encodeSeg(p *model.Profile, d *Datatype, wire []byte, buf any, off, count int) error {
+	seg, err := numericSegment(buf, off, count)
+	if err != nil {
+		return err
+	}
+	_, err = d.encodeInto(p, wire, seg, count)
+	return err
+}
+
+// decodeSeg decodes count wire elements into buf at element offset off.
+func decodeSeg(p *model.Profile, d *Datatype, wire []byte, buf any, off, count int) error {
+	seg, err := numericSegment(buf, off, count)
+	if err != nil {
+		return err
+	}
+	_, err = d.decode(p, wire, seg, count)
+	return err
+}
+
+func lowbit(x int) int { return x & -x }
+
+// bcastLinear: the root sends the whole payload to every rank in comm-rank
+// order; everyone else receives once.
+func (c *Comm) bcastLinear(buf any, op collOp) error {
+	p := c.prof()
+	nb := op.count * op.d.Size()
+	wire := simnet.GetBuf(nb)
+	defer simnet.PutBuf(wire)
+	if c.Rank() == op.root {
+		if _, err := op.d.encodeInto(p, wire, buf, op.count); err != nil {
+			return err
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r != op.root {
+				c.sendRaw(wire, r, tagBcast, 0)
+			}
+		}
+		return nil
+	}
+	c.recvRaw(wire, op.root, tagBcast, 0)
+	_, err := op.d.decode(p, wire, buf, op.count)
+	return err
+}
+
+// bcastBinomial: classic binomial tree with segmentation for large numeric
+// payloads — each rank forwards segment s to its children as soon as it has
+// it, so segments pipeline down the tree. Derived types go unsegmented.
+func (c *Comm) bcastBinomial(buf any, op collOp) error {
+	p := c.prof()
+	n := c.Size()
+	rel := relRank(c.Rank(), op.root, n)
+	esz := op.d.Size()
+	segElems := op.count
+	if !op.d.IsDerived() {
+		if se := collSegBytes / esz; se > 0 && se < segElems {
+			segElems = se
+		}
+	}
+	wire := simnet.GetBuf(segElems * esz)
+	defer simnet.PutBuf(wire)
+	parent := -1
+	if rel != 0 {
+		parent = absRank(rel-topBit(rel), op.root, n)
+	}
+	for off := 0; off < op.count; off += segElems {
+		cnt := min(segElems, op.count-off)
+		w := wire[:cnt*esz]
+		if parent >= 0 {
+			c.recvRaw(w, parent, tagBcast, 0)
+			if op.d.IsDerived() {
+				if _, err := op.d.decode(p, w, buf, cnt); err != nil {
+					return err
+				}
+			} else if err := decodeSeg(p, op.d, w, buf, off, cnt); err != nil {
+				return err
+			}
+		} else {
+			if op.d.IsDerived() {
+				if _, err := op.d.encodeInto(p, w, buf, cnt); err != nil {
+					return err
+				}
+			} else if err := encodeSeg(p, op.d, w, buf, off, cnt); err != nil {
+				return err
+			}
+		}
+		for bit := fanStart(rel); rel+bit < n; bit <<= 1 {
+			c.sendRaw(w, absRank(rel+bit, op.root, n), tagBcast, 0)
+		}
+	}
+	return nil
+}
+
+// reduceLinear: every rank sends its contribution to the root, which
+// combines them in comm-rank order.
+func (c *Comm) reduceLinear(send, recv any, op collOp) error {
+	p := c.prof()
+	nb := op.count * op.d.Size()
+	if c.Rank() != op.root {
+		wire := simnet.GetBuf(nb)
+		defer simnet.PutBuf(wire)
+		if _, err := op.d.encodeInto(p, wire, send, op.count); err != nil {
+			return err
+		}
+		c.sendRaw(wire, op.root, tagReduce, 0)
+		return nil
+	}
+	acc, err := cloneNumeric(send, op.count)
+	if err != nil {
+		return err
+	}
+	tmp, err := cloneNumeric(send, op.count)
+	if err != nil {
+		return err
+	}
+	wire := simnet.GetBuf(nb)
+	defer simnet.PutBuf(wire)
+	for r := 0; r < c.Size(); r++ {
+		if r == op.root {
+			continue
+		}
+		c.recvRaw(wire, r, tagReduce, 0)
+		if _, err := op.d.decode(p, wire, tmp, op.count); err != nil {
+			return err
+		}
+		if err := combine(acc, tmp, op.count, op.op); err != nil {
+			return err
+		}
+	}
+	return copyNumeric(recv, acc, op.count)
+}
+
+// reduceBinomial: ascending-bit binomial tree. One pooled wire buffer is
+// reused across every round on the receive side.
+func (c *Comm) reduceBinomial(send, recv any, op collOp) error {
+	p := c.prof()
+	n := c.Size()
+	rel := relRank(c.Rank(), op.root, n)
+	nb := op.count * op.d.Size()
+	acc, err := cloneNumeric(send, op.count)
+	if err != nil {
+		return err
+	}
+	tmp, err := cloneNumeric(send, op.count)
+	if err != nil {
+		return err
+	}
+	wire := simnet.GetBuf(nb)
+	defer simnet.PutBuf(wire)
+	for bit := 1; bit < n; bit <<= 1 {
+		if rel&bit != 0 {
+			if _, err := op.d.encodeInto(p, wire, acc, op.count); err != nil {
+				return err
+			}
+			c.sendRaw(wire, absRank(rel-bit, op.root, n), tagReduce, bitLog(bit))
+			return nil
+		}
+		if rel+bit < n {
+			c.recvRaw(wire, absRank(rel+bit, op.root, n), tagReduce, bitLog(bit))
+			if _, err := op.d.decode(p, wire, tmp, op.count); err != nil {
+				return err
+			}
+			if err := combine(acc, tmp, op.count, op.op); err != nil {
+				return err
+			}
+		}
+	}
+	return copyNumeric(recv, acc, op.count)
+}
+
+// allreduceRecDouble: recursive doubling for power-of-two communicators —
+// log2(n) pairwise exchange rounds, each rank ending with the full result.
+func (c *Comm) allreduceRecDouble(send, recv any, op collOp) error {
+	p := c.prof()
+	n := c.Size()
+	me := c.Rank()
+	nb := op.count * op.d.Size()
+	acc, err := cloneNumeric(send, op.count)
+	if err != nil {
+		return err
+	}
+	tmp, err := cloneNumeric(send, op.count)
+	if err != nil {
+		return err
+	}
+	out := simnet.GetBuf(nb)
+	in := simnet.GetBuf(nb)
+	defer simnet.PutBuf(out)
+	defer simnet.PutBuf(in)
+	for bit := 1; bit < n; bit <<= 1 {
+		partner := me ^ bit
+		if _, err := op.d.encodeInto(p, out, acc, op.count); err != nil {
+			return err
+		}
+		c.sendRaw(out, partner, tagAllreduce, bitLog(bit))
+		c.recvRaw(in, partner, tagAllreduce, bitLog(bit))
+		if _, err := op.d.decode(p, in, tmp, op.count); err != nil {
+			return err
+		}
+		if err := combine(acc, tmp, op.count, op.op); err != nil {
+			return err
+		}
+	}
+	return copyNumeric(recv, acc, op.count)
+}
+
+// ringChunk returns the element range of chunk i when count elements are
+// split as evenly as possible over n chunks.
+func ringChunk(count, n, i int) (start, size int) {
+	base, rem := count/n, count%n
+	start = i*base + min(i, rem)
+	size = base
+	if i < rem {
+		size++
+	}
+	return
+}
+
+// allreduceRing: bandwidth-optimal ring — a reduce-scatter pass followed by
+// an allgather pass, each moving 1/n of the payload per step, with one
+// pooled wire buffer reused across all 2(n-1) rounds.
+func (c *Comm) allreduceRing(send, recv any, op collOp) error {
+	p := c.prof()
+	n := c.Size()
+	me := c.Rank()
+	right := (me + 1) % n
+	left := (me + n - 1) % n
+	esz := op.d.Size()
+	acc, err := cloneNumeric(send, op.count)
+	if err != nil {
+		return err
+	}
+	maxChunk := op.count/n + 1
+	tmp, err := cloneNumeric(send, min(maxChunk, op.count))
+	if err != nil {
+		return err
+	}
+	wire := simnet.GetBuf(maxChunk * esz)
+	defer simnet.PutBuf(wire)
+	xfer := func(sendIdx, recvIdx, round int, combineIn bool) error {
+		sOff, sLen := ringChunk(op.count, n, sendIdx)
+		if sLen > 0 {
+			w := wire[:sLen*esz]
+			if err := encodeSeg(p, op.d, w, acc, sOff, sLen); err != nil {
+				return err
+			}
+			c.sendRaw(w, right, tagAllreduce, round)
+		}
+		rOff, rLen := ringChunk(op.count, n, recvIdx)
+		if rLen == 0 {
+			return nil
+		}
+		w := wire[:rLen*esz]
+		c.recvRaw(w, left, tagAllreduce, round)
+		if !combineIn {
+			return decodeSeg(p, op.d, w, acc, rOff, rLen)
+		}
+		if _, err := op.d.decode(p, w, tmp, rLen); err != nil {
+			return err
+		}
+		seg, err := numericSegment(acc, rOff, rLen)
+		if err != nil {
+			return err
+		}
+		return combine(seg, tmp, rLen, op.op)
+	}
+	// Reduce-scatter: after step s each rank has fully combined one more
+	// chunk; rank me ends owning chunk (me+1) mod n.
+	for step := 0; step < n-1; step++ {
+		if err := xfer((me-step+2*n)%n, (me-step-1+2*n)%n, step, true); err != nil {
+			return err
+		}
+	}
+	// Allgather: circulate the owned chunks.
+	for step := 0; step < n-1; step++ {
+		if err := xfer((me-step+1+2*n)%n, (me-step+2*n)%n, n+step, false); err != nil {
+			return err
+		}
+	}
+	return copyNumeric(recv, acc, op.count)
+}
+
+// gatherLinear: every rank sends its segment to the root, which receives in
+// comm-rank order.
+func (c *Comm) gatherLinear(send, recv any, op collOp) error {
+	p := c.prof()
+	nb := op.count * op.d.Size()
+	wire := simnet.GetBuf(nb)
+	defer simnet.PutBuf(wire)
+	if c.Rank() != op.root {
+		if _, err := op.d.encodeInto(p, wire, send, op.count); err != nil {
+			return err
+		}
+		c.sendRaw(wire, op.root, tagGather, 0)
+		return nil
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == op.root {
+			if err := copySegmentLocal(recv, send, r*op.count, op.count); err != nil {
+				return err
+			}
+			continue
+		}
+		c.recvRaw(wire, r, tagGather, 0)
+		if err := decodeSeg(p, op.d, wire, recv, r*op.count, op.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gatherBinomial: each rank accumulates a contiguous block of
+// relative-rank segments and forwards it up the tree in one message, so the
+// root sees log2(n) receives instead of n-1.
+func (c *Comm) gatherBinomial(send, recv any, op collOp) error {
+	p := c.prof()
+	n := c.Size()
+	rel := relRank(c.Rank(), op.root, n)
+	segB := op.count * op.d.Size()
+	blk := n
+	if rel != 0 {
+		blk = min(lowbit(rel), n-rel)
+	}
+	st := simnet.GetBuf(blk * segB)
+	defer simnet.PutBuf(st)
+	if _, err := op.d.encodeInto(p, st[:segB], send, op.count); err != nil {
+		return err
+	}
+	have := 1
+	for bit := 1; bit < n; bit <<= 1 {
+		if rel&bit != 0 {
+			c.sendRaw(st[:have*segB], absRank(rel-bit, op.root, n), tagGather, bitLog(bit))
+			return nil
+		}
+		if rel+bit < n {
+			in := min(bit, n-(rel+bit))
+			c.recvRaw(st[bit*segB:(bit+in)*segB], absRank(rel+bit, op.root, n), tagGather, bitLog(bit))
+			have = bit + in
+		}
+	}
+	// Root: staging holds all n segments in relative order; decode each to
+	// its absolute position.
+	for r := 0; r < n; r++ {
+		abs := absRank(r, op.root, n)
+		if err := decodeSeg(p, op.d, st[r*segB:(r+1)*segB], recv, abs*op.count, op.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterLinear: the root sends each rank its segment in comm-rank order.
+func (c *Comm) scatterLinear(send, recv any, op collOp) error {
+	p := c.prof()
+	nb := op.count * op.d.Size()
+	wire := simnet.GetBuf(nb)
+	defer simnet.PutBuf(wire)
+	if c.Rank() != op.root {
+		c.recvRaw(wire, op.root, tagScatter, 0)
+		_, err := op.d.decode(p, wire, recv, op.count)
+		return err
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == op.root {
+			seg, err := numericSegment(send, r*op.count, op.count)
+			if err != nil {
+				return err
+			}
+			if err := copyNumeric(recv, seg, op.count); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := encodeSeg(p, op.d, wire, send, r*op.count, op.count); err != nil {
+			return err
+		}
+		c.sendRaw(wire, r, tagScatter, 0)
+	}
+	return nil
+}
+
+// scatterBinomial: the mirror of gatherBinomial — blocks of relative-rank
+// segments flow down the tree, halving at each level.
+func (c *Comm) scatterBinomial(send, recv any, op collOp) error {
+	p := c.prof()
+	n := c.Size()
+	rel := relRank(c.Rank(), op.root, n)
+	segB := op.count * op.d.Size()
+	var blk, pbit int
+	if rel == 0 {
+		blk = n
+		pbit = topBit(max(n-1, 1)) << 1
+	} else {
+		pbit = lowbit(rel)
+		blk = min(pbit, n-rel)
+	}
+	st := simnet.GetBuf(blk * segB)
+	defer simnet.PutBuf(st)
+	if rel == 0 {
+		for r := 0; r < n; r++ {
+			abs := absRank(r, op.root, n)
+			if err := encodeSeg(p, op.d, st[r*segB:(r+1)*segB], send, abs*op.count, op.count); err != nil {
+				return err
+			}
+		}
+	} else {
+		c.recvRaw(st[:blk*segB], absRank(rel-pbit, op.root, n), tagScatter, bitLog(pbit))
+	}
+	for bit := pbit >> 1; bit >= 1; bit >>= 1 {
+		if rel+bit < n {
+			cnt := min(bit, n-(rel+bit))
+			c.sendRaw(st[bit*segB:(bit+cnt)*segB], absRank(rel+bit, op.root, n), tagScatter, bitLog(bit))
+		}
+	}
+	_, err := op.d.decode(p, st[:segB], recv, op.count)
+	return err
+}
+
+// allgatherRing: n-1 neighbour steps, each forwarding the segment received
+// in the previous step; every rank's recvbuf fills in place.
+func (c *Comm) allgatherRing(send, recv any, op collOp) error {
+	p := c.prof()
+	n := c.Size()
+	me := c.Rank()
+	right := (me + 1) % n
+	left := (me + n - 1) % n
+	segB := op.count * op.d.Size()
+	wire := simnet.GetBuf(segB)
+	defer simnet.PutBuf(wire)
+	if err := copySegmentLocal(recv, send, me*op.count, op.count); err != nil {
+		return err
+	}
+	for step := 0; step < n-1; step++ {
+		sendIdx := (me - step + 2*n) % n
+		recvIdx := (me - step - 1 + 2*n) % n
+		if err := encodeSeg(p, op.d, wire, recv, sendIdx*op.count, op.count); err != nil {
+			return err
+		}
+		c.sendRaw(wire, right, tagAllgather, step)
+		c.recvRaw(wire, left, tagAllgather, step)
+		if err := decodeSeg(p, op.d, wire, recv, recvIdx*op.count, op.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// alltoallPairwise: XOR schedule for power-of-two communicators — step s
+// exchanges segments with partner me^s, a perfect matching per step.
+func (c *Comm) alltoallPairwise(send, recv any, op collOp) error {
+	p := c.prof()
+	n := c.Size()
+	me := c.Rank()
+	segB := op.count * op.d.Size()
+	out := simnet.GetBuf(segB)
+	in := simnet.GetBuf(segB)
+	defer simnet.PutBuf(out)
+	defer simnet.PutBuf(in)
+	seg, err := numericSegment(send, me*op.count, op.count)
+	if err != nil {
+		return err
+	}
+	if err := copySegmentLocal(recv, seg, me*op.count, op.count); err != nil {
+		return err
+	}
+	for step := 1; step < n; step++ {
+		partner := me ^ step
+		if err := encodeSeg(p, op.d, out, send, partner*op.count, op.count); err != nil {
+			return err
+		}
+		c.sendRaw(out, partner, tagAlltoall, step)
+		c.recvRaw(in, partner, tagAlltoall, step)
+		if err := decodeSeg(p, op.d, in, recv, partner*op.count, op.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// alltoallRing: step s sends to (me+s) mod n and receives from (me-s) mod n
+// — the canonical schedule, executed for real.
+func (c *Comm) alltoallRing(send, recv any, op collOp) error {
+	p := c.prof()
+	n := c.Size()
+	me := c.Rank()
+	segB := op.count * op.d.Size()
+	out := simnet.GetBuf(segB)
+	in := simnet.GetBuf(segB)
+	defer simnet.PutBuf(out)
+	defer simnet.PutBuf(in)
+	seg, err := numericSegment(send, me*op.count, op.count)
+	if err != nil {
+		return err
+	}
+	if err := copySegmentLocal(recv, seg, me*op.count, op.count); err != nil {
+		return err
+	}
+	for step := 1; step < n; step++ {
+		dst := (me + step) % n
+		src := (me - step + n) % n
+		if err := encodeSeg(p, op.d, out, send, dst*op.count, op.count); err != nil {
+			return err
+		}
+		c.sendRaw(out, dst, tagAlltoall, step)
+		c.recvRaw(in, src, tagAlltoall, step)
+		if err := decodeSeg(p, op.d, in, recv, src*op.count, op.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

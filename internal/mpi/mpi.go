@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"commintent/internal/coll"
 	"commintent/internal/model"
 	"commintent/internal/simnet"
 	"commintent/internal/spmd"
@@ -43,6 +44,10 @@ type Comm struct {
 	id      string
 	tagBase int
 	barrier *simnet.Barrier
+	barCost model.Time     // prof().BarrierTime(Size()), fixed per communicator
+	clk     *model.Clock   // cached rk.Clock(): the barrier path is O(ranks) calls hot
+	fab     *simnet.Fabric // cached rk.World().Fabric()
+	csh     *collShared    // shared collective rendezvous area
 
 	splitSeq int // per-rank count of Split calls, for scratch key derivation
 	winSeq   int // per-rank count of WinCreate calls
@@ -53,11 +58,16 @@ type Comm struct {
 // commTele caches this rank's telemetry handles so the per-operation cost
 // is an atomic add (or a nil check when telemetry is disabled).
 type commTele struct {
-	tr      *telemetry.Tracer
-	idle    *telemetry.Counter   // blocked virtual ns in waits/barriers
-	waitNS  *telemetry.Histogram // per-wait blocked time distribution
-	stalls  *telemetry.Counter   // rendezvous sends that blocked on the match
-	stallNS *telemetry.Counter   // total rendezvous stall virtual ns
+	tr       *telemetry.Tracer
+	idle     *telemetry.Counter   // blocked virtual ns in waits/barriers
+	waitNS   *telemetry.Histogram // per-wait blocked time distribution
+	stalls   *telemetry.Counter   // rendezvous sends that blocked on the match
+	stallNS  *telemetry.Counter   // total rendezvous stall virtual ns
+	barriers *telemetry.Counter   // MPI_Barrier calls
+	barIdle  *telemetry.Counter   // virtual ns blocked inside barriers
+
+	collCalls *telemetry.Counter              // collective invocations
+	collAlgo  [coll.NAlgos]*telemetry.Counter // invocations per selected algorithm
 }
 
 // initTele resolves the communicator's metric handles from the world's
@@ -70,11 +80,19 @@ func (c *Comm) initTele() {
 	reg := t.Registry()
 	r := telemetry.Rank(c.rk.ID)
 	c.tele = commTele{
-		tr:      t.Tracer(),
-		idle:    reg.Counter("mpi_idle_virtual_ns_total", r),
-		waitNS:  reg.Histogram("mpi_wait_virtual_ns", r),
-		stalls:  reg.Counter("mpi_rendezvous_stalls_total", r),
-		stallNS: reg.Counter("mpi_rendezvous_stall_virtual_ns_total", r),
+		tr:       t.Tracer(),
+		idle:     reg.Counter("mpi_idle_virtual_ns_total", r),
+		waitNS:   reg.Histogram("mpi_wait_virtual_ns", r),
+		stalls:   reg.Counter("mpi_rendezvous_stalls_total", r),
+		stallNS:  reg.Counter("mpi_rendezvous_stall_virtual_ns_total", r),
+		barriers: reg.Counter("mpi_barrier_calls_total", r),
+		barIdle:  reg.Counter("mpi_barrier_idle_virtual_ns_total", r),
+
+		collCalls: reg.Counter("mpi_coll_calls_total", r),
+	}
+	for a := coll.Algo(0); a < coll.NAlgos; a++ {
+		c.tele.collAlgo[a] = reg.Counter("mpi_coll_algo_total", r,
+			telemetry.Label{Key: "algo", Value: a.String()})
 	}
 }
 
@@ -89,7 +107,11 @@ func World(rk *spmd.Rank) *Comm {
 		id:      "world",
 		barrier: rk.World().Fabric().WorldBarrier(),
 	}
+	c.barCost = rk.Profile().BarrierTime(rk.N)
+	c.clk = rk.Clock()
+	c.fab = rk.World().Fabric()
 	c.tagBase = tagBaseFor(rk.World(), c.id)
+	c.csh = collFor(c)
 	c.initTele()
 	return c
 }
@@ -109,6 +131,7 @@ type commRegistry struct {
 	nextBase int
 	barriers map[string]*simnet.Barrier
 	scratch  map[string][]splitEntry
+	coll     map[string]*collShared
 }
 
 type splitEntry struct {
@@ -122,6 +145,7 @@ func registry(w *spmd.World) *commRegistry {
 			tagBases: make(map[string]int),
 			barriers: make(map[string]*simnet.Barrier),
 			scratch:  make(map[string][]splitEntry),
+			coll:     make(map[string]*collShared),
 		}
 	}).(*commRegistry)
 }
@@ -183,9 +207,9 @@ func (c *Comm) ID() string { return c.id }
 
 func (c *Comm) prof() *model.Profile    { return c.rk.Profile() }
 func (c *Comm) ep() *simnet.Endpoint    { return c.rk.Endpoint() }
-func (c *Comm) clock() *model.Clock     { return c.rk.Clock() }
-func (c *Comm) fabric() *simnet.Fabric  { return c.rk.World().Fabric() }
-func (c *Comm) emit(e simnet.Event)     { c.fabric().Emit(e) }
+func (c *Comm) clock() *model.Clock     { return c.clk }
+func (c *Comm) fabric() *simnet.Fabric  { return c.fab }
+func (c *Comm) emit(e simnet.Event)     { c.fab.Emit(e) }
 func (c *Comm) wireTag(userTag int) int { return c.tagBase + userTag }
 func (c *Comm) innerTag(opTag int) int  { return c.tagBase + internalTagBase + opTag }
 func (c *Comm) checkTag(tag int) error {
@@ -198,18 +222,34 @@ func (c *Comm) checkTag(tag int) error {
 // Barrier blocks until every rank of the communicator has entered it, and
 // charges the modelled barrier cost.
 func (c *Comm) Barrier() {
-	enter := c.clock().Now()
+	clk := c.clk
+	enter := clk.Now()
+	maxV := c.barrier.Wait(c.myIdx, enter)
+	// maxV >= enter always, so AdvanceTo(maxV)+Advance(barCost) is one Set.
+	after := maxV + c.barCost
+	clk.Set(after)
+	if c.tele.tr != nil || c.fab.Observed() {
+		c.barrierObserve(enter, maxV, after)
+	}
+}
+
+// barrierObserve reports a completed barrier to the tracer, metrics, and
+// fabric observers. Kept out of Barrier so the uninstrumented path pays no
+// span-handle or event construction; the span is recorded after the fact
+// with its true start time, which is indistinguishable from opening it
+// before the wait (the wait itself opens no spans).
+func (c *Comm) barrierObserve(enter, maxV, after model.Time) {
 	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Barrier", "mpi", enter)
-	maxV := c.barrier.Wait(enter)
 	idle := maxV - enter
-	if idle < 0 {
+	if idle > 0 {
+		c.tele.idle.AddTime(idle)
+		c.tele.barIdle.AddTime(idle)
+	} else {
 		idle = 0
 	}
-	c.clock().AdvanceTo(maxV)
-	c.clock().Advance(c.prof().BarrierTime(c.Size()))
-	c.tele.idle.AddTime(idle)
-	sp.End(c.clock().Now())
-	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvBarrier, Peer: -1, V: c.clock().Now(), Idle: idle})
+	c.tele.barriers.Inc()
+	sp.End(after)
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvBarrier, Peer: -1, V: after, Idle: idle})
 }
 
 // Split partitions the communicator by color, ordering each new group by
@@ -272,6 +312,10 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	}
 	nc.tagBase = tagBaseFor(c.rk.World(), nc.id)
 	nc.barrier = barrierFor(c.rk.World(), nc.id, len(nc.ranks))
+	nc.barCost = c.prof().BarrierTime(len(nc.ranks))
+	nc.clk = c.clk
+	nc.fab = c.fab
+	nc.csh = collFor(nc)
 	nc.initTele()
 	// The trailing barrier keeps the parent's ranks in lockstep, matching
 	// MPI_Comm_split's synchronising behaviour.

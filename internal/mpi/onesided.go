@@ -128,7 +128,7 @@ func (w *Win) Fence() {
 	c := w.comm
 	clk := c.clock()
 	enter := model.Max(clk.Now(), w.outstanding)
-	maxV := c.barrier.Wait(enter)
+	maxV := c.barrier.Wait(c.myIdx, enter)
 	clk.AdvanceTo(maxV)
 	clk.Advance(c.prof().MPIWinFence)
 	w.outstanding = 0

@@ -37,10 +37,11 @@ type Request struct {
 	recvCount int
 	dt        *Datatype
 
-	done    bool
-	claimed bool // consumed by Waitany
-	status  Status
-	readyV  model.Time // virtual completion time, set when finished
+	done       bool
+	claimed    bool // consumed by Waitany
+	unexpected bool // receive found its message already queued; cached at finish
+	status     Status
+	readyV     model.Time // virtual completion time, set when finished
 }
 
 // IsSend reports whether this tracks a send.
@@ -57,9 +58,10 @@ func (r *Request) CompletionV() model.Time { return r.readyV }
 
 // Unexpected reports whether a completed receive found its message already
 // queued (it arrived, in virtual time, before the receive was posted).
-// Always false for sends; only valid after completion.
+// Always false for sends; only valid after completion. The value is cached
+// at finish time because the underlying receive request is recycled then.
 func (r *Request) Unexpected() bool {
-	return r.recv != nil && r.done && r.recv.Unexpected()
+	return r.done && r.unexpected
 }
 
 // finish blocks (real time) until the request's data movement is done, then
@@ -74,7 +76,7 @@ func (r *Request) finish() error {
 		if r.rendezvous {
 			// Rendezvous: the send completes only once the matching
 			// receive is posted; the clearing ack costs one more latency.
-			<-r.send.Msg.Matched()
+			r.send.Msg.WaitMatched()
 			r.readyV = model.Max(r.send.LocalV, r.send.Msg.MatchV()+p.MPILatency)
 			if stall := r.readyV - r.send.LocalV; stall > 0 {
 				r.comm.tele.stalls.Inc()
@@ -87,13 +89,19 @@ func (r *Request) finish() error {
 		r.done = true
 		return nil
 	}
-	<-r.recv.Done()
+	r.recv.Wait()
 	n := r.recv.Len()
 	src := r.recv.Src()
+	tag := r.recv.Tag()
+	r.unexpected = r.recv.Unexpected()
 	ready := model.Max(r.recv.ArriveV(), r.recv.PostV()) + p.MPIMatchCost + p.RecvCopyTime(n)
-	if r.recv.Unexpected() {
+	if r.unexpected {
 		ready += p.MPIUnexpected
 	}
+	// Everything needed from the receive has been read; recycle it before
+	// the (potentially costly) decode.
+	r.recv.Release()
+	r.recv = nil
 	count := r.recvCount
 	if max := n / r.dt.Size(); max < count {
 		count = max
@@ -106,7 +114,7 @@ func (r *Request) finish() error {
 	r.wire = nil
 	ready += cost
 	srcComm := r.comm.commRankOf(src)
-	r.status = Status{Source: srcComm, Tag: r.recv.Tag() - r.comm.tagBase, Bytes: n}
+	r.status = Status{Source: srcComm, Tag: tag - r.comm.tagBase, Bytes: n}
 	r.readyV = ready
 	r.done = true
 	r.comm.emit(simnet.Event{
@@ -215,7 +223,7 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
 		}
 		for _, r := range reqs {
 			if r != nil && !r.claimed && r.recv != nil {
-				<-r.recv.Done()
+				r.recv.Wait()
 				break
 			}
 		}
@@ -227,7 +235,9 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
 // is charged either way.
 func (c *Comm) Test(r *Request) (bool, Status, error) {
 	c.clock().Advance(c.prof().MPITestEach)
-	if !r.isSend && !r.recv.Matched() && !r.done {
+	// r.done must be consulted first: a finished receive has had its
+	// underlying request recycled.
+	if !r.isSend && !r.done && !r.recv.Matched() {
 		return false, Status{}, nil
 	}
 	if err := r.finish(); err != nil {

@@ -71,7 +71,7 @@ func TestTopologyAffectsMakespan(t *testing.T) {
 				in, 4, mpi.Float64, peer, 0); err != nil {
 				return err
 			}
-			maxV := rk.World().Fabric().WorldBarrier().Wait(rk.Now())
+			maxV := rk.World().Fabric().WorldBarrier().Wait(rk.ID, rk.Now())
 			rk.Clock().AdvanceTo(maxV)
 			if rk.ID == 0 {
 				mu.Lock()

@@ -1,0 +1,246 @@
+package mpi_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+// The virtual-time pinning suite. The cost model — not the algorithm code
+// path or the wall-clock machinery — owns virtual time, so the per-rank
+// clock readings after every collective must be bit-identical across
+// control-plane rewrites and data-plane algorithm choices. The golden file
+// was captured from the original (pre scale-out redesign) implementation;
+// regenerate only with a deliberate cost-model change:
+//
+//	go test ./internal/mpi -run TestVirtualTimePinned -update-vtpin
+var updateVTPin = flag.Bool("update-vtpin", false, "rewrite testdata/vtpin_golden.json from the current implementation")
+
+const vtpinGoldenPath = "testdata/vtpin_golden.json"
+
+type pinStruct struct {
+	ID  int32
+	Pos [2]float64
+}
+
+// vtpinScript runs the fixed scenario on one rank and returns the clock
+// reading after every step. It must only use APIs that exist in every
+// revision it pins (it is the contract, so it cannot drift).
+func vtpinScript(rk *spmd.Rank) ([]int64, error) {
+	c := mpi.World(rk)
+	n := c.Size()
+	me := rk.ID
+	var out []int64
+	mark := func() { out = append(out, int64(rk.Now())) }
+	step := func(err error) error {
+		if err != nil {
+			return err
+		}
+		mark()
+		return nil
+	}
+
+	// Deterministic per-rank skew so entry times differ.
+	rk.Compute(model.Time((me*me)%7) * 137)
+
+	buf := make([]float64, 5)
+	if me == 2%n {
+		for i := range buf {
+			buf[i] = float64(i + 1)
+		}
+	}
+	if err := step(c.Bcast(buf, 5, mpi.Float64, 2%n)); err != nil {
+		return nil, err
+	}
+
+	rk.Compute(model.Time(me%3) * 53)
+
+	in3 := []float64{float64(me), 1, 2}
+	out3 := make([]float64, 3)
+	if err := step(c.Reduce(in3, out3, 3, mpi.Float64, mpi.OpSum, 0)); err != nil {
+		return nil, err
+	}
+
+	in2 := []int64{int64(me * 3), int64(-me)}
+	rcv2 := make([]int64, 2)
+	if err := step(c.Reduce(in2, rcv2, 2, mpi.Int64, mpi.OpMax, n-1)); err != nil {
+		return nil, err
+	}
+
+	ain := make([]float64, 4)
+	aout := make([]float64, 4)
+	ain[0] = float64(me + 1)
+	if err := step(c.Allreduce(ain, aout, 4, mpi.Float64, mpi.OpSum)); err != nil {
+		return nil, err
+	}
+
+	gin := []int64{int64(me), int64(me * 2)}
+	var gout []int64
+	if me == 1%n {
+		gout = make([]int64, 2*n)
+	}
+	if err := step(c.Gather(gin, 2, mpi.Int64, gout, 1%n)); err != nil {
+		return nil, err
+	}
+
+	var sin []float64
+	if me == 0 {
+		sin = make([]float64, 3*n)
+		for i := range sin {
+			sin[i] = float64(i)
+		}
+	}
+	sout := make([]float64, 3)
+	if err := step(c.Scatter(sin, 3, mpi.Float64, sout, 0)); err != nil {
+		return nil, err
+	}
+
+	agin := []float64{float64(me), float64(me + 1)}
+	agout := make([]float64, 2*n)
+	if err := step(c.Allgather(agin, 2, mpi.Float64, agout)); err != nil {
+		return nil, err
+	}
+
+	c.Barrier()
+	mark()
+
+	// Derived datatype broadcast: exercises the non-zero codec cost path.
+	dt, err := c.TypeCreateStruct(pinStruct{})
+	if err != nil {
+		return nil, err
+	}
+	ps := make([]pinStruct, 2)
+	if me == 0 {
+		ps[0] = pinStruct{ID: 7, Pos: [2]float64{1, 2}}
+		ps[1] = pinStruct{ID: 9, Pos: [2]float64{3, 4}}
+	}
+	if err := step(c.Bcast(ps, 2, dt, 0)); err != nil {
+		return nil, err
+	}
+
+	// Large-count allreduce: the size regime where algorithm selection
+	// switches, so this pin is the "regardless of algorithm" guarantee.
+	lin := make([]float64, 4096)
+	lout := make([]float64, 4096)
+	lin[me%4096] = 1
+	if err := step(c.Allreduce(lin, lout, 4096, mpi.Float64, mpi.OpSum)); err != nil {
+		return nil, err
+	}
+
+	// Sub-communicator collective.
+	sub, err := c.Split(me%2, me)
+	if err != nil {
+		return nil, err
+	}
+	srin := []float64{float64(me)}
+	srout := make([]float64, 1)
+	if err := step(sub.Allreduce(srin, srout, 1, mpi.Float64, mpi.OpSum)); err != nil {
+		return nil, err
+	}
+
+	// Point-to-point ring exchange: pins the p2p control-plane costs.
+	right := (me + 1) % n
+	left := (me + n - 1) % n
+	pbuf := make([]float64, 8)
+	prcv := make([]float64, 8)
+	if _, err := c.Sendrecv(pbuf, 8, mpi.Float64, right, 5,
+		prcv, 8, mpi.Float64, left, 5); err != nil {
+		return nil, err
+	}
+	mark()
+
+	return out, nil
+}
+
+// runVTPinScenarios executes the script over the profile/size matrix and
+// returns rank-major clock readings keyed by scenario.
+func runVTPinScenarios(t *testing.T) map[string][][]int64 {
+	t.Helper()
+	profiles := []struct {
+		name string
+		prof *model.Profile
+	}{
+		{"gemini", model.GeminiLike()},
+		{"ethernet", model.EthernetLike()},
+	}
+	sizes := []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 33}
+	got := map[string][][]int64{}
+	for _, p := range profiles {
+		for _, n := range sizes {
+			if p.name == "ethernet" && n > 8 {
+				continue // one profile covers the large sizes
+			}
+			key := fmt.Sprintf("%s/n%02d", p.name, n)
+			times := make([][]int64, n)
+			err := spmd.Run(n, p.prof, func(rk *spmd.Rank) error {
+				ts, err := vtpinScript(rk)
+				if err != nil {
+					return err
+				}
+				times[rk.ID] = ts
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			got[key] = times
+		}
+	}
+	return got
+}
+
+func TestVirtualTimePinned(t *testing.T) {
+	got := runVTPinScenarios(t)
+
+	if *updateVTPin {
+		blob, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(vtpinGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(vtpinGoldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d scenarios)", vtpinGoldenPath, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(vtpinGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-vtpin on the reference implementation): %v", err)
+	}
+	var want map[string][][]int64
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scenario count %d, golden has %d", len(got), len(want))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("scenario %s missing", key)
+			continue
+		}
+		if !reflect.DeepEqual(g, w) {
+			for r := range w {
+				for s := range w[r] {
+					if g[r][s] != w[r][s] {
+						t.Errorf("%s: rank %d step %d: virtual time %d, golden %d",
+							key, r, s, g[r][s], w[r][s])
+					}
+				}
+			}
+		}
+	}
+}

@@ -200,7 +200,7 @@ func (c *Ctx) BarrierAll() {
 	clk := c.clock()
 	sp := c.tele.tr.Begin(c.rk.ID, "shmem_barrier_all", "shmem", clk.Now())
 	enter := model.Max(clk.Now(), c.outstanding)
-	maxV := c.rk.World().Fabric().WorldBarrier().Wait(enter)
+	maxV := c.rk.World().Fabric().WorldBarrier().Wait(c.MyPE(), enter)
 	idle := maxV - clk.Now()
 	if idle < 0 {
 		idle = 0
@@ -248,9 +248,16 @@ func (c *Ctx) TeamBarrier(pes []int) error {
 		tb.m[key] = b
 	}
 	tb.mu.Unlock()
+	me := 0
+	for i, p := range pes {
+		if p == c.MyPE() {
+			me = i
+			break
+		}
+	}
 	clk := c.clock()
 	enter := model.Max(clk.Now(), c.outstanding)
-	maxV := b.Wait(enter)
+	maxV := b.Wait(me, enter)
 	if idle := maxV - clk.Now(); idle > 0 {
 		c.tele.idle.AddTime(idle)
 	}

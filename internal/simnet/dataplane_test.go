@@ -127,7 +127,7 @@ func TestEightSenderStress(t *testing.T) {
 	for i := 0; i < senders*perSender; i++ {
 		src := i % senders
 		r := dst.PostRecv(src, src, buf, model.Time(i))
-		<-r.Done()
+		r.Wait()
 		if r.Len() != 4 || r.Src() != src {
 			t.Fatalf("recv %d: len=%d src=%d, want 4/%d", i, r.Len(), r.Src(), src)
 		}
@@ -160,7 +160,7 @@ func TestSendOwnedEagerRecycles(t *testing.T) {
 	}
 	out := make([]byte, 16)
 	r := f.Endpoint(1).PostRecv(0, 0, out, 0)
-	<-r.Done()
+	r.Wait()
 	if r.Len() != 16 || r.ArriveV() != 5 || r.Src() != 0 || r.Tag() != 0 {
 		t.Errorf("completion metadata: len=%d arriveV=%v src=%d tag=%d",
 			r.Len(), r.ArriveV(), r.Src(), r.Tag())
@@ -185,14 +185,12 @@ func TestSendOwnedRendezvousHandshake(t *testing.T) {
 	if sr.Msg == nil {
 		t.Fatal("rendezvous SendOwned must expose its Msg")
 	}
-	select {
-	case <-sr.Msg.Matched():
+	if sr.Msg.IsMatched() {
 		t.Fatal("matched before any receive was posted")
-	default:
 	}
 	r := f.Endpoint(1).PostRecv(0, 7, make([]byte, 8), 300)
-	<-r.Done()
-	<-sr.Msg.Matched()
+	r.Wait()
+	sr.Msg.WaitMatched()
 	if v := sr.Msg.MatchV(); v != 300 {
 		t.Errorf("MatchV = %v, want 300 (posting after arrival)", v)
 	}

@@ -2,6 +2,9 @@ package simnet
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"commintent/internal/model"
 )
@@ -15,13 +18,21 @@ type Msg struct {
 	ArriveV  model.Time // virtual time at which the payload is on the target
 	seq      uint64     // fabric-wide FIFO tiebreak per (src,dst) pair
 
-	matched chan struct{} // closed when a receive matches this message
-	matchV  model.Time    // virtual time of the match (set before close)
+	// Match signalling is lazy: most sends are eager and nobody ever waits
+	// on them, so the old eagerly-allocated per-Msg channel was pure
+	// overhead. matchFlag is set (atomically) by complete(); a waiter that
+	// finds it unset installs a channel into matchCh and parks. Both are
+	// plain words (not atomic.Uint32/atomic.Pointer) on purpose: pooled
+	// Msg headers are reset by struct assignment in putMsg, which go vet
+	// would flag as a lock copy if the fields carried noCopy sentinels.
+	matchFlag uint32
+	matchCh   unsafe.Pointer // *chan struct{}, installed by WaitMatched
+	matchV    model.Time     // virtual time of the match (set before matchFlag)
 
 	// Pooling controls for the ownership-transfer send path. poolPayload
 	// returns Data to the payload pool at completion; poolMsg additionally
 	// recycles the Msg header itself, which is only safe when no sender
-	// holds a reference (eager sends, where matched is nil).
+	// holds a reference (eager sends, which never await the match).
 	poolPayload bool
 	poolMsg     bool
 
@@ -32,14 +43,32 @@ type Msg struct {
 	bucketPos int
 }
 
-// Matched returns a channel closed when a receive matches this message —
-// the rendezvous protocol's handshake signal. It is nil for eager
-// ownership-transfer sends, which have no handshake.
-func (m *Msg) Matched() <-chan struct{} { return m.matched }
+// IsMatched reports, without blocking, whether a receive has matched this
+// message.
+func (m *Msg) IsMatched() bool { return atomic.LoadUint32(&m.matchFlag) == 1 }
+
+// WaitMatched blocks until a receive matches this message — the rendezvous
+// protocol's handshake. Only the sending goroutine may call it. The wait
+// channel is created here, on first need, rather than at send time: the
+// store/load ordering against complete()'s flag store guarantees that
+// either the waiter sees the flag or the completer sees the channel.
+func (m *Msg) WaitMatched() {
+	if atomic.LoadUint32(&m.matchFlag) == 1 {
+		return
+	}
+	ch := make(chan struct{})
+	atomic.StorePointer(&m.matchCh, unsafe.Pointer(&ch))
+	if atomic.LoadUint32(&m.matchFlag) == 1 {
+		// complete() may or may not have seen the channel; either way the
+		// match is published and we must not park.
+		return
+	}
+	<-ch
+}
 
 // MatchV reports the virtual time at which the match occurred: the later of
-// the message's arrival and the receive posting. Only valid after Matched
-// is closed.
+// the message's arrival and the receive posting. Only valid once IsMatched
+// reports true (or WaitMatched has returned).
 func (m *Msg) MatchV() model.Time { return m.matchV }
 
 // Envelope is the value-copied metadata of a queued message, as reported by
@@ -61,51 +90,77 @@ type SendReq struct {
 	LocalV model.Time
 }
 
-// RecvReq tracks a posted receive until it is matched.
+// RecvReq tracks a posted receive until it is matched. Requests are pooled:
+// PostRecv draws one from a sync.Pool and Release returns it, so the
+// steady-state receive path allocates nothing. The completion handshake is
+// a reusable one-token channel plus an atomic flag — complete() publishes
+// the metadata, sets the flag, and finally deposits the token; the token
+// send is the completer's very last touch of the object, so once the owner
+// has consumed (or drained) it the object is provably quiescent and safe
+// to recycle.
 type RecvReq struct {
 	src, tag int
 	buf      []byte
 	postV    model.Time
 	postSeq  uint64 // endpoint-wide posting order, for wildcard-bucket ties
 
-	done chan struct{}
-	msg  *Msg // retained only for non-pooled messages; may be nil
+	done     chan struct{} // cap-1 token channel, created once, reused forever
+	doneFlag uint32        // set (atomically) by complete() before the token
+	consumed bool          // owner-goroutine only: the token has been taken
+	msg      *Msg          // retained only for non-pooled messages; may be nil
 
 	// Completion metadata, cached by complete() so it survives the matched
-	// message's return to the pools. Valid once done is closed.
+	// message's return to the pools. Valid once doneFlag is set.
 	n       int
 	srcRank int
 	tagVal  int
 	arriveV model.Time
 }
 
-// Done returns a channel closed when the receive has been matched and the
-// payload copied into the posted buffer.
-func (r *RecvReq) Done() <-chan struct{} { return r.done }
+// recvReqPool recycles receive requests; each carries its token channel
+// for life, which is what makes the pooled receive path allocation-free.
+var recvReqPool = sync.Pool{
+	New: func() any { return &RecvReq{done: make(chan struct{}, 1)} },
+}
+
+// Wait blocks until the receive has been matched and the payload copied
+// into the posted buffer. Only the posting goroutine may call it; it is
+// idempotent.
+func (r *RecvReq) Wait() {
+	if !r.consumed {
+		<-r.done
+		r.consumed = true
+	}
+}
 
 // Matched reports whether the receive has completed, without blocking.
-func (r *RecvReq) Matched() bool {
-	select {
-	case <-r.done:
-		return true
-	default:
-		return false
+func (r *RecvReq) Matched() bool { return atomic.LoadUint32(&r.doneFlag) == 1 }
+
+// Release returns the request to the pool. It must only be called by the
+// posting goroutine, after the request is known to have completed (Wait
+// returned, or Matched reported true); no accessor may be used afterwards.
+// If the token has not been consumed yet, Release drains it first — the
+// token deposit is the completer's last touch, so after the drain no other
+// goroutine can still hold a reference.
+func (r *RecvReq) Release() {
+	if !r.consumed {
+		<-r.done
 	}
+	*r = RecvReq{done: r.done}
+	recvReqPool.Put(r)
 }
 
 // PostV reports the virtual time at which the receive was posted.
 func (r *RecvReq) PostV() model.Time { return r.postV }
 
 func (r *RecvReq) mustBeDone() {
-	select {
-	case <-r.done:
-	default:
+	if atomic.LoadUint32(&r.doneFlag) != 1 {
 		panic("simnet: RecvReq accessor before completion")
 	}
 }
 
 // Result returns the matched message and the number of payload bytes copied
-// into the posted buffer. It must only be called after Done is closed. The
+// into the posted buffer. It must only be called after completion. The
 // message is nil when the sender used the ownership-transfer path (its
 // header and payload went back to the pools); use the Src/Tag/Len/ArriveV
 // accessors, which are always valid.
@@ -114,24 +169,24 @@ func (r *RecvReq) Result() (*Msg, int) {
 	return r.msg, r.n
 }
 
-// Src reports the sender's rank. Only valid after Done is closed.
+// Src reports the sender's rank. Only valid after completion.
 func (r *RecvReq) Src() int { r.mustBeDone(); return r.srcRank }
 
-// Tag reports the matched message's tag. Only valid after Done is closed.
+// Tag reports the matched message's tag. Only valid after completion.
 func (r *RecvReq) Tag() int { r.mustBeDone(); return r.tagVal }
 
 // Len reports the payload bytes copied into the posted buffer. Only valid
-// after Done is closed.
+// after completion.
 func (r *RecvReq) Len() int { r.mustBeDone(); return r.n }
 
 // ArriveV reports the matched message's virtual arrival time. Only valid
-// after Done is closed.
+// after completion.
 func (r *RecvReq) ArriveV() model.Time { r.mustBeDone(); return r.arriveV }
 
 // Unexpected reports, in virtual time, whether the message arrived before
 // the receive was posted (and therefore landed in the unexpected queue,
 // costing an extra staging copy in real MPI implementations). It must only
-// be called after Done is closed.
+// be called after completion.
 func (r *RecvReq) Unexpected() bool {
 	r.mustBeDone()
 	return r.arriveV < r.postV
@@ -228,7 +283,11 @@ type Endpoint struct {
 
 	clock model.Clock
 
-	mu chan struct{} // binary semaphore protecting the matching structures
+	// mu protects the matching structures. A plain sync.Mutex: the old
+	// chan-based binary semaphore cost two channel operations per critical
+	// section and queued every contended sender through the scheduler,
+	// which serialised delivery fan-in at high rank counts.
+	mu sync.Mutex
 
 	// Unexpected messages: arrival-order FIFO plus per-(src,tag) buckets
 	// over the same Msg set. Buckets persist once created (bounded by the
@@ -250,16 +309,14 @@ func newEndpoint(f *Fabric, rank int) *Endpoint {
 	ep := &Endpoint{
 		f:           f,
 		rank:        rank,
-		mu:          make(chan struct{}, 1),
 		unexBuckets: make(map[pairKey]*msgQueue),
 		posted:      make(map[pairKey]*recvQueue),
 	}
-	ep.mu <- struct{}{}
 	return ep
 }
 
-func (ep *Endpoint) lock()   { <-ep.mu }
-func (ep *Endpoint) unlock() { ep.mu <- struct{}{} }
+func (ep *Endpoint) lock()   { ep.mu.Lock() }
+func (ep *Endpoint) unlock() { ep.mu.Unlock() }
 
 // Rank reports this endpoint's rank.
 func (ep *Endpoint) Rank() int { return ep.rank }
@@ -289,7 +346,6 @@ func (ep *Endpoint) Send(dst, tag int, data []byte, arriveV model.Time) *SendReq
 		Data:    payload,
 		SentV:   ep.clock.Now(),
 		ArriveV: arriveV,
-		matched: make(chan struct{}),
 	}
 	ep.f.eps[dst].deliver(m)
 	return &SendReq{Msg: m, LocalV: ep.clock.Now()}
@@ -307,7 +363,7 @@ func (ep *Endpoint) SendOwned(dst, tag int, data []byte, arriveV model.Time, ren
 	}
 	var m *Msg
 	if rendezvous {
-		m = &Msg{matched: make(chan struct{})}
+		m = &Msg{}
 	} else {
 		m = getMsg()
 		m.poolMsg = true
@@ -420,7 +476,8 @@ func (ep *Endpoint) PostRecv(src, tag int, buf []byte, postV model.Time) *RecvRe
 	if src != AnySource && (src < 0 || src >= ep.f.n) {
 		panic(fmt.Sprintf("simnet: recv from rank %d of %d", src, ep.f.n))
 	}
-	r := &RecvReq{src: src, tag: tag, buf: buf, postV: postV, done: make(chan struct{})}
+	r := recvReqPool.Get().(*RecvReq)
+	r.src, r.tag, r.buf, r.postV = src, tag, buf, postV
 	ep.lock()
 	if m := ep.takeUnexpected(src, tag); m != nil {
 		ep.unlock()
@@ -487,6 +544,9 @@ func (ep *Endpoint) PendingPosted() int {
 // complete finishes a matched (receive, message) pair: it copies the
 // payload into the posted buffer, caches the completion metadata on the
 // request, signals any rendezvous waiter, and returns pooled resources.
+// The request's token deposit comes last: it is the completer's final
+// touch, which is what licenses RecvReq.Release to recycle the object once
+// the token has been taken.
 func complete(r *RecvReq, m *Msg) {
 	n := copy(r.buf, m.Data)
 	r.n = n
@@ -494,19 +554,23 @@ func complete(r *RecvReq, m *Msg) {
 	r.tagVal = m.Tag
 	r.arriveV = m.ArriveV
 	m.matchV = model.Max(m.ArriveV, r.postV)
-	if m.matched != nil {
-		close(m.matched)
-	}
 	if m.poolPayload {
 		PutBuf(m.Data)
 		m.Data = nil
 	}
 	if m.poolMsg {
+		// Eager pooled header: by contract no sender holds a reference, so
+		// there is no rendezvous waiter to signal.
 		putMsg(m)
 	} else {
 		r.msg = m
+		atomic.StoreUint32(&m.matchFlag, 1)
+		if p := atomic.LoadPointer(&m.matchCh); p != nil {
+			close(*(*chan struct{})(p))
+		}
 	}
-	close(r.done)
+	atomic.StoreUint32(&r.doneFlag, 1)
+	r.done <- struct{}{}
 }
 
 func matches(wantSrc, wantTag, src, tag int) bool {

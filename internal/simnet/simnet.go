@@ -13,6 +13,7 @@ package simnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"commintent/internal/model"
 )
@@ -86,8 +87,8 @@ type Fabric struct {
 	eps     []*Endpoint
 	barrier *Barrier
 
-	obsMu     sync.RWMutex
-	observers []Observer
+	obsMu     sync.Mutex                 // serializes Observe registrations
+	observers atomic.Pointer[[]Observer] // read lock-free on every Emit
 }
 
 // NewFabric creates a fabric with n ranks.
@@ -119,16 +120,27 @@ func (f *Fabric) WorldBarrier() *Barrier { return f.barrier }
 func (f *Fabric) Observe(o Observer) {
 	f.obsMu.Lock()
 	defer f.obsMu.Unlock()
-	f.observers = append(f.observers, o)
+	var obs []Observer
+	if p := f.observers.Load(); p != nil {
+		obs = append(obs, *p...)
+	}
+	obs = append(obs, o)
+	f.observers.Store(&obs)
 }
 
+// Observed reports whether any observer is registered. Hot paths check it
+// before even constructing an Event.
+func (f *Fabric) Observed() bool { return f.observers.Load() != nil }
+
 // Emit publishes an event to all observers. The substrates call this; user
-// code normally does not.
+// code normally does not. With no observers registered it is a single
+// atomic load, so instrumentation points may call it unconditionally.
 func (f *Fabric) Emit(e Event) {
-	f.obsMu.RLock()
-	obs := f.observers
-	f.obsMu.RUnlock()
-	for _, o := range obs {
+	p := f.observers.Load()
+	if p == nil {
+		return
+	}
+	for _, o := range *p {
 		o(e)
 	}
 }

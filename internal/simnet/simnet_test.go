@@ -48,7 +48,7 @@ func TestPostedBeforeArrival(t *testing.T) {
 		t.Fatal("matched before any send")
 	}
 	f.Endpoint(1).Send(0, 0, []byte{9, 8, 7, 6}, 50)
-	<-r.Done()
+	r.Wait()
 	if r.Unexpected() {
 		t.Error("receive posted at vtime 10 with arrival at 50 flagged unexpected")
 	}
@@ -70,7 +70,7 @@ func TestUnexpectedFlagUsesVirtualTime(t *testing.T) {
 	// Arrival vtime 2000, posted at 900 (real order reversed): expected.
 	f.Endpoint(1).Send(0, 0, []byte{1}, 2000)
 	r2 := dst.PostRecv(1, 0, make([]byte, 1), 900)
-	<-r2.Done()
+	r2.Wait()
 	if r2.Unexpected() {
 		t.Error("receive with later arrival vtime flagged unexpected")
 	}
@@ -130,7 +130,7 @@ func TestFIFOPerPairUnderConcurrency(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < k; i++ {
 			r := f.Endpoint(1).PostRecv(0, 0, make([]byte, 1), 0)
-			<-r.Done()
+			r.Wait()
 			m, _ := r.Result()
 			if m.Data[0] != byte(i) {
 				select {
@@ -165,7 +165,7 @@ func TestBarrierMaxReduces(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i] = b.Wait(model.Time(i * 100))
+			results[i] = b.Wait(i, model.Time(i*100))
 		}()
 	}
 	wg.Wait()
@@ -187,7 +187,7 @@ func TestBarrierReusable(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				results[i] = b.Wait(model.Time(round*1000 + i))
+				results[i] = b.Wait(i, model.Time(round*1000+i))
 			}()
 		}
 		wg.Wait()

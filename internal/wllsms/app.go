@@ -208,7 +208,7 @@ func (a *App) Measure(f func() error) (model.Time, error) {
 	if err := f(); err != nil {
 		return 0, err
 	}
-	maxV := a.RK.World().Fabric().WorldBarrier().Wait(a.RK.Now())
+	maxV := a.RK.World().Fabric().WorldBarrier().Wait(a.RK.ID, a.RK.Now())
 	a.RK.Clock().AdvanceTo(maxV)
 	return maxV - t0, nil
 }
