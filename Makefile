@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify bench bench-scale bench-scale-check bench-all clean
+.PHONY: all build test verify bench bench-scale bench-scale-check bench-rma bench-rma-check bench-all clean
 
 all: build
 
@@ -23,8 +23,8 @@ test:
 verify:
 	$(GO) vet -unsafeptr=false ./internal/typemap/
 	$(GO) vet $$($(GO) list ./... | grep -v internal/typemap)
-	$(GO) test -race ./internal/...
-	$(GO) test -tags purego ./internal/typemap/
+	$(GO) test -race ./internal/... .
+	$(GO) test -tags purego ./internal/typemap/ ./internal/mpi/ ./internal/shmem/
 
 # bench runs the data-plane benchmarks (simulator wall-clock cost: pack and
 # unpack, payload pooling, message matching) and snapshots them, diffed
@@ -54,6 +54,23 @@ bench-scale-check:
 	$(GO) test -run XXX -bench BenchmarkScale -benchmem -count=5 -timeout 0 . | $(GO) run ./cmd/benchjson -compare BENCH_scale.json > /dev/null
 	@echo scale benchmarks within budget
 
+# bench-rma runs the one-sided suite (window put/get, halo-via-put through
+# the directive layer, symmetric-heap put at 64/256/1024 ranks) and
+# snapshots it, diffed against the committed pre-fast-path baseline, into
+# BENCH_rma.json. Same -timeout 0 rationale as bench-scale.
+bench-rma:
+	$(GO) test -run XXX -bench BenchmarkRMA -benchmem -count=5 -timeout 0 . | tee bench_rma.out
+	$(GO) run ./cmd/benchjson -baseline testdata/bench_baseline_rma.txt < bench_rma.out > BENCH_rma.json
+	@rm -f bench_rma.out
+	@echo wrote BENCH_rma.json
+
+# bench-rma-check is the one-sided regression gate, the RMA analogue of
+# bench-scale-check: fail if any benchmark's best sample sits >25% above
+# the committed BENCH_rma.json median.
+bench-rma-check:
+	$(GO) test -run XXX -bench BenchmarkRMA -benchmem -count=5 -timeout 0 . | $(GO) run ./cmd/benchjson -compare BENCH_rma.json > /dev/null
+	@echo rma benchmarks within budget
+
 # bench-all additionally runs every other benchmark once (the virtual-time
 # figure benchmarks live in internal packages).
 bench-all: bench
@@ -61,4 +78,4 @@ bench-all: bench
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_dataplane.out bench_scale.out
+	rm -f bench_dataplane.out bench_scale.out bench_rma.out

@@ -1,0 +1,293 @@
+// One-sided benchmarks: the wall-clock cost of the simulator's RMA data
+// plane — MPI window put/get, halo exchange via puts with fence epochs, and
+// symmetric-heap puts — as the rank count grows. Like the scale suite these
+// measure the *simulator itself* (real ns/op, allocs/op with -benchmem),
+// not virtual time: one op is one whole-world operation across every rank.
+// They are the regression guard for the zero-copy window fast path, the
+// lock-light symmetric heap and the epoch-batched fence; `make bench-rma`
+// snapshots them into BENCH_rma.json against the committed pre-change
+// baseline.
+package commintent
+
+import (
+	"fmt"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+// rmaRanks are the world sizes the RMA suite sweeps; same spread as the
+// scale suite so the two can be read side by side.
+var rmaRanks = []int{64, 256, 1024}
+
+// rmaSizes are the payload points, expressed as float64 element counts.
+var rmaSizes = []struct {
+	label string
+	count int // float64 elements
+}{
+	{"8B", 1},
+	{"4KiB", 512},
+	{"64KiB", 8192},
+}
+
+// BenchmarkRMAPut measures one window Put per rank per op on a ring (every
+// rank puts to its right neighbour; destinations are disjoint, so the
+// number isolates put-path overhead — handle resolution, cost model, bulk
+// copy — without fence synchronisation).
+func BenchmarkRMAPut(b *testing.B) {
+	for _, n := range rmaRanks {
+		for _, sz := range rmaSizes {
+			b.Run(fmt.Sprintf("r%d/%s", n, sz.label), func(b *testing.B) {
+				b.ReportAllocs()
+				err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+					c := mpi.World(rk)
+					win := make([]float64, sz.count)
+					// Steady state holds the origin as a resolved handle:
+					// boxing the slice once outside the loop mirrors how the
+					// directive layer passes cached buffers, and keeps the
+					// loop measuring the put path, not interface conversion.
+					var origin any = make([]float64, sz.count)
+					w, err := c.WinCreate(win)
+					if err != nil {
+						return err
+					}
+					right := (c.Rank() + 1) % c.Size()
+					c.Barrier()
+					if rk.ID == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if err := w.Put(origin, sz.count, mpi.Float64, right, 0); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRMAGet measures one window Get per rank per op from the right
+// neighbour (blocking round trip; no rank writes the window, so reads are
+// uncontended in the application sense and the number is the get path).
+func BenchmarkRMAGet(b *testing.B) {
+	for _, n := range rmaRanks {
+		for _, sz := range rmaSizes {
+			if sz.label == "4KiB" {
+				continue // the 8B and 64KiB endpoints bracket the trend
+			}
+			b.Run(fmt.Sprintf("r%d/%s", n, sz.label), func(b *testing.B) {
+				b.ReportAllocs()
+				err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+					c := mpi.World(rk)
+					win := make([]float64, sz.count)
+					// Steady state holds the origin as a resolved handle:
+					// boxing the slice once outside the loop mirrors how the
+					// directive layer passes cached buffers, and keeps the
+					// loop measuring the put path, not interface conversion.
+					var origin any = make([]float64, sz.count)
+					w, err := c.WinCreate(win)
+					if err != nil {
+						return err
+					}
+					right := (c.Rank() + 1) % c.Size()
+					c.Barrier()
+					if rk.ID == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if err := w.Get(origin, sz.count, mpi.Float64, right, 0); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// haloSizes are the halo payload points. They stay small — the halo shape
+// is latency- and synchronisation-bound, not bandwidth-bound.
+var haloSizes = []struct {
+	label string
+	count int
+}{
+	{"8B", 1},
+	{"256B", 32},
+	{"1KiB", 128},
+}
+
+// BenchmarkRMAHaloPut measures one halo-via-put exchange per op through the
+// directive layer: every rank executes one comm_parameters region of two
+// TARGET_COMM_MPI_1SIDE comm_p2p directives (send an edge to each ring
+// neighbour into a symmetric halo array) and the region flush closes the
+// epoch with a single window fence. This is the paper's one-sided halo
+// shape and the headline number for the one-sided fast path: in steady
+// state the lowering must re-resolve nothing — cached window and symmetric
+// handles, no reflection walk, no `%T` dispatch — so the op is two bulk
+// copies plus the fence.
+func BenchmarkRMAHaloPut(b *testing.B) {
+	for _, n := range rmaRanks {
+		for _, sz := range haloSizes {
+			b.Run(fmt.Sprintf("r%d/%s", n, sz.label), func(b *testing.B) {
+				b.ReportAllocs()
+				err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+					c := mpi.World(rk)
+					shm := shmem.New(rk)
+					e, err := core.NewEnv(c, shm)
+					if err != nil {
+						return err
+					}
+					defer e.Close()
+					// Symmetric halo array: [0:count) is filled by my left
+					// neighbour, [count:2*count) by my right neighbour.
+					halo := shmem.MustAlloc[float64](shm, 2*sz.count)
+					edgeL := make([]float64, sz.count)
+					edgeR := make([]float64, sz.count)
+					right := (c.Rank() + 1) % c.Size()
+					left := (c.Rank() + c.Size() - 1) % c.Size()
+					// The clause lists are loop-invariant — exactly the
+					// max_comm_iter steady state the lowering caches for —
+					// so they are built once, outside the iteration loop.
+					toRight := []core.Option{
+						core.Sender(left), core.Receiver(right),
+						core.SendWhen(true), core.ReceiveWhen(true),
+						core.SBuf(edgeR), core.RBuf(core.At(halo, 0)),
+						core.Count(sz.count),
+						core.WithTarget(core.TargetMPI1Side),
+					}
+					toLeft := []core.Option{
+						core.Sender(right), core.Receiver(left),
+						core.SendWhen(true), core.ReceiveWhen(true),
+						core.SBuf(edgeL), core.RBuf(core.At(halo, sz.count)),
+						core.Count(sz.count),
+						core.WithTarget(core.TargetMPI1Side),
+					}
+					body := func(r *core.Region) error {
+						if err := r.P2P(toRight...); err != nil {
+							return err
+						}
+						return r.P2P(toLeft...)
+					}
+					exchange := func() error {
+						return e.Parameters(body)
+					}
+					// First exchange performs the collective window creation;
+					// keep it out of the timed loop.
+					if err := exchange(); err != nil {
+						return err
+					}
+					c.Barrier()
+					if rk.ID == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if err := exchange(); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRMAHaloRaw is the raw data-plane floor of the halo shape: two
+// hand-written window Puts to the ring neighbours plus an explicit Fence,
+// no directive layer. On a single-P runtime the fence's rendezvous
+// dominates (every rank must park once per epoch), so this number bounds
+// what any halo implementation can reach; the directive benchmark above is
+// measured against it.
+func BenchmarkRMAHaloRaw(b *testing.B) {
+	for _, n := range rmaRanks {
+		for _, sz := range haloSizes {
+			b.Run(fmt.Sprintf("r%d/%s", n, sz.label), func(b *testing.B) {
+				b.ReportAllocs()
+				err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+					c := mpi.World(rk)
+					// Window halves: [0:count) is filled by my left
+					// neighbour, [count:2*count) by my right neighbour.
+					win := make([]float64, 2*sz.count)
+					var edge any = make([]float64, sz.count)
+					w, err := c.WinCreate(win)
+					if err != nil {
+						return err
+					}
+					right := (c.Rank() + 1) % c.Size()
+					left := (c.Rank() + c.Size() - 1) % c.Size()
+					c.Barrier()
+					if rk.ID == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if err := w.Put(edge, sz.count, mpi.Float64, right, 0); err != nil {
+							return err
+						}
+						if err := w.Put(edge, sz.count, mpi.Float64, left, sz.count); err != nil {
+							return err
+						}
+						w.Fence()
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRMAShmemPut measures one symmetric-heap Put per PE per op on a
+// ring (disjoint destinations, no per-op Quiet) — the shmem analogue of
+// BenchmarkRMAPut, guarding the lock-light symmetric-heap resolution path.
+func BenchmarkRMAShmemPut(b *testing.B) {
+	for _, n := range rmaRanks {
+		for _, sz := range rmaSizes {
+			if sz.label == "64KiB" {
+				continue // memmove dominates; 8B and 4KiB show the path cost
+			}
+			b.Run(fmt.Sprintf("r%d/%s", n, sz.label), func(b *testing.B) {
+				b.ReportAllocs()
+				err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+					ctx := shmem.New(rk)
+					s, err := shmem.Alloc[float64](ctx, sz.count)
+					if err != nil {
+						return err
+					}
+					src := make([]float64, sz.count)
+					right := (ctx.MyPE() + 1) % ctx.NPEs()
+					ctx.BarrierAll()
+					if rk.ID == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if err := s.Put(ctx, right, src, 0); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

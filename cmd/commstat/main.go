@@ -101,6 +101,31 @@ func main() {
 			fast, slow, 100*float64(fast)/float64(fast+slow))
 	}
 
+	// One-sided data plane: window traffic, fence elision, symmetric-heap
+	// traffic and the directive layer's handle cache.
+	rmaPut := sumCounter(reg, "mpi_rma_put_bytes_total", *n)
+	rmaGet := sumCounter(reg, "mpi_rma_get_bytes_total", *n)
+	if rmaPut+rmaGet > 0 {
+		fences := sumCounter(reg, "mpi_rma_fence_total", *n)
+		elided := sumCounter(reg, "mpi_rma_fence_elided_total", *n)
+		line := fmt.Sprintf("one-sided: %d bytes put, %d bytes got, %d fences", rmaPut, rmaGet, fences)
+		if fences > 0 {
+			line += fmt.Sprintf(" (%d elided, %.1f%%)", elided, 100*float64(elided)/float64(fences))
+		}
+		fmt.Println(line)
+	}
+	shPut := sumCounter(reg, "shmem_put_bytes_total", *n)
+	shGet := sumCounter(reg, "shmem_get_bytes_total", *n)
+	if shPut+shGet > 0 {
+		fmt.Printf("symmetric heap: %d bytes put, %d bytes got, %d atomics; %d quiets (%d elided)\n",
+			shPut, shGet, sumCounter(reg, "shmem_amo_total", *n),
+			sumCounter(reg, "shmem_quiet_total", *n), sumCounter(reg, "shmem_quiet_elided_total", *n))
+	}
+	if rh, rm := sumCounter(reg, "core_handle_cache_hits_total", *n), sumCounter(reg, "core_handle_cache_misses_total", *n); rh+rm > 0 {
+		fmt.Printf("handle cache: %d hits / %d misses (hit rate %.1f%%)\n",
+			rh, rm, 100*float64(rh)/float64(rh+rm))
+	}
+
 	if calls := sumCounter(reg, "mpi_coll_calls_total", *n); calls > 0 {
 		line := fmt.Sprintf("collectives: %d calls; algorithms:", calls)
 		for a := coll.Algo(0); a < coll.NAlgos; a++ {

@@ -47,6 +47,56 @@ type bufInfo struct {
 	goElem    int // in-memory bytes per element (for range trimming)
 	isArray   bool
 	rng       bufRange
+
+	// Resolved handles, filled lazily and reused across max_comm_iter
+	// iterations once the bufInfo itself is cached by the Env: the typed
+	// view handed to MPI, the resolved datatype, and the one-sided window.
+	view any
+	dt   *mpi.Datatype
+	win  *mpi.Win
+}
+
+// resolveKey identifies a clause buffer for the Env's handle cache. For
+// symmetric buffers the (allocation id, view offset) pair is the identity;
+// for local slices and struct pointers it is (type, base address, length) —
+// the same triple winFor keys windows by. The key is three plain words
+// (the type identity is the interface type word, not a reflect.Type), so
+// the per-directive cache lookups hash fast.
+type resolveKey struct {
+	typ uintptr // symTypeWord for symmetric buffers, else the dynamic type identity
+	ptr uintptr // base address; the allocation id for symmetric buffers
+	n   int     // length (1 for *struct); the view offset for symmetric buffers
+}
+
+// symTypeWord marks symmetric-buffer keys. Real type words are pointers
+// into the binary's type metadata, never 1, so the spaces cannot collide.
+// A whole-array reference and an At(s, 0) view of the same allocation
+// intentionally share a key: they classify to the same bufInfo.
+const symTypeWord uintptr = 1
+
+// resolveKeyFor derives the cache key for a clause buffer; ok=false means
+// the value is not cacheable and must be classified from scratch.
+func resolveKeyFor(v any) (resolveKey, bool) {
+	switch b := v.(type) {
+	case nil:
+		return resolveKey{}, false
+	case symView:
+		return resolveKey{typ: symTypeWord, ptr: uintptr(b.s.SymID()), n: b.off}, true
+	case shmem.AnySlice:
+		return resolveKey{typ: symTypeWord, ptr: uintptr(b.SymID())}, true
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Slice:
+		return resolveKey{typ: typemap.TypeWord(v), ptr: rv.Pointer(), n: rv.Len()}, true
+	case reflect.Pointer:
+		if rv.IsNil() {
+			return resolveKey{}, false
+		}
+		return resolveKey{typ: typemap.TypeWord(v), ptr: rv.Pointer(), n: 1}, true
+	default:
+		return resolveKey{}, false
+	}
 }
 
 // rangeFor returns the buffer's storage range trimmed to the directive's
@@ -87,8 +137,40 @@ func (r bufRange) overlaps(o bufRange) bool {
 	return r.start < o.end && o.start < r.end
 }
 
-// classify analyses one clause buffer.
+// maxResolveCacheEntries bounds the handle cache so a loop materialising
+// fresh slices every iteration cannot grow it without bound.
+const maxResolveCacheEntries = 4096
+
+// classify analyses one clause buffer, consulting the Env's handle cache
+// first: across max_comm_iter iterations the same buffers reappear, and a
+// hit skips the reflection walk and returns the bufInfo whose resolved
+// window/symmetric handles are already warm. A cached struct buffer still
+// pays the datatype-cache-hit lookup cost the uncached path would charge,
+// so virtual time is unchanged.
 func (e *Env) classify(v any) (*bufInfo, error) {
+	key, cacheable := resolveKeyFor(v)
+	if cacheable {
+		if b, ok := e.resolve[key]; ok {
+			e.tele.resolveHits.Inc()
+			if b.class == bufStruct {
+				e.chargeLayout(true)
+			}
+			return b, nil
+		}
+	}
+	b, err := e.classifySlow(v)
+	if err != nil {
+		return nil, err
+	}
+	e.tele.resolveMisses.Inc()
+	if cacheable && len(e.resolve) < maxResolveCacheEntries {
+		e.resolve[key] = b
+	}
+	return b, nil
+}
+
+// classifySlow analyses one clause buffer from scratch.
+func (e *Env) classifySlow(v any) (*bufInfo, error) {
 	switch b := v.(type) {
 	case nil:
 		return nil, fmt.Errorf("core: nil buffer in clause")
@@ -161,23 +243,43 @@ func (e *Env) classify(v any) (*bufInfo, error) {
 	}
 }
 
-// datatype resolves the MPI datatype for a classified buffer.
+// datatype resolves the MPI datatype for a classified buffer. The result
+// is cached on the bufInfo, so a buffer reused across iterations resolves
+// its datatype once; a cached struct datatype still charges the
+// scope-cache lookup the uncached path would.
 func (e *Env) datatype(b *bufInfo) (*mpi.Datatype, error) {
+	if b.dt != nil {
+		if b.class == bufStruct {
+			e.comm.SPMD().Clock().Advance(e.comm.SPMD().Profile().MPITypeCacheHit)
+			e.tele.dtypeHits.Inc()
+		}
+		return b.dt, nil
+	}
+	var (
+		dt  *mpi.Datatype
+		err error
+	)
 	switch b.class {
 	case bufStruct:
-		return e.structType(b.layout.GoType, b.raw)
+		dt, err = e.structType(b.layout.GoType, b.raw)
 	case bufPrimSlice:
 		k, _ := typemap.SliceKind(b.raw)
-		return basicDatatype(k)
+		dt, err = basicDatatype(k)
 	case bufSym:
 		local := b.sym.LocalAny(e.shm)
 		k, ok := typemap.SliceKind(local)
 		if !ok {
 			return nil, fmt.Errorf("core: symmetric array %s has no basic datatype", b.sym.TypeName())
 		}
-		return basicDatatype(k)
+		dt, err = basicDatatype(k)
+	default:
+		return nil, fmt.Errorf("core: unclassified buffer")
 	}
-	return nil, fmt.Errorf("core: unclassified buffer")
+	if err != nil {
+		return nil, err
+	}
+	b.dt = dt
+	return dt, nil
 }
 
 func basicDatatype(k typemap.Kind) (*mpi.Datatype, error) {
@@ -192,6 +294,8 @@ func basicDatatype(k typemap.Kind) (*mpi.Datatype, error) {
 		return mpi.Int64, nil
 	case typemap.KindUint8:
 		return mpi.Byte, nil
+	case typemap.KindUint16:
+		return mpi.Uint16, nil
 	case typemap.KindUint32:
 		return mpi.Uint32, nil
 	case typemap.KindUint64:
@@ -206,17 +310,24 @@ func basicDatatype(k typemap.Kind) (*mpi.Datatype, error) {
 }
 
 // mpiView returns the value to hand to the MPI layer for this buffer (for
-// symmetric buffers, the local typed slice at the view offset).
+// symmetric buffers, the local typed slice at the view offset). Symmetric
+// views are materialised once — re-slicing through reflection boxes a new
+// interface per call — and reused for the buffer's cached lifetime, which
+// is sound because a symmetric allocation's backing arrays never move.
 func (b *bufInfo) mpiView(e *Env) (any, error) {
 	if b.class != bufSym {
 		return b.raw, nil
+	}
+	if b.view != nil {
+		return b.view, nil
 	}
 	local := b.sym.LocalAny(e.shm)
 	rv := reflect.ValueOf(local)
 	if b.symOff > rv.Len() {
 		return nil, fmt.Errorf("core: symmetric view offset %d out of %d", b.symOff, rv.Len())
 	}
-	return rv.Slice(b.symOff, rv.Len()).Interface(), nil
+	b.view = rv.Slice(b.symOff, rv.Len()).Interface()
+	return b.view, nil
 }
 
 // inferCount implements the paper's count-inference rule: if count is

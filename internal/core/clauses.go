@@ -43,9 +43,18 @@ type Clauses struct {
 // Option asserts one clause.
 type Option func(*Clauses)
 
+// trueFn and falseFn back the constant-expression forms of the when/count
+// clauses, so a clause list built once outside a loop applies without
+// allocating per directive execution.
+var (
+	trueFn  = func() bool { return true }
+	falseFn = func() bool { return false }
+)
+
 // Sender asserts the id of the process that sends to the current process.
 func Sender(id int) Option {
-	return func(c *Clauses) { c.sender = func() int { return id }; c.senderSet = true }
+	f := func() int { return id }
+	return func(c *Clauses) { c.sender = f; c.senderSet = true }
 }
 
 // SenderFn is Sender with an expression re-evaluated at each comm_p2p
@@ -57,7 +66,8 @@ func SenderFn(f func() int) Option {
 // Receiver asserts the id of the process that receives from the current
 // process.
 func Receiver(id int) Option {
-	return func(c *Clauses) { c.receiver = func() int { return id }; c.receiverSet = true }
+	f := func() int { return id }
+	return func(c *Clauses) { c.receiver = f; c.receiverSet = true }
 }
 
 // ReceiverFn is Receiver with a re-evaluated expression.
@@ -77,7 +87,11 @@ func RBuf(bufs ...any) Option {
 
 // SendWhen asserts the Boolean expression selecting which processes send.
 func SendWhen(b bool) Option {
-	return func(c *Clauses) { c.sendWhen = func() bool { return b }; c.sendWhenSet = true }
+	f := falseFn
+	if b {
+		f = trueFn
+	}
+	return func(c *Clauses) { c.sendWhen = f; c.sendWhenSet = true }
 }
 
 // SendWhenFn is SendWhen with a re-evaluated expression.
@@ -88,7 +102,11 @@ func SendWhenFn(f func() bool) Option {
 // ReceiveWhen asserts the Boolean expression selecting which processes
 // receive.
 func ReceiveWhen(b bool) Option {
-	return func(c *Clauses) { c.recvWhen = func() bool { return b }; c.recvWhenSet = true }
+	f := falseFn
+	if b {
+		f = trueFn
+	}
+	return func(c *Clauses) { c.recvWhen = f; c.recvWhenSet = true }
 }
 
 // ReceiveWhenFn is ReceiveWhen with a re-evaluated expression.
@@ -104,7 +122,8 @@ func WithTarget(t Target) Option {
 // Count asserts the number of elements of the sender's buffer(s) passed to
 // the receiver's buffer(s).
 func Count(n int) Option {
-	return func(c *Clauses) { c.count = func() int { return n }; c.countSet = true }
+	f := func() int { return n }
+	return func(c *Clauses) { c.count = f; c.countSet = true }
 }
 
 // CountFn is Count with a re-evaluated expression.
@@ -125,7 +144,14 @@ func MaxCommIter(n int) Option {
 	return func(c *Clauses) { c.maxCommIter = n; c.maxCommIterSet = true }
 }
 
+// emptyClauses is the shared build result for an empty option list; clause
+// sets are read-only after build, so sharing is safe.
+var emptyClauses Clauses
+
 func build(opts []Option) *Clauses {
+	if len(opts) == 0 {
+		return &emptyClauses
+	}
 	c := &Clauses{}
 	for _, o := range opts {
 		o(c)
@@ -133,8 +159,16 @@ func build(opts []Option) *Clauses {
 	return c
 }
 
-// merge overlays p2p-level clauses over region defaults.
+// merge overlays p2p-level clauses over region defaults. A region with no
+// p2p-relevant defaults (the common bare-Parameters shape) merges to the
+// p2p clause set itself, allocation-free.
 func merge(region, p2p *Clauses) *Clauses {
+	if !region.senderSet && !region.receiverSet &&
+		len(region.sbuf) == 0 && len(region.rbuf) == 0 &&
+		!region.sendWhenSet && !region.recvWhenSet &&
+		!region.targetSet && !region.countSet {
+		return p2p
+	}
 	m := *region
 	if p2p.senderSet {
 		m.sender, m.senderSet = p2p.sender, true

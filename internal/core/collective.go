@@ -296,11 +296,11 @@ func (e *Env) collSHMEM(kind CollKind, root int, sb, rb *bufInfo, count int) err
 					return err
 				}
 				if pe != me {
-					led.shmemDst[wpe] = true
+					led.noteShmemDst(wpe)
 				}
 			}
 		} else {
-			led.shmemSrc[e.comm.WorldRank(root)] = true
+			led.noteShmemSrc(e.comm.WorldRank(root))
 		}
 	case ManyToOne:
 		src, off, err := srcSlice()
@@ -312,11 +312,11 @@ func (e *Env) collSHMEM(kind CollKind, root int, sb, rb *bufInfo, count int) err
 			return err
 		}
 		if me != root {
-			led.shmemDst[wroot] = true
+			led.noteShmemDst(wroot)
 		} else {
 			for pe := 0; pe < n; pe++ {
 				if pe != me {
-					led.shmemSrc[e.comm.WorldRank(pe)] = true
+					led.noteShmemSrc(e.comm.WorldRank(pe))
 				}
 			}
 		}
@@ -331,8 +331,8 @@ func (e *Env) collSHMEM(kind CollKind, root int, sb, rb *bufInfo, count int) err
 				return err
 			}
 			if pe != me {
-				led.shmemDst[wpe] = true
-				led.shmemSrc[wpe] = true
+				led.noteShmemDst(wpe)
+				led.noteShmemSrc(wpe)
 			}
 		}
 	default:

@@ -36,6 +36,15 @@ type Env struct {
 	// One-sided window cache, keyed by the registered slice's identity.
 	wins map[winKey]*mpi.Win
 
+	// Handle cache: classified clause buffers with their resolved
+	// window/symmetric/datatype handles, reused across max_comm_iter
+	// iterations so steady-state lowering skips the reflection walk.
+	resolve map[resolveKey]*bufInfo
+
+	// freeRegion is the recycled Region (with its ledger storage) handed
+	// out by Parameters; nil while a region is open or before first use.
+	freeRegion *Region
+
 	regionSeq int
 	decisions []Decision
 	closed    bool
@@ -53,6 +62,9 @@ type envTele struct {
 	autoTarget   map[Target]*telemetry.Counter
 	dtypeHits    *telemetry.Counter // datatype/layout cache hits
 	dtypeMisses  *telemetry.Counter // datatype/layout cache misses (commits)
+
+	resolveHits   *telemetry.Counter // handle-cache hits (buffer re-resolved from cache)
+	resolveMisses *telemetry.Counter // handle-cache misses (full classification)
 }
 
 // span opens a directive-layer span at the rank's current virtual time.
@@ -82,6 +94,7 @@ func NewEnv(comm *mpi.Comm, shm *shmem.Ctx) (*Env, error) {
 		layouts: typemap.NewCache(),
 		dtypes:  make(map[reflect.Type]*mpi.Datatype),
 		wins:    make(map[winKey]*mpi.Win),
+		resolve: make(map[resolveKey]*bufInfo),
 	}
 	if shm != nil {
 		flags, err := shmem.Alloc[int64](shm, shm.NPEs())
@@ -96,13 +109,15 @@ func NewEnv(comm *mpi.Comm, shm *shmem.Ctx) (*Env, error) {
 		reg := t.Registry()
 		r := telemetry.Rank(comm.SPMD().ID)
 		e.tele = envTele{
-			tr:           t.Tracer(),
-			directives:   reg.Counter("core_directives_total", r),
-			regions:      reg.Counter("core_regions_total", r),
-			inferred:     reg.Counter("core_counts_inferred_total", r),
-			consolidated: reg.Counter("core_syncs_consolidated_total", r),
-			dtypeHits:    reg.Counter("core_datatype_cache_hits_total", r),
-			dtypeMisses:  reg.Counter("core_datatype_cache_misses_total", r),
+			tr:            t.Tracer(),
+			directives:    reg.Counter("core_directives_total", r),
+			regions:       reg.Counter("core_regions_total", r),
+			inferred:      reg.Counter("core_counts_inferred_total", r),
+			consolidated:  reg.Counter("core_syncs_consolidated_total", r),
+			dtypeHits:     reg.Counter("core_datatype_cache_hits_total", r),
+			dtypeMisses:   reg.Counter("core_datatype_cache_misses_total", r),
+			resolveHits:   reg.Counter("core_handle_cache_hits_total", r),
+			resolveMisses: reg.Counter("core_handle_cache_misses_total", r),
 			autoTarget: map[Target]*telemetry.Counter{
 				TargetSHMEM:    reg.Counter("core_auto_target_total", telemetry.L("choice", "shmem"), r),
 				TargetMPI2Side: reg.Counter("core_auto_target_total", telemetry.L("choice", "mpi-2side"), r),

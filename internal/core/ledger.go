@@ -18,6 +18,9 @@ type ledger struct {
 	reqs   []*mpi.Request
 	pinned []bufRange
 
+	// The completion maps are allocated on first use (most regions touch at
+	// most one backend) and cleared in place by flush, so a steady-state
+	// region loop reuses their storage instead of reallocating per region.
 	shmemDst map[int]bool // world PEs this rank put data to
 	shmemSrc map[int]bool // world PEs this rank expects data from
 
@@ -27,11 +30,43 @@ type ledger struct {
 }
 
 func newLedger() *ledger {
-	return &ledger{
-		shmemDst: make(map[int]bool),
-		shmemSrc: make(map[int]bool),
-		wins:     make(map[*mpi.Win]bool),
+	return &ledger{}
+}
+
+// reset clears the ledger in place, keeping map and slice storage warm for
+// the next region.
+func (l *ledger) reset() {
+	clear(l.reqs)
+	l.reqs = l.reqs[:0]
+	l.pinned = l.pinned[:0]
+	clear(l.shmemDst)
+	clear(l.shmemSrc)
+	clear(l.wins)
+	l.p2pCount = 0
+}
+
+// noteWin records a window with an open put epoch.
+func (l *ledger) noteWin(w *mpi.Win) {
+	if l.wins == nil {
+		l.wins = make(map[*mpi.Win]bool, 1)
 	}
+	l.wins[w] = true
+}
+
+// noteShmemDst records a world PE this rank put data to.
+func (l *ledger) noteShmemDst(pe int) {
+	if l.shmemDst == nil {
+		l.shmemDst = make(map[int]bool, 1)
+	}
+	l.shmemDst[pe] = true
+}
+
+// noteShmemSrc records a world PE this rank expects data from.
+func (l *ledger) noteShmemSrc(pe int) {
+	if l.shmemSrc == nil {
+		l.shmemSrc = make(map[int]bool, 1)
+	}
+	l.shmemSrc[pe] = true
 }
 
 func (l *ledger) empty() bool {
@@ -58,13 +93,13 @@ func (l *ledger) absorb(o *ledger) {
 	l.reqs = append(l.reqs, o.reqs...)
 	l.pinned = append(l.pinned, o.pinned...)
 	for pe := range o.shmemDst {
-		l.shmemDst[pe] = true
+		l.noteShmemDst(pe)
 	}
 	for pe := range o.shmemSrc {
-		l.shmemSrc[pe] = true
+		l.noteShmemSrc(pe)
 	}
 	for w := range o.wins {
-		l.wins[w] = true
+		l.noteWin(w)
 	}
 	l.p2pCount += o.p2pCount
 }
@@ -91,9 +126,18 @@ func (e *Env) flush(l *ledger, region int) error {
 		}
 		e.note(region, "sync", fmt.Sprintf("MPI_Waitall over %d request(s)", len(l.reqs)))
 	}
-	for _, w := range sortedWins(l.wins) {
-		w.Fence()
+	if len(l.wins) == 1 {
+		// One window — the common one-sided region shape — needs no
+		// deterministic ordering pass.
+		for w := range l.wins {
+			w.Fence()
+		}
 		e.note(region, "sync", "MPI_Win_fence")
+	} else {
+		for _, w := range sortedWins(l.wins) {
+			w.Fence()
+			e.note(region, "sync", "MPI_Win_fence")
+		}
 	}
 	if len(l.shmemDst) > 0 {
 		e.shm.Quiet()
@@ -114,7 +158,7 @@ func (e *Env) flush(l *ledger, region int) error {
 		}
 		e.note(region, "sync", fmt.Sprintf("shmem_wait_until on %d source flag(s)", len(l.shmemSrc)))
 	}
-	*l = *newLedger()
+	l.reset()
 	return nil
 }
 

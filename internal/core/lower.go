@@ -6,6 +6,23 @@ import (
 
 const maxRecordedDecisions = 4096
 
+// emitSpanName precomputes the per-target "emit:<target>" span labels so
+// the steady-state path does not concatenate a string per directive.
+var emitSpanName = func() [TargetAuto + 1]string {
+	var a [TargetAuto + 1]string
+	for t := TargetDefault; t <= TargetAuto; t++ {
+		a[t] = "emit:" + t.String()
+	}
+	return a
+}()
+
+func emitSpanLabel(t Target) string {
+	if t >= 0 && int(t) < len(emitSpanName) {
+		return emitSpanName[t]
+	}
+	return "emit:" + t.String()
+}
+
 // emit lowers one fully merged comm_p2p directive: role evaluation
 // (sendwhen/receivewhen), buffer classification, count inference, target
 // resolution, buffer-independence analysis against the region's pending
@@ -22,22 +39,30 @@ func (e *Env) emit(r *Region, cl *Clauses) error {
 	// Classify buffers. Both lists are analysed on every rank reaching the
 	// directive: the compiler sees the whole clause list regardless of the
 	// rank's role, and the one-sided backend needs collective window
-	// creation even on non-participants.
-	sinfos := make([]*bufInfo, len(cl.sbuf))
-	rinfos := make([]*bufInfo, len(cl.rbuf))
+	// creation even on non-participants. The short clause lists of a
+	// typical directive fit the stack-backed arrays, keeping the steady
+	// state allocation-free.
+	var sarr, rarr [4]*bufInfo
+	sinfos, rinfos := sarr[:0], rarr[:0]
+	if len(cl.sbuf) > len(sarr) {
+		sinfos = make([]*bufInfo, 0, len(cl.sbuf))
+	}
+	if len(cl.rbuf) > len(rarr) {
+		rinfos = make([]*bufInfo, 0, len(cl.rbuf))
+	}
 	for i, b := range cl.sbuf {
 		bi, err := e.classify(b)
 		if err != nil {
 			return fmt.Errorf("core: sbuf[%d]: %w", i, err)
 		}
-		sinfos[i] = bi
+		sinfos = append(sinfos, bi)
 	}
 	for i, b := range cl.rbuf {
 		bi, err := e.classify(b)
 		if err != nil {
 			return fmt.Errorf("core: rbuf[%d]: %w", i, err)
 		}
-		rinfos[i] = bi
+		rinfos = append(rinfos, bi)
 	}
 
 	// Count: explicit clause or the paper's inference rule.
@@ -97,7 +122,8 @@ func (e *Env) emit(r *Region, cl *Clauses) error {
 	// Buffer-independence analysis: a directive whose buffers overlap a
 	// pending operation's buffers is dependent on it, so the consolidated
 	// synchronisation cannot be delayed past this point.
-	var ranges []bufRange
+	var rngArr [8]bufRange
+	ranges := rngArr[:0]
 	if doSend {
 		for _, b := range sinfos {
 			ranges = append(ranges, b.rangeFor(count))
@@ -115,7 +141,7 @@ func (e *Env) emit(r *Region, cl *Clauses) error {
 		e.noteLimited(r.id, "sync", "synchronisation inserted before dependent comm_p2p (overlapping buffers)")
 	}
 
-	esp := e.span("emit:"+target.String(), "directive")
+	esp := e.span(emitSpanLabel(target), "directive")
 	var err error
 	switch target {
 	case TargetMPI2Side:
@@ -228,19 +254,29 @@ func (e *Env) emitMPI1Side(r *Region, sinfos, rinfos []*bufInfo, count int, doSe
 		if b.class == bufStruct {
 			return fmt.Errorf("core: rbuf[%d]: one-sided target requires primitive or symmetric buffers", i)
 		}
-		var local any
+		// The resolved window rides the cached bufInfo: after the first
+		// iteration the collective WinCreate (and even the winFor map
+		// lookup) is skipped entirely.
+		w := b.win
+		if w == nil {
+			var local any
+			if b.class == bufSym {
+				local = b.sym.LocalAny(e.shm)
+			} else {
+				local = b.raw
+			}
+			var err error
+			w, err = e.winFor(local)
+			if err != nil {
+				return fmt.Errorf("core: rbuf[%d]: %w", i, err)
+			}
+			b.win = w
+		}
 		var off int
 		if b.class == bufSym {
-			local = b.sym.LocalAny(e.shm)
 			off = b.symOff
-		} else {
-			local = b.raw
 		}
-		w, err := e.winFor(local)
-		if err != nil {
-			return fmt.Errorf("core: rbuf[%d]: %w", i, err)
-		}
-		r.led.wins[w] = true
+		r.led.noteWin(w)
 		if !doSend {
 			continue
 		}
@@ -296,11 +332,11 @@ func (e *Env) emitSHMEM(r *Region, sinfos, rinfos []*bufInfo, count int, doSend,
 			if err := b.sym.PutAny(e.shm, dstPE, src, srcOff, b.symOff, count); err != nil {
 				return fmt.Errorf("core: sbuf[%d]: %w", i, err)
 			}
-			r.led.shmemDst[dstPE] = true
+			r.led.noteShmemDst(dstPE)
 		}
 	}
 	if doRecv {
-		r.led.shmemSrc[e.comm.WorldRank(recvFrom)] = true
+		r.led.noteShmemSrc(e.comm.WorldRank(recvFrom))
 	}
 	return nil
 }

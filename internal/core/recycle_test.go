@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/spmd"
+)
+
+// TestRegionRecyclingSteadyState drives a long loop of regions through the
+// recycled-Region path, interleaving deferred-sync regions (whose ledger
+// must live on and therefore must NOT be recycled) with ordinary ones. The
+// loop uses fresh payload values every iteration so a stale ledger or clause
+// set from a recycled region would corrupt data, not just bookkeeping.
+func TestRegionRecyclingSteadyState(t *testing.T) {
+	const iters = 50
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		a := make([]float64, 4)
+		b := make([]float64, 4)
+		for it := 0; it < iters; it++ {
+			if rk.ID == 0 {
+				for i := range a {
+					a[i] = float64(it*10 + i)
+				}
+			}
+			// Deferred region: its ledger is carried, so this region must
+			// not be handed back to the recycler.
+			if err := e.Parameters(func(r *core.Region) error {
+				return r.P2P(core.SBuf(a), core.RBuf(a))
+			},
+				core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+				core.Sender(0), core.Receiver(1),
+				core.PlaceSync(core.BeginNextParamRegion),
+			); err != nil {
+				return err
+			}
+			if !e.HasDeferred() {
+				t.Fatalf("iter %d: synchronisation was not deferred", it)
+			}
+			if rk.ID == 0 {
+				for i := range b {
+					b[i] = float64(it*100 + i)
+				}
+			}
+			// Ordinary region: drains the carried sync at begin, flushes
+			// its own at end, and is recycled for the next iteration.
+			if err := e.Parameters(func(r *core.Region) error {
+				return r.P2P(core.SBuf(b), core.RBuf(b))
+			},
+				core.SendWhen(rk.ID == 0), core.ReceiveWhen(rk.ID == 1),
+				core.Sender(0), core.Receiver(1),
+			); err != nil {
+				return err
+			}
+			if e.HasDeferred() {
+				t.Fatalf("iter %d: deferred synchronisation not drained", it)
+			}
+			if rk.ID == 1 {
+				for i := range a {
+					if a[i] != float64(it*10+i) || b[i] != float64(it*100+i) {
+						t.Fatalf("iter %d: a=%v b=%v", it, a, b)
+					}
+				}
+			}
+		}
+		return nil
+	})
+}

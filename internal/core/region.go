@@ -19,6 +19,11 @@ type Region struct {
 	id       int
 	defaults *Clauses
 	led      *ledger
+
+	// scratch is the reusable clause set P2P builds its own options into;
+	// it is only valid until the next comm_p2p on this region, which is
+	// safe because the merged clause set is consumed synchronously by emit.
+	scratch Clauses
 }
 
 // ID reports the region's sequence number within its environment.
@@ -37,7 +42,17 @@ func (e *Env) Parameters(body func(*Region) error, opts ...Option) error {
 	e.tele.regions.Inc()
 	rsp := e.span("comm_parameters", "directive")
 	defer func() { rsp.End(e.comm.SPMD().Now()) }()
-	r := &Region{env: e, id: e.regionSeq, defaults: cl, led: newLedger()}
+	// A Region is only valid inside its body; the environment recycles one
+	// (ledger storage included) so a steady-state region loop does not
+	// allocate per iteration.
+	r := e.freeRegion
+	if r != nil {
+		e.freeRegion = nil
+		r.env, r.id, r.defaults = e, e.regionSeq, cl
+		r.led.p2pCount = 0
+	} else {
+		r = &Region{env: e, id: e.regionSeq, defaults: cl, led: newLedger()}
+	}
 
 	// Synchronisation carried in from a previous region.
 	if e.pending != nil {
@@ -75,11 +90,16 @@ func (e *Env) Parameters(body func(*Region) error, opts ...Option) error {
 		if err := e.flush(r.led, r.id); err != nil {
 			return err
 		}
+		e.freeRegion = r
 	case BeginNextParamRegion, EndAdjParamRegions:
 		if !r.led.empty() {
+			// The ledger lives on as deferred synchronisation, so this
+			// region cannot be recycled.
 			e.pending = r.led
 			e.pendingMode = placement
 			e.note(r.id, "sync", fmt.Sprintf("synchronisation deferred (%s)", placement))
+		} else {
+			e.freeRegion = r
 		}
 	}
 	return nil
@@ -97,7 +117,14 @@ func (r *Region) P2POverlap(body func() error, opts ...Option) error {
 	if r.env.closed {
 		return ErrClosed
 	}
-	own := build(opts)
+	// Build into the region's scratch clause set: a steady-state directive
+	// loop rebuilds the same few clauses every iteration, and the scratch
+	// keeps that allocation-free.
+	r.scratch = Clauses{}
+	own := &r.scratch
+	for _, o := range opts {
+		o(own)
+	}
 	if err := validateP2POnly(own); err != nil {
 		return err
 	}

@@ -22,6 +22,7 @@ var (
 	Int16   = &Datatype{name: "MPI_INT16", kind: typemap.KindInt16}
 	Int32   = &Datatype{name: "MPI_INT32", kind: typemap.KindInt32}
 	Int64   = &Datatype{name: "MPI_INT64", kind: typemap.KindInt64}
+	Uint16  = &Datatype{name: "MPI_UINT16", kind: typemap.KindUint16}
 	Uint32  = &Datatype{name: "MPI_UINT32", kind: typemap.KindUint32}
 	Uint64  = &Datatype{name: "MPI_UINT64", kind: typemap.KindUint64}
 	Float32 = &Datatype{name: "MPI_FLOAT", kind: typemap.KindFloat32}

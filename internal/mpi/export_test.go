@@ -1,0 +1,7 @@
+package mpi
+
+// SetForceSlowRMA routes every window transfer through the reflection copy
+// oracle (true) or restores the normal fast-path selection (false). The
+// fast/slow equivalence suite flips it around whole scenarios; tests must
+// restore it before returning.
+func SetForceSlowRMA(on bool) { forceSlowRMA.Store(on) }

@@ -68,6 +68,11 @@ type commTele struct {
 
 	collCalls *telemetry.Counter              // collective invocations
 	collAlgo  [coll.NAlgos]*telemetry.Counter // invocations per selected algorithm
+
+	rmaPutBytes    *telemetry.Counter // one-sided bytes put into windows
+	rmaGetBytes    *telemetry.Counter // one-sided bytes read from windows
+	rmaFences      *telemetry.Counter // window fences executed
+	rmaFenceElided *telemetry.Counter // fences whose epoch was already quiesced
 }
 
 // initTele resolves the communicator's metric handles from the world's
@@ -89,6 +94,11 @@ func (c *Comm) initTele() {
 		barIdle:  reg.Counter("mpi_barrier_idle_virtual_ns_total", r),
 
 		collCalls: reg.Counter("mpi_coll_calls_total", r),
+
+		rmaPutBytes:    reg.Counter("mpi_rma_put_bytes_total", r),
+		rmaGetBytes:    reg.Counter("mpi_rma_get_bytes_total", r),
+		rmaFences:      reg.Counter("mpi_rma_fence_total", r),
+		rmaFenceElided: reg.Counter("mpi_rma_fence_elided_total", r),
 	}
 	for a := coll.Algo(0); a < coll.NAlgos; a++ {
 		c.tele.collAlgo[a] = reg.Counter("mpi_coll_algo_total", r,

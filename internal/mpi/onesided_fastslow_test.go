@@ -1,0 +1,287 @@
+package mpi_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+// fsStruct is the composite element type of the sweep: fixed-width scalars
+// only, so it qualifies as window memory.
+type fsStruct struct {
+	ID  int32
+	Tag uint16
+	Pos [2]float64
+}
+
+// fsCase describes one element type of the fast/slow sweep. mkWin builds a
+// rank's window buffer, mkOrigin a rank-distinguishable origin buffer, and
+// dt resolves the datatype handed to Put/Get.
+type fsCase struct {
+	name     string
+	mkWin    func(n int) any
+	mkOrigin func(rank, n int) any
+	dt       func(c *mpi.Comm) (*mpi.Datatype, error)
+}
+
+func primCase[T any](name string, dt *mpi.Datatype, gen func(rank, i int) T) fsCase {
+	return fsCase{
+		name:  name,
+		mkWin: func(n int) any { return make([]T, n) },
+		mkOrigin: func(rank, n int) any {
+			s := make([]T, n)
+			for i := range s {
+				s[i] = gen(rank, i)
+			}
+			return s
+		},
+		dt: func(*mpi.Comm) (*mpi.Datatype, error) { return dt, nil },
+	}
+}
+
+// fastSlowCases covers every element family the window data plane admits:
+// all ten fixed-width primitive slices plus a []struct of fixed-width
+// scalars.
+func fastSlowCases() []fsCase {
+	cases := []fsCase{
+		primCase("float64", mpi.Float64, func(r, i int) float64 { return float64(r*100 + i) }),
+		primCase("float32", mpi.Float32, func(r, i int) float32 { return float32(r*100+i) / 2 }),
+		primCase("int64", mpi.Int64, func(r, i int) int64 { return int64(r*100 - i) }),
+		primCase("int32", mpi.Int32, func(r, i int) int32 { return int32(r*10 + i) }),
+		primCase("int16", mpi.Int16, func(r, i int) int16 { return int16(r - i) }),
+		primCase("int8", mpi.Int8, func(r, i int) int8 { return int8(r + i) }),
+		primCase("uint64", mpi.Uint64, func(r, i int) uint64 { return uint64(r*7 + i) }),
+		primCase("uint32", mpi.Uint32, func(r, i int) uint32 { return uint32(r*5 + i) }),
+		primCase("uint16", mpi.Uint16, func(r, i int) uint16 { return uint16(r*3 + i) }),
+		primCase("byte", mpi.Byte, func(r, i int) byte { return byte(r ^ i) }),
+	}
+	cases = append(cases, fsCase{
+		name:  "struct",
+		mkWin: func(n int) any { return make([]fsStruct, n) },
+		mkOrigin: func(rank, n int) any {
+			s := make([]fsStruct, n)
+			for i := range s {
+				s[i] = fsStruct{ID: int32(rank), Tag: uint16(i), Pos: [2]float64{float64(rank), float64(i)}}
+			}
+			return s
+		},
+		dt: func(c *mpi.Comm) (*mpi.Datatype, error) { return c.TypeCreateStruct(fsStruct{}) },
+	})
+	return cases
+}
+
+// runFastSlowScenario executes one ring put/get scenario over 4 ranks and
+// returns each rank's final window contents (deep-copied through reflect)
+// and final virtual clock. The scenario exercises offset puts, a fence
+// epoch, gets, and an empty (elidable) fence.
+func runFastSlowScenario(t *testing.T, fc fsCase) (wins []any, clocks []int64) {
+	t.Helper()
+	const n, elems = 4, 8
+	wins = make([]any, n)
+	clocks = make([]int64, n)
+	err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		me := c.Rank()
+		win := fc.mkWin(elems)
+		origin := fc.mkOrigin(me, elems)
+		dt, err := fc.dt(c)
+		if err != nil {
+			return err
+		}
+		w, err := c.WinCreate(win)
+		if err != nil {
+			return err
+		}
+		right := (me + 1) % n
+		// Offset put: my first half lands in my right neighbour's second
+		// half, so every window ends up with distinguishable halves.
+		if err := w.Put(origin, elems/2, dt, right, elems/2); err != nil {
+			return err
+		}
+		w.Fence()
+		// Get my left neighbour's freshly put half back into a scratch
+		// buffer (exercises copyOut on the same type).
+		scratch := fc.mkWin(elems)
+		if err := w.Get(scratch, elems/2, dt, me, elems/2); err != nil {
+			return err
+		}
+		w.Fence() // empty epoch: the elidable shape
+		rv := reflect.ValueOf(fc.mkWin(elems))
+		reflect.Copy(rv, reflect.ValueOf(win))
+		wins[me] = rv.Interface()
+		clocks[me] = int64(rk.Now())
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", fc.name, err)
+	}
+	return wins, clocks
+}
+
+// TestRMAFastSlowEquivalence runs the scenario for every supported element
+// type twice — once on the bulk-copy fast path, once forced through the
+// reflection oracle — and requires bit-identical window contents and
+// virtual times. This is the correctness contract of the zero-copy plane:
+// the fast path may change how bytes move, never what arrives or what it
+// costs.
+func TestRMAFastSlowEquivalence(t *testing.T) {
+	for _, fc := range fastSlowCases() {
+		t.Run(fc.name, func(t *testing.T) {
+			fastWins, fastClocks := runFastSlowScenario(t, fc)
+			mpi.SetForceSlowRMA(true)
+			defer mpi.SetForceSlowRMA(false)
+			slowWins, slowClocks := runFastSlowScenario(t, fc)
+			if !reflect.DeepEqual(fastWins, slowWins) {
+				t.Errorf("window contents diverge:\nfast: %v\nslow: %v", fastWins, slowWins)
+			}
+			if !reflect.DeepEqual(fastClocks, slowClocks) {
+				t.Errorf("virtual times diverge:\nfast: %v\nslow: %v", fastClocks, slowClocks)
+			}
+		})
+	}
+}
+
+// TestWinCreateRejectsPointerBearing pins the diagnostic for window element
+// types that cannot live in remote memory: anything carrying a Go pointer
+// (or not a slice at all) must be rejected at creation with an error that
+// names the offending type.
+func TestWinCreateRejectsPointerBearing(t *testing.T) {
+	type ptrStruct struct {
+		P *int
+	}
+	type nestedSlice struct {
+		S []int
+	}
+	bad := []struct {
+		name string
+		buf  any
+	}{
+		{"string-slice", []string{"a"}},
+		{"pointer-slice", []*int{nil}},
+		{"slice-of-slices", [][]int{{1}}},
+		{"struct-with-pointer", []ptrStruct{{}}},
+		{"struct-with-slice", []nestedSlice{{}}},
+		{"map", map[int]int{}},
+		{"scalar", 42},
+		{"nil", nil},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			err := spmd.Run(2, model.GeminiLike(), func(rk *spmd.Rank) error {
+				c := mpi.World(rk)
+				if _, err := c.WinCreate(tc.buf); err == nil {
+					return fmt.Errorf("WinCreate(%T) succeeded, want rejection", tc.buf)
+				} else if got := err.Error(); len(got) == 0 {
+					return fmt.Errorf("empty diagnostic")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWinFlush pins MPI_Win_flush semantics: a flush completes the caller's
+// outstanding puts to one target in virtual time without a collective, and
+// the subsequent fence still closes the epoch for everyone.
+func TestWinFlush(t *testing.T) {
+	const n = 4
+	err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		me := c.Rank()
+		win := make([]int64, n)
+		w, err := c.WinCreate(win)
+		if err != nil {
+			return err
+		}
+		origin := []int64{int64(me + 1)}
+		right := (me + 1) % n
+		before := rk.Now()
+		if err := w.Put(origin, 1, mpi.Int64, right, me); err != nil {
+			return err
+		}
+		if err := w.Flush(right); err != nil {
+			return err
+		}
+		// The flush must wait out the put's wire latency.
+		if rk.Now() <= before {
+			return fmt.Errorf("flush did not advance virtual time (%d -> %d)", before, rk.Now())
+		}
+		// Double flush of a completed target is a no-op.
+		at := rk.Now()
+		if err := w.Flush(right); err != nil {
+			return err
+		}
+		if rk.Now() != at {
+			return fmt.Errorf("idempotent flush advanced time")
+		}
+		w.Fence()
+		if win[(me+n-1)%n] != int64((me+n-1)%n+1) {
+			return fmt.Errorf("rank %d: window %v after fence", me, win)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFenceElisionDeterministic drives a mixed sequence of put-bearing and
+// empty fence epochs and requires every rank to agree on virtual time after
+// every fence: the elision decision is made from a folded world total, so a
+// rank that put nothing must still charge the fence when any rank put.
+func TestFenceElisionDeterministic(t *testing.T) {
+	const n, steps = 6, 12
+	times := make([][]int64, n)
+	err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		me := c.Rank()
+		win := make([]float64, n)
+		w, err := c.WinCreate(win)
+		if err != nil {
+			return err
+		}
+		origin := []float64{float64(me)}
+		ts := make([]int64, 0, steps)
+		for s := 0; s < steps; s++ {
+			switch s % 4 {
+			case 0: // every rank puts
+				if err := w.Put(origin, 1, mpi.Float64, (me+1)%n, me); err != nil {
+					return err
+				}
+			case 2: // a single rank puts; everyone must still pay the fence
+				if me == s%n {
+					if err := w.Put(origin, 1, mpi.Float64, (me+1)%n, me); err != nil {
+						return err
+					}
+				}
+				// cases 1 and 3: empty epochs, elidable everywhere
+			}
+			w.Fence()
+			ts = append(ts, int64(rk.Now()))
+		}
+		times[me] = ts
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < n; r++ {
+		if !reflect.DeepEqual(times[r], times[0]) {
+			t.Fatalf("rank %d fence times %v diverge from rank 0 %v", r, times[r], times[0])
+		}
+	}
+	// The empty epochs must actually be cheaper: compare a quiet fence
+	// step's increment against a put-bearing one.
+	quiet := times[0][1] - times[0][0]  // step 1: empty epoch
+	loaded := times[0][4] - times[0][3] // step 4: all ranks put
+	if quiet >= loaded {
+		t.Fatalf("elided fence (%d) not cheaper than loaded fence (%d)", quiet, loaded)
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !race
+
+package mpi
+
+// raceDetector selects the locked window-copy path. In a normal build the
+// RMA bulk copies run lock-free: window memory is pointer-free by
+// construction (winBufCheck), concurrent puts to disjoint target ranges
+// touch disjoint bytes, and overlapping same-epoch accesses to one target
+// location are erroneous under MPI's separate-memory model — the worst a
+// broken program observes is torn element bytes, never runtime corruption.
+// Race-enabled builds keep the per-target locks so the detector does not
+// report the (legal) concurrency the data plane is built around; see
+// race_on.go.
+const raceDetector = false

@@ -1,0 +1,12 @@
+//go:build race
+
+package mpi
+
+// raceDetector restores the per-target copy locks under `go test -race`.
+// The lock-free fast path (race_off.go) is sound for legal MPI programs,
+// but the detector has no notion of the window epoch discipline: a stress
+// test exercising concurrent puts — or an application bug overlapping two
+// puts — would be reported against the data plane itself. Serialising the
+// copies per target keeps detector reports pointed at real application
+// races (e.g. unsynchronised local reads of window memory) instead.
+const raceDetector = true

@@ -1,0 +1,173 @@
+package mpi_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+// The one-sided virtual-time pinning suite, the RMA analogue of
+// TestVirtualTimePinned. It pins the cost model of Put, Get, Flush and
+// Fence — including the corrected Get pricing, which charges injection time
+// by payload size symmetrically with Put (a 64KiB Get is not priced like an
+// 8B one) plus the request/response round trip. Regenerate only with a
+// deliberate cost-model change:
+//
+//	go test ./internal/mpi -run TestRMAVirtualTimePinned -update-rmapin
+var updateRMAPin = flag.Bool("update-rmapin", false, "rewrite testdata/rmapin_golden.json from the current implementation")
+
+const rmapinGoldenPath = "testdata/rmapin_golden.json"
+
+// rmapinScript runs the fixed one-sided scenario on one rank and returns
+// the clock reading after every step.
+func rmapinScript(rk *spmd.Rank) ([]int64, error) {
+	c := mpi.World(rk)
+	n := c.Size()
+	me := rk.ID
+	var out []int64
+	mark := func() { out = append(out, int64(rk.Now())) }
+
+	// Deterministic per-rank skew so entry times differ.
+	rk.Compute(model.Time((me*3)%5) * 211)
+
+	win := make([]float64, 2*8192)
+	w, err := c.WinCreate(win)
+	if err != nil {
+		return nil, err
+	}
+	mark()
+
+	right := (me + 1) % n
+	left := (me + n - 1) % n
+	origin := make([]float64, 8192)
+	for i := range origin {
+		origin[i] = float64(me*10 + i)
+	}
+
+	// Puts across the size sweep, fenced between epochs.
+	for _, count := range []int{1, 64, 512, 8192} {
+		if err := w.Put(origin, count, mpi.Float64, right, 0); err != nil {
+			return nil, err
+		}
+		w.Fence()
+		mark()
+	}
+
+	// Gets across the size sweep: the corrected pricing makes these
+	// readings count-dependent.
+	for _, count := range []int{1, 64, 512, 8192} {
+		if err := w.Get(origin, count, mpi.Float64, left, 0); err != nil {
+			return nil, err
+		}
+		mark()
+	}
+
+	// Flush path: put then flush (no collective), then a closing fence.
+	if err := w.Put(origin, 128, mpi.Float64, right, 8192); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(right); err != nil {
+		return nil, err
+	}
+	mark()
+	w.Fence()
+	mark()
+
+	// Two empty epochs: the elided-fence cost.
+	w.Fence()
+	w.Fence()
+	mark()
+
+	return out, nil
+}
+
+func runRMAPinScenarios(t *testing.T) map[string][][]int64 {
+	t.Helper()
+	profiles := []struct {
+		name string
+		prof *model.Profile
+	}{
+		{"gemini", model.GeminiLike()},
+		{"ethernet", model.EthernetLike()},
+	}
+	sizes := []int{2, 3, 4, 8, 16}
+	got := map[string][][]int64{}
+	for _, p := range profiles {
+		for _, n := range sizes {
+			if p.name == "ethernet" && n > 8 {
+				continue
+			}
+			key := fmt.Sprintf("%s/n%02d", p.name, n)
+			times := make([][]int64, n)
+			err := spmd.Run(n, p.prof, func(rk *spmd.Rank) error {
+				ts, err := rmapinScript(rk)
+				if err != nil {
+					return err
+				}
+				times[rk.ID] = ts
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			got[key] = times
+		}
+	}
+	return got
+}
+
+func TestRMAVirtualTimePinned(t *testing.T) {
+	got := runRMAPinScenarios(t)
+
+	if *updateRMAPin {
+		blob, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(rmapinGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(rmapinGoldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d scenarios)", rmapinGoldenPath, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(rmapinGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-rmapin on the reference implementation): %v", err)
+	}
+	var want map[string][][]int64
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scenario count %d, golden has %d", len(got), len(want))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("scenario %s missing", key)
+			continue
+		}
+		if !reflect.DeepEqual(g, w) {
+			for r := range w {
+				for s := range w[r] {
+					if g[r][s] != w[r][s] {
+						t.Errorf("%s: rank %d step %d: virtual time %d, golden %d",
+							key, r, s, g[r][s], w[r][s])
+					}
+				}
+			}
+		}
+	}
+}

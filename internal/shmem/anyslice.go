@@ -31,14 +31,19 @@ type AnySlice interface {
 // ElemBytes reports the element wire size.
 func (s *Slice[T]) ElemBytes() int { return s.esz }
 
-// TypeName names the element type.
-func (s *Slice[T]) TypeName() string {
-	var z T
-	return fmt.Sprintf("%T", z)
-}
+// TypeName names the element type. The name is computed once at Alloc —
+// calling it never boxes a zero value through an interface.
+func (s *Slice[T]) TypeName() string { return s.tname }
 
-// LocalAny implements AnySlice.
-func (s *Slice[T]) LocalAny(c *Ctx) any { return s.Local(c) }
+// LocalAny implements AnySlice. For the allocating PE — the only caller in
+// SPMD practice — it returns the slice boxed once at Alloc, so the hot
+// directive-lowering path never allocates here.
+func (s *Slice[T]) LocalAny(c *Ctx) any {
+	if c.MyPE() == s.home {
+		return s.boxed
+	}
+	return s.on(c.MyPE())
+}
 
 // PutAny implements AnySlice.
 func (s *Slice[T]) PutAny(c *Ctx, pe int, src any, srcOff, dstOff, count int) error {

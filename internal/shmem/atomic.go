@@ -12,12 +12,13 @@ import (
 // that PE (they serialise on the PE's RMA board lock). A completed AMO also
 // wakes WaitUntil waiters on the target.
 
-// amoClock charges the round-trip cost of one AMO.
+// amoClock charges the round-trip cost of one AMO and counts it.
 func (c *Ctx) amoClock() {
 	p := c.prof()
 	clk := c.clock()
 	clk.Advance(p.ShmemGetOverhead)
 	clk.Advance(p.ShmemWireTime(0) + p.ShmemWireTime(8))
+	c.tele.amos.Inc()
 }
 
 // FetchAdd atomically adds delta to PE pe's element at off and returns the

@@ -88,6 +88,7 @@ type worldState struct {
 type entry struct {
 	mu        sync.Mutex
 	per       []any // per PE: []T
+	resolved  any   // [][]T table shared by every PE's Slice, built at Alloc
 	elemBytes int
 	n         int
 	typeName  string
@@ -127,11 +128,15 @@ type Ctx struct {
 
 // ctxTele caches this PE's telemetry handles.
 type ctxTele struct {
-	tr       *telemetry.Tracer
-	fences   *telemetry.Counter
-	quiets   *telemetry.Counter
-	barriers *telemetry.Counter
-	idle     *telemetry.Counter // blocked virtual ns in quiet/barrier/wait_until
+	tr          *telemetry.Tracer
+	fences      *telemetry.Counter
+	quiets      *telemetry.Counter
+	quietElided *telemetry.Counter // quiets whose epoch had no outstanding puts
+	barriers    *telemetry.Counter
+	idle        *telemetry.Counter // blocked virtual ns in quiet/barrier/wait_until
+	putBytes    *telemetry.Counter // one-sided bytes put to remote PEs
+	getBytes    *telemetry.Counter // one-sided bytes fetched from remote PEs
+	amos        *telemetry.Counter // atomic memory operations
 }
 
 // New initialises SHMEM for this rank (the analogue of shmem_init).
@@ -141,11 +146,15 @@ func New(rk *spmd.Rank) *Ctx {
 		reg := t.Registry()
 		r := telemetry.Rank(rk.ID)
 		c.tele = ctxTele{
-			tr:       t.Tracer(),
-			fences:   reg.Counter("shmem_fence_total", r),
-			quiets:   reg.Counter("shmem_quiet_total", r),
-			barriers: reg.Counter("shmem_barrier_total", r),
-			idle:     reg.Counter("shmem_idle_virtual_ns_total", r),
+			tr:          t.Tracer(),
+			fences:      reg.Counter("shmem_fence_total", r),
+			quiets:      reg.Counter("shmem_quiet_total", r),
+			quietElided: reg.Counter("shmem_quiet_elided_total", r),
+			barriers:    reg.Counter("shmem_barrier_total", r),
+			idle:        reg.Counter("shmem_idle_virtual_ns_total", r),
+			putBytes:    reg.Counter("shmem_put_bytes_total", r),
+			getBytes:    reg.Counter("shmem_get_bytes_total", r),
+			amos:        reg.Counter("shmem_amo_total", r),
 		}
 	}
 	return c
@@ -171,8 +180,17 @@ func (c *Ctx) notePut(arrive model.Time) {
 }
 
 // Quiet blocks (in virtual time) until all of this PE's outstanding puts
-// are remotely complete.
+// are remotely complete. A quiet issued with no outstanding puts — the
+// epoch is already quiesced — is elided: the network has nothing to drain,
+// so the call costs nothing and only the elision counter moves. Elision is
+// a purely PE-local decision (outstanding is PE-local state), so virtual
+// time stays deterministic.
 func (c *Ctx) Quiet() {
+	if c.outstanding == 0 {
+		c.tele.quiets.Inc()
+		c.tele.quietElided.Inc()
+		return
+	}
 	clk := c.clock()
 	sp := c.tele.tr.Begin(c.rk.ID, "shmem_quiet", "shmem", clk.Now())
 	clk.Advance(c.prof().ShmemQuiet)

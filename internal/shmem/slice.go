@@ -10,11 +10,20 @@ import (
 // Slice is a symmetric array: the same allocation exists on every PE, and
 // remote PEs' copies are addressable by (PE, element offset). It is the
 // analogue of memory returned by shmalloc.
+//
+// All PEs' copies are resolved into a typed table once, at Alloc time (the
+// allocation is collective and the table is immutable afterwards), so the
+// steady-state put/get path addresses remote memory with one slice index —
+// no lock, no type assertion, no interface unboxing.
 type Slice[T Elem] struct {
-	id  int
-	ws  *worldState
-	n   int
-	esz int
+	id    int
+	ws    *worldState
+	n     int
+	esz   int
+	tname string // element type name, precomputed (diagnostics)
+	bufs  [][]T  // every PE's copy, shared table resolved at Alloc
+	home  int    // the allocating PE
+	boxed any    // bufs[home] pre-boxed, so LocalAny never allocates
 }
 
 func elemBytes[T Elem]() int {
@@ -70,7 +79,22 @@ func Alloc[T Elem](c *Ctx, n int) (*Slice[T], error) {
 			return nil, fmt.Errorf("shmem: allocation %d missing on PE %d after barrier (asymmetric allocation)", id, pe)
 		}
 	}
-	return &Slice[T]{id: id, ws: c.ws, n: n, esz: esz}, nil
+	// Resolve the shared typed table once (first PE through builds it);
+	// e.per is immutable after the allocation barrier, so the table can be
+	// read lock-free for the life of the allocation.
+	if e.resolved == nil {
+		bufs := make([][]T, len(e.per))
+		for pe, buf := range e.per {
+			bufs[pe] = buf.([]T)
+		}
+		e.resolved = bufs
+	}
+	bufs := e.resolved.([][]T)
+	me := c.MyPE()
+	return &Slice[T]{
+		id: id, ws: c.ws, n: n, esz: esz, tname: tn,
+		bufs: bufs, home: me, boxed: bufs[me],
+	}, nil
 }
 
 // MustAlloc is Alloc that panics on error; convenient in SPMD bodies where
@@ -90,14 +114,10 @@ func (s *Slice[T]) Len() int { return s.n }
 // to recognise symmetric buffers).
 func (s *Slice[T]) SymID() int { return s.id }
 
-// local returns PE pe's copy.
-func (s *Slice[T]) on(pe int) []T {
-	e := s.ws.entries[s.id]
-	e.mu.Lock()
-	buf := e.per[pe].([]T)
-	e.mu.Unlock()
-	return buf
-}
+// on returns PE pe's copy: a lock-free load from the table resolved at
+// Alloc (synchronisation of the *contents* is still the caller's job, via
+// the per-destination RMA boards).
+func (s *Slice[T]) on(pe int) []T { return s.bufs[pe] }
 
 // Local returns the calling PE's copy of the array. Reads of remotely
 // written elements are only well-defined after a synchronisation
@@ -135,6 +155,7 @@ func (s *Slice[T]) Put(c *Ctx, pe int, src []T, dstOff int) error {
 	board.mu.Unlock()
 
 	c.notePut(arrive)
+	c.tele.putBytes.Add(int64(bytes))
 	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvPut, Peer: pe, Bytes: bytes, V: clk.Now()})
 	return nil
 }
@@ -164,6 +185,7 @@ func (s *Slice[T]) Get(c *Ctx, pe int, dst []T, srcOff int) error {
 	board.mu.Unlock()
 	clk.Advance(p.ShmemWireTime(0) + p.ShmemWireTime(bytes))
 	sp.End(clk.Now())
+	c.tele.getBytes.Add(int64(bytes))
 	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvGet, Peer: pe, Bytes: bytes, V: clk.Now()})
 	return nil
 }

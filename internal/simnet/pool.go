@@ -16,6 +16,14 @@ import (
 // sync.Pool would box every []byte header into an interface on Put. The
 // trade-off — buffers surviving GC — is bounded per class both by buffer
 // count and by retained bytes (see classDepth).
+//
+// Ownership caveat for the one-sided plane: memory exposed through an MPI
+// window (WinCreate) or registered as symmetric-heap backing must NOT be
+// returned with PutBuf while that exposure lives. Window creation resolves
+// raw views that alias the backing array for the window's lifetime; a
+// recycled buffer would be scribbled on by unrelated pooled traffic. Pooled
+// buffers are for transient wire payloads, exposed buffers are caller-owned
+// — the two populations must stay disjoint.
 
 const (
 	minClassBits = 6  // 64 B
