@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify bench bench-scale bench-scale-check bench-rma bench-rma-check bench-all clean
+.PHONY: all build test verify chaos bench bench-scale bench-scale-check bench-rma bench-rma-check bench-all clean
 
 all: build
 
@@ -23,8 +23,17 @@ test:
 verify:
 	$(GO) vet -unsafeptr=false ./internal/typemap/
 	$(GO) vet $$($(GO) list ./... | grep -v internal/typemap)
-	$(GO) test -race ./internal/... .
+	$(GO) test -race ./internal/... ./cmd/... .
 	$(GO) test -tags purego ./internal/typemap/ ./internal/mpi/ ./internal/shmem/
+
+# chaos is the hang-proofing gate: the fault-injection sweep (64 and 256
+# ranks at 0%/1%/5% drop) under the race detector, asserting that every
+# iteration either completes with correct halos or returns a typed error,
+# and that same-seed runs reproduce bit-identical virtual times (pinned in
+# testdata/chaos_golden.json; regenerate with -update-chaos after a
+# deliberate cost- or fault-model change).
+chaos:
+	$(GO) test -race -run 'TestChaos|TestFault|TestRetry|TestDeadline|TestWaitUntilTimeout' . ./internal/simnet/ ./internal/mpi/ ./internal/core/ ./internal/shmem/
 
 # bench runs the data-plane benchmarks (simulator wall-clock cost: pack and
 # unpack, payload pooling, message matching) and snapshots them, diffed

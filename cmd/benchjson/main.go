@@ -179,7 +179,9 @@ func main() {
 
 // checkRegressions diffs the current best (min) sample per benchmark
 // against the committed median and fails when any benchmark slowed past
-// the allowed margin even in its cleanest sample.
+// the allowed margin even in its cleanest sample. A committed benchmark
+// that is missing from the current run also fails: a renamed or deleted
+// benchmark would otherwise turn the gate into a silent no-op.
 func checkRegressions(path string, cur map[string]*summary, maxRegress float64) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -199,7 +201,11 @@ func checkRegressions(path string, cur map[string]*summary, maxRegress float64) 
 	for _, name := range names {
 		old := committed.Results[name]
 		now := cur[name]
-		if now == nil || old.NsPerOpMed == 0 {
+		if now == nil {
+			bad = append(bad, fmt.Sprintf("%s: committed in %s but missing from this run (renamed or deleted? refresh the committed report)", name, path))
+			continue
+		}
+		if old.NsPerOpMed == 0 {
 			continue
 		}
 		if ratio := now.NsPerOpMin / old.NsPerOpMed; ratio > limit {

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: commintent
+BenchmarkScaleHalo/n=64-8   	    1000	      1200 ns/op	      24 B/op	       1 allocs/op
+BenchmarkScaleHalo/n=64-8   	    1000	      1000 ns/op	      24 B/op	       1 allocs/op
+BenchmarkScaleHalo/n=64-8   	    1000	      1100 ns/op	      24 B/op	       1 allocs/op
+BenchmarkScaleBarrier/n=64-8	    2000	       500 ns/op	       0 B/op	       0 allocs/op
+`
+
+func TestParse(t *testing.T) {
+	res, ctx, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx["goos"] != "linux" || ctx["pkg"] != "commintent" {
+		t.Errorf("context = %v", ctx)
+	}
+	halo := res["BenchmarkScaleHalo/n=64"]
+	if halo == nil {
+		t.Fatal("halo benchmark not parsed")
+	}
+	if halo.Samples != 3 || halo.NsPerOpMin != 1000 || halo.NsPerOpMed != 1100 {
+		t.Errorf("halo summary = %+v", halo)
+	}
+	if halo.BytesPerOp != 24 || halo.AllocsPerOp != 1 {
+		t.Errorf("halo memory stats = %+v", halo)
+	}
+}
+
+// writeReport commits a benchjson report with the given results for
+// checkRegressions to diff against.
+func writeReport(t *testing.T, results map[string]*summary) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	blob, err := json.Marshal(report{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinBudget(t *testing.T) {
+	path := writeReport(t, map[string]*summary{
+		"BenchmarkScaleHalo/n=64": {NsPerOpMed: 1000},
+	})
+	cur := map[string]*summary{
+		"BenchmarkScaleHalo/n=64": {NsPerOpMin: 1200},
+	}
+	if err := checkRegressions(path, cur, 25); err != nil {
+		t.Errorf("20%% over median should pass a 25%% budget: %v", err)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	path := writeReport(t, map[string]*summary{
+		"BenchmarkScaleHalo/n=64": {NsPerOpMed: 1000},
+	})
+	cur := map[string]*summary{
+		"BenchmarkScaleHalo/n=64": {NsPerOpMin: 1300},
+	}
+	err := checkRegressions(path, cur, 25)
+	if err == nil || !strings.Contains(err.Error(), "slower") {
+		t.Errorf("30%% regression should fail: %v", err)
+	}
+}
+
+// TestCompareMissingBenchmarkFails pins the loud-failure contract: a
+// benchmark present in the committed report but absent from the new run
+// must fail the gate rather than silently shrink its coverage.
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	path := writeReport(t, map[string]*summary{
+		"BenchmarkScaleHalo/n=64":    {NsPerOpMed: 1000},
+		"BenchmarkScaleBarrier/n=64": {NsPerOpMed: 500},
+	})
+	cur := map[string]*summary{
+		"BenchmarkScaleHalo/n=64": {NsPerOpMin: 900},
+	}
+	err := checkRegressions(path, cur, 25)
+	if err == nil || !strings.Contains(err.Error(), "missing from this run") {
+		t.Errorf("missing benchmark should fail loudly: %v", err)
+	}
+}

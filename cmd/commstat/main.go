@@ -6,9 +6,13 @@
 // message dependencies across ranks, with per-rank idle time and the load
 // imbalance ratio.
 //
+// With -drop the fabric injects that probability of message loss on user
+// point-to-point traffic (seeded by -fault-seed, so a run is replayable);
+// the "faults" summary line then shows the typed-fault and retry counters.
+//
 // Usage:
 //
-//	commstat [-n 8] [-pattern ring|evenodd|halo] [-target mpi2side|mpi1side|shmem|auto] [-count 4] [-iters 4] [-json] [-emit-trace out.json]
+//	commstat [-n 8] [-pattern ring|evenodd|halo] [-target mpi2side|mpi1side|shmem|auto] [-count 4] [-iters 4] [-drop 0.05] [-fault-seed 1] [-json] [-emit-trace out.json]
 package main
 
 import (
@@ -38,6 +42,8 @@ func main() {
 	iters := flag.Int("iters", 4, "pattern iterations (steady-state metrics)")
 	asJSON := flag.Bool("json", false, "print the metrics snapshot as JSON instead of text exposition")
 	emitTrace := flag.String("emit-trace", "", "also write the span trace in Chrome trace_event JSON")
+	drop := flag.Float64("drop", 0, "inject this message-loss probability on user point-to-point traffic (0 disables)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injector seed; same seed replays the same faults (with -drop)")
 	flag.Parse()
 
 	tgt, err := patterns.ParseTarget(*target)
@@ -52,6 +58,11 @@ func main() {
 	tele := telemetry.New(*n, telemetry.DefaultSpanCap)
 	w.SetTelemetry(tele)
 	col := trace.Attach(w.Fabric())
+	if *drop > 0 {
+		cfg := simnet.FaultConfig{Seed: *faultSeed, Drop: *drop}
+		cfg.TagSpan, cfg.UserSpan = mpi.P2PFaultScope()
+		w.Fabric().SetFaults(cfg)
+	}
 
 	err = w.Run(func(rk *spmd.Rank) error {
 		comm := mpi.World(rk)
@@ -91,29 +102,21 @@ func main() {
 		fmt.Printf("\ndatatype cache: no lookups\n")
 	}
 
-	if ph, pm := simnet.PoolStats(); ph+pm > 0 {
-		fmt.Printf("payload pool: %d hits / %d misses (hit rate %.1f%%)\n",
-			ph, pm, 100*float64(ph)/float64(ph+pm))
-	}
-	if fe, fd, re, rd := typemap.PathStats(); fe+fd+re+rd > 0 {
-		fast, slow := fe+fd, re+rd
-		fmt.Printf("pack/unpack: %d zero-copy / %d reflection (fast-path share %.1f%%)\n",
-			fast, slow, 100*float64(fast)/float64(fast+slow))
-	}
+	ph, pm := simnet.PoolStats()
+	fmt.Printf("payload pool: %d hits / %d misses (hit rate %s)\n", ph, pm, rate(ph, ph+pm))
+	fe, fd, re, rd := typemap.PathStats()
+	fast, slow := fe+fd, re+rd
+	fmt.Printf("pack/unpack: %d zero-copy / %d reflection (fast-path share %s)\n",
+		fast, slow, rate(fast, fast+slow))
 
 	// One-sided data plane: window traffic, fence elision, symmetric-heap
 	// traffic and the directive layer's handle cache.
 	rmaPut := sumCounter(reg, "mpi_rma_put_bytes_total", *n)
 	rmaGet := sumCounter(reg, "mpi_rma_get_bytes_total", *n)
-	if rmaPut+rmaGet > 0 {
-		fences := sumCounter(reg, "mpi_rma_fence_total", *n)
-		elided := sumCounter(reg, "mpi_rma_fence_elided_total", *n)
-		line := fmt.Sprintf("one-sided: %d bytes put, %d bytes got, %d fences", rmaPut, rmaGet, fences)
-		if fences > 0 {
-			line += fmt.Sprintf(" (%d elided, %.1f%%)", elided, 100*float64(elided)/float64(fences))
-		}
-		fmt.Println(line)
-	}
+	fences := sumCounter(reg, "mpi_rma_fence_total", *n)
+	elided := sumCounter(reg, "mpi_rma_fence_elided_total", *n)
+	fmt.Printf("one-sided: %d bytes put, %d bytes got, %d fences (%d elided, elision rate %s)\n",
+		rmaPut, rmaGet, fences, elided, rate(elided, fences))
 	shPut := sumCounter(reg, "shmem_put_bytes_total", *n)
 	shGet := sumCounter(reg, "shmem_get_bytes_total", *n)
 	if shPut+shGet > 0 {
@@ -121,10 +124,17 @@ func main() {
 			shPut, shGet, sumCounter(reg, "shmem_amo_total", *n),
 			sumCounter(reg, "shmem_quiet_total", *n), sumCounter(reg, "shmem_quiet_elided_total", *n))
 	}
-	if rh, rm := sumCounter(reg, "core_handle_cache_hits_total", *n), sumCounter(reg, "core_handle_cache_misses_total", *n); rh+rm > 0 {
-		fmt.Printf("handle cache: %d hits / %d misses (hit rate %.1f%%)\n",
-			rh, rm, 100*float64(rh)/float64(rh+rm))
-	}
+	rh, rm := sumCounter(reg, "core_handle_cache_hits_total", *n), sumCounter(reg, "core_handle_cache_misses_total", *n)
+	fmt.Printf("handle cache: %d hits / %d misses (hit rate %s)\n", rh, rm, rate(rh, rh+rm))
+
+	// Robustness picture: typed faults observed by the MPI layer and the
+	// directive layer's recovery actions. All zeros on a healthy fabric.
+	fmt.Printf("faults: %d message(s) lost, %d dead-peer, %d deadline; recovery: %d re-send(s), %d give-up(s)\n",
+		sumCounter(reg, "mpi_fault_message_lost_total", *n),
+		sumCounter(reg, "mpi_fault_peer_dead_total", *n),
+		sumCounter(reg, "mpi_fault_deadline_total", *n),
+		sumCounter(reg, "core_p2p_retries_total", *n),
+		sumCounter(reg, "core_p2p_giveups_total", *n))
 
 	if calls := sumCounter(reg, "mpi_coll_calls_total", *n); calls > 0 {
 		line := fmt.Sprintf("collectives: %d calls; algorithms:", calls)
@@ -169,6 +179,15 @@ func main() {
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *emitTrace)
 	}
+}
+
+// rate formats num out of den as a percentage; a zero denominator prints
+// "n/a" instead of NaN.
+func rate(num, den int64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
 }
 
 // sumCounter totals a per-rank counter series across all ranks.

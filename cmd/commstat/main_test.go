@@ -50,10 +50,42 @@ func TestCommstatReport(t *testing.T) {
 		"per-rank idle (wait) time:",
 		"rank   0: idle",
 		"load imbalance (max/mean finish):",
+		// Robustness summary: all-zero counters on a healthy fabric.
+		"faults: 0 message(s) lost, 0 dead-peer, 0 deadline; recovery: 0 re-send(s), 0 give-up(s)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("report contains NaN; zero-denominator rates must print n/a")
+	}
+}
+
+// TestCommstatZeroDenominatorRates: a two-sided run performs no one-sided
+// traffic, so the fence-elision rate has a zero denominator — the line must
+// still print, with n/a rather than NaN.
+func TestCommstatZeroDenominatorRates(t *testing.T) {
+	out := runMain(t, "-n", "2", "-pattern", "ring")
+	if !strings.Contains(out, "elision rate n/a") {
+		t.Errorf("zero-fence run should print `elision rate n/a`:\n%s", out)
+	}
+	for _, want := range []string{"payload pool:", "pack/unpack:", "handle cache:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("report contains NaN; zero-denominator rates must print n/a")
+	}
+}
+
+// TestCommstatFaultInjection: with -drop the run completes through the
+// retry path and the report shows nonzero fault and re-send counters.
+func TestCommstatFaultInjection(t *testing.T) {
+	out := runMain(t, "-n", "4", "-pattern", "ring", "-iters", "4", "-drop", "0.2", "-fault-seed", "7")
+	if !strings.Contains(out, "faults: 24 message(s) lost, 0 dead-peer, 0 deadline; recovery: 24 re-send(s), 0 give-up(s)") {
+		t.Errorf("seeded 20%% drop run should report its exact (deterministic) fault counts:\n%s", out)
 	}
 }
 

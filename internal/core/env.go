@@ -45,6 +45,11 @@ type Env struct {
 	// out by Parameters; nil while a region is open or before first use.
 	freeRegion *Region
 
+	// Fault recovery (see retry.go): faults caches whether the world's
+	// fabric injects faults, which routes flush through waitWithRetry.
+	faults bool
+	retry  RetryPolicy
+
 	regionSeq int
 	decisions []Decision
 	closed    bool
@@ -65,6 +70,9 @@ type envTele struct {
 
 	resolveHits   *telemetry.Counter // handle-cache hits (buffer re-resolved from cache)
 	resolveMisses *telemetry.Counter // handle-cache misses (full classification)
+
+	retries *telemetry.Counter // comm_p2p transfers re-sent after a fault
+	giveups *telemetry.Counter // comm_p2p regions abandoned (dead peer / budget)
 }
 
 // span opens a directive-layer span at the rank's current virtual time.
@@ -96,6 +104,8 @@ func NewEnv(comm *mpi.Comm, shm *shmem.Ctx) (*Env, error) {
 		wins:    make(map[winKey]*mpi.Win),
 		resolve: make(map[resolveKey]*bufInfo),
 	}
+	e.faults = comm.SPMD().World().Fabric().FaultsEnabled()
+	e.retry = defaultRetryPolicy(comm.SPMD().Profile())
 	if shm != nil {
 		flags, err := shmem.Alloc[int64](shm, shm.NPEs())
 		if err != nil {
@@ -118,6 +128,8 @@ func NewEnv(comm *mpi.Comm, shm *shmem.Ctx) (*Env, error) {
 			dtypeMisses:   reg.Counter("core_datatype_cache_misses_total", r),
 			resolveHits:   reg.Counter("core_handle_cache_hits_total", r),
 			resolveMisses: reg.Counter("core_handle_cache_misses_total", r),
+			retries:       reg.Counter("core_p2p_retries_total", r),
+			giveups:       reg.Counter("core_p2p_giveups_total", r),
 			autoTarget: map[Target]*telemetry.Counter{
 				TargetSHMEM:    reg.Counter("core_auto_target_total", telemetry.L("choice", "shmem"), r),
 				TargetMPI2Side: reg.Counter("core_auto_target_total", telemetry.L("choice", "mpi-2side"), r),

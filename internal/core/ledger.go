@@ -18,6 +18,11 @@ type ledger struct {
 	reqs   []*mpi.Request
 	pinned []bufRange
 
+	// resend carries the intent behind each request — parallel to reqs —
+	// so flush can re-express lost transfers on a fault-injecting fabric.
+	// Only populated when the environment runs with faults enabled.
+	resend []resendOp
+
 	// The completion maps are allocated on first use (most regions touch at
 	// most one backend) and cleared in place by flush, so a steady-state
 	// region loop reuses their storage instead of reallocating per region.
@@ -38,6 +43,8 @@ func newLedger() *ledger {
 func (l *ledger) reset() {
 	clear(l.reqs)
 	l.reqs = l.reqs[:0]
+	clear(l.resend)
+	l.resend = l.resend[:0]
 	l.pinned = l.pinned[:0]
 	clear(l.shmemDst)
 	clear(l.shmemSrc)
@@ -91,6 +98,7 @@ func (l *ledger) pin(ranges []bufRange) {
 // absorb merges another ledger (carried from a previous adjacent region).
 func (l *ledger) absorb(o *ledger) {
 	l.reqs = append(l.reqs, o.reqs...)
+	l.resend = append(l.resend, o.resend...)
 	l.pinned = append(l.pinned, o.pinned...)
 	for pe := range o.shmemDst {
 		l.noteShmemDst(pe)
@@ -121,10 +129,17 @@ func (e *Env) flush(l *ledger, region int) error {
 			// wait the directive layer avoided emitting.
 			e.tele.consolidated.Add(int64(len(l.reqs) - 1))
 		}
-		if _, err := e.comm.Waitall(l.reqs); err != nil {
-			return err
+		if e.faults && len(l.resend) == len(l.reqs) {
+			if err := e.waitWithRetry(l, region); err != nil {
+				return err
+			}
+			e.note(region, "sync", fmt.Sprintf("retry-guarded MPI_Waitall over %d request(s)", len(l.reqs)))
+		} else {
+			if _, err := e.comm.Waitall(l.reqs); err != nil {
+				return err
+			}
+			e.note(region, "sync", fmt.Sprintf("MPI_Waitall over %d request(s)", len(l.reqs)))
 		}
-		e.note(region, "sync", fmt.Sprintf("MPI_Waitall over %d request(s)", len(l.reqs)))
 	}
 	if len(l.wins) == 1 {
 		// One window — the common one-sided region shape — needs no

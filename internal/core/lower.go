@@ -221,6 +221,9 @@ func (e *Env) emitMPI2Side(r *Region, sinfos, rinfos []*bufInfo, count int, doSe
 				return fmt.Errorf("core: rbuf[%d]: %w", i, err)
 			}
 			r.led.reqs = append(r.led.reqs, req)
+			if e.faults {
+				r.led.resend = append(r.led.resend, resendOp{view: view, count: n, dt: dt, peer: recvFrom})
+			}
 		}
 	}
 	if doSend {
@@ -242,6 +245,9 @@ func (e *Env) emitMPI2Side(r *Region, sinfos, rinfos []*bufInfo, count int, doSe
 				return fmt.Errorf("core: sbuf[%d]: %w", i, err)
 			}
 			r.led.reqs = append(r.led.reqs, req)
+			if e.faults {
+				r.led.resend = append(r.led.resend, resendOp{view: view, count: n, dt: dt, peer: sendTo, isSend: true})
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,116 @@
+package mpi_test
+
+import (
+	"strings"
+	"testing"
+
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+// TestTagOutOfRange pins checkTag's rejection of tags outside [0, MaxUserTag)
+// on every entry point that validates them: Send, Recv, Isend and Irecv.
+// AnyTag stays legal on the receive side.
+func TestTagOutOfRange(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		buf := []int64{0}
+		for _, tag := range []int{-2, mpi.MaxUserTag, mpi.MaxUserTag + 1} {
+			if err := c.Send(buf, 1, mpi.Int64, 1-rk.ID, tag); err == nil || !strings.Contains(err.Error(), "out of range") {
+				t.Errorf("Send tag %d: err = %v, want out-of-range", tag, err)
+			}
+			if _, err := c.Isend(buf, 1, mpi.Int64, 1-rk.ID, tag); err == nil || !strings.Contains(err.Error(), "out of range") {
+				t.Errorf("Isend tag %d: err = %v, want out-of-range", tag, err)
+			}
+			if _, err := c.Recv(buf, 1, mpi.Int64, 1-rk.ID, tag); err == nil || !strings.Contains(err.Error(), "out of range") {
+				t.Errorf("Recv tag %d: err = %v, want out-of-range", tag, err)
+			}
+			if _, err := c.Irecv(buf, 1, mpi.Int64, 1-rk.ID, tag); err == nil || !strings.Contains(err.Error(), "out of range") {
+				t.Errorf("Irecv tag %d: err = %v, want out-of-range", tag, err)
+			}
+		}
+		// AnyTag must pass validation on the receive side: exchange one
+		// message for real so the world drains cleanly.
+		if rk.ID == 0 {
+			if err := c.Send([]int64{42}, 1, mpi.Int64, 1, 0); err != nil {
+				return err
+			}
+		} else {
+			if _, err := c.Recv(buf, 1, mpi.Int64, 0, mpi.AnyTag); err != nil {
+				t.Errorf("Recv with AnyTag: %v", err)
+			}
+		}
+		return nil
+	})
+}
+
+// TestSplitNeverContributed: when a rank enters the first Split barrier
+// without having contributed its (color, key) — here simulated by a rank
+// that calls Barrier directly instead of Split — every participating rank
+// gets a diagnostic error naming the missing rank instead of computing a
+// group from stale scratch state.
+func TestSplitNeverContributed(t *testing.T) {
+	const n = 4
+	run(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID == n-1 {
+			// Matches only the first (contribution) barrier inside Split;
+			// the others error out before the trailing barrier.
+			c.Barrier()
+			return nil
+		}
+		sub, err := c.Split(0, rk.ID)
+		if err == nil || !strings.Contains(err.Error(), "never contributed") {
+			t.Errorf("rank %d: err = %v, want rank-never-contributed", rk.ID, err)
+		}
+		if sub != nil {
+			t.Errorf("rank %d: got a communicator from a failed Split", rk.ID)
+		}
+		return nil
+	})
+}
+
+// TestSplitExcludedRankKeepsParent: an MPI_UNDEFINED-style excluded rank
+// gets a nil communicator and the parent stays fully usable for it — the
+// excluded rank is out of the subgroup, not out of the world.
+func TestSplitExcludedRankKeepsParent(t *testing.T) {
+	const n = 4
+	run(t, n, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		color := 0
+		if rk.ID == n-1 {
+			color = -7 // any negative color means "exclude me"
+		}
+		sub, err := c.Split(color, rk.ID)
+		if err != nil {
+			return err
+		}
+		if rk.ID == n-1 {
+			if sub != nil {
+				t.Error("excluded rank got a communicator")
+			}
+		} else {
+			if sub == nil || sub.Size() != n-1 {
+				t.Fatalf("rank %d: want subcomm of size %d, got %v", rk.ID, n-1, sub)
+			}
+			// The subgroup works without the excluded rank: sum of member
+			// world ranks over the subcommunicator.
+			got := []int64{0}
+			if err := sub.Allreduce([]int64{int64(rk.ID)}, got, 1, mpi.Int64, mpi.OpSum); err != nil {
+				return err
+			}
+			if want := int64(n*(n-1)/2 - (n - 1)); got[0] != want {
+				t.Errorf("rank %d: subgroup sum %d, want %d", rk.ID, got[0], want)
+			}
+		}
+		// The parent is still intact for everyone, excluded rank included.
+		all := []int64{0}
+		if err := c.Allreduce([]int64{int64(rk.ID)}, all, 1, mpi.Int64, mpi.OpSum); err != nil {
+			return err
+		}
+		if want := int64(n * (n - 1) / 2); all[0] != want {
+			t.Errorf("rank %d: world sum %d, want %d", rk.ID, all[0], want)
+		}
+		return nil
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"commintent/internal/coll"
 	"commintent/internal/model"
@@ -52,6 +53,12 @@ type Comm struct {
 	splitSeq int // per-rank count of Split calls, for scratch key derivation
 	winSeq   int // per-rank count of WinCreate calls
 
+	// Deadline policy (see deadline.go). defTimeout gives blocking
+	// completions an implicit virtual deadline; wdog overrides the
+	// real-time watchdog backstopping deadline-aware waits.
+	defTimeout model.Time
+	wdog       time.Duration
+
 	tele commTele // metric handles; all nil (no-op) when telemetry is off
 }
 
@@ -73,6 +80,10 @@ type commTele struct {
 	rmaGetBytes    *telemetry.Counter // one-sided bytes read from windows
 	rmaFences      *telemetry.Counter // window fences executed
 	rmaFenceElided *telemetry.Counter // fences whose epoch was already quiesced
+
+	faultLost     *telemetry.Counter // operations failed with ErrMessageLost
+	faultDead     *telemetry.Counter // operations failed with ErrPeerDead
+	faultDeadline *telemetry.Counter // operations failed with ErrDeadline
 }
 
 // initTele resolves the communicator's metric handles from the world's
@@ -99,6 +110,10 @@ func (c *Comm) initTele() {
 		rmaGetBytes:    reg.Counter("mpi_rma_get_bytes_total", r),
 		rmaFences:      reg.Counter("mpi_rma_fence_total", r),
 		rmaFenceElided: reg.Counter("mpi_rma_fence_elided_total", r),
+
+		faultLost:     reg.Counter("mpi_fault_message_lost_total", r),
+		faultDead:     reg.Counter("mpi_fault_peer_dead_total", r),
+		faultDeadline: reg.Counter("mpi_fault_deadline_total", r),
 	}
 	for a := coll.Algo(0); a < coll.NAlgos; a++ {
 		c.tele.collAlgo[a] = reg.Counter("mpi_coll_algo_total", r,
@@ -325,6 +340,8 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	nc.barCost = c.prof().BarrierTime(len(nc.ranks))
 	nc.clk = c.clk
 	nc.fab = c.fab
+	nc.defTimeout = c.defTimeout
+	nc.wdog = c.wdog
 	nc.csh = collFor(nc)
 	nc.initTele()
 	// The trailing barrier keeps the parent's ranks in lockstep, matching

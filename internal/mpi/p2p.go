@@ -57,7 +57,7 @@ func (c *Comm) makeSendReq(buf any, count int, d *Datatype, dest, tag int) (Requ
 	rendezvous := n > p.MPIEagerThreshold
 	sr := c.ep().SendOwned(c.WorldRank(dest), c.wireTag(tag), wire, arrive, rendezvous)
 	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSend, Peer: c.WorldRank(dest), Tag: tag, Bytes: n, V: clk.Now()})
-	return Request{comm: c, send: sr, isSend: true, rendezvous: rendezvous}, nil
+	return Request{comm: c, send: sr, isSend: true, rendezvous: rendezvous, destWorld: c.WorldRank(dest)}, nil
 }
 
 // Send is the blocking send. Under the eager protocol it completes locally
@@ -68,11 +68,12 @@ func (c *Comm) Send(buf any, count int, d *Datatype, dest, tag int) error {
 	if err != nil {
 		return err
 	}
-	if err := r.finish(); err != nil {
+	err = r.finishDeadline(c.opDeadline())
+	if err != nil && !IsFault(err) {
 		return err
 	}
 	c.clock().AdvanceTo(r.readyV)
-	return nil
+	return err
 }
 
 // Irecv starts a non-blocking receive of up to count elements of datatype d
@@ -129,11 +130,12 @@ func (c *Comm) Recv(buf any, count int, d *Datatype, source, tag int) (Status, e
 	if err != nil {
 		return Status{}, err
 	}
-	if err := r.finish(); err != nil {
+	err = r.finishDeadline(c.opDeadline())
+	if err != nil && !IsFault(err) {
 		return Status{}, err
 	}
 	c.clock().AdvanceTo(r.readyV)
-	return r.status, nil
+	return r.status, err
 }
 
 // Sendrecv performs a combined send and receive, safe against the pairwise

@@ -37,11 +37,14 @@ type Request struct {
 	recvCount int
 	dt        *Datatype
 
+	destWorld int // world rank of a send's destination, for watchdog withdrawal
+
 	done       bool
 	claimed    bool // consumed by Waitany
 	unexpected bool // receive found its message already queued; cached at finish
 	status     Status
 	readyV     model.Time // virtual completion time, set when finished
+	err        error      // sticky typed fault, re-returned by later waits
 }
 
 // IsSend reports whether this tracks a send.
@@ -68,28 +71,73 @@ func (r *Request) Unexpected() bool {
 // computes its virtual completion time and decodes the payload. It charges
 // no call overhead itself; Wait/Waitall/Test add their own.
 func (r *Request) finish() error {
+	return r.finishDeadline(0)
+}
+
+// finishDeadline is finish under a virtual deadline D (0 = none). On a
+// healthy fabric with no deadline it is byte-for-byte the old finish() —
+// the fault branches are gated on injector verdicts and D — so injection-off
+// virtual times are untouched. With a deadline, the wait is backstopped by
+// the communicator's real-time watchdog: if it fires, the pending receive
+// (or unmatched rendezvous send) is withdrawn and the request fails with
+// ErrDeadline charged at D. Injected faults (drop ghosts, dead peers) do not
+// involve the watchdog at all; they resolve promptly in real time at their
+// deterministic virtual times.
+func (r *Request) finishDeadline(D model.Time) error {
 	if r.done {
-		return nil
+		return r.err
 	}
 	p := r.comm.prof()
 	if r.isSend {
 		if r.rendezvous {
 			// Rendezvous: the send completes only once the matching
 			// receive is posted; the clearing ack costs one more latency.
-			r.send.Msg.WaitMatched()
+			if D > 0 {
+				if !r.send.Msg.WaitMatchedTimeout(r.comm.watchdog()) {
+					dep := r.comm.fabric().Endpoint(r.destWorld)
+					if dep.CancelMsg(r.send.Msg) {
+						return r.failSend(simnet.FaultCancelled, model.Max(D, r.send.LocalV), D)
+					}
+					// Lost the race: the match is completing concurrently.
+				}
+				r.send.Msg.WaitMatched()
+			} else {
+				r.send.Msg.WaitMatched()
+			}
 			r.readyV = model.Max(r.send.LocalV, r.send.Msg.MatchV()+p.MPILatency)
 			if stall := r.readyV - r.send.LocalV; stall > 0 {
 				r.comm.tele.stalls.Inc()
 				r.comm.tele.stallNS.AddTime(stall)
 			}
+			if r.send.Fault != simnet.FaultNone {
+				// The ghost matched a receive (so the handshake resolved),
+				// but the payload never arrived.
+				return r.failSend(r.send.Fault, r.readyV, D)
+			}
 		} else {
 			// Eager: the send buffer was reusable at call time.
+			if r.send.Fault != simnet.FaultNone {
+				return r.failSend(r.send.Fault, r.send.LocalV, D)
+			}
 			r.readyV = r.send.LocalV
 		}
 		r.done = true
 		return nil
 	}
-	r.recv.Wait()
+	if D > 0 {
+		if !r.recv.WaitTimeout(r.comm.watchdog()) {
+			if r.comm.ep().CancelRecv(r.recv) {
+				r.recv.Wait() // consume the cancellation token
+			} else {
+				r.recv.Wait() // lost the race: a delivery is completing
+			}
+		}
+	} else {
+		r.recv.Wait()
+	}
+	if f := r.recv.Fault(); f != simnet.FaultNone {
+		return r.failRecv(f, D)
+	}
 	n := r.recv.Len()
 	src := r.recv.Src()
 	tag := r.recv.Tag()
@@ -124,12 +172,56 @@ func (r *Request) finish() error {
 	return nil
 }
 
+// failSend completes a faulted send: the request is done (re-waiting returns
+// the same sticky error), charged at ready, with the typed fault recorded.
+func (r *Request) failSend(k simnet.FaultKind, ready, D model.Time) error {
+	r.readyV = ready
+	r.done = true
+	r.comm.countFault(k)
+	r.err = &FaultError{Op: "send", Peer: r.comm.commRankOf(r.destWorld), Kind: k, Deadline: D}
+	return r.err
+}
+
+// failRecv completes a faulted receive. A drop or dead-peer ghost resolves
+// at its deterministic ghost-visible time max(arrive, post); a watchdog
+// cancellation — the only nondeterministic trigger — is charged at the
+// virtual deadline D, which is itself deterministic. Either way the pooled
+// resources go back and the request is done with a sticky typed error.
+func (r *Request) failRecv(k simnet.FaultKind, D model.Time) error {
+	src := r.recv.Src() // -1 for a cancellation
+	ready := model.Max(r.recv.ArriveV(), r.recv.PostV())
+	r.recv.Release()
+	r.recv = nil
+	simnet.PutBuf(r.wire)
+	r.wire = nil
+	if k == simnet.FaultCancelled {
+		ready = model.Max(D, ready)
+	}
+	peer := -1
+	if src >= 0 {
+		peer = r.comm.commRankOf(src)
+	}
+	r.status = Status{Source: peer, Tag: -1, Bytes: 0}
+	r.readyV = ready
+	r.done = true
+	r.comm.countFault(k)
+	r.err = &FaultError{Op: "recv", Peer: peer, Kind: k, Deadline: D}
+	return r.err
+}
+
 // Wait blocks until the request completes, charging one MPI_Wait call.
 // This is the per-request completion style whose cost the paper's Figure 4
-// highlights.
+// highlights. Under the communicator's default deadline (SetDefaultTimeout)
+// a faulted operation returns its typed error after the clock has advanced
+// to the fault's virtual resolution.
 func (c *Comm) Wait(r *Request) (Status, error) {
+	return c.wait(r, c.opDeadline())
+}
+
+func (c *Comm) wait(r *Request, D model.Time) (Status, error) {
 	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Wait", "mpi", c.clock().Now())
-	if err := r.finish(); err != nil {
+	err := r.finishDeadline(D)
+	if err != nil && !IsFault(err) {
 		return Status{}, err
 	}
 	clk := c.clock()
@@ -143,22 +235,49 @@ func (c *Comm) Wait(r *Request) (Status, error) {
 	c.tele.waitNS.Observe(idle)
 	sp.End(clk.Now())
 	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvWait, Peer: -1, V: clk.Now(), Idle: idle})
-	return r.status, nil
+	return r.status, err
 }
 
 // Waitall blocks until all requests complete, charging a single
 // MPI_Waitall call (base + per-request increment). This is the consolidated
-// completion the directive layer generates.
+// completion the directive layer generates. Under a default deadline a
+// faulted batch still completes every request (so no resource leaks), then
+// reports the first typed fault; WaitallTimeout exposes the per-request
+// outcomes that the directive layer's retry protocol needs.
 func (c *Comm) Waitall(reqs []*Request) ([]Status, error) {
+	stats, _, err := c.waitallImpl(reqs, c.opDeadline())
+	if err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// waitallImpl is the shared body of Waitall and WaitallTimeout. Charging is
+// identical to the historical Waitall on a clean batch — one WaitallTime
+// advance plus a jump to the latest readiness — so injection-off virtual
+// times are unchanged. Faulted requests contribute their fault-resolution
+// times to the jump and their errors to errs.
+func (c *Comm) waitallImpl(reqs []*Request, D model.Time) ([]Status, []error, error) {
 	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Waitall", "mpi", c.clock().Now())
 	stats := make([]Status, len(reqs))
+	var errs []error
+	var firstErr error
 	var maxReady model.Time
 	for i, r := range reqs {
 		if r == nil {
 			continue
 		}
-		if err := r.finish(); err != nil {
-			return nil, err
+		if err := r.finishDeadline(D); err != nil {
+			if !IsFault(err) {
+				return nil, nil, err
+			}
+			if errs == nil {
+				errs = make([]error, len(reqs))
+			}
+			errs[i] = err
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 		stats[i] = r.status
 		if r.readyV > maxReady {
@@ -176,7 +295,7 @@ func (c *Comm) Waitall(reqs []*Request) ([]Status, error) {
 	c.tele.waitNS.Observe(idle)
 	sp.End(clk.Now())
 	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, Bytes: len(reqs), V: clk.Now(), Idle: idle})
-	return stats, nil
+	return stats, errs, firstErr
 }
 
 // Waitany blocks until at least one request completes and returns its

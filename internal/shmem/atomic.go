@@ -40,7 +40,7 @@ func (s *Slice[T]) FetchAdd(c *Ctx, pe int, off int, delta T) (T, error) {
 	if v := c.clock().Now(); v > board.lastArrival {
 		board.lastArrival = v
 	}
-	board.cond.Broadcast()
+	board.wake()
 	board.mu.Unlock()
 	c.amoClock()
 	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvPut, Peer: pe, Bytes: s.esz, V: c.clock().Now()})
@@ -66,7 +66,7 @@ func (s *Slice[T]) Swap(c *Ctx, pe int, off int, v T) (T, error) {
 	if now := c.clock().Now(); now > board.lastArrival {
 		board.lastArrival = now
 	}
-	board.cond.Broadcast()
+	board.wake()
 	board.mu.Unlock()
 	c.amoClock()
 	return old, nil
@@ -93,7 +93,7 @@ func (s *Slice[T]) CompareSwap(c *Ctx, pe int, off int, cond, v T) (T, error) {
 		if now := c.clock().Now(); now > board.lastArrival {
 			board.lastArrival = now
 		}
-		board.cond.Broadcast()
+		board.wake()
 	}
 	board.mu.Unlock()
 	c.amoClock()

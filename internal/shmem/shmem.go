@@ -15,6 +15,7 @@ package shmem
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"commintent/internal/model"
 	"commintent/internal/simnet"
@@ -95,25 +96,43 @@ type entry struct {
 }
 
 // rmaBoard tracks one-sided traffic arriving at a PE, for wait_until.
+// Arrival signalling is a generation channel rather than a sync.Cond: each
+// wake closes the current channel and installs a fresh one, so waiters can
+// select against a timer — which is what makes WaitUntilTimeout possible
+// (a Cond.Wait cannot be interrupted).
 type rmaBoard struct {
 	mu          sync.Mutex
-	cond        *sync.Cond
+	gen         chan struct{} // closed and replaced under mu when waiters > 0
+	waiters     int           // parked waitUntil calls; guards the channel churn
 	lastArrival model.Time
 	version     uint64
+}
+
+// wake signals all current waiters. Caller holds b.mu. With no one parked
+// this is a single integer check, so the put fast path never pays the
+// close-and-reallocate cost.
+func (b *rmaBoard) wake() {
+	if b.waiters == 0 {
+		return
+	}
+	close(b.gen)
+	b.gen = make(chan struct{})
 }
 
 func state(w *spmd.World) *worldState {
 	ws := w.Shared("shmem/worldState", func() any {
 		s := &worldState{rma: make([]*rmaBoard, w.Size())}
 		for i := range s.rma {
-			b := &rmaBoard{}
-			b.cond = sync.NewCond(&b.mu)
-			s.rma[i] = b
+			s.rma[i] = &rmaBoard{gen: make(chan struct{})}
 		}
 		return s
 	}).(*worldState)
 	return ws
 }
+
+// DefaultWatchdog is the real-time backstop armed by WaitUntilTimeout when
+// the context has no explicit watchdog configured.
+const DefaultWatchdog = 10 * time.Second
 
 // Ctx is one PE's handle on the SHMEM world.
 type Ctx struct {
@@ -123,7 +142,20 @@ type Ctx struct {
 
 	outstanding model.Time // max arrival time of this PE's unquieted puts
 
+	wdog time.Duration // real-time watchdog for WaitUntilTimeout; 0 = default
+
 	tele ctxTele // metric handles; all nil (no-op) when telemetry is off
+}
+
+// SetWatchdog overrides the real-time watchdog armed by WaitUntilTimeout
+// (DefaultWatchdog when zero).
+func (c *Ctx) SetWatchdog(d time.Duration) { c.wdog = d }
+
+func (c *Ctx) watchdog() time.Duration {
+	if c.wdog > 0 {
+		return c.wdog
+	}
+	return DefaultWatchdog
 }
 
 // ctxTele caches this PE's telemetry handles.

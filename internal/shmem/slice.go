@@ -3,7 +3,9 @@ package shmem
 import (
 	"fmt"
 	"reflect"
+	"time"
 
+	"commintent/internal/model"
 	"commintent/internal/simnet"
 )
 
@@ -151,7 +153,7 @@ func (s *Slice[T]) Put(c *Ctx, pe int, src []T, dstOff int) error {
 		board.lastArrival = arrive
 	}
 	board.version++
-	board.cond.Broadcast()
+	board.wake()
 	board.mu.Unlock()
 
 	c.notePut(arrive)
@@ -194,6 +196,22 @@ func (s *Slice[T]) Get(c *Ctx, pe int, dst []T, srcOff int) error {
 // element is expected to be written by a remote Put (shmem_wait_until). The
 // caller's clock advances to the arrival time of the satisfying traffic.
 func (s *Slice[T]) WaitUntil(c *Ctx, off int, cmp Cmp, v T) error {
+	return s.waitUntil(c, off, cmp, v, nil, 0)
+}
+
+// WaitUntilTimeout is WaitUntil with a deadline of timeout virtual ns from
+// the call. The trigger is the context's real-time watchdog (the virtual
+// clock cannot advance while blocked); on expiry the wait fails with
+// simnet.ErrDeadline — match with errors.Is — charged at the virtual
+// deadline. This is the one-sided analogue of mpi.RecvTimeout: a peer that
+// died before signalling turns into a typed error instead of a hang.
+func (s *Slice[T]) WaitUntilTimeout(c *Ctx, off int, cmp Cmp, v T, timeout model.Time) error {
+	t := time.NewTimer(c.watchdog())
+	defer t.Stop()
+	return s.waitUntil(c, off, cmp, v, t.C, c.clock().Now()+timeout)
+}
+
+func (s *Slice[T]) waitUntil(c *Ctx, off int, cmp Cmp, v T, expire <-chan time.Time, deadline model.Time) error {
 	if off < 0 || off >= s.n {
 		return fmt.Errorf("shmem: WaitUntil offset %d of %d", off, s.n)
 	}
@@ -203,7 +221,29 @@ func (s *Slice[T]) WaitUntil(c *Ctx, off int, cmp Cmp, v T) error {
 	board := s.ws.rma[c.MyPE()]
 	board.mu.Lock()
 	for !satisfies(local[off], cmp, v) {
-		board.cond.Wait()
+		// Grab the current generation under the lock, then park outside it;
+		// wake() closes the channel under the same lock, so a signal between
+		// unlock and select cannot be missed. The waiter count keeps wake()
+		// free for arrivals nobody is waiting on.
+		ch := board.gen
+		board.waiters++
+		board.mu.Unlock()
+		select {
+		case <-ch:
+		case <-expire:
+			board.mu.Lock()
+			board.waiters--
+			board.mu.Unlock()
+			clk.Advance(c.prof().ShmemWaitPoll)
+			if idle := deadline - clk.Now(); idle > 0 {
+				c.tele.idle.AddTime(idle)
+			}
+			clk.AdvanceTo(deadline)
+			sp.End(clk.Now())
+			return fmt.Errorf("shmem: wait_until PE %d offset %d: %w", c.MyPE(), off, simnet.ErrDeadline)
+		}
+		board.mu.Lock()
+		board.waiters--
 	}
 	arrival := board.lastArrival
 	board.mu.Unlock()

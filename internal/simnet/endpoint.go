@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"commintent/internal/model"
@@ -41,6 +42,15 @@ type Msg struct {
 	// both queues in O(1) when it is plucked out of the middle.
 	fifoPos   int
 	bucketPos int
+
+	// Fault-injection state. linkSeq numbers this message on its (src,dst)
+	// link (valid when hasSeq; only injector-eligible messages are
+	// numbered), which the receiver's dedupe window keys on. fault marks a
+	// ghost: a dropped or peer-dead message delivered payload-free so the
+	// matching receive resolves instead of hanging.
+	linkSeq uint64
+	hasSeq  bool
+	fault   FaultKind
 }
 
 // IsMatched reports, without blocking, whether a receive has matched this
@@ -66,6 +76,29 @@ func (m *Msg) WaitMatched() {
 	<-ch
 }
 
+// WaitMatchedTimeout is WaitMatched bounded by real-time duration d. It
+// reports whether the match arrived; on false the message is still pending
+// (use the destination endpoint's CancelMsg to withdraw it, then re-check).
+// Only the sending goroutine may call it.
+func (m *Msg) WaitMatchedTimeout(d time.Duration) bool {
+	if atomic.LoadUint32(&m.matchFlag) == 1 {
+		return true
+	}
+	ch := make(chan struct{})
+	atomic.StorePointer(&m.matchCh, unsafe.Pointer(&ch))
+	if atomic.LoadUint32(&m.matchFlag) == 1 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
 // MatchV reports the virtual time at which the match occurred: the later of
 // the message's arrival and the receive posting. Only valid once IsMatched
 // reports true (or WaitMatched has returned).
@@ -88,6 +121,12 @@ type Envelope struct {
 type SendReq struct {
 	Msg    *Msg
 	LocalV model.Time
+
+	// Fault is the injector's send-time verdict on this message (FaultNone
+	// on a healthy fabric). The sender learns a drop synchronously — the
+	// deterministic stand-in for an acknowledgement timeout — while the
+	// receiver learns it from the delivered ghost.
+	Fault FaultKind
 }
 
 // RecvReq tracks a posted receive until it is matched. Requests are pooled:
@@ -115,6 +154,7 @@ type RecvReq struct {
 	srcRank int
 	tagVal  int
 	arriveV model.Time
+	fault   FaultKind // non-None when completed by a ghost or a cancellation
 }
 
 // recvReqPool recycles receive requests; each carries its token channel
@@ -133,8 +173,38 @@ func (r *RecvReq) Wait() {
 	}
 }
 
+// WaitTimeout is Wait bounded by real-time duration d: it reports whether
+// the receive completed. On false the receive is still posted; the owner
+// must either keep waiting or withdraw it with CancelRecv (and then Wait
+// for the token, which either path deposits). Only the posting goroutine
+// may call it.
+func (r *RecvReq) WaitTimeout(d time.Duration) bool {
+	if r.consumed {
+		return true
+	}
+	if atomic.LoadUint32(&r.doneFlag) == 1 {
+		<-r.done
+		r.consumed = true
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.done:
+		r.consumed = true
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
 // Matched reports whether the receive has completed, without blocking.
 func (r *RecvReq) Matched() bool { return atomic.LoadUint32(&r.doneFlag) == 1 }
+
+// Fault reports how the receive completed: FaultNone for a real delivery,
+// FaultDropped/FaultPeerDead when it was resolved by a ghost, or
+// FaultCancelled after CancelRecv. Only valid after completion.
+func (r *RecvReq) Fault() FaultKind { r.mustBeDone(); return r.fault }
 
 // Release returns the request to the pool. It must only be called by the
 // posting goroutine, after the request is known to have completed (Wait
@@ -242,7 +312,8 @@ func (mq *msgQueue) first() *Msg {
 }
 
 // recvQueue is a FIFO of posted receives for one (src,tag) pattern. Matches
-// always consume the queue head, so no hole management is needed.
+// consume the queue head; CancelRecv may nil out an entry in the middle, so
+// first() skips holes.
 type recvQueue struct {
 	q    []*RecvReq
 	head int
@@ -251,12 +322,19 @@ type recvQueue struct {
 func (rq *recvQueue) push(r *RecvReq) { rq.q = append(rq.q, r) }
 
 func (rq *recvQueue) first() *RecvReq {
+	for rq.head < len(rq.q) && rq.q[rq.head] == nil {
+		rq.head++
+	}
 	if rq.head == len(rq.q) {
+		rq.q = rq.q[:0]
+		rq.head = 0
 		return nil
 	}
 	return rq.q[rq.head]
 }
 
+// pop removes the queue head; callers must have established it is live via
+// first() under the same lock acquisition.
 func (rq *recvQueue) pop() *RecvReq {
 	r := rq.q[rq.head]
 	rq.q[rq.head] = nil
@@ -266,6 +344,18 @@ func (rq *recvQueue) pop() *RecvReq {
 		rq.head = 0
 	}
 	return r
+}
+
+// removeReq nils out r wherever it sits in the queue, reporting whether it
+// was found. Caller holds the endpoint lock.
+func (rq *recvQueue) removeReq(r *RecvReq) bool {
+	for i := rq.head; i < len(rq.q); i++ {
+		if rq.q[i] == r {
+			rq.q[i] = nil
+			return true
+		}
+	}
+	return false
 }
 
 // Endpoint is one rank's attachment to the fabric. All methods that mutate
@@ -303,6 +393,13 @@ type Endpoint struct {
 	postSeq     uint64
 
 	sendSeq uint64
+
+	// Fault-injection state. flt is sender-side (per destination link;
+	// touched only by this rank's goroutine, which is what keeps the link
+	// sequence numbers deterministic). seen is receiver-side (per source
+	// dedupe windows; guarded by mu). Both stay nil on a healthy fabric.
+	flt  []linkFault
+	seen []seqWindow
 }
 
 func newEndpoint(f *Fabric, rank int) *Endpoint {
@@ -347,8 +444,20 @@ func (ep *Endpoint) Send(dst, tag int, data []byte, arriveV model.Time) *SendReq
 		SentV:   ep.clock.Now(),
 		ArriveV: arriveV,
 	}
-	ep.f.eps[dst].deliver(m)
-	return &SendReq{Msg: m, LocalV: ep.clock.Now()}
+	fault := ep.dispatch(dst, m)
+	return &SendReq{Msg: m, LocalV: ep.clock.Now(), Fault: fault}
+}
+
+// dispatch routes a message to the destination, through the fault injector
+// when one is installed. It returns the injector's verdict on the message;
+// callers must capture it rather than reading m afterwards (an eager pooled
+// message may already be recycled).
+func (ep *Endpoint) dispatch(dst int, m *Msg) FaultKind {
+	if ep.f.inj == nil {
+		ep.f.eps[dst].deliver(m)
+		return FaultNone
+	}
+	return ep.inject(dst, m)
 }
 
 // SendOwned injects a message whose payload buffer's ownership transfers to
@@ -379,7 +488,7 @@ func (ep *Endpoint) SendOwned(dst, tag int, data []byte, arriveV model.Time, ren
 	if rendezvous {
 		sr.Msg = m
 	}
-	ep.f.eps[dst].deliver(m)
+	sr.Fault = ep.dispatch(dst, m)
 	return sr
 }
 
@@ -388,6 +497,28 @@ func (ep *Endpoint) SendOwned(dst, tag int, data []byte, arriveV model.Time, ren
 // be recycled before this returns, so callers must not touch m afterwards.
 func (ep *Endpoint) deliver(m *Msg) {
 	ep.lock()
+	if m.hasSeq {
+		if ep.seen == nil {
+			ep.seen = make([]seqWindow, ep.f.n)
+		}
+		if ep.seen[m.Src].seen(m.linkSeq) {
+			// Duplicate copy: discard before matching. Injected duplicates
+			// are payload-free, but a defensive release keeps the pool
+			// sound either way.
+			ep.unlock()
+			if inj := ep.f.inj; inj != nil {
+				inj.deduped.Add(1)
+			}
+			if m.poolPayload && m.Data != nil {
+				PutBuf(m.Data)
+				m.Data = nil
+			}
+			if m.poolMsg {
+				putMsg(m)
+			}
+			return
+		}
+	}
 	m.seq = ep.sendSeq
 	ep.sendSeq++
 	if r := ep.takePosted(m.Src, m.Tag); r != nil {
@@ -498,6 +629,72 @@ func (ep *Endpoint) PostRecv(src, tag int, buf []byte, postV model.Time) *RecvRe
 	return r
 }
 
+// CancelRecv withdraws a posted-but-unmatched receive, completing it with
+// FaultCancelled; it reports whether the cancellation won. A false return
+// means a sender's delivery got there first (or is completing concurrently)
+// — the owner must then consume the normal completion with Wait. Only the
+// posting goroutine may call it, typically after WaitTimeout expired; it is
+// the last-resort escape hatch for traffic that was never sent at all.
+func (ep *Endpoint) CancelRecv(r *RecvReq) bool {
+	ep.lock()
+	if atomic.LoadUint32(&r.doneFlag) == 1 {
+		ep.unlock()
+		return false
+	}
+	rq := ep.posted[pairKey{r.src, r.tag}]
+	if rq == nil || !rq.removeReq(r) {
+		// Lost the race: takePosted already popped it and complete() is in
+		// flight (the done flag just hasn't been published yet).
+		ep.unlock()
+		return false
+	}
+	ep.postedCount--
+	ep.unlock()
+	// The request is now exclusively ours: it is out of the matching
+	// structures, so no completer can touch it. Publish the cancellation
+	// through the normal completion protocol (metadata, flag, token).
+	r.n = 0
+	r.srcRank = -1
+	r.tagVal = -1
+	r.arriveV = r.postV
+	r.fault = FaultCancelled
+	atomic.StoreUint32(&r.doneFlag, 1)
+	r.done <- struct{}{}
+	return true
+}
+
+// CancelMsg withdraws a queued unexpected message from this (destination)
+// endpoint, reporting whether the withdrawal won; false means a matching
+// receive already consumed it (or is doing so concurrently) and the sender
+// must complete the handshake normally. Only the sending goroutine may call
+// it, for its own rendezvous message after WaitMatchedTimeout expired.
+func (ep *Endpoint) CancelMsg(m *Msg) bool {
+	ep.lock()
+	if atomic.LoadUint32(&m.matchFlag) == 1 {
+		ep.unlock()
+		return false
+	}
+	b := ep.unexBuckets[pairKey{m.Src, m.Tag}]
+	if b == nil {
+		ep.unlock()
+		return false
+	}
+	i := m.bucketPos - b.base
+	if i < 0 || i >= len(b.q) || b.q[i] != m {
+		ep.unlock()
+		return false
+	}
+	b.remove(m.bucketPos)
+	ep.unexFifo.remove(m.fifoPos)
+	ep.unexCount--
+	ep.unlock()
+	if m.poolPayload && m.Data != nil {
+		PutBuf(m.Data)
+		m.Data = nil
+	}
+	return true
+}
+
 // Probe reports whether a matching message is queued (without receiving it)
 // and, if so, its envelope. The envelope is copied out under the lock: with
 // pooled payloads a *Msg must not escape the matcher, since the message can
@@ -553,6 +750,7 @@ func complete(r *RecvReq, m *Msg) {
 	r.srcRank = m.Src
 	r.tagVal = m.Tag
 	r.arriveV = m.ArriveV
+	r.fault = m.fault // ghost completions carry the fault to the receiver
 	m.matchV = model.Max(m.ArriveV, r.postV)
 	if m.poolPayload {
 		PutBuf(m.Data)

@@ -87,6 +87,12 @@ type Fabric struct {
 	eps     []*Endpoint
 	barrier *Barrier
 
+	// inj is the optional deterministic fault injector (see fault.go).
+	// Installed once by SetFaults before rank goroutines start; nil on a
+	// healthy fabric, so the only injection-off cost is one nil check per
+	// send.
+	inj *injector
+
 	obsMu     sync.Mutex                 // serializes Observe registrations
 	observers atomic.Pointer[[]Observer] // read lock-free on every Emit
 }
