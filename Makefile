@@ -12,9 +12,12 @@ test:
 
 # verify is the repo's standing quality gate: static analysis, the internal
 # test suite under the race detector (including the 8-sender endpoint stress
-# test), and the typemap suite again under the `purego` tag so the
+# test), the typemap suite again under the `purego` tag so the
 # reflection pack/unpack path — the fast path's correctness oracle — stays
-# exercised even though normal builds take the zero-copy path.
+# exercised even though normal builds take the zero-copy path, and the
+# telemetry gates re-run without -race (the disabled-telemetry overhead
+# bound is a timing assertion the race detector would skew; the metric-name
+# collision check rides along).
 #
 # internal/typemap is vetted with -unsafeptr=false: its noescape laundering
 # (quarantined in noescape.go) is exactly the pattern that heuristic flags.
@@ -25,6 +28,7 @@ verify:
 	$(GO) vet $$($(GO) list ./... | grep -v internal/typemap)
 	$(GO) test -race ./internal/... ./cmd/... .
 	$(GO) test -tags purego ./internal/typemap/ ./internal/mpi/ ./internal/shmem/
+	$(GO) test -run 'TestDisabledTelemetryOverhead|TestMetricNamesCollisionFree' ./internal/telemetry/
 
 # chaos is the hang-proofing gate: the fault-injection sweep (64 and 256
 # ranks at 0%/1%/5% drop) under the race detector, asserting that every

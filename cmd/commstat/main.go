@@ -10,12 +10,23 @@
 // point-to-point traffic (seeded by -fault-seed, so a run is replayable);
 // the "faults" summary line then shows the typed-fault and retry counters.
 //
+// With -postmortem the fabric's flight recorder is enabled: on a terminal
+// fault (watchdog cancellation, dead peer, exhausted retry budget) the
+// post-mortem dumps — the failing op, its directive region, both ranks'
+// recent event tails and unmatched send/recv frontiers — are written as
+// JSON to the given file and rendered human-readable on stderr.
+//
+// With -serve the live introspection plane is exposed over HTTP
+// (/metrics, /snapshot.json, /ranks, /postmortem) and the process keeps
+// serving after the run so the final state can be scraped.
+//
 // Usage:
 //
-//	commstat [-n 8] [-pattern ring|evenodd|halo] [-target mpi2side|mpi1side|shmem|auto] [-count 4] [-iters 4] [-drop 0.05] [-fault-seed 1] [-json] [-emit-trace out.json]
+//	commstat [-n 8] [-pattern ring|evenodd|halo] [-target mpi2side|mpi1side|shmem|auto] [-count 4] [-iters 4] [-drop 0.05] [-fault-seed 1] [-json] [-emit-trace out.json] [-postmortem dump.json] [-serve :8080]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +55,8 @@ func main() {
 	emitTrace := flag.String("emit-trace", "", "also write the span trace in Chrome trace_event JSON")
 	drop := flag.Float64("drop", 0, "inject this message-loss probability on user point-to-point traffic (0 disables)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injector seed; same seed replays the same faults (with -drop)")
+	postmortem := flag.String("postmortem", "", "enable the flight recorder; on a terminal fault write post-mortem dumps as JSON to this file (\"-\" for stdout) and render them on stderr")
+	serveAddr := flag.String("serve", "", "serve the live introspection plane (/metrics /snapshot.json /ranks /postmortem) on this address and keep serving after the run")
 	flag.Parse()
 
 	tgt, err := patterns.ParseTarget(*target)
@@ -63,6 +76,19 @@ func main() {
 		cfg.TagSpan, cfg.UserSpan = mpi.P2PFaultScope()
 		w.Fabric().SetFaults(cfg)
 	}
+	if *postmortem != "" || *serveAddr != "" {
+		// The flight recorder feeds both /postmortem dumps and the
+		// events_recorded column of /ranks.
+		w.Fabric().EnableRecorder(simnet.DefaultRecorderCap)
+	}
+	var srv *telemetry.Server
+	if *serveAddr != "" {
+		srv, err = telemetry.Serve(*serveAddr, tele, w.Fabric())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "commstat: serving introspection plane on http://%s\n", srv.Addr())
+	}
 
 	err = w.Run(func(rk *spmd.Rank) error {
 		comm := mpi.World(rk)
@@ -75,8 +101,10 @@ func main() {
 		return patterns.Run(*pattern, rk, env, shm, tgt, *count, *iters)
 	})
 	if err != nil {
+		renderPostmortems(w.Fabric(), *postmortem)
 		fatal(err)
 	}
+	renderPostmortems(w.Fabric(), *postmortem)
 
 	fmt.Printf("pattern=%s target=%s ranks=%d count=%d iters=%d\n\n", *pattern, tgt, *n, *count, *iters)
 
@@ -162,8 +190,24 @@ func main() {
 	}
 	fmt.Printf("unexpected-message queue high watermark: %d\n", hw)
 
+	// Wait-latency quantiles, interpolated from the histograms' log2
+	// buckets — the long-tail view the mean in the registry hides.
+	printed := false
+	for r := 0; r < *n; r++ {
+		h := reg.FindHistogram("mpi_wait_virtual_ns", telemetry.Rank(r))
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Println("\n== wait quantiles (virtual, per rank) ==")
+			printed = true
+		}
+		fmt.Printf("rank %3d: n=%-6d p50=%-12v p95=%-12v p99=%v\n", r, h.Count(),
+			time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.95)), time.Duration(h.Quantile(0.99)))
+	}
+
 	fmt.Println("\n== critical path ==")
-	fmt.Print(telemetry.CriticalPath(col.Events(), *n).String())
+	fmt.Print(telemetry.CriticalPath(col.Events(), *n).StringWithLabels(w.Fabric().RegionLabel))
 
 	if *emitTrace != "" {
 		f, err := os.Create(*emitTrace)
@@ -178,6 +222,53 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *emitTrace)
+		warnDropped(tele, *n)
+	}
+
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "commstat: run complete; still serving on http://%s (Ctrl-C to exit)\n", srv.Addr())
+		select {}
+	}
+}
+
+// renderPostmortems writes any flight-recorder dumps as JSON to path ("-"
+// for stdout) and renders them human-readable on stderr. No-op when the
+// recorder was not enabled or nothing failed.
+func renderPostmortems(f *simnet.Fabric, path string) {
+	pms := f.Postmortems()
+	if len(pms) == 0 {
+		return
+	}
+	for _, pm := range pms {
+		fmt.Fprint(os.Stderr, pm.String())
+	}
+	if path == "" {
+		return
+	}
+	b, err := json.MarshalIndent(pms, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "commstat: wrote %d post-mortem dump(s) to %s\n", len(pms), path)
+}
+
+// warnDropped flags a truncated Chrome trace: spans past the per-rank ring
+// capacity were overwritten, so the export is missing the run's beginning.
+func warnDropped(tele *telemetry.Telemetry, n int) {
+	var dropped int64
+	for r := 0; r < n; r++ {
+		dropped += tele.Tracer().Dropped(r)
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "commstat: warning: trace truncated, %d span(s) dropped (oldest overwritten; raise the span cap)\n", dropped)
 	}
 }
 

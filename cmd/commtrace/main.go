@@ -134,6 +134,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *emitTrace)
+		var dropped int64
+		for r := 0; r < *n; r++ {
+			dropped += tele.Tracer().Dropped(r)
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "commtrace: warning: trace truncated, %d span(s) dropped (oldest overwritten; raise the span cap)\n", dropped)
+		}
 	}
 }
 

@@ -38,6 +38,8 @@ type Clauses struct {
 	placeSyncSet   bool
 	maxCommIter    int
 	maxCommIterSet bool
+	label          string
+	labelSet       bool
 }
 
 // Option asserts one clause.
@@ -144,6 +146,16 @@ func MaxCommIter(n int) Option {
 	return func(c *Clauses) { c.maxCommIter = n; c.maxCommIterSet = true }
 }
 
+// Label names the comm_parameters region for observability: every fabric
+// event, span and metric produced under the region is attributed to this
+// label (flight-recorder dumps, per-region critical-path breakdowns, the
+// mpi_wait_virtual_ns_by_region histogram). Labels should come from a small
+// fixed set — each distinct label becomes a metric label value. Only valid
+// on comm_parameters.
+func Label(s string) Option {
+	return func(c *Clauses) { c.label = s; c.labelSet = true }
+}
+
 // emptyClauses is the shared build result for an empty option list; clause
 // sets are read-only after build, so sharing is safe.
 var emptyClauses Clauses
@@ -227,6 +239,9 @@ func validateP2POnly(c *Clauses) error {
 	}
 	if c.maxCommIterSet {
 		return fmt.Errorf("%w: max_comm_iter", ErrParamsOnlyClause)
+	}
+	if c.labelSet {
+		return fmt.Errorf("%w: label", ErrParamsOnlyClause)
 	}
 	return nil
 }

@@ -215,8 +215,58 @@ func TestParamsOnlyClausesRejectedOnP2P(t *testing.T) {
 			if !errors.Is(err, core.ErrParamsOnlyClause) {
 				t.Errorf("max_comm_iter on comm_p2p: %v", err)
 			}
+			err = r.P2P(core.Sender(0), core.Receiver(1), core.SBuf(buf), core.RBuf(buf),
+				core.Label("x"))
+			if !errors.Is(err, core.ErrParamsOnlyClause) {
+				t.Errorf("label on comm_p2p: %v", err)
+			}
 			return nil
 		})
+	})
+}
+
+// TestLabelStampsAndInherits: a labelled region stamps the rank's endpoint
+// for the body's duration; an unlabelled nested region inherits the stamp,
+// a labelled one overrides and restores it.
+func TestLabelStampsAndInherits(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank, e *core.Env) error {
+		fab := rk.World().Fabric()
+		region := func() string { return fab.RegionLabel(rk.Endpoint().RegionID()) }
+		if got := region(); got != "" {
+			t.Errorf("region before any label: %q", got)
+		}
+		err := e.Parameters(func(outer *core.Region) error {
+			if got := region(); got != "outer" {
+				t.Errorf("inside labelled region: %q, want outer", got)
+			}
+			if err := e.Parameters(func(*core.Region) error {
+				if got := region(); got != "outer" {
+					t.Errorf("unlabelled nested region: %q, want inherited outer", got)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := e.Parameters(func(*core.Region) error {
+				if got := region(); got != "inner" {
+					t.Errorf("labelled nested region: %q, want inner", got)
+				}
+				return nil
+			}, core.Label("inner")); err != nil {
+				return err
+			}
+			if got := region(); got != "outer" {
+				t.Errorf("after nested regions: %q, want outer restored", got)
+			}
+			return nil
+		}, core.Label("outer"))
+		if err != nil {
+			return err
+		}
+		if got := region(); got != "" {
+			t.Errorf("region after exit: %q, want cleared", got)
+		}
+		return nil
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"commintent/internal/model"
 	"commintent/internal/mpi"
 	"commintent/internal/shmem"
 	"commintent/internal/telemetry"
@@ -54,6 +55,10 @@ type Env struct {
 	decisions []Decision
 	closed    bool
 
+	// regionIDs caches label → fabric-interned region id so a steady-state
+	// region loop pays the intern-table mutex once per distinct label.
+	regionIDs map[string]int
+
 	tele envTele // metric handles; all nil (no-op) when telemetry is off
 }
 
@@ -73,14 +78,58 @@ type envTele struct {
 
 	retries *telemetry.Counter // comm_p2p transfers re-sent after a fault
 	giveups *telemetry.Counter // comm_p2p regions abandoned (dead peer / budget)
+
+	reg      *telemetry.Registry
+	regionNS map[int]*telemetry.Histogram // region id → core_region_virtual_ns handle
 }
 
-// span opens a directive-layer span at the rank's current virtual time.
+// span opens a directive-layer span at the rank's current virtual time,
+// attributed to the directive region the rank is currently inside (0 when
+// unlabelled).
 func (e *Env) span(name, cat string) telemetry.SpanHandle {
 	if e.tele.tr == nil {
 		return telemetry.SpanHandle{}
 	}
-	return e.tele.tr.Begin(e.comm.SPMD().ID, name, cat, e.comm.SPMD().Now())
+	rk := e.comm.SPMD()
+	return e.tele.tr.BeginRegion(rk.ID, name, cat, rk.Now(), rk.Endpoint().RegionID())
+}
+
+// regionID interns a comm_parameters label into the fabric's region table,
+// caching the result per environment. The empty label is id 0, unattributed.
+func (e *Env) regionID(label string) int {
+	if label == "" {
+		return 0
+	}
+	if id, ok := e.regionIDs[label]; ok {
+		return id
+	}
+	if e.regionIDs == nil {
+		e.regionIDs = make(map[string]int)
+	}
+	id := e.comm.SPMD().World().Fabric().InternRegion(label)
+	e.regionIDs[label] = id
+	return id
+}
+
+// observeRegionNS records one labelled region's virtual duration. Handles
+// are resolved lazily per region id; cardinality is bounded by the program's
+// label set, and the map is only touched by the owning rank's goroutine.
+func (e *Env) observeRegionNS(rid int, d model.Time) {
+	if e.tele.reg == nil || rid == 0 {
+		return
+	}
+	h := e.tele.regionNS[rid]
+	if h == nil {
+		if e.tele.regionNS == nil {
+			e.tele.regionNS = make(map[int]*telemetry.Histogram)
+		}
+		rk := e.comm.SPMD()
+		h = e.tele.reg.Histogram("core_region_virtual_ns",
+			telemetry.Rank(rk.ID),
+			telemetry.L("region", rk.World().Fabric().RegionLabel(rid)))
+		e.tele.regionNS[rid] = h
+	}
+	h.Observe(d)
 }
 
 type winKey struct {
@@ -120,6 +169,7 @@ func NewEnv(comm *mpi.Comm, shm *shmem.Ctx) (*Env, error) {
 		r := telemetry.Rank(comm.SPMD().ID)
 		e.tele = envTele{
 			tr:            t.Tracer(),
+			reg:           reg,
 			directives:    reg.Counter("core_directives_total", r),
 			regions:       reg.Counter("core_regions_total", r),
 			inferred:      reg.Counter("core_counts_inferred_total", r),

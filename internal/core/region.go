@@ -40,8 +40,26 @@ func (e *Env) Parameters(body func(*Region) error, opts ...Option) error {
 	cl := build(opts)
 	e.regionSeq++
 	e.tele.regions.Inc()
+	// A labelled region stamps the rank's endpoint for the duration of the
+	// body, so every fabric event, span and recorder entry produced inside
+	// is attributable to the directive. Restoring the previous id (rather
+	// than 0) lets an unlabelled nested region inherit its parent's label.
+	rid := e.regionID(cl.label)
+	ep := e.comm.SPMD().Endpoint()
+	prev := ep.RegionID()
+	if rid != 0 {
+		ep.SetRegion(rid)
+	}
+	start := e.comm.SPMD().Now()
 	rsp := e.span("comm_parameters", "directive")
-	defer func() { rsp.End(e.comm.SPMD().Now()) }()
+	defer func() {
+		end := e.comm.SPMD().Now()
+		rsp.End(end)
+		if rid != 0 {
+			e.observeRegionNS(rid, end-start)
+			ep.SetRegion(prev)
+		}
+	}()
 	// A Region is only valid inside its body; the environment recycles one
 	// (ledger storage included) so a steady-state region loop does not
 	// allocate per iteration.

@@ -6,6 +6,7 @@ import (
 
 	"commintent/internal/model"
 	"commintent/internal/mpi"
+	"commintent/internal/simnet"
 )
 
 // Retry semantics for comm_p2p on a faulty fabric. The directive layer is
@@ -78,6 +79,34 @@ type resendOp struct {
 	isSend bool
 }
 
+// reportGiveup files a flight-recorder post-mortem for a comm_p2p transfer
+// the retry protocol is abandoning — the terminal failure, not the per-
+// attempt faults the protocol absorbs. The dump captures the failing intent
+// (direction, peer, directive region) plus both ranks' recent event tails
+// and unmatched frontiers.
+func (e *Env) reportGiveup(op resendOp, region, attempts int, opErr error, why string) {
+	rk := e.comm.SPMD()
+	opName := "comm_p2p recv"
+	if op.isSend {
+		opName = "comm_p2p send"
+	}
+	kind := simnet.FaultNone
+	var fe *mpi.FaultError
+	if errors.As(opErr, &fe) {
+		kind = fe.Kind
+	}
+	rk.World().Fabric().ReportFailure(simnet.FailingOp{
+		Rank:   rk.ID,
+		Op:     opName,
+		Peer:   e.comm.WorldRank(op.peer),
+		Tag:    -1,
+		Region: rk.Endpoint().RegionID(),
+		Kind:   kind,
+		Reason: fmt.Sprintf("%s in comm_p2p region %d after %d attempt(s): %v", why, region, attempts, opErr),
+		V:      rk.Now(),
+	})
+}
+
 // waitWithRetry is flush's completion path on a fault-injecting fabric: a
 // round-structured Waitall that re-sends failed transfers under attempt-
 // keyed tags until everything lands, a peer proves dead, or the attempt
@@ -107,10 +136,12 @@ func (e *Env) waitWithRetry(l *ledger, region int) error {
 				// A dead peer is never coming back; retrying would only
 				// burn the budget.
 				e.tele.giveups.Inc()
+				e.reportGiveup(ops[i], region, attempt[i], opErr, "peer declared dead")
 				return fmt.Errorf("core: comm_p2p region %d: %w", region, opErr)
 			}
 			if attempt[i] >= e.retry.MaxAttempts {
 				e.tele.giveups.Inc()
+				e.reportGiveup(ops[i], region, attempt[i], opErr, "retry budget exhausted")
 				return fmt.Errorf("core: comm_p2p region %d gave up after %d attempts: %w",
 					region, attempt[i], opErr)
 			}

@@ -66,8 +66,13 @@ type Comm struct {
 // is an atomic add (or a nil check when telemetry is disabled).
 type commTele struct {
 	tr       *telemetry.Tracer
+	reg      *telemetry.Registry  // for lazily-created per-region series
 	idle     *telemetry.Counter   // blocked virtual ns in waits/barriers
 	waitNS   *telemetry.Histogram // per-wait blocked time distribution
+	// waitByReg lazily caches per-region wait histograms keyed by interned
+	// region ID. Only this rank's goroutine touches the map, so it needs no
+	// lock; cardinality is bounded by the number of distinct region labels.
+	waitByReg map[int]*telemetry.Histogram
 	stalls   *telemetry.Counter   // rendezvous sends that blocked on the match
 	stallNS  *telemetry.Counter   // total rendezvous stall virtual ns
 	barriers *telemetry.Counter   // MPI_Barrier calls
@@ -97,6 +102,7 @@ func (c *Comm) initTele() {
 	r := telemetry.Rank(c.rk.ID)
 	c.tele = commTele{
 		tr:       t.Tracer(),
+		reg:      reg,
 		idle:     reg.Counter("mpi_idle_virtual_ns_total", r),
 		waitNS:   reg.Histogram("mpi_wait_virtual_ns", r),
 		stalls:   reg.Counter("mpi_rendezvous_stalls_total", r),
@@ -230,11 +236,53 @@ func (c *Comm) SPMD() *spmd.Rank { return c.rk }
 // ID returns the communicator's stable identifier.
 func (c *Comm) ID() string { return c.id }
 
-func (c *Comm) prof() *model.Profile    { return c.rk.Profile() }
-func (c *Comm) ep() *simnet.Endpoint    { return c.rk.Endpoint() }
-func (c *Comm) clock() *model.Clock     { return c.clk }
-func (c *Comm) fabric() *simnet.Fabric  { return c.fab }
-func (c *Comm) emit(e simnet.Event)     { c.fab.Emit(e) }
+func (c *Comm) prof() *model.Profile   { return c.rk.Profile() }
+func (c *Comm) ep() *simnet.Endpoint   { return c.rk.Endpoint() }
+func (c *Comm) clock() *model.Clock    { return c.clk }
+func (c *Comm) fabric() *simnet.Fabric { return c.fab }
+
+// emit publishes a fabric event stamped with the rank's current directive
+// region, so every trace entry is attributable to the causing directive. The
+// unobserved path is one atomic load, same as Fabric.Emit itself.
+func (c *Comm) emit(e simnet.Event) {
+	if !c.fab.Observed() {
+		return
+	}
+	e.Region = c.ep().RegionID()
+	c.fab.Emit(e)
+}
+
+// span opens a region-attributed tracer span (a no-op handle when telemetry
+// is disabled, without loading the region).
+func (c *Comm) span(name string, start model.Time) telemetry.SpanHandle {
+	if c.tele.tr == nil {
+		return telemetry.SpanHandle{}
+	}
+	return c.tele.tr.BeginRegion(c.rk.ID, name, "mpi", start, c.ep().RegionID())
+}
+
+// observeRegionWait adds one wait's blocked time to the per-region wait
+// histogram, lazily materialising the series on a region's first wait.
+func (c *Comm) observeRegionWait(idle model.Time) {
+	if c.tele.reg == nil {
+		return
+	}
+	rid := c.ep().RegionID()
+	if rid == 0 {
+		return
+	}
+	h := c.tele.waitByReg[rid]
+	if h == nil {
+		if c.tele.waitByReg == nil {
+			c.tele.waitByReg = make(map[int]*telemetry.Histogram)
+		}
+		h = c.tele.reg.Histogram("mpi_wait_virtual_ns_by_region",
+			telemetry.Rank(c.rk.ID), telemetry.L("region", c.fab.RegionLabel(rid)))
+		c.tele.waitByReg[rid] = h
+	}
+	h.Observe(idle)
+}
+
 func (c *Comm) wireTag(userTag int) int { return c.tagBase + userTag }
 func (c *Comm) innerTag(opTag int) int  { return c.tagBase + internalTagBase + opTag }
 func (c *Comm) checkTag(tag int) error {
@@ -264,7 +312,7 @@ func (c *Comm) Barrier() {
 // with its true start time, which is indistinguishable from opening it
 // before the wait (the wait itself opens no spans).
 func (c *Comm) barrierObserve(enter, maxV, after model.Time) {
-	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Barrier", "mpi", enter)
+	sp := c.span("MPI_Barrier", enter)
 	idle := maxV - enter
 	if idle > 0 {
 		c.tele.idle.AddTime(idle)

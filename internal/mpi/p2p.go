@@ -42,7 +42,7 @@ func (c *Comm) makeSendReq(buf any, count int, d *Datatype, dest, tag int) (Requ
 		return Request{}, fmt.Errorf("mpi: Isend to rank %d of comm size %d", dest, c.Size())
 	}
 	p := c.prof()
-	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Isend", "mpi", c.clock().Now())
+	sp := c.span("MPI_Isend", c.clock().Now())
 	n := count * d.Size()
 	wire := simnet.GetBuf(n)
 	encCost, err := d.encodeInto(p, wire, buf, count)
@@ -105,7 +105,7 @@ func (c *Comm) makeRecvReq(buf any, count int, d *Datatype, source, tag int) (Re
 		return Request{}, fmt.Errorf("mpi: Irecv: count %d exceeds buffer capacity %d", count, cap)
 	}
 	p := c.prof()
-	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Irecv", "mpi", c.clock().Now())
+	sp := c.span("MPI_Irecv", c.clock().Now())
 	clk := c.clock()
 	clk.Advance(p.MPIRecvOverhead + p.MPIRequestPerItem)
 	defer sp.End(clk.Now())

@@ -179,7 +179,23 @@ func (r *Request) failSend(k simnet.FaultKind, ready, D model.Time) error {
 	r.done = true
 	r.comm.countFault(k)
 	r.err = &FaultError{Op: "send", Peer: r.comm.commRankOf(r.destWorld), Kind: k, Deadline: D}
+	if k == simnet.FaultCancelled {
+		// A watchdog trip is a terminal failure (the message was never
+		// matched and has been withdrawn), unlike per-attempt injector
+		// verdicts the retry protocol absorbs — capture the forensics now.
+		r.comm.reportFailure("MPI send (rendezvous)", r.destWorld, k, ready,
+			"real-time watchdog cancelled an unmatched rendezvous send")
+	}
 	return r.err
+}
+
+// reportFailure files a post-mortem dump with the fabric for a terminal
+// fault on this rank. peer is a world rank (-1 when unknown).
+func (c *Comm) reportFailure(op string, peer int, k simnet.FaultKind, v model.Time, reason string) {
+	c.fab.ReportFailure(simnet.FailingOp{
+		Rank: c.rk.ID, Op: op, Peer: peer, Tag: -1,
+		Region: c.ep().RegionID(), Kind: k, Reason: reason, V: v,
+	})
 }
 
 // failRecv completes a faulted receive. A drop or dead-peer ghost resolves
@@ -206,6 +222,10 @@ func (r *Request) failRecv(k simnet.FaultKind, D model.Time) error {
 	r.done = true
 	r.comm.countFault(k)
 	r.err = &FaultError{Op: "recv", Peer: peer, Kind: k, Deadline: D}
+	if k == simnet.FaultCancelled {
+		r.comm.reportFailure("MPI recv", src, k, ready,
+			"real-time watchdog cancelled a receive nothing was sent for")
+	}
 	return r.err
 }
 
@@ -219,7 +239,7 @@ func (c *Comm) Wait(r *Request) (Status, error) {
 }
 
 func (c *Comm) wait(r *Request, D model.Time) (Status, error) {
-	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Wait", "mpi", c.clock().Now())
+	sp := c.span("MPI_Wait", c.clock().Now())
 	err := r.finishDeadline(D)
 	if err != nil && !IsFault(err) {
 		return Status{}, err
@@ -233,6 +253,7 @@ func (c *Comm) wait(r *Request, D model.Time) (Status, error) {
 	clk.AdvanceTo(r.readyV)
 	c.tele.idle.AddTime(idle)
 	c.tele.waitNS.Observe(idle)
+	c.observeRegionWait(idle)
 	sp.End(clk.Now())
 	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvWait, Peer: -1, V: clk.Now(), Idle: idle})
 	return r.status, err
@@ -258,7 +279,7 @@ func (c *Comm) Waitall(reqs []*Request) ([]Status, error) {
 // times are unchanged. Faulted requests contribute their fault-resolution
 // times to the jump and their errors to errs.
 func (c *Comm) waitallImpl(reqs []*Request, D model.Time) ([]Status, []error, error) {
-	sp := c.tele.tr.Begin(c.rk.ID, "MPI_Waitall", "mpi", c.clock().Now())
+	sp := c.span("MPI_Waitall", c.clock().Now())
 	stats := make([]Status, len(reqs))
 	var errs []error
 	var firstErr error
@@ -293,6 +314,7 @@ func (c *Comm) waitallImpl(reqs []*Request, D model.Time) ([]Status, []error, er
 	clk.AdvanceTo(maxReady)
 	c.tele.idle.AddTime(idle)
 	c.tele.waitNS.Observe(idle)
+	c.observeRegionWait(idle)
 	sp.End(clk.Now())
 	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, Bytes: len(reqs), V: clk.Now(), Idle: idle})
 	return stats, errs, firstErr

@@ -43,7 +43,7 @@ func (s *Slice[T]) FetchAdd(c *Ctx, pe int, off int, delta T) (T, error) {
 	board.wake()
 	board.mu.Unlock()
 	c.amoClock()
-	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvPut, Peer: pe, Bytes: s.esz, V: c.clock().Now()})
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvPut, Peer: pe, Bytes: s.esz, V: c.clock().Now()})
 	return old, nil
 }
 

@@ -204,6 +204,27 @@ func (c *Ctx) SPMD() *spmd.Rank { return c.rk }
 func (c *Ctx) prof() *model.Profile { return c.rk.Profile() }
 func (c *Ctx) clock() *model.Clock  { return c.rk.Clock() }
 
+// emit publishes a fabric event stamped with the PE's current directive
+// region, mirroring the mpi substrate's attribution. One atomic load when
+// unobserved.
+func (c *Ctx) emit(e simnet.Event) {
+	f := c.rk.World().Fabric()
+	if !f.Observed() {
+		return
+	}
+	e.Region = c.rk.Endpoint().RegionID()
+	f.Emit(e)
+}
+
+// span opens a region-attributed tracer span (no-op handle when telemetry
+// is disabled).
+func (c *Ctx) span(name string, start model.Time) telemetry.SpanHandle {
+	if c.tele.tr == nil {
+		return telemetry.SpanHandle{}
+	}
+	return c.tele.tr.BeginRegion(c.rk.ID, name, "shmem", start, c.rk.Endpoint().RegionID())
+}
+
 // notePut records an outbound put for Quiet accounting.
 func (c *Ctx) notePut(arrive model.Time) {
 	if arrive > c.outstanding {
@@ -224,7 +245,7 @@ func (c *Ctx) Quiet() {
 		return
 	}
 	clk := c.clock()
-	sp := c.tele.tr.Begin(c.rk.ID, "shmem_quiet", "shmem", clk.Now())
+	sp := c.span("shmem_quiet", clk.Now())
 	clk.Advance(c.prof().ShmemQuiet)
 	idle := c.outstanding - clk.Now()
 	if idle < 0 {
@@ -235,7 +256,7 @@ func (c *Ctx) Quiet() {
 	c.tele.quiets.Inc()
 	c.tele.idle.AddTime(idle)
 	sp.End(clk.Now())
-	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, V: clk.Now(), Idle: idle})
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, V: clk.Now(), Idle: idle})
 }
 
 // Fence orders this PE's puts per destination without waiting for remote
@@ -248,7 +269,7 @@ func (c *Ctx) Fence() {
 // BarrierAll synchronises all PEs and implies a Quiet.
 func (c *Ctx) BarrierAll() {
 	clk := c.clock()
-	sp := c.tele.tr.Begin(c.rk.ID, "shmem_barrier_all", "shmem", clk.Now())
+	sp := c.span("shmem_barrier_all", clk.Now())
 	enter := model.Max(clk.Now(), c.outstanding)
 	maxV := c.rk.World().Fabric().WorldBarrier().Wait(c.MyPE(), enter)
 	idle := maxV - clk.Now()
@@ -261,7 +282,7 @@ func (c *Ctx) BarrierAll() {
 	c.tele.barriers.Inc()
 	c.tele.idle.AddTime(idle)
 	sp.End(clk.Now())
-	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvBarrier, Peer: -1, V: clk.Now(), Idle: idle})
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvBarrier, Peer: -1, V: clk.Now(), Idle: idle})
 }
 
 // teamBarriers caches simnet barriers for PE subsets.

@@ -141,7 +141,7 @@ func (s *Slice[T]) Put(c *Ctx, pe int, src []T, dstOff int) error {
 	p := c.prof()
 	clk := c.clock()
 	bytes := len(src) * s.esz
-	sp := c.tele.tr.Begin(c.MyPE(), "shmem_put", "shmem", clk.Now())
+	sp := c.span("shmem_put", clk.Now())
 	clk.Advance(p.ShmemPutOverhead + p.ShmemInjectTime(bytes))
 	defer sp.End(clk.Now())
 	arrive := clk.Now() + p.ShmemLatencyBetween(c.MyPE(), pe)
@@ -158,7 +158,7 @@ func (s *Slice[T]) Put(c *Ctx, pe int, src []T, dstOff int) error {
 
 	c.notePut(arrive)
 	c.tele.putBytes.Add(int64(bytes))
-	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvPut, Peer: pe, Bytes: bytes, V: clk.Now()})
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvPut, Peer: pe, Bytes: bytes, V: clk.Now()})
 	return nil
 }
 
@@ -179,7 +179,7 @@ func (s *Slice[T]) Get(c *Ctx, pe int, dst []T, srcOff int) error {
 	p := c.prof()
 	clk := c.clock()
 	bytes := len(dst) * s.esz
-	sp := c.tele.tr.Begin(c.MyPE(), "shmem_get", "shmem", clk.Now())
+	sp := c.span("shmem_get", clk.Now())
 	clk.Advance(p.ShmemGetOverhead)
 	board := s.ws.rma[pe]
 	board.mu.Lock()
@@ -188,7 +188,7 @@ func (s *Slice[T]) Get(c *Ctx, pe int, dst []T, srcOff int) error {
 	clk.Advance(p.ShmemWireTime(0) + p.ShmemWireTime(bytes))
 	sp.End(clk.Now())
 	c.tele.getBytes.Add(int64(bytes))
-	c.rk.World().Fabric().Emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvGet, Peer: pe, Bytes: bytes, V: clk.Now()})
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvGet, Peer: pe, Bytes: bytes, V: clk.Now()})
 	return nil
 }
 
@@ -217,7 +217,7 @@ func (s *Slice[T]) waitUntil(c *Ctx, off int, cmp Cmp, v T, expire <-chan time.T
 	}
 	local := s.Local(c)
 	clk := c.clock()
-	sp := c.tele.tr.Begin(c.MyPE(), "shmem_wait_until", "shmem", clk.Now())
+	sp := c.span("shmem_wait_until", clk.Now())
 	board := s.ws.rma[c.MyPE()]
 	board.mu.Lock()
 	for !satisfies(local[off], cmp, v) {

@@ -394,6 +394,13 @@ type Endpoint struct {
 
 	sendSeq uint64
 
+	// region is the interned ID of the directive region the rank is
+	// currently executing (0 between regions). Written by the owning rank
+	// goroutine at region entry/exit; read atomically by that goroutine's
+	// emission sites and by cross-goroutine introspection (the live /ranks
+	// endpoint), which is why it is not a plain int.
+	region atomic.Int64
+
 	// Fault-injection state. flt is sender-side (per destination link;
 	// touched only by this rank's goroutine, which is what keeps the link
 	// sequence numbers deterministic). seen is receiver-side (per source
@@ -424,6 +431,16 @@ func (ep *Endpoint) Fabric() *Fabric { return ep.f }
 // Clock returns the rank's virtual clock. Only the owning rank goroutine
 // may use it.
 func (ep *Endpoint) Clock() *model.Clock { return &ep.clock }
+
+// SetRegion records the interned directive-region ID the rank is executing
+// (see Fabric.InternRegion); the substrates stamp it onto every event and
+// span they emit. Pass 0 when leaving a region. Only the owning rank
+// goroutine should call it.
+func (ep *Endpoint) SetRegion(id int) { ep.region.Store(int64(id)) }
+
+// RegionID reports the region ID last set by SetRegion. Safe from any
+// goroutine.
+func (ep *Endpoint) RegionID() int { return int(ep.region.Load()) }
 
 // Send injects a message destined for rank dst. data is copied, so the
 // caller's buffer is immediately reusable. arriveV is the virtual time at

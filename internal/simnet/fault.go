@@ -271,6 +271,15 @@ func (ep *Endpoint) inject(dst int, m *Msg) FaultKind {
 	}
 	if fault != FaultNone {
 		m.ghost(fault)
+		// Forensic record of the verdict, stamped with the send time so the
+		// timeline shows the loss where it was decided. Purely observational:
+		// no virtual-clock state changes, so golden pins are unaffected.
+		if ep.f.Observed() {
+			ep.f.Emit(Event{
+				Rank: ep.rank, Kind: EvFault, Peer: dst, Tag: m.Tag,
+				V: m.SentV, Region: ep.RegionID(), Fault: fault,
+			})
+		}
 	} else {
 		extra := inj.slow[ep.rank] + inj.slow[dst]
 		if inj.cfg.Delay > 0 && inj.roll(ep.rank, dst, seq, saltDelay) < inj.cfg.Delay {

@@ -36,6 +36,12 @@ const (
 	EvBarrier
 	EvWait
 	EvSync
+	// EvFault marks an injector verdict on a two-sided message: the payload
+	// was ghosted (dropped or peer-dead) at send time. Emitted by the sender
+	// at the message's send timestamp, so forensic timelines show the loss
+	// where it was decided. Must stay last: telemetry sizes per-kind counter
+	// tables as int(EvFault)+1.
+	EvFault
 )
 
 func (k EventKind) String() string {
@@ -56,6 +62,8 @@ func (k EventKind) String() string {
 		return "wait"
 	case EvSync:
 		return "sync"
+	case EvFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -75,6 +83,14 @@ type Event struct {
 	// Zero for non-blocking operations. The critical-path analyser sums
 	// it into per-rank wait time.
 	Idle model.Time
+
+	// Region is the interned ID of the comm_parameters directive region that
+	// issued the operation (see Fabric.InternRegion); 0 means unattributed.
+	Region int
+
+	// Fault is the injector verdict carried by EvFault events; FaultNone
+	// everywhere else.
+	Fault FaultKind
 }
 
 // Observer receives fabric events. Observers must be fast and must not call
@@ -95,6 +111,24 @@ type Fabric struct {
 
 	obsMu     sync.Mutex                 // serializes Observe registrations
 	observers atomic.Pointer[[]Observer] // read lock-free on every Emit
+
+	// rec is the optional flight recorder (see recorder.go). Installed once
+	// by EnableRecorder before rank goroutines start; nil on an unobserved
+	// fabric, so recording costs nothing when disabled.
+	rec *Recorder
+
+	// Directive-region label interning. Region IDs on events, spans and
+	// metrics are small dense ints so attribution costs an int store, not a
+	// string; labels resolve back through this table. ID 0 is reserved for
+	// the empty label (unattributed traffic).
+	regMu     sync.Mutex
+	regLabels []string
+	regIndex  map[string]int
+
+	// Post-mortem dumps captured by ReportFailure, bounded so a fault storm
+	// cannot hoard memory.
+	pmMu sync.Mutex
+	pms  []*Postmortem
 }
 
 // NewFabric creates a fabric with n ranks.
@@ -102,7 +136,12 @@ func NewFabric(n int) *Fabric {
 	if n <= 0 {
 		panic(fmt.Sprintf("simnet: fabric size %d", n))
 	}
-	f := &Fabric{n: n, barrier: NewBarrier(n)}
+	f := &Fabric{
+		n:         n,
+		barrier:   NewBarrier(n),
+		regLabels: []string{""},
+		regIndex:  map[string]int{"": 0},
+	}
 	f.eps = make([]*Endpoint, n)
 	for i := range f.eps {
 		f.eps[i] = newEndpoint(f, i)
@@ -149,4 +188,39 @@ func (f *Fabric) Emit(e Event) {
 	for _, o := range *p {
 		o(e)
 	}
+}
+
+// InternRegion maps a directive-region label to its dense ID, assigning one
+// on first use. The empty label is ID 0. Safe for concurrent use; callers on
+// hot paths should cache the result (labels are stable for a fabric's life).
+func (f *Fabric) InternRegion(label string) int {
+	f.regMu.Lock()
+	defer f.regMu.Unlock()
+	if id, ok := f.regIndex[label]; ok {
+		return id
+	}
+	id := len(f.regLabels)
+	f.regLabels = append(f.regLabels, label)
+	f.regIndex[label] = id
+	return id
+}
+
+// RegionLabel resolves an interned region ID back to its label; unknown IDs
+// (including 0) resolve to "".
+func (f *Fabric) RegionLabel(id int) string {
+	f.regMu.Lock()
+	defer f.regMu.Unlock()
+	if id < 0 || id >= len(f.regLabels) {
+		return ""
+	}
+	return f.regLabels[id]
+}
+
+// RegionLabels snapshots the intern table, indexed by region ID.
+func (f *Fabric) RegionLabels() []string {
+	f.regMu.Lock()
+	defer f.regMu.Unlock()
+	out := make([]string, len(f.regLabels))
+	copy(out, f.regLabels)
+	return out
 }

@@ -45,11 +45,15 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
 		for _, s := range spans {
 			dur := float64(s.Dur()) / 1e3
+			args := map[string]any{"id": s.ID, "parent": s.Parent}
+			if s.Region != 0 {
+				args["region"] = s.Region
+			}
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: s.Name, Cat: s.Cat, Ph: "X",
 				TS: float64(s.Start) / 1e3, Dur: &dur,
 				PID: 0, TID: s.Rank,
-				Args: map[string]any{"id": s.ID, "parent": s.Parent},
+				Args: args,
 			})
 		}
 	}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"commintent/internal/model"
@@ -41,10 +42,30 @@ type CritReport struct {
 
 	// Imbalance is max(finish) / mean(finish): 1.0 is perfectly balanced.
 	Imbalance float64
+
+	// Regions breaks the trace down by the directive region that issued
+	// each event (Event.Region), sorted by region ID. Populated only when
+	// the trace carries attribution (some event has a nonzero region);
+	// region 0 then aggregates the unattributed remainder.
+	Regions []RegionStat
+}
+
+// RegionStat aggregates the events attributed to one directive region — the
+// per-pattern observation record an online autotuner consumes.
+type RegionStat struct {
+	Region int
+	Events int
+	Bytes  int64      // payload bytes of the region's sends, puts and gets
+	Idle   model.Time // summed blocked time of the region's waits/syncs/barriers
+	OnPath int        // critical-path chain events attributed to the region
 }
 
 // String renders the report for terminal output.
-func (r *CritReport) String() string {
+func (r *CritReport) String() string { return r.StringWithLabels(nil) }
+
+// StringWithLabels renders the report, resolving region IDs through resolve
+// (e.g. simnet.Fabric.RegionLabel); nil prints bare IDs.
+func (r *CritReport) StringWithLabels(resolve func(int) string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "critical path: %d message edge(s) over %d event(s), makespan %v\n",
 		r.ChainEdges, r.ChainEvents, r.Makespan)
@@ -72,6 +93,24 @@ func (r *CritReport) String() string {
 		fmt.Fprintf(&b, "  rank %3d: idle %12v of %12v (%.1f%%)\n", rk, idle, fin, pct)
 	}
 	fmt.Fprintf(&b, "load imbalance (max/mean finish): %.3f\n", r.Imbalance)
+	if len(r.Regions) > 0 {
+		b.WriteString("per-region breakdown:\n")
+		for _, rs := range r.Regions {
+			name := ""
+			if resolve != nil {
+				name = resolve(rs.Region)
+			}
+			if name == "" {
+				if rs.Region == 0 {
+					name = "(unattributed)"
+				} else {
+					name = fmt.Sprintf("region#%d", rs.Region)
+				}
+			}
+			fmt.Fprintf(&b, "  %-24s %6d event(s)  %10d B  idle %12v  on-path %d\n",
+				name, rs.Events, rs.Bytes, rs.Idle, rs.OnPath)
+		}
+	}
 	return b.String()
 }
 
@@ -105,6 +144,16 @@ func CriticalPath(events []simnet.Event, n int) *CritReport {
 	// monotone, so per-rank order is virtual-time order; the global slice
 	// interleaves ranks arbitrarily.
 	perRank := make([][]int, n)
+	regStats := make(map[int]*RegionStat)
+	attributed := false
+	regOf := func(id int) *RegionStat {
+		rs := regStats[id]
+		if rs == nil {
+			rs = &RegionStat{Region: id}
+			regStats[id] = rs
+		}
+		return rs
+	}
 	for i, e := range events {
 		if e.Rank < 0 || e.Rank >= n {
 			continue
@@ -116,6 +165,16 @@ func CriticalPath(events []simnet.Event, n int) *CritReport {
 		rep.PerRankIdle[e.Rank] += e.Idle
 		if e.V > rep.Makespan {
 			rep.Makespan = e.V
+		}
+		rs := regOf(e.Region)
+		rs.Events++
+		rs.Idle += e.Idle
+		switch e.Kind {
+		case simnet.EvSend, simnet.EvPut, simnet.EvGet:
+			rs.Bytes += int64(e.Bytes)
+		}
+		if e.Region != 0 {
+			attributed = true
 		}
 	}
 
@@ -224,6 +283,15 @@ func CriticalPath(events []simnet.Event, n int) *CritReport {
 	rep.ChainEdges = len(rep.Chain) - 1
 	if rep.ChainEdges < 0 {
 		rep.ChainEdges = 0
+	}
+	if attributed {
+		for _, st := range chain {
+			regOf(events[st.idx].Region).OnPath++
+		}
+		for _, rs := range regStats {
+			rep.Regions = append(rep.Regions, *rs)
+		}
+		sort.Slice(rep.Regions, func(i, j int) bool { return rep.Regions[i].Region < rep.Regions[j].Region })
 	}
 
 	var sum model.Time

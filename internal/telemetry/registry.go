@@ -155,29 +155,96 @@ func (h *Histogram) Sum() model.Time {
 	return model.Time(h.sum.Load())
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observations from
+// the log2 buckets, interpolating linearly inside the bucket holding the
+// target rank. Accuracy is bounded by the bucket width — at worst a factor
+// of 2 — which is plenty for the p50/p95/p99 summary tables. Returns 0 on a
+// nil or empty histogram.
+func (h *Histogram) Quantile(q float64) model.Time {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := 0; i < histBuckets; i++ {
+		c := float64(h.buckets[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(int64(1) << uint(i-1))
+			}
+			hi := float64(int64(1) << uint(i))
+			frac := (target - cum) / c
+			return model.Time(lo + frac*(hi-lo))
+		}
+		cum += c
+	}
+	return model.Time(int64(1) << uint(histBuckets-1))
+}
+
 // Registry is a thread-safe collection of named metrics. The zero source
 // of truth for metric identity is the full series key: name plus sorted
 // labels. Get-or-create accessors return shared handles, so two call
 // sites asking for the same series update the same value. A nil *Registry
 // hands out nil handles, which no-op.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	hists      map[string]*Histogram
-	gaugeFuncs map[string]func() int64
-	types      map[string]string // base metric name -> prom type
+	mu           sync.Mutex
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	hists        map[string]*Histogram
+	gaugeFuncs   map[string]func() int64
+	counterFuncs map[string]func() int64
+	types        map[string]string // base metric name -> prom type
+	conflicts    []string          // names registered under more than one type
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		hists:      make(map[string]*Histogram),
-		gaugeFuncs: make(map[string]func() int64),
-		types:      make(map[string]string),
+		counters:     make(map[string]*Counter),
+		gauges:       make(map[string]*Gauge),
+		hists:        make(map[string]*Histogram),
+		gaugeFuncs:   make(map[string]func() int64),
+		counterFuncs: make(map[string]func() int64),
+		types:        make(map[string]string),
 	}
+}
+
+// setType records name's Prometheus type and tracks collisions: the same
+// base name registered by two packages under different kinds would make the
+// exposition lie about half its series. TypeConflicts surfaces them and a
+// verify-gate test asserts there are none. Caller holds mu.
+func (r *Registry) setType(name, kind string) {
+	if prev, ok := r.types[name]; ok && prev != kind {
+		r.conflicts = append(r.conflicts,
+			fmt.Sprintf("%s registered as both %s and %s", name, prev, kind))
+	}
+	r.types[name] = kind
+}
+
+// TypeConflicts reports metric names registered under more than one metric
+// type since the registry was created.
+func (r *Registry) TypeConflicts() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.conflicts))
+	copy(out, r.conflicts)
+	return out
 }
 
 // seriesKey renders name{k="v",...} with labels sorted by key.
@@ -221,7 +288,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[key] = c
-		r.types[name] = "counter"
+		r.setType(name, "counter")
 	}
 	return c
 }
@@ -238,7 +305,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[key] = g
-		r.types[name] = "gauge"
+		r.setType(name, "gauge")
 	}
 	return g
 }
@@ -255,9 +322,23 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	if !ok {
 		h = &Histogram{}
 		r.hists[key] = h
-		r.types[name] = "histogram"
+		r.setType(name, "histogram")
 	}
 	return h
+}
+
+// FindHistogram returns the histogram for name+labels if that series has
+// been registered, else nil (whose accessors no-op/return zero). Unlike
+// Histogram it never creates the series — report builders use it to probe
+// without polluting the exposition.
+func (r *Registry) FindHistogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hists[key]
 }
 
 // GaugeFunc registers a gauge whose value is pulled from f at exposition
@@ -271,7 +352,21 @@ func (r *Registry) GaugeFunc(name string, f func() int64, labels ...Label) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gaugeFuncs[key] = f
-	r.types[name] = "gauge"
+	r.setType(name, "gauge")
+}
+
+// CounterFunc registers a monotone counter whose value is pulled from f at
+// exposition time, for totals that already live elsewhere (e.g. the span
+// tracer's per-rank dropped count).
+func (r *Registry) CounterFunc(name string, f func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFuncs[key] = f
+	r.setType(name, "counter")
 }
 
 // CounterValue reports the value of the named counter series (0 if the
@@ -312,11 +407,18 @@ func (r *Registry) rows() []snapshotRow {
 	for k, f := range r.gaugeFuncs {
 		funcs[k] = f
 	}
+	cfuncs := make(map[string]func() int64, len(r.counterFuncs))
+	for k, f := range r.counterFuncs {
+		cfuncs[k] = f
+	}
 	r.mu.Unlock()
-	// Evaluate pull gauges outside the registry lock: they may read other
-	// locked structures (fabric endpoints).
+	// Evaluate pull series outside the registry lock: they may read other
+	// locked structures (fabric endpoints, the span tracer).
 	for k, f := range funcs {
 		out = append(out, snapshotRow{key: k, kind: "gauge", v: f()})
+	}
+	for k, f := range cfuncs {
+		out = append(out, snapshotRow{key: k, kind: "counter", v: f()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
 	return out

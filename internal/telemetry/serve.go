@@ -1,0 +1,125 @@
+package telemetry
+
+// The live introspection plane: a zero-dependency net/http server over a
+// running world. Every handler reads the same nil-safe structures the
+// substrates update — the registry, the span tracer, the flight recorder and
+// the endpoints' matching queues — so serving costs the world nothing beyond
+// what observation already cost, and a nil Telemetry or Fabric degrades to
+// empty (but well-formed) responses rather than errors.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+
+	"commintent/internal/simnet"
+)
+
+// Server is a running introspection endpoint; Close shuts it down.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (":0" picks a free port; see Addr)
+// exposing the world's observability surfaces:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/snapshot.json  the registry's JSON snapshot
+//	/ranks          per-rank live status: last observed virtual time, clock
+//	                skew, queue depths, in-flight ops, current region
+//	/postmortem     JSON array of retained post-mortem dumps
+//
+// t and f may each be nil (disabled telemetry, no fabric); the handlers
+// answer with empty documents. The server runs until Close.
+func Serve(addr string, t *Telemetry, f *simnet.Fabric) (*Server, error) {
+	if addr == "" {
+		addr = ":0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: serve: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = t.Registry().WriteProm(w)
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := t.Registry().SnapshotJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("/ranks", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rankStatuses(f))
+	})
+	mux.HandleFunc("/postmortem", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		pms := []*simnet.Postmortem{}
+		if f != nil {
+			pms = f.Postmortems()
+		}
+		_ = json.NewEncoder(w).Encode(pms)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr reports the server's listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// RankStatus is one rank's live introspection record, as served by /ranks.
+// LastV comes from the flight recorder (the rank's own virtual clock is
+// goroutine-private and cannot be read safely across goroutines); SkewNS is
+// the gap to the most advanced rank's LastV — on a recorder-less fabric both
+// read 0.
+type RankStatus struct {
+	Rank           int    `json:"rank"`
+	LastV          int64  `json:"last_v_ns"`
+	SkewNS         int64  `json:"clock_skew_ns"`
+	EventsRecorded int64  `json:"events_recorded"`
+	PostedRecvs    int    `json:"posted_recvs"`
+	UnexpectedMsgs int    `json:"unexpected_msgs"`
+	UnexpectedHWM  int    `json:"unexpected_hwm"`
+	Region         string `json:"region,omitempty"`
+}
+
+// rankStatuses assembles the /ranks payload; exported via the endpoint only.
+func rankStatuses(f *simnet.Fabric) []RankStatus {
+	if f == nil {
+		return []RankStatus{}
+	}
+	rec := f.Recorder()
+	out := make([]RankStatus, f.Size())
+	var maxV int64
+	for r := range out {
+		ep := f.Endpoint(r)
+		lastV := int64(rec.LastV(r))
+		if lastV > maxV {
+			maxV = lastV
+		}
+		out[r] = RankStatus{
+			Rank:           r,
+			LastV:          lastV,
+			EventsRecorded: rec.Total(r),
+			PostedRecvs:    ep.PendingPosted(),
+			UnexpectedMsgs: ep.PendingUnexpected(),
+			UnexpectedHWM:  ep.UnexpectedHighWatermark(),
+			Region:         f.RegionLabel(ep.RegionID()),
+		}
+	}
+	for r := range out {
+		out[r].SkewNS = maxV - out[r].LastV
+	}
+	return out
+}

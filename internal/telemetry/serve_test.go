@@ -1,0 +1,210 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/patterns"
+	"commintent/internal/shmem"
+	"commintent/internal/simnet"
+	"commintent/internal/spmd"
+	"commintent/internal/telemetry"
+)
+
+// get fetches a URL and returns status and body.
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestServeLiveWorld runs a 256-rank world with the introspection plane
+// attached, polls it while the ranks are running, and checks the final
+// state of every endpoint.
+func TestServeLiveWorld(t *testing.T) {
+	const n = 256
+	w, err := spmd.NewWorld(n, model.Uniform(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tele := telemetry.New(n, 0)
+	w.SetTelemetry(tele)
+	w.Fabric().EnableRecorder(simnet.DefaultRecorderCap)
+
+	srv, err := telemetry.Serve("127.0.0.1:0", tele, w.Fabric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(rk *spmd.Rank) error {
+			shm := shmem.New(rk)
+			env, err := core.NewEnv(mpi.World(rk), shm)
+			if err != nil {
+				return err
+			}
+			defer env.Close()
+			return patterns.Run("halo", rk, env, shm, core.TargetMPI2Side, 4, 4)
+		})
+	}()
+
+	// Poll the live world: the handlers must answer mid-run, whatever
+	// in-flight state they observe.
+	if code, _ := get(t, base+"/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics mid-run: HTTP %d", code)
+	}
+	code, body := get(t, base+"/ranks")
+	if code != http.StatusOK {
+		t.Fatalf("/ranks mid-run: HTTP %d", code)
+	}
+	var live []map[string]any
+	if err := json.Unmarshal(body, &live); err != nil {
+		t.Fatalf("/ranks mid-run is not JSON: %v", err)
+	}
+	if len(live) != n {
+		t.Fatalf("/ranks lists %d ranks, want %d", len(live), n)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Final state: metrics exposition carries fabric series, /ranks shows
+	// every rank recorded traffic, the snapshot parses, and no failures
+	// were filed.
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(string(body), "simnet_events_total") {
+		t.Fatalf("/metrics: HTTP %d, missing simnet_events_total", code)
+	}
+	_, body = get(t, base+"/ranks")
+	var ranks []struct {
+		Rank           int   `json:"rank"`
+		LastV          int64 `json:"last_v_ns"`
+		SkewNS         int64 `json:"clock_skew_ns"`
+		EventsRecorded int64 `json:"events_recorded"`
+	}
+	if err := json.Unmarshal(body, &ranks); err != nil {
+		t.Fatal(err)
+	}
+	maxV := int64(0)
+	for _, r := range ranks {
+		if r.EventsRecorded == 0 {
+			t.Errorf("rank %d recorded no events", r.Rank)
+		}
+		if r.LastV > maxV {
+			maxV = r.LastV
+		}
+	}
+	for _, r := range ranks {
+		if r.SkewNS != maxV-r.LastV {
+			t.Errorf("rank %d skew = %d, want %d", r.Rank, r.SkewNS, maxV-r.LastV)
+		}
+	}
+	code, body = get(t, base+"/snapshot.json")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot.json: HTTP %d", code)
+	}
+	var snap any
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/snapshot.json is not JSON: %v", err)
+	}
+	_, body = get(t, base+"/postmortem")
+	var pms []any
+	if err := json.Unmarshal(body, &pms); err != nil || len(pms) != 0 {
+		t.Fatalf("/postmortem = %s (err %v), want []", body, err)
+	}
+}
+
+// TestServeNilSafe serves a world with no telemetry and no recorder: every
+// endpoint must answer empty rather than crash.
+func TestServeNilSafe(t *testing.T) {
+	srv, err := telemetry.Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	for _, path := range []string{"/metrics", "/snapshot.json", "/ranks", "/postmortem"} {
+		if code, _ := get(t, base+path); code != http.StatusOK {
+			t.Errorf("%s with nil handles: HTTP %d", path, code)
+		}
+	}
+}
+
+// TestMetricNamesCollisionFree runs the full instrumented stack — fabric,
+// both substrates, collectives, the directive layer — and asserts no metric
+// name was registered under two different Prometheus kinds; the exposition
+// would silently lie otherwise.
+func TestMetricNamesCollisionFree(t *testing.T) {
+	tele, _ := runInstrumented(t, 4, "halo", 2)
+	if conflicts := tele.Registry().TypeConflicts(); len(conflicts) != 0 {
+		t.Fatalf("metric name/kind collisions:\n%s", strings.Join(conflicts, "\n"))
+	}
+	// And the detector itself works.
+	reg := telemetry.NewRegistry()
+	reg.Counter("clashing_series")
+	reg.Gauge("clashing_series")
+	got := reg.TypeConflicts()
+	if len(got) != 1 || !strings.Contains(got[0], "clashing_series") {
+		t.Fatalf("conflict not detected: %v", got)
+	}
+}
+
+// TestHistogramQuantiles pins the log2-bucket interpolation on a known
+// distribution.
+func TestHistogramQuantiles(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("q_test")
+	// 100 observations of 1000 (bucket [512,1024)): every quantile must
+	// land inside the bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		v := h.Quantile(q)
+		if v < 512 || v > 1024 {
+			t.Errorf("q%.2f = %v, want within [512,1024]", q, v)
+		}
+	}
+	// A long tail moves p99 far above p50.
+	h2 := reg.Histogram("q_tail")
+	for i := 0; i < 99; i++ {
+		h2.Observe(100)
+	}
+	h2.Observe(1 << 20)
+	if p50, p99 := h2.Quantile(0.5), h2.Quantile(0.999); p99 < 100*p50 {
+		t.Errorf("tail invisible: p50=%v p999=%v", p50, p99)
+	}
+	// Nil and empty are zero.
+	var nilH *telemetry.Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile != 0")
+	}
+	if reg.Histogram("q_empty").Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	// FindHistogram probes without creating.
+	if reg.FindHistogram("q_test") == nil {
+		t.Error("FindHistogram missed an existing series")
+	}
+	if reg.FindHistogram("q_missing") != nil {
+		t.Error("FindHistogram invented a series")
+	}
+}

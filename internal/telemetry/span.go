@@ -21,6 +21,10 @@ type Span struct {
 	End    model.Time
 	ID     int64
 	Parent int64
+
+	// Region is the interned directive-region ID active when the span began
+	// (see simnet.Fabric.InternRegion); 0 = unattributed.
+	Region int
 }
 
 // Dur reports the span's virtual duration.
@@ -65,12 +69,18 @@ type SpanHandle struct {
 	start  model.Time
 	id     int64
 	parent int64
+	region int
 }
 
 // Begin opens a span on rank at virtual time start. The parent is the
 // innermost span currently open on the same rank. On a nil tracer (or an
 // out-of-range rank) the returned handle no-ops.
 func (t *Tracer) Begin(rank int, name, cat string, start model.Time) SpanHandle {
+	return t.BeginRegion(rank, name, cat, start, 0)
+}
+
+// BeginRegion is Begin with an explicit directive-region attribution.
+func (t *Tracer) BeginRegion(rank int, name, cat string, start model.Time, region int) SpanHandle {
 	if t == nil || rank < 0 || rank >= len(t.ranks) {
 		return SpanHandle{}
 	}
@@ -84,7 +94,7 @@ func (t *Tracer) Begin(rank int, name, cat string, start model.Time) SpanHandle 
 	}
 	rs.stack = append(rs.stack, id)
 	rs.mu.Unlock()
-	return SpanHandle{t: t, rank: rank, name: name, cat: cat, start: start, id: id, parent: parent}
+	return SpanHandle{t: t, rank: rank, name: name, cat: cat, start: start, id: id, parent: parent, region: region}
 }
 
 // End closes the span at virtual time end and records it into the rank's
@@ -97,7 +107,7 @@ func (h SpanHandle) End(end model.Time) {
 		end = h.start
 	}
 	rs := &h.t.ranks[h.rank]
-	sp := Span{Rank: h.rank, Name: h.name, Cat: h.cat, Start: h.start, End: end, ID: h.id, Parent: h.parent}
+	sp := Span{Rank: h.rank, Name: h.name, Cat: h.cat, Start: h.start, End: end, ID: h.id, Parent: h.parent, Region: h.region}
 	rs.mu.Lock()
 	// Pop this span from the open stack; spans end LIFO in practice, but
 	// tolerate out-of-order ends by removing wherever the ID sits.

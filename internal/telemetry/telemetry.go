@@ -17,7 +17,15 @@ type Telemetry struct {
 // New creates a Telemetry for n ranks with the given per-rank span
 // capacity (DefaultSpanCap if perRankSpanCap <= 0).
 func New(n, perRankSpanCap int) *Telemetry {
-	return &Telemetry{reg: NewRegistry(), tr: NewTracer(n, perRankSpanCap)}
+	t := &Telemetry{reg: NewRegistry(), tr: NewTracer(n, perRankSpanCap)}
+	// Surface tracer ring overflow as a pull counter so truncated Chrome
+	// exports are detectable from the metrics plane alone.
+	for r := 0; r < n; r++ {
+		r := r
+		t.reg.CounterFunc("telemetry_spans_dropped_total",
+			func() int64 { return t.tr.Dropped(r) }, Rank(r))
+	}
+	return t
 }
 
 // Registry returns the metrics registry (nil when disabled).
@@ -45,7 +53,7 @@ type fabricMeters struct {
 
 // eventKinds is the number of simnet event kinds metered. Kinds are dense
 // small ints starting at EvSend.
-const eventKinds = int(simnet.EvSync) + 1
+const eventKinds = int(simnet.EvFault) + 1
 
 // BindFabric subscribes the telemetry to all events of the fabric,
 // populating the per-rank operation counters and byte totals, and
