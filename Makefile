@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify chaos bench bench-scale bench-scale-check bench-rma bench-rma-check bench-all clean
+.PHONY: all build test verify chaos bench bench-scale bench-scale-check bench-rma bench-rma-check bench-runtime bench-runtime-check bench-all clean
 
 all: build
 
@@ -17,7 +17,11 @@ test:
 # exercised even though normal builds take the zero-copy path, and the
 # telemetry gates re-run without -race (the disabled-telemetry overhead
 # bound is a timing assertion the race detector would skew; the metric-name
-# collision check rides along).
+# collision check rides along). The final line is the managed-runtime
+# golden-compatibility gate: with COMMINTENT_MANAGED_RUNTIME explicitly
+# cleared, every virtual-time golden (chaos hashes, pinned schedules, the
+# figure pins) must still be bit-identical — the adaptive layer off is
+# contractually a no-op.
 #
 # internal/typemap is vetted with -unsafeptr=false: its noescape laundering
 # (quarantined in noescape.go) is exactly the pattern that heuristic flags.
@@ -29,6 +33,7 @@ verify:
 	$(GO) test -race ./internal/... ./cmd/... .
 	$(GO) test -tags purego ./internal/typemap/ ./internal/mpi/ ./internal/shmem/
 	$(GO) test -run 'TestDisabledTelemetryOverhead|TestMetricNamesCollisionFree' ./internal/telemetry/
+	COMMINTENT_MANAGED_RUNTIME= $(GO) test -run 'TestChaosHaloSweep|TestVirtualTimePinned|TestFiguresPinned|TestRetuneOffIsBitIdentical' . ./internal/mpi/ ./internal/bench/
 
 # chaos is the hang-proofing gate: the fault-injection sweep (64 and 256
 # ranks at 0%/1%/5% drop) under the race detector, asserting that every
@@ -84,6 +89,28 @@ bench-rma-check:
 	$(GO) test -run XXX -bench BenchmarkRMA -benchmem -count=5 -timeout 0 . | $(GO) run ./cmd/benchjson -compare BENCH_rma.json > /dev/null
 	@echo rma benchmarks within budget
 
+# bench-runtime runs the managed-runtime benchmark (the Figure 4 directive
+# spin transfer at coalescing-relevant size) with the runtime switched on
+# via its environment knob and snapshots it, diffed against the committed
+# runtime-off baseline, into BENCH_runtime.json: the vs_baseline section
+# then documents exactly what flipping COMMINTENT_MANAGED_RUNTIME buys with
+# zero directive edits. Same -timeout 0 rationale as bench-scale. To refresh
+# the baseline after a deliberate model change:
+#   go test -run XXX -bench BenchmarkRuntime -benchmem -count=5 -timeout 0 . > testdata/bench_baseline_runtime.txt
+bench-runtime:
+	COMMINTENT_MANAGED_RUNTIME=1 $(GO) test -run XXX -bench BenchmarkRuntime -benchmem -count=5 -timeout 0 . | tee bench_runtime.out
+	$(GO) run ./cmd/benchjson -baseline testdata/bench_baseline_runtime.txt < bench_runtime.out > BENCH_runtime.json
+	@rm -f bench_runtime.out
+	@echo wrote BENCH_runtime.json
+
+# bench-runtime-check is the managed-runtime wall-clock regression gate, the
+# analogue of bench-scale-check: re-run with the runtime on and fail if the
+# benchmark's best sample sits >25% above the committed BENCH_runtime.json
+# median.
+bench-runtime-check:
+	COMMINTENT_MANAGED_RUNTIME=1 $(GO) test -run XXX -bench BenchmarkRuntime -benchmem -count=5 -timeout 0 . | $(GO) run ./cmd/benchjson -compare BENCH_runtime.json > /dev/null
+	@echo runtime benchmarks within budget
+
 # bench-all additionally runs every other benchmark once (the virtual-time
 # figure benchmarks live in internal packages).
 bench-all: bench
@@ -91,4 +118,4 @@ bench-all: bench
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_dataplane.out bench_scale.out bench_rma.out
+	rm -f bench_dataplane.out bench_scale.out bench_rma.out bench_runtime.out

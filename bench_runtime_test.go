@@ -1,0 +1,36 @@
+package commintent
+
+import (
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/wllsms"
+)
+
+// BenchmarkRuntimeFig4SetEvec is the managed-runtime benchmark `make
+// bench-runtime` snapshots: the Figure 4 directive spin transfer at a size
+// with real coalescing headroom (128 atoms over 16-rank instances). It
+// deliberately honours the COMMINTENT_MANAGED_RUNTIME environment knob
+// rather than overriding the config in code, so the committed baseline
+// (runtime off) and BENCH_runtime.json (runtime on) are produced from the
+// identical binary and benchmark name — the report's vs_baseline section is
+// then exactly the knob's effect. The custom vtime-us/op metric carries the
+// modelled machine's view; ns/op carries the simulator's wall-clock cost,
+// which the 25% gate in bench-runtime-check guards.
+func BenchmarkRuntimeFig4SetEvec(b *testing.B) {
+	p := fig4Params()
+	var total model.Time
+	for i := 0; i < b.N; i++ {
+		total += measureApp(b, p, func(app *wllsms.App) (model.Time, error) {
+			if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+				return 0, err
+			}
+			if err := stageZeroSpins(app); err != nil {
+				return 0, err
+			}
+			return app.SetEvec(wllsms.VariantDirective, core.TargetMPI2Side)
+		})
+	}
+	reportVirtual(b, total)
+}

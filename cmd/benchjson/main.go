@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -60,7 +61,7 @@ type delta struct {
 }
 
 type report struct {
-	Context  map[string]string   `json:"context,omitempty"`  // goos/goarch/pkg/cpu lines
+	Context  map[string]string   `json:"context,omitempty"`  // goos/goarch/pkg/cpu lines + goversion/gomaxprocs
 	Results  map[string]*summary `json:"results"`            // by benchmark name
 	Baseline map[string]*summary `json:"baseline,omitempty"` // from -baseline
 	VsBase   map[string]*delta   `json:"vs_baseline,omitempty"`
@@ -127,6 +128,14 @@ func parse(r io.Reader) (map[string]*summary, map[string]string, error) {
 	return out, ctx, nil
 }
 
+// stampEnv records the run environment alongside the goos/goarch/cpu lines
+// parsed from the bench output: the Go version and GOMAXPROCS both shift
+// wall-clock figures, so a committed report documents what produced it.
+func stampEnv(ctx map[string]string) {
+	ctx["goversion"] = runtime.Version()
+	ctx["gomaxprocs"] = strconv.Itoa(runtime.GOMAXPROCS(0))
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "optional baseline `file` of go test -bench output to diff against")
 	compare := flag.String("compare", "", "optional committed benchjson report `file`; exit 1 when any benchmark's best ns/op sample regresses more than -max-regress percent against the committed median")
@@ -139,6 +148,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	stampEnv(rep.Context)
 	if len(rep.Results) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -34,6 +35,22 @@ func TestParse(t *testing.T) {
 	}
 	if halo.BytesPerOp != 24 || halo.AllocsPerOp != 1 {
 		t.Errorf("halo memory stats = %+v", halo)
+	}
+}
+
+// TestStampEnv: every report documents the toolchain and parallelism that
+// produced its wall-clock figures.
+func TestStampEnv(t *testing.T) {
+	ctx := map[string]string{"goos": "linux"}
+	stampEnv(ctx)
+	if !strings.HasPrefix(ctx["goversion"], "go") {
+		t.Errorf("goversion = %q, want a go release string", ctx["goversion"])
+	}
+	if n, err := strconv.Atoi(ctx["gomaxprocs"]); err != nil || n < 1 {
+		t.Errorf("gomaxprocs = %q, want a positive integer", ctx["gomaxprocs"])
+	}
+	if ctx["goos"] != "linux" {
+		t.Error("stampEnv clobbered parsed context")
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"commintent/internal/model"
 	"commintent/internal/mpi"
 	"commintent/internal/patterns"
+	rt "commintent/internal/runtime"
 	"commintent/internal/shmem"
 	"commintent/internal/simnet"
 	"commintent/internal/spmd"
@@ -57,7 +58,12 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injector seed; same seed replays the same faults (with -drop)")
 	postmortem := flag.String("postmortem", "", "enable the flight recorder; on a terminal fault write post-mortem dumps as JSON to this file (\"-\" for stdout) and render them on stderr")
 	serveAddr := flag.String("serve", "", "serve the live introspection plane (/metrics /snapshot.json /ranks /postmortem) on this address and keep serving after the run")
+	managed := flag.String("managed", "", "managed-runtime config for this run: off, on, full, or a comma list of retune,coalesce,autosync (overrides $"+rt.EnvVar+")")
 	flag.Parse()
+
+	if *managed != "" {
+		defer rt.Override(rt.Parse(*managed))()
+	}
 
 	tgt, err := patterns.ParseTarget(*target)
 	if err != nil {
@@ -178,6 +184,8 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+	printRuntimeDecisions(reg, mpi.ManagedTrace(w), *n)
+
 	if bc := sumCounter(reg, "mpi_barrier_calls_total", *n); bc > 0 {
 		fmt.Printf("barriers: %d calls, %v total blocked virtual time\n",
 			bc, time.Duration(sumCounter(reg, "mpi_barrier_idle_virtual_ns_total", *n)))
@@ -228,6 +236,63 @@ func main() {
 	if srv != nil {
 		fmt.Fprintf(os.Stderr, "commstat: run complete; still serving on http://%s (Ctrl-C to exit)\n", srv.Addr())
 		select {}
+	}
+}
+
+// printRuntimeDecisions renders the managed runtime's adaptive picture:
+// what the active config is, how often the collective tuner was consulted
+// and switched algorithms, what coalescing batched and saved, and the
+// canonical decision trace itself (the replayable record post-mortems diff
+// against). All rates are n/a-safe — with the runtime off every line prints
+// zeros rather than NaN.
+func printRuntimeDecisions(reg *telemetry.Registry, tr *rt.Trace, n int) {
+	fmt.Printf("\n== runtime decisions ==\n")
+	fmt.Printf("managed runtime: %s\n", rt.Active())
+
+	evals := sumCounter(reg, "runtime_retune_evals_total", n)
+	switches := sumCounter(reg, "runtime_retune_switches_total", n)
+	fmt.Printf("retune: %d evaluation(s), %d algorithm switch(es) (switch rate %s)\n",
+		evals, switches, rate(switches, evals))
+
+	batches := sumCounter(reg, "runtime_coalesce_batches_total", n)
+	parts := sumCounter(reg, "runtime_coalesce_parts_total", n)
+	saved := sumCounter(reg, "runtime_coalesce_msgs_saved_total", n)
+	fmt.Printf("coalesce: %d small message(s) packed into %d batch(es), %d wire message(s) saved (save rate %s)\n",
+		parts, batches, saved, rate(saved, parts))
+	fmt.Printf("coalesce bytes: %d payload + %d header on the wire; %d part(s) delivered from stash\n",
+		sumCounter(reg, "runtime_coalesce_payload_bytes_total", n),
+		sumCounter(reg, "runtime_coalesce_header_bytes_total", n),
+		sumCounter(reg, "runtime_coalesce_stash_parts_total", n))
+
+	// Parts-per-batch distribution: the histogram buckets are log2, so the
+	// quantiles are the interpolated batch sizes the run actually shipped.
+	printed := false
+	for r := 0; r < n; r++ {
+		h := reg.FindHistogram("runtime_coalesce_batch_parts", telemetry.Rank(r))
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Println("batch sizes (parts per batch, per rank):")
+			printed = true
+		}
+		fmt.Printf("  rank %3d: n=%-6d p50=%-4d p95=%-4d max~%d\n", r, h.Count(),
+			int64(h.Quantile(0.50)), int64(h.Quantile(0.95)), int64(h.Quantile(1)))
+	}
+
+	if tr == nil || tr.Len() == 0 {
+		fmt.Println("decision trace: empty")
+		return
+	}
+	fmt.Printf("decision trace: %d decision(s), %d dropped, fingerprint %016x\n",
+		tr.Len(), tr.Dropped(), tr.Fingerprint())
+	const maxShown = 20
+	for i, d := range tr.Snapshot() {
+		if i == maxShown {
+			fmt.Printf("  ... %d more\n", tr.Len()-maxShown)
+			break
+		}
+		fmt.Printf("  %s\n", d)
 	}
 }
 

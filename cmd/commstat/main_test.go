@@ -80,6 +80,48 @@ func TestCommstatZeroDenominatorRates(t *testing.T) {
 	}
 }
 
+// TestCommstatRuntimeDecisionsOff: the "runtime decisions" section prints
+// on every run — with the managed runtime off it shows the off config, all
+// zeros with n/a-safe rates, and an empty decision trace.
+func TestCommstatRuntimeDecisionsOff(t *testing.T) {
+	out := runMain(t, "-n", "2", "-pattern", "ring")
+	for _, want := range []string{
+		"== runtime decisions ==",
+		"managed runtime: off",
+		"retune: 0 evaluation(s), 0 algorithm switch(es) (switch rate n/a)",
+		"coalesce: 0 small message(s) packed into 0 batch(es), 0 wire message(s) saved (save rate n/a)",
+		"decision trace: empty",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestCommstatRuntimeDecisionsOn: -managed on coalesces the ring pattern's
+// small sends and renders the nonzero counters, the batch-size quantiles,
+// and the canonical decision trace with its fingerprint.
+func TestCommstatRuntimeDecisionsOn(t *testing.T) {
+	out := runMain(t, "-n", "4", "-pattern", "ring", "-iters", "2", "-managed", "on")
+	for _, want := range []string{
+		"managed runtime: retune,coalesce",
+		"batch sizes (parts per batch, per rank):",
+		"decision trace:",
+		"fingerprint",
+		"1 batch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "decision trace: empty") {
+		t.Error("managed run should record coalesce decisions")
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("report contains NaN; zero-denominator rates must print n/a")
+	}
+}
+
 // TestCommstatFaultInjection: with -drop the run completes through the
 // retry path and the report shows nonzero fault and re-send counters.
 func TestCommstatFaultInjection(t *testing.T) {

@@ -174,6 +174,57 @@ func Choose(k Kind, n, bytes int) Algo {
 	return Direct
 }
 
+// Feedback carries live observations from the managed runtime's tuner into
+// the selection. All fields derive from virtual-time-deterministic
+// observables, so tuned choices replay bit-identically for a given seed.
+type Feedback struct {
+	// LatencyShare is the fraction of the observed collective duration
+	// not explained by pure bandwidth (wire time). Negative means "no
+	// observation yet". High values mean latency/overhead-bound; low
+	// values mean bandwidth-bound.
+	LatencyShare float64
+	// NSPerByte is the EWMA of observed virtual ns per payload byte for
+	// this decision slot (0 until observed).
+	NSPerByte float64
+	// QueueHighWater is the observer's outstanding-request high-watermark
+	// at decision time; a deep queue favours fewer, larger messages.
+	QueueHighWater int
+}
+
+// ChooseTuned is Choose with live feedback folded in: the observation
+// shifts the payload's *effective* size regime before the static tables
+// apply. A latency-bound observation (most of the duration is overhead the
+// bytes don't explain) pushes the choice toward the small-message tree
+// regime; a bandwidth-bound one pushes toward the large-message
+// ring/pipeline regime. With no observation (LatencyShare < 0) it is
+// exactly Choose. The result always passes supports(), so a tuned choice
+// is never one the mover layer cannot execute.
+func ChooseTuned(k Kind, n, bytes int, fb Feedback) Algo {
+	eff := bytes
+	switch {
+	case fb.LatencyShare < 0:
+		// No observation: static tables.
+	case fb.LatencyShare > 0.5:
+		// Latency-bound: behave as if the payload were smaller, steering
+		// into the tree regime that minimises message rounds.
+		eff = bytes / 4
+	case fb.LatencyShare < 0.1:
+		// Bandwidth-bound: behave as if the payload were larger, steering
+		// into the ring regime that minimises bytes-on-the-wire.
+		eff = bytes * 4
+	}
+	if fb.QueueHighWater > 64 && eff > smallMsg {
+		// A deep outstanding-request queue means injection overhead is
+		// piling up; prefer schedules with fewer concurrent messages.
+		eff = smallMsg
+	}
+	a := Choose(k, n, eff)
+	if !supports(k, a, n) {
+		a = Choose(k, n, bytes)
+	}
+	return a
+}
+
 // supports reports whether kind k has an executable mover for algorithm a
 // at communicator size n.
 func supports(k Kind, a Algo, n int) bool {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	rt "commintent/internal/runtime"
 )
 
 // Clauses is the resolved clause set of one directive. Users construct it
@@ -40,6 +42,8 @@ type Clauses struct {
 	maxCommIterSet bool
 	label          string
 	labelSet       bool
+	managed        rt.Config
+	managedSet     bool
 }
 
 // Option asserts one clause.
@@ -146,6 +150,15 @@ func MaxCommIter(n int) Option {
 	return func(c *Clauses) { c.maxCommIter = n; c.maxCommIterSet = true }
 }
 
+// ManagedRuntime asserts the managed-runtime configuration for the region,
+// overriding the process-wide setting (runtime.FromEnv / runtime.Override)
+// in either direction: a region can opt in to online re-tuning, coalescing
+// or automatic sync placement, or pin itself to the static lowering with a
+// zero Config. Only valid on comm_parameters.
+func ManagedRuntime(cfg rt.Config) Option {
+	return func(c *Clauses) { c.managed = cfg; c.managedSet = true }
+}
+
 // Label names the comm_parameters region for observability: every fabric
 // event, span and metric produced under the region is attributed to this
 // label (flight-recorder dumps, per-region critical-path breakdowns, the
@@ -242,6 +255,9 @@ func validateP2POnly(c *Clauses) error {
 	}
 	if c.labelSet {
 		return fmt.Errorf("%w: label", ErrParamsOnlyClause)
+	}
+	if c.managedSet {
+		return fmt.Errorf("%w: managed_runtime", ErrParamsOnlyClause)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"commintent/internal/model"
 	"commintent/internal/mpi"
+	rt "commintent/internal/runtime"
 	"commintent/internal/shmem"
 	"commintent/internal/telemetry"
 	"commintent/internal/typemap"
@@ -51,6 +52,14 @@ type Env struct {
 	faults bool
 	retry  RetryPolicy
 
+	// Managed-runtime state (see coalesce.go): pending coalesced traffic
+	// and the world's shared decision trace. The coalescer is only ever
+	// populated by regions whose resolved runtime config enables
+	// coalescing; with the managed runtime off it stays empty and every
+	// flush path is byte-for-byte the pre-managed one.
+	co      coalescer
+	rtTrace *rt.Trace
+
 	regionSeq int
 	decisions []Decision
 	closed    bool
@@ -78,6 +87,17 @@ type envTele struct {
 
 	retries *telemetry.Counter // comm_p2p transfers re-sent after a fault
 	giveups *telemetry.Counter // comm_p2p regions abandoned (dead peer / budget)
+
+	// Managed-runtime coalescing metrics (zero unless coalescing is on).
+	coBatches      *telemetry.Counter   // batch wire messages posted
+	coParts        *telemetry.Counter   // member transfers carried in batches
+	coSaved        *telemetry.Counter   // wire messages avoided (parts - batches)
+	coHeaderBytes  *telemetry.Counter   // offset-table header bytes on the wire
+	coPayloadBytes *telemetry.Counter   // payload bytes carried in batches
+	coStash        *telemetry.Counter   // parts completed from the receive stash
+	coBatchParts   *telemetry.Histogram // batch size distribution (parts/batch)
+	decCoalesce    *telemetry.Counter   // runtime decisions, domain=coalesce
+	decAutosync    *telemetry.Counter   // runtime decisions, domain=autosync
 
 	reg      *telemetry.Registry
 	regionNS map[int]*telemetry.Histogram // region id → core_region_virtual_ns handle
@@ -155,6 +175,7 @@ func NewEnv(comm *mpi.Comm, shm *shmem.Ctx) (*Env, error) {
 	}
 	e.faults = comm.SPMD().World().Fabric().FaultsEnabled()
 	e.retry = defaultRetryPolicy(comm.SPMD().Profile())
+	e.rtTrace = mpi.ManagedTrace(comm.SPMD().World())
 	if shm != nil {
 		flags, err := shmem.Alloc[int64](shm, shm.NPEs())
 		if err != nil {
@@ -168,18 +189,29 @@ func NewEnv(comm *mpi.Comm, shm *shmem.Ctx) (*Env, error) {
 		reg := t.Registry()
 		r := telemetry.Rank(comm.SPMD().ID)
 		e.tele = envTele{
-			tr:            t.Tracer(),
-			reg:           reg,
-			directives:    reg.Counter("core_directives_total", r),
-			regions:       reg.Counter("core_regions_total", r),
-			inferred:      reg.Counter("core_counts_inferred_total", r),
-			consolidated:  reg.Counter("core_syncs_consolidated_total", r),
-			dtypeHits:     reg.Counter("core_datatype_cache_hits_total", r),
-			dtypeMisses:   reg.Counter("core_datatype_cache_misses_total", r),
-			resolveHits:   reg.Counter("core_handle_cache_hits_total", r),
-			resolveMisses: reg.Counter("core_handle_cache_misses_total", r),
-			retries:       reg.Counter("core_p2p_retries_total", r),
-			giveups:       reg.Counter("core_p2p_giveups_total", r),
+			tr:             t.Tracer(),
+			reg:            reg,
+			directives:     reg.Counter("core_directives_total", r),
+			regions:        reg.Counter("core_regions_total", r),
+			inferred:       reg.Counter("core_counts_inferred_total", r),
+			consolidated:   reg.Counter("core_syncs_consolidated_total", r),
+			dtypeHits:      reg.Counter("core_datatype_cache_hits_total", r),
+			dtypeMisses:    reg.Counter("core_datatype_cache_misses_total", r),
+			resolveHits:    reg.Counter("core_handle_cache_hits_total", r),
+			resolveMisses:  reg.Counter("core_handle_cache_misses_total", r),
+			retries:        reg.Counter("core_p2p_retries_total", r),
+			giveups:        reg.Counter("core_p2p_giveups_total", r),
+			coBatches:      reg.Counter("runtime_coalesce_batches_total", r),
+			coParts:        reg.Counter("runtime_coalesce_parts_total", r),
+			coSaved:        reg.Counter("runtime_coalesce_msgs_saved_total", r),
+			coHeaderBytes:  reg.Counter("runtime_coalesce_header_bytes_total", r),
+			coPayloadBytes: reg.Counter("runtime_coalesce_payload_bytes_total", r),
+			coStash:        reg.Counter("runtime_coalesce_stash_parts_total", r),
+			coBatchParts:   reg.Histogram("runtime_coalesce_batch_parts", r),
+			decCoalesce: reg.Counter("runtime_decisions_total",
+				telemetry.L("domain", "coalesce"), r),
+			decAutosync: reg.Counter("runtime_decisions_total",
+				telemetry.L("domain", "autosync"), r),
 			autoTarget: map[Target]*telemetry.Counter{
 				TargetSHMEM:    reg.Counter("core_auto_target_total", telemetry.L("choice", "shmem"), r),
 				TargetMPI2Side: reg.Counter("core_auto_target_total", telemetry.L("choice", "mpi-2side"), r),
@@ -202,7 +234,7 @@ func (e *Env) Close() error {
 		return nil
 	}
 	e.closed = true
-	if e.pending != nil {
+	if e.pending != nil || !e.co.empty() {
 		p := e.pending
 		e.pending = nil
 		if err := e.flush(p, e.regionSeq); err != nil {
@@ -216,7 +248,7 @@ func (e *Env) Close() error {
 // FlushDeferred forces any synchronisation deferred by place_sync to
 // complete now, outside a region.
 func (e *Env) FlushDeferred() error {
-	if e.pending == nil {
+	if e.pending == nil && e.co.empty() {
 		return nil
 	}
 	p := e.pending
@@ -225,7 +257,9 @@ func (e *Env) FlushDeferred() error {
 }
 
 // HasDeferred reports whether synchronisation is currently deferred.
-func (e *Env) HasDeferred() bool { return e.pending != nil && !e.pending.empty() }
+func (e *Env) HasDeferred() bool {
+	return (e.pending != nil && !e.pending.empty()) || !e.co.empty()
+}
 
 // Decisions returns the lowering decisions recorded so far, the runtime
 // analogue of inspecting the compiler's generated communication code.

@@ -118,11 +118,28 @@ func (l *ledger) absorb(o *ledger) {
 // per destination PE on the sending side and one wait-until per source PE
 // on the receiving side. Returns a description of what was emitted.
 func (e *Env) flush(l *ledger, region int) error {
-	if l == nil || l.empty() {
+	coPending := !e.co.empty()
+	if (l == nil || l.empty()) && !coPending {
+		if l != nil {
+			// A fully-coalesced region leaves pins but no requests; clear
+			// them so they cannot outlive the flush that covers them.
+			l.pinned = l.pinned[:0]
+		}
 		return nil
 	}
 	fsp := e.span("flush", "sync")
 	defer func() { fsp.End(e.comm.SPMD().Now()) }()
+	if coPending {
+		// Drain coalesced batches before the ledger Waitall: every batch
+		// send is posted before this rank blocks, so two ranks flushing at
+		// different program points cannot deadlock each other.
+		if err := e.flushCoalesced(region); err != nil {
+			return err
+		}
+	}
+	if l == nil {
+		return nil
+	}
 	if len(l.reqs) > 0 {
 		if len(l.reqs) > 1 {
 			// Each consolidated request beyond the first is one per-request

@@ -145,6 +145,17 @@ func (e *Env) emit(r *Region, cl *Clauses) error {
 	var err error
 	switch target {
 	case TargetMPI2Side:
+		if r.cfg.Coalesce {
+			// Managed runtime: an eligible small transfer joins the pending
+			// batch for its destination instead of posting its own message.
+			// The pins below still register its buffers, so a dependent
+			// directive flushes the batch exactly as it would a request.
+			var handled bool
+			handled, err = e.coalesceP2P(r, sinfos, rinfos, count, doSend, doRecv, sendTo, recvFrom)
+			if handled || err != nil {
+				break
+			}
+		}
 		err = e.emitMPI2Side(r, sinfos, rinfos, count, doSend, doRecv, sendTo, recvFrom)
 	case TargetMPI1Side:
 		err = e.emitMPI1Side(r, sinfos, rinfos, count, doSend, sendTo)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	rt "commintent/internal/runtime"
 )
 
 // directiveTag is the tag all directive-generated two-sided traffic uses.
@@ -19,6 +21,12 @@ type Region struct {
 	id       int
 	defaults *Clauses
 	led      *ledger
+
+	// cfg is the managed-runtime configuration resolved at region open: the
+	// region's managed_runtime clause if asserted, else the process-wide
+	// setting. Resolving once per region keeps every directive in the region
+	// under one consistent policy.
+	cfg rt.Config
 
 	// scratch is the reusable clause set P2P builds its own options into;
 	// it is only valid until the next comm_p2p on this region, which is
@@ -71,6 +79,10 @@ func (e *Env) Parameters(body func(*Region) error, opts ...Option) error {
 	} else {
 		r = &Region{env: e, id: e.regionSeq, defaults: cl, led: newLedger()}
 	}
+	r.cfg = rt.Active()
+	if cl.managedSet {
+		r.cfg = cl.managed
+	}
 
 	// Synchronisation carried in from a previous region.
 	if e.pending != nil {
@@ -100,8 +112,19 @@ func (e *Env) Parameters(body func(*Region) error, opts ...Option) error {
 	}
 
 	placement := EndParamRegion
-	if cl.placeSyncSet {
+	autoSync := false
+	switch {
+	case cl.placeSyncSet:
 		placement = cl.placeSync
+	case r.cfg.AutoSync:
+		// Automatic sync placement: with no explicit place_sync clause the
+		// managed runtime defers this region's completion exactly as a
+		// manual place_sync(END_ADJ_PARAM_REGIONS) would — the dependency
+		// ledger's pinned ranges prove when a later directive needs the
+		// data, and any overlap forces the flush early. This is always
+		// safe; it only changes *where* the consolidated sync lands.
+		placement = EndAdjParamRegions
+		autoSync = true
 	}
 	switch placement {
 	case EndParamRegion:
@@ -118,6 +141,20 @@ func (e *Env) Parameters(body func(*Region) error, opts ...Option) error {
 			e.note(r.id, "sync", fmt.Sprintf("synchronisation deferred (%s)", placement))
 		} else {
 			e.freeRegion = r
+		}
+		if autoSync && (!r.led.empty() || !e.co.empty()) {
+			e.tele.decAutosync.Inc()
+			rk := e.comm.SPMD()
+			e.rtTrace.Record(rt.Decision{
+				Rank:   rk.ID,
+				V:      rk.Now(),
+				Domain: "autosync",
+				Key:    fmt.Sprintf("region %d", r.id),
+				From:   "END_PARAM_REGION",
+				To:     "END_ADJ_PARAM_REGIONS",
+				Reason: "no place_sync clause; dependency ledger guards reuse",
+			})
+			e.note(r.id, "sync", "managed runtime deferred synchronisation (auto place_sync)")
 		}
 	}
 	return nil

@@ -1,0 +1,382 @@
+package mpi_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+// batchCase is one primitive element type exercised by the equivalence
+// property: fill produces a deterministic source slice, alloc a zeroed
+// destination of the same length, and eq compares them.
+type batchCase struct {
+	name string
+	dt   *mpi.Datatype
+	make func(r *rand.Rand, n int) any
+	zero func(n int) any
+}
+
+func batchCases() []batchCase {
+	return []batchCase{
+		{"int8", mpi.Int8,
+			func(r *rand.Rand, n int) any {
+				s := make([]int8, n)
+				for i := range s {
+					s[i] = int8(r.Int())
+				}
+				return s
+			},
+			func(n int) any { return make([]int8, n) }},
+		{"int16", mpi.Int16,
+			func(r *rand.Rand, n int) any {
+				s := make([]int16, n)
+				for i := range s {
+					s[i] = int16(r.Int())
+				}
+				return s
+			},
+			func(n int) any { return make([]int16, n) }},
+		{"int32", mpi.Int32,
+			func(r *rand.Rand, n int) any {
+				s := make([]int32, n)
+				for i := range s {
+					s[i] = int32(r.Int())
+				}
+				return s
+			},
+			func(n int) any { return make([]int32, n) }},
+		{"int64", mpi.Int64,
+			func(r *rand.Rand, n int) any {
+				s := make([]int64, n)
+				for i := range s {
+					s[i] = int64(r.Uint64())
+				}
+				return s
+			},
+			func(n int) any { return make([]int64, n) }},
+		{"uint16", mpi.Uint16,
+			func(r *rand.Rand, n int) any {
+				s := make([]uint16, n)
+				for i := range s {
+					s[i] = uint16(r.Int())
+				}
+				return s
+			},
+			func(n int) any { return make([]uint16, n) }},
+		{"uint32", mpi.Uint32,
+			func(r *rand.Rand, n int) any {
+				s := make([]uint32, n)
+				for i := range s {
+					s[i] = uint32(r.Int())
+				}
+				return s
+			},
+			func(n int) any { return make([]uint32, n) }},
+		{"uint64", mpi.Uint64,
+			func(r *rand.Rand, n int) any {
+				s := make([]uint64, n)
+				for i := range s {
+					s[i] = r.Uint64()
+				}
+				return s
+			},
+			func(n int) any { return make([]uint64, n) }},
+		{"float32", mpi.Float32,
+			func(r *rand.Rand, n int) any {
+				s := make([]float32, n)
+				for i := range s {
+					s[i] = r.Float32()
+				}
+				return s
+			},
+			func(n int) any { return make([]float32, n) }},
+		{"float64", mpi.Float64,
+			func(r *rand.Rand, n int) any {
+				s := make([]float64, n)
+				for i := range s {
+					s[i] = r.Float64()
+				}
+				return s
+			},
+			func(n int) any { return make([]float64, n) }},
+		{"byte", mpi.Byte,
+			func(r *rand.Rand, n int) any {
+				s := make([]uint8, n)
+				for i := range s {
+					s[i] = uint8(r.Int())
+				}
+				return s
+			},
+			func(n int) any { return make([]uint8, n) }},
+	}
+}
+
+// TestBatchEquivalence is the coalescing correctness property: for every
+// primitive element type, sending N parts as one batch and scattering on
+// arrival delivers byte-identical data to sending each part as its own
+// message.
+func TestBatchEquivalence(t *testing.T) {
+	for _, tc := range batchCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(tc.name)) * 7919))
+			const nparts = 5
+			counts := make([]int, nparts)
+			srcs := make([]any, nparts)
+			viaBatch := make([]any, nparts)
+			viaSingle := make([]any, nparts)
+			for i := range counts {
+				counts[i] = 1 + rng.Intn(8)
+				srcs[i] = tc.make(rng, counts[i])
+				viaBatch[i] = tc.zero(counts[i])
+				viaSingle[i] = tc.zero(counts[i])
+			}
+
+			run(t, 2, func(rk *spmd.Rank) error {
+				c := mpi.World(rk)
+				// Batched path.
+				if rk.ID == 0 {
+					parts := make([]mpi.BatchPart, nparts)
+					for i := range parts {
+						parts[i] = mpi.BatchPart{Buf: srcs[i], Count: counts[i], Dt: tc.dt}
+					}
+					req, err := c.IsendBatch(parts, 1, 3)
+					if err != nil {
+						return err
+					}
+					if _, err := c.Waitall([]*mpi.Request{req}); err != nil {
+						return err
+					}
+				} else {
+					var q mpi.BatchQueue
+					for i := range viaBatch {
+						if err := q.Add(viaBatch[i], counts[i], tc.dt); err != nil {
+							return err
+						}
+					}
+					req, err := c.IrecvBatch(&q, 0, 3)
+					if err != nil {
+						return err
+					}
+					if _, err := c.Waitall([]*mpi.Request{req}); err != nil {
+						return err
+					}
+					if q.Pending() != 0 || q.Scattered != nparts {
+						return fmt.Errorf("queue after scatter: pending=%d scattered=%d", q.Pending(), q.Scattered)
+					}
+				}
+				// Per-message path.
+				for i := range srcs {
+					if rk.ID == 0 {
+						if err := c.Send(srcs[i], counts[i], tc.dt, 1, 4); err != nil {
+							return err
+						}
+					} else {
+						if _, err := c.Recv(viaSingle[i], counts[i], tc.dt, 0, 4); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+
+			for i := range srcs {
+				if !reflect.DeepEqual(viaBatch[i], srcs[i]) {
+					t.Errorf("part %d: batched delivery %v != source %v", i, viaBatch[i], srcs[i])
+				}
+				if !reflect.DeepEqual(viaBatch[i], viaSingle[i]) {
+					t.Errorf("part %d: batched %v != per-message %v", i, viaBatch[i], viaSingle[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBatchStash: a batch arriving before its destinations are declared is
+// stashed and later consumed locally, and the data still lands intact.
+func TestBatchStash(t *testing.T) {
+	src := [][]int32{{1, 2, 3}, {40, 50}}
+	dst := [][]int32{make([]int32, 3), make([]int32, 2)}
+	run(t, 2, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		if rk.ID == 0 {
+			parts := []mpi.BatchPart{
+				{Buf: src[0], Count: 3, Dt: mpi.Int32},
+				{Buf: src[1], Count: 2, Dt: mpi.Int32},
+			}
+			req, err := c.IsendBatch(parts, 1, 3)
+			if err != nil {
+				return err
+			}
+			_, err = c.Waitall([]*mpi.Request{req})
+			return err
+		}
+		// Declare only the first destination: the batch's second part must
+		// be stashed, then consumed once dst[1] is declared.
+		var q mpi.BatchQueue
+		if err := q.Add(dst[0], 3, mpi.Int32); err != nil {
+			return err
+		}
+		req, err := c.IrecvBatch(&q, 0, 3)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Waitall([]*mpi.Request{req}); err != nil {
+			return err
+		}
+		if q.StashDepth() != 1 || q.StashedParts != 1 {
+			return fmt.Errorf("stash depth %d (total %d), want 1", q.StashDepth(), q.StashedParts)
+		}
+		if err := q.Add(dst[1], 2, mpi.Int32); err != nil {
+			return err
+		}
+		_, consumed, err := q.ConsumeStash(rk.Profile())
+		if err != nil {
+			return err
+		}
+		if consumed != 1 {
+			return fmt.Errorf("ConsumeStash consumed %d parts, want 1", consumed)
+		}
+		if q.Pending() != 0 || q.StashDepth() != 0 {
+			return fmt.Errorf("queue not drained: pending=%d stash=%d", q.Pending(), q.StashDepth())
+		}
+		return nil
+	})
+	if dst[0][0] != 1 || dst[0][2] != 3 || dst[1][0] != 40 || dst[1][1] != 50 {
+		t.Errorf("delivered %v, want %v", dst, src)
+	}
+}
+
+// TestBatchValidation pins the usage-error surface: empty batches, oversize
+// payloads, rendezvous-size batches, and wildcard receives are rejected.
+func TestBatchValidation(t *testing.T) {
+	run(t, 2, func(rk *spmd.Rank) error {
+		if rk.ID != 0 {
+			return nil
+		}
+		c := mpi.World(rk)
+		if _, err := c.IsendBatch(nil, 1, 3); err == nil {
+			t.Error("empty batch accepted")
+		}
+		big := make([]byte, 4096)
+		if _, err := c.IsendBatch([]mpi.BatchPart{{Buf: big, Count: 4096, Dt: mpi.Byte}}, 1, 3); err == nil {
+			t.Error("payload above MaxBatchBytes accepted")
+		}
+		var q mpi.BatchQueue
+		if _, err := c.IrecvBatch(&q, 0, 3); err == nil {
+			t.Error("receive with no pending parts accepted")
+		}
+		if err := q.Add(make([]byte, 4), 4, mpi.Byte); err != nil {
+			return err
+		}
+		if _, err := c.IrecvBatch(&q, mpi.AnySource, 3); err == nil {
+			t.Error("wildcard-source batch receive accepted")
+		}
+		return nil
+	})
+}
+
+// TestBatchEagerOnly: on a profile whose eager threshold cannot carry a
+// batch, IsendBatch refuses rather than silently going rendezvous.
+func TestBatchEagerOnly(t *testing.T) {
+	prof := model.Uniform(100)
+	prof.MPIEagerThreshold = 12 // smaller than the 16-byte wire size below
+	if err := spmd.Run(2, prof, func(rk *spmd.Rank) error {
+		if rk.ID != 0 {
+			return nil
+		}
+		c := mpi.World(rk)
+		parts := []mpi.BatchPart{{Buf: []int64{1}, Count: 1, Dt: mpi.Int64}}
+		if _, err := c.IsendBatch(parts, 1, 3); err == nil {
+			t.Error("batch above eager threshold accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchAmortizesOverhead pins the virtual-cost accounting coalescing
+// exists for: one 8-part batch finishes in strictly less virtual time than
+// eight individual messages of the same payloads.
+func TestBatchAmortizesOverhead(t *testing.T) {
+	elapsed := func(batched bool) model.Time {
+		var d model.Time
+		run(t, 2, func(rk *spmd.Rank) error {
+			c := mpi.World(rk)
+			const nparts = 8
+			srcs := make([][]float64, nparts)
+			dsts := make([][]float64, nparts)
+			for i := range srcs {
+				srcs[i] = []float64{float64(i), float64(i) + 0.5, float64(i) + 0.25}
+				dsts[i] = make([]float64, 3)
+			}
+			start := rk.Now()
+			if batched {
+				if rk.ID == 0 {
+					parts := make([]mpi.BatchPart, nparts)
+					for i := range parts {
+						parts[i] = mpi.BatchPart{Buf: srcs[i], Count: 3, Dt: mpi.Float64}
+					}
+					req, err := c.IsendBatch(parts, 1, 3)
+					if err != nil {
+						return err
+					}
+					if _, err := c.Waitall([]*mpi.Request{req}); err != nil {
+						return err
+					}
+				} else {
+					var q mpi.BatchQueue
+					for i := range dsts {
+						if err := q.Add(dsts[i], 3, mpi.Float64); err != nil {
+							return err
+						}
+					}
+					req, err := c.IrecvBatch(&q, 0, 3)
+					if err != nil {
+						return err
+					}
+					if _, err := c.Waitall([]*mpi.Request{req}); err != nil {
+						return err
+					}
+				}
+			} else {
+				reqs := make([]*mpi.Request, 0, nparts)
+				for i := 0; i < nparts; i++ {
+					var req *mpi.Request
+					var err error
+					if rk.ID == 0 {
+						req, err = c.Isend(srcs[i], 3, mpi.Float64, 1, 3)
+					} else {
+						req, err = c.Irecv(dsts[i], 3, mpi.Float64, 0, 3)
+					}
+					if err != nil {
+						return err
+					}
+					reqs = append(reqs, req)
+				}
+				if _, err := c.Waitall(reqs); err != nil {
+					return err
+				}
+			}
+			if rk.ID == 1 {
+				d = rk.Now() - start
+				for i := range dsts {
+					if dsts[i][0] != float64(i) {
+						t.Errorf("part %d: got %v", i, dsts[i])
+					}
+				}
+			}
+			return nil
+		})
+		return d
+	}
+	one, many := elapsed(true), elapsed(false)
+	if one >= many {
+		t.Errorf("batched virtual time %d >= per-message %d", one, many)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"commintent/internal/coll"
 	"commintent/internal/model"
+	rt "commintent/internal/runtime"
 	"commintent/internal/simnet"
 )
 
@@ -77,6 +78,12 @@ type collShared struct {
 	entryV  []model.Time // replay entry-clock scratch (alltoall)
 	algo    coll.Algo
 	err     error // owner-detected failure, read by every rank
+
+	// tuner is the managed runtime's per-communicator decision cache,
+	// touched only by the schedule owner between the two rendezvous
+	// generations (so it needs no locking). Lazily created the first time
+	// the owner runs with retuning active.
+	tuner *rt.CollTuner
 
 	// Owner scratch for direct reductions, grown on demand so steady-state
 	// collectives allocate nothing.
@@ -187,10 +194,56 @@ func (c *Comm) collOwner(sh *collShared, op collOp) {
 	case coll.Alltoall:
 		r.alltoall(op.count, op.d, sh.entryV)
 	}
-	sh.algo = coll.Choose(op.kind, c.Size(), op.count*op.d.Size())
+	sh.algo = c.chooseAlgo(sh, op)
 	if sh.algo == coll.Direct {
 		sh.err = c.moveDirect(sh, op)
 	}
+}
+
+// chooseAlgo picks the data-movement algorithm for this invocation. With
+// the managed runtime's retuning off this is exactly the static table
+// lookup. With it on, the owner feeds the tuner this collective's
+// virtual-time observation — duration from the already-replayed entry/exit
+// clocks, the profile's pure-bandwidth wire cost, and the owner's
+// deterministic outstanding-request high-watermark — and uses the tuned
+// (hysteresis-damped) choice. Either way the choice only affects how real
+// bytes move: virtual time comes from the canonical replay above, so
+// retuning never moves a golden.
+func (c *Comm) chooseAlgo(sh *collShared, op collOp) coll.Algo {
+	bytes := op.count * op.d.Size()
+	cfg := rt.Active()
+	if !cfg.Retune {
+		return coll.Choose(op.kind, c.Size(), bytes)
+	}
+	if sh.tuner == nil {
+		sh.tuner = rt.NewCollTuner(ManagedTrace(c.rk.World()), c.id)
+	}
+	minEntry := sh.entries[0].v
+	maxExit := sh.exits[0]
+	for i := 1; i < len(sh.entries); i++ {
+		if v := sh.entries[i].v; v < minEntry {
+			minEntry = v
+		}
+		if v := sh.exits[i]; v > maxExit {
+			maxExit = v
+		}
+	}
+	algo, switched := sh.tuner.Choose(op.kind, c.Size(), bytes, rt.CollObs{
+		Duration:       maxExit - minEntry,
+		Wire:           c.prof().WireTime(bytes),
+		Bytes:          bytes,
+		QueueHighWater: c.liveReqsHW,
+		Rank:           c.rk.ID,
+		V:              c.clk.Now(),
+	})
+	if c.tele.retuneEvals != nil {
+		c.tele.retuneEvals.Inc()
+		if switched {
+			c.tele.retuneSwitches.Inc()
+			c.tele.retuneDecs.Inc()
+		}
+	}
+	return algo
 }
 
 // checkCollBuf validates a collective buffer against the datatype and

@@ -20,6 +20,7 @@ import (
 
 	"commintent/internal/coll"
 	"commintent/internal/model"
+	rt "commintent/internal/runtime"
 	"commintent/internal/simnet"
 	"commintent/internal/spmd"
 	"commintent/internal/telemetry"
@@ -59,24 +60,32 @@ type Comm struct {
 	defTimeout model.Time
 	wdog       time.Duration
 
+	// Outstanding-request depth and its high-watermark. Only this rank's
+	// goroutine posts and completes requests on its communicators, so the
+	// counts are plain ints and — unlike the fabric's real-time
+	// arrival-order watermarks — deterministic, which lets the managed
+	// runtime's tuner consume them without breaking replay.
+	liveReqs   int
+	liveReqsHW int
+
 	tele commTele // metric handles; all nil (no-op) when telemetry is off
 }
 
 // commTele caches this rank's telemetry handles so the per-operation cost
 // is an atomic add (or a nil check when telemetry is disabled).
 type commTele struct {
-	tr       *telemetry.Tracer
-	reg      *telemetry.Registry  // for lazily-created per-region series
-	idle     *telemetry.Counter   // blocked virtual ns in waits/barriers
-	waitNS   *telemetry.Histogram // per-wait blocked time distribution
+	tr     *telemetry.Tracer
+	reg    *telemetry.Registry  // for lazily-created per-region series
+	idle   *telemetry.Counter   // blocked virtual ns in waits/barriers
+	waitNS *telemetry.Histogram // per-wait blocked time distribution
 	// waitByReg lazily caches per-region wait histograms keyed by interned
 	// region ID. Only this rank's goroutine touches the map, so it needs no
 	// lock; cardinality is bounded by the number of distinct region labels.
 	waitByReg map[int]*telemetry.Histogram
-	stalls   *telemetry.Counter   // rendezvous sends that blocked on the match
-	stallNS  *telemetry.Counter   // total rendezvous stall virtual ns
-	barriers *telemetry.Counter   // MPI_Barrier calls
-	barIdle  *telemetry.Counter   // virtual ns blocked inside barriers
+	stalls    *telemetry.Counter // rendezvous sends that blocked on the match
+	stallNS   *telemetry.Counter // total rendezvous stall virtual ns
+	barriers  *telemetry.Counter // MPI_Barrier calls
+	barIdle   *telemetry.Counter // virtual ns blocked inside barriers
 
 	collCalls *telemetry.Counter              // collective invocations
 	collAlgo  [coll.NAlgos]*telemetry.Counter // invocations per selected algorithm
@@ -89,6 +98,10 @@ type commTele struct {
 	faultLost     *telemetry.Counter // operations failed with ErrMessageLost
 	faultDead     *telemetry.Counter // operations failed with ErrPeerDead
 	faultDeadline *telemetry.Counter // operations failed with ErrDeadline
+
+	retuneEvals    *telemetry.Counter // managed-runtime collective tuner consultations
+	retuneSwitches *telemetry.Counter // tuner decisions that switched algorithm
+	retuneDecs     *telemetry.Counter // runtime_decisions_total{domain=retune}
 }
 
 // initTele resolves the communicator's metric handles from the world's
@@ -120,6 +133,11 @@ func (c *Comm) initTele() {
 		faultLost:     reg.Counter("mpi_fault_message_lost_total", r),
 		faultDead:     reg.Counter("mpi_fault_peer_dead_total", r),
 		faultDeadline: reg.Counter("mpi_fault_deadline_total", r),
+
+		retuneEvals:    reg.Counter("runtime_retune_evals_total", r),
+		retuneSwitches: reg.Counter("runtime_retune_switches_total", r),
+		retuneDecs: reg.Counter("runtime_decisions_total", r,
+			telemetry.Label{Key: "domain", Value: "retune"}),
 	}
 	for a := coll.Algo(0); a < coll.NAlgos; a++ {
 		c.tele.collAlgo[a] = reg.Counter("mpi_coll_algo_total", r,
@@ -163,6 +181,7 @@ type commRegistry struct {
 	barriers map[string]*simnet.Barrier
 	scratch  map[string][]splitEntry
 	coll     map[string]*collShared
+	trace    *rt.Trace // the world's managed-runtime decision trace
 }
 
 type splitEntry struct {
@@ -177,9 +196,37 @@ func registry(w *spmd.World) *commRegistry {
 			barriers: make(map[string]*simnet.Barrier),
 			scratch:  make(map[string][]splitEntry),
 			coll:     make(map[string]*collShared),
+			trace:    new(rt.Trace),
 		}
 	}).(*commRegistry)
 }
+
+// ManagedTrace returns the world's managed-runtime decision trace. Every
+// adaptive choice made anywhere in the world (collective retunes here,
+// coalesce/autosync decisions in the directive layer) lands in this one
+// trace, so a single fingerprint pins a whole run's adaptive behavior.
+func ManagedTrace(w *spmd.World) *rt.Trace {
+	return registry(w).trace
+}
+
+// reqPosted/reqDone maintain the communicator's deterministic
+// outstanding-request depth (see the field comment on Comm).
+func (c *Comm) reqPosted() {
+	c.liveReqs++
+	if c.liveReqs > c.liveReqsHW {
+		c.liveReqsHW = c.liveReqs
+	}
+}
+
+func (c *Comm) reqDone() {
+	if c.liveReqs > 0 {
+		c.liveReqs--
+	}
+}
+
+// RequestHighWater reports the deterministic outstanding-request
+// high-watermark observed on this rank's communicator.
+func (c *Comm) RequestHighWater() int { return c.liveReqsHW }
 
 func tagBaseFor(w *spmd.World, id string) int {
 	reg := registry(w)

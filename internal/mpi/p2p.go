@@ -57,6 +57,7 @@ func (c *Comm) makeSendReq(buf any, count int, d *Datatype, dest, tag int) (Requ
 	rendezvous := n > p.MPIEagerThreshold
 	sr := c.ep().SendOwned(c.WorldRank(dest), c.wireTag(tag), wire, arrive, rendezvous)
 	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSend, Peer: c.WorldRank(dest), Tag: tag, Bytes: n, V: clk.Now()})
+	c.reqPosted()
 	return Request{comm: c, send: sr, isSend: true, rendezvous: rendezvous, destWorld: c.WorldRank(dest)}, nil
 }
 
@@ -116,6 +117,7 @@ func (c *Comm) makeRecvReq(buf any, count int, d *Datatype, source, tag int) (Re
 	}
 	rr := c.ep().PostRecv(c.WorldRank(source), wtag, wire, clk.Now())
 	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvRecvPost, Peer: c.WorldRank(source), Tag: tag, Bytes: len(wire), V: clk.Now()})
+	c.reqPosted()
 	return Request{comm: c, recv: rr, wire: wire, recvBuf: buf, recvCount: count, dt: d}, nil
 }
 

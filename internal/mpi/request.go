@@ -36,6 +36,7 @@ type Request struct {
 	recvBuf   any
 	recvCount int
 	dt        *Datatype
+	batch     *BatchQueue // coalesced receive: scatter destinations (dt/recvBuf unused)
 
 	destWorld int // world rank of a send's destination, for watchdog withdrawal
 
@@ -122,6 +123,7 @@ func (r *Request) finishDeadline(D model.Time) error {
 			r.readyV = r.send.LocalV
 		}
 		r.done = true
+		r.comm.reqDone()
 		return nil
 	}
 	if D > 0 {
@@ -150,13 +152,22 @@ func (r *Request) finishDeadline(D model.Time) error {
 	// the (potentially costly) decode.
 	r.recv.Release()
 	r.recv = nil
-	count := r.recvCount
-	if max := n / r.dt.Size(); max < count {
-		count = max
-	}
-	cost, err := r.dt.decode(p, r.wire[:n], r.recvBuf, count)
-	if err != nil {
-		return fmt.Errorf("mpi: recv decode: %w", err)
+	var cost model.Time
+	var err error
+	if r.batch != nil {
+		cost, err = r.batch.scatter(p, r.wire[:n])
+		if err != nil {
+			return err
+		}
+	} else {
+		count := r.recvCount
+		if max := n / r.dt.Size(); max < count {
+			count = max
+		}
+		cost, err = r.dt.decode(p, r.wire[:n], r.recvBuf, count)
+		if err != nil {
+			return fmt.Errorf("mpi: recv decode: %w", err)
+		}
 	}
 	simnet.PutBuf(r.wire)
 	r.wire = nil
@@ -165,6 +176,7 @@ func (r *Request) finishDeadline(D model.Time) error {
 	r.status = Status{Source: srcComm, Tag: tag - r.comm.tagBase, Bytes: n}
 	r.readyV = ready
 	r.done = true
+	r.comm.reqDone()
 	r.comm.emit(simnet.Event{
 		Rank: r.comm.rk.ID, Kind: simnet.EvRecvComplete,
 		Peer: src, Tag: r.status.Tag, Bytes: n, V: ready,
@@ -177,6 +189,7 @@ func (r *Request) finishDeadline(D model.Time) error {
 func (r *Request) failSend(k simnet.FaultKind, ready, D model.Time) error {
 	r.readyV = ready
 	r.done = true
+	r.comm.reqDone()
 	r.comm.countFault(k)
 	r.err = &FaultError{Op: "send", Peer: r.comm.commRankOf(r.destWorld), Kind: k, Deadline: D}
 	if k == simnet.FaultCancelled {
@@ -220,6 +233,7 @@ func (r *Request) failRecv(k simnet.FaultKind, D model.Time) error {
 	r.status = Status{Source: peer, Tag: -1, Bytes: 0}
 	r.readyV = ready
 	r.done = true
+	r.comm.reqDone()
 	r.comm.countFault(k)
 	r.err = &FaultError{Op: "recv", Peer: peer, Kind: k, Deadline: D}
 	if k == simnet.FaultCancelled {

@@ -1,0 +1,114 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	rt "commintent/internal/runtime"
+	"commintent/internal/spmd"
+	"commintent/internal/telemetry"
+)
+
+// retuneWorkload runs a shifting mix of allreduce sizes so the tuner sees
+// several size-class slots and repeated observations per slot.
+func retuneWorkload(t *testing.T, w *spmd.World, iters int) {
+	t.Helper()
+	if err := w.Run(func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		sizes := []int{8, 512, 8192}
+		for iter := 0; iter < iters; iter++ {
+			for _, sz := range sizes {
+				in := make([]float64, sz)
+				out := make([]float64, sz)
+				for i := range in {
+					in[i] = float64(rk.ID + i + iter)
+				}
+				if err := c.Allreduce(in, out, sz, mpi.Float64, mpi.OpSum); err != nil {
+					return err
+				}
+				// Spot-check correctness on element 0: sum over ranks of
+				// (rank + iter).
+				want := float64(iter * c.Size())
+				for r := 0; r < c.Size(); r++ {
+					want += float64(r)
+				}
+				if out[0] != want {
+					t.Errorf("rank %d iter %d sz %d: out[0] = %v, want %v", rk.ID, iter, sz, out[0], want)
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetuneObservesAndStaysCorrect: with online retuning enabled the tuner
+// is consulted on every collective after the first, results stay correct
+// whether or not it switches, and the consultation counters move.
+func TestRetuneObservesAndStaysCorrect(t *testing.T) {
+	defer rt.Override(rt.Config{Retune: true})()
+	const n = 8
+	w, err := spmd.NewWorld(n, model.GeminiLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tele := telemetry.New(n, 0)
+	w.SetTelemetry(tele)
+	retuneWorkload(t, w, 6)
+	var evals int64
+	for r := 0; r < n; r++ {
+		evals += tele.Registry().CounterValue("runtime_retune_evals_total", telemetry.Rank(r))
+	}
+	if evals == 0 {
+		t.Error("retuning on but the tuner was never consulted")
+	}
+}
+
+// TestRetuneDeterministic: same program, same profile → identical virtual
+// times and identical decision-trace fingerprints, because every tuner
+// input (entry/exit clocks, wire model, request high-watermark) is
+// virtual-time deterministic.
+func TestRetuneDeterministic(t *testing.T) {
+	runOnce := func() (model.Time, uint64) {
+		defer rt.Override(rt.Config{Retune: true})()
+		w, err := spmd.NewWorld(8, model.GeminiLike())
+		if err != nil {
+			t.Fatal(err)
+		}
+		retuneWorkload(t, w, 6)
+		return w.MaxVirtualTime(), mpi.ManagedTrace(w).Fingerprint()
+	}
+	v1, f1 := runOnce()
+	v2, f2 := runOnce()
+	if v1 != v2 {
+		t.Errorf("virtual times diverged: %d != %d", v1, v2)
+	}
+	if f1 != f2 {
+		t.Errorf("decision traces diverged: %x != %x", f1, f2)
+	}
+}
+
+// TestRetuneOffIsBitIdentical: the managed runtime disabled must not change
+// a single virtual nanosecond relative to a build that never had it — the
+// golden-compatibility contract.
+func TestRetuneOffIsBitIdentical(t *testing.T) {
+	runOnce := func(cfg rt.Config) model.Time {
+		defer rt.Override(cfg)()
+		w, err := spmd.NewWorld(8, model.GeminiLike())
+		if err != nil {
+			t.Fatal(err)
+		}
+		retuneWorkload(t, w, 3)
+		return w.MaxVirtualTime()
+	}
+	a := runOnce(rt.Config{})
+	b := runOnce(rt.Config{})
+	if a != b {
+		t.Fatalf("runtime-off runs disagree with each other: %d != %d", a, b)
+	}
+	if tr := rt.Active(); tr.Enabled() {
+		t.Fatal("override leak")
+	}
+}

@@ -1,0 +1,40 @@
+package runtime
+
+// Coalescing policy: which comm_p2p transfers may be folded into one wire
+// message, and how large a batch may grow. The numbers are deliberately
+// conservative — coalescing exists to amortise per-message overhead on
+// *small* transfers (the Fig. 4 workload moves 3 float64s = 24 B per atom),
+// and a batch must stay strictly eager so the combined message never
+// rendezvous-blocks before the receiver has drained its side.
+
+const (
+	// MaxBatchParts caps how many member transfers one batch carries; it
+	// also fixes the offset-table header size on the wire.
+	MaxBatchParts = 16
+
+	// MaxBatchBytes caps a batch's total payload.
+	MaxBatchBytes = 2048
+
+	// MaxCoalescePartBytes is the largest single transfer worth folding
+	// in; anything bigger amortises its own per-message overhead.
+	MaxCoalescePartBytes = 256
+)
+
+// BatchPayloadCap bounds a batch's payload given the profile's eager
+// threshold and the wire header size: the whole wire message (header +
+// payload) must stay ≤ the eager threshold so a batch never becomes a
+// rendezvous send. Returns ≤ 0 when the profile's threshold is too small
+// to coalesce at all, which disables coalescing for that run.
+func BatchPayloadCap(eagerThreshold, headerBytes int) int {
+	cap := MaxBatchBytes
+	if m := eagerThreshold - headerBytes; m < cap {
+		cap = m
+	}
+	return cap
+}
+
+// PartEligible reports whether a single transfer of the given wire size
+// may join a batch under the given payload cap.
+func PartEligible(bytes, payloadCap int) bool {
+	return bytes > 0 && bytes <= MaxCoalescePartBytes && bytes <= payloadCap
+}

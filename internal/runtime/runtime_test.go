@@ -1,0 +1,194 @@
+package runtime
+
+import (
+	"testing"
+
+	"commintent/internal/coll"
+)
+
+func TestParseConfig(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Config
+	}{
+		{"", Config{}},
+		{"0", Config{}},
+		{"off", Config{}},
+		{"no", Config{}},
+		{"1", Config{Retune: true, Coalesce: true}},
+		{"on", Config{Retune: true, Coalesce: true}},
+		{"TRUE", Config{Retune: true, Coalesce: true}},
+		{"full", Config{Retune: true, Coalesce: true, AutoSync: true}},
+		{"all", Config{Retune: true, Coalesce: true, AutoSync: true}},
+		{"retune", Config{Retune: true}},
+		{"coalesce", Config{Coalesce: true}},
+		{"autosync", Config{AutoSync: true}},
+		{"retune, coalesce", Config{Retune: true, Coalesce: true}},
+		{"coalesce,sync", Config{Coalesce: true, AutoSync: true}},
+		{"bogus", Config{}},
+		{"bogus,retune", Config{Retune: true}},
+	}
+	for _, c := range cases {
+		if got := parseConfig(c.in); got != c.want {
+			t.Errorf("parseConfig(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if s := (Config{}).String(); s != "off" {
+		t.Errorf("zero config String() = %q, want off", s)
+	}
+	if s := (Config{Retune: true, Coalesce: true, AutoSync: true}).String(); s != "retune,coalesce,autosync" {
+		t.Errorf("full config String() = %q", s)
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config reports Enabled")
+	}
+	if !(Config{Coalesce: true}).Enabled() {
+		t.Error("coalesce-only config reports disabled")
+	}
+}
+
+func TestOverride(t *testing.T) {
+	base := Active()
+	restore := Override(Config{Coalesce: true})
+	if got := Active(); got != (Config{Coalesce: true}) {
+		t.Errorf("Active under Override = %+v", got)
+	}
+	restore()
+	if got := Active(); got != base {
+		t.Errorf("Active after restore = %+v, want %+v", got, base)
+	}
+}
+
+// TestTraceCanonical: Snapshot and Fingerprint are insensitive to the
+// real-time interleaving of Record calls — the replay-determinism contract.
+func TestTraceCanonical(t *testing.T) {
+	ds := []Decision{
+		{Rank: 1, V: 200, Domain: "retune", Key: "a", From: "x", To: "y"},
+		{Rank: 0, V: 100, Domain: "coalesce", Key: "b", From: "4 msgs", To: "1 batch"},
+		{Rank: 2, V: 100, Domain: "autosync", Key: "c"},
+		{Rank: 0, V: 100, Domain: "retune", Key: "b"},
+	}
+	var fwd, rev Trace
+	for _, d := range ds {
+		fwd.Record(d)
+	}
+	for i := len(ds) - 1; i >= 0; i-- {
+		rev.Record(ds[i])
+	}
+	if fwd.Fingerprint() != rev.Fingerprint() {
+		t.Error("fingerprint depends on record order")
+	}
+	snap := fwd.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		a, b := snap[i-1], snap[i]
+		if a.V > b.V || (a.V == b.V && a.Rank > b.Rank) {
+			t.Errorf("snapshot not canonically ordered at %d: %+v then %+v", i, a, b)
+		}
+	}
+	if fwd.Len() != len(ds) {
+		t.Errorf("Len = %d, want %d", fwd.Len(), len(ds))
+	}
+}
+
+func TestTraceNilAndCap(t *testing.T) {
+	var nilT *Trace
+	nilT.Record(Decision{}) // must not panic
+	if nilT.Len() != 0 || nilT.Dropped() != 0 || nilT.Snapshot() != nil {
+		t.Error("nil trace accessors not zero")
+	}
+	var tr Trace
+	for i := 0; i < MaxTraceDecisions+10; i++ {
+		tr.Record(Decision{Rank: i})
+	}
+	if tr.Len() != MaxTraceDecisions {
+		t.Errorf("Len = %d, want cap %d", tr.Len(), MaxTraceDecisions)
+	}
+	if tr.Dropped() != 10 {
+		t.Errorf("Dropped = %d, want 10", tr.Dropped())
+	}
+}
+
+// TestTunerHysteresis: the tuner starts at the static choice, ignores one or
+// two observations recommending a different algorithm, and switches exactly
+// at the hysteresis threshold, recording the decision.
+func TestTunerHysteresis(t *testing.T) {
+	var tr Trace
+	tu := NewCollTuner(&tr, "world")
+	const n, bytes = 8, 64 << 10 // large payload: static table picks Ring for allreduce
+	static := coll.Choose(coll.Allreduce, n, bytes)
+
+	// A strongly latency-bound observation drives ChooseTuned toward the
+	// small-message (tree) regime: wire cost is a tiny share of duration.
+	obs := CollObs{Duration: 1000000, Wire: 10, Bytes: bytes, Rank: 0}
+	want := coll.ChooseTuned(coll.Allreduce, n, bytes, Feedback(obs))
+	if want == static {
+		t.Skip("profile regime does not separate static vs tuned choice for this slot")
+	}
+
+	for i := 1; i < TunerHysteresis; i++ {
+		algo, switched := tu.Choose(coll.Allreduce, n, bytes, obs)
+		if switched || algo != static {
+			t.Fatalf("obs %d: algo=%v switched=%v, want pinned %v", i, algo, switched, static)
+		}
+	}
+	algo, switched := tu.Choose(coll.Allreduce, n, bytes, obs)
+	if !switched || algo != want {
+		t.Fatalf("at threshold: algo=%v switched=%v, want switch to %v", algo, switched, want)
+	}
+	if tu.Switches() != 1 {
+		t.Errorf("Switches = %d, want 1", tu.Switches())
+	}
+	if tr.Len() != 1 {
+		t.Errorf("trace recorded %d decisions, want 1", tr.Len())
+	}
+	// Stable afterwards: the same observation keeps the new pin.
+	if _, sw := tu.Choose(coll.Allreduce, n, bytes, obs); sw {
+		t.Error("tuner switched again on an observation matching its pin")
+	}
+}
+
+// Feedback converts an observation the way CollTuner.Choose does for its
+// first observation (EWMA not yet warmed).
+func Feedback(o CollObs) coll.Feedback {
+	return coll.Feedback{
+		LatencyShare:   latencyShare(o.Duration, o.Wire),
+		NSPerByte:      float64(o.Duration) / float64(max(o.Bytes, 1)),
+		QueueHighWater: o.QueueHighWater,
+	}
+}
+
+func TestLatencyShare(t *testing.T) {
+	if s := latencyShare(0, 100); s != -1 {
+		t.Errorf("no observation: %v, want -1", s)
+	}
+	if s := latencyShare(100, 100); s != 0 {
+		t.Errorf("pure wire: %v, want 0", s)
+	}
+	if s := latencyShare(200, 100); s != 0.5 {
+		t.Errorf("half wire: %v, want 0.5", s)
+	}
+	if s := latencyShare(100, 200); s != 0 {
+		t.Errorf("wire above duration clamps: %v, want 0", s)
+	}
+}
+
+func TestBatchPayloadCap(t *testing.T) {
+	if c := BatchPayloadCap(1<<30, 68); c != MaxBatchBytes {
+		t.Errorf("huge eager: cap %d, want %d", c, MaxBatchBytes)
+	}
+	if c := BatchPayloadCap(100, 68); c != 32 {
+		t.Errorf("tight eager: cap %d, want 32", c)
+	}
+	if c := BatchPayloadCap(68, 68); c > 0 {
+		t.Errorf("eager == header: cap %d, want <= 0", c)
+	}
+	if !PartEligible(24, 1024) {
+		t.Error("24B part ineligible")
+	}
+	if PartEligible(0, 1024) || PartEligible(MaxCoalescePartBytes+1, 1024) || PartEligible(64, 32) {
+		t.Error("ineligible part accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package commintent
+
+import (
+	"sync"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	rt "commintent/internal/runtime"
+	"commintent/internal/spmd"
+	"commintent/internal/wllsms"
+)
+
+// fig4Params is the Figure 4 workload at a size where the spin transfer
+// actually has something to coalesce: 128 atoms over 16-rank instances means
+// the privileged rank sends 8 small (24-byte) vectors to each worker per
+// region, exactly the pattern the managed runtime batches.
+func fig4Params() wllsms.Params {
+	p := wllsms.DefaultParams()
+	p.Groups = 2
+	p.GroupSize = 16
+	p.NumAtoms = 128
+	return p
+}
+
+// measureFig4Directive runs the committed Figure 4 directive workload —
+// unmodified wllsms source, directives and all — under the given runtime
+// config and returns the measured SetEvec virtual time plus the world's
+// decision-trace fingerprint. Every delivered spin vector is verified, so a
+// coalescing bug cannot masquerade as a speedup.
+func measureFig4Directive(t *testing.T, p wllsms.Params, cfg rt.Config) (model.Time, *rt.Trace) {
+	t.Helper()
+	defer rt.Override(cfg)()
+	w, err := spmd.NewWorld(p.NProcs(), model.GeminiLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var out model.Time
+	err = w.Run(func(rk *spmd.Rank) error {
+		app, err := wllsms.Setup(rk, p)
+		if err != nil {
+			return err
+		}
+		defer app.Close()
+		if _, err := app.DistributeAtoms(wllsms.VariantOriginal, core.TargetDefault); err != nil {
+			return err
+		}
+		var spins [][]float64
+		if app.Role == wllsms.RoleWL {
+			spins = make([][]float64, p.Groups)
+			for g := range spins {
+				spins[g] = make([]float64, 3*p.NumAtoms)
+				for k := range spins[g] {
+					spins[g][k] = float64(g*1000 + k)
+				}
+			}
+		}
+		if err := app.StageSpins(spins); err != nil {
+			return err
+		}
+		d, err := app.SetEvec(wllsms.VariantDirective, core.TargetMPI2Side)
+		if err != nil {
+			return err
+		}
+		if app.Role != wllsms.RoleWL {
+			g := app.GroupIdx
+			for li, atomIdx := range app.LocalAtoms {
+				ev := app.Local[li].Scalars.Evec
+				for k := 0; k < 3; k++ {
+					if want := float64(g*1000 + 3*atomIdx + k); ev[k] != want {
+						t.Errorf("rank %d atom %d evec[%d] = %v, want %v", app.RK.ID, atomIdx, k, ev[k], want)
+					}
+				}
+			}
+		}
+		if rk.ID == 0 {
+			mu.Lock()
+			out = d
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := mpi.ManagedTrace(w)
+	if !cfg.Enabled() && tr.Len() != 0 {
+		t.Errorf("runtime off but trace recorded %d decisions; goldens are no longer bit-identical", tr.Len())
+	}
+	return out, tr
+}
+
+// TestManagedRuntimeFig4Speedup is the headline acceptance gate: enabling
+// the managed runtime on the committed Figure 4 directive workload — with
+// zero directive edits — must cut the median spin-transfer virtual time by
+// at least 1.3x. The workload is virtual-time deterministic, so the "median"
+// of repeated runs is the single measured value; determinism itself is
+// pinned by TestManagedRuntimeDeterministicTrace below.
+func TestManagedRuntimeFig4Speedup(t *testing.T) {
+	p := fig4Params()
+	off, _ := measureFig4Directive(t, p, rt.Config{})
+	on, _ := measureFig4Directive(t, p, rt.Config{Retune: true, Coalesce: true})
+	if off <= 0 || on <= 0 {
+		t.Fatalf("non-positive virtual times: off=%d on=%d", off, on)
+	}
+	ratio := float64(off) / float64(on)
+	t.Logf("fig4 directive-mpi2side: off=%v on=%v speedup=%.2fx", off, on, ratio)
+	if ratio < 1.3 {
+		t.Errorf("managed runtime speedup %.2fx < 1.3x (off=%d on=%d)", ratio, off, on)
+	}
+}
+
+// TestManagedRuntimeDeterministicTrace: same seed, same program, managed
+// runtime on → identical virtual times and identical decision traces. This
+// is the replayability contract ISSUE 7 requires for post-mortem debugging.
+func TestManagedRuntimeDeterministicTrace(t *testing.T) {
+	p := fig4Params()
+	v1, tr1 := measureFig4Directive(t, p, rt.Config{Retune: true, Coalesce: true})
+	v2, tr2 := measureFig4Directive(t, p, rt.Config{Retune: true, Coalesce: true})
+	if v1 != v2 {
+		t.Errorf("virtual times diverged across same-seed runs: %d != %d", v1, v2)
+	}
+	if f1, f2 := tr1.Fingerprint(), tr2.Fingerprint(); f1 != f2 {
+		t.Errorf("decision traces diverged across same-seed runs: %x != %x", f1, f2)
+	}
+	if tr1.Len() == 0 {
+		t.Error("managed runtime on but the decision trace is empty")
+	}
+}
