@@ -54,12 +54,17 @@ bench:
 	@echo wrote BENCH_dataplane.json
 
 # bench-scale runs the scale suite (whole-world barrier / allreduce / halo
-# cost at 64/256/1024 ranks) and snapshots it, diffed against the committed
-# pre-redesign baseline, into BENCH_scale.json. -timeout 0 matters: the test
-# binary's watchdog timer otherwise adds measurable scheduler overhead to
-# every goroutine switch on a single-P box.
+# cost at 64/256/1024 ranks, plus the 4096/16384/65536 big-scale sweep and
+# the 16384-rank hierarchical-vs-flat allreduce pair) and snapshots it,
+# diffed against the committed pre-redesign baseline, into BENCH_scale.json.
+# -timeout 0 matters: the test binary's watchdog timer otherwise adds
+# measurable scheduler overhead to every goroutine switch on a single-P box.
+# The big-scale sizes run in a second pass with a fixed iteration count:
+# letting the framework ramp toward 1s/benchmark at 64k goroutine ranks
+# spends minutes re-spawning worlds for no extra signal.
 bench-scale:
-	$(GO) test -run XXX -bench BenchmarkScale -benchmem -count=5 -timeout 0 . | tee bench_scale.out
+	$(GO) test -run XXX -bench BenchmarkScale -skip 'Big|Hier' -benchmem -count=5 -timeout 0 . | tee bench_scale.out
+	$(GO) test -run XXX -bench 'BenchmarkScale.*(Big|Hier)' -benchmem -count=3 -benchtime 10x -timeout 0 . | tee -a bench_scale.out
 	$(GO) run ./cmd/benchjson -baseline testdata/bench_baseline_scale.txt < bench_scale.out > BENCH_scale.json
 	@rm -f bench_scale.out
 	@echo wrote BENCH_scale.json
@@ -69,7 +74,9 @@ bench-scale:
 # committed BENCH_scale.json median (min-vs-median rides out scheduler
 # noise; a real regression shifts even the cleanest sample).
 bench-scale-check:
-	$(GO) test -run XXX -bench BenchmarkScale -benchmem -count=5 -timeout 0 . | $(GO) run ./cmd/benchjson -compare BENCH_scale.json > /dev/null
+	( $(GO) test -run XXX -bench BenchmarkScale -skip 'Big|Hier' -benchmem -count=5 -timeout 0 . ; \
+	  $(GO) test -run XXX -bench 'BenchmarkScale.*(Big|Hier)' -benchmem -count=3 -benchtime 10x -timeout 0 . ) \
+	  | $(GO) run ./cmd/benchjson -compare BENCH_scale.json > /dev/null
 	@echo scale benchmarks within budget
 
 # bench-rma runs the one-sided suite (window put/get, halo-via-put through

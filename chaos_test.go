@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"commintent/internal/coll"
 	"commintent/internal/core"
 	"commintent/internal/model"
 	"commintent/internal/mpi"
@@ -199,6 +200,87 @@ func TestChaosSameSeedBitIdentical(t *testing.T) {
 	}
 	if same {
 		t.Error("different seed produced bit-identical times (injector not keyed on seed?)")
+	}
+}
+
+// chaosHierAllreduce interleaves a retried ring p2p exchange with a forced
+// node-leader allreduce on a wrapped-torus placement (64 ranks on a
+// 32-rank-capacity torus, so node membership is non-contiguous) under
+// injected drops. The p2p traffic is fault-eligible and retried; the
+// collective's internal leader traffic is tag-exempt by design, and this run
+// proves the two coexist: every iteration's halo and allreduce results are
+// exact, and the per-rank virtual times it returns are same-seed
+// deterministic.
+func chaosHierAllreduce(t *testing.T, n int, drop float64, seed uint64) []int64 {
+	t.Helper()
+	w, err := spmd.NewWorld(n, model.GeminiLike().WithTorus(2, 2, 2, 4, 300, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simnet.FaultConfig{Seed: seed, Drop: drop}
+	cfg.TagSpan, cfg.UserSpan = mpi.P2PFaultScope()
+	w.Fabric().SetFaults(cfg)
+	edge := func(rank, it int) float64 { return float64(rank*1000 + it) }
+	err = w.Run(func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		c.SetWatchdog(5 * time.Second)
+		e, err := core.NewEnv(c, nil)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		me := rk.ID
+		src, dst := make([]float64, 1), make([]float64, 1)
+		in, out := make([]float64, 2), make([]float64, 2)
+		for it := 0; it < chaosIters; it++ {
+			src[0] = edge(me, it)
+			if err := e.P2P(
+				core.Sender((me+1)%n), core.Receiver((me+n-1)%n),
+				core.SBuf(src), core.RBuf(dst), core.Count(1),
+				core.WithTarget(core.TargetMPI2Side),
+			); err != nil {
+				return fmt.Errorf("iter %d p2p: %w", it, err)
+			}
+			if want := edge((me+1)%n, it); dst[0] != want {
+				return fmt.Errorf("iter %d: ring recv = %v, want %v", it, dst[0], want)
+			}
+			in[0], in[1] = float64(me%5), 1
+			if err := c.Allreduce(in, out, 2, mpi.Float64, mpi.OpSum); err != nil {
+				return fmt.Errorf("iter %d allreduce: %w", it, err)
+			}
+			var wantSum float64
+			for r := 0; r < n; r++ {
+				wantSum += float64(r % 5)
+			}
+			if out[0] != wantSum || out[1] != float64(n) {
+				return fmt.Errorf("iter %d: allreduce = %v, want [%v %v]", it, out, wantSum, float64(n))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("n=%d drop=%g: %v", n, drop, err)
+	}
+	times := make([]int64, n)
+	for r := 0; r < n; r++ {
+		times[r] = int64(w.Fabric().Endpoint(r).Clock().Now())
+	}
+	return times
+}
+
+// TestChaosHierAllreduce is the hierarchical-schedule chaos gate: with
+// HierAllreduce forced, the faulty run completes with exact data (asserted
+// inside chaosHierAllreduce) and two same-seed runs produce bit-identical
+// per-rank virtual times.
+func TestChaosHierAllreduce(t *testing.T) {
+	restore := coll.Force(coll.HierAllreduce)
+	defer restore()
+	a := chaosHierAllreduce(t, 64, 0.05, chaosSeed)
+	b := chaosHierAllreduce(t, 64, 0.05, chaosSeed)
+	for r := range a {
+		if a[r] != b[r] {
+			t.Fatalf("rank %d: %d != %d across same-seed runs", r, a[r], b[r])
+		}
 	}
 }
 

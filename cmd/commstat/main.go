@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"commintent/internal/coll"
@@ -59,6 +60,8 @@ func main() {
 	postmortem := flag.String("postmortem", "", "enable the flight recorder; on a terminal fault write post-mortem dumps as JSON to this file (\"-\" for stdout) and render them on stderr")
 	serveAddr := flag.String("serve", "", "serve the live introspection plane (/metrics /snapshot.json /ranks /postmortem) on this address and keep serving after the run")
 	managed := flag.String("managed", "", "managed-runtime config for this run: off, on, full, or a comma list of retune,coalesce,autosync (overrides $"+rt.EnvVar+")")
+	profile := flag.String("profile", "gemini", "machine profile: gemini, ethernet, torus or dragonfly")
+	profileFile := flag.String("profile-file", "", "load a custom machine profile from a JSON file (overrides -profile)")
 	flag.Parse()
 
 	if *managed != "" {
@@ -70,13 +73,42 @@ func main() {
 		fatal(err)
 	}
 
-	w, err := spmd.NewWorld(*n, model.GeminiLike())
+	var prof *model.Profile
+	if *profileFile != "" {
+		f, err := os.Open(*profileFile)
+		if err != nil {
+			fatal(err)
+		}
+		prof, err = model.ReadProfile(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		switch *profile {
+		case "gemini":
+			prof = model.GeminiLike()
+		case "ethernet":
+			prof = model.EthernetLike()
+		case "torus":
+			prof = model.GeminiLike().WithTorus(2, 2, 2, 4, 300*model.Nanosecond, 200*model.Nanosecond)
+		case "dragonfly":
+			prof = model.GeminiLike().WithDragonfly(
+				model.Dragonfly{Groups: 2, RoutersPerGroup: 2, NodesPerRouter: 2, RanksPerNode: 2, GlobalHopWeight: 3},
+				350*model.Nanosecond, 220*model.Nanosecond)
+		default:
+			fatal(fmt.Errorf("unknown profile %q", *profile))
+		}
+	}
+
+	w, err := spmd.NewWorld(*n, prof)
 	if err != nil {
 		fatal(err)
 	}
 	tele := telemetry.New(*n, telemetry.DefaultSpanCap)
 	w.SetTelemetry(tele)
 	col := trace.Attach(w.Fabric())
+	hops := observeHops(w.Fabric(), prof, *n)
 	if *drop > 0 {
 		cfg := simnet.FaultConfig{Seed: *faultSeed, Drop: *drop}
 		cfg.TagSpan, cfg.UserSpan = mpi.P2PFaultScope()
@@ -112,7 +144,7 @@ func main() {
 	}
 	renderPostmortems(w.Fabric(), *postmortem)
 
-	fmt.Printf("pattern=%s target=%s ranks=%d count=%d iters=%d\n\n", *pattern, tgt, *n, *count, *iters)
+	fmt.Printf("pattern=%s target=%s ranks=%d count=%d iters=%d profile=%s\n\n", *pattern, tgt, *n, *count, *iters, prof.Name)
 
 	reg := tele.Registry()
 	fmt.Println("== metrics ==")
@@ -184,6 +216,7 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+	printTopology(prof, reg, hops, *n)
 	printRuntimeDecisions(reg, mpi.ManagedTrace(w), *n)
 
 	if bc := sumCounter(reg, "mpi_barrier_calls_total", *n); bc > 0 {
@@ -237,6 +270,109 @@ func main() {
 		fmt.Fprintf(os.Stderr, "commstat: run complete; still serving on http://%s (Ctrl-C to exit)\n", srv.Addr())
 		select {}
 	}
+}
+
+// hopHist accumulates observed wire traffic bucketed by topological hop
+// distance. Observers run concurrently on every rank goroutine, so the
+// cells are atomic.
+type hopHist struct {
+	topo  model.Topology
+	msgs  []atomic.Int64
+	bytes []atomic.Int64
+}
+
+// observeHops registers a fabric observer that buckets every send, put and
+// get by the hop distance between the two endpoints under the profile's
+// topology. Returns nil on a profile with no topology installed.
+func observeHops(f *simnet.Fabric, prof *model.Profile, n int) *hopHist {
+	if prof.Topo == nil {
+		return nil
+	}
+	size := 2
+	if h, ok := prof.Topo.(model.Hierarchical); ok {
+		size = h.Diameter() + 1
+	}
+	hh := &hopHist{
+		topo:  prof.Topo,
+		msgs:  make([]atomic.Int64, size),
+		bytes: make([]atomic.Int64, size),
+	}
+	f.Observe(func(e simnet.Event) {
+		switch e.Kind {
+		case simnet.EvSend, simnet.EvPut, simnet.EvGet:
+		default:
+			return
+		}
+		if e.Peer < 0 || e.Peer >= n {
+			return
+		}
+		d := hh.topo.Hops(e.Rank, e.Peer)
+		if d < 0 {
+			return
+		}
+		if d >= len(hh.msgs) {
+			d = len(hh.msgs) - 1
+		}
+		hh.msgs[d].Add(1)
+		hh.bytes[d].Add(int64(e.Bytes))
+	})
+	return hh
+}
+
+// printTopology renders the placement picture: the active topology, the
+// hop-distance histogram of the traffic the run actually put on the wire,
+// and how often each collective kind ran a hierarchical schedule versus a
+// flat one. Every line is n/a-safe on a flat profile.
+func printTopology(prof *model.Profile, reg *telemetry.Registry, hh *hopHist, n int) {
+	fmt.Printf("\n== topology ==\n")
+	if prof.Topo == nil {
+		fmt.Println("topology: flat (single crossbar); hop histogram: n/a")
+	} else {
+		if h, ok := prof.Topo.(model.Hierarchical); ok {
+			nodes := make(map[int]struct{})
+			for r := 0; r < n; r++ {
+				nodes[h.NodeOf(r)] = struct{}{}
+			}
+			fmt.Printf("topology: %s (%d node(s) occupied, diameter %d)\n",
+				prof.Topo.Name(), len(nodes), h.Diameter())
+		} else {
+			fmt.Printf("topology: %s\n", prof.Topo.Name())
+		}
+		fmt.Println("hop-distance histogram (observed wire traffic):")
+		any := false
+		for d := range hh.msgs {
+			m := hh.msgs[d].Load()
+			if m == 0 {
+				continue
+			}
+			any = true
+			fmt.Printf("  %2d hop(s): %8d message(s) %12d byte(s)\n", d, m, hh.bytes[d].Load())
+		}
+		if !any {
+			fmt.Println("  (no traffic observed)")
+		}
+	}
+	line := "schedules (hier/flat per collective kind):"
+	any := false
+	for k := coll.Kind(0); k < coll.NKinds; k++ {
+		var hier, flat int64
+		for r := 0; r < n; r++ {
+			hier += reg.CounterValue("mpi_coll_sched_total", telemetry.Rank(r),
+				telemetry.Label{Key: "kind", Value: k.String()},
+				telemetry.Label{Key: "class", Value: "hier"})
+			flat += reg.CounterValue("mpi_coll_sched_total", telemetry.Rank(r),
+				telemetry.Label{Key: "kind", Value: k.String()},
+				telemetry.Label{Key: "class", Value: "flat"})
+		}
+		if hier+flat > 0 {
+			any = true
+			line += fmt.Sprintf(" %s=%d/%d", k, hier, flat)
+		}
+	}
+	if !any {
+		line += " n/a (no collectives ran)"
+	}
+	fmt.Println(line)
 }
 
 // printRuntimeDecisions renders the managed runtime's adaptive picture:

@@ -141,3 +141,33 @@ func TestCommstatJSONSnapshot(t *testing.T) {
 		t.Error("JSON mode dropped the critical-path report")
 	}
 }
+
+// TestCommstatTopologySection: on a torus profile the report names the
+// active topology and buckets the observed traffic by hop distance; on the
+// default flat profile every topology line degrades to n/a rather than
+// disappearing or printing garbage.
+func TestCommstatTopologySection(t *testing.T) {
+	out := runMain(t, "-n", "8", "-pattern", "ring", "-profile", "torus")
+	for _, want := range []string{
+		"== topology ==",
+		"topology: torus-2x2x2",
+		"diameter 3",
+		"hop-distance histogram (observed wire traffic):",
+		" 0 hop(s):",
+		"schedules (hier/flat per collective kind): n/a (no collectives ran)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("torus output missing %q:\n%s", want, out)
+		}
+	}
+
+	flat := runMain(t, "-n", "4", "-pattern", "ring")
+	for _, want := range []string{
+		"topology: flat (single crossbar); hop histogram: n/a",
+		"schedules (hier/flat per collective kind): n/a (no collectives ran)",
+	} {
+		if !strings.Contains(flat, want) {
+			t.Errorf("flat output missing %q:\n%s", want, flat)
+		}
+	}
+}

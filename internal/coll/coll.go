@@ -27,7 +27,7 @@ const (
 	Scatter
 	Allgather
 	Alltoall
-	nKinds
+	NKinds // number of collective kinds, for sizing per-kind tables
 )
 
 func (k Kind) String() string {
@@ -71,6 +71,19 @@ const (
 	RecDouble
 	// Pairwise: XOR-schedule pairwise exchange (alltoall).
 	Pairwise
+	// HierAllreduce: node-leader allreduce — intra-node reduce into the
+	// leader, inter-leader exchange (recursive doubling when the node
+	// count is a power of two, binomial reduce+bcast otherwise), intra-node
+	// bcast. Wire traffic shrinks from O(n log n) to O(nodes log nodes).
+	HierAllreduce
+	// HierTree: node-leader tree for rooted collectives — the inter-leader
+	// phase moves one packed message per node, the intra-node phase moves
+	// bytes through the shared address space.
+	HierTree
+	// TorusRing: the ring schedules walked in topology-neighbour order
+	// instead of comm-rank order, so every ring step is a near-neighbour
+	// hop on the installed topology rather than a full-diameter crossing.
+	TorusRing
 	NAlgos
 )
 
@@ -88,9 +101,20 @@ func (a Algo) String() string {
 		return "recdouble"
 	case Pairwise:
 		return "pairwise"
+	case HierAllreduce:
+		return "hier-allreduce"
+	case HierTree:
+		return "hier-tree"
+	case TorusRing:
+		return "torus-ring"
 	default:
 		return "algo?"
 	}
+}
+
+// Hierarchical reports whether a is one of the topology-aware schedules.
+func (a Algo) Hierarchical() bool {
+	return a == HierAllreduce || a == HierTree || a == TorusRing
 }
 
 // Size thresholds for the message-passing regime (GOMAXPROCS > 2). Below
@@ -100,6 +124,45 @@ const (
 	smallMsg = 1 << 10 // 1 KiB
 	largeMsg = 32 << 10
 )
+
+// Topo describes the communicator's placement on the machine topology —
+// the selection inputs the hierarchical schedules key on. The zero value
+// means "no topology": ChooseTopo then equals Choose exactly.
+type Topo struct {
+	Nodes        int // distinct nodes hosting the communicator's ranks
+	RanksPerNode int // largest number of ranks co-located on one node
+	Diameter     int // maximum hop distance between any two of those nodes
+}
+
+// ringDiameter is the hop diameter at which even a one-rank-per-node
+// placement prefers topology-neighbour rings: beyond it a rank-order ring
+// step averages enough hops that walking the torus order pays.
+const ringDiameter = 4
+
+// Hierarchical reports whether the placement has node structure worth a
+// two-level schedule: several ranks share a node and there is more than
+// one node.
+func (t Topo) Hierarchical() bool { return t.RanksPerNode > 1 && t.Nodes > 1 }
+
+// wideRing reports whether ring schedules should walk topology order.
+func (t Topo) wideRing() bool {
+	return t.Nodes > 1 && (t.RanksPerNode > 1 || t.Diameter >= ringDiameter)
+}
+
+// Class compresses the placement into a small stable id for keying tuner
+// observations: 0 flat, 1 node-hierarchical, 2 long-diameter only, 3 both.
+// Hierarchical and flat observations of the same (kind, comm, size-class)
+// must not pollute each other's EWMAs — they measure different schedules.
+func (t Topo) Class() int {
+	c := 0
+	if t.Hierarchical() {
+		c |= 1
+	}
+	if t.Diameter >= ringDiameter {
+		c |= 2
+	}
+	return c
+}
 
 // forced holds Algo+1 when a test has pinned the selection (0 = unforced).
 var forced atomic.Uint32
@@ -122,11 +185,22 @@ func Forced() (Algo, bool) {
 }
 
 // Choose picks the data-movement algorithm for a collective of kind k over
-// n ranks with bytes of payload per rank. The choice only affects how real
-// bytes move; the virtual-time schedule is canonical regardless.
+// n ranks with bytes of payload per rank, with no topology information.
+// The choice only affects how real bytes move; the virtual-time schedule is
+// canonical regardless.
 func Choose(k Kind, n, bytes int) Algo {
+	return ChooseTopo(k, n, bytes, Topo{})
+}
+
+// ChooseTopo is Choose with the communicator's machine placement folded in:
+// a hierarchical placement (several ranks per node) steers rooted trees and
+// allreduce onto the node-leader schedules, and a wide placement steers the
+// ring schedules onto topology-neighbour order. A zero Topo reproduces the
+// flat tables bit-for-bit, so profiles without a topology — and every
+// existing golden — are untouched.
+func ChooseTopo(k Kind, n, bytes int, tp Topo) Algo {
 	if f := forced.Load(); f != 0 {
-		if a := Algo(f - 1); supports(k, a, n) {
+		if a := Algo(f - 1); supportsTopo(k, a, n, tp) {
 			return a
 		}
 	}
@@ -136,38 +210,63 @@ func Choose(k Kind, n, bytes int) Algo {
 	if runtime.GOMAXPROCS(0) <= 2 || n < 4 {
 		return Direct
 	}
+	hier := tp.Hierarchical() && n >= 8
 	switch k {
 	case Bcast:
+		if hier {
+			return HierTree
+		}
 		if n < 8 {
 			return Linear
 		}
 		return Binomial
 	case Reduce:
+		if hier {
+			return HierTree
+		}
 		if n < 8 {
 			return Linear
 		}
 		return Binomial
 	case Allreduce:
 		if bytes >= largeMsg {
+			if tp.wideRing() {
+				return TorusRing
+			}
 			return Ring
+		}
+		if hier {
+			return HierAllreduce
 		}
 		if isPow2(n) {
 			return RecDouble
 		}
 		return Binomial // reduce+bcast composition
 	case Gather, Scatter:
+		if hier && bytes <= largeMsg {
+			return HierTree
+		}
 		if n < 8 || bytes > largeMsg {
 			return Linear
 		}
 		return Binomial
 	case Allgather:
 		if bytes*n >= largeMsg {
+			if tp.wideRing() {
+				return TorusRing
+			}
 			return Ring
+		}
+		if hier {
+			return HierTree
 		}
 		return Binomial // gather+bcast composition
 	case Alltoall:
 		if isPow2(n) {
 			return Pairwise
+		}
+		if tp.wideRing() {
+			return TorusRing
 		}
 		return Ring
 	}
@@ -200,6 +299,12 @@ type Feedback struct {
 // exactly Choose. The result always passes supports(), so a tuned choice
 // is never one the mover layer cannot execute.
 func ChooseTuned(k Kind, n, bytes int, fb Feedback) Algo {
+	return ChooseTunedTopo(k, n, bytes, Topo{}, fb)
+}
+
+// ChooseTunedTopo is ChooseTuned with the communicator's placement folded
+// in, exactly as ChooseTopo refines Choose.
+func ChooseTunedTopo(k Kind, n, bytes int, tp Topo, fb Feedback) Algo {
 	eff := bytes
 	switch {
 	case fb.LatencyShare < 0:
@@ -218,18 +323,45 @@ func ChooseTuned(k Kind, n, bytes int, fb Feedback) Algo {
 		// piling up; prefer schedules with fewer concurrent messages.
 		eff = smallMsg
 	}
-	a := Choose(k, n, eff)
-	if !supports(k, a, n) {
-		a = Choose(k, n, bytes)
+	a := ChooseTopo(k, n, eff, tp)
+	if !supportsTopo(k, a, n, tp) {
+		a = ChooseTopo(k, n, bytes, tp)
 	}
 	return a
 }
 
 // supports reports whether kind k has an executable mover for algorithm a
-// at communicator size n.
+// at communicator size n with no topology installed.
 func supports(k Kind, a Algo, n int) bool {
+	return supportsTopo(k, a, n, Topo{})
+}
+
+// supportsTopo reports whether kind k has an executable mover for algorithm
+// a at communicator size n on placement tp. The hierarchical schedules
+// require genuine node structure (so forcing them on a flat profile falls
+// back to the flat tables, keeping flat-profile goldens pinned), and the
+// topology rings require more than one node to order.
+func supportsTopo(k Kind, a Algo, n int, tp Topo) bool {
 	if a == Direct || a == Linear {
 		return true
+	}
+	if a.Hierarchical() {
+		switch a {
+		case HierAllreduce:
+			return k == Allreduce && tp.Hierarchical()
+		case HierTree:
+			switch k {
+			case Bcast, Reduce, Gather, Scatter, Allgather:
+				return tp.Hierarchical()
+			}
+			return false
+		case TorusRing:
+			switch k {
+			case Allreduce, Allgather, Alltoall:
+				return tp.Nodes > 1
+			}
+			return false
+		}
 	}
 	switch k {
 	case Bcast, Reduce, Gather, Scatter:

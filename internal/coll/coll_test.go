@@ -9,7 +9,7 @@ func TestChooseDirectWithoutParallelism(t *testing.T) {
 	if runtime.GOMAXPROCS(0) > 2 {
 		t.Skip("requires GOMAXPROCS <= 2")
 	}
-	for k := Kind(0); k < nKinds; k++ {
+	for k := Kind(0); k < NKinds; k++ {
 		for _, bytes := range []int{8, 4 << 10, 1 << 20} {
 			if got := Choose(k, 256, bytes); got != Direct {
 				t.Errorf("Choose(%s, 256, %d) = %s on a serial runtime, want direct", k, bytes, got)

@@ -48,7 +48,8 @@ type profileJSON struct {
 
 	MemcpyPerByte float64 `json:"memcpy_ns_per_byte"`
 
-	Torus *torusJSON `json:"torus,omitempty"`
+	Torus     *torusJSON     `json:"torus,omitempty"`
+	Dragonfly *dragonflyJSON `json:"dragonfly,omitempty"`
 }
 
 type torusJSON struct {
@@ -56,6 +57,16 @@ type torusJSON struct {
 	Y                  int   `json:"y"`
 	Z                  int   `json:"z"`
 	RanksPerNode       int   `json:"ranks_per_node"`
+	MPIPerHopLatency   int64 `json:"mpi_per_hop_latency_ns"`
+	ShmemPerHopLatency int64 `json:"shmem_per_hop_latency_ns"`
+}
+
+type dragonflyJSON struct {
+	Groups             int   `json:"groups"`
+	RoutersPerGroup    int   `json:"routers_per_group"`
+	NodesPerRouter     int   `json:"nodes_per_router"`
+	RanksPerNode       int   `json:"ranks_per_node"`
+	GlobalHopWeight    int   `json:"global_hop_weight"`
 	MPIPerHopLatency   int64 `json:"mpi_per_hop_latency_ns"`
 	ShmemPerHopLatency int64 `json:"shmem_per_hop_latency_ns"`
 }
@@ -97,10 +108,21 @@ func (p *Profile) MarshalJSON() ([]byte, error) {
 		ShmemWaitPollNS:     int64(p.ShmemWaitPoll),
 		MemcpyPerByte:       p.MemcpyPerByte,
 	}
-	if t, ok := p.Topo.(Torus3D); ok {
+	switch t := p.Topo.(type) {
+	case Torus3D:
 		j.Torus = &torusJSON{
 			X: t.X, Y: t.Y, Z: t.Z,
 			RanksPerNode:       t.RanksPerNode,
+			MPIPerHopLatency:   int64(p.MPIPerHopLatency),
+			ShmemPerHopLatency: int64(p.ShmemPerHopLatency),
+		}
+	case Dragonfly:
+		j.Dragonfly = &dragonflyJSON{
+			Groups:             t.Groups,
+			RoutersPerGroup:    t.RoutersPerGroup,
+			NodesPerRouter:     t.NodesPerRouter,
+			RanksPerNode:       t.RanksPerNode,
+			GlobalHopWeight:    t.GlobalHopWeight,
 			MPIPerHopLatency:   int64(p.MPIPerHopLatency),
 			ShmemPerHopLatency: int64(p.ShmemPerHopLatency),
 		}
@@ -149,10 +171,24 @@ func (p *Profile) UnmarshalJSON(data []byte) error {
 		ShmemWaitPoll:     Time(j.ShmemWaitPollNS),
 		MemcpyPerByte:     j.MemcpyPerByte,
 	}
+	if j.Torus != nil && j.Dragonfly != nil {
+		return fmt.Errorf("model: profile %q declares both torus and dragonfly topologies", j.Name)
+	}
 	if j.Torus != nil {
 		p.Topo = Torus3D{X: j.Torus.X, Y: j.Torus.Y, Z: j.Torus.Z, RanksPerNode: j.Torus.RanksPerNode}
 		p.MPIPerHopLatency = Time(j.Torus.MPIPerHopLatency)
 		p.ShmemPerHopLatency = Time(j.Torus.ShmemPerHopLatency)
+	}
+	if j.Dragonfly != nil {
+		p.Topo = Dragonfly{
+			Groups:          j.Dragonfly.Groups,
+			RoutersPerGroup: j.Dragonfly.RoutersPerGroup,
+			NodesPerRouter:  j.Dragonfly.NodesPerRouter,
+			RanksPerNode:    j.Dragonfly.RanksPerNode,
+			GlobalHopWeight: j.Dragonfly.GlobalHopWeight,
+		}
+		p.MPIPerHopLatency = Time(j.Dragonfly.MPIPerHopLatency)
+		p.ShmemPerHopLatency = Time(j.Dragonfly.ShmemPerHopLatency)
 	}
 	return p.Validate()
 }

@@ -11,6 +11,20 @@ type Topology interface {
 	Hops(a, b int) int
 }
 
+// Hierarchical is the optional refinement of Topology that exposes the
+// node structure — which ranks share a physical node (and therefore reach
+// each other without touching the network) and how far apart nodes can be.
+// The collective layer consults it to build node-leader schedules, and the
+// fabric uses it to group barrier check-ins node-locally.
+type Hierarchical interface {
+	Topology
+	// NodeOf reports the node hosting rank (ranks with equal NodeOf have
+	// Hops == 0 to each other).
+	NodeOf(rank int) int
+	// Diameter reports the maximum hop distance between any two nodes.
+	Diameter() int
+}
+
 // FlatTopology is the single-switch default: every pair is one hop apart.
 type FlatTopology struct{}
 
@@ -24,6 +38,12 @@ func (FlatTopology) Hops(a, b int) int {
 	}
 	return 1
 }
+
+// NodeOf implements Hierarchical: every rank is its own node.
+func (FlatTopology) NodeOf(rank int) int { return rank }
+
+// Diameter implements Hierarchical.
+func (FlatTopology) Diameter() int { return 1 }
 
 // Torus3D is a 3-D torus of X*Y*Z nodes with ranks placed in x-fastest
 // order and distance measured as the sum of per-dimension ring distances —
@@ -78,6 +98,100 @@ func (t Torus3D) Hops(a, b int) int {
 	return ringDist(ax, bx, t.X) + ringDist(ay, by, t.Y) + ringDist(az, bz, t.Z)
 }
 
+// NodeOf implements Hierarchical.
+func (t Torus3D) NodeOf(rank int) int { return t.node(rank) }
+
+// Diameter implements Hierarchical: the farthest node pair sits half a ring
+// away in every dimension.
+func (t Torus3D) Diameter() int { return t.X/2 + t.Y/2 + t.Z/2 }
+
+// Dragonfly is a two-level direct network: all-to-all connected routers
+// within a group, all-to-all connected groups through global links (the
+// Cray Aries / Slingshot shape). Consecutive ranks pack onto nodes, nodes
+// onto routers, routers onto groups; ranks beyond the machine wrap around.
+// Minimal routing is local–global–local, so the hop count is 0 on a node,
+// 1 between nodes on a router, 2 within a group, and 2 + GlobalHopWeight
+// across groups — the weight models a global (optical) link costing a
+// multiple of a local one.
+type Dragonfly struct {
+	Groups          int
+	RoutersPerGroup int
+	NodesPerRouter  int
+	// RanksPerNode co-locates consecutive ranks on one node; 0 means 1.
+	RanksPerNode int
+	// GlobalHopWeight is the cost of one inter-group link in units of a
+	// local hop; 0 means 1.
+	GlobalHopWeight int
+}
+
+// Name implements Topology.
+func (d Dragonfly) Name() string {
+	return fmt.Sprintf("dragonfly-%dg%dr%dn", d.Groups, d.RoutersPerGroup, d.NodesPerRouter)
+}
+
+func (d Dragonfly) dims() (groups, routers, nodes, per int) {
+	groups, routers, nodes, per = d.Groups, d.RoutersPerGroup, d.NodesPerRouter, d.RanksPerNode
+	if groups <= 0 {
+		groups = 1
+	}
+	if routers <= 0 {
+		routers = 1
+	}
+	if nodes <= 0 {
+		nodes = 1
+	}
+	if per <= 0 {
+		per = 1
+	}
+	return
+}
+
+// NodeOf implements Hierarchical.
+func (d Dragonfly) NodeOf(rank int) int {
+	groups, routers, nodes, per := d.dims()
+	return (rank / per) % (groups * routers * nodes)
+}
+
+func (d Dragonfly) globalWeight() int {
+	if d.GlobalHopWeight <= 0 {
+		return 1
+	}
+	return d.GlobalHopWeight
+}
+
+// Hops implements Topology.
+func (d Dragonfly) Hops(a, b int) int {
+	_, routers, nodes, _ := d.dims()
+	na, nb := d.NodeOf(a), d.NodeOf(b)
+	if na == nb {
+		return 0
+	}
+	ra, rb := na/nodes, nb/nodes
+	if ra == rb {
+		return 1
+	}
+	ga, gb := ra/routers, rb/routers
+	if ga == gb {
+		return 2
+	}
+	return 2 + d.globalWeight()
+}
+
+// Diameter implements Hierarchical.
+func (d Dragonfly) Diameter() int {
+	groups, routers, nodes, _ := d.dims()
+	switch {
+	case groups > 1:
+		return 2 + d.globalWeight()
+	case routers > 1:
+		return 2
+	case nodes > 1:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // MPILatencyBetween reports the two-sided wire latency from rank a to b,
 // honouring the installed topology (the flat default when Topo is nil).
 func (p *Profile) MPILatencyBetween(a, b int) Time {
@@ -101,6 +215,17 @@ func (p *Profile) WithTorus(x, y, z, ranksPerNode int, mpiPerHop, shmemPerHop Ti
 	q := *p
 	q.Name = fmt.Sprintf("%s+torus-%dx%dx%d", p.Name, x, y, z)
 	q.Topo = Torus3D{X: x, Y: y, Z: z, RanksPerNode: ranksPerNode}
+	q.MPIPerHopLatency = mpiPerHop
+	q.ShmemPerHopLatency = shmemPerHop
+	return &q
+}
+
+// WithDragonfly returns a copy of the profile placed on a dragonfly of the
+// given shape with the given per-hop latencies.
+func (p *Profile) WithDragonfly(d Dragonfly, mpiPerHop, shmemPerHop Time) *Profile {
+	q := *p
+	q.Name = fmt.Sprintf("%s+%s", p.Name, d.Name())
+	q.Topo = d
 	q.MPIPerHopLatency = mpiPerHop
 	q.ShmemPerHopLatency = shmemPerHop
 	return &q

@@ -103,3 +103,104 @@ func TestLatencyBetween(t *testing.T) {
 		t.Error("WithTorus mutated the receiver")
 	}
 }
+
+// TestTorusWrapAroundPlacement pins the wrap-around placement rule: ranks
+// beyond the machine's capacity (X*Y*Z*RanksPerNode) cycle back onto node 0,
+// so a node's members are non-contiguous in rank but still zero hops apart.
+func TestTorusWrapAroundPlacement(t *testing.T) {
+	torus := Torus3D{X: 2, Y: 1, Z: 1, RanksPerNode: 3} // capacity 6
+	if got := torus.NodeOf(6); got != 0 {
+		t.Errorf("rank 6 wraps to node %d, want 0", got)
+	}
+	if got := torus.NodeOf(10); got != 1 {
+		t.Errorf("rank 10 wraps to node %d, want 1", got)
+	}
+	// Rank 0 (first pass) and rank 7 (second pass) share node 0.
+	if got := torus.Hops(0, 7); got != 0 {
+		t.Errorf("co-located wrapped ranks are %d hops apart, want 0", got)
+	}
+	// Ranks 0 and 3 sit on the two nodes of the 2-ring: one hop.
+	if got := torus.Hops(0, 3); got != 1 {
+		t.Errorf("cross-node wrapped ranks are %d hops apart, want 1", got)
+	}
+}
+
+// TestTorusDegenerate pins the 1-node torus: every rank co-located, zero
+// diameter, zero hops everywhere — the shape the hierarchical layout must
+// treat as "no network at all".
+func TestTorusDegenerate(t *testing.T) {
+	torus := Torus3D{X: 1, Y: 1, Z: 1, RanksPerNode: 4}
+	if d := torus.Diameter(); d != 0 {
+		t.Errorf("1-node torus diameter %d, want 0", d)
+	}
+	for a := 0; a < 9; a++ {
+		for b := 0; b < 9; b++ {
+			if torus.Hops(a, b) != 0 {
+				t.Errorf("Hops(%d,%d) = %d on a 1-node torus, want 0", a, b, torus.Hops(a, b))
+			}
+			if torus.NodeOf(a) != 0 {
+				t.Errorf("NodeOf(%d) = %d on a 1-node torus, want 0", a, torus.NodeOf(a))
+			}
+		}
+	}
+}
+
+// TestDragonflyHops pins the minimal-routing hop classes: same node, same
+// router, same group, cross-group (weighted by the global-link cost).
+func TestDragonflyHops(t *testing.T) {
+	d := Dragonfly{Groups: 2, RoutersPerGroup: 2, NodesPerRouter: 2, RanksPerNode: 2, GlobalHopWeight: 3}
+	cases := []struct {
+		a, b, want int
+		why        string
+	}{
+		{0, 1, 0, "same node"},
+		{0, 2, 1, "same router, different node"},
+		{0, 4, 2, "same group, different router"},
+		{0, 8, 5, "different group: 2 local + weighted global"},
+		{0, 16, 0, "wrap-around: rank 16 lands back on node 0"},
+		{1, 18, 1, "wrap-around second pass keeps router structure"},
+	}
+	for _, tc := range cases {
+		if got := d.Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d (%s)", tc.a, tc.b, got, tc.want, tc.why)
+		}
+		if got := d.Hops(tc.b, tc.a); got != tc.want {
+			t.Errorf("Hops(%d,%d) asymmetric: %d want %d", tc.b, tc.a, got, tc.want)
+		}
+	}
+	if dm := d.Diameter(); dm != 5 {
+		t.Errorf("diameter %d, want 5", dm)
+	}
+}
+
+// TestDragonflyDimsNormalization: zero and negative shape fields normalize
+// to 1, so a partially-specified dragonfly degrades to a smaller machine
+// rather than dividing by zero.
+func TestDragonflyDimsNormalization(t *testing.T) {
+	d := Dragonfly{} // everything zero: a single node
+	if got := d.Diameter(); got != 0 {
+		t.Errorf("empty dragonfly diameter %d, want 0", got)
+	}
+	if got := d.Hops(0, 99); got != 0 {
+		t.Errorf("empty dragonfly Hops = %d, want 0 (all ranks one node)", got)
+	}
+	one := Dragonfly{Groups: 1, RoutersPerGroup: 4, NodesPerRouter: 1, GlobalHopWeight: -2}
+	if got := one.Diameter(); got != 2 {
+		t.Errorf("single-group dragonfly diameter %d, want 2", got)
+	}
+	if got := one.Hops(0, 1); got != 2 {
+		t.Errorf("router-to-router hops %d, want 2", got)
+	}
+}
+
+// TestDragonflySymmetryProperty: hop distance is symmetric for arbitrary
+// rank pairs on an irregular dragonfly.
+func TestDragonflySymmetryProperty(t *testing.T) {
+	d := Dragonfly{Groups: 3, RoutersPerGroup: 5, NodesPerRouter: 2, RanksPerNode: 3, GlobalHopWeight: 4}
+	sym := func(a, b uint16) bool {
+		return d.Hops(int(a), int(b)) == d.Hops(int(b), int(a))
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+}

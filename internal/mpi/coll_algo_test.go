@@ -16,6 +16,9 @@ import (
 // whole list exercises every mover that exists for each collective.
 var collAlgos = []coll.Algo{
 	coll.Direct, coll.Linear, coll.Binomial, coll.Ring, coll.RecDouble, coll.Pairwise,
+	// Hierarchical schedules need node structure; on the flat profile these
+	// exercise the fall-back-to-flat-tables path.
+	coll.HierAllreduce, coll.HierTree, coll.TorusRing,
 }
 
 // collRun captures everything observable from one execution of the
@@ -33,10 +36,17 @@ type collRun struct {
 	large  [][]float64 // 10k-element allreduce (exercises segmentation/chunking)
 }
 
-// runCollScript runs every collective once over an n-rank world and
-// returns the captured outputs. Values are integer-valued floats where it
-// matters, so any reduction order produces identical bits.
+// runCollScript runs every collective once over an n-rank world on the flat
+// Gemini profile and returns the captured outputs.
 func runCollScript(t *testing.T, n int) *collRun {
+	t.Helper()
+	return runCollScriptProf(t, n, model.GeminiLike())
+}
+
+// runCollScriptProf runs every collective once over an n-rank world on the
+// given profile and returns the captured outputs. Values are integer-valued
+// floats where it matters, so any reduction order produces identical bits.
+func runCollScriptProf(t *testing.T, n int, prof *model.Profile) *collRun {
 	t.Helper()
 	const largeN = 10000
 	out := &collRun{
@@ -48,7 +58,7 @@ func runCollScript(t *testing.T, n int) *collRun {
 		a2a:    make([][]float64, n),
 		large:  make([][]float64, n),
 	}
-	err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+	err := spmd.Run(n, prof, func(rk *spmd.Rank) error {
 		c := mpi.World(rk)
 		me := c.Rank()
 		var clocks []int64

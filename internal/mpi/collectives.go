@@ -35,6 +35,7 @@ const (
 	tagAllgather
 	tagAlltoall
 	tagScatter
+	tagHier // hierarchical (node-leader and topology-ring) mover traffic
 )
 
 // Op is a reduction operator.
@@ -79,6 +80,13 @@ type collShared struct {
 	algo    coll.Algo
 	err     error // owner-detected failure, read by every rank
 
+	// topo is the communicator's placement summary (zero when the profile
+	// has no hierarchical topology) and hl the node-membership layout the
+	// hierarchical movers walk. Both are built once at communicator
+	// creation and read-only afterwards.
+	topo coll.Topo
+	hl   *hierLayout
+
 	// tuner is the managed runtime's per-communicator decision cache,
 	// touched only by the schedule owner between the two rendezvous
 	// generations (so it needs no locking). Lazily created the first time
@@ -109,6 +117,14 @@ func collFor(c *Comm) *collShared {
 		exits:   make([]model.Time, n),
 		arr:     make([]model.Time, n),
 		entryV:  make([]model.Time, n),
+	}
+	if h, ok := c.prof().Topo.(model.Hierarchical); ok {
+		sh.hl = newHierLayout(h, c.ranks)
+		sh.topo = coll.Topo{
+			Nodes:        sh.hl.nodes,
+			RanksPerNode: sh.hl.maxPer,
+			Diameter:     h.Diameter(),
+		}
 	}
 	reg.coll[key] = sh
 	return sh
@@ -159,6 +175,11 @@ func (c *Comm) runCollective(op collOp, send, recv any, localErr error) error {
 	if c.tele.collCalls != nil {
 		c.tele.collCalls.Inc()
 		c.tele.collAlgo[algo].Inc()
+		class := 0
+		if algo.Hierarchical() {
+			class = 1
+		}
+		c.tele.collSched[op.kind][class].Inc()
 	}
 	return nil
 }
@@ -213,7 +234,7 @@ func (c *Comm) chooseAlgo(sh *collShared, op collOp) coll.Algo {
 	bytes := op.count * op.d.Size()
 	cfg := rt.Active()
 	if !cfg.Retune {
-		return coll.Choose(op.kind, c.Size(), bytes)
+		return coll.ChooseTopo(op.kind, c.Size(), bytes, sh.topo)
 	}
 	if sh.tuner == nil {
 		sh.tuner = rt.NewCollTuner(ManagedTrace(c.rk.World()), c.id)
@@ -228,7 +249,7 @@ func (c *Comm) chooseAlgo(sh *collShared, op collOp) coll.Algo {
 			maxExit = v
 		}
 	}
-	algo, switched := sh.tuner.Choose(op.kind, c.Size(), bytes, rt.CollObs{
+	algo, switched := sh.tuner.Choose(op.kind, c.Size(), bytes, sh.topo, rt.CollObs{
 		Duration:       maxExit - minEntry,
 		Wire:           c.prof().WireTime(bytes),
 		Bytes:          bytes,

@@ -1,0 +1,168 @@
+package mpi_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"commintent/internal/coll"
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+	"commintent/internal/telemetry"
+)
+
+// hierProfiles places communicators on topologies that exercise every
+// hierarchical layout shape: regular multi-rank nodes, wrap-around (more
+// ranks than the machine holds, so node membership is non-contiguous in comm
+// rank), a degenerate single-node torus, and a dragonfly.
+func hierProfiles() map[string]*model.Profile {
+	return map[string]*model.Profile{
+		// 2x2x2 torus, 4 ranks/node: 13 ranks use 4 nodes, the last one short.
+		"torus": model.GeminiLike().WithTorus(2, 2, 2, 4, 300, 200),
+		// 2-node machine, 3 ranks/node, capacity 6: 13 ranks wrap more than
+		// twice, so each node's member list is non-contiguous.
+		"torus-wrap": model.GeminiLike().WithTorus(2, 1, 1, 3, 300, 200),
+		// Degenerate 1-node torus: every rank co-located, no inter-leader
+		// phase exists (the layout must not emit wire traffic at all).
+		"torus-1node": model.GeminiLike().WithTorus(1, 1, 1, 4, 300, 200),
+		"dragonfly": model.GeminiLike().WithDragonfly(
+			model.Dragonfly{Groups: 2, RoutersPerGroup: 2, NodesPerRouter: 1, RanksPerNode: 2, GlobalHopWeight: 3},
+			350, 220),
+	}
+}
+
+// hierAlgos are the topology-aware schedules under test.
+var hierAlgos = []coll.Algo{coll.HierAllreduce, coll.HierTree, coll.TorusRing}
+
+// TestHierarchicalCollectives is the property test for the hierarchical
+// schedules: on every topology shape and at non-power-of-two and
+// power-of-two comm sizes, every forced hierarchical algorithm must produce
+// (a) byte-identical data to the independently computed flat reference for
+// all three numeric datatypes, and (b) bit-identical virtual clocks to the
+// unforced baseline on the same profile — hierarchy moves bytes, never
+// virtual time.
+func TestHierarchicalCollectives(t *testing.T) {
+	for name, prof := range hierProfiles() {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{5, 13, 16} {
+				t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+					base := runCollScriptProf(t, n, prof)
+					checkCollReference(t, n, base)
+					for _, a := range hierAlgos {
+						t.Run(a.String(), func(t *testing.T) {
+							restore := coll.Force(a)
+							defer restore()
+							got := runCollScriptProf(t, n, prof)
+							checkCollReference(t, n, got)
+							if !reflect.DeepEqual(got.clocks, base.clocks) {
+								t.Errorf("virtual clocks differ from unforced baseline under forced %s", a)
+							}
+						})
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestHierEngages pins that a forced hierarchical algorithm actually
+// executes on a hierarchical placement rather than silently falling back to
+// the flat tables — without this, every data-correctness test above would
+// also pass on a fallback that never runs a hierarchical mover.
+func TestHierEngages(t *testing.T) {
+	cases := []struct {
+		algo coll.Algo
+		run  func(c *mpi.Comm, n int) error
+	}{
+		{coll.HierAllreduce, func(c *mpi.Comm, n int) error {
+			return c.Allreduce([]float64{1}, make([]float64, 1), 1, mpi.Float64, mpi.OpSum)
+		}},
+		{coll.HierTree, func(c *mpi.Comm, n int) error {
+			return c.Bcast(make([]float64, 2), 2, mpi.Float64, 0)
+		}},
+		{coll.TorusRing, func(c *mpi.Comm, n int) error {
+			return c.Alltoall(make([]float64, n), 1, mpi.Float64, make([]float64, n))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.algo.String(), func(t *testing.T) {
+			const n = 8
+			w, err := spmd.NewWorld(n, model.GeminiLike().WithTorus(2, 2, 1, 2, 300, 200))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tele := telemetry.New(n, 0)
+			w.SetTelemetry(tele)
+			restore := coll.Force(tc.algo)
+			defer restore()
+			if err := w.Run(func(rk *spmd.Rank) error {
+				return tc.run(mpi.World(rk), n)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var tot, hier, flat int64
+			for r := 0; r < n; r++ {
+				tot += tele.Registry().CounterValue("mpi_coll_algo_total",
+					telemetry.Rank(r), telemetry.Label{Key: "algo", Value: tc.algo.String()})
+				for k := coll.Kind(0); k < coll.NKinds; k++ {
+					hier += tele.Registry().CounterValue("mpi_coll_sched_total",
+						telemetry.Rank(r), telemetry.Label{Key: "kind", Value: k.String()},
+						telemetry.Label{Key: "class", Value: "hier"})
+					flat += tele.Registry().CounterValue("mpi_coll_sched_total",
+						telemetry.Rank(r), telemetry.Label{Key: "kind", Value: k.String()},
+						telemetry.Label{Key: "class", Value: "flat"})
+				}
+			}
+			if tot != n {
+				t.Errorf("forced %s executed on %d ranks, want %d", tc.algo, tot, n)
+			}
+			if hier != n || flat != 0 {
+				t.Errorf("schedule-class counters: hier=%d flat=%d, want hier=%d flat=0", hier, flat, n)
+			}
+		})
+	}
+}
+
+type hierStruct struct {
+	ID  int32
+	Pos [2]float64
+}
+
+// TestHierBcastDerived pins the derived-datatype path through the
+// node-leader broadcast: the leader's intra-node distribution must take the
+// same encode/decode semantics as the wire.
+func TestHierBcastDerived(t *testing.T) {
+	prof := model.GeminiLike().WithTorus(2, 1, 1, 3, 300, 200)
+	restore := coll.Force(coll.HierTree)
+	defer restore()
+	const n = 7
+	got := make([][]hierStruct, n)
+	err := spmd.Run(n, prof, func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		dt, err := c.TypeCreateStruct(hierStruct{})
+		if err != nil {
+			return err
+		}
+		ps := make([]hierStruct, 3)
+		if c.Rank() == 1 {
+			for i := range ps {
+				ps[i] = hierStruct{ID: int32(10 + i), Pos: [2]float64{float64(i), float64(2 * i)}}
+			}
+		}
+		if err := c.Bcast(ps, 3, dt, 1); err != nil {
+			return err
+		}
+		got[c.Rank()] = ps
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []hierStruct{{ID: 10}, {ID: 11, Pos: [2]float64{1, 2}}, {ID: 12, Pos: [2]float64{2, 4}}}
+	for me := 0; me < n; me++ {
+		if !reflect.DeepEqual(got[me], want) {
+			t.Errorf("rank %d derived bcast = %v, want %v", me, got[me], want)
+		}
+	}
+}

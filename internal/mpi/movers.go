@@ -39,6 +39,8 @@ func (c *Comm) runMover(op collOp, send, recv any, algo coll.Algo) error {
 			return c.bcastLinear(send, op)
 		case coll.Binomial:
 			return c.bcastBinomial(send, op)
+		case coll.HierTree:
+			return c.bcastHier(send, op)
 		}
 	case coll.Reduce:
 		switch algo {
@@ -46,6 +48,8 @@ func (c *Comm) runMover(op collOp, send, recv any, algo coll.Algo) error {
 			return c.reduceLinear(send, recv, op)
 		case coll.Binomial:
 			return c.reduceBinomial(send, recv, op)
+		case coll.HierTree:
+			return c.reduceHier(send, recv, op)
 		}
 	case coll.Allreduce:
 		switch algo {
@@ -69,8 +73,10 @@ func (c *Comm) runMover(op collOp, send, recv any, algo coll.Algo) error {
 			return c.bcastBinomial(recv, bop)
 		case coll.RecDouble:
 			return c.allreduceRecDouble(send, recv, op)
-		case coll.Ring:
-			return c.allreduceRing(send, recv, op)
+		case coll.Ring, coll.TorusRing:
+			return c.allreduceRing(send, recv, op, c.ringViewFor(algo))
+		case coll.HierAllreduce:
+			return c.allreduceHier(send, recv, op)
 		}
 	case coll.Gather:
 		switch algo {
@@ -78,6 +84,8 @@ func (c *Comm) runMover(op collOp, send, recv any, algo coll.Algo) error {
 			return c.gatherLinear(send, recv, op)
 		case coll.Binomial:
 			return c.gatherBinomial(send, recv, op)
+		case coll.HierTree:
+			return c.gatherHier(send, recv, op)
 		}
 	case coll.Scatter:
 		switch algo {
@@ -85,6 +93,8 @@ func (c *Comm) runMover(op collOp, send, recv any, algo coll.Algo) error {
 			return c.scatterLinear(send, recv, op)
 		case coll.Binomial:
 			return c.scatterBinomial(send, recv, op)
+		case coll.HierTree:
+			return c.scatterHier(send, recv, op)
 		}
 	case coll.Allgather:
 		switch algo {
@@ -104,15 +114,17 @@ func (c *Comm) runMover(op collOp, send, recv any, algo coll.Algo) error {
 			bop.kind, bop.root = coll.Bcast, 0
 			bop.count = c.Size() * op.count
 			return c.bcastBinomial(recv, bop)
-		case coll.Ring:
-			return c.allgatherRing(send, recv, op)
+		case coll.Ring, coll.TorusRing:
+			return c.allgatherRing(send, recv, op, c.ringViewFor(algo))
+		case coll.HierTree:
+			return c.allgatherHier(send, recv, op)
 		}
 	case coll.Alltoall:
 		switch algo {
 		case coll.Pairwise:
 			return c.alltoallPairwise(send, recv, op)
-		case coll.Linear, coll.Ring:
-			return c.alltoallRing(send, recv, op)
+		case coll.Linear, coll.Ring, coll.TorusRing:
+			return c.alltoallRing(send, recv, op, c.ringViewFor(algo))
 		}
 	}
 	return fmt.Errorf("mpi: no %s mover for %s", op.kind, algo)
@@ -356,13 +368,15 @@ func ringChunk(count, n, i int) (start, size int) {
 
 // allreduceRing: bandwidth-optimal ring — a reduce-scatter pass followed by
 // an allgather pass, each moving 1/n of the payload per step, with one
-// pooled wire buffer reused across all 2(n-1) rounds.
-func (c *Comm) allreduceRing(send, recv any, op collOp) error {
+// pooled wire buffer reused across all 2(n-1) rounds. The view decides the
+// walk order: identity for the flat Ring, topology-neighbour for TorusRing
+// (chunks are keyed by ring position, so the result is order-independent).
+func (c *Comm) allreduceRing(send, recv any, op collOp, v ringView) error {
 	p := c.prof()
 	n := c.Size()
-	me := c.Rank()
-	right := (me + 1) % n
-	left := (me + n - 1) % n
+	me := v.pos
+	right := v.right
+	left := v.left
 	esz := op.d.Size()
 	acc, err := cloneNumeric(send, op.count)
 	if err != nil {
@@ -555,28 +569,31 @@ func (c *Comm) scatterBinomial(send, recv any, op collOp) error {
 }
 
 // allgatherRing: n-1 neighbour steps, each forwarding the segment received
-// in the previous step; every rank's recvbuf fills in place.
-func (c *Comm) allgatherRing(send, recv any, op collOp) error {
+// in the previous step; every rank's recvbuf fills in place. Positions come
+// from the view; the circulating segment at position q is always comm rank
+// v.rank(q)'s contribution, so the recv layout stays comm-rank order
+// regardless of walk order.
+func (c *Comm) allgatherRing(send, recv any, op collOp, v ringView) error {
 	p := c.prof()
 	n := c.Size()
-	me := c.Rank()
-	right := (me + 1) % n
-	left := (me + n - 1) % n
+	me := v.pos
+	right := v.right
+	left := v.left
 	segB := op.count * op.d.Size()
 	wire := simnet.GetBuf(segB)
 	defer simnet.PutBuf(wire)
-	if err := copySegmentLocal(recv, send, me*op.count, op.count); err != nil {
+	if err := copySegmentLocal(recv, send, v.rank(me)*op.count, op.count); err != nil {
 		return err
 	}
 	for step := 0; step < n-1; step++ {
 		sendIdx := (me - step + 2*n) % n
 		recvIdx := (me - step - 1 + 2*n) % n
-		if err := encodeSeg(p, op.d, wire, recv, sendIdx*op.count, op.count); err != nil {
+		if err := encodeSeg(p, op.d, wire, recv, v.rank(sendIdx)*op.count, op.count); err != nil {
 			return err
 		}
 		c.sendRaw(wire, right, tagAllgather, step)
 		c.recvRaw(wire, left, tagAllgather, step)
-		if err := decodeSeg(p, op.d, wire, recv, recvIdx*op.count, op.count); err != nil {
+		if err := decodeSeg(p, op.d, wire, recv, v.rank(recvIdx)*op.count, op.count); err != nil {
 			return err
 		}
 	}
@@ -615,9 +632,11 @@ func (c *Comm) alltoallPairwise(send, recv any, op collOp) error {
 	return nil
 }
 
-// alltoallRing: step s sends to (me+s) mod n and receives from (me-s) mod n
-// — the canonical schedule, executed for real.
-func (c *Comm) alltoallRing(send, recv any, op collOp) error {
+// alltoallRing: step s sends to the rank s ring positions ahead and
+// receives from the rank s positions behind — the canonical schedule when
+// the view is the identity, near-neighbour traffic when it is the topology
+// ring.
+func (c *Comm) alltoallRing(send, recv any, op collOp, v ringView) error {
 	p := c.prof()
 	n := c.Size()
 	me := c.Rank()
@@ -634,8 +653,8 @@ func (c *Comm) alltoallRing(send, recv any, op collOp) error {
 		return err
 	}
 	for step := 1; step < n; step++ {
-		dst := (me + step) % n
-		src := (me - step + n) % n
+		dst := v.rank((v.pos + step) % n)
+		src := v.rank((v.pos - step + n) % n)
 		if err := encodeSeg(p, op.d, out, send, dst*op.count, op.count); err != nil {
 			return err
 		}

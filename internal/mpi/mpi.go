@@ -40,16 +40,23 @@ const tagSpan = 2 * MaxUserTag
 // Comm is a communicator: an ordered group of world ranks with a private
 // tag space and its own barrier.
 type Comm struct {
-	rk      *spmd.Rank
-	ranks   []int // world ranks of the members, in comm-rank order
-	myIdx   int   // this rank's position in ranks
-	id      string
-	tagBase int
+	// Hot group: the barrier path reads exactly these fields once per rank
+	// per whole-world operation. With a world of per-rank Comms live the
+	// working set — not the instruction count — decides cache behaviour,
+	// so they are clustered at the top of the struct (tele's first field
+	// is the tracer handle the observe check loads).
+	myIdx   int // this rank's position in ranks
 	barrier *simnet.Barrier
 	barCost model.Time     // prof().BarrierTime(Size()), fixed per communicator
 	clk     *model.Clock   // cached rk.Clock(): the barrier path is O(ranks) calls hot
 	fab     *simnet.Fabric // cached rk.World().Fabric()
-	csh     *collShared    // shared collective rendezvous area
+	traced  bool           // tele.tr != nil, duplicated onto the hot line
+
+	rk      *spmd.Rank
+	ranks   []int // world ranks of the members, in comm-rank order
+	id      string
+	tagBase int
+	csh     *collShared // shared collective rendezvous area
 
 	splitSeq int // per-rank count of Split calls, for scratch key derivation
 	winSeq   int // per-rank count of WinCreate calls
@@ -89,6 +96,10 @@ type commTele struct {
 
 	collCalls *telemetry.Counter              // collective invocations
 	collAlgo  [coll.NAlgos]*telemetry.Counter // invocations per selected algorithm
+	// collSched counts, per collective kind, whether the executed schedule
+	// was topology-aware ([kind][1]) or flat ([kind][0]) — the
+	// hierarchical-engagement picture commstat prints.
+	collSched [coll.NKinds][2]*telemetry.Counter
 
 	rmaPutBytes    *telemetry.Counter // one-sided bytes put into windows
 	rmaGetBytes    *telemetry.Counter // one-sided bytes read from windows
@@ -143,6 +154,14 @@ func (c *Comm) initTele() {
 		c.tele.collAlgo[a] = reg.Counter("mpi_coll_algo_total", r,
 			telemetry.Label{Key: "algo", Value: a.String()})
 	}
+	for k := coll.Kind(0); k < coll.NKinds; k++ {
+		for ci, class := range [2]string{"flat", "hier"} {
+			c.tele.collSched[k][ci] = reg.Counter("mpi_coll_sched_total", r,
+				telemetry.Label{Key: "kind", Value: k.String()},
+				telemetry.Label{Key: "class", Value: class})
+		}
+	}
+	c.traced = c.tele.tr != nil
 }
 
 // World returns the world communicator for this rank. All ranks of the run
@@ -151,7 +170,7 @@ func (c *Comm) initTele() {
 func World(rk *spmd.Rank) *Comm {
 	c := &Comm{
 		rk:      rk,
-		ranks:   identity(rk.N),
+		ranks:   worldRanks(rk.World()),
 		myIdx:   rk.ID,
 		id:      "world",
 		barrier: rk.World().Fabric().WorldBarrier(),
@@ -163,6 +182,14 @@ func World(rk *spmd.Rank) *Comm {
 	c.csh = collFor(c)
 	c.initTele()
 	return c
+}
+
+// worldRanks returns the world's shared identity rank slice. Every rank's
+// world communicator aliases this one read-only slice: at 64k ranks a
+// per-rank copy would cost n² ints (32 GiB of rank tables) before the first
+// message moves.
+func worldRanks(w *spmd.World) []int {
+	return w.Shared("mpi/worldRanks", func() any { return identity(w.Size()) }).([]int)
 }
 
 func identity(n int) []int {
@@ -241,14 +268,23 @@ func tagBaseFor(w *spmd.World, id string) int {
 	return b
 }
 
-func barrierFor(w *spmd.World, id string, n int) *simnet.Barrier {
+// barrierFor returns the shared barrier for communicator id, creating it on
+// first use. On a hierarchical topology the barrier groups check-ins by the
+// node each member world rank lives on, so sub-communicator barriers get the
+// same node-local combining as the world barrier. ranks must be the
+// communicator's world-rank table, identical on every calling rank.
+func barrierFor(w *spmd.World, id string, ranks []int) *simnet.Barrier {
 	reg := registry(w)
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
 	if b, ok := reg.barriers[id]; ok {
 		return b
 	}
-	b := simnet.NewBarrier(n)
+	var nodeOf func(int) int
+	if h, ok := w.Profile().Topo.(model.Hierarchical); ok {
+		nodeOf = func(i int) int { return h.NodeOf(ranks[i]) }
+	}
+	b := simnet.NewBarrierTopo(len(ranks), nodeOf)
 	reg.barriers[id] = b
 	return b
 }
@@ -348,7 +384,7 @@ func (c *Comm) Barrier() {
 	// maxV >= enter always, so AdvanceTo(maxV)+Advance(barCost) is one Set.
 	after := maxV + c.barCost
 	clk.Set(after)
-	if c.tele.tr != nil || c.fab.Observed() {
+	if c.traced || c.fab.Observed() {
 		c.barrierObserve(enter, maxV, after)
 	}
 }
@@ -431,7 +467,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		}
 	}
 	nc.tagBase = tagBaseFor(c.rk.World(), nc.id)
-	nc.barrier = barrierFor(c.rk.World(), nc.id, len(nc.ranks))
+	nc.barrier = barrierFor(c.rk.World(), nc.id, nc.ranks)
 	nc.barCost = c.prof().BarrierTime(len(nc.ranks))
 	nc.clk = c.clk
 	nc.fab = c.fab

@@ -129,12 +129,12 @@ func TestTunerHysteresis(t *testing.T) {
 	}
 
 	for i := 1; i < TunerHysteresis; i++ {
-		algo, switched := tu.Choose(coll.Allreduce, n, bytes, obs)
+		algo, switched := tu.Choose(coll.Allreduce, n, bytes, coll.Topo{}, obs)
 		if switched || algo != static {
 			t.Fatalf("obs %d: algo=%v switched=%v, want pinned %v", i, algo, switched, static)
 		}
 	}
-	algo, switched := tu.Choose(coll.Allreduce, n, bytes, obs)
+	algo, switched := tu.Choose(coll.Allreduce, n, bytes, coll.Topo{}, obs)
 	if !switched || algo != want {
 		t.Fatalf("at threshold: algo=%v switched=%v, want switch to %v", algo, switched, want)
 	}
@@ -145,7 +145,7 @@ func TestTunerHysteresis(t *testing.T) {
 		t.Errorf("trace recorded %d decisions, want 1", tr.Len())
 	}
 	// Stable afterwards: the same observation keeps the new pin.
-	if _, sw := tu.Choose(coll.Allreduce, n, bytes, obs); sw {
+	if _, sw := tu.Choose(coll.Allreduce, n, bytes, coll.Topo{}, obs); sw {
 		t.Error("tuner switched again on an observation matching its pin")
 	}
 }

@@ -37,11 +37,15 @@ type CollObs struct {
 }
 
 // collKey identifies one tuned decision slot. Bytes are bucketed by log2 so
-// minor payload jitter shares a slot instead of fragmenting the cache.
+// minor payload jitter shares a slot instead of fragmenting the cache, and
+// the placement's topology class keeps hierarchical and flat schedules from
+// polluting each other's EWMAs — the same (kind, comm, size) measures a
+// different schedule on a different placement.
 type collKey struct {
 	kind  coll.Kind
 	n     int
 	class int
+	topo  int
 }
 
 type collState struct {
@@ -76,10 +80,12 @@ func sizeClass(bytes int) int { return bits.Len(uint(bytes)) }
 
 // Choose records the observation and returns the algorithm for this slot,
 // switching only after TunerHysteresis consecutive identical
-// recommendations differ from the pinned choice. switched reports whether
-// this call performed a switch.
-func (t *CollTuner) Choose(k coll.Kind, n, bytes int, obs CollObs) (algo coll.Algo, switched bool) {
-	key := collKey{kind: k, n: n, class: sizeClass(bytes)}
+// recommendations differ from the pinned choice. tp is the communicator's
+// placement (zero when the profile has no topology); it both keys the slot
+// and steers the candidate tables. switched reports whether this call
+// performed a switch.
+func (t *CollTuner) Choose(k coll.Kind, n, bytes int, tp coll.Topo, obs CollObs) (algo coll.Algo, switched bool) {
+	key := collKey{kind: k, n: n, class: sizeClass(bytes), topo: tp.Class()}
 	st := t.slots[key]
 	if st == nil {
 		st = &collState{}
@@ -88,7 +94,7 @@ func (t *CollTuner) Choose(k coll.Kind, n, bytes int, obs CollObs) (algo coll.Al
 	if !st.havePin {
 		// First sight of this slot: pin the static table's choice so the
 		// tuner starts exactly where the untuned system would.
-		st.algo = coll.Choose(k, n, bytes)
+		st.algo = coll.ChooseTopo(k, n, bytes, tp)
 		st.havePin = true
 	}
 
@@ -107,7 +113,7 @@ func (t *CollTuner) Choose(k coll.Kind, n, bytes int, obs CollObs) (algo coll.Al
 		NSPerByte:      st.nsPerByte,
 		QueueHighWater: obs.QueueHighWater,
 	}
-	cand := coll.ChooseTuned(k, n, bytes, fb)
+	cand := coll.ChooseTunedTopo(k, n, bytes, tp, fb)
 	if cand == st.algo {
 		st.streak = 0
 		st.candidate = cand

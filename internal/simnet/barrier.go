@@ -39,11 +39,16 @@ import (
 // A Barrier is safe for repeated use by the same fixed set of n goroutines;
 // participant i must always pass me == i.
 type Barrier struct {
+	// flat and lslot lead the struct so the flat fast path's loads share
+	// one cache line: with thousands of rank goroutines cycling through
+	// Wait, the working set is cache-resident only if each call touches
+	// the minimum number of distinct lines.
+	flat   *barNode // the whole tree, when it is a single node
+	lslot  []int    // slot index within the leaf for each rank
 	n      int
-	flat   *barNode   // the whole tree, when it is a single node
 	leaves []*barNode // leaf node for each rank
-	lslot  []int      // slot index within the leaf for each rank
 	depth  int
+	hier   bool // leaves grouped by topology node, not rank order
 }
 
 // barrierSpin bounds the Gosched spin phase before a waiter parks. A yield
@@ -73,12 +78,6 @@ type barNode struct {
 	nchild int
 	parent *barNode
 	pslot  int // this node's slot index in parent
-
-	// vmax is the flat-mode running maximum: with the world's clocks
-	// usually in lockstep, an arrival is one atomic load (its value is
-	// already the max) instead of a slot write plus an O(n) fold by the
-	// winner. The winner re-arms it to minTime before releasing.
-	vmax atomic.Int64
 
 	_    [64]byte
 	word atomic.Uint64
@@ -135,6 +134,61 @@ func NewBarrierRadix(n, radix int) *Barrier {
 		}
 		level = append(level, nd)
 	}
+	b.buildUpper(level, radix, stride)
+	return b
+}
+
+// NewBarrierTopo creates a barrier whose first combining level is grouped by
+// topology node: ranks sharing a node check in at a node-local flat phase
+// (the sense-reversing generation word of their shared leaf) and only the
+// per-node winners — the "leaders" — feed the radix tree above, so a
+// 64k-rank world does not collapse onto one combining root and release
+// waves stay node-local. nodeOf maps a rank to its node id; nil means no
+// topology. On a scheduler without real parallelism the tree degenerates to
+// the flat single node exactly like NewBarrier — point-to-point waves only
+// pay for themselves when they can overlap — so the hierarchical shape is
+// strictly an arrangement of the existing combining tree, never a change to
+// the max-fold result.
+func NewBarrierTopo(n int, nodeOf func(rank int) int) *Barrier {
+	if nodeOf == nil || n < 2 || runtime.GOMAXPROCS(0) <= 2 {
+		return NewBarrier(n)
+	}
+	// Group ranks by node, preserving first-seen node order.
+	idx := make(map[int]int)
+	var groups [][]int
+	for r := 0; r < n; r++ {
+		nid := nodeOf(r)
+		gi, ok := idx[nid]
+		if !ok {
+			gi = len(groups)
+			idx[nid] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], r)
+	}
+	if len(groups) <= 1 || len(groups) == n {
+		// One node, or one rank per node: hierarchy adds nothing.
+		return NewBarrier(n)
+	}
+	stride := slotStride()
+	b := &Barrier{n: n, leaves: make([]*barNode, n), lslot: make([]int, n), hier: true}
+	level := make([]*barNode, 0, len(groups))
+	for _, g := range groups {
+		nd := &barNode{slots: make([]model.Time, len(g)*stride), stride: stride, nchild: len(g)}
+		for j, r := range g {
+			b.leaves[r] = nd
+			b.lslot[r] = j * stride
+		}
+		level = append(level, nd)
+	}
+	b.buildUpper(level, barrierRadix(len(level)), stride)
+	return b
+}
+
+// buildUpper stacks radix-wide combining levels over the leaf nodes until a
+// single root remains, and installs the flat fast path when the tree is one
+// node.
+func (b *Barrier) buildUpper(level []*barNode, radix, stride int) {
 	b.depth = 1
 	for len(level) > 1 {
 		next := level[:0:0]
@@ -152,13 +206,12 @@ func NewBarrierRadix(n, radix int) *Barrier {
 	}
 	if b.leaves[0].parent == nil {
 		b.flat = b.leaves[0]
-		b.flat.vmax.Store(minTime)
 	}
-	return b
 }
 
-// minTime re-arms the flat-mode running maximum between generations.
-const minTime = int64(-1) << 63
+// Hierarchical reports whether the barrier's first combining level is
+// grouped by topology node.
+func (b *Barrier) Hierarchical() bool { return b.hier }
 
 // Size reports the number of participants.
 func (b *Barrier) Size() int { return b.n }
@@ -170,20 +223,24 @@ func (b *Barrier) Size() int { return b.n }
 func (b *Barrier) Wait(me int, myV model.Time) model.Time {
 	if nd := b.flat; nd != nil {
 		// Flat barrier (the common shape on a scheduler without real
-		// parallelism): fold into the running max, then one check-in.
-		for {
-			m := nd.vmax.Load()
-			if int64(myV) <= m || nd.vmax.CompareAndSwap(m, int64(myV)) {
-				break
-			}
-		}
+		// parallelism): publish the clock with one plain slot store — the
+		// check-in fetch-add below orders it for the winner's fold — and
+		// spin inline; one yield almost always suffices, so the common
+		// waiter path is store, add, load, yield, load.
+		nd.slots[b.lslot[me]] = myV
 		s := nd.word.Add(1)
 		if int(s&0xffffffff) < nd.nchild {
-			nd.waitRelease(uint32(s >> 32))
+			g := uint32(s >> 32)
+			for i := 0; i < barrierSpin; i++ {
+				if uint32(nd.word.Load()>>32) != g {
+					return nd.out
+				}
+				runtime.Gosched()
+			}
+			nd.parkWait(g)
 			return nd.out
 		}
-		v := model.Time(nd.vmax.Load())
-		nd.vmax.Store(minTime)
+		v := nd.fold(myV)
 		nd.release(v)
 		return v
 	}
@@ -255,6 +312,12 @@ func (nd *barNode) waitRelease(g uint32) {
 		}
 		runtime.Gosched()
 	}
+	nd.parkWait(g)
+}
+
+// parkWait is the slow tail of waitRelease: register on (or adopt) the
+// node's parked-waiter channel for generation g and sleep until release.
+func (nd *barNode) parkWait(g uint32) {
 	for {
 		p := nd.park.Load()
 		if p != nil && p.g == g {

@@ -382,12 +382,16 @@ type Endpoint struct {
 	// Unexpected messages: arrival-order FIFO plus per-(src,tag) buckets
 	// over the same Msg set. Buckets persist once created (bounded by the
 	// number of distinct pairs) so steady-state traffic never reallocates.
+	// The map is allocated lazily at first unexpected arrival — at 64k
+	// ranks most endpoints never queue one, and bring-up must not pay 64k
+	// map headers. Nil-map reads are safe everywhere it is consulted.
 	unexFifo    msgQueue
 	unexBuckets map[pairKey]*msgQueue
 	unexCount   int
 	unexpHW     int // high-watermark of the unexpected queue depth
 
 	// Posted receives, bucketed by their (possibly wildcard) pattern.
+	// Lazily allocated at first posting, like unexBuckets.
 	posted      map[pairKey]*recvQueue
 	postedCount int
 	postSeq     uint64
@@ -407,16 +411,6 @@ type Endpoint struct {
 	// dedupe windows; guarded by mu). Both stay nil on a healthy fabric.
 	flt  []linkFault
 	seen []seqWindow
-}
-
-func newEndpoint(f *Fabric, rank int) *Endpoint {
-	ep := &Endpoint{
-		f:           f,
-		rank:        rank,
-		unexBuckets: make(map[pairKey]*msgQueue),
-		posted:      make(map[pairKey]*recvQueue),
-	}
-	return ep
 }
 
 func (ep *Endpoint) lock()   { ep.mu.Lock() }
@@ -547,6 +541,9 @@ func (ep *Endpoint) deliver(m *Msg) {
 	key := pairKey{m.Src, m.Tag}
 	b := ep.unexBuckets[key]
 	if b == nil {
+		if ep.unexBuckets == nil {
+			ep.unexBuckets = make(map[pairKey]*msgQueue)
+		}
 		b = &msgQueue{}
 		ep.unexBuckets[key] = b
 	}
@@ -637,6 +634,9 @@ func (ep *Endpoint) PostRecv(src, tag int, buf []byte, postV model.Time) *RecvRe
 	key := pairKey{src, tag}
 	rq := ep.posted[key]
 	if rq == nil {
+		if ep.posted == nil {
+			ep.posted = make(map[pairKey]*recvQueue)
+		}
 		rq = &recvQueue{}
 		ep.posted[key] = rq
 	}

@@ -49,10 +49,10 @@ var (
 type FaultKind uint8
 
 const (
-	FaultNone     FaultKind = iota
-	FaultDropped            // message dropped; delivered as a payload-free ghost
-	FaultPeerDead           // source or destination rank is configured dead
-	FaultCancelled          // pending wait cancelled by a real-time watchdog
+	FaultNone      FaultKind = iota
+	FaultDropped             // message dropped; delivered as a payload-free ghost
+	FaultPeerDead            // source or destination rank is configured dead
+	FaultCancelled           // pending wait cancelled by a real-time watchdog
 )
 
 func (k FaultKind) String() string {

@@ -120,10 +120,12 @@ type Fabric struct {
 	// Directive-region label interning. Region IDs on events, spans and
 	// metrics are small dense ints so attribution costs an int store, not a
 	// string; labels resolve back through this table. ID 0 is reserved for
-	// the empty label (unattributed traffic).
-	regMu     sync.Mutex
-	regLabels []string
-	regIndex  map[string]int
+	// the empty label (unattributed traffic). Writers serialize on regMu and
+	// publish a fresh snapshot; readers (RegionLabel on every recorded event
+	// at 64k ranks) load the snapshot without taking any lock.
+	regMu    sync.Mutex
+	regSnap  atomic.Pointer[[]string]
+	regIndex map[string]int
 
 	// Post-mortem dumps captured by ReportFailure, bounded so a fault storm
 	// cannot hoard memory.
@@ -131,20 +133,36 @@ type Fabric struct {
 	pms  []*Postmortem
 }
 
-// NewFabric creates a fabric with n ranks.
+// NewFabric creates a fabric with n ranks and a flat world barrier.
 func NewFabric(n int) *Fabric {
+	return NewFabricTopo(n, nil)
+}
+
+// NewFabricTopo creates a fabric whose world barrier groups check-ins
+// hierarchically when nodeOf is non-nil: nodeOf maps a rank to its node ID,
+// and the barrier runs node-local combining phases that feed a radix tree
+// over node leaders (see NewBarrierTopo). A nil nodeOf yields the flat
+// barrier, which is bit-identical in virtual time either way.
+//
+// Endpoints are arena-allocated in one contiguous slice: at 64k ranks,
+// bring-up makes one allocation instead of 64k, and the matching state of
+// neighbouring ranks shares cache lines during delivery fan-in.
+func NewFabricTopo(n int, nodeOf func(rank int) int) *Fabric {
 	if n <= 0 {
 		panic(fmt.Sprintf("simnet: fabric size %d", n))
 	}
 	f := &Fabric{
-		n:         n,
-		barrier:   NewBarrier(n),
-		regLabels: []string{""},
-		regIndex:  map[string]int{"": 0},
+		n:        n,
+		barrier:  NewBarrierTopo(n, nodeOf),
+		regIndex: map[string]int{"": 0},
 	}
+	snap := []string{""}
+	f.regSnap.Store(&snap)
 	f.eps = make([]*Endpoint, n)
+	arena := make([]Endpoint, n)
 	for i := range f.eps {
-		f.eps[i] = newEndpoint(f, i)
+		arena[i].f, arena[i].rank = f, i
+		f.eps[i] = &arena[i]
 	}
 	return f
 }
@@ -199,28 +217,30 @@ func (f *Fabric) InternRegion(label string) int {
 	if id, ok := f.regIndex[label]; ok {
 		return id
 	}
-	id := len(f.regLabels)
-	f.regLabels = append(f.regLabels, label)
+	old := *f.regSnap.Load()
+	id := len(old)
+	// Copy-on-write: readers hold the old snapshot; the new one becomes
+	// visible atomically with the appended label in place.
+	labels := make([]string, id+1)
+	copy(labels, old)
+	labels[id] = label
+	f.regSnap.Store(&labels)
 	f.regIndex[label] = id
 	return id
 }
 
 // RegionLabel resolves an interned region ID back to its label; unknown IDs
-// (including 0) resolve to "".
+// (including 0) resolve to "". Lock-free: safe on per-event hot paths.
 func (f *Fabric) RegionLabel(id int) string {
-	f.regMu.Lock()
-	defer f.regMu.Unlock()
-	if id < 0 || id >= len(f.regLabels) {
+	labels := *f.regSnap.Load()
+	if id < 0 || id >= len(labels) {
 		return ""
 	}
-	return f.regLabels[id]
+	return labels[id]
 }
 
-// RegionLabels snapshots the intern table, indexed by region ID.
+// RegionLabels snapshots the intern table, indexed by region ID. The
+// returned slice is immutable shared state; callers must not modify it.
 func (f *Fabric) RegionLabels() []string {
-	f.regMu.Lock()
-	defer f.regMu.Unlock()
-	out := make([]string, len(f.regLabels))
-	copy(out, f.regLabels)
-	return out
+	return *f.regSnap.Load()
 }

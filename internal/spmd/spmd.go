@@ -38,8 +38,16 @@ func NewWorld(n int, prof *model.Profile) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("spmd: world size %d", n)
 	}
+	// On a hierarchical topology the world barrier groups check-ins by node
+	// so contention scales with node count, not rank count. Virtual time is
+	// unchanged either way (the barrier is a max-reduction regardless of
+	// combining order), so golden-pinned runs are unaffected.
+	var nodeOf func(int) int
+	if h, ok := prof.Topo.(model.Hierarchical); ok {
+		nodeOf = h.NodeOf
+	}
 	return &World{
-		fabric: simnet.NewFabric(n),
+		fabric: simnet.NewFabricTopo(n, nodeOf),
 		prof:   prof,
 		shared: make(map[string]any),
 	}, nil
