@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify chaos bench bench-scale bench-scale-check bench-rma bench-rma-check bench-runtime bench-runtime-check bench-all clean
+.PHONY: all build test verify chaos bench bench-scale bench-scale-check bench-rma bench-rma-check bench-runtime bench-runtime-check bench-transport bench-transport-check bench-all clean
 
 all: build
 
@@ -12,16 +12,21 @@ test:
 
 # verify is the repo's standing quality gate: static analysis, the internal
 # test suite under the race detector (including the 8-sender endpoint stress
-# test), the typemap suite again under the `purego` tag so the
+# test), the shared-memory transport stress and cross-transport equivalence
+# suites re-run at GOMAXPROCS=4 (the default pass inherits the host's
+# GOMAXPROCS, which on a single-P box would never exercise true rank
+# parallelism — the lock-free mailbox's memory-order claims are only
+# meaningfully checked by -race when ranks genuinely preempt each other),
+# the typemap suite again under the `purego` tag so the
 # reflection pack/unpack path — the fast path's correctness oracle — stays
 # exercised even though normal builds take the zero-copy path, and the
 # telemetry gates re-run without -race (the disabled-telemetry overhead
 # bound is a timing assertion the race detector would skew; the metric-name
-# collision check rides along). The final line is the managed-runtime
-# golden-compatibility gate: with COMMINTENT_MANAGED_RUNTIME explicitly
+# collision check rides along). The final line is the golden-compatibility
+# gate: with COMMINTENT_MANAGED_RUNTIME and COMMINTENT_TRANSPORT explicitly
 # cleared, every virtual-time golden (chaos hashes, pinned schedules, the
 # figure pins) must still be bit-identical — the adaptive layer off is
-# contractually a no-op.
+# contractually a no-op, and the default transport is contractually simnet.
 #
 # internal/typemap is vetted with -unsafeptr=false: its noescape laundering
 # (quarantined in noescape.go) is exactly the pattern that heuristic flags.
@@ -31,9 +36,10 @@ verify:
 	$(GO) vet -unsafeptr=false ./internal/typemap/
 	$(GO) vet $$($(GO) list ./... | grep -v internal/typemap)
 	$(GO) test -race ./internal/... ./cmd/... .
+	GOMAXPROCS=4 $(GO) test -race -run 'TestTransportShmStress|TestTransportEquiv|TestManySendersOneReceiver' ./internal/mpi/ ./internal/shmtransport/
 	$(GO) test -tags purego ./internal/typemap/ ./internal/mpi/ ./internal/shmem/
 	$(GO) test -run 'TestDisabledTelemetryOverhead|TestMetricNamesCollisionFree' ./internal/telemetry/
-	COMMINTENT_MANAGED_RUNTIME= $(GO) test -run 'TestChaosHaloSweep|TestVirtualTimePinned|TestFiguresPinned|TestRetuneOffIsBitIdentical' . ./internal/mpi/ ./internal/bench/
+	COMMINTENT_MANAGED_RUNTIME= COMMINTENT_TRANSPORT= $(GO) test -run 'TestChaosHaloSweep|TestVirtualTimePinned|TestFiguresPinned|TestRetuneOffIsBitIdentical' . ./internal/mpi/ ./internal/bench/
 
 # chaos is the hang-proofing gate: the fault-injection sweep (64 and 256
 # ranks at 0%/1%/5% drop) under the race detector, asserting that every
@@ -118,6 +124,39 @@ bench-runtime-check:
 	COMMINTENT_MANAGED_RUNTIME=1 $(GO) test -run XXX -bench BenchmarkRuntime -benchmem -count=5 -timeout 0 . | $(GO) run ./cmd/benchjson -compare BENCH_runtime.json > /dev/null
 	@echo runtime benchmarks within budget
 
+# bench-transport runs the cross-transport suite (4 KiB ping-pong, the
+# 256-rank allreduce, and the full Figure 4 directive workload — each on
+# simnet and on the parallel shm transport at GOMAXPROCS 1/4/8) and
+# snapshots it into BENCH_transport.json. There is no -baseline file: the
+# comparison of interest is inside the report itself, simnet/* versus shm/*
+# rows for the same workload. Iteration counts are pinned per workload
+# rather than letting the framework ramp toward 1s: the p4/p8 rows run
+# more Ps than this box has CPUs, and an open-ended ramp there can crawl
+# for minutes inside one spin-then-park scheduling pathology for no extra
+# signal (same reasoning as bench-scale's Big pass). Same -timeout 0
+# rationale as bench-scale. Caveat when reading the numbers: on a
+# single-core box every p4/p8 row measures Go scheduler overhead on one
+# CPU, not rank parallelism — see DESIGN.md §16 before drawing speedup
+# conclusions.
+bench-transport:
+	$(GO) test -run XXX -bench BenchmarkTransportPingpong4K -benchmem -count=5 -benchtime 100000x -timeout 0 . | tee bench_transport.out
+	$(GO) test -run XXX -bench BenchmarkTransportAllreduce256 -benchmem -count=5 -benchtime 200x -timeout 0 . | tee -a bench_transport.out
+	$(GO) test -run XXX -bench BenchmarkTransportFig4 -benchmem -count=3 -benchtime 30x -timeout 0 . | tee -a bench_transport.out
+	$(GO) run ./cmd/benchjson < bench_transport.out > BENCH_transport.json
+	@rm -f bench_transport.out
+	@echo wrote BENCH_transport.json
+
+# bench-transport-check is the cross-transport wall-clock regression gate,
+# the analogue of bench-scale-check: re-run the suite and fail if any
+# benchmark's best sample sits >25% above the committed
+# BENCH_transport.json median.
+bench-transport-check:
+	( $(GO) test -run XXX -bench BenchmarkTransportPingpong4K -benchmem -count=5 -benchtime 100000x -timeout 0 . ; \
+	  $(GO) test -run XXX -bench BenchmarkTransportAllreduce256 -benchmem -count=5 -benchtime 200x -timeout 0 . ; \
+	  $(GO) test -run XXX -bench BenchmarkTransportFig4 -benchmem -count=3 -benchtime 30x -timeout 0 . ) \
+	  | $(GO) run ./cmd/benchjson -compare BENCH_transport.json > /dev/null
+	@echo transport benchmarks within budget
+
 # bench-all additionally runs every other benchmark once (the virtual-time
 # figure benchmarks live in internal packages).
 bench-all: bench
@@ -125,4 +164,4 @@ bench-all: bench
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_dataplane.out bench_scale.out bench_rma.out bench_runtime.out
+	rm -f bench_dataplane.out bench_scale.out bench_rma.out bench_runtime.out bench_transport.out

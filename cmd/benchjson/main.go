@@ -181,7 +181,7 @@ func main() {
 		fatal(err)
 	}
 	if *compare != "" {
-		if err := checkRegressions(*compare, rep.Results, *maxRegress); err != nil {
+		if err := checkRegressions(*compare, rep.Results, rep.Context, *maxRegress); err != nil {
 			fatal(err)
 		}
 	}
@@ -192,7 +192,13 @@ func main() {
 // the allowed margin even in its cleanest sample. A committed benchmark
 // that is missing from the current run also fails: a renamed or deleted
 // benchmark would otherwise turn the gate into a silent no-op.
-func checkRegressions(path string, cur map[string]*summary, maxRegress float64) error {
+//
+// Before any timing comparison, the run environment must match: a report
+// committed under a different Go version or GOMAXPROCS is not a valid
+// wall-clock baseline for this run, and silently comparing against it
+// turns the gate into noise in both directions. Both contexts are printed
+// so the mismatch is actionable.
+func checkRegressions(path string, cur map[string]*summary, curCtx map[string]string, maxRegress float64) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -200,6 +206,9 @@ func checkRegressions(path string, cur map[string]*summary, maxRegress float64) 
 	var committed report
 	if err := json.Unmarshal(blob, &committed); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := checkContext(path, committed.Context, curCtx); err != nil {
+		return err
 	}
 	limit := 1 + maxRegress/100
 	var bad []string
@@ -225,6 +234,24 @@ func checkRegressions(path string, cur map[string]*summary, maxRegress float64) 
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("wall-clock regression vs %s:\n  %s", path, strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// checkContext refuses a comparison whose environment-sensitive context
+// keys differ from the committed report's. An unstamped committed report
+// (predating the stamps) also refuses: regenerate it so the baseline
+// documents what produced it.
+func checkContext(path string, committed, cur map[string]string) error {
+	var bad []string
+	for _, k := range []string{"goversion", "gomaxprocs"} {
+		if committed[k] != cur[k] {
+			bad = append(bad, fmt.Sprintf("%s: committed %q vs current %q", k, committed[k], cur[k]))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("refusing -compare against %s: run context differs (re-baseline on this environment or match it):\n  %s",
+			path, strings.Join(bad, "\n  "))
 	}
 	return nil
 }

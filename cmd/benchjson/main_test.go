@@ -76,7 +76,7 @@ func TestCompareWithinBudget(t *testing.T) {
 	cur := map[string]*summary{
 		"BenchmarkScaleHalo/n=64": {NsPerOpMin: 1200},
 	}
-	if err := checkRegressions(path, cur, 25); err != nil {
+	if err := checkRegressions(path, cur, nil, 25); err != nil {
 		t.Errorf("20%% over median should pass a 25%% budget: %v", err)
 	}
 }
@@ -88,7 +88,7 @@ func TestCompareRegressionFails(t *testing.T) {
 	cur := map[string]*summary{
 		"BenchmarkScaleHalo/n=64": {NsPerOpMin: 1300},
 	}
-	err := checkRegressions(path, cur, 25)
+	err := checkRegressions(path, cur, nil, 25)
 	if err == nil || !strings.Contains(err.Error(), "slower") {
 		t.Errorf("30%% regression should fail: %v", err)
 	}
@@ -105,8 +105,64 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 	cur := map[string]*summary{
 		"BenchmarkScaleHalo/n=64": {NsPerOpMin: 900},
 	}
-	err := checkRegressions(path, cur, 25)
+	err := checkRegressions(path, cur, nil, 25)
 	if err == nil || !strings.Contains(err.Error(), "missing from this run") {
 		t.Errorf("missing benchmark should fail loudly: %v", err)
+	}
+}
+
+// writeReportCtx is writeReport with an explicit context section.
+func writeReportCtx(t *testing.T, results map[string]*summary, ctx map[string]string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	blob, err := json.Marshal(report{Results: results, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareContextMismatchRefuses: a baseline committed under a
+// different Go version or GOMAXPROCS is not comparable — the gate must
+// refuse outright and print both contexts rather than emit a nonsense
+// verdict.
+func TestCompareContextMismatchRefuses(t *testing.T) {
+	res := map[string]*summary{"BenchmarkScaleHalo/n=64": {NsPerOpMed: 1000}}
+	cur := map[string]*summary{"BenchmarkScaleHalo/n=64": {NsPerOpMin: 900}}
+	path := writeReportCtx(t, res, map[string]string{"goversion": "go1.23.0", "gomaxprocs": "1"})
+	err := checkRegressions(path, cur, map[string]string{"goversion": "go1.24.0", "gomaxprocs": "1"}, 25)
+	if err == nil || !strings.Contains(err.Error(), "go1.23.0") || !strings.Contains(err.Error(), "go1.24.0") {
+		t.Errorf("goversion mismatch should refuse and print both: %v", err)
+	}
+	err = checkRegressions(path, cur, map[string]string{"goversion": "go1.23.0", "gomaxprocs": "8"}, 25)
+	if err == nil || !strings.Contains(err.Error(), "gomaxprocs") {
+		t.Errorf("gomaxprocs mismatch should refuse: %v", err)
+	}
+}
+
+// TestCompareContextMatchProceeds: matching stamps fall through to the
+// normal timing comparison.
+func TestCompareContextMatchProceeds(t *testing.T) {
+	res := map[string]*summary{"BenchmarkScaleHalo/n=64": {NsPerOpMed: 1000}}
+	cur := map[string]*summary{"BenchmarkScaleHalo/n=64": {NsPerOpMin: 900}}
+	ctx := map[string]string{"goversion": "go1.24.0", "gomaxprocs": "1"}
+	path := writeReportCtx(t, res, ctx)
+	if err := checkRegressions(path, cur, ctx, 25); err != nil {
+		t.Errorf("matching context should proceed to a passing comparison: %v", err)
+	}
+}
+
+// TestCompareUnstampedBaselineRefuses: a committed report predating the
+// environment stamps cannot vouch for its own comparability.
+func TestCompareUnstampedBaselineRefuses(t *testing.T) {
+	res := map[string]*summary{"BenchmarkScaleHalo/n=64": {NsPerOpMed: 1000}}
+	cur := map[string]*summary{"BenchmarkScaleHalo/n=64": {NsPerOpMin: 900}}
+	path := writeReport(t, res)
+	err := checkRegressions(path, cur, map[string]string{"goversion": "go1.24.0", "gomaxprocs": "1"}, 25)
+	if err == nil || !strings.Contains(err.Error(), "context differs") {
+		t.Errorf("unstamped baseline should refuse: %v", err)
 	}
 }

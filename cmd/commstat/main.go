@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -44,6 +45,7 @@ import (
 	"commintent/internal/spmd"
 	"commintent/internal/telemetry"
 	"commintent/internal/trace"
+	"commintent/internal/transport"
 	"commintent/internal/typemap"
 )
 
@@ -62,6 +64,7 @@ func main() {
 	managed := flag.String("managed", "", "managed-runtime config for this run: off, on, full, or a comma list of retune,coalesce,autosync (overrides $"+rt.EnvVar+")")
 	profile := flag.String("profile", "gemini", "machine profile: gemini, ethernet, torus or dragonfly")
 	profileFile := flag.String("profile-file", "", "load a custom machine profile from a JSON file (overrides -profile)")
+	transportSel := flag.String("transport", "", "two-sided transport: simnet (virtual time) or shm (parallel, wall time); overrides the profile's transport field ($"+transport.EnvVar+" still wins)")
 	flag.Parse()
 
 	if *managed != "" {
@@ -99,6 +102,10 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown profile %q", *profile))
 		}
+	}
+
+	if *transportSel != "" {
+		prof.Transport = *transportSel
 	}
 
 	w, err := spmd.NewWorld(*n, prof)
@@ -217,6 +224,7 @@ func main() {
 		fmt.Println(line)
 	}
 	printTopology(prof, reg, hops, *n)
+	printTransport(w, *n)
 	printRuntimeDecisions(reg, mpi.ManagedTrace(w), *n)
 
 	if bc := sumCounter(reg, "mpi_barrier_calls_total", *n); bc > 0 {
@@ -373,6 +381,51 @@ func printTopology(prof *model.Profile, reg *telemetry.Registry, hh *hopHist, n 
 		line += " n/a (no collectives ran)"
 	}
 	fmt.Println(line)
+}
+
+// printTransport renders the data-plane picture: which two-sided transport
+// carried the run, whether the duration-valued histograms hold modelled
+// virtual time or measured wall time, and — on the shared-memory transport —
+// the mailbox and unexpected-queue occupancy high-watermarks per port.
+// Every line is n/a-safe on simnet, where the mailboxes do not exist.
+func printTransport(w *spmd.World, n int) {
+	fmt.Printf("\n== transport ==\n")
+	kind := w.Transport()
+	fmt.Printf("transport: %s", kind)
+	if kind == transport.SharedMem {
+		fmt.Printf(" (ranks parallel across %d P(s), wall clock)\n", runtime.GOMAXPROCS(0))
+	} else {
+		fmt.Println(" (deterministic virtual time, cooperative schedule)")
+	}
+	src := "virtual (canonical cost-model replay)"
+	if kind == transport.SharedMem {
+		src = "measured (monotonic wall clock)"
+	}
+	for _, h := range []string{"mpi_wait_virtual_ns", "mpi_wait_virtual_ns_by_region", "core_region_virtual_ns", "mpi_barrier_idle_virtual_ns_total"} {
+		fmt.Printf("duration source %-34s %s\n", h+":", src)
+	}
+	net := w.ShmNet()
+	if net == nil {
+		fmt.Println("mailbox high-watermarks: n/a (simnet matches inside the fabric)")
+		return
+	}
+	var maxMail, maxUnexp, sumMail int
+	for r := 0; r < n; r++ {
+		p := net.Port(r)
+		if hw := p.MailboxHighWatermark(); hw > maxMail {
+			maxMail = hw
+		}
+		sumMail += p.MailboxHighWatermark()
+		if hw := p.UnexpectedHighWatermark(); hw > maxUnexp {
+			maxUnexp = hw
+		}
+	}
+	avg := "n/a"
+	if n > 0 {
+		avg = fmt.Sprintf("%.1f", float64(sumMail)/float64(n))
+	}
+	fmt.Printf("mailbox drain high-watermark: max %d message(s)/drain, mean %s across %d port(s)\n", maxMail, avg, n)
+	fmt.Printf("unexpected-queue high-watermark (transport view): %d message(s)\n", maxUnexp)
 }
 
 // printRuntimeDecisions renders the managed runtime's adaptive picture:

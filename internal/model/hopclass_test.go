@@ -1,0 +1,101 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// Hop-class latency tables: entry h prices hop count h, the last entry
+// covers every farther class, and an empty table falls back to the linear
+// per-hop rate.
+
+func hopClassProfile() *Profile {
+	p := GeminiLike().WithTorus(4, 1, 1, 1, 100*Nanosecond, 90*Nanosecond)
+	p.MPIHopClassLatency = []Time{0, 700 * Nanosecond, 2500 * Nanosecond}
+	p.ShmemHopClassLatency = []Time{0, 600 * Nanosecond}
+	return p
+}
+
+func TestHopClassTableLookup(t *testing.T) {
+	p := hopClassProfile()
+	base := p.MPILatency
+	// Ranks 0..3 on a 4-ring: hops(0,1)=1, hops(0,2)=2 (farther than the
+	// table is long on the shmem side).
+	if got, want := p.MPILatencyBetween(0, 0), base; got != want {
+		t.Errorf("class 0: got %v want %v", got, want)
+	}
+	if got, want := p.MPILatencyBetween(0, 1), base+700*Nanosecond; got != want {
+		t.Errorf("class 1: got %v want %v", got, want)
+	}
+	if got, want := p.MPILatencyBetween(0, 2), base+2500*Nanosecond; got != want {
+		t.Errorf("class 2: got %v want %v", got, want)
+	}
+	// Shmem table has entries for classes 0 and 1 only; two hops clamp to
+	// the last entry.
+	sbase := p.ShmemLatency
+	if got, want := p.ShmemLatencyBetween(0, 2), sbase+600*Nanosecond; got != want {
+		t.Errorf("shmem clamp: got %v want %v", got, want)
+	}
+}
+
+func TestHopClassEmptyTableLinear(t *testing.T) {
+	p := hopClassProfile()
+	p.MPIHopClassLatency = nil
+	if got, want := p.MPILatencyBetween(0, 2), p.MPILatency+2*p.MPIPerHopLatency; got != want {
+		t.Errorf("linear fallback: got %v want %v", got, want)
+	}
+}
+
+func TestValidateHopClassAndTransport(t *testing.T) {
+	p := hopClassProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := *p
+	bad.MPIHopClassLatency = []Time{0, -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative hop-class entry accepted")
+	}
+	bad = *p
+	bad.Transport = "tcp"
+	err := bad.Validate()
+	if err == nil || !strings.Contains(err.Error(), "transport") {
+		t.Errorf("unknown transport accepted: %v", err)
+	}
+	for _, ok := range []string{"", "simnet", "shm"} {
+		good := *p
+		good.Transport = ok
+		if err := good.Validate(); err != nil {
+			t.Errorf("transport %q rejected: %v", ok, err)
+		}
+	}
+}
+
+func TestHopClassJSONRoundTrip(t *testing.T) {
+	p := hopClassProfile()
+	p.Transport = "shm"
+	blob, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Profile
+	if err := q.UnmarshalJSON(blob); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.MPIHopClassLatency) != len(p.MPIHopClassLatency) {
+		t.Fatalf("mpi table lost: %v", q.MPIHopClassLatency)
+	}
+	for i := range p.MPIHopClassLatency {
+		if q.MPIHopClassLatency[i] != p.MPIHopClassLatency[i] {
+			t.Errorf("mpi[%d] = %v want %v", i, q.MPIHopClassLatency[i], p.MPIHopClassLatency[i])
+		}
+	}
+	for i := range p.ShmemHopClassLatency {
+		if q.ShmemHopClassLatency[i] != p.ShmemHopClassLatency[i] {
+			t.Errorf("shmem[%d] = %v want %v", i, q.ShmemHopClassLatency[i], p.ShmemHopClassLatency[i])
+		}
+	}
+	if q.Transport != "shm" {
+		t.Errorf("transport = %q want shm", q.Transport)
+	}
+}

@@ -50,6 +50,11 @@ type profileJSON struct {
 
 	Torus     *torusJSON     `json:"torus,omitempty"`
 	Dragonfly *dragonflyJSON `json:"dragonfly,omitempty"`
+
+	MPIHopClassLatencyNS   []int64 `json:"mpi_hop_class_latency_ns,omitempty"`
+	ShmemHopClassLatencyNS []int64 `json:"shmem_hop_class_latency_ns,omitempty"`
+
+	Transport string `json:"transport,omitempty"`
 }
 
 type torusJSON struct {
@@ -107,6 +112,13 @@ func (p *Profile) MarshalJSON() ([]byte, error) {
 		ShmemBarrierHopNS:   int64(p.ShmemBarrierHop),
 		ShmemWaitPollNS:     int64(p.ShmemWaitPoll),
 		MemcpyPerByte:       p.MemcpyPerByte,
+		Transport:           p.Transport,
+	}
+	for _, v := range p.MPIHopClassLatency {
+		j.MPIHopClassLatencyNS = append(j.MPIHopClassLatencyNS, int64(v))
+	}
+	for _, v := range p.ShmemHopClassLatency {
+		j.ShmemHopClassLatencyNS = append(j.ShmemHopClassLatencyNS, int64(v))
 	}
 	switch t := p.Topo.(type) {
 	case Torus3D:
@@ -170,6 +182,13 @@ func (p *Profile) UnmarshalJSON(data []byte) error {
 		ShmemBarrierHop:   Time(j.ShmemBarrierHopNS),
 		ShmemWaitPoll:     Time(j.ShmemWaitPollNS),
 		MemcpyPerByte:     j.MemcpyPerByte,
+		Transport:         j.Transport,
+	}
+	for _, v := range j.MPIHopClassLatencyNS {
+		p.MPIHopClassLatency = append(p.MPIHopClassLatency, Time(v))
+	}
+	for _, v := range j.ShmemHopClassLatencyNS {
+		p.ShmemHopClassLatency = append(p.ShmemHopClassLatency, Time(v))
 	}
 	if j.Torus != nil && j.Dragonfly != nil {
 		return fmt.Errorf("model: profile %q declares both torus and dragonfly topologies", j.Name)

@@ -76,6 +76,22 @@ type Profile struct {
 	Topo               Topology
 	MPIPerHopLatency   Time
 	ShmemPerHopLatency Time
+
+	// Hop-class routing tables refine the linear per-hop charge: when
+	// non-empty, the latency between ranks a and b is *Latency +
+	// table[min(Hops(a,b), len(table)-1)] instead of Hops*PerHop. This
+	// models real routing tiers (node-local vs. router-local vs. global
+	// optical) whose costs are not multiples of one hop. Entry 0 is the
+	// on-node (zero-hop) class and must normally be 0.
+	MPIHopClassLatency   []Time
+	ShmemHopClassLatency []Time
+
+	// Transport names the lowering target for two-sided data movement:
+	// "simnet" (default when empty) runs ranks on the deterministic
+	// virtual-time fabric; "shm" runs them truly parallel on the in-process
+	// shared-memory transport with wall-clock completion. The
+	// COMMINTENT_TRANSPORT environment variable overrides this field.
+	Transport string
 }
 
 // Validate reports an error if the profile has nonsensical parameters.
@@ -96,6 +112,18 @@ func (p *Profile) Validate() error {
 		if v < 0 {
 			return fmt.Errorf("model: profile %q has a negative cost parameter", p.Name)
 		}
+	}
+	for _, tbl := range [][]Time{p.MPIHopClassLatency, p.ShmemHopClassLatency} {
+		for _, v := range tbl {
+			if v < 0 {
+				return fmt.Errorf("model: profile %q has a negative hop-class latency", p.Name)
+			}
+		}
+	}
+	switch p.Transport {
+	case "", "simnet", "shm":
+	default:
+		return fmt.Errorf("model: profile %q names unknown transport %q (want simnet or shm)", p.Name, p.Transport)
 	}
 	return nil
 }

@@ -50,17 +50,55 @@ func Min(a, b Time) Time {
 	return b
 }
 
-// Clock is a monotonically advancing virtual clock owned by a single rank.
-// It is not safe for concurrent use; each rank goroutine owns exactly one.
+// Clock is a monotonically advancing clock owned by a single rank. The zero
+// value is a virtual clock: time stands still except where the cost model
+// advances it, which is what makes simnet runs deterministic. SetWall flips
+// it into wall mode, where Now reads the real monotonic clock relative to a
+// shared epoch and the cost-model mutators become no-ops — the seam that
+// lets the same substrate code (mpi, shmem, retry/deadline machinery) run on
+// a real parallel transport without forking every call site on "what is
+// time".
+//
+// A virtual Clock is not safe for concurrent use; each rank goroutine owns
+// exactly one. A wall Clock is safe for concurrent reads once configured,
+// because its only state is set before rank goroutines start.
 type Clock struct {
-	now Time
+	now   Time
+	wall  bool
+	epoch time.Time
 }
 
-// Now reports the current virtual time.
-func (c *Clock) Now() Time { return c.now }
+// SetWall switches the clock into wall mode: Now reports nanoseconds elapsed
+// since epoch on the real monotonic clock, and Advance/AdvanceTo/Set become
+// no-ops. All ranks of a world share one epoch so cross-rank timestamps
+// (message arrival, barrier max-folds) stay comparable. Must be called
+// before the owning rank goroutine starts.
+func (c *Clock) SetWall(epoch time.Time) {
+	c.wall = true
+	c.epoch = epoch
+}
+
+// Wall reports whether the clock is in wall mode.
+func (c *Clock) Wall() bool { return c.wall }
+
+// Now reports the current time: virtual nanoseconds in virtual mode, real
+// monotonic nanoseconds since the epoch in wall mode.
+func (c *Clock) Now() Time {
+	if c.wall {
+		return Time(time.Since(c.epoch))
+	}
+	return c.now
+}
 
 // Advance moves the clock forward by d. Negative d is a programming error.
+// In wall mode the cost model does not drive time, so Advance is a pure
+// no-op returning 0 — deliberately not a wall reading, because the monotonic
+// clock read costs more than everything else on the message hot path and no
+// caller uses the result (wall readings come from Now).
 func (c *Clock) Advance(d Time) Time {
+	if c.wall {
+		return 0
+	}
 	if d < 0 {
 		panic(fmt.Sprintf("model: negative clock advance %d", d))
 	}
@@ -69,7 +107,11 @@ func (c *Clock) Advance(d Time) Time {
 }
 
 // AdvanceTo moves the clock to at least t; the clock never moves backward.
+// A pure no-op returning 0 in wall mode, like Advance.
 func (c *Clock) AdvanceTo(t Time) Time {
+	if c.wall {
+		return 0
+	}
 	if t > c.now {
 		c.now = t
 	}
@@ -78,5 +120,10 @@ func (c *Clock) AdvanceTo(t Time) Time {
 
 // Set forces the clock to t, even backward. It is intended for the SPMD
 // runtime when (re)initialising ranks; library code should use Advance or
-// AdvanceTo.
-func (c *Clock) Set(t Time) { c.now = t }
+// AdvanceTo. Ignored in wall mode.
+func (c *Clock) Set(t Time) {
+	if c.wall {
+		return
+	}
+	c.now = t
+}

@@ -192,13 +192,29 @@ func (d Dragonfly) Diameter() int {
 	}
 }
 
+// hopClass resolves a hop count through a routing-class table: hops beyond
+// the table clamp to its last class, so a short table ("on-node, in-group,
+// global") covers arbitrarily distant pairs.
+func hopClass(table []Time, hops int) Time {
+	if hops >= len(table) {
+		hops = len(table) - 1
+	}
+	return table[hops]
+}
+
 // MPILatencyBetween reports the two-sided wire latency from rank a to b,
-// honouring the installed topology (the flat default when Topo is nil).
+// honouring the installed topology (the flat default when Topo is nil). A
+// non-empty MPIHopClassLatency table replaces the linear per-hop charge with
+// a per-routing-class lookup.
 func (p *Profile) MPILatencyBetween(a, b int) Time {
 	if p.Topo == nil {
 		return p.MPILatency
 	}
-	return p.MPILatency + Time(p.Topo.Hops(a, b))*p.MPIPerHopLatency
+	h := p.Topo.Hops(a, b)
+	if len(p.MPIHopClassLatency) > 0 {
+		return p.MPILatency + hopClass(p.MPIHopClassLatency, h)
+	}
+	return p.MPILatency + Time(h)*p.MPIPerHopLatency
 }
 
 // ShmemLatencyBetween reports the one-sided wire latency from rank a to b.
@@ -206,7 +222,11 @@ func (p *Profile) ShmemLatencyBetween(a, b int) Time {
 	if p.Topo == nil {
 		return p.ShmemLatency
 	}
-	return p.ShmemLatency + Time(p.Topo.Hops(a, b))*p.ShmemPerHopLatency
+	h := p.Topo.Hops(a, b)
+	if len(p.ShmemHopClassLatency) > 0 {
+		return p.ShmemLatency + hopClass(p.ShmemHopClassLatency, h)
+	}
+	return p.ShmemLatency + Time(h)*p.ShmemPerHopLatency
 }
 
 // WithTorus returns a copy of the profile placed on an X*Y*Z torus with

@@ -97,8 +97,11 @@ func (c *Comm) IsendBatch(parts []BatchPart, dest, tag int) (*Request, error) {
 	clk := c.clock()
 	clk.Advance(p.MPISendOverhead + p.MPIRequestPerItem + encCost + p.InjectTime(n))
 	defer sp.End(clk.Now())
-	arrive := clk.Now() + p.MPILatencyBetween(c.rk.ID, c.WorldRank(dest))
-	sr := c.ep().SendOwned(c.WorldRank(dest), c.wireTag(tag), wire, arrive, false)
+	arrive := clk.Now()
+	if !c.wall {
+		arrive += p.MPILatencyBetween(c.rk.ID, c.WorldRank(dest))
+	}
+	sr := c.port.Send(c.WorldRank(dest), c.wireTag(tag), wire, arrive, false)
 	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSend, Peer: c.WorldRank(dest), Tag: tag, Bytes: n, V: clk.Now()})
 	c.reqPosted()
 	return &Request{comm: c, send: sr, isSend: true, destWorld: c.WorldRank(dest)}, nil
@@ -263,7 +266,7 @@ func (c *Comm) IrecvBatch(q *BatchQueue, source, tag int) (*Request, error) {
 	clk.Advance(p.MPIRecvOverhead + p.MPIRequestPerItem)
 	defer sp.End(clk.Now())
 	wire := simnet.GetBuf(BatchWireCap)
-	rr := c.ep().PostRecv(c.WorldRank(source), c.wireTag(tag), wire, clk.Now())
+	rr := c.port.PostRecv(c.WorldRank(source), c.wireTag(tag), wire, clk.Now())
 	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvRecvPost, Peer: c.WorldRank(source), Tag: tag, Bytes: len(wire), V: clk.Now()})
 	c.reqPosted()
 	return &Request{comm: c, recv: rr, wire: wire, batch: q}, nil

@@ -93,6 +93,15 @@ type collShared struct {
 	// the owner runs with retuning active.
 	tuner *rt.CollTuner
 
+	// Wall-mode tuner feedback. There are no replayed exits to subtract, so
+	// the owner measures each invocation end to end (earliest published
+	// entry to its own post-mover clock) and feeds that duration to the
+	// tuner on the NEXT comparable invocation. Owner-only, like tuner.
+	wallStart model.Time // earliest entry reading of the current invocation
+	lastObs   rt.CollObs // measured observation from the previous invocation
+	lastKind  coll.Kind  // what lastObs measured...
+	lastBytes int        // ...so stale observations are not cross-applied
+
 	// Owner scratch for direct reductions, grown on demand so steady-state
 	// collectives allocate nothing.
 	accF []float64
@@ -172,6 +181,15 @@ func (c *Comm) runCollective(op collOp, send, recv any, localErr error) error {
 			return err
 		}
 	}
+	if c.wall && me == 0 && rt.Active().Retune {
+		// Owner records this invocation's measured duration for the NEXT
+		// comparable invocation's tuner feedback (see chooseAlgo). It runs
+		// on the owner goroutine after the second rendezvous, so no other
+		// rank touches these fields concurrently.
+		sh.lastObs = rt.CollObs{Duration: c.clk.Now() - sh.wallStart}
+		sh.lastKind = op.kind
+		sh.lastBytes = op.count * op.d.Size()
+	}
 	if c.tele.collCalls != nil {
 		c.tele.collCalls.Inc()
 		c.tele.collAlgo[algo].Inc()
@@ -196,24 +214,38 @@ func (c *Comm) collOwner(sh *collShared, op collOp) {
 		}
 		sh.exits[i] = sh.entries[i].v
 	}
-	r := &replayer{p: c.prof(), c: c, v: sh.exits}
-	switch op.kind {
-	case coll.Bcast:
-		r.bcast(op.root, op.count, op.d, sh.arr)
-	case coll.Reduce:
-		r.reduce(op.root, op.count, op.d, sh.arr)
-	case coll.Allreduce:
-		r.reduce(0, op.count, op.d, sh.arr)
-		r.bcast(0, op.count, op.d, sh.arr)
-	case coll.Gather:
-		r.gather(op.root, op.count, op.d, sh.arr)
-	case coll.Scatter:
-		r.scatter(op.root, op.count, op.d, sh.arr)
-	case coll.Allgather:
-		r.gather(0, op.count, op.d, sh.arr)
-		r.bcast(0, c.Size()*op.count, op.d, sh.arr)
-	case coll.Alltoall:
-		r.alltoall(op.count, op.d, sh.entryV)
+	if c.wall {
+		// No canonical replay on the wall clock: exits stay the published
+		// entry readings (rank clocks ignore Set in wall mode) and
+		// durations are measured, not modelled. Record the invocation's
+		// earliest entry so runCollective can measure it end to end.
+		minEntry := sh.entries[0].v
+		for i := 1; i < len(sh.entries); i++ {
+			if v := sh.entries[i].v; v < minEntry {
+				minEntry = v
+			}
+		}
+		sh.wallStart = minEntry
+	} else {
+		r := &replayer{p: c.prof(), c: c, v: sh.exits}
+		switch op.kind {
+		case coll.Bcast:
+			r.bcast(op.root, op.count, op.d, sh.arr)
+		case coll.Reduce:
+			r.reduce(op.root, op.count, op.d, sh.arr)
+		case coll.Allreduce:
+			r.reduce(0, op.count, op.d, sh.arr)
+			r.bcast(0, op.count, op.d, sh.arr)
+		case coll.Gather:
+			r.gather(op.root, op.count, op.d, sh.arr)
+		case coll.Scatter:
+			r.scatter(op.root, op.count, op.d, sh.arr)
+		case coll.Allgather:
+			r.gather(0, op.count, op.d, sh.arr)
+			r.bcast(0, c.Size()*op.count, op.d, sh.arr)
+		case coll.Alltoall:
+			r.alltoall(op.count, op.d, sh.entryV)
+		}
 	}
 	sh.algo = c.chooseAlgo(sh, op)
 	if sh.algo == coll.Direct {
@@ -239,24 +271,34 @@ func (c *Comm) chooseAlgo(sh *collShared, op collOp) coll.Algo {
 	if sh.tuner == nil {
 		sh.tuner = rt.NewCollTuner(ManagedTrace(c.rk.World()), c.id)
 	}
-	minEntry := sh.entries[0].v
-	maxExit := sh.exits[0]
-	for i := 1; i < len(sh.entries); i++ {
-		if v := sh.entries[i].v; v < minEntry {
-			minEntry = v
+	var obs rt.CollObs
+	if c.wall {
+		// Measured feedback runs one invocation late: the previous
+		// comparable invocation's end-to-end wall duration. A zero
+		// duration (first invocation, or shape change) is ignored by the
+		// tuner, so the static choice stands until real data exists.
+		if sh.lastKind == op.kind && sh.lastBytes == bytes {
+			obs.Duration = sh.lastObs.Duration
 		}
-		if v := sh.exits[i]; v > maxExit {
-			maxExit = v
+	} else {
+		minEntry := sh.entries[0].v
+		maxExit := sh.exits[0]
+		for i := 1; i < len(sh.entries); i++ {
+			if v := sh.entries[i].v; v < minEntry {
+				minEntry = v
+			}
+			if v := sh.exits[i]; v > maxExit {
+				maxExit = v
+			}
 		}
+		obs.Duration = maxExit - minEntry
 	}
-	algo, switched := sh.tuner.Choose(op.kind, c.Size(), bytes, sh.topo, rt.CollObs{
-		Duration:       maxExit - minEntry,
-		Wire:           c.prof().WireTime(bytes),
-		Bytes:          bytes,
-		QueueHighWater: c.liveReqsHW,
-		Rank:           c.rk.ID,
-		V:              c.clk.Now(),
-	})
+	obs.Wire = c.prof().WireTime(bytes)
+	obs.Bytes = bytes
+	obs.QueueHighWater = c.liveReqsHW
+	obs.Rank = c.rk.ID
+	obs.V = c.clk.Now()
+	algo, switched := sh.tuner.Choose(op.kind, c.Size(), bytes, sh.topo, obs)
 	if c.tele.retuneEvals != nil {
 		c.tele.retuneEvals.Inc()
 		if switched {

@@ -1,0 +1,214 @@
+package mpi_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/spmd"
+)
+
+// Hop-class routing pin. When a profile carries a hop-class latency table,
+// every P2P message and collective replay prices a hop count through the
+// table (clamped to its last entry) instead of the linear per-hop rate.
+// This golden pins those virtual times on a torus and a dragonfly so the
+// table lookup stays part of the canonical cost model.
+//
+// Regenerate only with a deliberate cost-model change:
+//
+//	go test ./internal/mpi -run TestHopClassPinned -update-hoppin
+var updateHopPin = flag.Bool("update-hoppin", false, "rewrite testdata/hoppin_golden.json from the current implementation")
+
+const hopPinGoldenPath = "testdata/hoppin_golden.json"
+
+// hopPinProfiles is the scenario matrix: each profile exercises a distinct
+// hop-class structure (on-node class 0, then increasingly remote classes;
+// the short table on the dragonfly also pins the clamp-to-last behaviour).
+func hopPinProfiles() []struct {
+	name string
+	prof *model.Profile
+	n    int
+} {
+	torus := model.GeminiLike().WithTorus(4, 2, 1, 2, 400*model.Nanosecond, 350*model.Nanosecond)
+	torus.MPIHopClassLatency = []model.Time{
+		0, 250 * model.Nanosecond, 900 * model.Nanosecond, 2100 * model.Nanosecond,
+	}
+	torus.ShmemHopClassLatency = []model.Time{
+		0, 200 * model.Nanosecond, 750 * model.Nanosecond,
+	}
+	fly := model.GeminiLike().WithDragonfly(
+		model.Dragonfly{Groups: 2, RoutersPerGroup: 2, NodesPerRouter: 1, RanksPerNode: 2, GlobalHopWeight: 3},
+		400*model.Nanosecond, 350*model.Nanosecond)
+	// Deliberately shorter than the dragonfly's largest hop count
+	// (2 + weight 3 = 5): cross-group traffic clamps to the last class.
+	fly.MPIHopClassLatency = []model.Time{
+		0, 300 * model.Nanosecond, 1100 * model.Nanosecond,
+	}
+	return []struct {
+		name string
+		prof *model.Profile
+		n    int
+	}{
+		{"torus-4x2", torus, 16},
+		{"dragonfly-2g2r", fly, 8},
+	}
+}
+
+// hopPinScript marks the virtual clock after operations whose cost depends
+// on the sender–receiver hop class: a far-pair and a near-pair exchange,
+// then collectives whose canonical replay walks the same latency function.
+func hopPinScript(rk *spmd.Rank) ([]int64, error) {
+	c := mpi.World(rk)
+	n := c.Size()
+	me := rk.ID
+	var out []int64
+	mark := func() { out = append(out, int64(rk.Now())) }
+
+	// Pairwise exchange with the diametrically opposite rank: the farthest
+	// hop class a machine of this shape has.
+	far := (me + n/2) % n
+	buf := make([]float64, 16)
+	rcv := make([]float64, 16)
+	if _, err := c.Sendrecv(buf, 16, mpi.Float64, far, 1, rcv, 16, mpi.Float64, far, 1); err != nil {
+		return nil, err
+	}
+	mark()
+
+	// Neighbour exchange: on-node (class 0) for even ranks with two ranks
+	// per node, one local hop otherwise.
+	near := me ^ 1
+	if near < n {
+		if _, err := c.Sendrecv(buf, 16, mpi.Float64, near, 2, rcv, 16, mpi.Float64, near, 2); err != nil {
+			return nil, err
+		}
+	}
+	mark()
+
+	// Collectives: the canonical replay prices each tree edge through the
+	// same hop-class table.
+	ain := make([]float64, 64)
+	aout := make([]float64, 64)
+	ain[me%64] = 1
+	if err := c.Allreduce(ain, aout, 64, mpi.Float64, mpi.OpSum); err != nil {
+		return nil, err
+	}
+	mark()
+
+	b := make([]float64, 32)
+	if me == 0 {
+		for i := range b {
+			b[i] = float64(i)
+		}
+	}
+	if err := c.Bcast(b, 32, mpi.Float64, 0); err != nil {
+		return nil, err
+	}
+	mark()
+
+	a2in := make([]int32, n*4)
+	a2out := make([]int32, n*4)
+	for i := range a2in {
+		a2in[i] = int32(me*100 + i)
+	}
+	if err := c.Alltoall(a2in, 4, mpi.Int32, a2out); err != nil {
+		return nil, err
+	}
+	mark()
+	return out, nil
+}
+
+func runHopPinScenarios(t *testing.T) map[string][][]int64 {
+	t.Helper()
+	got := map[string][][]int64{}
+	for _, sc := range hopPinProfiles() {
+		key := fmt.Sprintf("%s/n%02d", sc.name, sc.n)
+		times := make([][]int64, sc.n)
+		err := spmd.Run(sc.n, sc.prof, func(rk *spmd.Rank) error {
+			ts, err := hopPinScript(rk)
+			if err != nil {
+				return err
+			}
+			times[rk.ID] = ts
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		got[key] = times
+	}
+	return got
+}
+
+func TestHopClassPinned(t *testing.T) {
+	got := runHopPinScenarios(t)
+
+	if *updateHopPin {
+		blob, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(hopPinGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(hopPinGoldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d scenarios)", hopPinGoldenPath, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(hopPinGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-hoppin): %v", err)
+	}
+	var want map[string][][]int64
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("scenario %s missing from run", key)
+			continue
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: virtual times diverge from golden\n got: %v\nwant: %v", key, g, w)
+		}
+	}
+	for key := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("scenario %s not in golden (regenerate with -update-hoppin)", key)
+		}
+	}
+}
+
+// TestHopClassChangesTimes guards against the golden silently pinning the
+// linear path: the same program with the table removed must produce
+// different virtual times (the table entries above are deliberately not
+// multiples of the per-hop rate).
+func TestHopClassChangesTimes(t *testing.T) {
+	sc := hopPinProfiles()[0]
+	flat := *sc.prof
+	flat.MPIHopClassLatency = nil
+	flat.ShmemHopClassLatency = nil
+	run := func(p *model.Profile) [][]int64 {
+		times := make([][]int64, sc.n)
+		if err := spmd.Run(sc.n, p, func(rk *spmd.Rank) error {
+			ts, err := hopPinScript(rk)
+			times[rk.ID] = ts
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	if reflect.DeepEqual(run(sc.prof), run(&flat)) {
+		t.Fatal("hop-class table had no effect on virtual times")
+	}
+}

@@ -135,13 +135,13 @@ func (c *Comm) runMover(op collOp, send, recv any, algo coll.Algo) error {
 func (c *Comm) sendRaw(data []byte, dst, opTag, round int) {
 	wire := simnet.GetBuf(len(data))
 	copy(wire, data)
-	c.ep().SendOwned(c.WorldRank(dst), c.innerTag(opTag+round*8), wire, 0, false)
+	c.port.Send(c.WorldRank(dst), c.innerTag(opTag+round*8), wire, 0, false)
 }
 
 // recvRaw blocks until a message from comm rank src with the given tag
 // lands in buf, with zero virtual post time.
 func (c *Comm) recvRaw(buf []byte, src, opTag, round int) int {
-	rr := c.ep().PostRecv(c.WorldRank(src), c.innerTag(opTag+round*8), buf, 0)
+	rr := c.port.PostRecv(c.WorldRank(src), c.innerTag(opTag+round*8), buf, 0)
 	rr.Wait()
 	n := rr.Len()
 	rr.Release()

@@ -24,6 +24,7 @@ import (
 	"commintent/internal/simnet"
 	"commintent/internal/spmd"
 	"commintent/internal/telemetry"
+	"commintent/internal/transport"
 )
 
 // MaxUserTag bounds user-supplied tags so communicators can partition the
@@ -50,6 +51,8 @@ type Comm struct {
 	barCost model.Time     // prof().BarrierTime(Size()), fixed per communicator
 	clk     *model.Clock   // cached rk.Clock(): the barrier path is O(ranks) calls hot
 	fab     *simnet.Fabric // cached rk.World().Fabric()
+	port    transport.Port // the two-sided data plane (simnet or shared-memory)
+	wall    bool           // clock is wall-time: skip cost arithmetic, measure instead
 	traced  bool           // tele.tr != nil, duplicated onto the hot line
 
 	rk      *spmd.Rank
@@ -178,6 +181,8 @@ func World(rk *spmd.Rank) *Comm {
 	c.barCost = rk.Profile().BarrierTime(rk.N)
 	c.clk = rk.Clock()
 	c.fab = rk.World().Fabric()
+	c.port = rk.Port()
+	c.wall = c.clk.Wall()
 	c.tagBase = tagBaseFor(rk.World(), c.id)
 	c.csh = collFor(c)
 	c.initTele()
@@ -471,6 +476,8 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	nc.barCost = c.prof().BarrierTime(len(nc.ranks))
 	nc.clk = c.clk
 	nc.fab = c.fab
+	nc.port = c.port
+	nc.wall = c.wall
 	nc.defTimeout = c.defTimeout
 	nc.wdog = c.wdog
 	nc.csh = collFor(nc)

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"commintent/internal/model"
 	"commintent/internal/simnet"
 	"commintent/internal/typemap"
 )
@@ -42,7 +43,11 @@ func (c *Comm) makeSendReq(buf any, count int, d *Datatype, dest, tag int) (Requ
 		return Request{}, fmt.Errorf("mpi: Isend to rank %d of comm size %d", dest, c.Size())
 	}
 	p := c.prof()
-	sp := c.span("MPI_Isend", c.clock().Now())
+	var spStart model.Time
+	if c.traced {
+		spStart = c.clock().Now()
+	}
+	sp := c.span("MPI_Isend", spStart)
 	n := count * d.Size()
 	wire := simnet.GetBuf(n)
 	encCost, err := d.encodeInto(p, wire, buf, count)
@@ -52,11 +57,21 @@ func (c *Comm) makeSendReq(buf any, count int, d *Datatype, dest, tag int) (Requ
 	}
 	clk := c.clock()
 	clk.Advance(p.MPISendOverhead + p.MPIRequestPerItem + encCost + p.InjectTime(n))
-	defer sp.End(clk.Now())
-	arrive := clk.Now() + p.MPILatencyBetween(c.rk.ID, c.WorldRank(dest))
+	// One clock read serves the injection stamp, the span end, and the
+	// event timestamp — in wall mode each read is a monotonic-clock call
+	// that would otherwise dominate the eager path.
+	now := clk.Now()
+	defer sp.End(now)
+	// On the wall clock the payload is observable the moment it is pushed;
+	// adding the modelled wire latency would hide it from Iprobe until the
+	// virtual latency "elapsed", which wall time never does.
+	arrive := now
+	if !c.wall {
+		arrive += p.MPILatencyBetween(c.rk.ID, c.WorldRank(dest))
+	}
 	rendezvous := n > p.MPIEagerThreshold
-	sr := c.ep().SendOwned(c.WorldRank(dest), c.wireTag(tag), wire, arrive, rendezvous)
-	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSend, Peer: c.WorldRank(dest), Tag: tag, Bytes: n, V: clk.Now()})
+	sr := c.port.Send(c.WorldRank(dest), c.wireTag(tag), wire, arrive, rendezvous)
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSend, Peer: c.WorldRank(dest), Tag: tag, Bytes: n, V: now})
 	c.reqPosted()
 	return Request{comm: c, send: sr, isSend: true, rendezvous: rendezvous, destWorld: c.WorldRank(dest)}, nil
 }
@@ -106,17 +121,22 @@ func (c *Comm) makeRecvReq(buf any, count int, d *Datatype, source, tag int) (Re
 		return Request{}, fmt.Errorf("mpi: Irecv: count %d exceeds buffer capacity %d", count, cap)
 	}
 	p := c.prof()
-	sp := c.span("MPI_Irecv", c.clock().Now())
+	var spStart model.Time
+	if c.traced {
+		spStart = c.clock().Now()
+	}
+	sp := c.span("MPI_Irecv", spStart)
 	clk := c.clock()
 	clk.Advance(p.MPIRecvOverhead + p.MPIRequestPerItem)
-	defer sp.End(clk.Now())
+	now := clk.Now() // shared read; see makeSendReq
+	defer sp.End(now)
 	wire := simnet.GetBuf(count * d.Size())
 	wtag := simnet.AnyTag
 	if tag != AnyTag {
 		wtag = c.wireTag(tag)
 	}
-	rr := c.ep().PostRecv(c.WorldRank(source), wtag, wire, clk.Now())
-	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvRecvPost, Peer: c.WorldRank(source), Tag: tag, Bytes: len(wire), V: clk.Now()})
+	rr := c.port.PostRecv(c.WorldRank(source), wtag, wire, now)
+	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvRecvPost, Peer: c.WorldRank(source), Tag: tag, Bytes: len(wire), V: now})
 	c.reqPosted()
 	return Request{comm: c, recv: rr, wire: wire, recvBuf: buf, recvCount: count, dt: d}, nil
 }
@@ -180,7 +200,7 @@ func (c *Comm) Iprobe(source, tag int) (Status, bool, error) {
 	if tag != AnyTag {
 		wtag = c.wireTag(tag)
 	}
-	env, ok := c.ep().Probe(wsrc, wtag)
+	env, ok := c.port.Probe(wsrc, wtag)
 	if !ok || env.ArriveV > c.clock().Now() {
 		// Not observable yet in virtual time.
 		return Status{}, false, nil

@@ -5,6 +5,7 @@ import (
 
 	"commintent/internal/model"
 	"commintent/internal/simnet"
+	"commintent/internal/transport"
 )
 
 // Status describes a completed receive, like MPI_Status.
@@ -26,8 +27,8 @@ func (s Status) Count(d *Datatype) int {
 type Request struct {
 	comm *Comm
 
-	send       simnet.SendReq // valid when isSend; held by value to keep Request flat
-	recv       *simnet.RecvReq
+	send       transport.SendResult // valid when isSend; held by value to keep Request flat
+	recv       transport.RecvHandle
 	isSend     bool
 	rendezvous bool // send larger than the eager threshold
 
@@ -95,8 +96,7 @@ func (r *Request) finishDeadline(D model.Time) error {
 			// receive is posted; the clearing ack costs one more latency.
 			if D > 0 {
 				if !r.send.Msg.WaitMatchedTimeout(r.comm.watchdog()) {
-					dep := r.comm.fabric().Endpoint(r.destWorld)
-					if dep.CancelMsg(r.send.Msg) {
+					if r.comm.port.CancelMsg(r.destWorld, r.send.Msg) {
 						return r.failSend(simnet.FaultCancelled, model.Max(D, r.send.LocalV), D)
 					}
 					// Lost the race: the match is completing concurrently.
@@ -105,7 +105,13 @@ func (r *Request) finishDeadline(D model.Time) error {
 			} else {
 				r.send.Msg.WaitMatched()
 			}
-			r.readyV = model.Max(r.send.LocalV, r.send.Msg.MatchV()+p.MPILatency)
+			if r.comm.wall {
+				// Measured: the handshake cleared the moment WaitMatched
+				// returned; no modelled clearing latency to add.
+				r.readyV = r.comm.clock().Now()
+			} else {
+				r.readyV = model.Max(r.send.LocalV, r.send.Msg.MatchV()+p.MPILatency)
+			}
 			if stall := r.readyV - r.send.LocalV; stall > 0 {
 				r.comm.tele.stalls.Inc()
 				r.comm.tele.stallNS.AddTime(stall)
@@ -128,7 +134,7 @@ func (r *Request) finishDeadline(D model.Time) error {
 	}
 	if D > 0 {
 		if !r.recv.WaitTimeout(r.comm.watchdog()) {
-			if r.comm.ep().CancelRecv(r.recv) {
+			if r.comm.port.CancelRecv(r.recv) {
 				r.recv.Wait() // consume the cancellation token
 			} else {
 				r.recv.Wait() // lost the race: a delivery is completing
@@ -172,6 +178,11 @@ func (r *Request) finishDeadline(D model.Time) error {
 	simnet.PutBuf(r.wire)
 	r.wire = nil
 	ready += cost
+	if r.comm.wall {
+		// Measured: the payload is decoded and in place right now; the
+		// modelled match/copy charges above are zero in wall mode anyway.
+		ready = r.comm.clock().Now()
+	}
 	srcComm := r.comm.commRankOf(src)
 	r.status = Status{Source: srcComm, Tag: tag - r.comm.tagBase, Bytes: n}
 	r.readyV = ready
@@ -253,7 +264,8 @@ func (c *Comm) Wait(r *Request) (Status, error) {
 }
 
 func (c *Comm) wait(r *Request, D model.Time) (Status, error) {
-	sp := c.span("MPI_Wait", c.clock().Now())
+	start := c.clock().Now()
+	sp := c.span("MPI_Wait", start)
 	err := r.finishDeadline(D)
 	if err != nil && !IsFault(err) {
 		return Status{}, err
@@ -261,6 +273,11 @@ func (c *Comm) wait(r *Request, D model.Time) (Status, error) {
 	clk := c.clock()
 	clk.Advance(c.prof().MPIWaitEach)
 	idle := r.readyV - clk.Now()
+	if c.wall {
+		// Measured: the wall time this call actually spent blocked, fed
+		// into the same idle/wait histograms the virtual path fills.
+		idle = r.readyV - start
+	}
 	if idle < 0 {
 		idle = 0
 	}
@@ -268,8 +285,15 @@ func (c *Comm) wait(r *Request, D model.Time) (Status, error) {
 	c.tele.idle.AddTime(idle)
 	c.tele.waitNS.Observe(idle)
 	c.observeRegionWait(idle)
-	sp.End(clk.Now())
-	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvWait, Peer: -1, V: clk.Now(), Idle: idle})
+	if c.traced || c.fab.Observed() {
+		// One shared clock read: with neither a tracer nor observers the
+		// span End and the emit are both no-ops, and in wall mode the
+		// monotonic read they would stamp is the hot path's single biggest
+		// line item.
+		end := clk.Now()
+		sp.End(end)
+		c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvWait, Peer: -1, V: end, Idle: idle})
+	}
 	return r.status, err
 }
 
@@ -293,7 +317,8 @@ func (c *Comm) Waitall(reqs []*Request) ([]Status, error) {
 // times are unchanged. Faulted requests contribute their fault-resolution
 // times to the jump and their errors to errs.
 func (c *Comm) waitallImpl(reqs []*Request, D model.Time) ([]Status, []error, error) {
-	sp := c.span("MPI_Waitall", c.clock().Now())
+	start := c.clock().Now()
+	sp := c.span("MPI_Waitall", start)
 	stats := make([]Status, len(reqs))
 	var errs []error
 	var firstErr error
@@ -322,6 +347,10 @@ func (c *Comm) waitallImpl(reqs []*Request, D model.Time) ([]Status, []error, er
 	clk := c.clock()
 	clk.Advance(c.prof().WaitallTime(len(reqs)))
 	idle := maxReady - clk.Now()
+	if c.wall {
+		// Measured wall time spent completing the batch (see wait).
+		idle = maxReady - start
+	}
 	if idle < 0 {
 		idle = 0
 	}
@@ -329,8 +358,11 @@ func (c *Comm) waitallImpl(reqs []*Request, D model.Time) ([]Status, []error, er
 	c.tele.idle.AddTime(idle)
 	c.tele.waitNS.Observe(idle)
 	c.observeRegionWait(idle)
-	sp.End(clk.Now())
-	c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, Bytes: len(reqs), V: clk.Now(), Idle: idle})
+	if c.traced || c.fab.Observed() {
+		end := clk.Now() // shared read; see wait
+		sp.End(end)
+		c.emit(simnet.Event{Rank: c.rk.ID, Kind: simnet.EvSync, Peer: -1, Bytes: len(reqs), V: end, Idle: idle})
+	}
 	return stats, errs, firstErr
 }
 

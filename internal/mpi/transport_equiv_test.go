@@ -1,0 +1,365 @@
+package mpi_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"commintent/internal/model"
+	"commintent/internal/mpi"
+	"commintent/internal/simnet"
+	"commintent/internal/spmd"
+	"commintent/internal/transport"
+)
+
+// Cross-transport equivalence: the same directive program run on the
+// virtual-time simnet fabric and on the parallel shared-memory transport
+// must deliver byte-identical user data and identical message counts —
+// only the clocks may differ. Both runs happen at the same GOMAXPROCS, so
+// the collective selector makes the same static choices.
+
+// msgCounts are the wire-visible message totals of one run, read from the
+// fabric event stream (the mpi layer emits these on both transports).
+type msgCounts struct {
+	sends int64
+	recvs int64
+}
+
+// runEquiv executes body once per rank on the named transport, pinning the
+// COMMINTENT_TRANSPORT override so the test means the same thing under any
+// ambient environment. It returns the observed message counts.
+func runEquiv(t *testing.T, kind string, n int, body func(*spmd.Rank) error) msgCounts {
+	t.Helper()
+	t.Setenv(transport.EnvVar, kind)
+	prof := model.GeminiLike()
+	w, err := spmd.NewWorld(n, prof)
+	if err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	var mc msgCounts
+	w.Fabric().Observe(func(ev simnet.Event) {
+		switch ev.Kind {
+		case simnet.EvSend:
+			atomic.AddInt64(&mc.sends, 1)
+		case simnet.EvRecvComplete:
+			atomic.AddInt64(&mc.recvs, 1)
+		}
+	})
+	if err := w.Run(body); err != nil {
+		t.Fatalf("%s: %v", kind, err)
+	}
+	return mc
+}
+
+// equivStore collects per-rank result buffers keyed by a label, so the two
+// transports' runs can be compared field by field.
+type equivStore struct {
+	mu   sync.Mutex
+	data map[string]any
+}
+
+func newEquivStore() *equivStore { return &equivStore{data: make(map[string]any)} }
+
+func (s *equivStore) put(rank int, label string, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[fmt.Sprintf("r%d/%s", rank, label)] = v
+}
+
+// diff reports every key where the two stores disagree (or that only one
+// side has).
+func (s *equivStore) diff(o *equivStore) []string {
+	var bad []string
+	for k, v := range s.data {
+		ov, ok := o.data[k]
+		if !ok {
+			bad = append(bad, k+" missing on other transport")
+			continue
+		}
+		if !reflect.DeepEqual(v, ov) {
+			bad = append(bad, k)
+		}
+	}
+	for k := range o.data {
+		if _, ok := s.data[k]; !ok {
+			bad = append(bad, k+" missing on first transport")
+		}
+	}
+	return bad
+}
+
+// equivCase is one primitive element type swept by the p2p equivalence
+// program. eagerN/rendN pick counts below and above the 4 KiB eager
+// threshold so both protocols are exercised for every type.
+type equivCase struct {
+	name string
+	dt   *mpi.Datatype
+	mk   func(r *rand.Rand, n int) any
+	zero func(n int) any
+}
+
+func equivCases() []equivCase {
+	return []equivCase{
+		{"int8", mpi.Int8,
+			func(r *rand.Rand, n int) any { s := make([]int8, n); for i := range s { s[i] = int8(r.Int()) }; return s },
+			func(n int) any { return make([]int8, n) }},
+		{"int16", mpi.Int16,
+			func(r *rand.Rand, n int) any { s := make([]int16, n); for i := range s { s[i] = int16(r.Int()) }; return s },
+			func(n int) any { return make([]int16, n) }},
+		{"int32", mpi.Int32,
+			func(r *rand.Rand, n int) any { s := make([]int32, n); for i := range s { s[i] = int32(r.Int()) }; return s },
+			func(n int) any { return make([]int32, n) }},
+		{"int64", mpi.Int64,
+			func(r *rand.Rand, n int) any { s := make([]int64, n); for i := range s { s[i] = int64(r.Uint64()) }; return s },
+			func(n int) any { return make([]int64, n) }},
+		{"uint16", mpi.Uint16,
+			func(r *rand.Rand, n int) any { s := make([]uint16, n); for i := range s { s[i] = uint16(r.Int()) }; return s },
+			func(n int) any { return make([]uint16, n) }},
+		{"uint32", mpi.Uint32,
+			func(r *rand.Rand, n int) any { s := make([]uint32, n); for i := range s { s[i] = uint32(r.Int()) }; return s },
+			func(n int) any { return make([]uint32, n) }},
+		{"uint64", mpi.Uint64,
+			func(r *rand.Rand, n int) any { s := make([]uint64, n); for i := range s { s[i] = r.Uint64() }; return s },
+			func(n int) any { return make([]uint64, n) }},
+		{"float32", mpi.Float32,
+			func(r *rand.Rand, n int) any { s := make([]float32, n); for i := range s { s[i] = float32(r.NormFloat64()) }; return s },
+			func(n int) any { return make([]float32, n) }},
+		{"float64", mpi.Float64,
+			func(r *rand.Rand, n int) any { s := make([]float64, n); for i := range s { s[i] = r.NormFloat64() }; return s },
+			func(n int) any { return make([]float64, n) }},
+		{"byte", mpi.Byte,
+			func(r *rand.Rand, n int) any { s := make([]byte, n); r.Read(s); return s },
+			func(n int) any { return make([]byte, n) }},
+	}
+}
+
+// equivParticle is the struct-window payload: mixed field widths so the
+// derived-type encode/decode path is exercised end to end.
+type equivParticle struct {
+	X, Y float64
+	ID   int32
+	Mass uint16
+}
+
+// equivP2PBody builds the ring-exchange program: every rank sends to its
+// right neighbour and receives from its left, once per datatype case at an
+// eager size and once at a rendezvous size, then a struct-window exchange.
+// Received buffers land in st.
+func equivP2PBody(st *equivStore) func(*spmd.Rank) error {
+	return func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		n, me := rk.N, rk.ID
+		right, left := (me+1)%n, (me-1+n)%n
+		for _, tc := range equivCases() {
+			for _, sz := range []struct {
+				label string
+				bytes int
+			}{{"eager", 1 << 10}, {"rend", 8 << 10}} {
+				count := sz.bytes / tc.dt.Size()
+				out := tc.mk(rand.New(rand.NewSource(int64(me)*7919+int64(sz.bytes))), count)
+				in := tc.zero(count)
+				rr, err := c.Irecv(in, count, tc.dt, left, 3)
+				if err != nil {
+					return err
+				}
+				sr, err := c.Isend(out, count, tc.dt, right, 3)
+				if err != nil {
+					return err
+				}
+				if _, err := c.Waitall([]*mpi.Request{rr, sr}); err != nil {
+					return err
+				}
+				st.put(me, tc.name+"/"+sz.label, in)
+			}
+		}
+		// Struct window over the derived-type path, rendezvous-sized.
+		pdt, err := c.TypeCreateStruct(equivParticle{})
+		if err != nil {
+			return err
+		}
+		const np = 512
+		pr := rand.New(rand.NewSource(int64(me) + 1))
+		out := make([]equivParticle, np)
+		for i := range out {
+			out[i] = equivParticle{X: pr.NormFloat64(), Y: pr.NormFloat64(), ID: int32(pr.Int()), Mass: uint16(pr.Int())}
+		}
+		in := make([]equivParticle, np)
+		rr, err := c.Irecv(in, np, pdt, left, 4)
+		if err != nil {
+			return err
+		}
+		sr, err := c.Isend(out, np, pdt, right, 4)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Waitall([]*mpi.Request{rr, sr}); err != nil {
+			return err
+		}
+		st.put(me, "struct/rend", in)
+		return nil
+	}
+}
+
+// equivCollBody builds the collective program: the full collective set over
+// the numeric types, with results recorded per rank.
+func equivCollBody(st *equivStore) func(*spmd.Rank) error {
+	return func(rk *spmd.Rank) error {
+		c := mpi.World(rk)
+		n, me := rk.N, rk.ID
+		const count = 96
+		src := make([]float64, count)
+		for i := range src {
+			src[i] = float64(me*1000 + i)
+		}
+		// Bcast
+		b := make([]float64, count)
+		if me == 0 {
+			copy(b, src)
+		}
+		if err := c.Bcast(b, count, mpi.Float64, 0); err != nil {
+			return err
+		}
+		st.put(me, "bcast", append([]float64(nil), b...))
+		// Reduce / Allreduce
+		red := make([]float64, count)
+		if err := c.Reduce(src, red, count, mpi.Float64, mpi.OpSum, 0); err != nil {
+			return err
+		}
+		if me == 0 {
+			st.put(me, "reduce", append([]float64(nil), red...))
+		}
+		ar := make([]float64, count)
+		if err := c.Allreduce(src, ar, count, mpi.Float64, mpi.OpMax); err != nil {
+			return err
+		}
+		st.put(me, "allreduce", append([]float64(nil), ar...))
+		// Gather / Scatter (int64)
+		gsrc := make([]int64, count)
+		for i := range gsrc {
+			gsrc[i] = int64(me)<<32 | int64(i)
+		}
+		var gall []int64
+		if me == 0 {
+			gall = make([]int64, n*count)
+		}
+		if err := c.Gather(gsrc, count, mpi.Int64, gall, 0); err != nil {
+			return err
+		}
+		if me == 0 {
+			st.put(me, "gather", append([]int64(nil), gall...))
+		}
+		var ssrc []int64
+		if me == 0 {
+			ssrc = make([]int64, n*count)
+			for i := range ssrc {
+				ssrc[i] = int64(i) * 3
+			}
+		}
+		sdst := make([]int64, count)
+		if err := c.Scatter(ssrc, count, mpi.Int64, sdst, 0); err != nil {
+			return err
+		}
+		st.put(me, "scatter", append([]int64(nil), sdst...))
+		// Allgather / Alltoall (int32)
+		asrc := make([]int32, count)
+		for i := range asrc {
+			asrc[i] = int32(me*100 + i)
+		}
+		adst := make([]int32, n*count)
+		if err := c.Allgather(asrc, count, mpi.Int32, adst); err != nil {
+			return err
+		}
+		st.put(me, "allgather", append([]int32(nil), adst...))
+		a2src := make([]int32, n*count)
+		for i := range a2src {
+			a2src[i] = int32(me)*10000 + int32(i)
+		}
+		a2dst := make([]int32, n*count)
+		if err := c.Alltoall(a2src, count, mpi.Int32, a2dst); err != nil {
+			return err
+		}
+		st.put(me, "alltoall", append([]int32(nil), a2dst...))
+		return nil
+	}
+}
+
+// checkEquiv runs body (parameterised by a fresh store) on both transports
+// and asserts identical user data and message counts.
+func checkEquiv(t *testing.T, n int, mkBody func(*equivStore) func(*spmd.Rank) error) {
+	t.Helper()
+	simStore, shmStore := newEquivStore(), newEquivStore()
+	simMC := runEquiv(t, "simnet", n, mkBody(simStore))
+	shmMC := runEquiv(t, "shm", n, mkBody(shmStore))
+	if bad := simStore.diff(shmStore); len(bad) != 0 {
+		t.Errorf("user data differs between transports at: %v", bad)
+	}
+	if simMC != shmMC {
+		t.Errorf("message counts differ: simnet %+v, shm %+v", simMC, shmMC)
+	}
+}
+
+func TestTransportEquivP2P(t *testing.T) {
+	checkEquiv(t, 4, equivP2PBody)
+}
+
+func TestTransportEquivCollectives(t *testing.T) {
+	checkEquiv(t, 8, equivCollBody)
+}
+
+// TestTransportShmStress drives the parallel transport at scale: ring
+// traffic plus an allreduce per round across many ranks. It exists to run
+// under -race in make verify, where the memory-order claims of the
+// lock-free mailbox are actually checked.
+func TestTransportShmStress(t *testing.T) {
+	for _, n := range []int{64, 256} {
+		n := n
+		t.Run(fmt.Sprintf("r%d", n), func(t *testing.T) {
+			if testing.Short() && n > 64 {
+				t.Skip("short mode")
+			}
+			t.Setenv(transport.EnvVar, "shm")
+			rounds := 3
+			err := spmd.Run(n, model.GeminiLike(), func(rk *spmd.Rank) error {
+				c := mpi.World(rk)
+				right, left := (rk.ID+1)%n, (rk.ID-1+n)%n
+				out := []int64{0}
+				in := make([]int64, 1)
+				acc := []float64{0}
+				sum := make([]float64, 1)
+				for round := 0; round < rounds; round++ {
+					out[0] = int64(rk.ID*rounds + round)
+					rr, err := c.Irecv(in, 1, mpi.Int64, left, 9)
+					if err != nil {
+						return err
+					}
+					sr, err := c.Isend(out, 1, mpi.Int64, right, 9)
+					if err != nil {
+						return err
+					}
+					if _, err := c.Waitall([]*mpi.Request{rr, sr}); err != nil {
+						return err
+					}
+					if want := int64(left*rounds + round); in[0] != want {
+						return fmt.Errorf("rank %d round %d: got %d want %d", rk.ID, round, in[0], want)
+					}
+					acc[0] = float64(rk.ID + round)
+					if err := c.Allreduce(acc, sum, 1, mpi.Float64, mpi.OpSum); err != nil {
+						return err
+					}
+					want := float64(n*(n-1)/2 + n*round)
+					if sum[0] != want {
+						return fmt.Errorf("rank %d round %d: allreduce %v want %v", rk.ID, round, sum[0], want)
+					}
+					c.Barrier()
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

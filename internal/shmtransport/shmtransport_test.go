@@ -1,0 +1,242 @@
+package shmtransport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"commintent/internal/simnet"
+)
+
+func sendBytes(p *Port, dst, tag int, payload []byte, rendezvous bool) {
+	wire := simnet.GetBuf(len(payload))
+	copy(wire, payload)
+	p.Send(dst, tag, wire, 0, rendezvous)
+}
+
+func TestEagerPostThenSend(t *testing.T) {
+	net := New(2)
+	got := make([]byte, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := net.Port(1).PostRecv(0, 7, got, 0)
+		r.Wait()
+		if r.Src() != 0 || r.Tag() != 7 || r.Len() != 4 {
+			t.Errorf("envelope src=%d tag=%d len=%d", r.Src(), r.Tag(), r.Len())
+		}
+		if r.Unexpected() {
+			// Unexpectedness is a virtual-time comparison (arriveV <
+			// postV), mirroring simnet; both stamps are 0 here.
+			t.Error("posted-first receive flagged unexpected")
+		}
+		r.Release()
+	}()
+	sendBytes(net.Port(0), 1, 7, []byte{1, 2, 3, 4}, false)
+	wg.Wait()
+	if got[0] != 1 || got[3] != 4 {
+		t.Errorf("payload = %v", got)
+	}
+}
+
+func TestEagerUnexpectedArrival(t *testing.T) {
+	net := New(2)
+	sendBytes(net.Port(0), 1, 3, []byte{9, 9}, false)
+	got := make([]byte, 2)
+	r := net.Port(1).PostRecv(0, 3, got, 100)
+	r.Wait()
+	if !r.Unexpected() {
+		t.Error("arrived-first message not flagged unexpected")
+	}
+	if r.ArriveV() >= r.PostV() {
+		t.Errorf("arriveV %d should precede postV %d", r.ArriveV(), r.PostV())
+	}
+	r.Release()
+	if got[0] != 9 {
+		t.Errorf("payload = %v", got)
+	}
+}
+
+func TestPerSenderFIFO(t *testing.T) {
+	// Same (src, tag): deliveries must match post order even though the
+	// mailbox is a reversed-on-drain Treiber stack.
+	net := New(2)
+	const k = 50
+	for i := 0; i < k; i++ {
+		sendBytes(net.Port(0), 1, 5, []byte{byte(i)}, false)
+	}
+	for i := 0; i < k; i++ {
+		got := make([]byte, 1)
+		r := net.Port(1).PostRecv(0, 5, got, 0)
+		r.Wait()
+		r.Release()
+		if got[0] != byte(i) {
+			t.Fatalf("message %d delivered out of order: got %d", i, got[0])
+		}
+	}
+}
+
+func TestWildcardRecv(t *testing.T) {
+	net := New(3)
+	sendBytes(net.Port(2), 0, 11, []byte{42}, false)
+	got := make([]byte, 1)
+	r := net.Port(0).PostRecv(simnet.AnySource, simnet.AnyTag, got, 0)
+	r.Wait()
+	if r.Src() != 2 || r.Tag() != 11 {
+		t.Errorf("wildcard matched src=%d tag=%d", r.Src(), r.Tag())
+	}
+	r.Release()
+}
+
+func TestRendezvousMatch(t *testing.T) {
+	net := New(2)
+	payload := simnet.GetBuf(8)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sr := net.Port(0).Send(1, 2, payload, 0, true)
+	if sr.Msg == nil {
+		t.Fatal("rendezvous send returned no handle")
+	}
+	if sr.Msg.IsMatched() {
+		t.Fatal("matched before any receive was posted")
+	}
+	got := make([]byte, 8)
+	r := net.Port(1).PostRecv(0, 2, got, 0)
+	r.Wait()
+	r.Release()
+	sr.Msg.WaitMatched()
+	if !sr.Msg.IsMatched() {
+		t.Error("sender does not observe the match")
+	}
+	if got[7] != 7 {
+		t.Errorf("payload = %v", got)
+	}
+}
+
+func TestRendezvousWaitTimeout(t *testing.T) {
+	net := New(2)
+	sr := net.Port(0).Send(1, 2, simnet.GetBuf(4), 0, true)
+	if sr.Msg.WaitMatchedTimeout(10 * time.Millisecond) {
+		t.Fatal("unmatched rendezvous reported matched")
+	}
+	if !net.Port(0).CancelMsg(1, sr.Msg) {
+		t.Fatal("cancel of unmatched message failed")
+	}
+	// The cancelled message must not match a later receive; a fresh send
+	// must get through instead.
+	sendBytes(net.Port(0), 1, 2, []byte{5, 5, 5, 5}, false)
+	got := make([]byte, 4)
+	r := net.Port(1).PostRecv(0, 2, got, 0)
+	r.Wait()
+	r.Release()
+	if got[0] != 5 {
+		t.Errorf("cancelled payload delivered: %v", got)
+	}
+}
+
+func TestCancelMsgLosesAfterMatch(t *testing.T) {
+	net := New(2)
+	sr := net.Port(0).Send(1, 2, simnet.GetBuf(4), 0, true)
+	got := make([]byte, 4)
+	r := net.Port(1).PostRecv(0, 2, got, 0)
+	r.Wait()
+	r.Release()
+	sr.Msg.WaitMatched()
+	if net.Port(0).CancelMsg(1, sr.Msg) {
+		t.Error("cancel won against an already-matched message")
+	}
+}
+
+func TestCancelRecv(t *testing.T) {
+	net := New(2)
+	r := net.Port(1).PostRecv(0, 9, make([]byte, 4), 0)
+	if !net.Port(1).CancelRecv(r) {
+		t.Fatal("cancel of never-matched receive failed")
+	}
+	r.Wait()
+	if r.Fault() != simnet.FaultCancelled {
+		t.Errorf("fault = %v, want cancelled", r.Fault())
+	}
+	r.Release()
+	if n := net.Port(1).PendingPosted(); n != 0 {
+		t.Errorf("%d posted receives left after cancel", n)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	net := New(2)
+	if _, ok := net.Port(1).Probe(0, 4); ok {
+		t.Fatal("probe matched on empty queue")
+	}
+	sendBytes(net.Port(0), 1, 4, []byte{1, 2, 3}, false)
+	env, ok := net.Port(1).Probe(0, 4)
+	if !ok || env.Src != 0 || env.Tag != 4 || env.Bytes != 3 {
+		t.Fatalf("probe = %+v ok=%v", env, ok)
+	}
+	// Probing must not consume: the receive still completes.
+	got := make([]byte, 3)
+	r := net.Port(1).PostRecv(0, 4, got, 0)
+	r.Wait()
+	r.Release()
+}
+
+func TestWatermarks(t *testing.T) {
+	net := New(2)
+	for i := 0; i < 5; i++ {
+		sendBytes(net.Port(0), 1, i, []byte{0}, false)
+	}
+	if n := net.Port(1).PendingUnexpected(); n != 5 {
+		t.Errorf("PendingUnexpected = %d want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		r := net.Port(1).PostRecv(0, i, make([]byte, 1), 0)
+		r.Wait()
+		r.Release()
+	}
+	if hw := net.Port(1).UnexpectedHighWatermark(); hw != 5 {
+		t.Errorf("UnexpectedHighWatermark = %d want 5", hw)
+	}
+	if hw := net.Port(1).MailboxHighWatermark(); hw < 1 {
+		t.Errorf("MailboxHighWatermark = %d want >= 1", hw)
+	}
+}
+
+func TestManySendersOneReceiver(t *testing.T) {
+	const senders = 8
+	const per = 200
+	net := New(senders + 1)
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sendBytes(net.Port(s), senders, 1, []byte{byte(s), byte(i)}, false)
+			}
+		}(s)
+	}
+	seen := make([]int, senders)
+	for i := 0; i < senders*per; i++ {
+		got := make([]byte, 2)
+		r := net.Port(senders).PostRecv(simnet.AnySource, 1, got, 0)
+		r.Wait()
+		src := r.Src()
+		r.Release()
+		if int(got[0]) != src {
+			t.Fatalf("payload source %d != envelope source %d", got[0], src)
+		}
+		// Per-sender FIFO: sequence numbers from one sender ascend.
+		if int(got[1]) != seen[src]%256 {
+			t.Fatalf("sender %d: got seq %d want %d", src, got[1], seen[src]%256)
+		}
+		seen[src]++
+	}
+	wg.Wait()
+	for s, n := range seen {
+		if n != per {
+			t.Errorf("sender %d: %d of %d messages seen", s, n, per)
+		}
+	}
+}

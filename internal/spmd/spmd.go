@@ -12,10 +12,13 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"commintent/internal/model"
+	"commintent/internal/shmtransport"
 	"commintent/internal/simnet"
 	"commintent/internal/telemetry"
+	"commintent/internal/transport"
 )
 
 // World is one simulated machine shared by all ranks of a run: the fabric,
@@ -25,6 +28,14 @@ type World struct {
 	fabric *simnet.Fabric
 	prof   *model.Profile
 	tele   *telemetry.Telemetry
+
+	// kind selects the two-sided data plane (profile field, overridden by
+	// COMMINTENT_TRANSPORT). The fabric exists in both modes — it carries
+	// the clocks, barriers, region interning, the event stream and the
+	// post-mortem store — but on the shared-memory transport messages move
+	// through shmNet and the endpoint clocks run in wall mode.
+	kind   transport.Kind
+	shmNet *shmtransport.Net
 
 	sharedMu sync.Mutex
 	shared   map[string]any
@@ -38,6 +49,10 @@ func NewWorld(n int, prof *model.Profile) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("spmd: world size %d", n)
 	}
+	kind, err := transport.Select(prof.Transport)
+	if err != nil {
+		return nil, fmt.Errorf("spmd: %w", err)
+	}
 	// On a hierarchical topology the world barrier groups check-ins by node
 	// so contention scales with node count, not rank count. Virtual time is
 	// unchanged either way (the barrier is a max-reduction regardless of
@@ -46,11 +61,38 @@ func NewWorld(n int, prof *model.Profile) (*World, error) {
 	if h, ok := prof.Topo.(model.Hierarchical); ok {
 		nodeOf = h.NodeOf
 	}
-	return &World{
+	w := &World{
 		fabric: simnet.NewFabricTopo(n, nodeOf),
 		prof:   prof,
+		kind:   kind,
 		shared: make(map[string]any),
-	}, nil
+	}
+	if kind == transport.SharedMem {
+		w.shmNet = shmtransport.New(n)
+		// One shared epoch: every rank's clock reads the same monotonic
+		// timeline, so cross-rank timestamps and barrier max-folds stay
+		// comparable. Must happen before any rank goroutine starts.
+		epoch := time.Now()
+		for i := 0; i < n; i++ {
+			w.fabric.Endpoint(i).Clock().SetWall(epoch)
+		}
+	}
+	return w, nil
+}
+
+// Transport reports the selected two-sided data plane.
+func (w *World) Transport() transport.Kind { return w.kind }
+
+// ShmNet returns the shared-memory interconnect (nil on simnet). Exposed
+// for transport introspection (mailbox occupancy watermarks in commstat).
+func (w *World) ShmNet() *shmtransport.Net { return w.shmNet }
+
+// Port returns rank r's two-sided transport port.
+func (w *World) Port(r int) transport.Port {
+	if w.shmNet != nil {
+		return w.shmNet.Port(r)
+	}
+	return transport.SimPort{Ep: w.fabric.Endpoint(r)}
 }
 
 // Size reports the number of ranks.
@@ -114,6 +156,9 @@ func (r *Rank) World() *World { return r.world }
 
 // Endpoint returns the rank's fabric endpoint.
 func (r *Rank) Endpoint() *simnet.Endpoint { return r.ep }
+
+// Port returns the rank's two-sided transport port.
+func (r *Rank) Port() transport.Port { return r.world.Port(r.ID) }
 
 // Profile returns the cost model in force.
 func (r *Rank) Profile() *model.Profile { return r.world.prof }

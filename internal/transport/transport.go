@@ -1,0 +1,204 @@
+// Package transport abstracts the two-sided data plane behind the MPI-like
+// substrate, so the same directive programs can be lowered onto different
+// interconnects: the deterministic virtual-time simnet fabric, or the truly
+// parallel in-process shared-memory transport (see internal/shmtransport).
+//
+// The interface is cut exactly at the fabric's matching layer — post a send,
+// post a receive, probe, cancel — with virtual timestamps flowing through as
+// opaque model.Time values. On simnet those are cost-model arrival times; on
+// a wall-clock transport they are real monotonic readings from the same
+// Clock seam (see model.Clock.SetWall), so the completion, deadline and
+// telemetry machinery above does not fork on "what is time".
+//
+// What deliberately stays outside the interface:
+//
+//   - the barrier: *simnet.Barrier is pure goroutine synchronisation plus a
+//     max-fold of clocks, which is equally meaningful for wall readings, so
+//     both transports share the concrete implementation;
+//   - RMA window and SHMEM one-sided ops: in-process they are direct memory
+//     copies plus clock charges on the caller, with no per-transport
+//     mechanics to abstract;
+//   - fault injection and canonical-cost replay, which are simnet-only by
+//     design (they exist to make simulated runs deterministic).
+package transport
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"commintent/internal/model"
+	"commintent/internal/simnet"
+)
+
+// Kind names a two-sided transport implementation.
+type Kind int
+
+const (
+	// Simnet is the single-address-space virtual-time fabric: deterministic,
+	// bit-identical goldens, ranks cooperatively scheduled.
+	Simnet Kind = iota
+	// SharedMem is the in-process parallel transport: ranks run across Ps,
+	// completion is real sync/atomic, time is the wall clock.
+	SharedMem
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Simnet:
+		return "simnet"
+	case SharedMem:
+		return "shm"
+	default:
+		return fmt.Sprintf("transport(%d)", int(k))
+	}
+}
+
+// EnvVar overrides the profile's transport field when set ("simnet" or
+// "shm").
+const EnvVar = "COMMINTENT_TRANSPORT"
+
+// Parse maps a transport name to its Kind; the empty string is Simnet.
+func Parse(name string) (Kind, error) {
+	switch name {
+	case "", "simnet":
+		return Simnet, nil
+	case "shm", "shmem", "parallel":
+		return SharedMem, nil
+	default:
+		return Simnet, fmt.Errorf("transport: unknown transport %q (want simnet or shm)", name)
+	}
+}
+
+// Select resolves the transport for a run: the COMMINTENT_TRANSPORT
+// environment variable when set, else the profile's transport field, else
+// simnet.
+func Select(profileTransport string) (Kind, error) {
+	if env := os.Getenv(EnvVar); env != "" {
+		return Parse(env)
+	}
+	return Parse(profileTransport)
+}
+
+// RecvHandle tracks one posted receive until completion. *simnet.RecvReq
+// satisfies it directly. Only the posting goroutine may use it. Release
+// recycles pooled handles; no accessor is valid afterwards.
+type RecvHandle interface {
+	Wait()
+	WaitTimeout(d time.Duration) bool
+	Matched() bool
+	Fault() simnet.FaultKind
+	Release()
+	PostV() model.Time
+	Src() int
+	Tag() int
+	Len() int
+	ArriveV() model.Time
+	Unexpected() bool
+}
+
+// MsgHandle tracks one rendezvous send until the matching receive claims it.
+// *simnet.Msg satisfies it directly. Only the sending goroutine may use it.
+type MsgHandle interface {
+	IsMatched() bool
+	WaitMatched()
+	WaitMatchedTimeout(d time.Duration) bool
+	MatchV() model.Time
+}
+
+// SendResult reports a posted send. Msg is nil for eager sends (the
+// transport owns and may already have recycled the message); rendezvous
+// sends carry the handle so the sender can await the match. Fault is the
+// injector's verdict on simnet, always FaultNone on parallel transports.
+type SendResult struct {
+	Msg    MsgHandle
+	LocalV model.Time
+	Fault  simnet.FaultKind
+}
+
+// Port is one rank's attachment to a two-sided transport. All methods must
+// be called from the owning rank's goroutine; the transport internally
+// synchronises against remote senders.
+type Port interface {
+	// Rank reports the world rank this port belongs to.
+	Rank() int
+
+	// Send posts a message whose payload buffer's ownership transfers to
+	// the transport (callers obtain it from simnet.GetBuf); it is returned
+	// to the pool once the matching receive has copied it out. arriveV is
+	// the timestamp at which the payload is observable at the destination.
+	Send(dst, tag int, data []byte, arriveV model.Time, rendezvous bool) SendResult
+
+	// PostRecv posts a receive for (src|AnySource, tag|AnyTag); the payload
+	// is copied into buf, truncated to len(buf).
+	PostRecv(src, tag int, buf []byte, postV model.Time) RecvHandle
+
+	// Probe reports whether a matching unexpected message is queued,
+	// without receiving it.
+	Probe(src, tag int) (simnet.Envelope, bool)
+
+	// CancelRecv withdraws a posted-but-unmatched receive, reporting
+	// whether the cancellation won; on false the owner must consume the
+	// normal completion.
+	CancelRecv(r RecvHandle) bool
+
+	// CancelMsg withdraws this rank's own rendezvous message from dst's
+	// unexpected queue, reporting whether the withdrawal won.
+	CancelMsg(dst int, m MsgHandle) bool
+
+	// Queue introspection, mirrored from simnet for telemetry and leak
+	// checks.
+	PendingUnexpected() int
+	PendingPosted() int
+	UnexpectedHighWatermark() int
+}
+
+// SimPort adapts a simnet endpoint to the Port interface. It is a thin
+// wrapper: the fabric's matching layer already has exactly this shape.
+type SimPort struct {
+	Ep *simnet.Endpoint
+}
+
+// Rank implements Port.
+func (p SimPort) Rank() int { return p.Ep.Rank() }
+
+// Send implements Port via the fabric's ownership-transfer send.
+func (p SimPort) Send(dst, tag int, data []byte, arriveV model.Time, rendezvous bool) SendResult {
+	sr := p.Ep.SendOwned(dst, tag, data, arriveV, rendezvous)
+	res := SendResult{LocalV: sr.LocalV, Fault: sr.Fault}
+	if sr.Msg != nil {
+		res.Msg = sr.Msg
+	}
+	return res
+}
+
+// PostRecv implements Port.
+func (p SimPort) PostRecv(src, tag int, buf []byte, postV model.Time) RecvHandle {
+	return p.Ep.PostRecv(src, tag, buf, postV)
+}
+
+// Probe implements Port.
+func (p SimPort) Probe(src, tag int) (simnet.Envelope, bool) {
+	return p.Ep.Probe(src, tag)
+}
+
+// CancelRecv implements Port.
+func (p SimPort) CancelRecv(r RecvHandle) bool {
+	return p.Ep.CancelRecv(r.(*simnet.RecvReq))
+}
+
+// CancelMsg implements Port. The message lives in the destination's
+// unexpected queue, so the cancel is routed through the destination
+// endpoint, as the fabric requires.
+func (p SimPort) CancelMsg(dst int, m MsgHandle) bool {
+	return p.Ep.Fabric().Endpoint(dst).CancelMsg(m.(*simnet.Msg))
+}
+
+// PendingUnexpected implements Port.
+func (p SimPort) PendingUnexpected() int { return p.Ep.PendingUnexpected() }
+
+// PendingPosted implements Port.
+func (p SimPort) PendingPosted() int { return p.Ep.PendingPosted() }
+
+// UnexpectedHighWatermark implements Port.
+func (p SimPort) UnexpectedHighWatermark() int { return p.Ep.UnexpectedHighWatermark() }
