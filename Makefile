@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify chaos bench bench-scale bench-scale-check bench-rma bench-rma-check bench-runtime bench-runtime-check bench-transport bench-transport-check bench-all clean
+.PHONY: all build test verify vet-intent chaos bench bench-scale bench-scale-check bench-rma bench-rma-check bench-runtime bench-runtime-check bench-transport bench-transport-check bench-all clean
 
 all: build
 
@@ -32,7 +32,10 @@ test:
 # (quarantined in noescape.go) is exactly the pattern that heuristic flags.
 # Plain `go vet ./...` will report that package — documented in README
 # "Install & test"; this target is the canonical vet invocation.
-verify:
+#
+# vet-intent runs first: the static intent verifier (cmd/commvet) must find
+# every shipped pattern clean and must still catch every seeded-bad fixture.
+verify: vet-intent
 	$(GO) vet -unsafeptr=false ./internal/typemap/
 	$(GO) vet $$($(GO) list ./... | grep -v internal/typemap)
 	$(GO) test -race ./internal/... ./cmd/... .
@@ -41,14 +44,27 @@ verify:
 	$(GO) test -run 'TestDisabledTelemetryOverhead|TestMetricNamesCollisionFree' ./internal/telemetry/
 	COMMINTENT_MANAGED_RUNTIME= COMMINTENT_TRANSPORT= $(GO) test -run 'TestChaosHaloSweep|TestVirtualTimePinned|TestFiguresPinned|TestRetuneOffIsBitIdentical' . ./internal/mpi/ ./internal/bench/
 
+# vet-intent is the static intent-verification gate: commvet analyses every
+# shipped pattern's communication graph over its size sweep (must be clean,
+# exit 0) and then the seeded-bad fixtures (each must be caught — commvet
+# exits 1 on findings, and 2 if a fixture's expected finding kind is missed,
+# which `!` would not distinguish, hence the explicit exit-code check).
+vet-intent:
+	$(GO) run ./cmd/commvet
+	$(GO) run ./cmd/commvet -fixtures > /dev/null; test $$? -eq 1
+	@echo intent verification clean
+
 # chaos is the hang-proofing gate: the fault-injection sweep (64 and 256
 # ranks at 0%/1%/5% drop) under the race detector, asserting that every
 # iteration either completes with correct halos or returns a typed error,
 # and that same-seed runs reproduce bit-identical virtual times (pinned in
 # testdata/chaos_golden.json; regenerate with -update-chaos after a
-# deliberate cost- or fault-model change).
+# deliberate cost- or fault-model change). ./internal/plan/ rides along for
+# TestFaultScheduleCounterexamples: every commvet finding's seeded schedule
+# must reproduce its defect (deadlock fixtures hang and are cancelled by the
+# watchdog into typed deadline errors).
 chaos:
-	$(GO) test -race -run 'TestChaos|TestFault|TestRetry|TestDeadline|TestWaitUntilTimeout' . ./internal/simnet/ ./internal/mpi/ ./internal/core/ ./internal/shmem/
+	$(GO) test -race -run 'TestChaos|TestFault|TestRetry|TestDeadline|TestWaitUntilTimeout' . ./internal/simnet/ ./internal/mpi/ ./internal/core/ ./internal/shmem/ ./internal/plan/
 
 # bench runs the data-plane benchmarks (simulator wall-clock cost: pack and
 # unpack, payload pooling, message matching) and snapshots them, diffed

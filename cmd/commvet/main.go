@@ -1,0 +1,141 @@
+// Command commvet statically verifies the communication intent of
+// directive patterns: it evaluates each pattern's clause expressions over
+// a concrete (rank, size) sweep, builds the per-region communication
+// graph, and reports unmatched send/receive pairs, count mismatches,
+// peer-range escapes, rendezvous deadlock cycles, and binding-alias
+// hazards — before a single message moves. Every finding carries a seeded
+// fault schedule that reproduces it under the chaos machinery.
+//
+// With no flags it verifies every shipped pattern (the plan library plus
+// mirrors of the examples) and exits 0 only when all are clean.
+// -fixtures verifies the seeded-bad fixtures instead (exit 1, since each
+// must be caught); -json emits the machine-readable report commvet's
+// golden test pins.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"commintent/internal/plan"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// entryReport is the JSON shape of one verified entry.
+type entryReport struct {
+	Name string `json:"name"`
+	// Expect lists the finding kinds a fixture must produce (absent for
+	// shipped patterns).
+	Expect []plan.FindingKind `json:"expect,omitempty"`
+	// Missed lists expected kinds the verifier failed to produce — always
+	// empty unless the verifier regresses.
+	Missed []plan.FindingKind `json:"missed,omitempty"`
+	Report *plan.Report       `json:"report"`
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("commvet", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON instead of rendered reports")
+		fixtures = fs.Bool("fixtures", false, "verify the seeded-bad fixtures instead of the shipped patterns")
+		pattern  = fs.String("pattern", "", "only verify entries whose name contains this substring")
+		sizes    = fs.String("sizes", "", "comma-separated communicator sizes overriding each entry's sweep")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var override []int
+	if *sizes != "" {
+		for _, f := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(stdout, "commvet: bad -sizes value %q\n", f)
+				return 2
+			}
+			override = append(override, n)
+		}
+	}
+
+	entries := plan.Shipped()
+	if *fixtures {
+		entries = plan.BadFixtures()
+	}
+
+	var out []entryReport
+	findings, missed := 0, 0
+	for _, e := range entries {
+		if *pattern != "" && !strings.Contains(e.Name, *pattern) {
+			continue
+		}
+		vsizes := e.Sizes
+		if override != nil {
+			vsizes = override
+		}
+		rep := e.Plan.Verify(plan.VerifyOptions{Sizes: vsizes, Aliases: e.Aliases})
+		er := entryReport{Name: e.Name, Expect: e.Expect, Report: rep}
+		got := map[plan.FindingKind]bool{}
+		for _, f := range rep.Findings {
+			got[f.Kind] = true
+		}
+		for _, k := range e.Expect {
+			if !got[k] {
+				er.Missed = append(er.Missed, k)
+			}
+		}
+		findings += len(rep.Findings)
+		missed += len(er.Missed)
+		out = append(out, er)
+	}
+	if len(out) == 0 {
+		fmt.Fprintf(stdout, "commvet: no entries match -pattern %q\n", *pattern)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Entries  []entryReport `json:"entries"`
+			Findings int           `json:"findings"`
+			Missed   int           `json:"missed"`
+		}{out, findings, missed}); err != nil {
+			fmt.Fprintf(stdout, "commvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, er := range out {
+			fmt.Fprintf(stdout, "commvet: %s: %s\n", er.Name, er.Report)
+			if len(er.Missed) > 0 {
+				fmt.Fprintf(stdout, "commvet: %s: MISSED expected finding kinds %v\n", er.Name, er.Missed)
+			}
+		}
+		switch {
+		case missed > 0:
+			fmt.Fprintf(stdout, "commvet: %d expected finding kind(s) NOT caught across %d pattern(s)\n", missed, len(out))
+		case findings > 0:
+			fmt.Fprintf(stdout, "commvet: %d finding(s) across %d pattern(s)\n", findings, len(out))
+		default:
+			fmt.Fprintf(stdout, "commvet: %d pattern(s) clean\n", len(out))
+		}
+	}
+
+	// A fixture run that misses an expected kind is a verifier regression
+	// (exit 2); findings themselves exit 1; clean exits 0.
+	switch {
+	case missed > 0:
+		return 2
+	case findings > 0:
+		return 1
+	}
+	return 0
+}

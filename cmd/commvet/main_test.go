@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the committed fixture golden")
+
+func TestShippedPatternsClean(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(nil, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Errorf("output missing clean summary:\n%s", out.String())
+	}
+}
+
+// TestFixturesGolden pins the full machine-readable fixture report —
+// finding kinds, steps, details, rendered graphs and counterexample seeds —
+// against a committed golden. Regenerate with `go test ./cmd/commvet -run
+// Golden -update` after an intentional verifier change.
+func TestFixturesGolden(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-fixtures", "-json"}, &out)
+	// Fixtures are seeded-bad: findings exist (exit 1) but none of the
+	// expected kinds may be missed (which would exit 2).
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	golden := filepath.Join("testdata", "fixtures_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("fixture report drifted from golden %s\ngot:\n%s", golden, out.String())
+	}
+}
+
+// TestSizesOverride reproduces the README's worked example: the evenodd
+// mirror is clean on its declared even-size domain but escapes the
+// communicator at size 5.
+func TestSizesOverride(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-pattern", "example/evenodd"}, &out); code != 0 {
+		t.Fatalf("declared domain: exit %d, output:\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-pattern", "example/evenodd", "-sizes", "5"}, &out); code != 1 {
+		t.Fatalf("size 5: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "peer-out-of-range") {
+		t.Errorf("output missing peer-out-of-range finding:\n%s", out.String())
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-sizes", "0"}, &out); code != 2 {
+		t.Errorf("-sizes 0: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"-pattern", "no-such-pattern"}, &out); code != 2 {
+		t.Errorf("unmatched -pattern: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"reflect"
+
+	"commintent/internal/shmem"
+	"commintent/internal/typemap"
+)
+
+// BufRange is the exported face of the independence analysis' storage
+// ranges: it identifies the memory a clause buffer occupies precisely
+// enough to decide whether two buffers alias. Static tooling (the plan
+// layer's binding-alias check, cmd/commvet) uses it to ask the same
+// question the dynamic ledger asks at emit time — "do these two clause
+// buffers overlap?" — without opening a region.
+type BufRange struct {
+	// Sym marks a symmetric-heap buffer, identified by allocation id and
+	// element range rather than a local address (symmetric allocations have
+	// one id across all ranks; local addresses are meaningless for them).
+	Sym   bool
+	SymID int
+
+	// [Start,End) in local address space when !Sym.
+	Start, End uintptr
+	// [SymStart,SymEnd) element range when Sym.
+	SymStart, SymEnd int
+}
+
+// Overlaps reports whether the two ranges share storage.
+func (r BufRange) Overlaps(o BufRange) bool {
+	if r.Sym != o.Sym {
+		return false
+	}
+	if r.Sym {
+		return r.SymID == o.SymID && r.SymStart < o.SymEnd && o.SymStart < r.SymEnd
+	}
+	return r.Start < o.End && o.Start < r.End
+}
+
+// RangeOf computes the storage range of a value acceptable as an
+// SBuf/RBuf clause buffer — the raw-view identity the ledger's pinned
+// ranges are built from, derivable without an Env. ok is false for nil,
+// unsupported types, and zero-length buffers (which occupy no storage and
+// therefore alias nothing).
+func RangeOf(v any) (BufRange, bool) {
+	switch b := v.(type) {
+	case nil:
+		return BufRange{}, false
+	case symView:
+		if b.off < 0 || b.off > b.s.Len() {
+			return BufRange{}, false
+		}
+		if b.off == b.s.Len() {
+			return BufRange{}, false
+		}
+		return BufRange{Sym: true, SymID: b.s.SymID(), SymStart: b.off, SymEnd: b.s.Len()}, true
+	case shmem.AnySlice:
+		if b.Len() == 0 {
+			return BufRange{}, false
+		}
+		return BufRange{Sym: true, SymID: b.SymID(), SymStart: 0, SymEnd: b.Len()}, true
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Slice:
+		if _, ok := typemap.SliceKind(v); !ok && rv.Type().Elem().Kind() != reflect.Struct {
+			return BufRange{}, false
+		}
+		if rv.Len() == 0 {
+			return BufRange{}, false
+		}
+		start := rv.Pointer()
+		return BufRange{Start: start, End: start + uintptr(rv.Len())*rv.Type().Elem().Size()}, true
+	case reflect.Pointer:
+		if rv.IsNil() || rv.Elem().Kind() != reflect.Struct {
+			return BufRange{}, false
+		}
+		return BufRange{Start: rv.Pointer(), End: rv.Pointer() + rv.Elem().Type().Size()}, true
+	default:
+		return BufRange{}, false
+	}
+}

@@ -160,6 +160,21 @@ func (e *Env) Parameters(body func(*Region) error, opts ...Option) error {
 	return nil
 }
 
+// Sync completes every transfer posted so far in the region — an explicit
+// mid-region consolidation point. The plan layer calls it where an aliased
+// binding defeats the slot-granularity independence analysis (the aliased
+// buffers overlap even though their slots are distinct, so the consolidated
+// sync must land before the dependent step); applications may also place a
+// sync by hand where they know a reuse the ledger cannot see. The decision
+// note makes the forced sync observable in Env.Decisions.
+func (r *Region) Sync() error {
+	if r.env.closed {
+		return ErrClosed
+	}
+	r.env.note(r.id, "sync", "explicit mid-region synchronisation (Region.Sync)")
+	return r.env.flush(r.led, r.id)
+}
+
 // P2P executes one comm_p2p directive inside the region.
 func (r *Region) P2P(opts ...Option) error {
 	return r.P2POverlap(nil, opts...)

@@ -1,0 +1,197 @@
+package plan
+
+// Shared clause-evaluation engine for the static analyses: Compile's
+// dependence/liveness pass and Verify's communication-graph construction
+// both need "what does this clause say at (rank, size)?" with the pattern's
+// inheritance rule applied and clause panics contained.
+
+// DefaultSweepSizes is the concrete (rank, size) sweep the static analyses
+// evaluate clause expressions over when the pattern does not declare its
+// own domain. The mix of tiny, odd, even and power-of-two sizes catches the
+// usual parity and boundary mistakes.
+var DefaultSweepSizes = []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 16}
+
+// sweep returns the sizes the pattern's clauses are analysed at.
+func (p *Pattern) sweep() []int {
+	if len(p.SweepSizes) > 0 {
+		return p.SweepSizes
+	}
+	return DefaultSweepSizes
+}
+
+// Merged clause accessors, applying the comm_parameters inheritance rule:
+// a step-level clause overrides the region-level one.
+
+func (p *Pattern) stepSender(i int) Expr {
+	if e := p.Steps[i].Sender; e != nil {
+		return e
+	}
+	return p.Sender
+}
+
+func (p *Pattern) stepReceiver(i int) Expr {
+	if e := p.Steps[i].Receiver; e != nil {
+		return e
+	}
+	return p.Receiver
+}
+
+func (p *Pattern) stepSendWhen(i int) Cond {
+	if c := p.Steps[i].SendWhen; c != nil {
+		return c
+	}
+	return p.SendWhen
+}
+
+func (p *Pattern) stepRecvWhen(i int) Cond {
+	if c := p.Steps[i].RecvWhen; c != nil {
+		return c
+	}
+	return p.RecvWhen
+}
+
+// evalCond evaluates a role condition, containing panics. A nil condition
+// means the role is unconditional.
+func evalCond(c Cond, rank, size int) (val, panicked bool) {
+	if c == nil {
+		return true, false
+	}
+	defer func() {
+		if recover() != nil {
+			val, panicked = false, true
+		}
+	}()
+	return c(rank, size), false
+}
+
+// evalExpr evaluates a peer expression, containing panics.
+func evalExpr(e Expr, rank, size int) (val int, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			val, panicked = 0, true
+		}
+	}()
+	return e(rank, size), false
+}
+
+// stepRoles is the role table of one step at one size: which ranks send,
+// which receive, and whether any role condition panicked while deciding.
+type stepRoles struct {
+	send, recv []bool
+	panicked   bool
+	// live: some rank holds some role, so the step participates in the
+	// dependence analysis at this size. A step whose conditions are
+	// statically false for every rank is dead weight — it must not poison
+	// the pending-slot set.
+	live bool
+	// both: some rank holds the send and receive roles simultaneously, so
+	// same-step sbuf/rbuf aliasing would post concurrent transfers over one
+	// buffer on that rank.
+	both bool
+}
+
+// evalRoles computes the role tables of every step at the given size.
+// panicIsActive selects the policy for a panicking condition: Compile uses
+// true (conservatively assume the role fires, so no sync is dropped);
+// Verify uses false (the panic itself becomes a finding and the role is
+// excluded from the graph).
+func evalRoles(p *Pattern, size int, panicIsActive bool) []stepRoles {
+	roles := make([]stepRoles, len(p.Steps))
+	for i := range p.Steps {
+		r := stepRoles{send: make([]bool, size), recv: make([]bool, size)}
+		sw, rw := p.stepSendWhen(i), p.stepRecvWhen(i)
+		for rank := 0; rank < size; rank++ {
+			s, sp := evalCond(sw, rank, size)
+			v, vp := evalCond(rw, rank, size)
+			if sp || vp {
+				r.panicked = true
+				if panicIsActive {
+					s, v = s || sp, v || vp
+				}
+			}
+			r.send[rank], r.recv[rank] = s, v
+			if s || v {
+				r.live = true
+			}
+			if s && v {
+				r.both = true
+			}
+		}
+		roles[i] = r
+	}
+	return roles
+}
+
+// usedSlots returns the slots step i actually touches at this role table:
+// send buffers count only if some rank sends, receive buffers only if some
+// rank receives. (The runtime ledger pins exactly the active roles'
+// buffers, so the static analysis must not count more.)
+func usedSlots(p *Pattern, i int, r stepRoles) []Slot {
+	var out []Slot
+	anySend, anyRecv := false, false
+	for _, b := range r.send {
+		if b {
+			anySend = true
+			break
+		}
+	}
+	for _, b := range r.recv {
+		if b {
+			anyRecv = true
+			break
+		}
+	}
+	if anySend {
+		out = append(out, p.Steps[i].SBuf...)
+	}
+	if anyRecv {
+		out = append(out, p.Steps[i].RBuf...)
+	}
+	return out
+}
+
+// slotsEqual is the default slot-overlap relation: distinct slots are
+// presumed independent (the binding contract Execute now enforces).
+func slotsEqual(a, b Slot) bool { return a == b }
+
+// syncBefore replays the slot-granularity dependence walk at one size:
+// syncBefore[i] is true when a synchronisation must complete before step i
+// because a slot it uses is still pending from an earlier step. Dead steps
+// (no role fires at this size) neither force syncs nor poison the pending
+// set. overlap generalises slot identity — the alias-aware passes substitute
+// a concrete-range comparison. note, when non-nil, observes each dependence.
+func syncBefore(p *Pattern, roles []stepRoles, overlap func(a, b Slot) bool, note func(step int, slot Slot, since int)) []bool {
+	out := make([]bool, len(p.Steps))
+	pending := map[Slot]int{}
+	var order []Slot // pending's keys in first-pin order, for determinism
+	for i := range p.Steps {
+		if !roles[i].live {
+			continue
+		}
+		used := usedSlots(p, i, roles[i])
+		dependent := false
+		for _, s := range used {
+			for _, ps := range order {
+				if overlap(s, ps) {
+					dependent = true
+					if note != nil {
+						note(i, s, pending[ps])
+					}
+					break
+				}
+			}
+		}
+		if dependent {
+			out[i] = true
+			pending = map[Slot]int{}
+			order = order[:0]
+		}
+		for _, s := range used {
+			if _, ok := pending[s]; !ok {
+				order = append(order, s)
+			}
+			pending[s] = i
+		}
+	}
+	return out
+}

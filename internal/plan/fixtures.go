@@ -1,0 +1,163 @@
+package plan
+
+import "commintent/internal/core"
+
+// Seeded-bad fixtures: each pattern here carries a deliberate intent
+// defect the verifier must catch, and each finding's counterexample
+// schedule must reproduce the defect on simnet (the chaos-gate test in
+// verify_test.go runs them all). They double as the committed golden for
+// commvet -fixtures -json.
+
+// BadFixtures returns the seeded-bad patterns with the finding kinds each
+// must be flagged with.
+func BadFixtures() []Entry {
+	return []Entry{
+		{
+			Name:   "fixture/bad-unmatched-send",
+			Sizes:  []int{4},
+			Expect: []FindingKind{FindUnmatchedSend},
+			Plan: MustCompile(Pattern{
+				Name:       "bad-unmatched-send",
+				SweepSizes: []int{4},
+				Sender:     func(rank, size int) int { return 0 },
+				Receiver:   func(rank, size int) int { return 1 },
+				// The send fires but no receivewhen ever does: the message
+				// is posted and never consumed.
+				SendWhen: func(rank, size int) bool { return rank == 0 },
+				RecvWhen: func(rank, size int) bool { return false },
+				Steps:    []Step{{Name: "orphan", SBuf: []Slot{"out"}, RBuf: []Slot{"in"}}},
+			}),
+		},
+		{
+			Name:   "fixture/bad-unmatched-recv",
+			Sizes:  []int{4},
+			Expect: []FindingKind{FindUnmatchedRecv},
+			Plan: MustCompile(Pattern{
+				Name:       "bad-unmatched-recv",
+				SweepSizes: []int{4},
+				Sender:     func(rank, size int) int { return 0 },
+				Receiver:   func(rank, size int) int { return 1 },
+				// The receive fires but no sendwhen ever does: rank 1
+				// blocks until its watchdog cancels the wait.
+				SendWhen: func(rank, size int) bool { return false },
+				RecvWhen: func(rank, size int) bool { return rank == 1 },
+				Steps:    []Step{{Name: "ghost", SBuf: []Slot{"out"}, RBuf: []Slot{"in"}}},
+			}),
+		},
+		{
+			Name:   "fixture/bad-peer-range",
+			Sizes:  []int{4},
+			Expect: []FindingKind{FindPeerRange},
+			Plan: MustCompile(Pattern{
+				Name:       "bad-peer-range",
+				SweepSizes: []int{4},
+				// A ring without the wraparound: the top rank's receiver
+				// clause evaluates to size, outside the communicator.
+				Sender:   func(rank, size int) int { return rank - 1 },
+				Receiver: func(rank, size int) int { return rank + 1 },
+				SendWhen: func(rank, size int) bool { return true },
+				RecvWhen: func(rank, size int) bool { return rank > 0 },
+				Steps:    []Step{{Name: "open-ring", SBuf: []Slot{"out"}, RBuf: []Slot{"in"}}},
+			}),
+		},
+		{
+			Name:   "fixture/bad-deadlock",
+			Sizes:  []int{4},
+			Expect: []FindingKind{FindDeadlock},
+			Plan: MustCompile(Pattern{
+				Name:       "bad-deadlock",
+				SweepSizes: []int{2, 4},
+				// Every rank first receives into slot "x" from its partner,
+				// then sends "x" to the partner. The slot reuse forces a
+				// consolidated sync between the steps — but at that sync
+				// each rank still waits for a receive whose matching send
+				// sits on the far side of the partner's own sync: a
+				// rendezvous wait-for cycle.
+				Steps: []Step{
+					{
+						Name:     "gather",
+						SBuf:     []Slot{"scratch"},
+						RBuf:     []Slot{"x"},
+						Sender:   func(rank, size int) int { return rank ^ 1 },
+						Receiver: func(rank, size int) int { return rank ^ 1 },
+						SendWhen: func(rank, size int) bool { return false },
+						RecvWhen: func(rank, size int) bool { return true },
+					},
+					{
+						Name:     "reflect",
+						SBuf:     []Slot{"x"},
+						RBuf:     []Slot{"scratch"},
+						Sender:   func(rank, size int) int { return rank ^ 1 },
+						Receiver: func(rank, size int) int { return rank ^ 1 },
+						SendWhen: func(rank, size int) bool { return true },
+						RecvWhen: func(rank, size int) bool { return false },
+					},
+				},
+			}),
+		},
+		{
+			Name:   "fixture/bad-count-mismatch",
+			Sizes:  []int{2},
+			Expect: []FindingKind{FindCountMismatch},
+			Plan: MustCompile(Pattern{
+				Name:       "bad-count-mismatch",
+				SweepSizes: []int{2},
+				// Rank 0's step-0 send asserts count 4; the receive that
+				// pairs with it on link 0->1 (rank 1's step-1 receive)
+				// asserts count 2: the transfer truncates.
+				Steps: []Step{
+					{
+						Name:     "wide-send",
+						SBuf:     []Slot{"a"},
+						RBuf:     []Slot{"b"},
+						Count:    4,
+						Sender:   func(rank, size int) int { return 0 },
+						Receiver: func(rank, size int) int { return 1 },
+						SendWhen: func(rank, size int) bool { return rank == 0 },
+						RecvWhen: func(rank, size int) bool { return false },
+					},
+					{
+						Name:     "narrow-recv",
+						SBuf:     []Slot{"c"},
+						RBuf:     []Slot{"d"},
+						Count:    2,
+						Sender:   func(rank, size int) int { return 0 },
+						Receiver: func(rank, size int) int { return 1 },
+						SendWhen: func(rank, size int) bool { return false },
+						RecvWhen: func(rank, size int) bool { return rank == 1 },
+					},
+				},
+			}),
+		},
+		{
+			Name:    "fixture/bad-alias-samestep",
+			Sizes:   []int{4},
+			Aliases: [][]Slot{{"out", "in"}},
+			Expect:  []FindingKind{FindAliasSameStep},
+			// The shipped ring is clean — until the binding maps "out" and
+			// "in" to one buffer, putting a concurrent send and receive
+			// over the same storage on every rank.
+			Plan: Ring(core.TargetDefault),
+		},
+		{
+			Name:    "fixture/bad-alias-consolidation",
+			Sizes:   []int{4},
+			Aliases: [][]Slot{{"fwd-in", "ret-out"}},
+			Expect:  []FindingKind{FindAliasSync},
+			Plan: MustCompile(Pattern{
+				Name:       "bad-alias-consolidation",
+				SweepSizes: []int{4},
+				// Two independent ring shifts at slot granularity — but the
+				// binding aliases step 0's receive buffer with step 1's
+				// send buffer, creating a dependence the consolidated sync
+				// placement cannot see.
+				Sender:   func(rank, size int) int { return (rank - 1 + size) % size },
+				Receiver: func(rank, size int) int { return (rank + 1) % size },
+				Steps: []Step{
+					{Name: "forward", SBuf: []Slot{"fwd-out"}, RBuf: []Slot{"fwd-in"}},
+					{Name: "return", SBuf: []Slot{"ret-out"}, RBuf: []Slot{"ret-in"}},
+				},
+			}),
+		},
+	}
+}

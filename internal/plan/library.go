@@ -88,9 +88,16 @@ func HaloExchange(target core.Target) *Plan {
 // caller binds "all" to a per-destination view before each Execute, or uses
 // one Execute per destination; the simplest reusable form is per-pair.
 func MasterScatter(target core.Target, master, worker int) *Plan {
+	// The pattern's domain needs both ranks to exist: the static analyses
+	// sweep only sizes large enough to hold the pair.
+	base := master + 1
+	if worker >= master {
+		base = worker + 1
+	}
 	return MustCompile(Pattern{
-		Name:     "master-scatter-pair",
-		Target:   target,
+		Name:       "master-scatter-pair",
+		Target:     target,
+		SweepSizes: []int{base, base + 1, base + 3, 2 * base},
 		Sender:   func(rank, size int) int { return master },
 		Receiver: func(rank, size int) int { return worker },
 		SendWhen: func(rank, size int) bool { return rank == master },

@@ -13,11 +13,45 @@
 package plan
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"commintent/internal/core"
 )
+
+// Typed errors for the static checks, in errors.Is style.
+var (
+	// ErrBadMaxCommIter rejects a max_comm_iter assertion smaller than the
+	// pattern's own step count: every Execute would trip the runtime's
+	// ErrMaxCommIter (or silently truncate the region), so the contradiction
+	// is a compile-time fact.
+	ErrBadMaxCommIter = errors.New("plan: max_comm_iter is less than the pattern's comm_p2p step count")
+	// ErrSameStepReuse rejects a step listing one slot in both sbuf and rbuf
+	// while some rank holds the send and receive roles simultaneously: that
+	// rank would post a concurrent send and receive over one buffer, which
+	// no sync placement can make safe.
+	ErrSameStepReuse = errors.New("plan: slot appears in both sbuf and rbuf of one step")
+	// ErrAliasedBinding rejects a Binding that maps a step's send and
+	// receive slots to overlapping storage on a rank holding both roles —
+	// the Execute-time analogue of ErrSameStepReuse.
+	ErrAliasedBinding = errors.New("plan: binding maps a step's sbuf and rbuf slots to overlapping storage")
+)
+
+// AliasError reports which slots of which step an aliased binding made
+// unsafe. It unwraps to ErrAliasedBinding.
+type AliasError struct {
+	Pattern string
+	Step    int
+	A, B    Slot
+}
+
+func (e *AliasError) Error() string {
+	return fmt.Sprintf("plan: %s step %d: %v: %q (sbuf) and %q (rbuf)",
+		e.Pattern, e.Step, errors.Unwrap(e), e.A, e.B)
+}
+
+func (e *AliasError) Unwrap() error { return ErrAliasedBinding }
 
 // Slot names a buffer symbolically within a pattern.
 type Slot string
@@ -61,6 +95,14 @@ type Pattern struct {
 	// MaxCommIter caps comm_p2p executions per region instance; 0 derives
 	// it from the step count.
 	MaxCommIter int
+
+	// SweepSizes optionally declares the communicator sizes the pattern is
+	// designed for. The static analyses — Compile's dependence walk and
+	// Verify's communication-graph construction — evaluate the clause
+	// expressions at exactly these sizes; empty means DefaultSweepSizes.
+	// A pattern with a constrained domain (a fixed process grid, an
+	// even-size pairing) should declare it here.
+	SweepSizes []int
 }
 
 // Plan is a compiled pattern.
@@ -115,25 +157,52 @@ func Compile(p Pattern) (*Plan, error) {
 		}
 	}
 
-	// Static buffer-independence analysis at slot granularity: a step that
-	// reuses a slot still pending from an earlier step in the region marks
-	// a forced synchronisation point before it.
-	pending := map[Slot]int{}
-	for i, st := range p.Steps {
-		dependent := false
-		for _, s := range append(append([]Slot{}, st.SBuf...), st.RBuf...) {
-			if j, ok := pending[s]; ok {
-				dependent = true
-				pl.notes = append(pl.notes,
-					fmt.Sprintf("step %d depends on slot %q pending since step %d: sync forced", i, s, j))
+	// A max_comm_iter assertion below the pattern's own step count is a
+	// contradiction: Execute would always exceed it at runtime.
+	if p.MaxCommIter < 0 || (p.MaxCommIter > 0 && p.MaxCommIter < len(p.Steps)) {
+		return nil, fmt.Errorf("plan: %s: %w: max_comm_iter %d with %d step(s)",
+			p.Name, ErrBadMaxCommIter, p.MaxCommIter, len(p.Steps))
+	}
+
+	// Static buffer-independence analysis at slot granularity, evaluated
+	// over the pattern's size sweep: a step that reuses a slot still pending
+	// from an earlier *live* step marks a forced synchronisation point
+	// before it. Liveness matters both ways — a step whose role conditions
+	// are statically false for every rank at a size must not poison the
+	// pending set (spurious syncs), and a step live at only one swept size
+	// still gets its sync (the final syncAfter is the union over sizes). The
+	// same sweep rejects same-step reuse: a slot in both sbuf and rbuf while
+	// some rank holds both roles.
+	noted := map[string]bool{}
+	for _, size := range p.sweep() {
+		if size <= 0 {
+			continue
+		}
+		roles := evalRoles(&p, size, true)
+		for i := range p.Steps {
+			if !roles[i].both {
+				continue
+			}
+			for _, s := range p.Steps[i].SBuf {
+				for _, t := range p.Steps[i].RBuf {
+					if s == t {
+						return nil, fmt.Errorf("plan: %s step %d: %w: slot %q (roles co-fire at size %d)",
+							p.Name, i, ErrSameStepReuse, s, size)
+					}
+				}
 			}
 		}
-		if dependent {
-			pl.syncAfter[i-1] = true
-			pending = map[Slot]int{}
-		}
-		for _, s := range append(append([]Slot{}, st.SBuf...), st.RBuf...) {
-			pending[s] = i
+		sb := syncBefore(&p, roles, slotsEqual, func(step int, s Slot, since int) {
+			n := fmt.Sprintf("step %d depends on slot %q pending since step %d: sync forced", step, s, since)
+			if !noted[n] {
+				noted[n] = true
+				pl.notes = append(pl.notes, n)
+			}
+		})
+		for i, forced := range sb {
+			if forced {
+				pl.syncAfter[i-1] = true
+			}
 		}
 	}
 	return pl, nil
@@ -205,9 +274,42 @@ func (pl *Plan) String() string {
 // Binding maps slots to concrete buffers for one execution.
 type Binding map[Slot]any
 
+// bindingRanges resolves each bound slot's concrete storage range (where
+// the buffer type allows it) and reports whether any two distinct slots
+// alias — the Execute-time hole in the compile-time independence analysis,
+// which reasons at slot granularity and presumes distinct slots are
+// distinct storage.
+func (pl *Plan) bindingRanges(binding Binding) (map[Slot]core.BufRange, bool) {
+	ranges := make(map[Slot]core.BufRange, len(pl.slots))
+	for _, s := range pl.slots {
+		if r, ok := core.RangeOf(binding[s]); ok {
+			ranges[s] = r
+		}
+	}
+	for i := 0; i < len(pl.slots); i++ {
+		a, ok := ranges[pl.slots[i]]
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < len(pl.slots); j++ {
+			if b, ok := ranges[pl.slots[j]]; ok && a.Overlaps(b) {
+				return ranges, true
+			}
+		}
+	}
+	return ranges, false
+}
+
 // Execute runs the compiled pattern once against env with the given
 // binding. The dynamic layer re-checks everything the static pass proved,
 // so Execute is exactly as safe as hand-written directives — just reusable.
+//
+// A binding may map distinct slots to overlapping storage (a halo whose
+// edge and ghost cells share an array, say). Execute detects this and
+// repairs the analysis the aliasing invalidated: a same-step send/receive
+// over one buffer is rejected with an AliasError, and a cross-step reuse
+// the slot-granularity walk could not see gets an explicit forced
+// synchronisation (Region.Sync) before the dependent step.
 func (pl *Plan) Execute(env *core.Env, binding Binding) error {
 	for _, s := range pl.slots {
 		if _, ok := binding[s]; !ok {
@@ -217,6 +319,42 @@ func (pl *Plan) Execute(env *core.Env, binding Binding) error {
 	p := pl.pattern
 	rank := env.Comm().Rank()
 	size := env.Comm().Size()
+
+	ranges, aliased := pl.bindingRanges(binding)
+	// Same-step safety on this rank: if both roles fire, no sbuf may share
+	// storage with an rbuf (same slot twice included — the compile sweep
+	// only proves role disjointness at the swept sizes).
+	for i, st := range p.Steps {
+		send, sp := evalCond(p.stepSendWhen(i), rank, size)
+		recv, rp := evalCond(p.stepRecvWhen(i), rank, size)
+		if !(send || sp) || !(recv || rp) {
+			continue
+		}
+		for _, s := range st.SBuf {
+			ra, aok := ranges[s]
+			for _, t := range st.RBuf {
+				rb, bok := ranges[t]
+				if s == t || (aok && bok && ra.Overlaps(rb)) {
+					return &AliasError{Pattern: p.Name, Step: i, A: s, B: t}
+				}
+			}
+		}
+	}
+	// Cross-step reuse through the alias: re-run the dependence walk at
+	// this concrete size with slot overlap generalised to concrete-range
+	// overlap, and force a sync before each step it flags.
+	var forceSync []bool
+	if aliased {
+		roles := evalRoles(&p, size, true)
+		forceSync = syncBefore(&p, roles, func(a, b Slot) bool {
+			ra, aok := ranges[a]
+			rb, bok := ranges[b]
+			if aok && bok {
+				return ra.Overlaps(rb)
+			}
+			return a == b
+		}, nil)
+	}
 
 	regionOpts := []core.Option{core.PlaceSync(p.PlaceSync)}
 	if p.Target != core.TargetDefault {
@@ -241,7 +379,12 @@ func (pl *Plan) Execute(env *core.Env, binding Binding) error {
 	}
 
 	return env.Parameters(func(r *core.Region) error {
-		for _, st := range p.Steps {
+		for idx, st := range p.Steps {
+			if forceSync != nil && forceSync[idx] {
+				if err := r.Sync(); err != nil {
+					return fmt.Errorf("plan: %s: aliased binding sync before step %q: %w", p.Name, st.Name, err)
+				}
+			}
 			var opts []core.Option
 			sb := make([]any, len(st.SBuf))
 			for i, s := range st.SBuf {

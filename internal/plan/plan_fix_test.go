@@ -1,0 +1,187 @@
+package plan_test
+
+// Regression tests for the plan-layer soundness fixes: compile-time
+// max_comm_iter validation, same-step slot reuse, liveness-aware
+// dependence analysis, and Execute-time binding-alias handling.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"commintent/internal/core"
+	"commintent/internal/plan"
+	"commintent/internal/shmem"
+	"commintent/internal/spmd"
+)
+
+func twoStep() plan.Pattern {
+	return plan.Pattern{
+		Name:     "two-step",
+		Sender:   func(r, s int) int { return (r - 1 + s) % s },
+		Receiver: func(r, s int) int { return (r + 1) % s },
+		Steps: []plan.Step{
+			{Name: "a", SBuf: []plan.Slot{"w"}, RBuf: []plan.Slot{"x"}},
+			{Name: "b", SBuf: []plan.Slot{"y"}, RBuf: []plan.Slot{"z"}},
+		},
+	}
+}
+
+func TestCompileRejectsBadMaxCommIter(t *testing.T) {
+	p := twoStep()
+	p.MaxCommIter = 1 // fewer iterations than the pattern's own steps
+	_, err := plan.Compile(p)
+	if !errors.Is(err, plan.ErrBadMaxCommIter) {
+		t.Errorf("max_comm_iter 1 with 2 steps: err = %v, want ErrBadMaxCommIter", err)
+	}
+
+	p = twoStep()
+	p.MaxCommIter = -3
+	if _, err := plan.Compile(p); !errors.Is(err, plan.ErrBadMaxCommIter) {
+		t.Errorf("negative max_comm_iter: err = %v, want ErrBadMaxCommIter", err)
+	}
+
+	for _, ok := range []int{0, 2, 5} {
+		p = twoStep()
+		p.MaxCommIter = ok
+		if _, err := plan.Compile(p); err != nil {
+			t.Errorf("max_comm_iter %d: unexpected error %v", ok, err)
+		}
+	}
+}
+
+func TestCompileRejectsSameStepReuse(t *testing.T) {
+	p := plan.Pattern{
+		Name:     "inplace",
+		Sender:   func(r, s int) int { return r ^ 1 },
+		Receiver: func(r, s int) int { return r ^ 1 },
+		Steps:    []plan.Step{{Name: "swap", SBuf: []plan.Slot{"buf"}, RBuf: []plan.Slot{"buf"}}},
+	}
+	if _, err := plan.Compile(p); !errors.Is(err, plan.ErrSameStepReuse) {
+		t.Errorf("same-step sbuf/rbuf slot: err = %v, want ErrSameStepReuse", err)
+	}
+
+	// With statically disjoint roles no rank ever sends and receives the
+	// slot simultaneously, so the reuse is legal.
+	p.SendWhen = func(r, s int) bool { return r == 0 }
+	p.RecvWhen = func(r, s int) bool { return r == 1 }
+	if _, err := plan.Compile(p); err != nil {
+		t.Errorf("disjoint-role same-slot step rejected: %v", err)
+	}
+}
+
+// TestLivenessAwareDependence pins the fix for conditionally-disabled
+// steps: a step whose role conditions are statically false must neither
+// force a sync nor poison the pending-slot set, and a role that never
+// fires must not pin its buffers.
+func TestLivenessAwareDependence(t *testing.T) {
+	never := func(r, s int) bool { return false }
+	always := func(r, s int) bool { return true }
+	big := func(r, s int) bool { return s > 8 }
+	mk := func(sw, rw plan.Cond) *plan.Plan {
+		return plan.MustCompile(plan.Pattern{
+			Name:     "liveness",
+			Sender:   func(r, s int) int { return (r - 1 + s) % s },
+			Receiver: func(r, s int) int { return (r + 1) % s },
+			Steps: []plan.Step{
+				{Name: "a", SBuf: []plan.Slot{"x"}, RBuf: []plan.Slot{"y"}},
+				{Name: "b", SBuf: []plan.Slot{"x"}, RBuf: []plan.Slot{"z"}, SendWhen: sw, RecvWhen: rw},
+				{Name: "c", SBuf: []plan.Slot{"z"}, RBuf: []plan.Slot{"w"}},
+			},
+		})
+	}
+	cases := []struct {
+		name     string
+		sw, rw   plan.Cond
+		wantSync []int
+	}{
+		// b disabled everywhere: no step reuses a pinned slot, zero syncs
+		// (the old analysis forced two).
+		{"dead-step", never, never, nil},
+		{"live-step", always, always, []int{0, 1}},
+		// b live only at the large swept sizes: the union keeps its syncs.
+		{"live-at-large-sizes", big, big, []int{0, 1}},
+		// b's send role never fires, so slot "x" is not pinned by b and
+		// only the z reuse forces a sync (the old analysis also forced one
+		// before b).
+		{"send-role-dead", never, always, []int{1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := mk(tc.sw, tc.rw).SyncPoints()
+			if fmt.Sprint(got) != fmt.Sprint(tc.wantSync) {
+				t.Errorf("sync points = %v, want %v", got, tc.wantSync)
+			}
+		})
+	}
+}
+
+// TestExecuteRejectsAliasedSameStepBinding: binding a step's send and
+// receive slots to one buffer puts a concurrent Isend and Irecv over the
+// same storage — Execute must reject it with the typed error.
+func TestExecuteRejectsAliasedSameStepBinding(t *testing.T) {
+	pl := plan.Ring(core.TargetDefault)
+	run(t, 4, func(rk *spmd.Rank, env *core.Env, shm *shmem.Ctx) error {
+		buf := make([]float64, 2)
+		err := pl.Execute(env, plan.Binding{"out": buf, "in": buf})
+		if !errors.Is(err, plan.ErrAliasedBinding) {
+			t.Errorf("rank %d: err = %v, want ErrAliasedBinding", rk.ID, err)
+		}
+		var ae *plan.AliasError
+		if !errors.As(err, &ae) {
+			t.Errorf("rank %d: err = %v, want *plan.AliasError", rk.ID, err)
+		} else if ae.A != "out" || ae.B != "in" {
+			t.Errorf("rank %d: alias pair %q/%q", rk.ID, ae.A, ae.B)
+		}
+		// Overlapping sub-slices alias too, not just identical slices.
+		err = pl.Execute(env, plan.Binding{"out": buf[:2], "in": buf[1:]})
+		if !errors.Is(err, plan.ErrAliasedBinding) {
+			t.Errorf("rank %d: overlapping sub-slices: err = %v", rk.ID, err)
+		}
+		return nil
+	})
+}
+
+// TestExecuteAliasedHaloBinding is the regression test from the issue: a
+// halo exchange whose left-edge and left-halo slots share one buffer. The
+// aliasing creates a cross-step dependence the slot-granularity analysis
+// cannot see; Execute must force a mid-region sync there and still deliver
+// correct halos.
+func TestExecuteAliasedHaloBinding(t *testing.T) {
+	const n = 4
+	pl := plan.HaloExchange(core.TargetDefault)
+	run(t, n, func(rk *spmd.Rank, env *core.Env, shm *shmem.Ctx) error {
+		edgeAndHalo := []float64{float64(rk.ID*10 + 1)} // left-edge, then overwritten as left-halo
+		re := []float64{float64(rk.ID*10 + 9)}
+		rh := []float64{-1}
+		if err := pl.Execute(env, plan.Binding{
+			"left-edge": edgeAndHalo, "left-halo": edgeAndHalo,
+			"right-edge": re, "right-halo": rh,
+		}); err != nil {
+			return err
+		}
+		if rk.ID > 0 {
+			if got, want := edgeAndHalo[0], float64((rk.ID-1)*10+9); got != want {
+				t.Errorf("rank %d: left halo %v, want %v", rk.ID, got, want)
+			}
+		}
+		if rk.ID < n-1 {
+			if got, want := rh[0], float64((rk.ID+1)*10+1); got != want {
+				t.Errorf("rank %d: right halo %v, want %v", rk.ID, got, want)
+			}
+		}
+		// The forced sync must be observable: the repaired analysis placed
+		// an explicit Region.Sync before the dependent step.
+		forced := false
+		for _, d := range env.Decisions() {
+			if strings.Contains(fmt.Sprint(d), "Region.Sync") {
+				forced = true
+			}
+		}
+		if !forced {
+			t.Errorf("rank %d: no forced mid-region sync recorded", rk.ID)
+		}
+		return nil
+	})
+}

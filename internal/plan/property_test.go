@@ -1,0 +1,79 @@
+package plan_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"commintent/internal/plan"
+)
+
+// TestRemovableSyncsDisjointFromSyncPoints is the property the removability
+// analysis promises: for random patterns, every sync boundary the verifier
+// proves removable is absent from the compiled plan's SyncPoints — the
+// verifier never licenses deleting a sync the compiler inserted.
+func TestRemovableSyncsDisjointFromSyncPoints(t *testing.T) {
+	exprs := []plan.Expr{
+		func(r, s int) int { return (r + 1) % s },
+		func(r, s int) int { return (r - 1 + s) % s },
+		func(r, s int) int { return r ^ 1 },
+		func(r, s int) int { return 0 },
+		func(r, s int) int { return s - 1 - r },
+	}
+	conds := []plan.Cond{
+		func(r, s int) bool { return r%2 == 0 },
+		func(r, s int) bool { return r%2 == 1 },
+		func(r, s int) bool { return r > 0 },
+		func(r, s int) bool { return r < s-1 },
+		func(r, s int) bool { return r == 0 },
+		func(r, s int) bool { return false },
+		func(r, s int) bool { return s > 4 },
+	}
+	slots := []plan.Slot{"a", "b", "c", "d"}
+
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nsteps := 1 + rng.Intn(4)
+		p := plan.Pattern{
+			Name:     "quick",
+			Sender:   exprs[rng.Intn(len(exprs))],
+			Receiver: exprs[rng.Intn(len(exprs))],
+		}
+		for i := 0; i < nsteps; i++ {
+			st := plan.Step{
+				SBuf: []plan.Slot{slots[rng.Intn(len(slots))]},
+				RBuf: []plan.Slot{slots[rng.Intn(len(slots))]},
+			}
+			if rng.Intn(2) == 0 {
+				st.Sender = exprs[rng.Intn(len(exprs))]
+				st.Receiver = exprs[rng.Intn(len(exprs))]
+			}
+			if rng.Intn(2) == 0 {
+				st.SendWhen = conds[rng.Intn(len(conds))]
+				st.RecvWhen = conds[rng.Intn(len(conds))]
+			}
+			p.Steps = append(p.Steps, st)
+		}
+		pl, err := plan.Compile(p)
+		if err != nil {
+			// Rejected patterns (e.g. same-step reuse) are outside the
+			// property's domain.
+			return true
+		}
+		rep := pl.Verify(plan.VerifyOptions{})
+		points := map[int]bool{}
+		for _, s := range pl.SyncPoints() {
+			points[s] = true
+		}
+		for _, r := range rep.RemovableSyncs {
+			if points[r] {
+				t.Logf("seed %d: removable sync %d is a compiled sync point\n%s", seed, r, pl)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package plan
+
+import "commintent/internal/core"
+
+// Entry names one verifiable pattern for cmd/commvet: the compiled plan,
+// the sizes it is meant for, any Execute-time slot aliasing to verify
+// under, and — for seeded-bad fixtures — the finding kinds the verifier
+// must report.
+type Entry struct {
+	Name    string
+	Plan    *Plan
+	Sizes   []int
+	Aliases [][]Slot
+	// Expect lists the finding kinds a fixture must be caught with; empty
+	// means the entry must verify clean.
+	Expect []FindingKind
+}
+
+// Shipped enumerates every pattern the repository ships — the library
+// constructors plus mirrors of the examples' directive regions — each at
+// the sizes its clauses are designed for. commvet must report zero
+// findings on all of them.
+func Shipped() []Entry {
+	return []Entry{
+		{Name: "library/ring", Plan: Ring(core.TargetDefault)},
+		{Name: "library/even-odd", Plan: EvenOdd(core.TargetDefault)},
+		{Name: "library/shift-1", Plan: Shift(core.TargetDefault, 1)},
+		{Name: "library/shift-3", Plan: Shift(core.TargetDefault, 3)},
+		{Name: "library/halo-exchange", Plan: HaloExchange(core.TargetDefault)},
+		{Name: "library/master-scatter", Plan: MasterScatter(core.TargetDefault, 0, 1)},
+		{Name: "example/quickstart-ring", Plan: Ring(core.TargetDefault)},
+		{Name: "example/evenodd", Plan: exampleEvenOdd()},
+		{Name: "example/halo", Plan: HaloExchange(core.TargetDefault)},
+		{Name: "example/stencil2d", Plan: exampleStencil2D(3, 3)},
+		{Name: "patterns/evenodd-guarded", Plan: guardedEvenOdd()},
+	}
+}
+
+// exampleEvenOdd mirrors examples/evenodd/main.go, which runs Listing 2
+// verbatim at nprocs=8: even ranks send to rank+1 with no upper-bound
+// guard. The example's domain is even sizes — at an odd size the top even
+// rank's receiver clause escapes the communicator, which is exactly the
+// worked unmatched-intent report in README "Verifying intent". The sweep
+// declares the even-size domain; commvet -sizes 5 demonstrates the bug.
+func exampleEvenOdd() *Plan {
+	return MustCompile(Pattern{
+		Name:       "example-evenodd",
+		SweepSizes: []int{2, 4, 6, 8, 16},
+		Sender:     func(rank, size int) int { return rank - 1 },
+		Receiver:   func(rank, size int) int { return rank + 1 },
+		SendWhen:   func(rank, size int) bool { return rank%2 == 0 },
+		RecvWhen:   func(rank, size int) bool { return rank%2 == 1 },
+		Steps:      []Step{{Name: "pair", SBuf: []Slot{"out"}, RBuf: []Slot{"in"}}},
+	})
+}
+
+// guardedEvenOdd mirrors internal/patterns' even-odd runner, which adds
+// the rank+1 < size guard and is therefore clean at every size.
+func guardedEvenOdd() *Plan {
+	return MustCompile(Pattern{
+		Name:     "evenodd-guarded",
+		Sender:   func(rank, size int) int { return rank - 1 },
+		Receiver: func(rank, size int) int { return rank + 1 },
+		SendWhen: func(rank, size int) bool { return rank%2 == 0 && rank+1 < size },
+		RecvWhen: func(rank, size int) bool { return rank%2 == 1 },
+		Steps:    []Step{{Name: "pair", SBuf: []Slot{"out"}, RBuf: []Slot{"in"}}},
+	})
+}
+
+// exampleStencil2D mirrors examples/stencil2d/main.go: a px×py process
+// grid exchanging north/south rows and west/east columns in one
+// consolidated region of four comm_p2p steps over disjoint staging
+// buffers. Its domain is exactly size px*py.
+func exampleStencil2D(px, py int) *Plan {
+	col := func(rank int) int { return rank % px }
+	row := func(rank int) int { return rank / px }
+	return MustCompile(Pattern{
+		Name:        "example-stencil2d",
+		SweepSizes:  []int{px * py},
+		MaxCommIter: 4,
+		PlaceSync:   core.EndParamRegion,
+		Steps: []Step{
+			{
+				Name:     "north",
+				SBuf:     []Slot{"row-out-n"},
+				RBuf:     []Slot{"row-in-s"},
+				Sender:   func(rank, size int) int { return rank + px },
+				Receiver: func(rank, size int) int { return rank - px },
+				SendWhen: func(rank, size int) bool { return row(rank) > 0 },
+				RecvWhen: func(rank, size int) bool { return row(rank) < py-1 },
+			},
+			{
+				Name:     "south",
+				SBuf:     []Slot{"row-out-s"},
+				RBuf:     []Slot{"row-in-n"},
+				Sender:   func(rank, size int) int { return rank - px },
+				Receiver: func(rank, size int) int { return rank + px },
+				SendWhen: func(rank, size int) bool { return row(rank) < py-1 },
+				RecvWhen: func(rank, size int) bool { return row(rank) > 0 },
+			},
+			{
+				Name:     "west",
+				SBuf:     []Slot{"col-out-w"},
+				RBuf:     []Slot{"col-in-e"},
+				Sender:   func(rank, size int) int { return rank + 1 },
+				Receiver: func(rank, size int) int { return rank - 1 },
+				SendWhen: func(rank, size int) bool { return col(rank) > 0 },
+				RecvWhen: func(rank, size int) bool { return col(rank) < px-1 },
+			},
+			{
+				Name:     "east",
+				SBuf:     []Slot{"col-out-e"},
+				RBuf:     []Slot{"col-in-w"},
+				Sender:   func(rank, size int) int { return rank - 1 },
+				Receiver: func(rank, size int) int { return rank + 1 },
+				SendWhen: func(rank, size int) bool { return col(rank) < px-1 },
+				RecvWhen: func(rank, size int) bool { return col(rank) > 0 },
+			},
+		},
+	})
+}

@@ -1,0 +1,690 @@
+package plan
+
+// Static intent verification (ROADMAP item 4, cmd/commvet's engine): the
+// clauses of a compiled pattern are evaluated over a concrete (rank, size)
+// sweep to build the per-region communication graph, and the graph is
+// checked for the failure classes the paper's directives make statically
+// visible — unmatched send/receive pairs, count mismatches, peer
+// expressions escaping the communicator, cyclic waits under
+// synchronous-rendezvous semantics, and buffer aliasing (declared slot
+// aliases standing in for Execute-time Binding aliasing) that defeats the
+// slot-granularity independence analysis. Every finding carries a seeded
+// fault schedule reproducing it on simnet.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"commintent/internal/simnet"
+)
+
+// FindingKind classifies one verification finding.
+type FindingKind string
+
+const (
+	// FindUnmatchedSend: a rank's send has no receive to pair with on its
+	// (src, dst) link — the message is never consumed.
+	FindUnmatchedSend FindingKind = "unmatched-send"
+	// FindUnmatchedRecv: a rank posts a receive no send ever satisfies —
+	// the rank blocks until its deadline.
+	FindUnmatchedRecv FindingKind = "unmatched-recv"
+	// FindPeerRange: a sender/receiver clause evaluates outside [0, size).
+	FindPeerRange FindingKind = "peer-out-of-range"
+	// FindCountMismatch: a matched send/receive pair asserts different
+	// explicit counts — the receiver truncates the transfer.
+	FindCountMismatch FindingKind = "count-mismatch"
+	// FindDeadlock: the rendezvous wait-for graph over the region's
+	// synchronisation points contains a cycle.
+	FindDeadlock FindingKind = "deadlock"
+	// FindAliasSameStep: aliased slots appear as one step's sbuf and rbuf
+	// on a rank holding both roles — concurrent transfers over one buffer.
+	FindAliasSameStep FindingKind = "alias-same-step"
+	// FindAliasSync: aliasing creates a cross-step dependence the
+	// slot-granularity analysis cannot see; sync consolidation over the
+	// aliased binding is unsound without a forced synchronisation.
+	FindAliasSync FindingKind = "alias-defeats-consolidation"
+	// FindClausePanic: a clause expression panicked during evaluation.
+	FindClausePanic FindingKind = "clause-panic"
+)
+
+// Finding is one verified defect, aggregated across the sweep.
+type Finding struct {
+	Kind     FindingKind `json:"kind"`
+	Step     int         `json:"step"`
+	StepName string      `json:"step_name,omitempty"`
+	// Size is the smallest communicator size the finding manifests at;
+	// Rank a representative rank there.
+	Size int `json:"size"`
+	Rank int `json:"rank"`
+	// Occurrences counts every (size, rank) instance folded into this
+	// finding across the sweep.
+	Occurrences int    `json:"occurrences"`
+	Detail      string `json:"detail"`
+	// Graph is the rendered communication-graph excerpt at Size.
+	Graph string `json:"graph,omitempty"`
+	// Counterexample is the seeded fault schedule reproducing the finding
+	// on simnet (nil only for kinds with no runnable reproduction).
+	Counterexample *simnet.Schedule `json:"counterexample,omitempty"`
+}
+
+// Report is the outcome of verifying one pattern.
+type Report struct {
+	Pattern  string    `json:"pattern"`
+	Sizes    []int     `json:"sizes"`
+	Findings []Finding `json:"findings,omitempty"`
+	// RemovableSyncs lists step indices (in SyncPoints' "sync after step i"
+	// convention) where no swept size forces a synchronisation — boundaries
+	// the consolidation may elide. By construction these are disjoint from
+	// the compiled plan's SyncPoints when verified over the same sweep.
+	RemovableSyncs []int `json:"removable_syncs,omitempty"`
+}
+
+// Clean reports whether verification produced no findings.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+// String renders the report the way commvet prints it.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pattern %q (sizes %v): ", r.Pattern, r.Sizes)
+	if r.Clean() {
+		b.WriteString("clean")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d finding(s)", len(r.Findings))
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "\n  [%s] step %d", f.Kind, f.Step)
+		if f.StepName != "" {
+			fmt.Fprintf(&b, " (%s)", f.StepName)
+		}
+		fmt.Fprintf(&b, ": %s", f.Detail)
+		if f.Occurrences > 1 {
+			fmt.Fprintf(&b, " [%d occurrence(s) across the sweep]", f.Occurrences)
+		}
+		if f.Graph != "" {
+			for _, line := range strings.Split(strings.TrimRight(f.Graph, "\n"), "\n") {
+				fmt.Fprintf(&b, "\n    %s", line)
+			}
+		}
+		if f.Counterexample != nil {
+			fmt.Fprintf(&b, "\n    counterexample: %s", f.Counterexample)
+		}
+	}
+	return b.String()
+}
+
+// VerifyOptions configures a verification pass.
+type VerifyOptions struct {
+	// Sizes overrides the pattern's sweep.
+	Sizes []int
+	// Aliases declares groups of slots the Binding will map to shared
+	// storage, so Execute-time aliasing is verified statically.
+	Aliases [][]Slot
+}
+
+// vOp is one directed transfer in the communication graph: rank posts a
+// send to (or receive from) peer at step, over buffer pair buf.
+type vOp struct {
+	step, rank, peer, buf, count int
+}
+
+type vLink struct{ src, dst int }
+
+// vPair is a matched send/receive pair on one link.
+type vPair struct{ s, r vOp }
+
+// Verify builds the pattern's communication graph at each swept size and
+// checks it. The returned report aggregates findings across sizes (keeping
+// the smallest manifesting size per finding) and lists the sync boundaries
+// proven removable at every size.
+func (pl *Plan) Verify(opts VerifyOptions) *Report {
+	p := &pl.pattern
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		sizes = p.sweep()
+	}
+	var swept []int
+	for _, s := range sizes {
+		if s > 0 {
+			swept = append(swept, s)
+		}
+	}
+	rep := &Report{Pattern: p.Name, Sizes: swept}
+
+	alias := aliasRep(pl.slots, opts.Aliases)
+	overlap := func(a, b Slot) bool { return alias(a) == alias(b) }
+
+	type aggKey struct {
+		kind FindingKind
+		step int
+	}
+	agg := map[aggKey]*Finding{}
+	var order []aggKey
+	found := func(kind FindingKind, step, size, rank int, detail string, g *graphAt) {
+		k := aggKey{kind, step}
+		if f, ok := agg[k]; ok {
+			f.Occurrences++
+			return
+		}
+		f := &Finding{Kind: kind, Step: step, Size: size, Rank: rank, Occurrences: 1, Detail: detail}
+		if step >= 0 && step < len(p.Steps) {
+			f.StepName = p.Steps[step].Name
+		}
+		if g != nil {
+			f.Graph = g.render()
+		}
+		agg[k] = f
+		order = append(order, k)
+	}
+
+	needed := make([]bool, len(p.Steps)) // sync before step i forced at some size
+	for _, size := range swept {
+		forced := pl.verifyAt(size, overlap, len(opts.Aliases) > 0, found)
+		for i, f := range forced {
+			if f {
+				needed[i] = true
+			}
+		}
+	}
+	for i := 1; i < len(p.Steps); i++ {
+		if !needed[i] {
+			rep.RemovableSyncs = append(rep.RemovableSyncs, i-1)
+		}
+	}
+
+	for _, k := range order {
+		f := agg[k]
+		f.Counterexample = pl.counterexampleFor(f)
+		rep.Findings = append(rep.Findings, *f)
+	}
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		if rep.Findings[i].Step != rep.Findings[j].Step {
+			return rep.Findings[i].Step < rep.Findings[j].Step
+		}
+		return rep.Findings[i].Kind < rep.Findings[j].Kind
+	})
+	return rep
+}
+
+// aliasRep builds the slot→representative mapping for declared alias
+// groups; un-aliased slots represent themselves.
+func aliasRep(slots []Slot, groups [][]Slot) func(Slot) Slot {
+	rep := map[Slot]Slot{}
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		r := g[0]
+		if prior, ok := rep[r]; ok {
+			r = prior // chained groups share one representative
+		}
+		for _, s := range g {
+			if prior, ok := rep[s]; ok && prior != r {
+				// Merge: rewrite the prior class onto r.
+				for k, v := range rep {
+					if v == prior {
+						rep[k] = r
+					}
+				}
+			}
+			rep[s] = r
+		}
+	}
+	return func(s Slot) Slot {
+		if r, ok := rep[s]; ok {
+			return r
+		}
+		return s
+	}
+}
+
+// graphAt is the communication graph at one size, kept for excerpt
+// rendering.
+type graphAt struct {
+	p     *Pattern
+	size  int
+	sends map[vLink][]vOp
+	recvs map[vLink][]vOp
+	// unmatchedS/unmatchedR mark ops left over after FIFO pairing.
+	unmatchedS, unmatchedR map[vOp]bool
+}
+
+// render produces the human-readable excerpt: one line per step listing
+// its transfers, unmatched sides marked.
+func (g *graphAt) render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "communication graph at size %d:", g.size)
+	links := make([]vLink, 0, len(g.sends)+len(g.recvs))
+	for l := range g.sends {
+		links = append(links, l)
+	}
+	for l := range g.recvs {
+		if _, ok := g.sends[l]; !ok {
+			links = append(links, l)
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].src != links[j].src {
+			return links[i].src < links[j].src
+		}
+		return links[i].dst < links[j].dst
+	})
+	for i := range g.p.Steps {
+		var parts []string
+		for _, l := range links {
+			for _, op := range g.sends[l] {
+				if op.step != i {
+					continue
+				}
+				mark := ""
+				if g.unmatchedS[op] {
+					mark = " !send-unmatched"
+				}
+				parts = append(parts, fmt.Sprintf("%d->%d%s", l.src, l.dst, mark))
+			}
+			for _, op := range g.recvs[l] {
+				if op.step != i {
+					continue
+				}
+				mark := ""
+				if g.unmatchedR[op] {
+					mark = " !recv-unmatched"
+				}
+				parts = append(parts, fmt.Sprintf("%d<-%d%s", l.dst, l.src, mark))
+			}
+		}
+		const maxParts = 12
+		if len(parts) > maxParts {
+			parts = append(parts[:maxParts], fmt.Sprintf("… %d more", len(parts)-maxParts))
+		}
+		if len(parts) == 0 {
+			parts = []string{"(no transfers)"}
+		}
+		fmt.Fprintf(&b, "\n  step %d: %s", i, strings.Join(parts, "  "))
+	}
+	return b.String()
+}
+
+// verifyAt checks the pattern at one size, reporting findings through
+// found and returning the per-step forced-sync boundaries (under the given
+// slot-overlap relation) for the removability analysis.
+func (pl *Plan) verifyAt(size int, overlap func(a, b Slot) bool, aliased bool, found func(kind FindingKind, step, size, rank int, detail string, g *graphAt)) []bool {
+	p := &pl.pattern
+	roles := evalRoles(p, size, false)
+
+	g := &graphAt{
+		p: p, size: size,
+		sends: map[vLink][]vOp{}, recvs: map[vLink][]vOp{},
+		unmatchedS: map[vOp]bool{}, unmatchedR: map[vOp]bool{},
+	}
+
+	// Build the ops in posting order: step, then rank, then buffer pair.
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		if roles[i].panicked {
+			found(FindClausePanic, i, size, 0, fmt.Sprintf("a sendwhen/receivewhen condition panicked at size %d", size), nil)
+		}
+		for rank := 0; rank < size; rank++ {
+			if roles[i].recv[rank] {
+				src, panicked := evalExpr(p.stepSender(i), rank, size)
+				switch {
+				case panicked:
+					found(FindClausePanic, i, size, rank,
+						fmt.Sprintf("sender clause panicked for rank %d at size %d", rank, size), nil)
+				case src < 0 || src >= size:
+					found(FindPeerRange, i, size, rank,
+						fmt.Sprintf("sender clause evaluated to rank %d of comm size %d (receiving rank %d)", src, size, rank), nil)
+				default:
+					for b := range st.RBuf {
+						l := vLink{src, rank}
+						g.recvs[l] = append(g.recvs[l], vOp{step: i, rank: rank, peer: src, buf: b, count: st.Count})
+					}
+				}
+			}
+			if roles[i].send[rank] {
+				dst, panicked := evalExpr(p.stepReceiver(i), rank, size)
+				switch {
+				case panicked:
+					found(FindClausePanic, i, size, rank,
+						fmt.Sprintf("receiver clause panicked for rank %d at size %d", rank, size), nil)
+				case dst < 0 || dst >= size:
+					found(FindPeerRange, i, size, rank,
+						fmt.Sprintf("receiver clause evaluated to rank %d of comm size %d (sending rank %d)", dst, size, rank), nil)
+				default:
+					for b := range st.SBuf {
+						l := vLink{rank, dst}
+						g.sends[l] = append(g.sends[l], vOp{step: i, rank: rank, peer: dst, buf: b, count: st.Count})
+					}
+				}
+			}
+		}
+	}
+
+	// FIFO pairing per link, mirroring the runtime's per-(src,dst) matching
+	// at the directive tag.
+	links := make([]vLink, 0, len(g.sends)+len(g.recvs))
+	for l := range g.sends {
+		links = append(links, l)
+	}
+	for l := range g.recvs {
+		if _, ok := g.sends[l]; !ok {
+			links = append(links, l)
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].src != links[j].src {
+			return links[i].src < links[j].src
+		}
+		return links[i].dst < links[j].dst
+	})
+	var pairs []vPair
+	for _, l := range links {
+		ss, rs := g.sends[l], g.recvs[l]
+		n := len(ss)
+		if len(rs) < n {
+			n = len(rs)
+		}
+		for k := 0; k < n; k++ {
+			pairs = append(pairs, vPair{ss[k], rs[k]})
+			if ss[k].count > 0 && rs[k].count > 0 && ss[k].count != rs[k].count {
+				found(FindCountMismatch, rs[k].step, size, rs[k].rank,
+					fmt.Sprintf("rank %d sends count %d in step %d but rank %d receives count %d in step %d (link %d->%d)",
+						ss[k].rank, ss[k].count, ss[k].step, rs[k].rank, rs[k].count, rs[k].step, l.src, l.dst), g)
+			}
+		}
+		for _, op := range ss[n:] {
+			g.unmatchedS[op] = true
+		}
+		for _, op := range rs[n:] {
+			g.unmatchedR[op] = true
+		}
+	}
+	// Report unmatched ops after the full pairing so the rendered graph
+	// marks every leftover.
+	for _, l := range links {
+		for _, op := range g.sends[l] {
+			if g.unmatchedS[op] {
+				found(FindUnmatchedSend, op.step, size, op.rank,
+					fmt.Sprintf("rank %d's send to rank %d has no matching receive at size %d", op.rank, op.peer, size), g)
+			}
+		}
+		for _, op := range g.recvs[l] {
+			if g.unmatchedR[op] {
+				found(FindUnmatchedRecv, op.step, size, op.rank,
+					fmt.Sprintf("rank %d's receive from rank %d is never satisfied at size %d", op.rank, op.peer, size), g)
+			}
+		}
+	}
+
+	// Alias findings.
+	slotForced := syncBefore(p, roles, slotsEqual, nil)
+	aliasForced := slotForced
+	if aliased {
+		aliasForced = syncBefore(p, roles, overlap, nil)
+		for i := range p.Steps {
+			if !roles[i].both {
+				continue
+			}
+			st := &p.Steps[i]
+			for _, s := range st.SBuf {
+				for _, t := range st.RBuf {
+					if overlap(s, t) {
+						found(FindAliasSameStep, i, size, firstBothRank(roles[i]),
+							fmt.Sprintf("slots %q (sbuf) and %q (rbuf) share storage while a rank holds both roles", s, t), g)
+					}
+				}
+			}
+		}
+		for i := range p.Steps {
+			if aliasForced[i] && !slotForced[i] {
+				found(FindAliasSync, i, size, 0,
+					fmt.Sprintf("aliased slots create a dependence before step %d the slot-granularity analysis cannot see; a synchronisation is forced there", i), g)
+			}
+		}
+	}
+
+	// Deadlock: cyclic waits across the region's synchronisation points
+	// under synchronous-rendezvous semantics.
+	pl.checkDeadlock(size, roles, overlap, aliased, aliasForced, pairs, g, found)
+
+	return aliasForced
+}
+
+func firstBothRank(r stepRoles) int {
+	for rank := range r.send {
+		if r.send[rank] && r.recv[rank] {
+			return rank
+		}
+	}
+	return 0
+}
+
+// checkDeadlock builds the wait-for graph over per-rank flush points and
+// runs SCC analysis. The flush model mirrors the runtime: a rank flushes
+// before step i when a buffer the step uses on that rank overlaps a buffer
+// still pinned since the last flush (plus, for aliased bindings, the
+// uniform sync Execute forces), and always flushes at region end. Under
+// rendezvous semantics a flush waiting a send cannot complete until the
+// peer posts the matching receive, and vice versa — so a wait-for cycle
+// among flush points is a deadlock.
+func (pl *Plan) checkDeadlock(size int, roles []stepRoles, overlap func(a, b Slot) bool, aliased bool, aliasForced []bool,
+	pairs []vPair, g *graphAt, found func(kind FindingKind, step, size, rank int, detail string, g *graphAt)) {
+	p := &pl.pattern
+	nsteps := len(p.Steps)
+
+	// Per-rank flush positions: flushPos[r][k] = the step index the k-th
+	// flush happens before; a final region-end flush sits at nsteps.
+	flushPos := make([][]int, size)
+	for r := 0; r < size; r++ {
+		var pos []int
+		var pinned []Slot
+		for i := 0; i < nsteps; i++ {
+			var used []Slot
+			if roles[i].send[r] {
+				used = append(used, p.Steps[i].SBuf...)
+			}
+			if roles[i].recv[r] {
+				used = append(used, p.Steps[i].RBuf...)
+			}
+			f := aliased && aliasForced[i]
+			if !f {
+			scan:
+				for _, u := range used {
+					for _, pn := range pinned {
+						if overlap(u, pn) {
+							f = true
+							break scan
+						}
+					}
+				}
+			}
+			if f {
+				pos = append(pos, i)
+				pinned = pinned[:0]
+			}
+			pinned = append(pinned, used...)
+		}
+		pos = append(pos, nsteps)
+		flushPos[r] = pos
+	}
+	// opFlush(r, step): how many of r's flushes happen before an op posted
+	// at step completes posting — equivalently, the index of the flush that
+	// will wait on the op.
+	opFlush := func(r, step int) int {
+		k := 0
+		for k < len(flushPos[r]) && flushPos[r][k] <= step {
+			k++
+		}
+		return k
+	}
+
+	// Node ids: offsets[r] + k for flush k of rank r.
+	offsets := make([]int, size+1)
+	for r := 0; r < size; r++ {
+		offsets[r+1] = offsets[r] + len(flushPos[r])
+	}
+	nodes := offsets[size]
+	adj := make([][]int, nodes)
+	addEdge := func(a, b int) {
+		adj[a] = append(adj[a], b)
+	}
+	// Program order: flush k waits on flush k-1 of the same rank.
+	for r := 0; r < size; r++ {
+		for k := 1; k < len(flushPos[r]); k++ {
+			addEdge(offsets[r]+k, offsets[r]+k-1)
+		}
+	}
+	selfLoop := make([]bool, nodes)
+	for _, pr := range pairs {
+		ks := opFlush(pr.s.rank, pr.s.step)  // flush waiting the send
+		kr := opFlush(pr.r.rank, pr.r.step)  // flush waiting the receive
+		if kr > 0 {
+			a, b := offsets[pr.s.rank]+ks, offsets[pr.r.rank]+kr-1
+			addEdge(a, b) // rendezvous send completes only once the receive is posted
+			if a == b {
+				selfLoop[a] = true
+			}
+		}
+		if ks > 0 {
+			a, b := offsets[pr.r.rank]+kr, offsets[pr.s.rank]+ks-1
+			addEdge(a, b) // receive completes only once the send is posted
+			if a == b {
+				selfLoop[a] = true
+			}
+		}
+	}
+
+	// Tarjan SCC (iterative).
+	index := make([]int, nodes)
+	low := make([]int, nodes)
+	onStack := make([]bool, nodes)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack, callStack []int
+	var callEdge []int
+	next := 0
+	var sccs [][]int
+	for v0 := 0; v0 < nodes; v0++ {
+		if index[v0] != -1 {
+			continue
+		}
+		callStack = append(callStack[:0], v0)
+		callEdge = append(callEdge[:0], 0)
+		index[v0], low[v0] = next, next
+		next++
+		stack = append(stack, v0)
+		onStack[v0] = true
+		for len(callStack) > 0 {
+			v := callStack[len(callStack)-1]
+			if callEdge[len(callEdge)-1] < len(adj[v]) {
+				w := adj[v][callEdge[len(callEdge)-1]]
+				callEdge[len(callEdge)-1]++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, w)
+					callEdge = append(callEdge, 0)
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			callStack = callStack[:len(callStack)-1]
+			callEdge = callEdge[:len(callEdge)-1]
+			if len(callStack) > 0 {
+				u := callStack[len(callStack)-1]
+				if low[v] < low[u] {
+					low[u] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+
+	nodeRank := func(id int) int {
+		r := sort.Search(size, func(r int) bool { return offsets[r+1] > id })
+		return r
+	}
+	for _, scc := range sccs {
+		if len(scc) < 2 && !selfLoop[scc[0]] {
+			continue
+		}
+		minStep := nsteps
+		rankSet := map[int]bool{}
+		for _, id := range scc {
+			r := nodeRank(id)
+			rankSet[r] = true
+			if pos := flushPos[r][id-offsets[r]]; pos < minStep {
+				minStep = pos
+			}
+		}
+		var ranks []int
+		for r := range rankSet {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		const maxRanks = 8
+		rankStr := fmt.Sprint(ranks)
+		if len(ranks) > maxRanks {
+			rankStr = fmt.Sprintf("%v… (%d ranks)", ranks[:maxRanks], len(ranks))
+		}
+		where := fmt.Sprintf("the synchronisation before step %d", minStep)
+		if minStep == nsteps {
+			where = "the region-end synchronisation"
+			minStep = nsteps - 1
+		}
+		found(FindDeadlock, minStep, size, ranks[0],
+			fmt.Sprintf("ranks %s wait cyclically at %s (rendezvous wait-for cycle)", rankStr, where), g)
+	}
+}
+
+// counterexampleFor derives the seeded fault schedule reproducing a
+// finding under the chaos machinery. The seed is a stable hash of
+// (pattern, kind, step) so re-verification emits identical schedules.
+func (pl *Plan) counterexampleFor(f *Finding) *simnet.Schedule {
+	var expect string
+	switch f.Kind {
+	case FindDeadlock, FindUnmatchedRecv:
+		expect = "deadline"
+	case FindUnmatchedSend:
+		expect = "unreceived"
+	case FindCountMismatch:
+		expect = "truncation"
+	case FindPeerRange:
+		expect = "clause-error"
+	case FindAliasSameStep:
+		expect = "alias-error"
+	case FindAliasSync:
+		expect = "forced-sync"
+	default:
+		return nil // a panicking clause has no schedulable reproduction
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s/%d", pl.pattern.Name, f.Kind, f.Step)
+	return &simnet.Schedule{
+		Name:       fmt.Sprintf("%s/%s/step%d", pl.pattern.Name, f.Kind, f.Step),
+		Pattern:    pl.pattern.Name,
+		Ranks:      f.Size,
+		Seed:       h.Sum64(),
+		WatchdogMS: 250,
+		TimeoutVNS: 5_000_000, // 5ms of virtual time arms the deadline path
+		Expect:     expect,
+		Note:       f.Detail,
+	}
+}

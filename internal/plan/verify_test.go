@@ -1,0 +1,153 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"commintent/internal/plan"
+)
+
+// TestShippedPatternsVerifyClean pins the zero-false-positive contract:
+// every pattern the repository ships — library constructors and example
+// mirrors — verifies clean over its declared sweep.
+func TestShippedPatternsVerifyClean(t *testing.T) {
+	for _, e := range plan.Shipped() {
+		rep := e.Plan.Verify(plan.VerifyOptions{Sizes: e.Sizes, Aliases: e.Aliases})
+		if !rep.Clean() {
+			t.Errorf("%s: expected clean, got:\n%s", e.Name, rep)
+		}
+	}
+}
+
+// TestFixturesCaught pins the zero-false-negative contract: every
+// seeded-bad fixture is flagged with each finding kind it was built to
+// demonstrate, and every finding carries a runnable counterexample.
+func TestFixturesCaught(t *testing.T) {
+	for _, e := range plan.BadFixtures() {
+		rep := e.Plan.Verify(plan.VerifyOptions{Sizes: e.Sizes, Aliases: e.Aliases})
+		got := map[plan.FindingKind]bool{}
+		for _, f := range rep.Findings {
+			got[f.Kind] = true
+			if f.Counterexample == nil && f.Kind != plan.FindClausePanic {
+				t.Errorf("%s: finding %s/step%d has no counterexample schedule", e.Name, f.Kind, f.Step)
+			}
+			if f.Graph == "" && f.Kind != plan.FindPeerRange && f.Kind != plan.FindClausePanic {
+				t.Errorf("%s: finding %s/step%d has no rendered graph excerpt", e.Name, f.Kind, f.Step)
+			}
+		}
+		for _, k := range e.Expect {
+			if !got[k] {
+				t.Errorf("%s: expected finding kind %s, report:\n%s", e.Name, k, rep)
+			}
+		}
+	}
+}
+
+// TestVerifyDeterministic: same pattern, same sweep, same report — the
+// counterexample seeds included (commvet's golden depends on it).
+func TestVerifyDeterministic(t *testing.T) {
+	for _, e := range plan.BadFixtures() {
+		a := e.Plan.Verify(plan.VerifyOptions{Sizes: e.Sizes, Aliases: e.Aliases})
+		b := e.Plan.Verify(plan.VerifyOptions{Sizes: e.Sizes, Aliases: e.Aliases})
+		if a.String() != b.String() {
+			t.Errorf("%s: verification not deterministic:\n%s\nvs\n%s", e.Name, a, b)
+		}
+		for i := range a.Findings {
+			ca, cb := a.Findings[i].Counterexample, b.Findings[i].Counterexample
+			if ca != nil && cb != nil && ca.Seed != cb.Seed {
+				t.Errorf("%s: counterexample seeds differ: %#x vs %#x", e.Name, ca.Seed, cb.Seed)
+			}
+		}
+	}
+}
+
+// TestExampleEvenOddAtOddSize is the README's worked report: the evenodd
+// example runs Listing 2 with no upper-bound guard, so at an odd size the
+// top even rank's receiver clause escapes the communicator.
+func TestExampleEvenOddAtOddSize(t *testing.T) {
+	var entry *plan.Entry
+	for _, e := range plan.Shipped() {
+		if e.Name == "example/evenodd" {
+			ee := e
+			entry = &ee
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatal("example/evenodd not in shipped registry")
+	}
+	rep := entry.Plan.Verify(plan.VerifyOptions{Sizes: []int{5}})
+	if rep.Clean() {
+		t.Fatal("expected a finding at size 5")
+	}
+	f := rep.Findings[0]
+	if f.Kind != plan.FindPeerRange {
+		t.Errorf("kind = %s, want %s", f.Kind, plan.FindPeerRange)
+	}
+	if !strings.Contains(f.Detail, "evaluated to rank 5 of comm size 5") {
+		t.Errorf("detail = %q", f.Detail)
+	}
+	// And over its declared even-size domain it is clean.
+	if rep := entry.Plan.Verify(plan.VerifyOptions{}); !rep.Clean() {
+		t.Errorf("clean domain reported findings:\n%s", rep)
+	}
+}
+
+// TestRemovableSyncsReported: the verifier proves the halo exchange's
+// inter-step boundary removable (disjoint slots), and reports the
+// dependent-slot pattern's boundary as needed.
+func TestRemovableSyncsReported(t *testing.T) {
+	halo := plan.HaloExchange(0)
+	rep := halo.Verify(plan.VerifyOptions{})
+	if len(rep.RemovableSyncs) != 1 || rep.RemovableSyncs[0] != 0 {
+		t.Errorf("halo removable syncs = %v, want [0]", rep.RemovableSyncs)
+	}
+	if sp := halo.SyncPoints(); len(sp) != 0 {
+		t.Errorf("halo sync points = %v, want none", sp)
+	}
+
+	dep := plan.MustCompile(plan.Pattern{
+		Name:     "dep-verify",
+		Sender:   func(r, s int) int { return (r - 1 + s) % s },
+		Receiver: func(r, s int) int { return (r + 1) % s },
+		Steps: []plan.Step{
+			{Name: "a", SBuf: []plan.Slot{"x"}, RBuf: []plan.Slot{"y"}},
+			{Name: "b", SBuf: []plan.Slot{"y"}, RBuf: []plan.Slot{"z"}},
+		},
+	})
+	rep = dep.Verify(plan.VerifyOptions{})
+	if len(rep.RemovableSyncs) != 0 {
+		t.Errorf("dependent pattern removable syncs = %v, want none", rep.RemovableSyncs)
+	}
+}
+
+// TestFaultScheduleCounterexamples is the counterexample gate (it rides
+// `make chaos` via the TestFault pattern): every finding's seeded schedule
+// must actually reproduce its defect on simnet — deadlock fixtures hang
+// and are cancelled by the watchdog into typed deadline errors, unmatched
+// sends audit as unreceived, count mismatches truncate on the wire,
+// aliased bindings are rejected or force the mid-region sync.
+func TestFaultScheduleCounterexamples(t *testing.T) {
+	for _, e := range plan.BadFixtures() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			rep := e.Plan.Verify(plan.VerifyOptions{Sizes: e.Sizes, Aliases: e.Aliases})
+			if rep.Clean() {
+				t.Fatal("fixture verified clean")
+			}
+			ran := 0
+			for _, f := range rep.Findings {
+				if f.Counterexample == nil {
+					continue
+				}
+				if err := plan.RunCounterexample(e.Plan, f.Counterexample, e.Aliases); err != nil {
+					t.Errorf("finding %s/step%d: %v", f.Kind, f.Step, err)
+				}
+				ran++
+			}
+			if ran == 0 {
+				t.Error("no counterexample schedules to run")
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package simnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"commintent/internal/model"
+)
+
+// Schedule is a seeded, self-describing fault schedule: everything needed
+// to re-run a finding's counterexample under the deterministic injector.
+// Static verification (cmd/commvet) emits one per finding; the chaos gate
+// replays it and checks the Expect clause. The struct is JSON-stable so
+// schedules can be committed as fixtures or passed between tools.
+type Schedule struct {
+	// Name identifies the counterexample (conventionally
+	// "<pattern>/<finding-kind>/step<N>").
+	Name string `json:"name"`
+	// Pattern names the comm_parameters pattern to replay.
+	Pattern string `json:"pattern"`
+	// Ranks is the world size the finding manifests at.
+	Ranks int `json:"ranks"`
+
+	// Seed drives the injector; same seed, same world, same faults.
+	Seed uint64 `json:"seed"`
+	// Fault rates, all optional: a schedule with every rate zero is a
+	// healthy-fabric replay whose failure mode is the program's own
+	// communication structure (deadlock, unmatched send, ...).
+	Drop      float64 `json:"drop,omitempty"`
+	Dup       float64 `json:"dup,omitempty"`
+	Delay     float64 `json:"delay,omitempty"`
+	Reorder   float64 `json:"reorder,omitempty"`
+	DeadRanks []int   `json:"dead_ranks,omitempty"`
+
+	// WatchdogMS arms each rank's real-time watchdog so a reproduced hang
+	// cancels into a typed deadline error instead of wedging the test run.
+	WatchdogMS int `json:"watchdog_ms"`
+	// TimeoutVNS is the per-operation virtual deadline handed to
+	// SetDefaultTimeout (nanoseconds of virtual time).
+	TimeoutVNS int64 `json:"timeout_vns"`
+
+	// Expect states how the replay is supposed to fail (or, for forced-sync
+	// findings, what it must observably do):
+	//
+	//	deadline     – some rank returns a deadline/watchdog fault error
+	//	unreceived   – the post-run trace audit finds sends never received
+	//	truncation   – a receiver completes with fewer bytes than were sent
+	//	clause-error – a clause evaluates out of the communicator's range
+	//	alias-error  – Execute rejects the binding as aliased
+	//	forced-sync  – a mid-region synchronisation is forced and noted
+	Expect string `json:"expect"`
+	// Note is the human-readable one-liner tying the schedule back to the
+	// finding it reproduces.
+	Note string `json:"note,omitempty"`
+}
+
+// FaultConfig lowers the schedule's fault clauses into the injector's
+// configuration. Tag scoping is left to the caller (the mpi package owns
+// the tag-space convention and simnet cannot import it).
+func (s *Schedule) FaultConfig() FaultConfig {
+	cfg := FaultConfig{
+		Seed:    s.Seed,
+		Drop:    s.Drop,
+		Dup:     s.Dup,
+		Delay:   s.Delay,
+		Reorder: s.Reorder,
+	}
+	if len(s.DeadRanks) > 0 {
+		cfg.DeadRanks = make(map[int]bool, len(s.DeadRanks))
+		for _, r := range s.DeadRanks {
+			cfg.DeadRanks[r] = true
+		}
+	}
+	return cfg
+}
+
+// Faulty reports whether the schedule injects any fabric-level faults (as
+// opposed to replaying a healthy fabric and letting the program's own
+// structure fail).
+func (s *Schedule) Faulty() bool {
+	return s.Drop > 0 || s.Dup > 0 || s.Delay > 0 || s.Reorder > 0 || len(s.DeadRanks) > 0
+}
+
+// Watchdog returns the real-time watchdog duration in a unit-free form the
+// mpi layer converts; zero means the schedule does not arm one.
+func (s *Schedule) Timeout() model.Time { return model.Time(s.TimeoutVNS) }
+
+// String renders the schedule the way the chaos gate logs it.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("schedule %s: pattern=%s ranks=%d seed=%#x expect=%s",
+		s.Name, s.Pattern, s.Ranks, s.Seed, s.Expect)
+}
+
+// MarshalDeterministic renders the schedule as stable, indent-free JSON
+// with DeadRanks sorted, so goldens diff cleanly.
+func (s *Schedule) MarshalDeterministic() ([]byte, error) {
+	c := *s
+	if len(c.DeadRanks) > 0 {
+		c.DeadRanks = append([]int(nil), c.DeadRanks...)
+		sort.Ints(c.DeadRanks)
+	}
+	return json.Marshal(&c)
+}

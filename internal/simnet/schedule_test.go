@@ -1,0 +1,109 @@
+package simnet
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleSchedule() Schedule {
+	return Schedule{
+		Name:       "halo/deadlock/step1",
+		Pattern:    "halo",
+		Ranks:      4,
+		Seed:       0xdeadbeef,
+		Drop:       0.1,
+		Dup:        0.02,
+		Delay:      0.3,
+		Reorder:    0.05,
+		DeadRanks:  []int{3, 1},
+		WatchdogMS: 250,
+		TimeoutVNS: 5_000_000,
+		Expect:     "deadline",
+		Note:       "ranks [0 1] wait cyclically",
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	in := sampleSchedule()
+	raw, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Schedule
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the schedule:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestScheduleFaultConfig(t *testing.T) {
+	s := sampleSchedule()
+	cfg := s.FaultConfig()
+	if cfg.Seed != s.Seed || cfg.Drop != s.Drop || cfg.Dup != s.Dup ||
+		cfg.Delay != s.Delay || cfg.Reorder != s.Reorder {
+		t.Errorf("rates not carried over: %+v", cfg)
+	}
+	if !reflect.DeepEqual(cfg.DeadRanks, map[int]bool{1: true, 3: true}) {
+		t.Errorf("dead ranks = %v", cfg.DeadRanks)
+	}
+	if !s.Faulty() {
+		t.Error("schedule with fault rates reported healthy")
+	}
+
+	healthy := Schedule{Name: "x", Pattern: "p", Ranks: 2, Seed: 7}
+	if healthy.Faulty() {
+		t.Error("zero-rate schedule reported faulty")
+	}
+	if cfg := healthy.FaultConfig(); cfg.DeadRanks != nil {
+		t.Errorf("healthy schedule allocated dead-rank map: %v", cfg.DeadRanks)
+	}
+}
+
+func TestScheduleMarshalDeterministic(t *testing.T) {
+	s := sampleSchedule()
+	a, err := s.MarshalDeterministic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.MarshalDeterministic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("two marshals differ:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(string(a), `"dead_ranks":[1,3]`) {
+		t.Errorf("dead ranks not sorted: %s", a)
+	}
+	// The caller's slice must not be reordered in place.
+	if !reflect.DeepEqual(s.DeadRanks, []int{3, 1}) {
+		t.Errorf("MarshalDeterministic mutated the schedule: %v", s.DeadRanks)
+	}
+	// Zero-valued optional rates stay out of the encoding entirely.
+	lean := Schedule{Name: "x", Pattern: "p", Ranks: 2, Seed: 7, Expect: "deadline"}
+	raw, err := lean.MarshalDeterministic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"drop", "dup", "delay", "reorder", "dead_ranks", "note"} {
+		if strings.Contains(string(raw), `"`+field+`"`) {
+			t.Errorf("zero-valued %q encoded: %s", field, raw)
+		}
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s := sampleSchedule()
+	got := s.String()
+	want := "schedule halo/deadlock/step1: pattern=halo ranks=4 seed=0xdeadbeef expect=deadline"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if s.Timeout() != 5_000_000 {
+		t.Errorf("Timeout() = %v", s.Timeout())
+	}
+}
